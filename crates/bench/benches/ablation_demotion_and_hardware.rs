@@ -1,0 +1,69 @@
+//! Ablations: PASCAL's conditional-demotion threshold (§IV-C, default 5000
+//! tokens) and hardware sensitivity (§VII-flavoured H100 vs A100 study).
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::ablations::{demotion_sweep, hardware_comparison, SweepParams};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header(
+        "Ablation",
+        "demotion threshold sweep (mixed reasoning-heavy trace, high rate)",
+    );
+    let rows = demotion_sweep(SweepParams::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.value == u64::from(u32::MAX) {
+                    "disabled".to_owned()
+                } else {
+                    r.value.to_string()
+                },
+                format!("{:.2}", r.mean_ttft_s),
+                format!("{:.2}", r.p99_ttft_s),
+                pct(r.slo_violation),
+                format!("{:.2}", r.preemptions_per_request),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "demotion_threshold",
+                "mean_ttft_s",
+                "p99_ttft_s",
+                "slo_violation",
+                "preemptions/req",
+            ],
+            &table,
+        )
+    );
+    println!("paper default: 5000 tokens\n");
+
+    figure_header(
+        "Sensitivity",
+        "same trace on H100-96GB vs A100-80GB clusters (PASCAL)",
+    );
+    let rows = hardware_comparison(SweepParams::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gpu.clone(),
+                format!("{:.2}", r.mean_ttft_s),
+                format!("{:.2}", r.p99_ttft_s),
+                pct(r.slo_violation),
+                format!("{:.0}", r.throughput),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["gpu", "mean_ttft_s", "p99_ttft_s", "slo_violation", "tokens_per_s"],
+            &table,
+        )
+    );
+}

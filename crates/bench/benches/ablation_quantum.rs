@@ -1,0 +1,50 @@
+//! Ablation: PASCAL's per-queue token quantum (paper default 500, §V-A).
+//!
+//! Small quanta preempt more (transfer churn, tail blocking); huge quanta
+//! degenerate towards FCFS-like monopolization inside each queue.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::ablations::{quantum_blocking_profile, quantum_sweep, SweepParams};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header(
+        "Ablation",
+        "PASCAL token quantum sweep (Arena-Hard, high rate)",
+    );
+    let rows = quantum_sweep(SweepParams::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.value.to_string(),
+                format!("{:.2}", r.mean_ttft_s),
+                format!("{:.2}", r.p99_ttft_s),
+                pct(r.slo_violation),
+                format!("{:.2}", r.preemptions_per_request),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "quantum_tokens",
+                "mean_ttft_s",
+                "p99_ttft_s",
+                "slo_violation",
+                "preemptions/req",
+            ],
+            &table,
+        )
+    );
+
+    println!("P99 blocking latency vs quantum (mixed reasoning-heavy trace):");
+    for (quantum, p99) in quantum_blocking_profile(SweepParams {
+        count: 800,
+        seed: 2026,
+    }) {
+        println!("  quantum {quantum:>5}: {p99:>7.2}s");
+    }
+    println!("\npaper default: 500 tokens per queue");
+}

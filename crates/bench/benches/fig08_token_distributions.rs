@@ -1,0 +1,37 @@
+//! Regenerates Fig. 8: reasoning/answering token-count distributions of the
+//! chat traces (AlpacaEval2.0, Arena-Hard), with density histograms.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig08::{fig08_profiles, run};
+use pascal_core::report::render_table;
+
+fn main() {
+    figure_header(
+        "Figure 8",
+        "token-count distributions of AlpacaEval2.0 and Arena-Hard",
+    );
+    let rows = run(&fig08_profiles(), 10_000, 8);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.phase.clone(),
+                format!("{:.2}", r.paper_mean),
+                format!("{:.2}", r.sampled_mean),
+                format!("{:.2}", r.sampled_std),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "phase", "paper_mean", "sampled_mean", "sampled_std"],
+            &table,
+        )
+    );
+    for r in &rows {
+        println!("{} / {} (density, 250-token bins):", r.dataset, r.phase);
+        println!("{}", r.histogram.render_ascii(48, 16));
+    }
+}

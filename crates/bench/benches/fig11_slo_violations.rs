@@ -1,0 +1,27 @@
+//! Regenerates Fig. 11: answering-phase SLO violation rates (QoE < 0.95)
+//! across arrival rates and schedulers.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig11::{run, Fig11Params};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header("Figure 11", "SLO violation rates across arrival rates");
+    let rows = run(Fig11Params::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.level.to_string(),
+                r.policy.clone(),
+                pct(r.violation_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["dataset", "rate", "policy", "slo_violation"], &table)
+    );
+    println!("paper: PASCAL achieves lower or comparable violation rates than both baselines");
+}

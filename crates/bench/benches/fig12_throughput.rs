@@ -1,0 +1,30 @@
+//! Regenerates Fig. 12: serving throughput (all generated tokens over the
+//! makespan) across arrival rates and schedulers.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig12::{max_pascal_throughput_gap, run, Fig12Params};
+use pascal_core::report::render_table;
+
+fn main() {
+    figure_header("Figure 12", "serving throughput across arrival rates");
+    let rows = run(Fig12Params::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.level.to_string(),
+                r.policy.clone(),
+                format!("{:.0}", r.throughput),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["dataset", "rate", "policy", "tokens_per_s"], &table)
+    );
+    println!(
+        "max PASCAL throughput gap vs best baseline: {:.1}% (paper: no more than 3%)",
+        max_pascal_throughput_gap(&rows) * 100.0
+    );
+}

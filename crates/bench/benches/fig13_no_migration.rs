@@ -1,0 +1,49 @@
+//! Regenerates Fig. 13: the importance of phase-boundary migration
+//! (PASCAL vs PASCAL(NoMigration)): TTFT, reasoning latency, P99 blocking
+//! latency and SLO violations.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig13::{run, Fig13Params};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header(
+        "Figure 13",
+        "PASCAL vs PASCAL(NoMigration): migration at phase boundaries",
+    );
+    let rows = run(Fig13Params::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.level.to_string(),
+                r.policy.clone(),
+                format!("{:.2}", r.mean_ttft_s),
+                format!("{:.2}", r.mean_reasoning_s),
+                format!("{:.2}", r.p99_blocking_s),
+                pct(r.slo_violation),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "rate",
+                "variant",
+                "mean_ttft_s",
+                "mean_reasoning_s",
+                "p99_blocking_s",
+                "slo_violation",
+            ],
+            &table,
+        )
+    );
+    println!(
+        "paper: blocking latency reaches 27.39s without migration vs near zero with it,\n\
+         while reasoning latency stays almost unchanged. In this reproduction the\n\
+         blocking effect appears on the reasoning-heavy trace (see EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Regenerates Fig. 15: effectiveness of adaptive migration
+//! (PASCAL vs PASCAL(NonAdaptive)): TTFT distributions, SLO violations per
+//! rate, and end-to-end latency at the high rate.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig15::{run, Fig15Params};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header(
+        "Figure 15",
+        "PASCAL vs PASCAL(NonAdaptive): adaptive migration",
+    );
+    let out = run(Fig15Params::default());
+
+    println!("(a)+(b) TTFT distribution and SLO violations per rate:");
+    let table: Vec<Vec<String>> = out
+        .by_rate
+        .iter()
+        .map(|r| {
+            vec![
+                r.level.to_string(),
+                r.policy.clone(),
+                format!("{:.2}", r.ttft.mean),
+                format!("{:.2}", r.ttft.p50),
+                format!("{:.2}", r.ttft.p99),
+                pct(r.slo_violation),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["rate", "variant", "mean_ttft_s", "p50_ttft_s", "p99_ttft_s", "slo_violation"],
+            &table,
+        )
+    );
+
+    println!("(c) end-to-end latency at the high rate:");
+    let table: Vec<Vec<String>> = out
+        .e2e
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.2}", r.e2e.mean),
+                format!("{:.2}", r.e2e.p50),
+                format!("{:.2}", r.e2e.p99),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["policy", "mean_e2e_s", "p50_e2e_s", "p99_e2e_s"], &table)
+    );
+    println!(
+        "paper: similar TTFT distributions, but NonAdaptive's SLO violations climb to 7.45%\n\
+         vs 0.69% at the high rate, with 20.1% worse median and 9.7% worse tail e2e latency"
+    );
+}

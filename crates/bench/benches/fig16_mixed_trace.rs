@@ -1,0 +1,58 @@
+//! Regenerates Fig. 16: the reasoning-heavy mixed trace (50% Arena-Hard,
+//! 50% MATH-500/GPQA/LiveCodeBench) at the high arrival rate.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::fig16::{run, Fig16Params};
+use pascal_core::report::{pct, render_table};
+
+fn main() {
+    figure_header(
+        "Figure 16",
+        "mixed reasoning-heavy trace: TTFT distribution and tails",
+    );
+    let rows = run(Fig16Params::default());
+
+    println!("(a) TTFT distribution and SLO violations:");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.2}", r.ttft.mean),
+                format!("{:.2}", r.ttft.p50),
+                format!("{:.2}", r.ttft.p99),
+                pct(r.slo_violation),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["policy", "mean_ttft_s", "p50_ttft_s", "p99_ttft_s", "slo_violation"],
+            &table,
+        )
+    );
+
+    println!("(b) tail TTFT by reasoning bin:");
+    let fcfs = &rows[0];
+    for bin in fcfs.tail_bins.iter().take(24) {
+        let find = |r: &pascal_core::experiments::fig16::Fig16Row| {
+            r.tail_bins
+                .iter()
+                .find(|b| b.bin_lo == bin.bin_lo)
+                .map_or_else(|| "-".to_owned(), |b| format!("{:.1}", b.value))
+        };
+        println!(
+            "  [{:>5}-{:<5}) FCFS={:>8.1} RR={:>8} PASCAL={:>8}",
+            bin.bin_lo,
+            bin.bin_hi,
+            bin.value,
+            find(&rows[1]),
+            find(&rows[2]),
+        );
+    }
+    println!(
+        "paper: PASCAL cuts tail TTFT up to 70% vs FCFS for short reasoning; gains vs RR\n\
+         shrink because short answering phases create little contention"
+    );
+}

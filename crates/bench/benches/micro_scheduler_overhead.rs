@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks of the scheduler's hot paths: the event queue,
+//! the placement algorithms (Algorithm 1/2), the decode latency model, and
+//! a full small simulation — the engineering costs behind every figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pascal_cluster::InstanceStats;
+use pascal_core::{run_simulation, SimConfig};
+use pascal_model::{DecodeBatch, GpuSpec, LlmSpec, PerfModel};
+use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_sim::{EventQueue, SimTime};
+use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || (0..10_000u64).map(|i| (i * 37) % 10_000).collect::<Vec<_>>(),
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_nanos(*t + 10_000), i);
+                }
+                let mut n = 0usize;
+                while q.pop().is_some() {
+                    n += 1;
+                }
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn stats_pool(n: u32) -> Vec<InstanceStats> {
+    (0..n)
+        .map(|i| InstanceStats {
+            instance: i,
+            slo_ok: i % 3 != 0,
+            kv_footprint_bytes: u64::from((i * 7919) % 1000) * 1_000_000,
+            reasoning_count: (i * 31) % 40,
+            fresh_answering_count: (i * 17) % 10,
+            gpu_free_blocks: Some(u64::from((i * 13) % 2000)),
+        })
+        .collect()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let policy = SchedPolicy::pascal(PascalConfig::default());
+    let stats = stats_pool(64);
+    c.bench_function("algorithm1_place_64_instances", |b| {
+        b.iter(|| black_box(policy.place_new_request(black_box(&stats))));
+    });
+    c.bench_function("algorithm2_migrate_64_instances", |b| {
+        b.iter(|| black_box(policy.migration_decision(0, 100, black_box(&stats))));
+    });
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let perf = PerfModel::new(
+        LlmSpec::deepseek_r1_distill_qwen_32b(),
+        GpuSpec::h100_96gb(),
+    );
+    c.bench_function("decode_step_time", |b| {
+        b.iter(|| {
+            black_box(perf.decode_step_time(black_box(DecodeBatch {
+                num_seqs: 128,
+                total_context_tokens: 128 * 900,
+            })))
+        });
+    });
+}
+
+fn bench_small_simulation(c: &mut Criterion) {
+    let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+        .arrivals(ArrivalProcess::poisson(8.0))
+        .count(100)
+        .seed(99)
+        .build();
+    let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    c.bench_function("simulate_100_requests_pascal", |b| {
+        b.iter(|| black_box(run_simulation(black_box(&trace), black_box(&config))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_placement,
+    bench_perf_model,
+    bench_small_simulation
+);
+criterion_main!(benches);

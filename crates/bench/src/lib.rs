@@ -1,0 +1,36 @@
+//! # pascal-bench — figure-regeneration harness
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` §5 for the index) by calling the corresponding
+//! `pascal_core::experiments` module and rendering its rows. Run them all
+//! with `cargo bench --workspace`, or one with e.g.
+//! `cargo bench -p pascal-bench --bench fig10_tail_ttft`.
+//!
+//! This library only hosts the small shared helpers the bench mains use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints the standard header for a figure-regeneration bench.
+pub fn figure_header(figure: &str, description: &str) {
+    println!();
+    println!("=== {figure} — {description} ===");
+    println!();
+}
+
+/// Formats an optional seconds value.
+#[must_use]
+pub fn opt_secs(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}s"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_secs_formats() {
+        assert_eq!(opt_secs(None), "-");
+        assert_eq!(opt_secs(Some(1.25)), "1.25s");
+    }
+}

@@ -1,0 +1,181 @@
+//! Serialized bandwidth channels and the inter-node fabric.
+//!
+//! Transfers on a link are FIFO-serialized: a new transfer starts when the
+//! link drains. The fabric gives every instance a full-duplex NIC; a KV
+//! migration occupies the source's egress and the destination's ingress
+//! simultaneously, so concurrent migrations into one target queue up behind
+//! each other — the contention effect §V-C measures.
+
+use pascal_model::LinkSpec;
+use pascal_sim::SimTime;
+
+/// A FIFO bandwidth channel (one direction of a link).
+///
+/// # Examples
+///
+/// ```
+/// use pascal_cluster::BandwidthChannel;
+/// use pascal_model::LinkSpec;
+/// use pascal_sim::SimTime;
+///
+/// let mut ch = BandwidthChannel::new(LinkSpec::new(1e9, 0.0));
+/// let (s1, f1) = ch.enqueue(SimTime::ZERO, 500_000_000); // 0.5 s
+/// let (s2, _) = ch.enqueue(SimTime::ZERO, 1);            // queues behind
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, f1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandwidthChannel {
+    link: LinkSpec,
+    busy_until: SimTime,
+}
+
+impl BandwidthChannel {
+    /// A channel over `link`, idle at time zero.
+    #[must_use]
+    pub fn new(link: LinkSpec) -> Self {
+        BandwidthChannel {
+            link,
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The underlying link.
+    #[must_use]
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+
+    /// When the channel next becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Enqueues a `bytes`-sized transfer submitted at `now`; returns its
+    /// `(start, finish)` times and occupies the channel until `finish`.
+    pub fn enqueue(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let start = self.busy_until.max(now);
+        let finish = start + self.link.transfer_time(bytes);
+        self.busy_until = finish;
+        (start, finish)
+    }
+}
+
+/// Per-instance full-duplex NICs over a shared switch fabric.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    link: LinkSpec,
+    egress_busy: Vec<SimTime>,
+    ingress_busy: Vec<SimTime>,
+}
+
+impl Fabric {
+    /// A fabric connecting `instances` nodes with identical NICs.
+    #[must_use]
+    pub fn new(instances: usize, link: LinkSpec) -> Self {
+        Fabric {
+            link,
+            egress_busy: vec![SimTime::ZERO; instances],
+            ingress_busy: vec![SimTime::ZERO; instances],
+        }
+    }
+
+    /// Number of attached instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.egress_busy.len()
+    }
+
+    /// Whether the fabric connects no instances.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.egress_busy.is_empty()
+    }
+
+    /// The NIC link of every instance.
+    #[must_use]
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+
+    /// Schedules a KV migration of `bytes` from `from` to `to` submitted at
+    /// `now`. The transfer holds the source egress **and** destination
+    /// ingress; it starts when both are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either index is out of range.
+    pub fn migrate(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> (SimTime, SimTime) {
+        assert_ne!(from, to, "migration must change instance");
+        let start = self.egress_busy[from].max(self.ingress_busy[to]).max(now);
+        let finish = start + self.link.transfer_time(bytes);
+        self.egress_busy[from] = finish;
+        self.ingress_busy[to] = finish;
+        (start, finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn serialized_transfers_queue() {
+        let mut ch = BandwidthChannel::new(LinkSpec::new(100.0, 0.0));
+        let (s1, f1) = ch.enqueue(SimTime::ZERO, 100); // 1 s
+        let (s2, f2) = ch.enqueue(secs(0.5), 100); // queues
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(f1, secs(1.0));
+        assert_eq!(s2, secs(1.0));
+        assert_eq!(f2, secs(2.0));
+    }
+
+    #[test]
+    fn idle_channel_starts_immediately() {
+        let mut ch = BandwidthChannel::new(LinkSpec::new(100.0, 0.0));
+        let (s, f) = ch.enqueue(secs(5.0), 100);
+        assert_eq!(s, secs(5.0));
+        assert_eq!(f, secs(6.0));
+    }
+
+    #[test]
+    fn fabric_contends_on_shared_target() {
+        // Two sources migrating into instance 2 at once must serialize on
+        // its ingress — the §V-C contention scenario.
+        let mut fabric = Fabric::new(3, LinkSpec::new(100.0, 0.0));
+        let (s1, f1) = fabric.migrate(SimTime::ZERO, 0, 2, 100);
+        let (s2, f2) = fabric.migrate(SimTime::ZERO, 1, 2, 100);
+        assert_eq!((s1, f1), (SimTime::ZERO, secs(1.0)));
+        assert_eq!((s2, f2), (secs(1.0), secs(2.0)));
+    }
+
+    #[test]
+    fn fabric_disjoint_pairs_run_concurrently() {
+        let mut fabric = Fabric::new(4, LinkSpec::new(100.0, 0.0));
+        let (_, f1) = fabric.migrate(SimTime::ZERO, 0, 1, 100);
+        let (s2, f2) = fabric.migrate(SimTime::ZERO, 2, 3, 100);
+        assert_eq!(f1, secs(1.0));
+        assert_eq!(s2, SimTime::ZERO);
+        assert_eq!(f2, secs(1.0));
+    }
+
+    #[test]
+    fn source_egress_also_serializes() {
+        let mut fabric = Fabric::new(3, LinkSpec::new(100.0, 0.0));
+        let (_, _) = fabric.migrate(SimTime::ZERO, 0, 1, 100);
+        let (s2, _) = fabric.migrate(SimTime::ZERO, 0, 2, 100);
+        assert_eq!(s2, secs(1.0), "second egress from node 0 must wait");
+    }
+
+    #[test]
+    #[should_panic(expected = "must change instance")]
+    fn self_migration_rejected() {
+        let mut fabric = Fabric::new(2, LinkSpec::new(100.0, 0.0));
+        let _ = fabric.migrate(SimTime::ZERO, 1, 1, 10);
+    }
+}

@@ -1,0 +1,151 @@
+//! Serving instances and the monitor snapshot the instance-level scheduler
+//! consumes.
+//!
+//! An *instance* is "the unit of execution [that] manages a replica of the
+//! model weights" (§IV): one GPU with its KV pool, a PCIe channel for
+//! offload/reload, and a membership set of requests. The [`InstanceStats`]
+//! snapshot carries exactly the quantities Algorithms 1 and 2 read:
+//! `t_i` (answering SLO health), `m_i` (GPU+CPU KV footprint), `r_i`
+//! (reasoning requests in the high-priority queue) and `a_i` (answering
+//! requests still in their first quantum).
+
+use std::collections::BTreeSet;
+
+use pascal_model::{KvGeometry, LinkSpec};
+use pascal_workload::RequestId;
+
+use crate::channel::BandwidthChannel;
+use crate::kv::KvPool;
+
+/// One GPU serving instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Cluster-wide index.
+    pub id: u32,
+    /// GPU-resident KV pool (bounded except in oracle mode).
+    pub gpu: KvPool,
+    /// CPU backing store for offloaded KV caches (unbounded accounting).
+    pub cpu: KvPool,
+    /// Host link used by offloads and reloads (FIFO-serialized).
+    pub pcie: BandwidthChannel,
+    /// Requests currently assigned to this instance (deterministic order).
+    pub members: BTreeSet<RequestId>,
+    /// Whether a compute iteration is in flight.
+    pub compute_busy: bool,
+}
+
+impl Instance {
+    /// Creates an idle instance.
+    ///
+    /// `gpu_kv_capacity_bytes = None` gives the oracle's unbounded memory.
+    #[must_use]
+    pub fn new(
+        id: u32,
+        geometry: KvGeometry,
+        gpu_kv_capacity_bytes: Option<u64>,
+        pcie: LinkSpec,
+    ) -> Self {
+        let gpu = match gpu_kv_capacity_bytes {
+            Some(bytes) => KvPool::bounded(geometry, bytes),
+            None => KvPool::unbounded(geometry),
+        };
+        Instance {
+            id,
+            gpu,
+            cpu: KvPool::unbounded(geometry),
+            pcie: BandwidthChannel::new(pcie),
+            members: BTreeSet::new(),
+            compute_busy: false,
+        }
+    }
+
+    /// Total KV bytes attributable to this instance across GPU and CPU —
+    /// `m_i` in Algorithm 1.
+    #[must_use]
+    pub fn kv_footprint_bytes(&self) -> u64 {
+        self.gpu.used_bytes() + self.cpu.used_bytes()
+    }
+}
+
+/// Monitor snapshot of one instance, the input to the instance-level
+/// scheduler (Fig. 6's "instance monitor").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Instance index.
+    pub instance: u32,
+    /// `t_i`: whether every answering request currently meets its pacing
+    /// SLO (token pacer not starved).
+    pub slo_ok: bool,
+    /// `m_i`: KV bytes held on GPU plus CPU.
+    pub kv_footprint_bytes: u64,
+    /// `r_i`: reasoning requests in the high-priority queue (demoted ones
+    /// excluded — they live in the low-priority queue).
+    pub reasoning_count: u32,
+    /// `a_i`: answering requests that have not exhausted their first
+    /// quantum.
+    pub fresh_answering_count: u32,
+    /// Free GPU KV blocks (`None` = unbounded oracle memory).
+    pub gpu_free_blocks: Option<u64>,
+}
+
+impl InstanceStats {
+    /// Whether `blocks` more KV blocks would fit on the GPU right now.
+    #[must_use]
+    pub fn fits_blocks(&self, blocks: u64) -> bool {
+        match self.gpu_free_blocks {
+            None => true,
+            Some(free) => free >= blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascal_sim::SimTime;
+
+    fn geo() -> KvGeometry {
+        KvGeometry::new(16, 262_144)
+    }
+
+    #[test]
+    fn bounded_instance_reports_footprint() {
+        let mut inst = Instance::new(0, geo(), Some(geo().block_bytes() * 100), LinkSpec::pcie5_x16());
+        inst.gpu.alloc(10);
+        inst.cpu.alloc(5);
+        assert_eq!(inst.kv_footprint_bytes(), 15 * geo().block_bytes());
+    }
+
+    #[test]
+    fn oracle_instance_has_unbounded_gpu() {
+        let inst = Instance::new(0, geo(), None, LinkSpec::pcie5_x16());
+        assert_eq!(inst.gpu.capacity_blocks(), None);
+    }
+
+    #[test]
+    fn stats_fits_handles_bounded_and_unbounded() {
+        let bounded = InstanceStats {
+            instance: 0,
+            slo_ok: true,
+            kv_footprint_bytes: 0,
+            reasoning_count: 0,
+            fresh_answering_count: 0,
+            gpu_free_blocks: Some(5),
+        };
+        assert!(bounded.fits_blocks(5));
+        assert!(!bounded.fits_blocks(6));
+        let oracle = InstanceStats {
+            gpu_free_blocks: None,
+            ..bounded
+        };
+        assert!(oracle.fits_blocks(u64::MAX));
+    }
+
+    #[test]
+    fn pcie_channel_serializes_per_instance() {
+        let mut inst = Instance::new(0, geo(), None, LinkSpec::new(100.0, 0.0));
+        let (_, f1) = inst.pcie.enqueue(SimTime::ZERO, 100);
+        let (s2, _) = inst.pcie.enqueue(SimTime::ZERO, 100);
+        assert_eq!(s2, f1);
+    }
+}

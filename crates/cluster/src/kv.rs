@@ -1,0 +1,215 @@
+//! Paged KV-cache pools.
+//!
+//! Each serving instance owns one GPU pool (bounded by HBM left over after
+//! weights) and one CPU pool (effectively unbounded backing store for
+//! offloaded requests, §II-B). Accounting is in whole blocks
+//! ([`pascal_model::KvGeometry`]).
+
+use pascal_model::KvGeometry;
+
+/// A block-granular KV memory pool.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_cluster::KvPool;
+/// use pascal_model::KvGeometry;
+///
+/// let geo = KvGeometry::new(16, 262_144);
+/// let mut pool = KvPool::bounded(geo, geo.block_bytes() * 10);
+/// assert_eq!(pool.capacity_blocks(), Some(10));
+/// assert!(pool.try_alloc(4));
+/// assert_eq!(pool.free_blocks(), Some(6));
+/// pool.free(4);
+/// assert_eq!(pool.used_blocks(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KvPool {
+    geometry: KvGeometry,
+    capacity_blocks: Option<u64>,
+    used_blocks: u64,
+    peak_used_blocks: u64,
+}
+
+impl KvPool {
+    /// A pool bounded by `capacity_bytes` (quantized down to whole blocks).
+    #[must_use]
+    pub fn bounded(geometry: KvGeometry, capacity_bytes: u64) -> Self {
+        KvPool {
+            geometry,
+            capacity_blocks: Some(geometry.blocks_in(capacity_bytes)),
+            used_blocks: 0,
+            peak_used_blocks: 0,
+        }
+    }
+
+    /// An unbounded pool — the oracle configuration of Fig. 2(a)/Fig. 4, or
+    /// a CPU backing store.
+    #[must_use]
+    pub fn unbounded(geometry: KvGeometry) -> Self {
+        KvPool {
+            geometry,
+            capacity_blocks: None,
+            used_blocks: 0,
+            peak_used_blocks: 0,
+        }
+    }
+
+    /// The pool's block geometry.
+    #[must_use]
+    pub fn geometry(&self) -> KvGeometry {
+        self.geometry
+    }
+
+    /// Capacity in blocks (`None` = unbounded).
+    #[must_use]
+    pub fn capacity_blocks(&self) -> Option<u64> {
+        self.capacity_blocks
+    }
+
+    /// Blocks currently allocated.
+    #[must_use]
+    pub fn used_blocks(&self) -> u64 {
+        self.used_blocks
+    }
+
+    /// High-water mark of allocated blocks — used to derive the paper's
+    /// "50% of oracle capacity" configuration (§III-A).
+    #[must_use]
+    pub fn peak_used_blocks(&self) -> u64 {
+        self.peak_used_blocks
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_blocks * self.geometry.block_bytes()
+    }
+
+    /// Free blocks (`None` = unbounded).
+    #[must_use]
+    pub fn free_blocks(&self) -> Option<u64> {
+        self.capacity_blocks.map(|c| c - self.used_blocks)
+    }
+
+    /// Whether `blocks` more blocks would fit right now.
+    #[must_use]
+    pub fn fits(&self, blocks: u64) -> bool {
+        match self.capacity_blocks {
+            None => true,
+            Some(cap) => self.used_blocks + blocks <= cap,
+        }
+    }
+
+    /// Allocates `blocks` if they fit; returns whether it did.
+    pub fn try_alloc(&mut self, blocks: u64) -> bool {
+        if self.fits(blocks) {
+            self.used_blocks += blocks;
+            self.peak_used_blocks = self.peak_used_blocks.max(self.used_blocks);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocates unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation exceeds capacity — callers must check first.
+    pub fn alloc(&mut self, blocks: u64) {
+        assert!(
+            self.try_alloc(blocks),
+            "KV pool overflow: used {} + {blocks} > cap {:?}",
+            self.used_blocks,
+            self.capacity_blocks
+        );
+    }
+
+    /// Releases `blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more blocks are freed than are allocated.
+    pub fn free(&mut self, blocks: u64) {
+        assert!(
+            blocks <= self.used_blocks,
+            "KV pool underflow: freeing {blocks} of {}",
+            self.used_blocks
+        );
+        self.used_blocks -= blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn geo() -> KvGeometry {
+        KvGeometry::new(16, 262_144)
+    }
+
+    #[test]
+    fn bounded_pool_enforces_capacity() {
+        let mut pool = KvPool::bounded(geo(), geo().block_bytes() * 4);
+        assert!(pool.try_alloc(3));
+        assert!(!pool.try_alloc(2));
+        assert!(pool.try_alloc(1));
+        assert_eq!(pool.free_blocks(), Some(0));
+    }
+
+    #[test]
+    fn unbounded_pool_never_refuses() {
+        let mut pool = KvPool::unbounded(geo());
+        assert!(pool.try_alloc(1_000_000));
+        assert_eq!(pool.free_blocks(), None);
+        assert!(pool.fits(u64::MAX / 2));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut pool = KvPool::unbounded(geo());
+        pool.alloc(10);
+        pool.free(8);
+        pool.alloc(3);
+        assert_eq!(pool.used_blocks(), 5);
+        assert_eq!(pool.peak_used_blocks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn overfree_panics() {
+        let mut pool = KvPool::unbounded(geo());
+        pool.alloc(1);
+        pool.free(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overalloc_panics() {
+        let mut pool = KvPool::bounded(geo(), geo().block_bytes());
+        pool.alloc(2);
+    }
+
+    proptest! {
+        /// Alloc/free sequences keep used within [0, capacity].
+        #[test]
+        fn prop_pool_invariants(ops in proptest::collection::vec((any::<bool>(), 1u64..50), 1..200)) {
+            let mut pool = KvPool::bounded(geo(), geo().block_bytes() * 100);
+            let mut shadow: u64 = 0;
+            for (is_alloc, n) in ops {
+                if is_alloc {
+                    if pool.try_alloc(n) {
+                        shadow += n;
+                    }
+                } else if shadow >= n {
+                    pool.free(n);
+                    shadow -= n;
+                }
+                prop_assert_eq!(pool.used_blocks(), shadow);
+                prop_assert!(shadow <= 100);
+            }
+        }
+    }
+}

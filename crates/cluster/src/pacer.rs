@@ -1,0 +1,194 @@
+//! The token pacer (§II-C, Fig. 3).
+//!
+//! The pacer sits between generation and the user: bursts are buffered and
+//! released at the target TPOT so preemption gaps are invisible as long as
+//! the buffer holds out. Its online state answers the question PASCAL's
+//! instance-level scheduler asks (Algorithm 1/2, `t_i`): *is every answering
+//! request on this instance still generating fast enough to keep the user's
+//! reading pace fed?*
+
+use pascal_sim::{SimDuration, SimTime};
+
+/// Online pacing state of one request's answering stream.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_cluster::TokenPacer;
+/// use pascal_sim::{SimDuration, SimTime};
+///
+/// let mut pacer = TokenPacer::new(SimDuration::from_millis(100));
+/// pacer.on_token(SimTime::ZERO);
+/// pacer.on_token(SimTime::from_secs_f64(0.03)); // burst, gets buffered
+/// assert!(pacer.is_on_pace(SimTime::from_secs_f64(0.1)));
+/// // After 1 s the user expects 11 tokens but only 2 were generated.
+/// assert!(!pacer.is_on_pace(SimTime::from_secs_f64(1.0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TokenPacer {
+    target_tpot: SimDuration,
+    stream_start: Option<SimTime>,
+    generated: u64,
+}
+
+impl TokenPacer {
+    /// A pacer releasing one token per `target_tpot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_tpot` is zero.
+    #[must_use]
+    pub fn new(target_tpot: SimDuration) -> Self {
+        assert!(target_tpot > SimDuration::ZERO, "target TPOT must be positive");
+        TokenPacer {
+            target_tpot,
+            stream_start: None,
+            generated: 0,
+        }
+    }
+
+    /// The pacing target.
+    #[must_use]
+    pub fn target_tpot(&self) -> SimDuration {
+        self.target_tpot
+    }
+
+    /// Records a generated answering token. The first token starts the
+    /// release schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tokens arrive out of order relative to the stream start.
+    pub fn on_token(&mut self, now: SimTime) {
+        match self.stream_start {
+            None => self.stream_start = Some(now),
+            Some(start) => assert!(now >= start, "pacer saw time move backwards"),
+        }
+        self.generated += 1;
+    }
+
+    /// Tokens generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Tokens the user expects to have consumed by `now` (one immediately at
+    /// stream start, then one per TPOT). Zero before the stream starts.
+    #[must_use]
+    pub fn expected_by(&self, now: SimTime) -> u64 {
+        match self.stream_start {
+            None => 0,
+            Some(start) => {
+                if now < start {
+                    0
+                } else {
+                    let elapsed = now.saturating_since(start).as_nanos();
+                    1 + elapsed / self.target_tpot.as_nanos()
+                }
+            }
+        }
+    }
+
+    /// Buffered surplus (positive) or starvation deficit (negative) in
+    /// tokens at `now`.
+    #[must_use]
+    pub fn buffer_balance(&self, now: SimTime) -> i64 {
+        let expected = self.expected_by(now).min(i64::MAX as u64) as i64;
+        let generated = self.generated.min(i64::MAX as u64) as i64;
+        generated - expected
+    }
+
+    /// Whether generation is keeping up with the user's expected pace —
+    /// the per-request component of `t_i` in Algorithms 1 and 2.
+    ///
+    /// A stream that has not started yet (or has already generated every
+    /// token it will need) is on pace by definition.
+    #[must_use]
+    pub fn is_on_pace(&self, now: SimTime) -> bool {
+        self.buffer_balance(now) >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn pacer_100ms() -> TokenPacer {
+        TokenPacer::new(SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn idle_pacer_is_on_pace() {
+        let pacer = pacer_100ms();
+        assert_eq!(pacer.expected_by(secs(100.0)), 0);
+        assert!(pacer.is_on_pace(secs(100.0)));
+    }
+
+    #[test]
+    fn expected_counts_from_stream_start() {
+        let mut pacer = pacer_100ms();
+        pacer.on_token(secs(2.0));
+        assert_eq!(pacer.expected_by(secs(2.0)), 1);
+        assert_eq!(pacer.expected_by(secs(2.05)), 1);
+        assert_eq!(pacer.expected_by(secs(2.1)), 2);
+        assert_eq!(pacer.expected_by(secs(2.95)), 10);
+    }
+
+    #[test]
+    fn burst_builds_buffer_then_drains() {
+        let mut pacer = pacer_100ms();
+        for i in 0..10 {
+            pacer.on_token(secs(1.0 + 0.01 * f64::from(i)));
+        }
+        // At t=1.1 user consumed 2, generated 10 => buffer 8.
+        assert_eq!(pacer.buffer_balance(secs(1.1)), 8);
+        assert!(pacer.is_on_pace(secs(1.85)));
+        // At t=1.0 + 10*0.1 = 2.0 the user wants the 11th token: starved.
+        assert!(!pacer.is_on_pace(secs(2.0)));
+        assert_eq!(pacer.buffer_balance(secs(2.0)), -1);
+    }
+
+    #[test]
+    fn exact_pace_stays_on_pace() {
+        let mut pacer = pacer_100ms();
+        for i in 0..50 {
+            let t = secs(0.1 * f64::from(i));
+            pacer.on_token(t);
+            assert!(pacer.is_on_pace(t), "fell behind at token {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tpot_rejected() {
+        let _ = TokenPacer::new(SimDuration::ZERO);
+    }
+
+    proptest! {
+        /// Generating faster never makes the pacer fall off pace earlier.
+        #[test]
+        fn prop_more_tokens_never_hurt(
+            gaps in proptest::collection::vec(0.0f64..0.5, 1..50),
+            probe in 0.0f64..30.0,
+        ) {
+            let mut slow = pacer_100ms();
+            let mut fast = pacer_100ms();
+            let mut t = 1.0;
+            for g in &gaps {
+                t += g;
+                slow.on_token(secs(t));
+                fast.on_token(secs(t));
+            }
+            // `fast` gets one bonus token at the same final time.
+            fast.on_token(secs(t));
+            let at = secs(t + probe);
+            prop_assert!(fast.buffer_balance(at) == slow.buffer_balance(at) + 1);
+        }
+    }
+}

@@ -1,0 +1,939 @@
+//! The multi-instance serving engine.
+//!
+//! An iteration-level discrete-event simulation of vLLM-style continuous
+//! batching (§II-B) across a pool of GPU instances, parameterized by a
+//! [`SchedPolicy`]. The engine owns the single mechanism all three
+//! schedulers share:
+//!
+//! 1. every time an instance is idle, sort its requests by the policy's
+//!    priority key and grant GPU KV residency to the longest prefix that
+//!    fits (the *desired set*);
+//! 2. residents outside the desired set are preempted (KV offloaded to CPU
+//!    over PCIe); non-residents inside it are admitted — prefilled,
+//!    reloaded, or (for warm requests) materialized;
+//! 3. run one iteration: a prefill pass over waiting prompts if any are
+//!    admitted, otherwise one decode step for every runnable resident;
+//! 4. at iteration end each decoded request gains one token; quantum
+//!    counters advance, phase transitions fire (triggering Algorithm 2
+//!    migration for PASCAL), completions free memory.
+//!
+//! Instance-level placement (Algorithm 1 / smallest-footprint) happens at
+//! arrival events; KV migrations ride the fabric with ingress/egress
+//! contention (§V-C).
+
+use std::collections::HashMap;
+
+use pascal_cluster::{Instance, InstanceStats, KvLocation, RequestState};
+use pascal_metrics::{MigrationRecord, RequestRecord};
+use pascal_model::{DecodeBatch, KvGeometry, PerfModel};
+use pascal_sched::{MigrationDecision, SchedPolicy};
+use pascal_sim::{EventQueue, SimTime};
+use pascal_workload::{Phase, RequestId, Trace};
+
+use crate::config::SimConfig;
+
+/// Events driving the engine.
+#[derive(Debug)]
+enum Event {
+    /// A request from the trace arrives (index into the trace).
+    Arrival(usize),
+    /// The in-flight iteration on an instance finished.
+    IterationDone { instance: u32 },
+    /// A preemption offload finished; KV now lives in CPU memory.
+    OffloadDone { req: RequestId },
+    /// A reload finished; KV is GPU-resident again.
+    ReloadDone { req: RequestId },
+    /// A phase-boundary migration landed on its destination.
+    MigrationDone { req: RequestId, to: u32 },
+}
+
+/// What kind of iteration an instance is running.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum IterationKind {
+    Prefill,
+    Decode,
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// One record per completed request, ordered by request id.
+    pub records: Vec<RequestRecord>,
+    /// Peak GPU KV usage per instance, in bytes.
+    pub peak_gpu_kv_bytes: Vec<u64>,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Name of the policy that produced this run.
+    pub policy_name: String,
+}
+
+impl SimOutput {
+    /// All phase-boundary migrations performed during the run.
+    #[must_use]
+    pub fn migrations(&self) -> Vec<MigrationRecord> {
+        self.records.iter().filter_map(|r| r.migration).collect()
+    }
+}
+
+/// Runs `trace` through the deployment described by `config`.
+///
+/// Deterministic: identical `(trace, config)` inputs produce identical
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or if any single request's final
+/// KV footprint exceeds one instance's KV capacity (such a request could
+/// never be scheduled).
+#[must_use]
+pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimOutput {
+    Engine::new(trace, config).run()
+}
+
+struct Engine<'a> {
+    trace: &'a Trace,
+    config: &'a SimConfig,
+    policy: SchedPolicy,
+    perf: PerfModel,
+    geometry: KvGeometry,
+    queue: EventQueue<Event>,
+    instances: Vec<InstanceRt>,
+    fabric: pascal_cluster::Fabric,
+    states: HashMap<RequestId, RequestState>,
+    /// GPU blocks pre-reserved on a migration destination, keyed by the
+    /// migrating request.
+    migration_reservations: HashMap<RequestId, u64>,
+    records: Vec<RequestRecord>,
+}
+
+/// Engine-side per-instance runtime extension.
+struct InstanceRt {
+    inst: Instance,
+    current_batch: Vec<RequestId>,
+    current_kind: IterationKind,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
+        config.validate();
+        let perf = config.perf_model();
+        let geometry = config.geometry();
+        let capacity = config.kv_capacity_bytes();
+
+        if let Some(cap) = capacity {
+            let cap_blocks = geometry.blocks_in(cap);
+            for r in trace.requests() {
+                let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
+                assert!(
+                    worst <= cap_blocks,
+                    "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
+                     raise capacity or shrink the request",
+                    r.id
+                );
+            }
+        }
+
+        let mut queue = EventQueue::new();
+        for (i, r) in trace.requests().iter().enumerate() {
+            queue.schedule(r.arrival, Event::Arrival(i));
+        }
+
+        let instances = (0..config.num_instances)
+            .map(|i| InstanceRt {
+                inst: Instance::new(i as u32, geometry, capacity, config.pcie),
+                current_batch: Vec::new(),
+                current_kind: IterationKind::Decode,
+            })
+            .collect();
+
+        Engine {
+            trace,
+            config,
+            policy: config.policy,
+            perf,
+            geometry,
+            queue,
+            instances,
+            fabric: pascal_cluster::Fabric::new(config.num_instances, config.fabric),
+            states: HashMap::with_capacity(trace.requests().len()),
+            migration_reservations: HashMap::new(),
+            records: Vec::with_capacity(trace.requests().len()),
+        }
+    }
+
+    fn run(mut self) -> SimOutput {
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Event::Arrival(idx) => self.on_arrival(idx, now),
+                Event::IterationDone { instance } => self.on_iteration_done(instance, now),
+                Event::OffloadDone { req } => self.on_offload_done(req, now),
+                Event::ReloadDone { req } => self.on_reload_done(req, now),
+                Event::MigrationDone { req, to } => self.on_migration_done(req, to, now),
+            }
+        }
+        assert!(
+            self.states.is_empty(),
+            "simulation drained with {} unfinished requests (deadlock)",
+            self.states.len()
+        );
+        let mut records = self.records;
+        records.sort_by_key(|r| r.spec.id);
+        let makespan = records
+            .iter()
+            .map(|r| r.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        SimOutput {
+            peak_gpu_kv_bytes: self
+                .instances
+                .iter()
+                .map(|i| i.inst.gpu.peak_used_blocks() * self.geometry.block_bytes())
+                .collect(),
+            makespan,
+            policy_name: self.policy.name().to_owned(),
+            records,
+        }
+    }
+
+    // ----- event handlers -------------------------------------------------
+
+    fn on_arrival(&mut self, idx: usize, now: SimTime) {
+        let spec = self.trace.requests()[idx].clone();
+        let stats = self.collect_stats(now);
+        let target = self.policy.place_new_request(&stats);
+        let state = RequestState::new(spec, target, self.config.target_tpot);
+        let id = state.spec.id;
+        self.instances[target as usize].inst.members.insert(id);
+        self.states.insert(id, state);
+        self.try_schedule(target, now);
+    }
+
+    fn on_iteration_done(&mut self, instance: u32, now: SimTime) {
+        let batch = std::mem::take(&mut self.instances[instance as usize].current_batch);
+        let kind = self.instances[instance as usize].current_kind;
+        self.instances[instance as usize].inst.compute_busy = false;
+
+        for id in batch {
+            {
+                let st = self.states.get_mut(&id).expect("batched request exists");
+                st.end_running(now);
+                if kind == IterationKind::Prefill {
+                    st.prefilled = true;
+                }
+            }
+            self.emit_token(id, now);
+        }
+        self.try_schedule(instance, now);
+    }
+
+    fn on_offload_done(&mut self, req: RequestId, now: SimTime) {
+        let (instance, blocks) = {
+            let st = self.states.get_mut(&req).expect("offloading request exists");
+            assert_eq!(st.kv_location, KvLocation::OffloadingToCpu);
+            let blocks = st.held_gpu_blocks;
+            st.held_gpu_blocks = 0;
+            // The CPU copy holds the actual context, without growth headroom.
+            let cpu_blocks = self.geometry.blocks_for_tokens(st.context_tokens());
+            st.held_cpu_blocks = cpu_blocks;
+            st.kv_location = KvLocation::Cpu;
+            (st.instance, blocks)
+        };
+        let inst = &mut self.instances[instance as usize].inst;
+        inst.gpu.free(blocks);
+        let cpu_blocks = self.states[&req].held_cpu_blocks;
+        inst.cpu.alloc(cpu_blocks);
+        self.try_schedule(instance, now);
+    }
+
+    fn on_reload_done(&mut self, req: RequestId, now: SimTime) {
+        let instance = {
+            let st = self.states.get_mut(&req).expect("reloading request exists");
+            assert_eq!(st.kv_location, KvLocation::ReloadingToGpu);
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+            st.instance
+        };
+        let cpu_blocks = {
+            let st = self.states.get_mut(&req).expect("reloading request exists");
+            let b = st.held_cpu_blocks;
+            st.held_cpu_blocks = 0;
+            b
+        };
+        self.instances[instance as usize].inst.cpu.free(cpu_blocks);
+        self.try_schedule(instance, now);
+    }
+
+    fn on_migration_done(&mut self, req: RequestId, to: u32, now: SimTime) {
+        let (from, gpu_blocks) = {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            assert_eq!(st.kv_location, KvLocation::Migrating);
+            let blocks = st.held_gpu_blocks;
+            st.held_gpu_blocks = 0;
+            (st.instance, blocks)
+        };
+        self.instances[from as usize].inst.gpu.free(gpu_blocks);
+        self.instances[from as usize].inst.members.remove(&req);
+
+        let needed = {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.instance = to;
+            st.instances_visited.push(to);
+            self.geometry.blocks_for_tokens(st.tokens_needed_next())
+        };
+        self.instances[to as usize].inst.members.insert(req);
+
+        if let Some(reserved) = self.migration_reservations.remove(&req) {
+            // Blocks were reserved when the transfer launched; no tokens were
+            // generated in flight, so the reservation is still exact.
+            debug_assert_eq!(reserved, needed);
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.held_gpu_blocks = reserved;
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+            self.try_schedule(from, now);
+            self.try_schedule(to, now);
+            return;
+        }
+
+        let dest = &mut self.instances[to as usize].inst;
+        if dest.gpu.try_alloc(needed) {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.held_gpu_blocks = needed;
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+        } else {
+            // Destination has no room: the KV lands in its CPU pool and the
+            // request must wait for a reload — the stall the adaptive
+            // migration policy exists to avoid (Fig. 7, Fig. 15).
+            let cpu_blocks = {
+                let st = self.states.get_mut(&req).expect("migrating request exists");
+                let b = self.geometry.blocks_for_tokens(st.context_tokens());
+                st.held_cpu_blocks = b;
+                st.kv_location = KvLocation::Cpu;
+                b
+            };
+            dest.cpu.alloc(cpu_blocks);
+        }
+        self.try_schedule(from, now);
+        self.try_schedule(to, now);
+    }
+
+    // ----- token + phase machinery ---------------------------------------
+
+    fn emit_token(&mut self, id: RequestId, now: SimTime) {
+        let (transitioned, done) = {
+            let st = self.states.get_mut(&id).expect("emitting request exists");
+            st.tokens_generated += 1;
+            st.token_times.push(now);
+
+            // Round-robin quantum accounting (§II-C).
+            st.tokens_in_quantum += 1;
+            let quantum = self.policy.quantum();
+            if st.tokens_in_quantum >= quantum {
+                st.quanta_used += 1;
+                st.tokens_in_quantum = 0;
+            }
+
+            // PASCAL's conditional demotion (§IV-C).
+            if let Some(threshold) = self.policy.demotion_threshold_tokens() {
+                if st.phase == Phase::Reasoning
+                    && !st.demoted
+                    && st.tokens_generated > threshold
+                {
+                    st.demoted = true;
+                }
+            }
+
+            if st.phase == Phase::Answering {
+                st.pacer.on_token(now);
+            }
+
+            let transitioned = st.phase == Phase::Reasoning
+                && st.tokens_generated == st.spec.reasoning_tokens
+                && st.spec.answering_tokens > 0;
+            (transitioned, st.is_done())
+        };
+
+        if done {
+            self.complete(id, now);
+            return;
+        }
+        if transitioned {
+            self.on_phase_transition(id, now);
+        }
+    }
+
+    fn on_phase_transition(&mut self, id: RequestId, now: SimTime) {
+        {
+            let st = self.states.get_mut(&id).expect("transitioning request");
+            st.phase = Phase::Answering;
+            if self.policy.resets_quanta_at_transition() {
+                st.quanta_used = 0;
+                st.tokens_in_quantum = 0;
+            }
+        }
+        let (current, needed_blocks) = {
+            let st = &self.states[&id];
+            (
+                st.instance,
+                self.geometry.blocks_for_tokens(st.tokens_needed_next()),
+            )
+        };
+        let stats = self.collect_stats(now);
+        match self
+            .policy
+            .migration_decision(current, needed_blocks, &stats)
+        {
+            MigrationDecision::Stay => {}
+            MigrationDecision::MigrateTo(dest) => self.start_migration(id, dest, now),
+        }
+    }
+
+    fn start_migration(&mut self, id: RequestId, dest: u32, now: SimTime) {
+        // Under the adaptive policy the destination's KV blocks are reserved
+        // up front; if that fails the request stays home (the race-free form
+        // of the Fig. 7 override). NonAdaptive migrates blindly and may land
+        // in the destination's CPU pool.
+        let needed = self
+            .geometry
+            .blocks_for_tokens(self.states[&id].tokens_needed_next());
+        if self.instances[dest as usize].inst.gpu.try_alloc(needed) {
+            self.migration_reservations.insert(id, needed);
+        } else if self.policy.adaptive_migration() {
+            return;
+        }
+        let (from, bytes) = {
+            let st = self.states.get_mut(&id).expect("migrating request");
+            debug_assert_eq!(st.kv_location, KvLocation::Gpu);
+            st.kv_location = KvLocation::Migrating;
+            st.resident_since = None;
+            let bytes =
+                self.geometry.blocks_for_tokens(st.context_tokens()) * self.geometry.block_bytes();
+            (st.instance, bytes)
+        };
+        let (_, finish) = self.fabric.migrate(now, from as usize, dest as usize, bytes);
+        {
+            let st = self.states.get_mut(&id).expect("migrating request");
+            st.migration = Some(MigrationRecord {
+                from_instance: from,
+                to_instance: dest,
+                started: now,
+                finished: finish,
+                bytes,
+            });
+        }
+        self.queue
+            .schedule(finish, Event::MigrationDone { req: id, to: dest });
+    }
+
+    fn complete(&mut self, id: RequestId, now: SimTime) {
+        let st = self.states.remove(&id).expect("completing request exists");
+        let instance = st.instance as usize;
+        let gpu_blocks = st.held_gpu_blocks;
+        let cpu_blocks = st.held_cpu_blocks;
+        self.instances[instance].inst.members.remove(&id);
+        if gpu_blocks > 0 {
+            self.instances[instance].inst.gpu.free(gpu_blocks);
+        }
+        if cpu_blocks > 0 {
+            self.instances[instance].inst.cpu.free(cpu_blocks);
+        }
+        self.records.push(st.into_record(now));
+    }
+
+    // ----- the scheduling core --------------------------------------------
+
+    /// Monitor snapshot of every instance (Fig. 6's instance monitor).
+    fn collect_stats(&self, now: SimTime) -> Vec<InstanceStats> {
+        self.instances
+            .iter()
+            .map(|rt| {
+                let mut slo_ok = true;
+                let mut reasoning = 0u32;
+                let mut fresh_answering = 0u32;
+                for id in &rt.inst.members {
+                    let st = &self.states[id];
+                    match st.phase {
+                        Phase::Reasoning => {
+                            if !st.demoted {
+                                reasoning += 1;
+                            }
+                        }
+                        Phase::Answering => {
+                            if st.quanta_used == 0 {
+                                fresh_answering += 1;
+                            }
+                            if !st.pacer.is_on_pace(now) {
+                                slo_ok = false;
+                            }
+                        }
+                    }
+                }
+                InstanceStats {
+                    instance: rt.inst.id,
+                    slo_ok,
+                    kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
+                    reasoning_count: reasoning,
+                    fresh_answering_count: fresh_answering,
+                    gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                }
+            })
+            .collect()
+    }
+
+    /// Plans residency and, if possible, launches the next iteration.
+    fn try_schedule(&mut self, instance: u32, now: SimTime) {
+        if self.instances[instance as usize].inst.compute_busy {
+            return;
+        }
+
+        // 1. Candidates sorted by policy priority.
+        let mut cands: Vec<RequestId> = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .copied()
+            .filter(|id| {
+                let st = &self.states[id];
+                !matches!(
+                    st.kv_location,
+                    KvLocation::Migrating | KvLocation::OffloadingToCpu
+                )
+            })
+            .collect();
+        cands.sort_by_key(|id| self.policy.priority_key(&self.states[id]));
+
+        // 2. Desired prefix under the block budget. Blocks held by dying
+        //    allocations (offloads, outbound migrations) are unavailable.
+        let dying: u64 = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .filter(|id| {
+                matches!(
+                    self.states[*id].kv_location,
+                    KvLocation::OffloadingToCpu | KvLocation::Migrating
+                )
+            })
+            .map(|id| self.states[id].held_gpu_blocks)
+            .sum();
+        let budget = self.instances[instance as usize]
+            .inst
+            .gpu
+            .capacity_blocks()
+            .map(|c| c.saturating_sub(dying));
+
+        let mut desired: Vec<RequestId> = Vec::new();
+        let mut acc: u64 = 0;
+        for &id in &cands {
+            if desired.len() >= self.config.max_batch as usize {
+                break;
+            }
+            let st = &self.states[&id];
+            let need = self
+                .geometry
+                .blocks_for_tokens(st.tokens_needed_next())
+                .max(st.held_gpu_blocks);
+            match budget {
+                None => {
+                    acc += need;
+                    desired.push(id);
+                }
+                Some(b) if acc + need <= b => {
+                    acc += need;
+                    desired.push(id);
+                }
+                Some(_) => break,
+            }
+        }
+        let desired_set: std::collections::HashSet<RequestId> =
+            desired.iter().copied().collect();
+
+        // 3. Preempt GPU residents that fell out of the desired set.
+        let evictees: Vec<RequestId> = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .copied()
+            .filter(|id| {
+                let st = &self.states[id];
+                st.kv_location == KvLocation::Gpu && !desired_set.contains(id)
+            })
+            .collect();
+        for id in evictees {
+            self.start_offload(id, now);
+        }
+
+        // 4. Admit the desired set: grow residents, start reloads,
+        //    materialize warm requests, and collect prefill candidates.
+        let mut prefill_batch: Vec<RequestId> = Vec::new();
+        let mut prefill_tokens: u64 = 0;
+        let mut decode_batch: Vec<RequestId> = Vec::new();
+
+        for &id in &desired {
+            let (location, needs_prefill, warm, target_blocks, held, prompt) = {
+                let st = &self.states[&id];
+                (
+                    st.kv_location,
+                    st.needs_prefill(),
+                    st.spec.warm_start,
+                    self.geometry.blocks_for_tokens(st.tokens_needed_next()),
+                    st.held_gpu_blocks,
+                    st.spec.prompt_tokens,
+                )
+            };
+            match location {
+                KvLocation::Gpu => {
+                    let runnable = if held >= target_blocks {
+                        true
+                    } else {
+                        let delta = target_blocks - held;
+                        if self.instances[instance as usize].inst.gpu.try_alloc(delta) {
+                            self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
+                                target_blocks;
+                            true
+                        } else {
+                            false // waits for in-flight offloads to free memory
+                        }
+                    };
+                    if runnable {
+                        decode_batch.push(id);
+                    }
+                }
+                KvLocation::Cpu
+                    // Reload: GPU blocks reserved up front, PCIe serialized.
+                    if self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
+                        let bytes = {
+                            let st = self.states.get_mut(&id).expect("desired exists");
+                            st.held_gpu_blocks = target_blocks;
+                            st.kv_location = KvLocation::ReloadingToGpu;
+                            self.geometry.blocks_for_tokens(st.context_tokens())
+                                * self.geometry.block_bytes()
+                        };
+                        let (_, finish) = self.instances[instance as usize]
+                            .inst
+                            .pcie
+                            .enqueue(now, bytes);
+                        self.queue.schedule(finish, Event::ReloadDone { req: id });
+                    }
+                KvLocation::None if warm
+                    // Fig. 5 setup: the KV already exists logically; it
+                    // materializes without prefill compute once admitted.
+                    && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
+                        let st = self.states.get_mut(&id).expect("desired exists");
+                        st.held_gpu_blocks = target_blocks;
+                        st.kv_location = KvLocation::Gpu;
+                        st.resident_since = Some(now);
+                        st.prefilled = true;
+                        decode_batch.push(id);
+                    }
+                KvLocation::None if needs_prefill => {
+                    // A lone oversized prompt may exceed the budget; always
+                    // admit at least one prefill so it cannot starve.
+                    let within_budget = prefill_batch.is_empty()
+                        || prefill_tokens + u64::from(prompt)
+                            <= u64::from(self.config.prefill_token_budget);
+                    if within_budget
+                        && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks)
+                    {
+                        self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
+                            target_blocks;
+                        prefill_tokens += u64::from(prompt);
+                        prefill_batch.push(id);
+                    }
+                }
+                _ => {} // reloading / none-but-impossible: wait
+            }
+        }
+
+        // 5. Launch: prefill takes priority (vLLM 0.6.1 semantics), else a
+        //    decode step over every runnable resident.
+        if !prefill_batch.is_empty() {
+            let prompts: Vec<u32> = prefill_batch
+                .iter()
+                .map(|id| self.states[id].spec.prompt_tokens)
+                .collect();
+            let duration = self.perf.prefill_time_batch(&prompts);
+            for id in &prefill_batch {
+                let st = self.states.get_mut(id).expect("prefill request exists");
+                st.begin_running(now);
+                // KV becomes resident as the prefill pass runs.
+                st.kv_location = KvLocation::Gpu;
+                st.resident_since = Some(now);
+            }
+            let rt = &mut self.instances[instance as usize];
+            rt.current_batch = prefill_batch;
+            rt.current_kind = IterationKind::Prefill;
+            rt.inst.compute_busy = true;
+            self.queue
+                .schedule(now + duration, Event::IterationDone { instance });
+        } else if !decode_batch.is_empty() {
+            let total_context: u64 = decode_batch
+                .iter()
+                .map(|id| self.states[id].context_tokens())
+                .sum();
+            let duration = self.perf.decode_step_time(DecodeBatch {
+                num_seqs: decode_batch.len() as u32,
+                total_context_tokens: total_context,
+            });
+            for id in &decode_batch {
+                self.states
+                    .get_mut(id)
+                    .expect("decode request exists")
+                    .begin_running(now);
+            }
+            let rt = &mut self.instances[instance as usize];
+            rt.current_batch = decode_batch;
+            rt.current_kind = IterationKind::Decode;
+            rt.inst.compute_busy = true;
+            self.queue
+                .schedule(now + duration, Event::IterationDone { instance });
+        }
+    }
+
+    fn start_offload(&mut self, id: RequestId, now: SimTime) {
+        let (instance, bytes) = {
+            let st = self.states.get_mut(&id).expect("offload request exists");
+            debug_assert_eq!(st.kv_location, KvLocation::Gpu);
+            st.kv_location = KvLocation::OffloadingToCpu;
+            st.resident_since = None;
+            st.num_preemptions += 1;
+            let bytes =
+                self.geometry.blocks_for_tokens(st.context_tokens()) * self.geometry.block_bytes();
+            (st.instance, bytes)
+        };
+        let (_, finish) = self.instances[instance as usize].inst.pcie.enqueue(now, bytes);
+        self.queue.schedule(finish, Event::OffloadDone { req: id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KvCapacityMode;
+    use pascal_sched::PascalConfig;
+    use pascal_workload::RequestSpec;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn oracle(policy: SchedPolicy) -> SimConfig {
+        SimConfig::characterization(policy, KvCapacityMode::Unlimited)
+    }
+
+    #[test]
+    fn empty_trace_completes_immediately() {
+        let out = run_simulation(&Trace::from_requests(vec![]), &oracle(SchedPolicy::Fcfs));
+        assert!(out.records.is_empty());
+        assert_eq!(out.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_all_complete() {
+        let requests: Vec<RequestSpec> = (0..20)
+            .map(|i| RequestSpec::new(RequestId(i), SimTime::ZERO, 64, 30, 10))
+            .collect();
+        let out = run_simulation(
+            &Trace::from_requests(requests),
+            &oracle(SchedPolicy::round_robin_default()),
+        );
+        assert_eq!(out.records.len(), 20);
+        for r in &out.records {
+            r.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn max_batch_caps_concurrency() {
+        // 30 simultaneous requests with max_batch 8: they still all finish,
+        // just in waves.
+        let requests: Vec<RequestSpec> = (0..30)
+            .map(|i| RequestSpec::new(RequestId(i), SimTime::ZERO, 32, 10, 0))
+            .collect();
+        let mut config = oracle(SchedPolicy::Fcfs);
+        config.max_batch = 8;
+        let out = run_simulation(&Trace::from_requests(requests), &config);
+        assert_eq!(out.records.len(), 30);
+        // With FCFS and batch 8, the last requests cannot start before the
+        // first wave ends: their blocked time must be non-trivial.
+        let last = &out.records[29];
+        assert!(last.blocked.as_secs_f64() > 0.1);
+    }
+
+    #[test]
+    fn prefill_budget_batches_prompts() {
+        // Two prompts of 3000 tokens exceed a 4096 budget together, so they
+        // prefill in separate iterations; a single oversized prompt is still
+        // admitted alone.
+        let requests = vec![
+            RequestSpec::new(RequestId(0), SimTime::ZERO, 3000, 5, 0),
+            RequestSpec::new(RequestId(1), SimTime::ZERO, 3000, 5, 0),
+            RequestSpec::new(RequestId(2), secs(10.0), 8000, 5, 0),
+        ];
+        let mut config = oracle(SchedPolicy::Fcfs);
+        config.prefill_token_budget = 4096;
+        let out = run_simulation(&Trace::from_requests(requests), &config);
+        assert_eq!(out.records.len(), 3);
+        // Request 1's first token comes a full prefill later than request 0's.
+        let gap = out.records[1].token_times[0]
+            .saturating_since(out.records[0].token_times[0]);
+        assert!(gap.as_millis_f64() > 50.0, "expected separate prefills");
+    }
+
+    #[test]
+    fn demotion_drops_long_reasoning_to_low_priority() {
+        // One enormous reasoning request and a stream of small ones under
+        // PASCAL with a tiny demotion threshold: the big one must be flagged
+        // demoted (observable through its preemptions once small requests
+        // take priority under memory pressure).
+        let mut requests = vec![RequestSpec::new(RequestId(0), SimTime::ZERO, 64, 2000, 0)];
+        for i in 1..9 {
+            requests.push(RequestSpec::new(
+                RequestId(i),
+                secs(5.0 + 4.0 * i as f64),
+                64,
+                400,
+                0,
+            ));
+        }
+        let geometry = oracle(SchedPolicy::Fcfs).geometry();
+        let policy = SchedPolicy::pascal(PascalConfig {
+            demotion_threshold_tokens: 500,
+            ..PascalConfig::default()
+        });
+        let config = SimConfig::characterization(
+            policy,
+            KvCapacityMode::Bytes(geometry.bytes_for_tokens(2200)),
+        );
+        let out = run_simulation(&Trace::from_requests(requests), &config);
+        let big = &out.records[0];
+        assert!(
+            big.num_preemptions > 0,
+            "demoted giant should lose memory to fresh reasoning requests"
+        );
+        // Without demotion the giant reasoning request keeps strict
+        // priority within its quantum class and is preempted less.
+        let no_demotion = SchedPolicy::pascal(PascalConfig {
+            demotion_threshold_tokens: u32::MAX,
+            ..PascalConfig::default()
+        });
+        let config2 = SimConfig::characterization(
+            no_demotion,
+            KvCapacityMode::Bytes(geometry.bytes_for_tokens(2200)),
+        );
+        let out2 = run_simulation(
+            &Trace::from_requests(
+                out.records.iter().map(|r| r.spec.clone()).collect::<Vec<_>>(),
+            ),
+            &config2,
+        );
+        assert!(
+            out2.records[0].completion <= big.completion,
+            "demotion should not speed the giant up"
+        );
+    }
+
+    #[test]
+    fn warm_requests_under_pressure_queue_like_cold_ones() {
+        // Warm requests still need GPU memory for their context; with only
+        // room for one at a time they serialize.
+        let geometry = oracle(SchedPolicy::Fcfs).geometry();
+        let requests = vec![
+            RequestSpec::warm(RequestId(0), SimTime::ZERO, 1000, 100),
+            RequestSpec::warm(RequestId(1), SimTime::ZERO, 1000, 100),
+        ];
+        let config = SimConfig::characterization(
+            SchedPolicy::Fcfs,
+            KvCapacityMode::Bytes(geometry.bytes_for_tokens(1300)),
+        );
+        let out = run_simulation(&Trace::from_requests(requests), &config);
+        let a = &out.records[0];
+        let b = &out.records[1];
+        assert!(b.token_times[0] >= a.completion, "B must wait for A's memory");
+        assert!(b.blocked.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV blocks but an instance only has")]
+    fn oversized_request_rejected_at_setup() {
+        let geometry = oracle(SchedPolicy::Fcfs).geometry();
+        let requests = vec![RequestSpec::new(RequestId(0), SimTime::ZERO, 64, 5000, 0)];
+        let config = SimConfig::characterization(
+            SchedPolicy::Fcfs,
+            KvCapacityMode::Bytes(geometry.bytes_for_tokens(1000)),
+        );
+        let _ = run_simulation(&Trace::from_requests(requests), &config);
+    }
+
+    #[test]
+    fn pool_accounting_returns_to_zero() {
+        let requests: Vec<RequestSpec> = (0..15)
+            .map(|i| {
+                RequestSpec::new(RequestId(i), secs(0.2 * i as f64), 64, 200, 100)
+            })
+            .collect();
+        let trace = Trace::from_requests(requests);
+        let geometry = oracle(SchedPolicy::Fcfs).geometry();
+        for policy in [
+            SchedPolicy::Fcfs,
+            SchedPolicy::round_robin_default(),
+            SchedPolicy::pascal(PascalConfig::default()),
+        ] {
+            let config = SimConfig::characterization(
+                policy,
+                KvCapacityMode::Bytes(geometry.bytes_for_tokens(2000)),
+            );
+            let mut engine = Engine::new(&trace, &config);
+            while let Some((now, ev)) = engine.queue.pop() {
+                match ev {
+                    Event::Arrival(idx) => engine.on_arrival(idx, now),
+                    Event::IterationDone { instance } => engine.on_iteration_done(instance, now),
+                    Event::OffloadDone { req } => engine.on_offload_done(req, now),
+                    Event::ReloadDone { req } => engine.on_reload_done(req, now),
+                    Event::MigrationDone { req, to } => engine.on_migration_done(req, to, now),
+                }
+            }
+            for rt in &engine.instances {
+                assert_eq!(
+                    rt.inst.gpu.used_blocks(),
+                    0,
+                    "{}: GPU blocks leaked",
+                    policy.name()
+                );
+                assert_eq!(
+                    rt.inst.cpu.used_blocks(),
+                    0,
+                    "{}: CPU blocks leaked",
+                    policy.name()
+                );
+                assert!(rt.inst.members.is_empty(), "{}: members leaked", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn migrated_requests_account_memory_on_both_sides() {
+        let requests: Vec<RequestSpec> = (0..40)
+            .map(|i| {
+                RequestSpec::new(RequestId(i), secs(0.1 * i as f64), 64, 150, 150)
+            })
+            .collect();
+        let trace = Trace::from_requests(requests);
+        let mut config =
+            SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+        config.num_instances = 3;
+        let out = run_simulation(&trace, &config);
+        let migrated = out.records.iter().filter(|r| r.migration.is_some()).count();
+        assert!(migrated > 0, "expected at least one migration");
+        // Token streams of migrated requests never go backwards in time
+        // across the transfer gap.
+        for r in out.records.iter().filter(|r| r.migration.is_some()) {
+            let m = r.migration.expect("checked");
+            let boundary = r.phase_transition_time().expect("transitioned");
+            assert!(m.started >= boundary);
+            let first_answer = r.first_answer_time().expect("answers");
+            assert!(first_answer >= m.finished, "answer before KV arrived");
+        }
+    }
+}

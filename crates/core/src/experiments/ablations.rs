@@ -1,0 +1,239 @@
+//! Design-choice ablations beyond the paper's figures.
+//!
+//! The paper fixes the token quantum at 500 and the demotion threshold at
+//! 5000 tokens (§V-A) without sweeping them, and leaves heterogeneous
+//! hardware to future work (§VII). These experiments quantify those
+//! choices on the calibrated high-rate workloads.
+
+use pascal_metrics::{
+    percentile, slo_violation_rate, LatencySummary, QoeParams, SLO_QOE_THRESHOLD,
+};
+use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_workload::{DatasetMix, DatasetProfile};
+
+use crate::config::{RateLevel, SimConfig};
+use crate::engine::run_simulation;
+use crate::experiments::common::evaluation_trace;
+
+/// One configuration point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The swept value (quantum tokens, threshold tokens, …).
+    pub value: u64,
+    /// Mean TTFT in seconds.
+    pub mean_ttft_s: f64,
+    /// P99 TTFT in seconds.
+    pub p99_ttft_s: f64,
+    /// SLO violation rate.
+    pub slo_violation: f64,
+    /// Mean preemptions per request.
+    pub preemptions_per_request: f64,
+}
+
+/// Sweep parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepParams {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams {
+            count: 1500,
+            seed: 2026,
+        }
+    }
+}
+
+fn summarize(value: u64, output: &crate::engine::SimOutput) -> SweepRow {
+    let ttft = LatencySummary::from_values(
+        output
+            .records
+            .iter()
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+    )
+    .expect("non-empty run");
+    let preemptions: u32 = output.records.iter().map(|r| r.num_preemptions).sum();
+    SweepRow {
+        value,
+        mean_ttft_s: ttft.mean,
+        p99_ttft_s: ttft.p99,
+        slo_violation: slo_violation_rate(
+            &output.records,
+            &QoeParams::paper_eval(),
+            SLO_QOE_THRESHOLD,
+        ),
+        preemptions_per_request: f64::from(preemptions) / output.records.len() as f64,
+    }
+}
+
+/// Sweeps PASCAL's per-queue token quantum on the Arena-Hard high-rate
+/// trace (paper default: 500).
+#[must_use]
+pub fn quantum_sweep(params: SweepParams) -> Vec<SweepRow> {
+    let mix = DatasetMix::single(DatasetProfile::arena_hard());
+    let trace = evaluation_trace(&mix, RateLevel::High, params.count, params.seed);
+    [125u32, 250, 500, 1000, 2000]
+        .into_iter()
+        .map(|quantum| {
+            let policy = SchedPolicy::pascal(PascalConfig {
+                quantum,
+                ..PascalConfig::default()
+            });
+            let config = SimConfig::evaluation_cluster(policy);
+            summarize(u64::from(quantum), &run_simulation(&trace, &config))
+        })
+        .collect()
+}
+
+/// Sweeps PASCAL's conditional-demotion threshold on the mixed
+/// reasoning-heavy trace, where multi-thousand-token reasoning requests
+/// actually trip it (paper default: 5000).
+#[must_use]
+pub fn demotion_sweep(params: SweepParams) -> Vec<SweepRow> {
+    let mix = DatasetMix::arena_with_reasoning_heavy();
+    let trace = evaluation_trace(&mix, RateLevel::High, params.count, params.seed);
+    [1_000u32, 2_500, 5_000, 10_000, u32::MAX]
+        .into_iter()
+        .map(|threshold| {
+            let policy = SchedPolicy::pascal(PascalConfig {
+                demotion_threshold_tokens: threshold,
+                ..PascalConfig::default()
+            });
+            let config = SimConfig::evaluation_cluster(policy);
+            summarize(u64::from(threshold), &run_simulation(&trace, &config))
+        })
+        .collect()
+}
+
+/// Hardware-sensitivity row: the same trace served by different GPUs.
+#[derive(Clone, Debug)]
+pub struct HardwareRow {
+    /// GPU name.
+    pub gpu: String,
+    /// Mean TTFT in seconds.
+    pub mean_ttft_s: f64,
+    /// P99 TTFT in seconds.
+    pub p99_ttft_s: f64,
+    /// SLO violation rate.
+    pub slo_violation: f64,
+    /// Serving throughput (tokens/s).
+    pub throughput: f64,
+}
+
+/// Serves the same AlpacaEval2.0 trace (rated for the H100 cluster) on
+/// H100-96GB and A100-80GB clusters under PASCAL — a §VII-flavoured
+/// sensitivity study: the weaker, smaller-memory GPU amplifies every
+/// pressure effect.
+#[must_use]
+pub fn hardware_comparison(params: SweepParams) -> Vec<HardwareRow> {
+    let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
+    let trace = evaluation_trace(&mix, RateLevel::Medium, params.count, params.seed);
+    [
+        pascal_model::GpuSpec::h100_96gb(),
+        pascal_model::GpuSpec::a100_80gb(),
+    ]
+    .into_iter()
+    .map(|gpu| {
+        let mut config =
+            SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+        config.gpu = gpu.clone();
+        let output = run_simulation(&trace, &config);
+        let ttft = LatencySummary::from_values(
+            output
+                .records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        )
+        .expect("non-empty run");
+        HardwareRow {
+            gpu: gpu.name,
+            mean_ttft_s: ttft.mean,
+            p99_ttft_s: ttft.p99,
+            slo_violation: slo_violation_rate(
+                &output.records,
+                &QoeParams::paper_eval(),
+                SLO_QOE_THRESHOLD,
+            ),
+            throughput: pascal_metrics::throughput_tokens_per_s(&output.records),
+        }
+    })
+    .collect()
+}
+
+/// P99 blocking latency across quanta, exposing the trade-off between
+/// fairness granularity and transfer churn.
+#[must_use]
+pub fn quantum_blocking_profile(params: SweepParams) -> Vec<(u32, f64)> {
+    let mix = DatasetMix::arena_with_reasoning_heavy();
+    let trace = evaluation_trace(&mix, RateLevel::High, params.count, params.seed);
+    [250u32, 500, 1000]
+        .into_iter()
+        .map(|quantum| {
+            let policy = SchedPolicy::pascal(PascalConfig {
+                quantum,
+                ..PascalConfig::default()
+            });
+            let config = SimConfig::evaluation_cluster(policy);
+            let output = run_simulation(&trace, &config);
+            let mut blocking: Vec<f64> = output
+                .records
+                .iter()
+                .filter_map(|r| r.blocking_latency().map(|d| d.as_secs_f64()))
+                .collect();
+            blocking.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let p99 = if blocking.is_empty() {
+                0.0
+            } else {
+                percentile(&blocking, 99.0)
+            };
+            (quantum, p99)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SweepParams {
+        SweepParams {
+            count: 150,
+            seed: 71,
+        }
+    }
+
+    #[test]
+    fn quantum_sweep_covers_all_points() {
+        let rows = quantum_sweep(small());
+        assert_eq!(rows.len(), 5);
+        assert!(rows.windows(2).all(|w| w[0].value < w[1].value));
+        for r in &rows {
+            assert!(r.mean_ttft_s > 0.0);
+            assert!((0.0..=1.0).contains(&r.slo_violation));
+        }
+    }
+
+    #[test]
+    fn demotion_sweep_includes_disabled_point() {
+        let rows = demotion_sweep(small());
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.last().expect("rows").value, u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn weaker_gpu_serves_strictly_worse() {
+        let rows = hardware_comparison(small());
+        assert_eq!(rows.len(), 2);
+        let (h100, a100) = (&rows[0], &rows[1]);
+        assert!(
+            a100.mean_ttft_s > h100.mean_ttft_s,
+            "A100 ({:.1}s) should be slower than H100 ({:.1}s)",
+            a100.mean_ttft_s,
+            h100.mean_ttft_s
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Shared experiment plumbing: trace construction, policy matrices and the
+//! characterization memory-capacity protocol.
+
+use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_workload::{ArrivalProcess, DatasetMix, Trace, TraceBuilder};
+
+use crate::config::{KvCapacityMode, RateLevel, SimConfig};
+use crate::engine::{run_simulation, SimOutput};
+
+/// The three schedulers of the main evaluation (§V-A).
+#[must_use]
+pub fn main_policies() -> Vec<SchedPolicy> {
+    vec![
+        SchedPolicy::Fcfs,
+        SchedPolicy::round_robin_default(),
+        SchedPolicy::pascal(PascalConfig::default()),
+    ]
+}
+
+/// PASCAL with migration disabled — Fig. 13's ablation.
+#[must_use]
+pub fn pascal_no_migration() -> SchedPolicy {
+    SchedPolicy::pascal(PascalConfig {
+        migration_enabled: false,
+        ..PascalConfig::default()
+    })
+}
+
+/// PASCAL with the adaptive override disabled — Fig. 15's ablation.
+#[must_use]
+pub fn pascal_non_adaptive() -> SchedPolicy {
+    SchedPolicy::pascal(PascalConfig {
+        adaptive_migration: false,
+        ..PascalConfig::default()
+    })
+}
+
+/// Builds an evaluation trace for `mix` at a paper-style rate level on the
+/// standard eight-instance cluster.
+#[must_use]
+pub fn evaluation_trace(mix: &DatasetMix, level: RateLevel, count: usize, seed: u64) -> Trace {
+    let reference = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let rate = level.rate_rps(&reference, mix);
+    TraceBuilder::new(mix.clone())
+        .arrivals(ArrivalProcess::poisson(rate))
+        .count(count)
+        .seed(seed)
+        .build()
+}
+
+/// Runs `trace` on the evaluation cluster under `policy`.
+#[must_use]
+pub fn run_cluster(trace: &Trace, policy: SchedPolicy) -> SimOutput {
+    let config = SimConfig::evaluation_cluster(policy);
+    run_simulation(trace, &config)
+}
+
+/// One cell of the main-evaluation matrix (dataset × arrival rate ×
+/// scheduler).
+#[derive(Clone, Debug)]
+pub struct EvalRun {
+    /// Dataset (mix) name.
+    pub dataset: String,
+    /// Arrival-rate level.
+    pub level: RateLevel,
+    /// Scheduler name.
+    pub policy_name: String,
+    /// The simulation result.
+    pub output: SimOutput,
+}
+
+/// Runs every `(mix, level, policy)` combination on the evaluation cluster.
+/// The trace for a given `(mix, level)` is shared across policies so the
+/// comparison is paired, as in the paper.
+#[must_use]
+pub fn run_matrix(
+    mixes: &[(&str, DatasetMix)],
+    levels: &[RateLevel],
+    policies: &[SchedPolicy],
+    count: usize,
+    seed: u64,
+) -> Vec<EvalRun> {
+    let mut runs = Vec::new();
+    for (name, mix) in mixes {
+        for &level in levels {
+            let trace = evaluation_trace(mix, level, count, seed);
+            for &policy in policies {
+                runs.push(EvalRun {
+                    dataset: (*name).to_owned(),
+                    level,
+                    policy_name: policy.name().to_owned(),
+                    output: run_cluster(&trace, policy),
+                });
+            }
+        }
+    }
+    runs
+}
+
+/// The §III-A characterization protocol: run the single-instance oracle
+/// (unbounded memory) to find peak KV demand, then cap memory at
+/// `fraction` of that peak for the constrained policies.
+///
+/// Returns `(oracle_output, constrained_capacity_bytes)`.
+#[must_use]
+pub fn characterization_capacity(trace: &Trace, fraction: f64) -> (SimOutput, u64) {
+    let oracle = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited);
+    let out = run_simulation(trace, &oracle);
+    let peak = out
+        .peak_gpu_kv_bytes
+        .iter()
+        .copied()
+        .max()
+        .expect("at least one instance");
+    let capacity = ((peak as f64) * fraction) as u64;
+    (out, capacity)
+}
+
+/// Runs `trace` on a single memory-capped instance under `policy`.
+#[must_use]
+pub fn run_characterization(trace: &Trace, policy: SchedPolicy, capacity_bytes: u64) -> SimOutput {
+    let config = SimConfig::characterization(policy, KvCapacityMode::Bytes(capacity_bytes));
+    run_simulation(trace, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascal_workload::fig04_reasoning_trace;
+
+    #[test]
+    fn policy_matrix_names() {
+        let names: Vec<&str> = main_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["FCFS", "RR", "PASCAL"]);
+        assert_eq!(pascal_no_migration().name(), "PASCAL(NoMigration)");
+        assert_eq!(pascal_non_adaptive().name(), "PASCAL(NonAdaptive)");
+    }
+
+    #[test]
+    fn characterization_capacity_halves_peak() {
+        let trace = fig04_reasoning_trace(20, 2.0, 7);
+        let (oracle, cap) = characterization_capacity(&trace, 0.5);
+        assert_eq!(oracle.records.len(), 20);
+        let peak = *oracle.peak_gpu_kv_bytes.iter().max().unwrap();
+        assert!(peak > 0);
+        assert_eq!(cap, peak / 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 5 — answering-phase latency breakdown and SLO attainment.
+//!
+//! 300 *warm* requests (prefill + reasoning KV of 128 tokens already built)
+//! generate answering lengths drawn from `{128, …, 2048}` on a single
+//! memory-capped instance. Besides the latency breakdown, the figure
+//! reports SLO attainment with the characterization QoE (target TTFAT
+//! 0.25 s, target TPOT 100 ms, violation below 0.95).
+
+use pascal_metrics::{answering_qoe, breakdown_by, QoeParams, SLO_QOE_THRESHOLD};
+use pascal_sched::SchedPolicy;
+use pascal_workload::fig05_answering_trace;
+
+use crate::experiments::common::{characterization_capacity, run_characterization};
+
+/// One group × policy cell of Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Fig05Row {
+    /// Scheduler name.
+    pub policy: String,
+    /// Answering token count of the group (x-axis).
+    pub answering_tokens: u32,
+    /// Mean seconds actively executing.
+    pub executed_s: f64,
+    /// Mean seconds blocked before first execution.
+    pub blocked_s: f64,
+    /// Mean seconds suspended after first execution.
+    pub preempted_s: f64,
+    /// Mean total answering-phase latency.
+    pub total_s: f64,
+    /// Fraction of requests meeting the QoE ≥ 0.95 SLO (Fig. 5(b)).
+    pub slo_attainment: f64,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig05Params {
+    /// Number of requests (paper: 300).
+    pub count: usize,
+    /// Poisson arrival rate in req/s.
+    pub rate: f64,
+    /// Memory cap as a fraction of oracle peak (paper: 0.5).
+    pub memory_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig05Params {
+    fn default() -> Self {
+        Fig05Params {
+            count: 300,
+            rate: 3.0,
+            memory_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the experiment; rows ordered by token count then policy.
+#[must_use]
+pub fn run(params: Fig05Params) -> Vec<Fig05Row> {
+    let trace = fig05_answering_trace(params.count, params.rate, params.seed);
+    let (oracle_out, capacity) = characterization_capacity(&trace, params.memory_fraction);
+    let fcfs_out = run_characterization(&trace, SchedPolicy::Fcfs, capacity);
+    let rr_out = run_characterization(&trace, SchedPolicy::round_robin_default(), capacity);
+
+    let qoe_params = QoeParams::characterization();
+    let mut rows = Vec::new();
+    for (name, out) in [
+        ("Oracle", &oracle_out),
+        ("FCFS", &fcfs_out),
+        ("RR", &rr_out),
+    ] {
+        let groups = breakdown_by(&out.records, |r| r.spec.answering_tokens);
+        for (&tokens, b) in &groups {
+            let in_group: Vec<_> = out
+                .records
+                .iter()
+                .filter(|r| r.spec.answering_tokens == tokens)
+                .collect();
+            let attained = in_group
+                .iter()
+                .filter(|r| {
+                    answering_qoe(r, &qoe_params)
+                        .is_some_and(|q| q >= SLO_QOE_THRESHOLD)
+                })
+                .count();
+            rows.push(Fig05Row {
+                policy: name.to_owned(),
+                answering_tokens: tokens,
+                executed_s: b.executed_s,
+                blocked_s: b.blocked_s,
+                preempted_s: b.preempted_s,
+                total_s: b.total_s(),
+                slo_attainment: attained as f64 / in_group.len() as f64,
+            });
+        }
+    }
+    rows.sort_by_key(|r| r.answering_tokens);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Fig05Params {
+        Fig05Params {
+            count: 120,
+            rate: 3.0,
+            memory_fraction: 0.5,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn oracle_attains_slo_everywhere() {
+        let rows = run(small_params());
+        for row in rows.iter().filter(|r| r.policy == "Oracle") {
+            assert!(
+                row.slo_attainment > 0.99,
+                "oracle should attain SLO at {} tokens, got {:.2}",
+                row.answering_tokens,
+                row.slo_attainment
+            );
+        }
+    }
+
+    #[test]
+    fn rr_attainment_at_least_matches_fcfs_on_average() {
+        // §III-B: time-sharing preserves answering-phase SLOs; blocking
+        // (FCFS) hurts them.
+        let rows = run(small_params());
+        let mean = |name: &str| {
+            let xs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.policy == name)
+                .map(|r| r.slo_attainment)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let (rr, fcfs) = (mean("RR"), mean("FCFS"));
+        assert!(
+            rr + 1e-9 >= fcfs,
+            "RR ({rr:.3}) should not trail FCFS ({fcfs:.3}) on answering SLOs"
+        );
+    }
+
+    #[test]
+    fn five_groups_three_policies() {
+        let rows = run(small_params());
+        assert_eq!(rows.len(), 15);
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 8 / Fig. 14 — reasoning and answering token-count distributions.
+//!
+//! Fig. 8 shows the two chat traces (AlpacaEval2.0, Arena-Hard), Fig. 14
+//! the three reasoning-heavy benchmarks (MATH-500, GPQA, LiveCodeBench).
+//! Both are density histograms annotated with the distribution means; this
+//! module samples the fitted profiles and reports the same statistics.
+
+use pascal_metrics::Histogram;
+use pascal_sim::SimRng;
+use pascal_workload::DatasetProfile;
+
+/// Distribution statistics of one dataset × phase.
+#[derive(Clone, Debug)]
+pub struct DistRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// "reasoning" or "answering".
+    pub phase: String,
+    /// Mean the paper publishes for this distribution.
+    pub paper_mean: f64,
+    /// Empirical mean of the sampled histogram.
+    pub sampled_mean: f64,
+    /// Empirical standard deviation.
+    pub sampled_std: f64,
+    /// Density histogram (paper bin width: ~250 tokens).
+    pub histogram: Histogram,
+}
+
+/// Samples `count` requests from each profile and builds both phase
+/// histograms per dataset.
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], count: usize, seed: u64) -> Vec<DistRow> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut rows = Vec::new();
+    for profile in profiles {
+        let mut dataset_rng = rng.split(profile.name.len() as u64);
+        let mut reasoning = Vec::with_capacity(count);
+        let mut answering = Vec::with_capacity(count);
+        for _ in 0..count {
+            reasoning.push(f64::from(profile.reasoning.sample(&mut dataset_rng)));
+            answering.push(f64::from(profile.answering.sample(&mut dataset_rng)));
+        }
+        for (phase, samples, paper_mean) in [
+            ("reasoning", reasoning, profile.reasoning.mean()),
+            ("answering", answering, profile.answering.mean()),
+        ] {
+            let histogram = Histogram::from_samples(&samples, 250.0);
+            rows.push(DistRow {
+                dataset: profile.name.clone(),
+                phase: phase.to_owned(),
+                paper_mean,
+                sampled_mean: histogram.mean(),
+                sampled_std: histogram.std_dev(),
+                histogram,
+            });
+        }
+    }
+    rows
+}
+
+/// The Fig. 8 datasets.
+#[must_use]
+pub fn fig08_profiles() -> Vec<DatasetProfile> {
+    vec![DatasetProfile::alpaca_eval2(), DatasetProfile::arena_hard()]
+}
+
+/// The Fig. 14 datasets.
+#[must_use]
+pub fn fig14_profiles() -> Vec<DatasetProfile> {
+    DatasetProfile::reasoning_heavy_suite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_means_track_paper_means() {
+        let rows = run(&fig08_profiles(), 50_000, 3);
+        for row in &rows {
+            let rel = (row.sampled_mean - row.paper_mean).abs() / row.paper_mean;
+            assert!(
+                rel < 0.05,
+                "{} {}: sampled {} vs paper {}",
+                row.dataset,
+                row.phase,
+                row.sampled_mean,
+                row.paper_mean
+            );
+        }
+    }
+
+    #[test]
+    fn reasoning_heavy_suite_is_reasoning_dominated() {
+        let rows = run(&fig14_profiles(), 20_000, 4);
+        for pair in rows.chunks(2) {
+            let (reasoning, answering) = (&pair[0], &pair[1]);
+            assert!(
+                reasoning.sampled_mean > 2.0 * answering.sampled_mean,
+                "{}: reasoning {} not >> answering {}",
+                reasoning.dataset,
+                reasoning.sampled_mean,
+                answering.sampled_mean
+            );
+        }
+    }
+
+    #[test]
+    fn two_rows_per_dataset() {
+        let rows = run(&fig08_profiles(), 100, 5);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.histogram.count() == 100));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 9 — absolute TTFT versus reasoning-token length across arrival
+//! rates and schedulers (AlpacaEval2.0 and Arena-Hard, 8-instance cluster).
+//!
+//! The paper plots the raw scatter; this module returns both the scatter
+//! points and per-cell summaries (mean/P50/P95/P99/max TTFT seconds).
+
+use pascal_metrics::LatencySummary;
+use pascal_workload::{DatasetMix, DatasetProfile};
+
+use crate::config::RateLevel;
+use crate::experiments::common::{main_policies, run_matrix, EvalRun};
+
+/// Summary of one dataset × rate × policy cell.
+#[derive(Clone, Debug)]
+pub struct Fig09Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Arrival-rate level.
+    pub level: RateLevel,
+    /// Scheduler name.
+    pub policy: String,
+    /// TTFT summary in seconds over all requests.
+    pub ttft: LatencySummary,
+    /// The raw `(reasoning_tokens, ttft_seconds)` scatter of the figure.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig09Params {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig09Params {
+    fn default() -> Self {
+        Fig09Params {
+            count: 2500,
+            seed: 2026,
+        }
+    }
+}
+
+/// Extracts the `(reasoning length, TTFT)` scatter from a run.
+#[must_use]
+pub fn scatter(run: &EvalRun) -> Vec<(u32, f64)> {
+    run.output
+        .records
+        .iter()
+        .filter_map(|r| {
+            r.ttft()
+                .map(|t| (r.spec.reasoning_tokens, t.as_secs_f64()))
+        })
+        .collect()
+}
+
+/// Runs the full Fig. 9 matrix: 2 datasets × 3 rates × 3 schedulers.
+#[must_use]
+pub fn run(params: Fig09Params) -> Vec<Fig09Row> {
+    let mixes = [
+        (
+            "AlpacaEval2.0",
+            DatasetMix::single(DatasetProfile::alpaca_eval2()),
+        ),
+        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+    ];
+    run_matrix(
+        &mixes,
+        &RateLevel::ALL,
+        &main_policies(),
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| {
+        let points = scatter(&run);
+        let ttft = LatencySummary::from_values(points.iter().map(|(_, t)| *t))
+            .expect("every request answers");
+        Fig09Row {
+            dataset: run.dataset,
+            level: run.level,
+            policy: run.policy_name,
+            ttft,
+            points,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_has_expected_cells_and_ordering() {
+        let rows = run(Fig09Params {
+            count: 60,
+            seed: 5,
+        });
+        assert_eq!(rows.len(), 2 * 3 * 3);
+        for row in &rows {
+            assert_eq!(row.ttft.count, 60);
+            assert!(row.ttft.mean > 0.0);
+            assert!(!row.points.is_empty());
+        }
+    }
+}

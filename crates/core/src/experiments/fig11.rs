@@ -1,0 +1,98 @@
+//! Fig. 11 — answering-phase SLO violation rates across arrival rates.
+//!
+//! A request violates its SLO when the evaluation QoE (computed from TPOT
+//! only, starting at the first answering token — §V-A "Metric") falls below
+//! 0.95.
+
+use pascal_metrics::{slo_violation_rate, QoeParams, SLO_QOE_THRESHOLD};
+use pascal_workload::{DatasetMix, DatasetProfile};
+
+use crate::config::RateLevel;
+use crate::experiments::common::{main_policies, run_matrix};
+
+/// One bar of Fig. 11.
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Arrival-rate level.
+    pub level: RateLevel,
+    /// Scheduler name.
+    pub policy: String,
+    /// Fraction of requests with QoE below 0.95.
+    pub violation_rate: f64,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig11Params {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Params {
+    fn default() -> Self {
+        Fig11Params {
+            count: 2500,
+            seed: 2026,
+        }
+    }
+}
+
+/// Runs the 2 × 3 × 3 violation-rate matrix.
+#[must_use]
+pub fn run(params: Fig11Params) -> Vec<Fig11Row> {
+    let mixes = [
+        (
+            "AlpacaEval2.0",
+            DatasetMix::single(DatasetProfile::alpaca_eval2()),
+        ),
+        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+    ];
+    let qoe = QoeParams::paper_eval();
+    run_matrix(
+        &mixes,
+        &RateLevel::ALL,
+        &main_policies(),
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| Fig11Row {
+        violation_rate: slo_violation_rate(&run.output.records, &qoe, SLO_QOE_THRESHOLD),
+        dataset: run.dataset,
+        level: run.level,
+        policy: run.policy_name,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_probabilities_and_grow_with_load() {
+        let rows = run(Fig11Params {
+            count: 150,
+            seed: 21,
+        });
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.violation_rate));
+        }
+        // Averaged over datasets and policies, high load violates at least
+        // as much as low load.
+        let mean_at = |level: RateLevel| {
+            let xs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.level == level)
+                .map(|r| r.violation_rate)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean_at(RateLevel::High) >= mean_at(RateLevel::Low));
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 12 — serving throughput across arrival rates.
+//!
+//! Throughput counts *all* generated tokens (reasoning + answering) over
+//! the makespan. The paper's claim: PASCAL stays within ~3% of both
+//! baselines — phase-aware scheduling buys its latency wins without
+//! sacrificing throughput.
+
+use pascal_metrics::throughput_tokens_per_s;
+use pascal_workload::{DatasetMix, DatasetProfile};
+
+use crate::config::RateLevel;
+use crate::experiments::common::{main_policies, run_matrix};
+
+/// One bar of Fig. 12.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Arrival-rate level.
+    pub level: RateLevel,
+    /// Scheduler name.
+    pub policy: String,
+    /// Serving throughput in tokens/second.
+    pub throughput: f64,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig12Params {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig12Params {
+    fn default() -> Self {
+        Fig12Params {
+            count: 2500,
+            seed: 2026,
+        }
+    }
+}
+
+/// Runs the 2 × 3 × 3 throughput matrix.
+#[must_use]
+pub fn run(params: Fig12Params) -> Vec<Fig12Row> {
+    let mixes = [
+        (
+            "AlpacaEval2.0",
+            DatasetMix::single(DatasetProfile::alpaca_eval2()),
+        ),
+        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+    ];
+    run_matrix(
+        &mixes,
+        &RateLevel::ALL,
+        &main_policies(),
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| Fig12Row {
+        throughput: throughput_tokens_per_s(&run.output.records),
+        dataset: run.dataset,
+        level: run.level,
+        policy: run.policy_name,
+    })
+    .collect()
+}
+
+/// Maximum relative throughput gap of PASCAL versus the best baseline in
+/// each (dataset, level) cell — the paper's "within 3%" check.
+#[must_use]
+pub fn max_pascal_throughput_gap(rows: &[Fig12Row]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for r in rows.iter().filter(|r| r.policy == "PASCAL") {
+        let best_baseline = rows
+            .iter()
+            .filter(|b| {
+                b.dataset == r.dataset && b.level == r.level && b.policy != "PASCAL"
+            })
+            .map(|b| b.throughput)
+            .fold(0.0f64, f64::max);
+        if best_baseline > 0.0 {
+            worst = worst.max(1.0 - r.throughput / best_baseline);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_offered_load() {
+        let rows = run(Fig12Params {
+            count: 150,
+            seed: 22,
+        });
+        assert_eq!(rows.len(), 18);
+        for dataset in ["AlpacaEval2.0", "Arena-Hard"] {
+            let mean_at = |level: RateLevel| {
+                let xs: Vec<f64> = rows
+                    .iter()
+                    .filter(|r| r.dataset == dataset && r.level == level)
+                    .map(|r| r.throughput)
+                    .collect();
+                xs.iter().sum::<f64>() / xs.len() as f64
+            };
+            assert!(
+                mean_at(RateLevel::High) > mean_at(RateLevel::Low),
+                "{dataset}: more offered load should raise throughput"
+            );
+        }
+    }
+
+    #[test]
+    fn pascal_throughput_is_competitive() {
+        let rows = run(Fig12Params {
+            count: 200,
+            seed: 23,
+        });
+        let gap = max_pascal_throughput_gap(&rows);
+        assert!(
+            gap < 0.15,
+            "PASCAL throughput gap vs baselines too large: {:.1}%",
+            gap * 100.0
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 16 — reasoning-heavy mixed trace.
+//!
+//! 50% of the Arena-Hard trace is replaced by requests sampled uniformly
+//! from MATH-500, GPQA and LiveCodeBench (long reasoning, short answers —
+//! Fig. 14). With little answering-phase contention, PASCAL's advantage
+//! over RR shrinks (RR's implicit hierarchy already favours reasoning), but
+//! it still cuts tail TTFT sharply versus FCFS and stays competitive
+//! elsewhere.
+
+use pascal_metrics::{
+    slo_violation_rate, tail_by_token_bins, BinTail, LatencySummary, QoeParams,
+    SLO_QOE_THRESHOLD,
+};
+use pascal_workload::DatasetMix;
+
+use crate::config::RateLevel;
+use crate::experiments::common::{main_policies, run_matrix};
+use crate::experiments::fig09::scatter;
+
+/// One policy's results on the mixed trace at high rate.
+#[derive(Clone, Debug)]
+pub struct Fig16Row {
+    /// Scheduler name.
+    pub policy: String,
+    /// TTFT summary in seconds (Fig. 16(a)).
+    pub ttft: LatencySummary,
+    /// SLO violation rate (§V-D text).
+    pub slo_violation: f64,
+    /// Tail TTFT per 256-token reasoning bin (Fig. 16(b)).
+    pub tail_bins: Vec<BinTail>,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig16Params {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig16Params {
+    fn default() -> Self {
+        Fig16Params {
+            count: 2500,
+            seed: 2026,
+        }
+    }
+}
+
+/// Runs the mixed trace under the high arrival rate for all schedulers.
+#[must_use]
+pub fn run(params: Fig16Params) -> Vec<Fig16Row> {
+    let mixes = [(
+        "Arena-Hard + reasoning-heavy",
+        DatasetMix::arena_with_reasoning_heavy(),
+    )];
+    let qoe = QoeParams::paper_eval();
+    run_matrix(
+        &mixes,
+        &[RateLevel::High],
+        &main_policies(),
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| {
+        let points = scatter(&run);
+        Fig16Row {
+            ttft: LatencySummary::from_values(points.iter().map(|(_, t)| *t))
+                .expect("non-empty run"),
+            slo_violation: slo_violation_rate(&run.output.records, &qoe, SLO_QOE_THRESHOLD),
+            tail_bins: tail_by_token_bins(points, 256),
+            policy: run.policy_name,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_policies_present() {
+        let rows = run(Fig16Params {
+            count: 150,
+            seed: 51,
+        });
+        let names: Vec<&str> = rows.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(names, vec!["FCFS", "RR", "PASCAL"]);
+        for r in &rows {
+            assert!(!r.tail_bins.is_empty());
+            assert!((0.0..=1.0).contains(&r.slo_violation));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes a `run(...)` entry point returning printable row
+//! structs, and the corresponding bench target in `pascal-bench` renders
+//! them with [`crate::report::render_table`]. The mapping from paper figure
+//! to module is the per-experiment index in `DESIGN.md` §5.
+
+pub mod ablations;
+pub mod common;
+pub mod fig04;
+pub mod fig05;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod kv_overhead;

@@ -1,0 +1,47 @@
+//! # pascal-core — the PASCAL serving engine and experiment harness
+//!
+//! This crate ties the whole reproduction together:
+//!
+//! * [`SimConfig`] / [`KvCapacityMode`] / [`RateLevel`] — deployment
+//!   descriptions matching the paper's characterization testbed (§III-A)
+//!   and eight-instance evaluation cluster (§V-A), plus the analytic
+//!   arrival-rate calibration;
+//! * [`run_simulation`] — the iteration-level multi-instance discrete-event
+//!   engine implementing vLLM-style continuous batching, blocking,
+//!   PCIe preemption, phase detection and fabric migration;
+//! * [`experiments`] — one module per table/figure of the paper's
+//!   evaluation, each returning printable row structs (see `DESIGN.md` §5
+//!   for the experiment index);
+//! * [`report`] — plain-text table rendering shared by the benches.
+//!
+//! # Examples
+//!
+//! Run a small trace under PASCAL and inspect TTFT:
+//!
+//! ```
+//! use pascal_core::{run_simulation, KvCapacityMode, SimConfig};
+//! use pascal_sched::{PascalConfig, SchedPolicy};
+//! use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+//!
+//! let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+//!     .arrivals(ArrivalProcess::poisson(2.0))
+//!     .count(20)
+//!     .seed(1)
+//!     .build();
+//! let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+//! config.num_instances = 2;
+//! let out = run_simulation(&trace, &config);
+//! assert_eq!(out.records.len(), 20);
+//! assert!(out.records.iter().all(|r| r.ttft().is_some()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+pub mod experiments;
+pub mod report;
+
+pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
+pub use engine::{run_simulation, SimOutput};

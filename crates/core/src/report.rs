@@ -1,0 +1,169 @@
+//! Plain-text table rendering for the figure-regeneration benches.
+
+/// Renders rows as a fixed-width text table with a header rule.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_core::report::render_table;
+///
+/// let table = render_table(
+///     &["policy", "ttft"],
+///     &[vec!["FCFS".into(), "12.3".into()], vec!["PASCAL".into(), "4.5".into()]],
+/// );
+/// assert!(table.contains("PASCAL"));
+/// assert!(table.lines().count() >= 4);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}", cell, width = widths[i] + 2));
+        }
+        line.trim_end().to_owned() + "\n"
+    };
+    out.push_str(&render_row(headers.to_vec()));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2))
+    ));
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect()));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats seconds with two decimals.
+#[must_use]
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long_header"],
+            &[vec!["xxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows start their second column at the same offset.
+        let off = lines[0].find("long_header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), off);
+        assert_eq!(lines[3].find('2').unwrap(), off);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(secs(1.5), "1.50s");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["only one".into()]]);
+    }
+}
+
+/// Serializes request records as CSV (one row per request) for offline
+/// analysis/plotting. Columns cover every metric the paper reports.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_core::report::records_csv;
+///
+/// let csv = records_csv(&[]);
+/// assert!(csv.starts_with("request_id,arrival_s"));
+/// ```
+#[must_use]
+pub fn records_csv(records: &[pascal_metrics::RequestRecord]) -> String {
+    let mut out = String::from(
+        "request_id,arrival_s,prompt_tokens,reasoning_tokens,answering_tokens,\
+         warm_start,completion_s,ttft_s,ttfat_s,reasoning_latency_s,\
+         answering_latency_s,e2e_s,executed_s,blocked_s,preempted_s,\
+         num_preemptions,migrated,instances_visited\n",
+    );
+    let fmt_opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:.6}"));
+    for r in records {
+        let visited = r
+            .instances_visited
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        out.push_str(&format!(
+            "{},{:.6},{},{},{},{},{:.6},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{}\n",
+            r.spec.id.0,
+            r.spec.arrival.as_secs_f64(),
+            r.spec.prompt_tokens,
+            r.spec.reasoning_tokens,
+            r.spec.answering_tokens,
+            r.spec.warm_start,
+            r.completion.as_secs_f64(),
+            fmt_opt(r.ttft().map(|d| d.as_secs_f64())),
+            fmt_opt(r.ttfat().map(|d| d.as_secs_f64())),
+            fmt_opt(r.reasoning_latency().map(|d| d.as_secs_f64())),
+            fmt_opt(r.answering_latency().map(|d| d.as_secs_f64())),
+            r.e2e_latency().as_secs_f64(),
+            r.executed.as_secs_f64(),
+            r.blocked.as_secs_f64(),
+            r.preempted.as_secs_f64(),
+            r.num_preemptions,
+            r.migration.is_some(),
+            visited,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::records_csv;
+    use crate::config::KvCapacityMode;
+    use crate::engine::run_simulation;
+    use crate::SimConfig;
+    use pascal_sched::SchedPolicy;
+    use pascal_sim::SimTime;
+    use pascal_workload::{RequestId, RequestSpec, Trace};
+
+    #[test]
+    fn csv_has_one_row_per_request_plus_header() {
+        let trace = Trace::from_requests(vec![
+            RequestSpec::new(RequestId(0), SimTime::ZERO, 64, 10, 5),
+            RequestSpec::new(RequestId(1), SimTime::from_secs_f64(1.0), 64, 5, 0),
+        ]);
+        let config = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited);
+        let out = run_simulation(&trace, &config);
+        let csv = records_csv(&out.records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header_cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_cols, "ragged row: {row}");
+        }
+        // The reasoning-only request has empty TTFT/TTFAT/answering columns.
+        assert!(lines[2].contains(",,"));
+    }
+}

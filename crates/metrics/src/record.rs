@@ -1,0 +1,302 @@
+//! Per-request measurement records.
+//!
+//! The serving engine emits one [`RequestRecord`] per completed request,
+//! holding every timestamp the paper's metrics need: token generation times,
+//! the phase boundary, wait-time decomposition (executed / blocked /
+//! preempted, as in Fig. 4/5), migration details (§V-C) and the
+//! post-transition scheduling gap ("blocking latency", Fig. 13(c)).
+
+use pascal_sim::{SimDuration, SimTime};
+use pascal_workload::RequestSpec;
+
+/// One KV-cache migration performed at a phase boundary (§IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MigrationRecord {
+    /// Source instance index.
+    pub from_instance: u32,
+    /// Destination instance index.
+    pub to_instance: u32,
+    /// When the transfer entered the fabric queue.
+    pub started: SimTime,
+    /// When the KV cache finished landing on the destination.
+    pub finished: SimTime,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl MigrationRecord {
+    /// End-to-end transfer latency including fabric queueing.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.started)
+    }
+}
+
+/// Complete measurement record of one served request.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestRecord {
+    /// The request as specified in the trace.
+    pub spec: RequestSpec,
+    /// Generation time of every output token, reasoning tokens first.
+    /// `token_times[spec.reasoning_tokens - 1]` is the phase-boundary token.
+    pub token_times: Vec<SimTime>,
+    /// When the request finished (last token generated, KV freed).
+    pub completion: SimTime,
+    /// Time spent inside running iterations (prefill or decode).
+    pub executed: SimDuration,
+    /// Wait time before the request ever ran (admission queueing, §II-B).
+    pub blocked: SimDuration,
+    /// Wait time after first execution while suspended (offload, reload,
+    /// migration stalls, iteration exclusion).
+    pub preempted: SimDuration,
+    /// Number of preemption events (evictions from GPU memory).
+    pub num_preemptions: u32,
+    /// First time the request ran inside a batch *after* its phase
+    /// transition; `None` if it never transitioned or never resumed.
+    pub answer_resume_time: Option<SimTime>,
+    /// Migration performed at the phase boundary, if any.
+    pub migration: Option<MigrationRecord>,
+    /// Instances the request executed on, in visit order.
+    pub instances_visited: Vec<u32>,
+}
+
+impl RequestRecord {
+    /// Validates internal consistency (token counts and ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is malformed; used by the engine's debug
+    /// assertions and the integration tests.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.token_times.len(),
+            self.spec.output_tokens() as usize,
+            "{}: token count mismatch",
+            self.spec.id
+        );
+        assert!(
+            self.token_times.windows(2).all(|w| w[0] <= w[1]),
+            "{}: token times must be non-decreasing",
+            self.spec.id
+        );
+        if let Some(last) = self.token_times.last() {
+            assert!(
+                *last <= self.completion,
+                "{}: completion precedes last token",
+                self.spec.id
+            );
+        }
+        assert!(
+            self.token_times
+                .first()
+                .is_none_or(|t| *t >= self.spec.arrival),
+            "{}: token generated before arrival",
+            self.spec.id
+        );
+    }
+
+    /// When the request left the reasoning phase: the generation time of the
+    /// boundary token for cold requests, or arrival for warm ones. `None`
+    /// while malformed (no tokens at all).
+    #[must_use]
+    pub fn phase_transition_time(&self) -> Option<SimTime> {
+        if self.spec.warm_start || self.spec.reasoning_tokens == 0 {
+            return Some(self.spec.arrival);
+        }
+        self.token_times
+            .get(self.spec.reasoning_tokens as usize - 1)
+            .copied()
+    }
+
+    /// Generation time of the first user-visible (answering) token.
+    #[must_use]
+    pub fn first_answer_time(&self) -> Option<SimTime> {
+        if self.spec.answering_tokens == 0 {
+            return None;
+        }
+        self.token_times
+            .get(self.spec.reasoning_tokens as usize)
+            .copied()
+    }
+
+    /// Time-To-First-Token as the paper defines it for reasoning LLMs
+    /// (Fig. 1(b)): submission → first *answering* token.
+    #[must_use]
+    pub fn ttft(&self) -> Option<SimDuration> {
+        self.first_answer_time()
+            .map(|t| t.saturating_since(self.spec.arrival))
+    }
+
+    /// Reasoning-phase latency: submission → boundary token (includes
+    /// prefill, queueing and any preemption — Fig. 4's quantity).
+    #[must_use]
+    pub fn reasoning_latency(&self) -> Option<SimDuration> {
+        if self.spec.warm_start || self.spec.reasoning_tokens == 0 {
+            return None;
+        }
+        self.phase_transition_time()
+            .map(|t| t.saturating_since(self.spec.arrival))
+    }
+
+    /// Answering-phase latency: phase transition → completion (Fig. 5's
+    /// quantity).
+    #[must_use]
+    pub fn answering_latency(&self) -> Option<SimDuration> {
+        if self.spec.answering_tokens == 0 {
+            return None;
+        }
+        self.phase_transition_time()
+            .map(|t| self.completion.saturating_since(t))
+    }
+
+    /// Time-To-First-Answering-Token: phase transition → first answering
+    /// token (§III, Fig. 5 caption).
+    #[must_use]
+    pub fn ttfat(&self) -> Option<SimDuration> {
+        match (self.phase_transition_time(), self.first_answer_time()) {
+            (Some(t0), Some(t1)) => Some(t1.saturating_since(t0)),
+            _ => None,
+        }
+    }
+
+    /// Blocking latency (Fig. 13(c)): phase transition → first time the
+    /// request was scheduled again.
+    #[must_use]
+    pub fn blocking_latency(&self) -> Option<SimDuration> {
+        match (self.phase_transition_time(), self.answer_resume_time) {
+            (Some(t0), Some(t1)) => Some(t1.saturating_since(t0)),
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency: submission → completion.
+    #[must_use]
+    pub fn e2e_latency(&self) -> SimDuration {
+        self.completion.saturating_since(self.spec.arrival)
+    }
+
+    /// Generation times of the answering tokens only.
+    #[must_use]
+    pub fn answer_token_times(&self) -> &[SimTime] {
+        &self.token_times[self.spec.reasoning_tokens as usize..]
+    }
+
+    /// Total time the record accounts for (executed + blocked + preempted);
+    /// should equal end-to-end latency up to the engine's bookkeeping
+    /// granularity.
+    #[must_use]
+    pub fn accounted_time(&self) -> SimDuration {
+        self.executed + self.blocked + self.preempted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascal_workload::RequestId;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    /// A hand-built record: 128 prompt, 3 reasoning, 2 answering tokens.
+    fn sample() -> RequestRecord {
+        let spec = RequestSpec::new(RequestId(0), secs(1.0), 128, 3, 2);
+        RequestRecord {
+            spec,
+            token_times: vec![secs(2.0), secs(2.1), secs(2.2), secs(3.0), secs(3.1)],
+            completion: secs(3.1),
+            executed: SimDuration::from_secs_f64(1.0),
+            blocked: SimDuration::from_secs_f64(0.8),
+            preempted: SimDuration::from_secs_f64(0.3),
+            num_preemptions: 1,
+            answer_resume_time: Some(secs(2.9)),
+            migration: None,
+            instances_visited: vec![0],
+        }
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let r = sample();
+        r.assert_consistent();
+        assert_eq!(r.phase_transition_time(), Some(secs(2.2)));
+        assert_eq!(r.first_answer_time(), Some(secs(3.0)));
+        assert_eq!(r.ttft().unwrap().as_secs_f64(), 2.0);
+        assert!((r.reasoning_latency().unwrap().as_secs_f64() - 1.2).abs() < 1e-9);
+        assert!((r.answering_latency().unwrap().as_secs_f64() - 0.9).abs() < 1e-9);
+        assert!((r.ttfat().unwrap().as_secs_f64() - 0.8).abs() < 1e-9);
+        assert!((r.blocking_latency().unwrap().as_secs_f64() - 0.7).abs() < 1e-9);
+        assert!((r.e2e_latency().as_secs_f64() - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reasoning_only_request_has_no_answer_metrics() {
+        let spec = RequestSpec::new(RequestId(1), secs(0.0), 128, 2, 0);
+        let r = RequestRecord {
+            spec,
+            token_times: vec![secs(1.0), secs(2.0)],
+            completion: secs(2.0),
+            executed: SimDuration::from_secs_f64(2.0),
+            blocked: SimDuration::ZERO,
+            preempted: SimDuration::ZERO,
+            num_preemptions: 0,
+            answer_resume_time: None,
+            migration: None,
+            instances_visited: vec![0],
+        };
+        r.assert_consistent();
+        assert_eq!(r.ttft(), None);
+        assert_eq!(r.answering_latency(), None);
+        assert_eq!(r.reasoning_latency().unwrap().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn warm_request_transitions_at_arrival() {
+        let spec = RequestSpec::warm(RequestId(2), secs(5.0), 128, 2);
+        let r = RequestRecord {
+            spec,
+            token_times: vec![secs(6.0), secs(6.1)],
+            completion: secs(6.1),
+            executed: SimDuration::from_secs_f64(0.2),
+            blocked: SimDuration::from_secs_f64(0.9),
+            preempted: SimDuration::ZERO,
+            num_preemptions: 0,
+            answer_resume_time: Some(secs(5.9)),
+            migration: None,
+            instances_visited: vec![3],
+        };
+        r.assert_consistent();
+        assert_eq!(r.phase_transition_time(), Some(secs(5.0)));
+        assert_eq!(r.ttfat().unwrap().as_secs_f64(), 1.0);
+        assert_eq!(r.ttft().unwrap().as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn migration_latency() {
+        let m = MigrationRecord {
+            from_instance: 0,
+            to_instance: 2,
+            started: secs(1.0),
+            finished: secs(1.25),
+            bytes: 512 << 20,
+        };
+        assert!((m.latency().as_secs_f64() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "token count mismatch")]
+    fn consistency_checks_token_count() {
+        let mut r = sample();
+        r.token_times.pop();
+        r.assert_consistent();
+    }
+
+    #[test]
+    fn accounted_time_sums_components() {
+        let r = sample();
+        assert!((r.accounted_time().as_secs_f64() - 2.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,55 @@
+//! # pascal-model — profile-based LLM serving performance model
+//!
+//! The hardware substrate of the PASCAL reproduction. The paper evaluates
+//! its scheduler on a *profile-based* cluster simulator (§V-A): iteration
+//! latencies come from profiled functions of batch composition rather than
+//! from executing kernels. This crate provides those functions analytically,
+//! calibrated to the paper's testbed (NVIDIA H100 96 GB serving
+//! DeepSeek-R1-Distill-Qwen-32B over PCIe 5.0 and a 100 Gbps fabric):
+//!
+//! * [`LlmSpec`] — architecture-derived cost constants (KV bytes/token,
+//!   weight bytes, FLOPs/token),
+//! * [`GpuSpec`] — peak rates and efficiency factors,
+//! * [`PerfModel`] — prefill / decode-step / PCIe-transfer latencies,
+//! * [`KvGeometry`] — paged KV-cache block arithmetic,
+//! * [`LinkSpec`] — host links and the inter-node migration fabric,
+//! * [`validate`] — closed-form reference latencies the engine is tested
+//!   against (our substitute for the paper's real-hardware MAPE check).
+//!
+//! # Examples
+//!
+//! ```
+//! use pascal_model::{DecodeBatch, GpuSpec, KvGeometry, LlmSpec, PerfModel};
+//!
+//! let llm = LlmSpec::deepseek_r1_distill_qwen_32b();
+//! let geo = KvGeometry::new(16, llm.kv_bytes_per_token());
+//! let perf = PerfModel::new(llm, GpuSpec::h100_96gb());
+//!
+//! // How many requests of ~1k context fit in HBM next to the weights?
+//! let concurrent = perf.kv_capacity_tokens() / 1024;
+//! assert!(concurrent > 30);
+//!
+//! // And what does a full decode iteration over them cost?
+//! let step = perf.decode_step_time(DecodeBatch {
+//!     num_seqs: concurrent as u32,
+//!     total_context_tokens: concurrent * 1024,
+//! });
+//! assert!(step.as_millis_f64() < 100.0);
+//! # let _ = geo;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gpu;
+mod llm;
+mod memory;
+mod perf;
+mod transfer;
+pub mod validate;
+
+pub use gpu::GpuSpec;
+pub use llm::LlmSpec;
+pub use memory::KvGeometry;
+pub use perf::{DecodeBatch, PerfModel};
+pub use transfer::LinkSpec;

@@ -1,0 +1,251 @@
+//! The profile-based latency model.
+//!
+//! Mirrors the methodology of §V-A: iteration latencies are closed-form
+//! functions of batch composition, calibrated to H100-class hardware.
+//!
+//! * **Prefill** iterations are compute-bound: time grows linearly with the
+//!   number of prompt tokens (plus a small quadratic attention term).
+//! * **Decode** iterations are memory-bandwidth-bound: every step re-reads
+//!   the full weights plus the KV cache of every sequence in the batch.
+
+use pascal_sim::SimDuration;
+
+use crate::gpu::GpuSpec;
+use crate::llm::LlmSpec;
+
+/// Composition of one decode iteration: how many sequences advance one token
+/// and how much KV context they collectively attend over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeBatch {
+    /// Number of sequences generating one token each.
+    pub num_seqs: u32,
+    /// Sum of the context lengths (tokens) of those sequences.
+    pub total_context_tokens: u64,
+}
+
+/// Closed-form latency model for a single GPU instance serving `llm`.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_model::{DecodeBatch, GpuSpec, LlmSpec, PerfModel};
+///
+/// let perf = PerfModel::new(LlmSpec::deepseek_r1_distill_qwen_32b(), GpuSpec::h100_96gb());
+/// let step = perf.decode_step_time(DecodeBatch { num_seqs: 8, total_context_tokens: 8 * 1024 });
+/// // A 32B model on H100 decodes in the tens of milliseconds per step.
+/// assert!(step.as_millis_f64() > 20.0 && step.as_millis_f64() < 50.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PerfModel {
+    llm: LlmSpec,
+    gpu: GpuSpec,
+}
+
+impl PerfModel {
+    /// Builds a model for `llm` running on `gpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GPU cannot even hold the model weights.
+    #[must_use]
+    pub fn new(llm: LlmSpec, gpu: GpuSpec) -> Self {
+        assert!(
+            llm.weight_bytes() + gpu.activation_reserve_bytes < gpu.hbm_bytes,
+            "model {} ({} GB) does not fit on {} ({} GB)",
+            llm.name,
+            llm.weight_bytes() / 1_000_000_000,
+            gpu.name,
+            gpu.hbm_bytes / 1_000_000_000,
+        );
+        PerfModel { llm, gpu }
+    }
+
+    /// The served model.
+    #[must_use]
+    pub fn llm(&self) -> &LlmSpec {
+        &self.llm
+    }
+
+    /// The executing GPU.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Latency of a prefill iteration processing prompts with the given
+    /// token counts in one pass (vLLM batches waiting prefills together).
+    ///
+    /// Compute-bound: `overhead + Σ 2·P·Tᵢ/F + Σ attn(Tᵢ²)/F`.
+    #[must_use]
+    pub fn prefill_time_batch(&self, prompt_tokens: &[u32]) -> SimDuration {
+        let flops_rate = self.gpu.effective_flops();
+        let mut flops = 0.0;
+        for &t in prompt_tokens {
+            let t = f64::from(t);
+            flops += self.llm.flops_per_token() * t;
+            // Self-attention over the prompt: average context T/2 per token.
+            flops += self.llm.attention_flops_per_token((t / 2.0) as u64) * t;
+        }
+        let secs = self.gpu.iteration_overhead_s
+            + flops / flops_rate
+            + self.gpu.per_sequence_overhead_s * prompt_tokens.len() as f64;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Latency of prefilling a single prompt of `tokens` tokens.
+    #[must_use]
+    pub fn prefill_time(&self, tokens: u32) -> SimDuration {
+        self.prefill_time_batch(&[tokens])
+    }
+
+    /// Latency of one decode iteration: every sequence in `batch` advances
+    /// by one token.
+    ///
+    /// Memory-bound: `overhead + (weights + Σ KVᵢ)/BW + per-seq overhead`.
+    /// An empty batch costs nothing (the instance simply idles).
+    #[must_use]
+    pub fn decode_step_time(&self, batch: DecodeBatch) -> SimDuration {
+        if batch.num_seqs == 0 {
+            return SimDuration::ZERO;
+        }
+        let bw = self.gpu.effective_bandwidth();
+        let weight_read = self.llm.weight_bytes() as f64 / bw;
+        let kv_read =
+            (batch.total_context_tokens * self.llm.kv_bytes_per_token()) as f64 / bw;
+        let secs = self.gpu.iteration_overhead_s
+            + weight_read
+            + kv_read
+            + self.gpu.per_sequence_overhead_s * f64::from(batch.num_seqs);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Time to move `kv_tokens` worth of KV cache across the host link
+    /// (offload to CPU memory, or reload back to HBM).
+    #[must_use]
+    pub fn pcie_transfer_time(&self, kv_tokens: u64) -> SimDuration {
+        let bytes = (kv_tokens * self.llm.kv_bytes_per_token()) as f64;
+        SimDuration::from_secs_f64(bytes / self.gpu.pcie_bandwidth)
+    }
+
+    /// HBM bytes available for KV cache after weights and the activation
+    /// reserve.
+    #[must_use]
+    pub fn kv_capacity_bytes(&self) -> u64 {
+        self.gpu
+            .hbm_bytes
+            .saturating_sub(self.llm.weight_bytes())
+            .saturating_sub(self.gpu.activation_reserve_bytes)
+    }
+
+    /// KV capacity expressed in whole tokens.
+    #[must_use]
+    pub fn kv_capacity_tokens(&self) -> u64 {
+        self.kv_capacity_bytes() / self.llm.kv_bytes_per_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn h100_32b() -> PerfModel {
+        PerfModel::new(
+            LlmSpec::deepseek_r1_distill_qwen_32b(),
+            GpuSpec::h100_96gb(),
+        )
+    }
+
+    #[test]
+    fn decode_step_is_roughly_30ms() {
+        let perf = h100_32b();
+        let t = perf.decode_step_time(DecodeBatch {
+            num_seqs: 1,
+            total_context_tokens: 512,
+        });
+        let ms = t.as_millis_f64();
+        assert!((20.0..40.0).contains(&ms), "decode step {ms} ms out of band");
+    }
+
+    #[test]
+    fn prefill_of_128_tokens_is_tens_of_ms() {
+        let perf = h100_32b();
+        let ms = perf.prefill_time(128).as_millis_f64();
+        assert!((5.0..60.0).contains(&ms), "prefill {ms} ms out of band");
+    }
+
+    #[test]
+    fn empty_decode_batch_is_free() {
+        let perf = h100_32b();
+        assert_eq!(perf.decode_step_time(DecodeBatch::default()), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kv_capacity_is_positive_and_reasonable() {
+        let perf = h100_32b();
+        let tokens = perf.kv_capacity_tokens();
+        // ~26 GB of KV at 256 KiB/token => ~100k tokens.
+        assert!(
+            (50_000..200_000).contains(&tokens),
+            "kv capacity {tokens} tokens out of band"
+        );
+    }
+
+    #[test]
+    fn migration_of_2048_tokens_over_pcie_is_about_10ms() {
+        // 2048 tokens x 256 KiB = 512 MiB; at 50 GB/s that is ~10.7 ms.
+        let perf = h100_32b();
+        let ms = perf.pcie_transfer_time(2048).as_millis_f64();
+        assert!((5.0..20.0).contains(&ms), "pcie transfer {ms} ms out of band");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_model_rejected() {
+        let mut llm = LlmSpec::deepseek_r1_distill_qwen_32b();
+        llm.params = 200_000_000_000;
+        let _ = PerfModel::new(llm, GpuSpec::h100_96gb());
+    }
+
+    proptest! {
+        /// Decode latency is monotone in both batch size and context.
+        #[test]
+        fn prop_decode_monotone(
+            seqs in 1u32..256,
+            ctx in 0u64..500_000,
+            extra_seqs in 0u32..64,
+            extra_ctx in 0u64..100_000,
+        ) {
+            let perf = h100_32b();
+            let base = perf.decode_step_time(DecodeBatch { num_seqs: seqs, total_context_tokens: ctx });
+            let more = perf.decode_step_time(DecodeBatch {
+                num_seqs: seqs + extra_seqs,
+                total_context_tokens: ctx + extra_ctx,
+            });
+            prop_assert!(more >= base);
+        }
+
+        /// Prefill latency is monotone in prompt length and superadditive
+        /// batching never beats per-prompt overhead savings.
+        #[test]
+        fn prop_prefill_monotone(a in 1u32..8192, b in 1u32..8192) {
+            let perf = h100_32b();
+            let t_a = perf.prefill_time(a);
+            let t_ab = perf.prefill_time_batch(&[a, b]);
+            prop_assert!(t_ab > t_a);
+            // Batching two prompts in one iteration saves one fixed overhead.
+            let separate = t_a + perf.prefill_time(b);
+            prop_assert!(t_ab < separate);
+        }
+
+        /// PCIe transfers scale linearly with token count (up to the 1 ns
+        /// quantization of `SimDuration`).
+        #[test]
+        fn prop_pcie_linear(tokens in 1u64..100_000) {
+            let perf = h100_32b();
+            let one = perf.pcie_transfer_time(tokens).as_nanos() as i128;
+            let two = perf.pcie_transfer_time(2 * tokens).as_nanos() as i128;
+            prop_assert!((two - 2 * one).abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! The scheduling policies: FCFS, Round-Robin, and PASCAL.
+//!
+//! All three are expressed through the same interface the serving engine
+//! consumes:
+//!
+//! * a **priority key** per request — every iteration, the engine sorts the
+//!   instance's requests by key and grants GPU-resident KV memory to the
+//!   longest prefix that fits. Requests outside the prefix are evicted
+//!   (offloaded) or left waiting (blocked). This single mechanism yields all
+//!   three behaviours of Fig. 2:
+//!   - FCFS keys by arrival, so newcomers queue behind long-running requests
+//!     (head-of-line blocking) and memory growth evicts the youngest;
+//!   - RR keys by consumed token quanta, so requests that have decoded more
+//!     quanta yield to fresher ones;
+//!   - PASCAL keys by (queue class, quanta): reasoning requests occupy the
+//!     high-priority class and always outrank answering ones (§IV-C), with
+//!     per-class round-robin and conditional demotion of oversized
+//!     reasoning requests.
+//! * an **instance placement** rule for new requests (Algorithm 1 for
+//!   PASCAL; smallest-KV-footprint for the baselines, §V-A);
+//! * a **migration decision** at phase transitions (Algorithm 2 plus the
+//!   adaptive override for PASCAL; baselines never migrate).
+
+use pascal_cluster::{InstanceStats, RequestState};
+use pascal_workload::Phase;
+
+/// Sort key of a request for intra-instance scheduling; lower = higher
+/// priority. Ordering: queue class, consumed quanta, arrival time, id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PriorityKey {
+    /// 0 = high-priority (reasoning) queue, 1 = low-priority (answering or
+    /// demoted) queue. Always 0 for phase-unaware baselines.
+    pub class: u8,
+    /// Completed round-robin quanta (always 0 under FCFS).
+    pub quanta: u32,
+    /// Arrival time in nanoseconds (FIFO tie-break).
+    pub arrival_nanos: u64,
+    /// Request id (final deterministic tie-break).
+    pub id: u64,
+}
+
+/// Configuration of the PASCAL scheduler (§IV, §V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PascalConfig {
+    /// Token quantum of the per-queue round-robin (paper: 500).
+    pub quantum: u32,
+    /// Reasoning requests whose generated tokens exceed this are demoted to
+    /// the low-priority queue (paper: 5000).
+    pub demotion_threshold_tokens: u32,
+    /// Whether phase-transition migration is enabled; `false` gives the
+    /// PASCAL(NoMigration) ablation of Fig. 13.
+    pub migration_enabled: bool,
+    /// Whether the adaptive memory-aware override of Fig. 7 is applied;
+    /// `false` gives the PASCAL(NonAdaptive) ablation of Fig. 15.
+    pub adaptive_migration: bool,
+    /// GPU blocks of growth headroom the adaptive override requires on the
+    /// current instance before it keeps a request home.
+    pub adaptive_headroom_blocks: u64,
+}
+
+impl Default for PascalConfig {
+    fn default() -> Self {
+        PascalConfig {
+            quantum: 500,
+            demotion_threshold_tokens: 5_000,
+            migration_enabled: true,
+            adaptive_migration: true,
+            adaptive_headroom_blocks: 8,
+        }
+    }
+}
+
+/// A scheduling policy instance.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sched::{PascalConfig, SchedPolicy};
+///
+/// let pascal = SchedPolicy::pascal(PascalConfig::default());
+/// assert_eq!(pascal.name(), "PASCAL");
+/// assert_eq!(SchedPolicy::Fcfs.quantum(), u32::MAX);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// vLLM's default: strict arrival order, block newcomers under memory
+    /// pressure, preempt the most recently arrived on growth (§II-C).
+    Fcfs,
+    /// Preemptive round-robin with a fixed token quantum (§II-C; quantum
+    /// 500 in §V-A).
+    RoundRobin {
+        /// Tokens a request may decode before its priority drops.
+        quantum: u32,
+    },
+    /// The paper's phase-aware hierarchical scheduler (§IV).
+    Pascal(PascalConfig),
+}
+
+/// What to do with a request that just finished its reasoning phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MigrationDecision {
+    /// Keep serving it on its current instance.
+    Stay,
+    /// Ship its KV cache to the given instance (§IV-B).
+    MigrateTo(u32),
+}
+
+impl SchedPolicy {
+    /// Round-robin with the paper's 500-token quantum.
+    #[must_use]
+    pub fn round_robin_default() -> Self {
+        SchedPolicy::RoundRobin { quantum: 500 }
+    }
+
+    /// PASCAL with the given configuration.
+    #[must_use]
+    pub fn pascal(config: PascalConfig) -> Self {
+        SchedPolicy::Pascal(config)
+    }
+
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "FCFS",
+            SchedPolicy::RoundRobin { .. } => "RR",
+            SchedPolicy::Pascal(c) => {
+                if !c.migration_enabled {
+                    "PASCAL(NoMigration)"
+                } else if !c.adaptive_migration {
+                    "PASCAL(NonAdaptive)"
+                } else {
+                    "PASCAL"
+                }
+            }
+        }
+    }
+
+    /// The token quantum (requests never lose priority under FCFS).
+    #[must_use]
+    pub fn quantum(&self) -> u32 {
+        match self {
+            SchedPolicy::Fcfs => u32::MAX,
+            SchedPolicy::RoundRobin { quantum } => *quantum,
+            SchedPolicy::Pascal(c) => c.quantum,
+        }
+    }
+
+    /// Whether quanta counters reset when a request enters the answering
+    /// phase. PASCAL's low-priority queue runs its own round-robin, so a
+    /// freshly transitioned request starts a new quantum; RR is
+    /// phase-unaware and keeps accumulating (§V-B's discussion of RR's
+    /// implicit per-request hierarchy).
+    #[must_use]
+    pub fn resets_quanta_at_transition(&self) -> bool {
+        matches!(self, SchedPolicy::Pascal(_))
+    }
+
+    /// PASCAL's conditional demotion threshold, if any (§IV-C).
+    #[must_use]
+    pub fn demotion_threshold_tokens(&self) -> Option<u32> {
+        match self {
+            SchedPolicy::Pascal(c) => Some(c.demotion_threshold_tokens),
+            _ => None,
+        }
+    }
+
+    /// Whether the Fig. 7 adaptive memory check is active. When it is, the
+    /// engine also refuses to launch a migration whose destination cannot
+    /// reserve the KV blocks right now (the race-free form of the same
+    /// check); NonAdaptive migrates blindly and may land in CPU memory.
+    #[must_use]
+    pub fn adaptive_migration(&self) -> bool {
+        matches!(
+            self,
+            SchedPolicy::Pascal(PascalConfig {
+                migration_enabled: true,
+                adaptive_migration: true,
+                ..
+            })
+        )
+    }
+
+    /// Intra-instance priority key of `req` (lower sorts first).
+    #[must_use]
+    pub fn priority_key(&self, req: &RequestState) -> PriorityKey {
+        let class = match self {
+            SchedPolicy::Pascal(_) => {
+                if req.phase == Phase::Reasoning && !req.demoted {
+                    0
+                } else {
+                    1
+                }
+            }
+            _ => 0,
+        };
+        let quanta = match self {
+            SchedPolicy::Fcfs => 0,
+            _ => req.quanta_used,
+        };
+        PriorityKey {
+            class,
+            quanta,
+            arrival_nanos: req.spec.arrival.as_nanos(),
+            id: req.spec.id.0,
+        }
+    }
+
+    /// Instance selection for a newly arrived (reasoning) request.
+    ///
+    /// Baselines place on the instance with the smallest KV footprint
+    /// (§V-A); PASCAL runs Algorithm 1: restrict to SLO-healthy instances
+    /// (`t_i`), fall back to all if none qualify, then pick the smallest
+    /// GPU+CPU KV footprint `m_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is empty.
+    #[must_use]
+    pub fn place_new_request(&self, stats: &[InstanceStats]) -> u32 {
+        assert!(!stats.is_empty(), "placement requires at least one instance");
+        match self {
+            SchedPolicy::Fcfs | SchedPolicy::RoundRobin { .. } => {
+                min_by_key_stable(stats.iter(), |s| s.kv_footprint_bytes).instance
+            }
+            SchedPolicy::Pascal(_) => {
+                let healthy: Vec<&InstanceStats> = stats.iter().filter(|s| s.slo_ok).collect();
+                let pool: Vec<&InstanceStats> = if healthy.is_empty() {
+                    stats.iter().collect()
+                } else {
+                    healthy
+                };
+                min_by_key_stable(pool, |s| s.kv_footprint_bytes).instance
+            }
+        }
+    }
+
+    /// Migration decision at a reasoning→answering transition (Algorithm 2
+    /// plus the Fig. 7 adaptive override).
+    ///
+    /// `current` is the instance the request lives on, `needed_blocks` the
+    /// GPU blocks its KV requires at the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is empty or `current` is not among them.
+    #[must_use]
+    pub fn migration_decision(
+        &self,
+        current: u32,
+        needed_blocks: u64,
+        stats: &[InstanceStats],
+    ) -> MigrationDecision {
+        let SchedPolicy::Pascal(config) = self else {
+            return MigrationDecision::Stay;
+        };
+        if !config.migration_enabled {
+            return MigrationDecision::Stay;
+        }
+        let current_stats = stats
+            .iter()
+            .find(|s| s.instance == current)
+            .expect("current instance must be in stats");
+
+        // Algorithm 2, lines 3-10. Ties on the small integer counts are
+        // broken by fresh-answering count and then KV footprint, so equally
+        // reasoning-loaded instances share the migrated answering load
+        // instead of funnelling it into one dumping-ground instance.
+        let healthy: Vec<&InstanceStats> = stats.iter().filter(|s| s.slo_ok).collect();
+        let target = if healthy.is_empty() {
+            // Fallback: rank by r_i + a_i across all instances.
+            min_by_key_stable(stats.iter(), |s| {
+                (
+                    u64::from(s.reasoning_count) + u64::from(s.fresh_answering_count),
+                    s.kv_footprint_bytes,
+                )
+            })
+        } else {
+            min_by_key_stable(healthy, |s| {
+                (
+                    u64::from(s.reasoning_count),
+                    u64::from(s.fresh_answering_count),
+                    s.kv_footprint_bytes,
+                )
+            })
+        };
+
+        if target.instance == current {
+            return MigrationDecision::Stay;
+        }
+
+        // Adaptive override (Fig. 7): if the chosen target cannot hold the
+        // KV cache but the current instance still has growth headroom, keep
+        // the request home to avoid a guaranteed stall on arrival.
+        if config.adaptive_migration
+            && !target.fits_blocks(needed_blocks)
+            && current_stats.fits_blocks(config.adaptive_headroom_blocks)
+        {
+            return MigrationDecision::Stay;
+        }
+
+        MigrationDecision::MigrateTo(target.instance)
+    }
+}
+
+/// First minimum by key in iteration order — deterministic tie-breaking on
+/// instance order.
+fn min_by_key_stable<'a, I, K>(iter: I, key: impl Fn(&InstanceStats) -> K) -> &'a InstanceStats
+where
+    I: IntoIterator<Item = &'a InstanceStats>,
+    K: Ord,
+{
+    let mut best: Option<(&InstanceStats, K)> = None;
+    for s in iter {
+        let k = key(s);
+        match &best {
+            Some((_, bk)) if *bk <= k => {}
+            _ => best = Some((s, k)),
+        }
+    }
+    best.expect("non-empty iterator").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pascal_sim::{SimDuration, SimTime};
+    use pascal_workload::{RequestId, RequestSpec};
+
+    fn stats(
+        instance: u32,
+        slo_ok: bool,
+        footprint: u64,
+        reasoning: u32,
+        fresh_ans: u32,
+        free: Option<u64>,
+    ) -> InstanceStats {
+        InstanceStats {
+            instance,
+            slo_ok,
+            kv_footprint_bytes: footprint,
+            reasoning_count: reasoning,
+            fresh_answering_count: fresh_ans,
+            gpu_free_blocks: free,
+        }
+    }
+
+    fn request(id: u64, arrival_s: f64) -> RequestState {
+        let spec = RequestSpec::new(
+            RequestId(id),
+            SimTime::from_secs_f64(arrival_s),
+            128,
+            100,
+            100,
+        );
+        RequestState::new(spec, 0, SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival_only() {
+        let p = SchedPolicy::Fcfs;
+        let mut early = request(1, 1.0);
+        early.quanta_used = 50; // FCFS ignores quanta
+        let late = request(0, 2.0);
+        assert!(p.priority_key(&early) < p.priority_key(&late));
+    }
+
+    #[test]
+    fn rr_orders_by_quanta_then_arrival() {
+        let p = SchedPolicy::round_robin_default();
+        let mut veteran = request(0, 1.0);
+        veteran.quanta_used = 2;
+        let newcomer = request(1, 5.0);
+        assert!(p.priority_key(&newcomer) < p.priority_key(&veteran));
+        let same_quanta = request(2, 0.5);
+        assert!(p.priority_key(&same_quanta) < p.priority_key(&newcomer));
+    }
+
+    #[test]
+    fn pascal_reasoning_outranks_answering_always() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let mut reasoning = request(0, 9.0);
+        reasoning.quanta_used = 10;
+        let mut answering = request(1, 1.0);
+        answering.phase = Phase::Answering;
+        answering.quanta_used = 0;
+        assert!(p.priority_key(&reasoning) < p.priority_key(&answering));
+    }
+
+    #[test]
+    fn pascal_demoted_reasoning_drops_to_low_queue() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let mut demoted = request(0, 1.0);
+        demoted.demoted = true;
+        let mut answering = request(1, 2.0);
+        answering.phase = Phase::Answering;
+        let key_d = p.priority_key(&demoted);
+        let key_a = p.priority_key(&answering);
+        assert_eq!(key_d.class, 1);
+        assert_eq!(key_a.class, 1);
+        assert!(key_d < key_a, "within low queue, RR order applies");
+    }
+
+    #[test]
+    fn baseline_placement_minimizes_footprint() {
+        let p = SchedPolicy::Fcfs;
+        let s = vec![
+            stats(0, true, 500, 0, 0, Some(10)),
+            stats(1, false, 100, 0, 0, Some(0)),
+            stats(2, true, 300, 0, 0, Some(5)),
+        ];
+        // Baselines ignore SLO state entirely.
+        assert_eq!(p.place_new_request(&s), 1);
+    }
+
+    #[test]
+    fn algorithm1_filters_by_slo_then_min_footprint() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 500, 0, 0, Some(10)),
+            stats(1, false, 100, 0, 0, Some(0)), // unhealthy, excluded
+            stats(2, true, 300, 0, 0, Some(5)),
+        ];
+        assert_eq!(p.place_new_request(&s), 2);
+    }
+
+    #[test]
+    fn algorithm1_falls_back_when_no_instance_healthy() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, false, 500, 0, 0, Some(10)),
+            stats(1, false, 100, 0, 0, Some(0)),
+        ];
+        assert_eq!(p.place_new_request(&s), 1, "min m_i among all");
+    }
+
+    #[test]
+    fn algorithm2_picks_fewest_reasoning_among_healthy() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(100)),
+            stats(1, false, 0, 0, 0, Some(100)), // unhealthy
+            stats(2, true, 0, 2, 9, Some(100)),
+        ];
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(2)
+        );
+    }
+
+    #[test]
+    fn algorithm2_fallback_uses_r_plus_a() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, false, 0, 5, 0, Some(100)), // r+a = 5
+            stats(1, false, 0, 2, 9, Some(100)), // r+a = 11
+            stats(2, false, 0, 3, 1, Some(100)), // r+a = 4
+        ];
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(2)
+        );
+    }
+
+    #[test]
+    fn migration_to_self_is_stay() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![stats(0, true, 0, 1, 0, Some(100))];
+        assert_eq!(p.migration_decision(0, 10, &s), MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn adaptive_override_keeps_request_home() {
+        // Fig. 7: target has fewest reasoning requests but no memory, and
+        // the source still has room -> stay.
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(50)), // current: room available
+            stats(2, true, 0, 0, 0, Some(1)),  // target: full
+        ];
+        assert_eq!(p.migration_decision(0, 10, &s), MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn non_adaptive_migrates_anyway() {
+        let p = SchedPolicy::pascal(PascalConfig {
+            adaptive_migration: false,
+            ..PascalConfig::default()
+        });
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(50)),
+            stats(2, true, 0, 0, 0, Some(1)),
+        ];
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(2)
+        );
+    }
+
+    #[test]
+    fn adaptive_override_requires_source_headroom() {
+        // Target full AND source full -> migrate anyway (nothing to save).
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(0)), // current also full
+            stats(2, true, 0, 0, 0, Some(1)),
+        ];
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(2)
+        );
+    }
+
+    #[test]
+    fn no_migration_variant_always_stays() {
+        let p = SchedPolicy::pascal(PascalConfig {
+            migration_enabled: false,
+            ..PascalConfig::default()
+        });
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(50)),
+            stats(2, true, 0, 0, 0, Some(100)),
+        ];
+        assert_eq!(p.migration_decision(0, 10, &s), MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn baselines_never_migrate() {
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(50)),
+            stats(2, true, 0, 0, 0, Some(100)),
+        ];
+        assert_eq!(
+            SchedPolicy::Fcfs.migration_decision(0, 10, &s),
+            MigrationDecision::Stay
+        );
+        assert_eq!(
+            SchedPolicy::round_robin_default().migration_decision(0, 10, &s),
+            MigrationDecision::Stay
+        );
+    }
+
+    #[test]
+    fn names_match_figures() {
+        assert_eq!(SchedPolicy::Fcfs.name(), "FCFS");
+        assert_eq!(SchedPolicy::round_robin_default().name(), "RR");
+        assert_eq!(SchedPolicy::pascal(PascalConfig::default()).name(), "PASCAL");
+        let no_mig = PascalConfig {
+            migration_enabled: false,
+            ..PascalConfig::default()
+        };
+        assert_eq!(SchedPolicy::pascal(no_mig).name(), "PASCAL(NoMigration)");
+        let non_adaptive = PascalConfig {
+            adaptive_migration: false,
+            ..PascalConfig::default()
+        };
+        assert_eq!(
+            SchedPolicy::pascal(non_adaptive).name(),
+            "PASCAL(NonAdaptive)"
+        );
+    }
+
+    #[test]
+    fn quantum_reset_only_for_pascal() {
+        assert!(SchedPolicy::pascal(PascalConfig::default()).resets_quanta_at_transition());
+        assert!(!SchedPolicy::round_robin_default().resets_quanta_at_transition());
+        assert!(!SchedPolicy::Fcfs.resets_quanta_at_transition());
+    }
+
+    #[test]
+    fn tie_break_is_first_instance() {
+        let p = SchedPolicy::Fcfs;
+        let s = vec![
+            stats(3, true, 100, 0, 0, Some(1)),
+            stats(1, true, 100, 0, 0, Some(1)),
+        ];
+        assert_eq!(p.place_new_request(&s), 3, "first minimum wins");
+    }
+}

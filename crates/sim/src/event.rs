@@ -1,0 +1,308 @@
+//! A deterministic future-event list.
+//!
+//! [`EventQueue`] is a priority queue of `(time, payload)` pairs. Events that
+//! share a timestamp pop in insertion order (FIFO), which keeps simulations
+//! reproducible regardless of heap internals. Scheduled events can be
+//! cancelled by the [`EventId`] returned at insertion time.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+/// Heap entry: ordered by `(time, seq)` ascending.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The future-event list of a discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "late");
+/// q.schedule(SimTime::from_nanos(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), e), (10, "early"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<(EventId, E)>>,
+    /// Ids scheduled but neither fired nor cancelled yet.
+    live: HashSet<EventId>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at `time` and returns a cancellation handle.
+    ///
+    /// Scheduling in the past is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than [`Self::now`].
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time:?} before current time {:?}",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            payload: (id, payload),
+        });
+        self.live.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Cancelling an already-fired event is a no-op that returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is exhausted. Cancelled events are
+    /// silently discarded.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            let (id, payload) = entry.payload;
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            self.live.remove(&id);
+            debug_assert!(entry.time >= self.now, "event queue went back in time");
+            self.now = entry.time;
+            return Some((entry.time, payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next pending (non-cancelled) event, if any.
+    ///
+    /// This peeks past cancelled entries without firing anything.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            let (id, _) = entry.payload;
+            if self.cancelled.contains(&id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.payload.0);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of pending events, counting not-yet-reaped cancelled entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3u32);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double-cancel reports false");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), "a");
+        q.schedule(SimTime::from_nanos(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(1), ());
+        q.schedule(SimTime::from_nanos(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    proptest! {
+        /// Whatever the insertion order, pops are sorted by time and FIFO
+        /// within equal timestamps.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(*t), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+            expected.sort(); // stable by (time, insertion index)
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_nanos(), i))).collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Cancelled events never fire.
+        #[test]
+        fn prop_cancelled_never_fire(
+            times in proptest::collection::vec(0u64..50, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| q.schedule(SimTime::from_nanos(*t), i))
+                .collect();
+            let mut cancelled = std::collections::HashSet::new();
+            for (i, id) in ids.iter().enumerate() {
+                if *cancel_mask.get(i).unwrap_or(&false) {
+                    q.cancel(*id);
+                    cancelled.insert(i);
+                }
+            }
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!cancelled.contains(&i));
+            }
+        }
+    }
+}

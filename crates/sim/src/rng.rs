@@ -1,0 +1,269 @@
+//! Deterministic random sampling for workload synthesis.
+//!
+//! All stochastic inputs of the simulator (arrival gaps, token lengths,
+//! tie-breaks) flow through [`SimRng`], a seeded PRNG with convenience
+//! samplers. The heavier distributions the paper's traces need — normal,
+//! log-normal, exponential — are implemented here (Box–Muller and
+//! inverse-CDF) so the crate only depends on `rand` for uniform bits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded pseudo-random source with the samplers the workloads need.
+///
+/// Two `SimRng`s created from the same seed produce identical streams, which
+/// makes entire simulations reproducible from a single `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; `label` decorrelates children
+    /// split from the same parent seed.
+    ///
+    /// Splitting is used to give each workload/dataset/instance its own
+    /// stream so that adding one more consumer does not perturb the others.
+    #[must_use]
+    pub fn split(&mut self, label: u64) -> SimRng {
+        let s = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// The next raw 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 random mantissa bits — the standard open-interval construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_range requires lo <= hi, got {lo} > {hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Picks a uniformly random element of `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn choose<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        assert!(!choices.is_empty(), "choose requires a non-empty slice");
+        let idx = self.uniform_range(0, choices.len() as u64 - 1) as usize;
+        &choices[idx]
+    }
+
+    /// A standard normal draw (Box–Muller; one of the pair is discarded to
+    /// keep the stream simple and stateless).
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by nudging the uniform off zero.
+        let u1 = self.uniform_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.uniform_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A log-normal draw with the given *underlying* normal parameters.
+    ///
+    /// The resulting distribution has mean `exp(mu + sigma^2 / 2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or the parameters are not finite.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "log_normal requires finite mu and non-negative sigma"
+        );
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// An exponential draw with the given rate (mean `1 / rate`), via
+    /// inverse-CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential requires a positive finite rate, got {rate}"
+        );
+        let u = (1.0 - self.uniform_f64()).max(f64::MIN_POSITIVE);
+        -u.ln() / rate
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.uniform_range(0, i as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Solves for the log-normal `mu` that yields a target mean under a given
+/// `sigma`: `mu = ln(mean) - sigma^2 / 2`.
+///
+/// This is how dataset profiles are fitted to the paper's published means.
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive or `sigma` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sim::log_normal_mu_for_mean;
+///
+/// let mu = log_normal_mu_for_mean(557.75, 0.8);
+/// let reconstructed_mean = (mu + 0.8f64 * 0.8 / 2.0).exp();
+/// assert!((reconstructed_mean - 557.75).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn log_normal_mu_for_mean(mean: f64, sigma: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0 && sigma.is_finite() && sigma >= 0.0,
+        "log_normal_mu_for_mean requires mean > 0 and sigma >= 0"
+    );
+    mean.ln() - sigma * sigma / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_differ_by_label() {
+        let mut root = SimRng::seed_from(7);
+        let mut c1 = root.clone().split(1);
+        let mut c2 = root.split(2);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_range_hits_bounds() {
+        let mut rng = SimRng::seed_from(2);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match rng.uniform_range(3, 5) {
+                3 => saw_lo = true,
+                5 => saw_hi = true,
+                4 => {}
+                other => panic!("out of range draw: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "normal mean drifted: {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal variance drifted: {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from(4);
+        let rate = 2.5;
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "exp mean drifted: {mean}");
+    }
+
+    #[test]
+    fn log_normal_mean_matches_fit() {
+        let mut rng = SimRng::seed_from(5);
+        let (target_mean, sigma) = (557.75, 0.8);
+        let mu = log_normal_mu_for_mean(target_mean, sigma);
+        let n = 200_000;
+        let mean = (0..n).map(|_| rng.log_normal(mu, sigma)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - target_mean).abs() / target_mean < 0.02,
+            "log-normal mean drifted: {mean} vs {target_mean}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(6);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exponential_nonnegative(seed in any::<u64>(), rate in 0.01f64..100.0) {
+            let mut rng = SimRng::seed_from(seed);
+            prop_assert!(rng.exponential(rate) >= 0.0);
+        }
+
+        #[test]
+        fn prop_log_normal_positive(seed in any::<u64>(), mu in -3.0f64..10.0, sigma in 0.0f64..2.0) {
+            let mut rng = SimRng::seed_from(seed);
+            prop_assert!(rng.log_normal(mu, sigma) > 0.0);
+        }
+
+        #[test]
+        fn prop_uniform_range_within_bounds(seed in any::<u64>(), lo in 0u64..1000, width in 0u64..1000) {
+            let mut rng = SimRng::seed_from(seed);
+            let hi = lo + width;
+            let draw = rng.uniform_range(lo, hi);
+            prop_assert!((lo..=hi).contains(&draw));
+        }
+    }
+}

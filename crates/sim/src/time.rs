@@ -1,0 +1,345 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Time is kept as an integer number of nanoseconds so that event ordering is
+//! exact and runs are bit-reproducible across platforms. [`SimTime`] is a
+//! point on the simulation clock; [`SimDuration`] is a span between two
+//! points. Both convert to and from `f64` seconds for reporting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds in one second, used by all second-based conversions.
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// A point on the simulation clock, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(30) * 4;
+/// assert_eq!(d.as_secs_f64(), 0.12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time point from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time point from seconds, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * NANOS_PER_SEC).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// The span from `earlier` to `self`, clamped at zero if `earlier` is later.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of two instants.
+    #[must_use]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimDuration((secs * NANOS_PER_SEC).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanoseconds in this span.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// This span expressed in milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction of spans.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative factor, saturating on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "SimDuration::mul_f64 requires a finite non-negative factor, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round().min(u64::MAX as f64) as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; saturates to zero
+    /// in release builds.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self >= rhs, "SimDuration subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({:.6}s)", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_through_seconds() {
+        let t = SimTime::from_secs_f64(12.345678);
+        assert!((t.as_secs_f64() - 12.345678).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic_is_exact_in_nanos() {
+        let a = SimDuration::from_millis(30);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_nanos(), 30_500_000);
+        assert_eq!((a - b).as_nanos(), 29_500_000);
+        assert_eq!((a * 3).as_nanos(), 90_000_000);
+        assert_eq!((a / 2).as_nanos(), 15_000_000);
+    }
+
+    #[test]
+    fn time_plus_duration_orders_correctly() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_nanos(1);
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_nanos(4));
+    }
+
+    #[test]
+    fn checked_since_detects_negative_spans() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(9);
+        assert_eq!(early.checked_since(late), None);
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_nanos(4)));
+    }
+
+    #[test]
+    fn mul_f64_rounds_to_nearest_nano() {
+        let d = SimDuration::from_nanos(10);
+        assert_eq!(d.mul_f64(0.25).as_nanos(), 3); // 2.5 rounds away from zero
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SimTime::ZERO).is_empty());
+        assert!(!format!("{:?}", SimDuration::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Trace synthesis: turning dataset profiles and arrival processes into
+//! concrete request sequences, including the paper's characterization
+//! workloads (§III-A).
+
+use pascal_sim::{SimRng, SimTime};
+
+use crate::arrivals::ArrivalProcess;
+use crate::dataset::DatasetMix;
+use crate::request::{RequestId, RequestSpec};
+
+/// A fully materialized workload: requests sorted by arrival time.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+///
+/// let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+///     .arrivals(ArrivalProcess::poisson(4.0))
+///     .count(100)
+///     .seed(7)
+///     .build();
+/// assert_eq!(trace.requests().len(), 100);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    requests: Vec<RequestSpec>,
+}
+
+impl Trace {
+    /// Wraps a pre-built request list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requests are not sorted by arrival time or ids are not
+    /// unique.
+    #[must_use]
+    pub fn from_requests(requests: Vec<RequestSpec>) -> Self {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace requests must be sorted by arrival"
+        );
+        let mut ids: Vec<u64> = requests.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), requests.len(), "trace request ids must be unique");
+        Trace { requests }
+    }
+
+    /// The requests in arrival order.
+    #[must_use]
+    pub fn requests(&self) -> &[RequestSpec] {
+        &self.requests
+    }
+
+    /// Total output tokens across the trace.
+    #[must_use]
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| u64::from(r.output_tokens()))
+            .sum()
+    }
+
+    /// The time of the last arrival (zero for an empty trace).
+    #[must_use]
+    pub fn last_arrival(&self) -> SimTime {
+        self.requests
+            .last()
+            .map_or(SimTime::ZERO, |r| r.arrival)
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = RequestSpec;
+    type IntoIter = std::vec::IntoIter<RequestSpec>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
+
+/// Builder for stochastic traces.
+#[derive(Clone, Debug)]
+pub struct TraceBuilder {
+    mix: DatasetMix,
+    arrivals: ArrivalProcess,
+    count: usize,
+    seed: u64,
+}
+
+impl TraceBuilder {
+    /// Starts a builder over a dataset mixture with defaults of 300 requests
+    /// (the paper's characterization count), 1 req/s Poisson arrivals and
+    /// seed 0.
+    #[must_use]
+    pub fn new(mix: DatasetMix) -> Self {
+        TraceBuilder {
+            mix,
+            arrivals: ArrivalProcess::poisson(1.0),
+            count: 300,
+            seed: 0,
+        }
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the number of requests.
+    #[must_use]
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the RNG seed (lengths and arrivals derive from it).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materializes the trace.
+    #[must_use]
+    pub fn build(&self) -> Trace {
+        let mut root = SimRng::seed_from(self.seed);
+        let mut arrival_rng = root.split(0xA11);
+        let mut length_rng = root.split(0x1E9);
+        let times = self.arrivals.generate(self.count, &mut arrival_rng);
+        let requests = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let profile = self.mix.sample_profile(&mut length_rng);
+                let prompt = profile.prompt.sample(&mut length_rng).max(1);
+                let reasoning = profile.reasoning.sample(&mut length_rng).max(1);
+                let answering = profile.answering.sample(&mut length_rng);
+                RequestSpec::new(RequestId(i as u64), arrival, prompt, reasoning, answering)
+            })
+            .collect();
+        Trace::from_requests(requests)
+    }
+}
+
+/// The reasoning-phase characterization workload of Fig. 4: 300 requests,
+/// 128-token prompts, reasoning length drawn uniformly from
+/// `{128, 256, 512, 1024, 2048}`, no answering tokens (the experiment stops
+/// at the phase boundary), Poisson arrivals at `rate` req/s.
+#[must_use]
+pub fn fig04_reasoning_trace(count: usize, rate: f64, seed: u64) -> Trace {
+    let mut root = SimRng::seed_from(seed);
+    let mut arrival_rng = root.split(0xA11);
+    let mut length_rng = root.split(0x1E9);
+    let times = ArrivalProcess::poisson(rate).generate(count, &mut arrival_rng);
+    let lengths = [128u32, 256, 512, 1024, 2048];
+    let requests = times
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            let reasoning = *length_rng.choose(&lengths);
+            RequestSpec::new(RequestId(i as u64), arrival, 128, reasoning, 0)
+        })
+        .collect();
+    Trace::from_requests(requests)
+}
+
+/// The answering-phase characterization workload of Fig. 5: 300 *warm*
+/// requests whose 128 tokens of prefill+reasoning KV already exist; each
+/// generates an answering length drawn uniformly from
+/// `{128, 256, 512, 1024, 2048}`.
+#[must_use]
+pub fn fig05_answering_trace(count: usize, rate: f64, seed: u64) -> Trace {
+    let mut root = SimRng::seed_from(seed);
+    let mut arrival_rng = root.split(0xA11);
+    let mut length_rng = root.split(0x1E9);
+    let times = ArrivalProcess::poisson(rate).generate(count, &mut arrival_rng);
+    let lengths = [128u32, 256, 512, 1024, 2048];
+    let requests = times
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| {
+            let answering = *length_rng.choose(&lengths);
+            RequestSpec::warm(RequestId(i as u64), arrival, 128, answering)
+        })
+        .collect();
+    Trace::from_requests(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetProfile;
+    use crate::request::Phase;
+
+    #[test]
+    fn builder_produces_requested_count_sorted() {
+        let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+            .count(50)
+            .seed(3)
+            .build();
+        assert_eq!(trace.requests().len(), 50);
+        assert!(trace
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn builder_is_deterministic_per_seed() {
+        let mk = |seed| {
+            TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+                .count(40)
+                .seed(seed)
+                .build()
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
+    }
+
+    #[test]
+    fn fig04_trace_shape() {
+        let trace = fig04_reasoning_trace(300, 2.0, 1);
+        assert_eq!(trace.requests().len(), 300);
+        let allowed = [128, 256, 512, 1024, 2048];
+        for r in trace.requests() {
+            assert_eq!(r.prompt_tokens, 128);
+            assert_eq!(r.answering_tokens, 0);
+            assert!(allowed.contains(&r.reasoning_tokens));
+            assert_eq!(r.initial_phase(), Phase::Reasoning);
+        }
+    }
+
+    #[test]
+    fn fig05_trace_shape() {
+        let trace = fig05_answering_trace(300, 2.0, 1);
+        assert_eq!(trace.requests().len(), 300);
+        let allowed = [128, 256, 512, 1024, 2048];
+        for r in trace.requests() {
+            assert!(r.warm_start);
+            assert_eq!(r.prompt_tokens, 128);
+            assert_eq!(r.reasoning_tokens, 0);
+            assert!(allowed.contains(&r.answering_tokens));
+            assert_eq!(r.initial_phase(), Phase::Answering);
+        }
+    }
+
+    #[test]
+    fn total_output_tokens_sums() {
+        let trace = fig04_reasoning_trace(10, 1.0, 2);
+        let expected: u64 = trace
+            .requests()
+            .iter()
+            .map(|r| u64::from(r.reasoning_tokens))
+            .sum();
+        assert_eq!(trace.total_output_tokens(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn unsorted_trace_rejected() {
+        let a = RequestSpec::new(RequestId(0), SimTime::from_secs_f64(5.0), 10, 10, 10);
+        let b = RequestSpec::new(RequestId(1), SimTime::from_secs_f64(1.0), 10, 10, 10);
+        let _ = Trace::from_requests(vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_rejected() {
+        let a = RequestSpec::new(RequestId(0), SimTime::ZERO, 10, 10, 10);
+        let b = RequestSpec::new(RequestId(0), SimTime::from_secs_f64(1.0), 10, 10, 10);
+        let _ = Trace::from_requests(vec![a, b]);
+    }
+}

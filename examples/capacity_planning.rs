@@ -1,0 +1,59 @@
+//! Capacity planning: how much load can each scheduler absorb?
+//!
+//! Sweeps the arrival rate from 60% to 120% of the analytic cluster
+//! capacity and reports, per scheduler, the p99 TTFT and the SLO violation
+//! rate — the operating curve an operator would use to pick a deployment
+//! point (an extension beyond the paper's fixed three rates).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use pascal::core::experiments::common::{main_policies, run_cluster};
+use pascal::core::{estimate_capacity_rps, SimConfig};
+use pascal::metrics::{
+    percentile, slo_violation_rate, QoeParams, SLO_QOE_THRESHOLD,
+};
+use pascal::sched::SchedPolicy;
+use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+fn main() {
+    let mix = DatasetMix::single(DatasetProfile::arena_hard());
+    let reference = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let capacity = estimate_capacity_rps(&reference, &mix);
+    println!("analytic cluster capacity for Arena-Hard: {capacity:.1} req/s\n");
+    println!(
+        "{:<6} {:<8} {:>12} {:>14}",
+        "load", "policy", "p99_ttft_s", "slo_violation"
+    );
+
+    for pct_load in [60u32, 80, 100, 120] {
+        let rate = capacity * f64::from(pct_load) / 100.0;
+        let trace = TraceBuilder::new(mix.clone())
+            .arrivals(ArrivalProcess::poisson(rate))
+            .count(1200)
+            .seed(13)
+            .build();
+        for policy in main_policies() {
+            let out = run_cluster(&trace, policy);
+            let mut ttfts: Vec<f64> = out
+                .records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+                .collect();
+            ttfts.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let violations =
+                slo_violation_rate(&out.records, &QoeParams::paper_eval(), SLO_QOE_THRESHOLD);
+            println!(
+                "{:<6} {:<8} {:>12.1} {:>13.2}%",
+                format!("{pct_load}%"),
+                out.policy_name,
+                percentile(&ttfts, 99.0),
+                violations * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading the curve: the highest load where p99 TTFT and violations stay\n\
+         acceptable is the deployable capacity — PASCAL extends it vs the baselines."
+    );
+}

@@ -1,0 +1,59 @@
+//! Problem-solving workloads: where phase-aware scheduling matters less.
+//!
+//! MATH-500 / GPQA / LiveCodeBench requests reason for thousands of hidden
+//! tokens but answer briefly (Fig. 14), so answering-phase contention is
+//! minimal and PASCAL's edge over RR shrinks (§V-D / Fig. 16). This example
+//! serves the mixed trace and prints the comparison.
+//!
+//! Run with: `cargo run --release --example problem_solving`
+
+use pascal::core::experiments::common::{evaluation_trace, main_policies, run_cluster};
+use pascal::core::RateLevel;
+use pascal::metrics::{slo_violation_rate, LatencySummary, QoeParams, SLO_QOE_THRESHOLD};
+use pascal::sim::SimRng;
+use pascal::workload::DatasetMix;
+
+fn main() {
+    let mix = DatasetMix::arena_with_reasoning_heavy();
+
+    // Show what "reasoning-heavy" means in token terms.
+    let mut rng = SimRng::seed_from(3);
+    println!("sampled requests from the Fig. 16 mixture:");
+    for _ in 0..6 {
+        let profile = mix.sample_profile(&mut rng);
+        let reasoning = profile.reasoning.sample(&mut rng);
+        let answering = profile.answering.sample(&mut rng);
+        println!(
+            "  {:<14} reasoning {:>6} tokens -> answering {:>5} tokens",
+            profile.name, reasoning, answering
+        );
+    }
+    println!();
+
+    let trace = evaluation_trace(&mix, RateLevel::High, 1200, 11);
+    for policy in main_policies() {
+        let out = run_cluster(&trace, policy);
+        let ttft = LatencySummary::from_values(
+            out.records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        )
+        .expect("non-empty trace");
+        let ttfat: Vec<f64> = out
+            .records
+            .iter()
+            .filter_map(|r| r.ttfat().map(|d| d.as_secs_f64()))
+            .collect();
+        let mean_ttfat = ttfat.iter().sum::<f64>() / ttfat.len() as f64;
+        let violations =
+            slo_violation_rate(&out.records, &QoeParams::paper_eval(), SLO_QOE_THRESHOLD);
+        println!(
+            "{:<8} TTFT mean {:>6.1}s p99 {:>6.1}s | TTFAT mean {:>6.3}s | SLO violations {:>5.2}%",
+            out.policy_name, ttft.mean, ttft.p99, mean_ttfat, violations * 100.0
+        );
+    }
+    println!(
+        "\nWith short answers, RR's implicit hierarchy already favours reasoning, so the\n\
+         FCFS gap stays large while the PASCAL-RR gap narrows — the §V-D observation."
+    );
+}

@@ -1,0 +1,325 @@
+//! `pascal-cli` — run serving simulations from the command line.
+//!
+//! ```text
+//! pascal-cli run  --dataset arena --policy pascal --rate high --count 1000
+//! pascal-cli run  --dataset alpaca --policy fcfs --rate 12.5 --csv out.csv
+//! pascal-cli capacity --dataset mixed
+//! ```
+
+use std::process::ExitCode;
+
+use pascal::core::experiments::common::run_cluster;
+use pascal::core::report::{records_csv, render_table};
+use pascal::core::{estimate_capacity_rps, RateLevel, SimConfig};
+use pascal::metrics::{
+    goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary,
+    QoeParams, SLO_QOE_THRESHOLD,
+};
+use pascal::sched::{PascalConfig, SchedPolicy};
+use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+const USAGE: &str = "\
+pascal-cli — PASCAL reasoning-LLM serving simulator
+
+USAGE:
+  pascal-cli run [OPTIONS]       simulate a trace and print metrics
+  pascal-cli capacity [OPTIONS]  print the analytic cluster capacity
+
+OPTIONS (run):
+  --dataset <alpaca|arena|math500|gpqa|lcb|mixed>   workload       [alpaca]
+  --policy  <fcfs|rr|pascal|pascal-nomigration|pascal-nonadaptive> [pascal]
+  --rate    <low|medium|high|REQ_PER_S>             arrival rate   [high]
+  --count   <N>                                     requests       [1000]
+  --seed    <N>                                     RNG seed       [42]
+  --instances <N>                                   cluster size   [8]
+  --csv     <PATH>                                  dump per-request CSV
+";
+
+fn dataset(name: &str) -> Result<DatasetMix, String> {
+    Ok(match name {
+        "alpaca" => DatasetMix::single(DatasetProfile::alpaca_eval2()),
+        "arena" => DatasetMix::single(DatasetProfile::arena_hard()),
+        "math500" => DatasetMix::single(DatasetProfile::math500()),
+        "gpqa" => DatasetMix::single(DatasetProfile::gpqa()),
+        "lcb" => DatasetMix::single(DatasetProfile::live_code_bench()),
+        "mixed" => DatasetMix::arena_with_reasoning_heavy(),
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+fn policy(name: &str) -> Result<SchedPolicy, String> {
+    Ok(match name {
+        "fcfs" => SchedPolicy::Fcfs,
+        "rr" => SchedPolicy::round_robin_default(),
+        "pascal" => SchedPolicy::pascal(PascalConfig::default()),
+        "pascal-nomigration" => SchedPolicy::pascal(PascalConfig {
+            migration_enabled: false,
+            ..PascalConfig::default()
+        }),
+        "pascal-nonadaptive" => SchedPolicy::pascal(PascalConfig {
+            adaptive_migration: false,
+            ..PascalConfig::default()
+        }),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+/// Parsed `run` options.
+struct RunOpts {
+    dataset: String,
+    policy: String,
+    rate: String,
+    count: usize,
+    seed: u64,
+    instances: usize,
+    csv: Option<String>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            dataset: "alpaca".to_owned(),
+            policy: "pascal".to_owned(),
+            rate: "high".to_owned(),
+            count: 1000,
+            seed: 42,
+            instances: 8,
+            csv: None,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => opts.dataset = value()?,
+            "--policy" => opts.policy = value()?,
+            "--rate" => opts.rate = value()?,
+            "--count" => {
+                opts.count = value()?.parse().map_err(|e| format!("--count: {e}"))?;
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--instances" => {
+                opts.instances = value()?.parse().map_err(|e| format!("--instances: {e}"))?;
+            }
+            "--csv" => opts.csv = Some(value()?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn resolve_rate(rate: &str, config: &SimConfig, mix: &DatasetMix) -> Result<f64, String> {
+    match rate {
+        "low" => Ok(RateLevel::Low.rate_rps(config, mix)),
+        "medium" => Ok(RateLevel::Medium.rate_rps(config, mix)),
+        "high" => Ok(RateLevel::High.rate_rps(config, mix)),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("--rate must be low/medium/high or a number, got '{other}'"))
+            .and_then(|r| {
+                if r > 0.0 {
+                    Ok(r)
+                } else {
+                    Err("--rate must be positive".to_owned())
+                }
+            }),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let mix = dataset(&opts.dataset)?;
+    let policy = policy(&opts.policy)?;
+    let mut config = SimConfig::evaluation_cluster(policy);
+    config.num_instances = opts.instances;
+    let rate = resolve_rate(&opts.rate, &config, &mix)?;
+
+    eprintln!(
+        "simulating {} {} requests at {rate:.2} req/s on {} instances under {} …",
+        opts.count,
+        opts.dataset,
+        opts.instances,
+        policy.name()
+    );
+    let trace = TraceBuilder::new(mix)
+        .arrivals(ArrivalProcess::poisson(rate))
+        .count(opts.count)
+        .seed(opts.seed)
+        .build();
+    let out = run_cluster_sized(&trace, config);
+
+    let ttft = LatencySummary::from_values(
+        out.records
+            .iter()
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+    );
+    let qoe = QoeParams::paper_eval();
+    let mut rows = vec![
+        vec![
+            "throughput".to_owned(),
+            format!("{:.0} tokens/s", throughput_tokens_per_s(&out.records)),
+        ],
+        vec![
+            "goodput".to_owned(),
+            format!(
+                "{:.2} req/s",
+                goodput_requests_per_s(&out.records, &qoe, SLO_QOE_THRESHOLD)
+            ),
+        ],
+        vec![
+            "SLO violations".to_owned(),
+            format!(
+                "{:.2}%",
+                100.0 * slo_violation_rate(&out.records, &qoe, SLO_QOE_THRESHOLD)
+            ),
+        ],
+        vec!["migrations".to_owned(), out.migrations().len().to_string()],
+        vec![
+            "makespan".to_owned(),
+            format!("{:.1}s", out.makespan.as_secs_f64()),
+        ],
+    ];
+    if let Some(t) = ttft {
+        rows.insert(
+            0,
+            vec![
+                "TTFT mean/p50/p99/max".to_owned(),
+                format!("{:.1} / {:.1} / {:.1} / {:.1} s", t.mean, t.p50, t.p99, t.max),
+            ],
+        );
+    }
+    println!("{}", render_table(&["metric", "value"], &rows));
+
+    if let Some(path) = opts.csv {
+        std::fs::write(&path, records_csv(&out.records))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote per-request CSV to {path}");
+    }
+    Ok(())
+}
+
+fn run_cluster_sized(
+    trace: &pascal::workload::Trace,
+    config: SimConfig,
+) -> pascal::core::SimOutput {
+    if config.num_instances == 8 {
+        run_cluster(trace, config.policy)
+    } else {
+        pascal::core::run_simulation(trace, &config)
+    }
+}
+
+fn cmd_capacity(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let mix = dataset(&opts.dataset)?;
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    config.num_instances = opts.instances;
+    let capacity = estimate_capacity_rps(&config, &mix);
+    println!(
+        "estimated capacity for '{}' on {} instances: {capacity:.2} req/s",
+        opts.dataset, opts.instances
+    );
+    for level in RateLevel::ALL {
+        println!(
+            "  {level:<7} ({:>3.0}%): {:.2} req/s",
+            level.utilization() * 100.0,
+            level.rate_rps(&config, &mix)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("capacity") => cmd_capacity(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let opts = parse_opts(&strs(&[
+            "--dataset",
+            "arena",
+            "--policy",
+            "rr",
+            "--rate",
+            "12.5",
+            "--count",
+            "50",
+            "--seed",
+            "7",
+            "--instances",
+            "4",
+            "--csv",
+            "/tmp/x.csv",
+        ]))
+        .expect("valid flags");
+        assert_eq!(opts.dataset, "arena");
+        assert_eq!(opts.policy, "rr");
+        assert_eq!(opts.count, 50);
+        assert_eq!(opts.instances, 4);
+        assert_eq!(opts.csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_datasets() {
+        assert!(parse_opts(&strs(&["--bogus", "1"])).is_err());
+        assert!(dataset("nope").is_err());
+        assert!(policy("nope").is_err());
+    }
+
+    #[test]
+    fn resolves_symbolic_and_numeric_rates() {
+        let mix = dataset("alpaca").expect("dataset");
+        let config = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+        let high = resolve_rate("high", &config, &mix).expect("rate");
+        let num = resolve_rate("3.5", &config, &mix).expect("rate");
+        assert!(high > 0.0);
+        assert!((num - 3.5).abs() < 1e-12);
+        assert!(resolve_rate("-2", &config, &mix).is_err());
+        assert!(resolve_rate("fast", &config, &mix).is_err());
+    }
+
+    #[test]
+    fn all_policies_resolve() {
+        for name in [
+            "fcfs",
+            "rr",
+            "pascal",
+            "pascal-nomigration",
+            "pascal-nonadaptive",
+        ] {
+            assert!(policy(name).is_ok(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # pascal — phase-aware scheduling for reasoning-LLM serving
+//!
+//! A from-scratch Rust reproduction of *"PASCAL: A Phase-Aware Scheduling
+//! Algorithm for Serving Reasoning-based Large Language Models"*
+//! (HPCA 2026). Reasoning LLMs hide a long chain-of-thought phase before
+//! the first user-visible token, so Time-To-First-Token spans most of the
+//! decode stage; PASCAL schedules the two phases differently — reasoning is
+//! interruption-sensitive and gets strict priority, answering is
+//! threshold-sensitive and tolerates controlled preemption behind a token
+//! pacer — and migrates requests between instances at phase boundaries.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `pascal-sim` | virtual clock, event queue, deterministic RNG |
+//! | [`model`] | `pascal-model` | H100-class roofline perf/memory/transfer model |
+//! | [`workload`] | `pascal-workload` | two-phase requests, dataset profiles, traces |
+//! | [`metrics`] | `pascal-metrics` | TTFT/TTFAT, QoE, tails, histograms |
+//! | [`cluster`] | `pascal-cluster` | KV pools, PCIe/fabric channels, pacer, instances |
+//! | [`sched`] | `pascal-sched` | FCFS, RR, PASCAL (Algorithms 1–2 + ablations) |
+//! | [`core`] | `pascal-core` | the serving engine and per-figure experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pascal::core::{run_simulation, SimConfig};
+//! use pascal::sched::{PascalConfig, SchedPolicy};
+//! use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+//!
+//! // 50 Arena-Hard-like requests on a 2-instance cluster under PASCAL.
+//! let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+//!     .arrivals(ArrivalProcess::poisson(2.0))
+//!     .count(50)
+//!     .seed(7)
+//!     .build();
+//! let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+//! config.num_instances = 2;
+//! let out = run_simulation(&trace, &config);
+//!
+//! let mean_ttft: f64 = out
+//!     .records
+//!     .iter()
+//!     .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+//!     .sum::<f64>()
+//!     / out.records.len() as f64;
+//! assert!(mean_ttft > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pascal_cluster as cluster;
+pub use pascal_core as core;
+pub use pascal_metrics as metrics;
+pub use pascal_model as model;
+pub use pascal_sched as sched;
+pub use pascal_sim as sim;
+pub use pascal_workload as workload;

@@ -1,0 +1,86 @@
+//! Robustness extension: flash-crowd (ON/OFF bursty) traffic at the same
+//! average rate as a smooth Poisson stream. Bursts concentrate arrivals,
+//! so tails degrade for every scheduler — and the phase-aware scheduler's
+//! advantage over FCFS must survive the bursts.
+
+use pascal::core::experiments::common::{main_policies, run_cluster};
+use pascal::core::{estimate_capacity_rps, SimConfig};
+use pascal::metrics::{percentile, LatencySummary};
+use pascal::sched::SchedPolicy;
+use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, Trace, TraceBuilder};
+
+fn trace(arrivals: ArrivalProcess, seed: u64) -> Trace {
+    TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+        .arrivals(arrivals)
+        .count(1200)
+        .seed(seed)
+        .build()
+}
+
+fn p99_ttft(out: &pascal::core::SimOutput) -> f64 {
+    let mut xs: Vec<f64> = out
+        .records
+        .iter()
+        .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    percentile(&xs, 99.0)
+}
+
+#[test]
+fn bursty_traffic_is_served_completely_by_every_policy() {
+    let reference = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
+    let rate = 0.8 * estimate_capacity_rps(&reference, &mix);
+    let bursty = trace(ArrivalProcess::bursty(rate, 4.0, 8.0), 3);
+    for policy in main_policies() {
+        let out = run_cluster(&bursty, policy);
+        assert_eq!(out.records.len(), 1200, "{} lost requests", policy.name());
+        for r in &out.records {
+            r.assert_consistent();
+        }
+    }
+}
+
+#[test]
+fn bursts_inflate_tails_relative_to_smooth_traffic() {
+    let reference = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
+    let rate = 0.8 * estimate_capacity_rps(&reference, &mix);
+
+    let smooth = run_cluster(&trace(ArrivalProcess::poisson(rate), 4), SchedPolicy::Fcfs);
+    let bursty = run_cluster(
+        &trace(ArrivalProcess::bursty(rate, 4.0, 8.0), 4),
+        SchedPolicy::Fcfs,
+    );
+    let (smooth_p99, bursty_p99) = (p99_ttft(&smooth), p99_ttft(&bursty));
+    assert!(
+        bursty_p99 > smooth_p99,
+        "flash crowds should hurt the tail: bursty {bursty_p99:.1}s vs smooth {smooth_p99:.1}s"
+    );
+}
+
+#[test]
+fn pascal_still_beats_fcfs_mean_ttft_under_bursts() {
+    let reference = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
+    let rate = 0.9 * estimate_capacity_rps(&reference, &mix);
+    let bursty = trace(ArrivalProcess::bursty(rate, 4.0, 8.0), 5);
+
+    let mean = |policy| {
+        let out = run_cluster(&bursty, policy);
+        LatencySummary::from_values(
+            out.records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        )
+        .expect("non-empty")
+        .mean
+    };
+    let policies = main_policies();
+    let (fcfs, pascal) = (mean(policies[0]), mean(policies[2]));
+    assert!(
+        pascal < fcfs,
+        "PASCAL mean TTFT {pascal:.1}s should beat FCFS {fcfs:.1}s under bursts"
+    );
+}

@@ -1,0 +1,44 @@
+//! Determinism: the whole stack — trace synthesis, engine, metrics — is a
+//! pure function of (seed, config).
+
+use pascal::core::experiments::common::{main_policies, run_cluster};
+use pascal::core::{run_simulation, SimConfig};
+use pascal::sched::{PascalConfig, SchedPolicy};
+use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+fn small_trace(seed: u64) -> pascal::workload::Trace {
+    TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+        .arrivals(ArrivalProcess::poisson(6.0))
+        .count(120)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn identical_inputs_give_identical_outputs() {
+    let trace = small_trace(17);
+    let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    let a = run_simulation(&trace, &config);
+    let b = run_simulation(&trace, &config);
+    assert_eq!(a.records, b.records, "bit-identical reruns");
+    assert_eq!(a.peak_gpu_kv_bytes, b.peak_gpu_kv_bytes);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn different_seeds_give_different_traces_and_outputs() {
+    let config = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
+    let a = run_simulation(&small_trace(1), &config);
+    let b = run_simulation(&small_trace(2), &config);
+    assert_ne!(a.records, b.records);
+}
+
+#[test]
+fn every_policy_is_deterministic() {
+    let trace = small_trace(23);
+    for policy in main_policies() {
+        let a = run_cluster(&trace, policy);
+        let b = run_cluster(&trace, policy);
+        assert_eq!(a.records, b.records, "{} not deterministic", policy.name());
+    }
+}

@@ -1,0 +1,84 @@
+//! Migration mechanics through the full engine: records are well-formed,
+//! adaptive reservation avoids CPU landings, and the fabric serializes.
+
+use pascal::core::experiments::common::{
+    evaluation_trace, pascal_no_migration, pascal_non_adaptive, run_cluster,
+};
+use pascal::core::RateLevel;
+use pascal::sched::{PascalConfig, SchedPolicy};
+use pascal::workload::{DatasetMix, DatasetProfile};
+
+fn mix() -> DatasetMix {
+    DatasetMix::single(DatasetProfile::arena_hard())
+}
+
+#[test]
+fn migration_records_are_well_formed() {
+    let trace = evaluation_trace(&mix(), RateLevel::Medium, 300, 3);
+    let out = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
+    let migrations = out.migrations();
+    assert!(!migrations.is_empty(), "PASCAL should migrate at transitions");
+    for m in &migrations {
+        assert_ne!(m.from_instance, m.to_instance);
+        assert!(m.finished > m.started);
+        assert!(m.bytes > 0);
+        // 100 Gbps fabric: a multi-GB transfer would be a bug.
+        assert!(m.bytes < 8_000_000_000, "absurd transfer size {}", m.bytes);
+    }
+    // Migrated requests visited more than one instance.
+    for r in out.records.iter().filter(|r| r.migration.is_some()) {
+        assert!(r.instances_visited.len() >= 2);
+        let m = r.migration.expect("checked");
+        assert_eq!(*r.instances_visited.last().expect("visited"), m.to_instance);
+    }
+}
+
+#[test]
+fn no_migration_variant_never_moves_requests() {
+    let trace = evaluation_trace(&mix(), RateLevel::High, 300, 4);
+    let out = run_cluster(&trace, pascal_no_migration());
+    assert!(out.migrations().is_empty());
+    assert!(out
+        .records
+        .iter()
+        .all(|r| r.instances_visited.len() == 1));
+}
+
+#[test]
+fn baselines_never_migrate() {
+    let trace = evaluation_trace(&mix(), RateLevel::High, 200, 5);
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::round_robin_default()] {
+        let out = run_cluster(&trace, policy);
+        assert!(out.migrations().is_empty(), "{} migrated", policy.name());
+    }
+}
+
+#[test]
+fn non_adaptive_migrates_more_than_adaptive() {
+    // The adaptive override (plus destination reservation) suppresses
+    // migrations into full instances; NonAdaptive fires them all.
+    let trace = evaluation_trace(&mix(), RateLevel::High, 600, 6);
+    let adaptive = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
+    let blind = run_cluster(&trace, pascal_non_adaptive());
+    assert!(
+        blind.migrations().len() >= adaptive.migrations().len(),
+        "NonAdaptive ({}) should migrate at least as much as adaptive ({})",
+        blind.migrations().len(),
+        adaptive.migrations().len()
+    );
+}
+
+#[test]
+fn transfer_latency_includes_fabric_queueing() {
+    let trace = evaluation_trace(&mix(), RateLevel::High, 600, 7);
+    let out = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
+    let migrations = out.migrations();
+    // Every latency at least covers the raw link time for its bytes.
+    let link = pascal::model::LinkSpec::fabric_100gbps();
+    for m in &migrations {
+        assert!(
+            m.latency() >= link.transfer_time(m.bytes),
+            "latency below raw link time"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based checks of the QoE pipeline against the real engine:
+//! whatever the trace, scores stay in [0, 1]; uncontended serving at
+//! decode speed faster than the reading pace scores a perfect QoE.
+
+use proptest::prelude::*;
+
+use pascal::core::{run_simulation, KvCapacityMode, SimConfig};
+use pascal::metrics::{answering_qoe, QoeParams};
+use pascal::sched::SchedPolicy;
+use pascal::sim::{SimDuration, SimTime};
+use pascal::workload::{RequestId, RequestSpec, Trace};
+
+#[test]
+fn uncontended_serving_scores_perfect_qoe() {
+    let trace = Trace::from_requests(vec![RequestSpec::new(
+        RequestId(0),
+        SimTime::ZERO,
+        128,
+        20,
+        200,
+    )]);
+    let config = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited);
+    let out = run_simulation(&trace, &config);
+    let qoe = answering_qoe(&out.records[0], &QoeParams::paper_eval()).expect("answers");
+    assert!(
+        (qoe - 1.0).abs() < 1e-9,
+        "decode at ~30ms vs 100ms target must score 1.0, got {qoe}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Small random traces through the full engine: QoE is always a valid
+    /// probability and the characterization variant never exceeds the
+    /// TPOT-only variant (its expected curve starts earlier or equal).
+    #[test]
+    fn prop_engine_qoe_bounded(
+        seed in 0u64..1000,
+        n in 2usize..12,
+        reasoning in 1u32..200,
+        answering in 1u32..200,
+    ) {
+        let mut requests = Vec::new();
+        for i in 0..n {
+            requests.push(RequestSpec::new(
+                RequestId(i as u64),
+                SimTime::from_secs_f64(0.3 * i as f64),
+                64 + (seed % 64) as u32,
+                reasoning,
+                answering,
+            ));
+        }
+        let trace = Trace::from_requests(requests);
+        let config = SimConfig::characterization(
+            SchedPolicy::RoundRobin { quantum: 50 },
+            KvCapacityMode::FractionOfPhysical(0.05),
+        );
+        let out = run_simulation(&trace, &config);
+        for record in &out.records {
+            let eval = answering_qoe(record, &QoeParams::paper_eval()).expect("answers");
+            let charac = answering_qoe(record, &QoeParams::characterization()).expect("answers");
+            prop_assert!((0.0..=1.0).contains(&eval));
+            prop_assert!((0.0..=1.0).contains(&charac));
+        }
+    }
+
+    /// Tightening the TPOT target can only lower (or keep) the QoE.
+    #[test]
+    fn prop_stricter_tpot_never_raises_qoe(
+        gaps in proptest::collection::vec(0.01f64..0.4, 5..60),
+    ) {
+        let mut t = 1.0;
+        let times: Vec<SimTime> = gaps
+            .iter()
+            .map(|g| {
+                t += g;
+                SimTime::from_secs_f64(t)
+            })
+            .collect();
+        let loose = pascal::metrics::qoe_of_stream(
+            &times,
+            times[0],
+            SimDuration::from_millis(150),
+        );
+        let strict = pascal::metrics::qoe_of_stream(
+            &times,
+            times[0],
+            SimDuration::from_millis(60),
+        );
+        prop_assert!(strict <= loose + 1e-9, "strict {strict} > loose {loose}");
+    }
+}

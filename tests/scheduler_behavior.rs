@@ -1,0 +1,151 @@
+//! Cross-crate behavioural checks of the three schedulers — the §III
+//! characterization claims, end to end through the real engine.
+
+use pascal::core::experiments::common::{characterization_capacity, run_characterization};
+use pascal::core::{run_simulation, KvCapacityMode, SimConfig, SimOutput};
+use pascal::sched::{PascalConfig, SchedPolicy};
+use pascal::sim::SimTime;
+use pascal::workload::{fig04_reasoning_trace, RequestId, RequestSpec, Trace};
+
+/// Six long reasoning requests saturate memory; a short one arrives late.
+fn hol_trace() -> Trace {
+    let mut requests: Vec<RequestSpec> = (0..6)
+        .map(|i| {
+            RequestSpec::new(
+                RequestId(i),
+                SimTime::from_secs_f64(0.2 * i as f64),
+                64,
+                600,
+                0,
+            )
+        })
+        .collect();
+    requests.push(RequestSpec::new(
+        RequestId(6),
+        SimTime::from_secs_f64(15.0),
+        64,
+        100,
+        0,
+    ));
+    Trace::from_requests(requests)
+}
+
+/// Memory for ~2080 KV tokens: the six long requests exhaust it mid-run.
+fn tight_capacity() -> KvCapacityMode {
+    let geometry =
+        SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited).geometry();
+    KvCapacityMode::Bytes(geometry.bytes_for_tokens(2080))
+}
+
+fn completions(out: &SimOutput) -> Vec<f64> {
+    out.records
+        .iter()
+        .map(|r| r.completion.as_secs_f64())
+        .collect()
+}
+
+#[test]
+fn fcfs_blocks_the_short_newcomer_behind_long_requests() {
+    let config = SimConfig::characterization(SchedPolicy::Fcfs, tight_capacity());
+    let out = run_simulation(&hol_trace(), &config);
+    let done = completions(&out);
+    let short = &out.records[6];
+    let earliest_long = done[..6].iter().copied().fold(f64::MAX, f64::min);
+    assert!(
+        short.blocked.as_secs_f64() > 1.0,
+        "the newcomer must queue for memory, waited only {:.2}s",
+        short.blocked.as_secs_f64()
+    );
+    assert!(
+        short.completion.as_secs_f64() > earliest_long,
+        "FCFS only admits the newcomer once a long request finishes"
+    );
+}
+
+#[test]
+fn round_robin_lets_the_short_newcomer_through() {
+    let config =
+        SimConfig::characterization(SchedPolicy::RoundRobin { quantum: 500 }, tight_capacity());
+    let out = run_simulation(&hol_trace(), &config);
+    let done = completions(&out);
+    let short_done = done[6];
+    let longs_after_short = done[..6].iter().filter(|d| **d > short_done).count();
+    assert!(
+        longs_after_short >= 4,
+        "RR should finish the 100-token request before most long ones \
+         (only {longs_after_short} finished after it)"
+    );
+    let preemptions: u32 = out.records[..6].iter().map(|r| r.num_preemptions).sum();
+    assert!(preemptions > 0, "RR pays with preemptions of long requests");
+}
+
+#[test]
+fn fig4_shape_fcfs_hurts_short_rr_hurts_long() {
+    let trace = fig04_reasoning_trace(200, 3.0, 77);
+    let (oracle, capacity) = characterization_capacity(&trace, 0.5);
+    let fcfs = run_characterization(&trace, SchedPolicy::Fcfs, capacity);
+    let rr = run_characterization(&trace, SchedPolicy::RoundRobin { quantum: 500 }, capacity);
+
+    let mean_reasoning = |out: &SimOutput, tokens: u32| {
+        let xs: Vec<f64> = out
+            .records
+            .iter()
+            .filter(|r| r.spec.reasoning_tokens == tokens)
+            .filter_map(|r| r.reasoning_latency().map(|d| d.as_secs_f64()))
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+
+    // Short requests: FCFS degrades them far more than RR does (Fig. 4).
+    let short_fcfs = mean_reasoning(&fcfs, 128) / mean_reasoning(&oracle, 128);
+    let short_rr = mean_reasoning(&rr, 128) / mean_reasoning(&oracle, 128);
+    assert!(
+        short_fcfs > short_rr * 1.5,
+        "short requests: FCFS {short_fcfs:.2}x should exceed RR {short_rr:.2}x"
+    );
+
+    // Long requests: RR's quantum preemptions dominate (Fig. 4 at 2048).
+    let long_rr = mean_reasoning(&rr, 2048) / mean_reasoning(&oracle, 2048);
+    assert!(
+        long_rr > 1.2,
+        "long requests under RR should degrade, got {long_rr:.2}x"
+    );
+}
+
+#[test]
+fn pascal_prioritizes_reasoning_over_answering() {
+    // A warm answering request already owns most of the memory when a fresh
+    // reasoning request arrives; memory fits only one of them. PASCAL must
+    // preempt the answering request, FCFS must not.
+    let trace = Trace::from_requests(vec![
+        RequestSpec::warm(RequestId(0), SimTime::ZERO, 1200, 200),
+        RequestSpec::new(RequestId(1), SimTime::from_secs_f64(2.0), 64, 300, 0),
+    ]);
+    let geometry =
+        SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited).geometry();
+    let capacity = KvCapacityMode::Bytes(geometry.bytes_for_tokens(1440));
+
+    let pascal_out = run_simulation(
+        &trace,
+        &SimConfig::characterization(SchedPolicy::pascal(PascalConfig::default()), capacity),
+    );
+    let answering = &pascal_out.records[0];
+    let reasoning = &pascal_out.records[1];
+    assert!(
+        reasoning.completion < answering.completion,
+        "PASCAL: the reasoning request should cut ahead of the answering one"
+    );
+    assert!(
+        answering.num_preemptions > 0,
+        "PASCAL: the answering request should have been preempted"
+    );
+
+    let fcfs_out = run_simulation(
+        &trace,
+        &SimConfig::characterization(SchedPolicy::Fcfs, capacity),
+    );
+    assert!(
+        fcfs_out.records[1].completion > fcfs_out.records[0].completion,
+        "FCFS: the reasoning request queues behind the earlier answering one"
+    );
+}
