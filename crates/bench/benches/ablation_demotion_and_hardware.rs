@@ -62,7 +62,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["gpu", "mean_ttft_s", "p99_ttft_s", "slo_violation", "tokens_per_s"],
+            &[
+                "gpu",
+                "mean_ttft_s",
+                "p99_ttft_s",
+                "slo_violation",
+                "tokens_per_s"
+            ],
             &table,
         )
     );

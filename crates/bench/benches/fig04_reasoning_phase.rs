@@ -45,7 +45,10 @@ fn main() {
         rows.iter()
             .filter(|r| r.policy == policy)
             .map(|r| (r.reasoning_tokens, r.normalized))
-            .fold((0, 0.0f64), |acc, (t, n)| if n > acc.1 { (t, n) } else { acc })
+            .fold(
+                (0, 0.0f64),
+                |acc, (t, n)| if n > acc.1 { (t, n) } else { acc },
+            )
     };
     let (fcfs_at, fcfs_worst) = worst("FCFS");
     let (rr_at, rr_worst) = worst("RR");

@@ -26,7 +26,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "phase", "paper_mean", "sampled_mean", "sampled_std"],
+            &[
+                "dataset",
+                "phase",
+                "paper_mean",
+                "sampled_mean",
+                "sampled_std"
+            ],
             &table,
         )
     );

@@ -21,10 +21,10 @@ fn main() {
         let (fcfs, rr, pascal) = (of("FCFS"), of("RR"), of("PASCAL"));
         for bin in &fcfs.bins {
             let find = |s: &pascal_core::experiments::fig10::Fig10Series| {
-                s.bins
-                    .iter()
-                    .find(|b| b.bin_lo == bin.bin_lo)
-                    .map_or_else(|| "-".to_owned(), |b| format!("{:.1} ({})", b.value, b.stat))
+                s.bins.iter().find(|b| b.bin_lo == bin.bin_lo).map_or_else(
+                    || "-".to_owned(),
+                    |b| format!("{:.1} ({})", b.value, b.stat),
+                )
             };
             rows.push(vec![
                 format!("{}-{}", bin.bin_lo, bin.bin_hi),

@@ -26,7 +26,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "phase", "paper_mean", "sampled_mean", "sampled_std"],
+            &[
+                "dataset",
+                "phase",
+                "paper_mean",
+                "sampled_mean",
+                "sampled_std"
+            ],
             &table,
         )
     );
@@ -34,6 +40,9 @@ fn main() {
     // §V-D: reasoning tokens reach up to 8.48x the answering tokens.
     for pair in rows.chunks(2) {
         let ratio = pair[0].sampled_mean / pair[1].sampled_mean;
-        println!("{}: reasoning/answering ratio = {ratio:.2}x", pair[0].dataset);
+        println!(
+            "{}: reasoning/answering ratio = {ratio:.2}x",
+            pair[0].dataset
+        );
     }
 }

@@ -31,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["rate", "variant", "mean_ttft_s", "p50_ttft_s", "p99_ttft_s", "slo_violation"],
+            &[
+                "rate",
+                "variant",
+                "mean_ttft_s",
+                "p50_ttft_s",
+                "p99_ttft_s",
+                "slo_violation"
+            ],
             &table,
         )
     );

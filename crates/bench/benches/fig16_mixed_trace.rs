@@ -28,7 +28,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["policy", "mean_ttft_s", "p50_ttft_s", "p99_ttft_s", "slo_violation"],
+            &[
+                "policy",
+                "mean_ttft_s",
+                "p50_ttft_s",
+                "p99_ttft_s",
+                "slo_violation"
+            ],
             &table,
         )
     );

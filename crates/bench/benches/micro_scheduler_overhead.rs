@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks of the scheduler's hot paths: the event queue,
-//! the placement algorithms (Algorithm 1/2), the decode latency model, and
-//! a full small simulation — the engineering costs behind every figure.
+//! Microbenchmarks of the scheduler's hot paths: the event queue, the
+//! placement algorithms (Algorithm 1/2), the decode latency model, and a
+//! full small simulation — the engineering costs behind every figure.
+//!
+//! The offline workspace carries no criterion; a minimal warmup-then-measure
+//! harness (median of timed batches) stands in.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use pascal_cluster::InstanceStats;
 use pascal_core::{run_simulation, SimConfig};
@@ -12,23 +15,46 @@ use pascal_sched::{PascalConfig, SchedPolicy};
 use pascal_sim::{EventQueue, SimTime};
 use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter_batched(
-            || (0..10_000u64).map(|i| (i * 37) % 10_000).collect::<Vec<_>>(),
-            |times| {
-                let mut q = EventQueue::new();
-                for (i, t) in times.iter().enumerate() {
-                    q.schedule(SimTime::from_nanos(*t + 10_000), i);
-                }
-                let mut n = 0usize;
-                while q.pop().is_some() {
-                    n += 1;
-                }
-                black_box(n)
-            },
-            BatchSize::SmallInput,
-        );
+/// Times `iters` calls of `f` per batch over `batches` batches and prints
+/// the median per-call latency.
+fn bench_function<R>(name: &str, batches: usize, iters: usize, mut f: impl FnMut() -> R) {
+    // Warmup.
+    for _ in 0..iters.max(1) {
+        black_box(f());
+    }
+    let mut per_call: Vec<f64> = (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    let median = per_call[per_call.len() / 2];
+    let (value, unit) = if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else if median >= 1e-6 {
+        (median * 1e6, "µs")
+    } else {
+        (median * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  (median of {batches}x{iters})");
+}
+
+fn bench_event_queue() {
+    let times: Vec<u64> = (0..10_000u64).map(|i| (i * 37) % 10_000).collect();
+    bench_function("event_queue_push_pop_10k", 20, 5, || {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t + 10_000), i);
+        }
+        let mut n = 0usize;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
     });
 }
 
@@ -41,53 +67,51 @@ fn stats_pool(n: u32) -> Vec<InstanceStats> {
             reasoning_count: (i * 31) % 40,
             fresh_answering_count: (i * 17) % 10,
             gpu_free_blocks: Some(u64::from((i * 13) % 2000)),
+            predicted_future_kv_bytes: 0,
         })
         .collect()
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
     let policy = SchedPolicy::pascal(PascalConfig::default());
     let stats = stats_pool(64);
-    c.bench_function("algorithm1_place_64_instances", |b| {
-        b.iter(|| black_box(policy.place_new_request(black_box(&stats))));
+    bench_function("algorithm1_place_64_instances", 20, 10_000, || {
+        black_box(policy.place_new_request(black_box(&stats)))
     });
-    c.bench_function("algorithm2_migrate_64_instances", |b| {
-        b.iter(|| black_box(policy.migration_decision(0, 100, black_box(&stats))));
+    bench_function("algorithm2_migrate_64_instances", 20, 10_000, || {
+        black_box(policy.migration_decision(0, 100, black_box(&stats)))
     });
 }
 
-fn bench_perf_model(c: &mut Criterion) {
+fn bench_perf_model() {
     let perf = PerfModel::new(
         LlmSpec::deepseek_r1_distill_qwen_32b(),
         GpuSpec::h100_96gb(),
     );
-    c.bench_function("decode_step_time", |b| {
-        b.iter(|| {
-            black_box(perf.decode_step_time(black_box(DecodeBatch {
-                num_seqs: 128,
-                total_context_tokens: 128 * 900,
-            })))
-        });
+    bench_function("decode_step_time", 20, 10_000, || {
+        black_box(perf.decode_step_time(black_box(DecodeBatch {
+            num_seqs: 128,
+            total_context_tokens: 128 * 900,
+        })))
     });
 }
 
-fn bench_small_simulation(c: &mut Criterion) {
+fn bench_small_simulation() {
     let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
         .arrivals(ArrivalProcess::poisson(8.0))
         .count(100)
         .seed(99)
         .build();
     let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
-    c.bench_function("simulate_100_requests_pascal", |b| {
-        b.iter(|| black_box(run_simulation(black_box(&trace), black_box(&config))));
+    bench_function("simulate_100_requests_pascal", 10, 3, || {
+        black_box(run_simulation(black_box(&trace), black_box(&config)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_placement,
-    bench_perf_model,
-    bench_small_simulation
-);
-criterion_main!(benches);
+fn main() {
+    println!("=== micro_scheduler_overhead — hot-path microbenchmarks ===");
+    bench_event_queue();
+    bench_placement();
+    bench_perf_model();
+    bench_small_simulation();
+}

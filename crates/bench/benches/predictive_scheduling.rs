@@ -1,0 +1,56 @@
+//! Regenerates the predictive-scheduling comparison: reactive PASCAL vs
+//! PASCAL(Predictive-Oracle/EMA/Rank) on the chat and reasoning-heavy
+//! mixes, with per-predictor calibration reports.
+
+use pascal_bench::figure_header;
+use pascal_core::experiments::predictive::{run, PredictiveParams};
+use pascal_core::report::render_table;
+
+fn main() {
+    figure_header(
+        "Predictive scheduling",
+        "speculative demotion + predicted-footprint placement (high rate)",
+    );
+    let rows = run(PredictiveParams::default());
+
+    for dataset in ["Arena-Hard", "Reasoning-Heavy"] {
+        println!("--- {dataset} ---");
+        let mut table: Vec<Vec<String>> = Vec::new();
+        for row in rows.iter().filter(|r| r.dataset == dataset) {
+            let (mean, p50, p99) = row
+                .ttft
+                .as_ref()
+                .map_or((f64::NAN, f64::NAN, f64::NAN), |t| (t.mean, t.p50, t.p99));
+            table.push(vec![
+                row.policy.clone(),
+                format!("{mean:.2}"),
+                format!("{p50:.2}"),
+                format!("{p99:.2}"),
+                format!("{:.3}", row.mean_qoe),
+                format!("{:.1}%", 100.0 * row.slo_violations),
+                row.migrations.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "policy",
+                    "TTFT mean (s)",
+                    "p50 (s)",
+                    "p99 (s)",
+                    "mean QoE",
+                    "SLO viol",
+                    "migrations",
+                ],
+                &table
+            )
+        );
+        for row in rows.iter().filter(|r| r.dataset == dataset) {
+            if let Some(cal) = &row.calibration {
+                println!("calibration {}: {cal}", row.policy);
+            }
+        }
+        println!();
+    }
+}

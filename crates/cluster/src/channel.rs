@@ -106,7 +106,13 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics if `from == to` or either index is out of range.
-    pub fn migrate(&mut self, now: SimTime, from: usize, to: usize, bytes: u64) -> (SimTime, SimTime) {
+    pub fn migrate(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        to: usize,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
         assert_ne!(from, to, "migration must change instance");
         let start = self.egress_busy[from].max(self.ingress_busy[to]).max(now);
         let finish = start + self.link.transfer_time(bytes);

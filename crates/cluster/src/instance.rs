@@ -86,6 +86,11 @@ pub struct InstanceStats {
     pub fresh_answering_count: u32,
     /// Free GPU KV blocks (`None` = unbounded oracle memory).
     pub gpu_free_blocks: Option<u64>,
+    /// KV bytes the instance's in-flight requests are *predicted* to still
+    /// grow by before completing (zero when no length predictor is active).
+    /// Predictive placement ranks instances by current plus predicted
+    /// footprint instead of the current footprint alone.
+    pub predicted_future_kv_bytes: u64,
 }
 
 impl InstanceStats {
@@ -96,6 +101,15 @@ impl InstanceStats {
             None => true,
             Some(free) => free >= blocks,
         }
+    }
+
+    /// `m_i` extended with the predicted future growth: the ranking key of
+    /// predictive Algorithm 1 placement. Without a predictor the second term
+    /// is zero and this degenerates to the paper's plain KV footprint.
+    #[must_use]
+    pub fn predicted_total_kv_bytes(&self) -> u64 {
+        self.kv_footprint_bytes
+            .saturating_add(self.predicted_future_kv_bytes)
     }
 }
 
@@ -110,7 +124,12 @@ mod tests {
 
     #[test]
     fn bounded_instance_reports_footprint() {
-        let mut inst = Instance::new(0, geo(), Some(geo().block_bytes() * 100), LinkSpec::pcie5_x16());
+        let mut inst = Instance::new(
+            0,
+            geo(),
+            Some(geo().block_bytes() * 100),
+            LinkSpec::pcie5_x16(),
+        );
         inst.gpu.alloc(10);
         inst.cpu.alloc(5);
         assert_eq!(inst.kv_footprint_bytes(), 15 * geo().block_bytes());
@@ -131,6 +150,7 @@ mod tests {
             reasoning_count: 0,
             fresh_answering_count: 0,
             gpu_free_blocks: Some(5),
+            predicted_future_kv_bytes: 0,
         };
         assert!(bounded.fits_blocks(5));
         assert!(!bounded.fits_blocks(6));

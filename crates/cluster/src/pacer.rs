@@ -39,7 +39,10 @@ impl TokenPacer {
     /// Panics if `target_tpot` is zero.
     #[must_use]
     pub fn new(target_tpot: SimDuration) -> Self {
-        assert!(target_tpot > SimDuration::ZERO, "target TPOT must be positive");
+        assert!(
+            target_tpot > SimDuration::ZERO,
+            "target TPOT must be positive"
+        );
         TokenPacer {
             target_tpot,
             stream_start: None,

@@ -166,10 +166,7 @@ impl RequestState {
         let waited = now.saturating_since(self.segment_start);
         if !self.has_run {
             self.blocked += waited;
-        } else if self
-            .resident_since
-            .is_some_and(|t| t <= self.segment_start)
-        {
+        } else if self.resident_since.is_some_and(|t| t <= self.segment_start) {
             self.executed += waited;
         } else {
             self.preempted += waited;

@@ -6,6 +6,7 @@
 //! testbed (§III-A) and the eight-instance evaluation cluster (§V-A).
 
 use pascal_model::{GpuSpec, KvGeometry, LinkSpec, LlmSpec, PerfModel};
+use pascal_predict::PredictorKind;
 use pascal_sched::SchedPolicy;
 use pascal_sim::SimDuration;
 use pascal_workload::DatasetMix;
@@ -51,6 +52,10 @@ pub struct SimConfig {
     pub pcie: LinkSpec,
     /// Token pacer target (user reading pace, 100 ms in the paper).
     pub target_tpot: SimDuration,
+    /// Online length predictor driving speculative demotion and
+    /// predicted-footprint placement (`None` = the paper's reactive
+    /// scheduler).
+    pub predictor: Option<PredictorKind>,
 }
 
 impl SimConfig {
@@ -70,7 +75,15 @@ impl SimConfig {
             fabric: LinkSpec::fabric_100gbps(),
             pcie: LinkSpec::pcie5_x16(),
             target_tpot: SimDuration::from_millis(100),
+            predictor: None,
         }
+    }
+
+    /// The same deployment with a length predictor attached.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = Some(predictor);
+        self
     }
 
     /// The paper's evaluation cluster (§V-A): eight H100 instances on a
@@ -246,10 +259,8 @@ mod tests {
     #[test]
     fn fraction_mode_scales_physical() {
         let full = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Physical);
-        let half = SimConfig::characterization(
-            SchedPolicy::Fcfs,
-            KvCapacityMode::FractionOfPhysical(0.5),
-        );
+        let half =
+            SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::FractionOfPhysical(0.5));
         let f = full.kv_capacity_bytes().unwrap();
         let h = half.kv_capacity_bytes().unwrap();
         assert!((h as f64 / f as f64 - 0.5).abs() < 0.01);
@@ -261,7 +272,10 @@ mod tests {
         let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
         let rps = estimate_capacity_rps(&c, &mix);
         // 8 H100s serving a 32B model: tens of requests per second.
-        assert!((5.0..100.0).contains(&rps), "capacity {rps} req/s out of band");
+        assert!(
+            (5.0..100.0).contains(&rps),
+            "capacity {rps} req/s out of band"
+        );
     }
 
     #[test]

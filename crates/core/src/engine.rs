@@ -24,8 +24,9 @@
 use std::collections::HashMap;
 
 use pascal_cluster::{Instance, InstanceStats, KvLocation, RequestState};
-use pascal_metrics::{MigrationRecord, RequestRecord};
+use pascal_metrics::{CalibrationReport, MigrationRecord, PredictionSample, RequestRecord};
 use pascal_model::{DecodeBatch, KvGeometry, PerfModel};
+use pascal_predict::{LengthPredictor, PredictorKind};
 use pascal_sched::{MigrationDecision, SchedPolicy};
 use pascal_sim::{EventQueue, SimTime};
 use pascal_workload::{Phase, RequestId, Trace};
@@ -65,6 +66,9 @@ pub struct SimOutput {
     pub makespan: SimTime,
     /// Name of the policy that produced this run.
     pub policy_name: String,
+    /// One predicted-vs-actual sample per request, ordered by request id —
+    /// empty when no length predictor was configured.
+    pub predictions: Vec<PredictionSample>,
 }
 
 impl SimOutput {
@@ -72,6 +76,13 @@ impl SimOutput {
     #[must_use]
     pub fn migrations(&self) -> Vec<MigrationRecord> {
         self.records.iter().filter_map(|r| r.migration).collect()
+    }
+
+    /// Calibration report of the run's length predictor, if it produced
+    /// absolute estimates.
+    #[must_use]
+    pub fn calibration(&self) -> Option<CalibrationReport> {
+        CalibrationReport::from_samples(&self.predictions)
     }
 }
 
@@ -104,6 +115,9 @@ struct Engine<'a> {
     /// migrating request.
     migration_reservations: HashMap<RequestId, u64>,
     records: Vec<RequestRecord>,
+    /// Online length predictor (fresh state per run); fed every completion.
+    predictor: Option<Box<dyn LengthPredictor>>,
+    prediction_samples: Vec<PredictionSample>,
 }
 
 /// Engine-side per-instance runtime extension.
@@ -158,6 +172,8 @@ impl<'a> Engine<'a> {
             states: HashMap::with_capacity(trace.requests().len()),
             migration_reservations: HashMap::new(),
             records: Vec::with_capacity(trace.requests().len()),
+            predictor: config.predictor.map(PredictorKind::build),
+            prediction_samples: Vec::new(),
         }
     }
 
@@ -183,6 +199,18 @@ impl<'a> Engine<'a> {
             .map(|r| r.completion)
             .max()
             .unwrap_or(SimTime::ZERO);
+        let mut predictions = self.prediction_samples;
+        predictions.sort_by_key(|p| p.id);
+        // Only PASCAL consumes predictions (demotion, placement); under
+        // the baselines a predictor is purely observational — calibration
+        // samples are still logged, but the run's behavior is identical to
+        // the plain policy, and the name must say so.
+        let policy_name = match (&self.predictor, &self.policy) {
+            (Some(p), SchedPolicy::Pascal(_)) => {
+                format!("{}(Predictive-{})", self.policy.name(), p.name())
+            }
+            _ => self.policy.name().to_owned(),
+        };
         SimOutput {
             peak_gpu_kv_bytes: self
                 .instances
@@ -190,8 +218,9 @@ impl<'a> Engine<'a> {
                 .map(|i| i.inst.gpu.peak_used_blocks() * self.geometry.block_bytes())
                 .collect(),
             makespan,
-            policy_name: self.policy.name().to_owned(),
+            policy_name,
             records,
+            predictions,
         }
     }
 
@@ -199,9 +228,32 @@ impl<'a> Engine<'a> {
 
     fn on_arrival(&mut self, idx: usize, now: SimTime) {
         let spec = self.trace.requests()[idx].clone();
+        // Log the estimate the scheduler is about to act on (pre-observe:
+        // this request's own lengths are still hidden from the predictor).
+        if let Some(pred) = &self.predictor {
+            let est = pred.estimate(&spec);
+            self.prediction_samples.push(PredictionSample {
+                id: spec.id,
+                predicted_reasoning_tokens: est.reasoning_tokens,
+                actual_reasoning_tokens: spec.reasoning_tokens,
+                predicted_total_tokens: est.total_tokens(),
+                actual_total_tokens: spec.output_tokens(),
+            });
+        }
         let stats = self.collect_stats(now);
         let target = self.policy.place_new_request(&stats);
-        let state = RequestState::new(spec, target, self.config.target_tpot);
+        let mut state = RequestState::new(spec, target, self.config.target_tpot);
+        // Speculative demotion (§IV-C made predictive): an incoming
+        // reasoning request whose *predicted* total reasoning length
+        // exceeds the threshold starts life in the low-priority queue
+        // instead of waiting for its generated tokens to cross it.
+        if let (Some(pred), Some(threshold)) =
+            (&self.predictor, self.policy.demotion_threshold_tokens())
+        {
+            if state.phase == Phase::Reasoning && pred.predicts_oversized(&state.spec, threshold) {
+                state.demoted = true;
+            }
+        }
         let id = state.spec.id;
         self.instances[target as usize].inst.members.insert(id);
         self.states.insert(id, state);
@@ -228,7 +280,10 @@ impl<'a> Engine<'a> {
 
     fn on_offload_done(&mut self, req: RequestId, now: SimTime) {
         let (instance, blocks) = {
-            let st = self.states.get_mut(&req).expect("offloading request exists");
+            let st = self
+                .states
+                .get_mut(&req)
+                .expect("offloading request exists");
             assert_eq!(st.kv_location, KvLocation::OffloadingToCpu);
             let blocks = st.held_gpu_blocks;
             st.held_gpu_blocks = 0;
@@ -321,6 +376,7 @@ impl<'a> Engine<'a> {
     // ----- token + phase machinery ---------------------------------------
 
     fn emit_token(&mut self, id: RequestId, now: SimTime) {
+        let mut crossed_threshold = None;
         let (transitioned, done) = {
             let st = self.states.get_mut(&id).expect("emitting request exists");
             st.tokens_generated += 1;
@@ -336,10 +392,17 @@ impl<'a> Engine<'a> {
 
             // PASCAL's conditional demotion (§IV-C).
             if let Some(threshold) = self.policy.demotion_threshold_tokens() {
+                // `checked_add`: a u32::MAX threshold means "never demote"
+                // (the ablation configs) and must never signal a crossing.
                 if st.phase == Phase::Reasoning
-                    && !st.demoted
-                    && st.tokens_generated > threshold
+                    && Some(st.tokens_generated) == threshold.checked_add(1)
                 {
+                    // The request just proved itself oversized mid-flight —
+                    // the early label the predictor cannot get from the
+                    // (survivorship-biased) completion stream.
+                    crossed_threshold = Some(threshold);
+                }
+                if st.phase == Phase::Reasoning && !st.demoted && st.tokens_generated > threshold {
                     st.demoted = true;
                 }
             }
@@ -353,6 +416,11 @@ impl<'a> Engine<'a> {
                 && st.spec.answering_tokens > 0;
             (transitioned, st.is_done())
         };
+
+        if let (Some(threshold), Some(pred)) = (crossed_threshold, &mut self.predictor) {
+            let spec = self.states[&id].spec.clone();
+            pred.observe_threshold_crossing(&spec, threshold);
+        }
 
         if done {
             self.complete(id, now);
@@ -411,7 +479,9 @@ impl<'a> Engine<'a> {
                 self.geometry.blocks_for_tokens(st.context_tokens()) * self.geometry.block_bytes();
             (st.instance, bytes)
         };
-        let (_, finish) = self.fabric.migrate(now, from as usize, dest as usize, bytes);
+        let (_, finish) = self
+            .fabric
+            .migrate(now, from as usize, dest as usize, bytes);
         {
             let st = self.states.get_mut(&id).expect("migrating request");
             st.migration = Some(MigrationRecord {
@@ -437,6 +507,12 @@ impl<'a> Engine<'a> {
         }
         if cpu_blocks > 0 {
             self.instances[instance].inst.cpu.free(cpu_blocks);
+        }
+        // Completion is the online learning signal: the spec carries the
+        // actual lengths, now revealed. Completions arrive in deterministic
+        // event order, so predictor state stays replayable.
+        if let Some(pred) = &mut self.predictor {
+            pred.observe(&st.spec);
         }
         self.records.push(st.into_record(now));
     }
@@ -469,6 +545,30 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
+                // Predicted future KV growth of the instance's in-flight
+                // requests (predictive Algorithm 1). Rank-only predictors
+                // estimate nothing and contribute zero — placement then
+                // degrades gracefully to current footprints. Baselines
+                // never read the field, so skip the per-member estimates.
+                let predicted_future_kv_bytes = if matches!(self.policy, SchedPolicy::Pascal(_)) {
+                    self.predictor.as_ref().map_or(0, |pred| {
+                        rt.inst
+                            .members
+                            .iter()
+                            .map(|id| {
+                                let st = &self.states[id];
+                                let Some(total) = pred.estimate(&st.spec).total_tokens() else {
+                                    return 0;
+                                };
+                                let remaining =
+                                    (total - f64::from(st.tokens_generated)).max(0.0).round();
+                                self.geometry.bytes_for_tokens(remaining as u64)
+                            })
+                            .sum()
+                    })
+                } else {
+                    0
+                };
                 InstanceStats {
                     instance: rt.inst.id,
                     slo_ok,
@@ -476,6 +576,7 @@ impl<'a> Engine<'a> {
                     reasoning_count: reasoning,
                     fresh_answering_count: fresh_answering,
                     gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                    predicted_future_kv_bytes,
                 }
             })
             .collect()
@@ -546,8 +647,7 @@ impl<'a> Engine<'a> {
                 Some(_) => break,
             }
         }
-        let desired_set: std::collections::HashSet<RequestId> =
-            desired.iter().copied().collect();
+        let desired_set: std::collections::HashSet<RequestId> = desired.iter().copied().collect();
 
         // 3. Preempt GPU residents that fell out of the desired set.
         let evictees: Vec<RequestId> = self.instances[instance as usize]
@@ -702,7 +802,10 @@ impl<'a> Engine<'a> {
                 self.geometry.blocks_for_tokens(st.context_tokens()) * self.geometry.block_bytes();
             (st.instance, bytes)
         };
-        let (_, finish) = self.instances[instance as usize].inst.pcie.enqueue(now, bytes);
+        let (_, finish) = self.instances[instance as usize]
+            .inst
+            .pcie
+            .enqueue(now, bytes);
         self.queue.schedule(finish, Event::OffloadDone { req: id });
     }
 }
@@ -776,8 +879,7 @@ mod tests {
         let out = run_simulation(&Trace::from_requests(requests), &config);
         assert_eq!(out.records.len(), 3);
         // Request 1's first token comes a full prefill later than request 0's.
-        let gap = out.records[1].token_times[0]
-            .saturating_since(out.records[0].token_times[0]);
+        let gap = out.records[1].token_times[0].saturating_since(out.records[0].token_times[0]);
         assert!(gap.as_millis_f64() > 50.0, "expected separate prefills");
     }
 
@@ -824,7 +926,10 @@ mod tests {
         );
         let out2 = run_simulation(
             &Trace::from_requests(
-                out.records.iter().map(|r| r.spec.clone()).collect::<Vec<_>>(),
+                out.records
+                    .iter()
+                    .map(|r| r.spec.clone())
+                    .collect::<Vec<_>>(),
             ),
             &config2,
         );
@@ -850,7 +955,10 @@ mod tests {
         let out = run_simulation(&Trace::from_requests(requests), &config);
         let a = &out.records[0];
         let b = &out.records[1];
-        assert!(b.token_times[0] >= a.completion, "B must wait for A's memory");
+        assert!(
+            b.token_times[0] >= a.completion,
+            "B must wait for A's memory"
+        );
         assert!(b.blocked.as_secs_f64() > 1.0);
     }
 
@@ -869,9 +977,7 @@ mod tests {
     #[test]
     fn pool_accounting_returns_to_zero() {
         let requests: Vec<RequestSpec> = (0..15)
-            .map(|i| {
-                RequestSpec::new(RequestId(i), secs(0.2 * i as f64), 64, 200, 100)
-            })
+            .map(|i| RequestSpec::new(RequestId(i), secs(0.2 * i as f64), 64, 200, 100))
             .collect();
         let trace = Trace::from_requests(requests);
         let geometry = oracle(SchedPolicy::Fcfs).geometry();
@@ -907,7 +1013,11 @@ mod tests {
                     "{}: CPU blocks leaked",
                     policy.name()
                 );
-                assert!(rt.inst.members.is_empty(), "{}: members leaked", policy.name());
+                assert!(
+                    rt.inst.members.is_empty(),
+                    "{}: members leaked",
+                    policy.name()
+                );
             }
         }
     }
@@ -915,9 +1025,7 @@ mod tests {
     #[test]
     fn migrated_requests_account_memory_on_both_sides() {
         let requests: Vec<RequestSpec> = (0..40)
-            .map(|i| {
-                RequestSpec::new(RequestId(i), secs(0.1 * i as f64), 64, 150, 150)
-            })
+            .map(|i| RequestSpec::new(RequestId(i), secs(0.1 * i as f64), 64, 150, 150))
             .collect();
         let trace = Trace::from_requests(requests);
         let mut config =

@@ -64,9 +64,8 @@ pub fn run(params: Fig04Params) -> Vec<Fig04Row> {
     let fcfs_out = run_characterization(&trace, SchedPolicy::Fcfs, capacity);
     let rr_out = run_characterization(&trace, SchedPolicy::round_robin_default(), capacity);
 
-    let group = |out: &crate::engine::SimOutput| {
-        breakdown_by(&out.records, |r| r.spec.reasoning_tokens)
-    };
+    let group =
+        |out: &crate::engine::SimOutput| breakdown_by(&out.records, |r| r.spec.reasoning_tokens);
     let oracle = group(&oracle_out);
     let runs = [
         ("Oracle", oracle.clone()),

@@ -79,10 +79,7 @@ pub fn run(params: Fig05Params) -> Vec<Fig05Row> {
                 .collect();
             let attained = in_group
                 .iter()
-                .filter(|r| {
-                    answering_qoe(r, &qoe_params)
-                        .is_some_and(|q| q >= SLO_QOE_THRESHOLD)
-                })
+                .filter(|r| answering_qoe(r, &qoe_params).is_some_and(|q| q >= SLO_QOE_THRESHOLD))
                 .count();
             rows.push(Fig05Row {
                 policy: name.to_owned(),

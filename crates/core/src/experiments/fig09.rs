@@ -49,10 +49,7 @@ pub fn scatter(run: &EvalRun) -> Vec<(u32, f64)> {
     run.output
         .records
         .iter()
-        .filter_map(|r| {
-            r.ttft()
-                .map(|t| (r.spec.reasoning_tokens, t.as_secs_f64()))
-        })
+        .filter_map(|r| r.ttft().map(|t| (r.spec.reasoning_tokens, t.as_secs_f64())))
         .collect()
 }
 
@@ -64,7 +61,10 @@ pub fn run(params: Fig09Params) -> Vec<Fig09Row> {
             "AlpacaEval2.0",
             DatasetMix::single(DatasetProfile::alpaca_eval2()),
         ),
-        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
     ];
     run_matrix(
         &mixes,
@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn small_matrix_has_expected_cells_and_ordering() {
-        let rows = run(Fig09Params {
-            count: 60,
-            seed: 5,
-        });
+        let rows = run(Fig09Params { count: 60, seed: 5 });
         assert_eq!(rows.len(), 2 * 3 * 3);
         for row in &rows {
             assert_eq!(row.ttft.count, 60);

@@ -53,7 +53,10 @@ pub fn run(params: Fig10Params) -> Vec<Fig10Series> {
             "AlpacaEval2.0",
             DatasetMix::single(DatasetProfile::alpaca_eval2()),
         ),
-        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
     ];
     run_matrix(
         &mixes,

@@ -49,7 +49,10 @@ pub fn run(params: Fig11Params) -> Vec<Fig11Row> {
             "AlpacaEval2.0",
             DatasetMix::single(DatasetProfile::alpaca_eval2()),
         ),
-        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
     ];
     let qoe = QoeParams::paper_eval();
     run_matrix(

@@ -50,7 +50,10 @@ pub fn run(params: Fig12Params) -> Vec<Fig12Row> {
             "AlpacaEval2.0",
             DatasetMix::single(DatasetProfile::alpaca_eval2()),
         ),
-        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
     ];
     run_matrix(
         &mixes,
@@ -77,9 +80,7 @@ pub fn max_pascal_throughput_gap(rows: &[Fig12Row]) -> f64 {
     for r in rows.iter().filter(|r| r.policy == "PASCAL") {
         let best_baseline = rows
             .iter()
-            .filter(|b| {
-                b.dataset == r.dataset && b.level == r.level && b.policy != "PASCAL"
-            })
+            .filter(|b| b.dataset == r.dataset && b.level == r.level && b.policy != "PASCAL")
             .map(|b| b.throughput)
             .fold(0.0f64, f64::max);
         if best_baseline > 0.0 {

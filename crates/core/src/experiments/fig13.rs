@@ -13,8 +13,8 @@ use pascal_sched::SchedPolicy;
 use pascal_workload::{DatasetMix, DatasetProfile};
 
 use crate::config::RateLevel;
-use crate::experiments::common::{evaluation_trace, pascal_no_migration, run_cluster};
 use crate::engine::SimOutput;
+use crate::experiments::common::{evaluation_trace, pascal_no_migration, run_cluster};
 
 /// Per-variant metrics at one arrival rate.
 #[derive(Clone, Debug)]
@@ -92,10 +92,9 @@ fn summarize(dataset: &str, policy_name: &str, level: RateLevel, output: &SimOut
         },
         slo_violation: slo_violation_rate(records, &QoeParams::paper_eval(), SLO_QOE_THRESHOLD),
         tail_bins: tail_by_token_bins(
-            records.iter().filter_map(|r| {
-                r.ttft()
-                    .map(|t| (r.spec.reasoning_tokens, t.as_secs_f64()))
-            }),
+            records
+                .iter()
+                .filter_map(|r| r.ttft().map(|t| (r.spec.reasoning_tokens, t.as_secs_f64()))),
             256,
         ),
     }
@@ -148,10 +147,7 @@ mod tests {
             seed: 31,
         });
         assert_eq!(rows.len(), 12, "2 datasets x 3 rates x 2 variants");
-        assert_eq!(
-            rows.iter().filter(|r| r.policy == "PASCAL").count(),
-            6
-        );
+        assert_eq!(rows.iter().filter(|r| r.policy == "PASCAL").count(), 6);
         assert_eq!(
             rows.iter()
                 .filter(|r| r.policy == "PASCAL(NoMigration)")
@@ -171,9 +167,7 @@ mod tests {
         for level in RateLevel::ALL {
             let get = |name: &str| {
                 rows.iter()
-                    .find(|r| {
-                        r.policy == name && r.level == level && r.dataset == "AlpacaEval2.0"
-                    })
+                    .find(|r| r.policy == name && r.level == level && r.dataset == "AlpacaEval2.0")
                     .expect("row exists")
                     .mean_reasoning_s
             };

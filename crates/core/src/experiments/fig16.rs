@@ -8,8 +8,7 @@
 //! elsewhere.
 
 use pascal_metrics::{
-    slo_violation_rate, tail_by_token_bins, BinTail, LatencySummary, QoeParams,
-    SLO_QOE_THRESHOLD,
+    slo_violation_rate, tail_by_token_bins, BinTail, LatencySummary, QoeParams, SLO_QOE_THRESHOLD,
 };
 use pascal_workload::DatasetMix;
 

@@ -55,7 +55,10 @@ pub fn run(params: KvOverheadParams) -> Vec<KvOverheadRow> {
             "AlpacaEval2.0",
             DatasetMix::single(DatasetProfile::alpaca_eval2()),
         ),
-        ("Arena-Hard", DatasetMix::single(DatasetProfile::arena_hard())),
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
     ];
     let policy = SchedPolicy::pascal(PascalConfig::default());
     mixes
@@ -106,7 +109,11 @@ mod tests {
         });
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert!(row.migrations > 0, "{}: no migrations at high rate", row.dataset);
+            assert!(
+                row.migrations > 0,
+                "{}: no migrations at high rate",
+                row.dataset
+            );
             assert!(
                 row.p99_transfer_s < row.mean_ttft_s,
                 "{}: transfers ({}s) should be small vs TTFT ({}s)",

@@ -18,3 +18,4 @@ pub mod fig13;
 pub mod fig15;
 pub mod fig16;
 pub mod kv_overhead;
+pub mod predictive;

@@ -1,0 +1,199 @@
+//! Predictive scheduling — PASCAL vs PASCAL with a length predictor.
+//!
+//! The paper's scheduler is reactive: demotion waits for generated tokens
+//! to cross the §IV-C threshold, and Algorithm 1 ranks instances by their
+//! *current* KV footprint. This experiment attaches the `pascal-predict`
+//! subsystem — speculative demotion plus predicted-footprint placement —
+//! and compares reactive PASCAL against the three predictors (Oracle, EMA,
+//! pairwise Rank) on a chat mix and a reasoning-heavy mix, reporting p99
+//! TTFT, mean QoE, SLO violations and each predictor's calibration.
+
+use pascal_metrics::{
+    answering_qoe, slo_violation_rate, CalibrationReport, LatencySummary, QoeParams,
+    SLO_QOE_THRESHOLD,
+};
+use pascal_predict::PredictorKind;
+use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_workload::{DatasetMix, DatasetProfile, Trace};
+
+use crate::config::{RateLevel, SimConfig};
+use crate::engine::{run_simulation, SimOutput};
+use crate::experiments::common::evaluation_trace;
+
+/// One dataset × scheduler-variant cell.
+#[derive(Clone, Debug)]
+pub struct PredictiveRow {
+    /// Dataset (mix) name.
+    pub dataset: String,
+    /// Scheduler variant name (`PASCAL`, `PASCAL(Predictive-Oracle)`, …).
+    pub policy: String,
+    /// TTFT summary over the run (absent if nothing answered).
+    pub ttft: Option<LatencySummary>,
+    /// Mean answering QoE (paper-eval parameters).
+    pub mean_qoe: f64,
+    /// Fraction of requests below the QoE SLO threshold.
+    pub slo_violations: f64,
+    /// Phase-boundary migrations performed.
+    pub migrations: usize,
+    /// Predictor calibration (absent for reactive PASCAL and rank-only
+    /// predictors, which produce no absolute estimates).
+    pub calibration: Option<CalibrationReport>,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictiveParams {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Arrival-rate level (the regime where demotion matters is High).
+    pub level: RateLevel,
+}
+
+impl Default for PredictiveParams {
+    fn default() -> Self {
+        PredictiveParams {
+            count: 2000,
+            seed: 2026,
+            level: RateLevel::High,
+        }
+    }
+}
+
+/// The reasoning-heavy mixture: MATH-500, GPQA and LiveCodeBench in equal
+/// parts — the workload whose oversized reasoning tails make speculative
+/// demotion bite.
+#[must_use]
+pub fn reasoning_heavy_mix() -> DatasetMix {
+    DatasetMix::new(
+        DatasetProfile::reasoning_heavy_suite()
+            .into_iter()
+            .map(|p| (p, 1.0))
+            .collect(),
+    )
+}
+
+/// The scheduler variants under comparison: reactive PASCAL plus one
+/// predictive PASCAL per predictor kind.
+#[must_use]
+pub fn variants() -> Vec<Option<PredictorKind>> {
+    let mut v = vec![None];
+    v.extend(PredictorKind::ALL.map(Some));
+    v
+}
+
+/// Runs one `(trace, predictor)` cell on the evaluation cluster.
+#[must_use]
+pub fn run_variant(trace: &Trace, predictor: Option<PredictorKind>) -> SimOutput {
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    config.predictor = predictor;
+    run_simulation(trace, &config)
+}
+
+fn row(dataset: &str, out: &SimOutput) -> PredictiveRow {
+    let qoe = QoeParams::paper_eval();
+    let qoes: Vec<f64> = out
+        .records
+        .iter()
+        .filter_map(|r| answering_qoe(r, &qoe))
+        .collect();
+    let mean_qoe = if qoes.is_empty() {
+        0.0
+    } else {
+        qoes.iter().sum::<f64>() / qoes.len() as f64
+    };
+    PredictiveRow {
+        dataset: dataset.to_owned(),
+        policy: out.policy_name.clone(),
+        ttft: LatencySummary::from_values(
+            out.records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        ),
+        mean_qoe,
+        slo_violations: slo_violation_rate(&out.records, &qoe, SLO_QOE_THRESHOLD),
+        migrations: out.migrations().len(),
+        calibration: out.calibration(),
+    }
+}
+
+/// Runs the full comparison: both mixes, all variants, shared traces so the
+/// comparison is paired.
+#[must_use]
+pub fn run(params: PredictiveParams) -> Vec<PredictiveRow> {
+    let mixes = [
+        (
+            "Arena-Hard",
+            DatasetMix::single(DatasetProfile::arena_hard()),
+        ),
+        ("Reasoning-Heavy", reasoning_heavy_mix()),
+    ];
+    let mut rows = Vec::new();
+    for (name, mix) in &mixes {
+        let trace = evaluation_trace(mix, params.level, params.count, params.seed);
+        for predictor in variants() {
+            rows.push(row(name, &run_variant(&trace, predictor)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p99(row: &PredictiveRow) -> f64 {
+        row.ttft.as_ref().expect("ttft present").p99
+    }
+
+    #[test]
+    fn rows_cover_both_mixes_and_all_variants() {
+        let rows = run(PredictiveParams {
+            count: 150,
+            seed: 5,
+            level: RateLevel::Medium,
+        });
+        assert_eq!(rows.len(), 8);
+        let names: Vec<&str> = rows.iter().map(|r| r.policy.as_str()).collect();
+        assert!(names.contains(&"PASCAL"));
+        assert!(names.contains(&"PASCAL(Predictive-Oracle)"));
+        assert!(names.contains(&"PASCAL(Predictive-EMA)"));
+        assert!(names.contains(&"PASCAL(Predictive-Rank)"));
+    }
+
+    #[test]
+    fn oracle_calibration_is_exact_and_rank_has_none() {
+        let trace = evaluation_trace(&reasoning_heavy_mix(), RateLevel::Medium, 120, 9);
+        let oracle = run_variant(&trace, Some(PredictorKind::Oracle));
+        let cal = oracle.calibration().expect("oracle always estimates");
+        assert_eq!(cal.covered, 120);
+        assert_eq!(cal.mean_abs_error, 0.0, "oracle has zero calibration error");
+        assert_eq!(cal.abs_error_p99, 0.0);
+
+        let rank = run_variant(&trace, Some(PredictorKind::PairwiseRank));
+        assert!(rank.calibration().is_none(), "rank never estimates lengths");
+        assert_eq!(rank.predictions.len(), 120, "samples still logged");
+
+        let ema = run_variant(&trace, Some(PredictorKind::ProfileEma));
+        let ema_cal = ema.calibration().expect("ema estimates after warmup");
+        assert!(ema_cal.covered < ema_cal.samples, "cold start is uncovered");
+        assert!(ema_cal.mean_abs_error > 0.0, "ema is not an oracle");
+    }
+
+    #[test]
+    fn oracle_matches_or_beats_reactive_pascal_on_tail_ttft() {
+        // The acceptance bar: on the reasoning-heavy mix, perfect length
+        // information must not lose on p99 TTFT — speculatively demoting
+        // known giants clears the high-priority queue for everyone else.
+        let trace = evaluation_trace(&reasoning_heavy_mix(), RateLevel::High, 800, 2026);
+        let baseline = row("rh", &run_variant(&trace, None));
+        let oracle = row("rh", &run_variant(&trace, Some(PredictorKind::Oracle)));
+        assert!(
+            p99(&oracle) <= p99(&baseline),
+            "Oracle p99 TTFT {:.2}s must be <= reactive PASCAL {:.2}s",
+            p99(&oracle),
+            p99(&baseline)
+        );
+    }
+}

@@ -35,7 +35,13 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str(&render_row(headers.to_vec()));
     out.push_str(&format!(
         "{}\n",
-        "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2))
+        "-".repeat(
+            widths
+                .iter()
+                .map(|w| w + 2)
+                .sum::<usize>()
+                .saturating_sub(2)
+        )
     ));
     for row in rows {
         out.push_str(&render_row(row.iter().map(String::as_str).collect()));
@@ -63,7 +69,10 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["a", "long_header"],
-            &[vec!["xxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

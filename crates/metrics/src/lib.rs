@@ -15,7 +15,9 @@
 //! * [`percentile`] / [`tail_by_token_bins`] — the adaptive tail-TTFT
 //!   binning of Fig. 10;
 //! * [`Histogram`] — density histograms for the token-distribution figures
-//!   (Fig. 8, Fig. 14).
+//!   (Fig. 8, Fig. 14);
+//! * [`PredictionSample`] / [`CalibrationReport`] — predicted-vs-actual
+//!   length-prediction error quantiles for the `pascal-predict` subsystem.
 //!
 //! # Examples
 //!
@@ -36,17 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calibration;
 mod histogram;
 mod qoe;
 mod record;
 mod summary;
 mod tail;
 
+pub use calibration::{CalibrationReport, PredictionSample};
 pub use histogram::Histogram;
 pub use qoe::{answering_qoe, qoe_of_stream, QoeParams};
 pub use record::{MigrationRecord, RequestRecord};
 pub use summary::{
-    breakdown_by, cdf_points, goodput_requests_per_s, slo_violation_rate,
-    throughput_tokens_per_s, LatencySummary, PhaseBreakdown, SLO_QOE_THRESHOLD,
+    breakdown_by, cdf_points, goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s,
+    LatencySummary, PhaseBreakdown, SLO_QOE_THRESHOLD,
 };
 pub use tail::{adaptive_tail, percentile, tail_by_token_bins, BinTail, TailStat};

@@ -182,9 +182,21 @@ mod tests {
 
     #[test]
     fn slower_pace_generation_degrades_gradually() {
-        let on_pace = qoe_of_stream(&stream(0.0, 0.1, 50), secs(0.0), SimDuration::from_millis(100));
-        let slow_10 = qoe_of_stream(&stream(0.0, 0.11, 50), secs(0.0), SimDuration::from_millis(100));
-        let slow_50 = qoe_of_stream(&stream(0.0, 0.15, 50), secs(0.0), SimDuration::from_millis(100));
+        let on_pace = qoe_of_stream(
+            &stream(0.0, 0.1, 50),
+            secs(0.0),
+            SimDuration::from_millis(100),
+        );
+        let slow_10 = qoe_of_stream(
+            &stream(0.0, 0.11, 50),
+            secs(0.0),
+            SimDuration::from_millis(100),
+        );
+        let slow_50 = qoe_of_stream(
+            &stream(0.0, 0.15, 50),
+            secs(0.0),
+            SimDuration::from_millis(100),
+        );
         assert!(on_pace > slow_10 && slow_10 > slow_50);
     }
 
@@ -224,7 +236,10 @@ mod tests {
         };
         let eval = answering_qoe(&record, &QoeParams::paper_eval()).unwrap();
         let charac = answering_qoe(&record, &QoeParams::characterization()).unwrap();
-        assert!((eval - 1.0).abs() < 1e-9, "TPOT-only mode ignores TTFAT: {eval}");
+        assert!(
+            (eval - 1.0).abs() < 1e-9,
+            "TPOT-only mode ignores TTFAT: {eval}"
+        );
         assert!(charac < 0.9, "characterization mode charges it: {charac}");
     }
 

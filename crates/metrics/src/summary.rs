@@ -26,11 +26,7 @@ pub const SLO_QOE_THRESHOLD: f64 = 0.95;
 /// assert_eq!(rate, 0.0);
 /// ```
 #[must_use]
-pub fn slo_violation_rate(
-    records: &[RequestRecord],
-    params: &QoeParams,
-    threshold: f64,
-) -> f64 {
+pub fn slo_violation_rate(records: &[RequestRecord], params: &QoeParams, threshold: f64) -> f64 {
     let mut considered = 0usize;
     let mut violated = 0usize;
     for r in records {
@@ -70,7 +66,9 @@ pub fn throughput_tokens_per_s(records: &[RequestRecord]) -> f64 {
         .map(|r| r.completion)
         .max()
         .expect("non-empty");
-    let span = last_completion.saturating_since(first_arrival).as_secs_f64();
+    let span = last_completion
+        .saturating_since(first_arrival)
+        .as_secs_f64();
     if span <= 0.0 {
         return 0.0;
     }
@@ -281,9 +279,7 @@ pub fn goodput_requests_per_s(
     }
     let good = records
         .iter()
-        .filter(|r| {
-            answering_qoe(r, params).is_none_or(|q| q >= threshold)
-        })
+        .filter(|r| answering_qoe(r, params).is_none_or(|q| q >= threshold))
         .count();
     let first_arrival = records
         .iter()
@@ -295,7 +291,9 @@ pub fn goodput_requests_per_s(
         .map(|r| r.completion)
         .max()
         .expect("non-empty");
-    let span = last_completion.saturating_since(first_arrival).as_secs_f64();
+    let span = last_completion
+        .saturating_since(first_arrival)
+        .as_secs_f64();
     if span <= 0.0 {
         0.0
     } else {

@@ -110,8 +110,7 @@ impl PerfModel {
         }
         let bw = self.gpu.effective_bandwidth();
         let weight_read = self.llm.weight_bytes() as f64 / bw;
-        let kv_read =
-            (batch.total_context_tokens * self.llm.kv_bytes_per_token()) as f64 / bw;
+        let kv_read = (batch.total_context_tokens * self.llm.kv_bytes_per_token()) as f64 / bw;
         let secs = self.gpu.iteration_overhead_s
             + weight_read
             + kv_read
@@ -164,7 +163,10 @@ mod tests {
             total_context_tokens: 512,
         });
         let ms = t.as_millis_f64();
-        assert!((20.0..40.0).contains(&ms), "decode step {ms} ms out of band");
+        assert!(
+            (20.0..40.0).contains(&ms),
+            "decode step {ms} ms out of band"
+        );
     }
 
     #[test]
@@ -177,7 +179,10 @@ mod tests {
     #[test]
     fn empty_decode_batch_is_free() {
         let perf = h100_32b();
-        assert_eq!(perf.decode_step_time(DecodeBatch::default()), SimDuration::ZERO);
+        assert_eq!(
+            perf.decode_step_time(DecodeBatch::default()),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -196,7 +201,10 @@ mod tests {
         // 2048 tokens x 256 KiB = 512 MiB; at 50 GB/s that is ~10.7 ms.
         let perf = h100_32b();
         let ms = perf.pcie_transfer_time(2048).as_millis_f64();
-        assert!((5.0..20.0).contains(&ms), "pcie transfer {ms} ms out of band");
+        assert!(
+            (5.0..20.0).contains(&ms),
+            "pcie transfer {ms} ms out of band"
+        );
     }
 
     #[test]

@@ -82,8 +82,13 @@ mod tests {
         // §IV-B: "a one-time transfer delay of approximately 40 ms for
         // 2,048 tokens" (at 256 KiB/token).
         let bytes = 2048 * 256 * 1024;
-        let ms = LinkSpec::fabric_100gbps().transfer_time(bytes).as_millis_f64();
-        assert!((35.0..55.0).contains(&ms), "fabric transfer {ms} ms out of band");
+        let ms = LinkSpec::fabric_100gbps()
+            .transfer_time(bytes)
+            .as_millis_f64();
+        assert!(
+            (35.0..55.0).contains(&ms),
+            "fabric transfer {ms} ms out of band"
+        );
     }
 
     #[test]

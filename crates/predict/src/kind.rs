@@ -1,0 +1,91 @@
+//! Predictor selection: a small, copyable configuration enum.
+
+use crate::ema::ProfileEma;
+use crate::oracle::Oracle;
+use crate::predictor::LengthPredictor;
+use crate::rank::PairwiseRank;
+
+/// Which length predictor a deployment runs. Lives in `SimConfig`; the
+/// engine builds the stateful predictor from it at simulation start, so
+/// configs stay `Clone + Copy`-friendly and every run begins from identical
+/// (empty) predictor state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Perfect information from the trace — the upper bound.
+    Oracle,
+    /// Per-dataset running mean / quantile estimator.
+    ProfileEma,
+    /// Pairwise learning-to-rank comparator (no absolute estimates).
+    PairwiseRank,
+}
+
+impl PredictorKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [PredictorKind; 3] = [
+        PredictorKind::Oracle,
+        PredictorKind::ProfileEma,
+        PredictorKind::PairwiseRank,
+    ];
+
+    /// Builds a fresh predictor of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn LengthPredictor> {
+        match self {
+            PredictorKind::Oracle => Box::new(Oracle),
+            PredictorKind::ProfileEma => Box::new(ProfileEma::default()),
+            PredictorKind::PairwiseRank => Box::new(PairwiseRank::default()),
+        }
+    }
+
+    /// Display name, matching the predictor's `name()`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Oracle => "Oracle",
+            PredictorKind::ProfileEma => "EMA",
+            PredictorKind::PairwiseRank => "Rank",
+        }
+    }
+
+    /// Parses a CLI-style name (`oracle` / `ema` / `rank`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown string back as the error.
+    pub fn parse(s: &str) -> Result<PredictorKind, String> {
+        match s {
+            "oracle" => Ok(PredictorKind::Oracle),
+            "ema" => Ok(PredictorKind::ProfileEma),
+            "rank" => Ok(PredictorKind::PairwiseRank),
+            other => Err(format!(
+                "unknown predictor '{other}' (expected oracle, ema or rank)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in PredictorKind::ALL {
+            let cli = kind.name().to_lowercase();
+            let cli = if cli == "ema" || cli == "rank" || cli == "oracle" {
+                cli
+            } else {
+                unreachable!("unexpected name {cli}")
+            };
+            assert_eq!(PredictorKind::parse(&cli), Ok(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert!(PredictorKind::parse("magic").is_err());
+    }
+}

@@ -28,6 +28,7 @@
 //!         reasoning_count: 3,
 //!         fresh_answering_count: 0,
 //!         gpu_free_blocks: Some(10),
+//!         predicted_future_kv_bytes: 0,
 //!     },
 //!     InstanceStats {
 //!         instance: 1,
@@ -36,6 +37,7 @@
 //!         reasoning_count: 7,
 //!         fresh_answering_count: 2,
 //!         gpu_free_blocks: Some(10),
+//!         predicted_future_kv_bytes: 0,
 //!     },
 //! ];
 //! // Algorithm 1: new reasoning work goes to the smallest KV footprint.

@@ -211,14 +211,21 @@ impl SchedPolicy {
     /// Baselines place on the instance with the smallest KV footprint
     /// (§V-A); PASCAL runs Algorithm 1: restrict to SLO-healthy instances
     /// (`t_i`), fall back to all if none qualify, then pick the smallest
-    /// GPU+CPU KV footprint `m_i`.
+    /// GPU+CPU KV footprint `m_i`. When a length predictor is active the
+    /// engine fills [`InstanceStats::predicted_future_kv_bytes`], and
+    /// PASCAL's `m_i` becomes *current plus predicted future* footprint —
+    /// predictive Algorithm 1 placement. Without a predictor that term is
+    /// zero and the ranking is exactly the paper's.
     ///
     /// # Panics
     ///
     /// Panics if `stats` is empty.
     #[must_use]
     pub fn place_new_request(&self, stats: &[InstanceStats]) -> u32 {
-        assert!(!stats.is_empty(), "placement requires at least one instance");
+        assert!(
+            !stats.is_empty(),
+            "placement requires at least one instance"
+        );
         match self {
             SchedPolicy::Fcfs | SchedPolicy::RoundRobin { .. } => {
                 min_by_key_stable(stats.iter(), |s| s.kv_footprint_bytes).instance
@@ -230,7 +237,7 @@ impl SchedPolicy {
                 } else {
                     healthy
                 };
-                min_by_key_stable(pool, |s| s.kv_footprint_bytes).instance
+                min_by_key_stable(pool, |s| s.predicted_total_kv_bytes()).instance
             }
         }
     }
@@ -267,12 +274,15 @@ impl SchedPolicy {
         // reasoning-loaded instances share the migrated answering load
         // instead of funnelling it into one dumping-ground instance.
         let healthy: Vec<&InstanceStats> = stats.iter().filter(|s| s.slo_ok).collect();
+        // Footprint tie-breaks use the predicted total (current + predicted
+        // future growth); identical to the paper's current-footprint rule
+        // whenever no predictor is active.
         let target = if healthy.is_empty() {
             // Fallback: rank by r_i + a_i across all instances.
             min_by_key_stable(stats.iter(), |s| {
                 (
                     u64::from(s.reasoning_count) + u64::from(s.fresh_answering_count),
-                    s.kv_footprint_bytes,
+                    s.predicted_total_kv_bytes(),
                 )
             })
         } else {
@@ -280,7 +290,7 @@ impl SchedPolicy {
                 (
                     u64::from(s.reasoning_count),
                     u64::from(s.fresh_answering_count),
-                    s.kv_footprint_bytes,
+                    s.predicted_total_kv_bytes(),
                 )
             })
         };
@@ -342,6 +352,7 @@ mod tests {
             reasoning_count: reasoning,
             fresh_answering_count: fresh_ans,
             gpu_free_blocks: free,
+            predicted_future_kv_bytes: 0,
         }
     }
 
@@ -544,7 +555,10 @@ mod tests {
     fn names_match_figures() {
         assert_eq!(SchedPolicy::Fcfs.name(), "FCFS");
         assert_eq!(SchedPolicy::round_robin_default().name(), "RR");
-        assert_eq!(SchedPolicy::pascal(PascalConfig::default()).name(), "PASCAL");
+        assert_eq!(
+            SchedPolicy::pascal(PascalConfig::default()).name(),
+            "PASCAL"
+        );
         let no_mig = PascalConfig {
             migration_enabled: false,
             ..PascalConfig::default()
@@ -565,6 +579,42 @@ mod tests {
         assert!(SchedPolicy::pascal(PascalConfig::default()).resets_quanta_at_transition());
         assert!(!SchedPolicy::round_robin_default().resets_quanta_at_transition());
         assert!(!SchedPolicy::Fcfs.resets_quanta_at_transition());
+    }
+
+    #[test]
+    fn predictive_placement_ranks_by_current_plus_predicted() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let mut s = vec![
+            stats(0, true, 100, 0, 0, Some(10)),
+            stats(1, true, 300, 0, 0, Some(10)),
+        ];
+        // Reactively, instance 0 wins on current footprint …
+        assert_eq!(p.place_new_request(&s), 0);
+        // … but a predictor expecting 500 more bytes of growth there flips
+        // the choice to instance 1.
+        s[0].predicted_future_kv_bytes = 500;
+        assert_eq!(p.place_new_request(&s), 1);
+        // Baselines ignore predictions entirely.
+        assert_eq!(SchedPolicy::Fcfs.place_new_request(&s), 0);
+    }
+
+    #[test]
+    fn predictive_footprint_breaks_migration_ties() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let mut s = vec![
+            stats(0, true, 0, 5, 0, Some(100)),
+            stats(1, true, 10, 1, 1, Some(100)),
+            stats(2, true, 20, 1, 1, Some(100)),
+        ];
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(1)
+        );
+        s[1].predicted_future_kv_bytes = 100;
+        assert_eq!(
+            p.migration_decision(0, 10, &s),
+            MigrationDecision::MigrateTo(2)
+        );
     }
 
     #[test]

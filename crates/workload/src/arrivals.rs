@@ -220,7 +220,10 @@ mod tests {
         let gaps = |proc: ArrivalProcess, seed: u64| -> Vec<f64> {
             let mut rng = SimRng::seed_from(seed);
             let times = proc.generate(20_000, &mut rng);
-            times.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect()
+            times
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_secs_f64())
+                .collect()
         };
         let scv = |xs: &[f64]| {
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;

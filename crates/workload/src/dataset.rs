@@ -132,7 +132,10 @@ impl DatasetMix {
     /// Panics if `components` is empty or any weight is non-positive.
     #[must_use]
     pub fn new(components: Vec<(DatasetProfile, f64)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         for (p, w) in &components {
             assert!(
                 w.is_finite() && *w > 0.0,
@@ -175,11 +178,7 @@ impl DatasetMix {
             pick -= weight;
         }
         // Floating-point edge: fall back to the last component.
-        &self
-            .components
-            .last()
-            .expect("mixture is non-empty")
-            .0
+        &self.components.last().expect("mixture is non-empty").0
     }
 
     /// Expected mean output tokens per request across the mixture.

@@ -77,6 +77,10 @@ pub struct RequestSpec {
     /// compute) and the request starts directly in [`Phase::Answering`] —
     /// the setup of the paper's answering-phase characterization (Fig. 5).
     pub warm_start: bool,
+    /// Name of the dataset profile the request was drawn from, when known.
+    /// Length predictors use it as the conditioning key for per-dataset
+    /// statistics; it is metadata only and never influences the engine.
+    pub dataset: Option<std::sync::Arc<str>>,
 }
 
 impl RequestSpec {
@@ -105,7 +109,22 @@ impl RequestSpec {
             reasoning_tokens,
             answering_tokens,
             warm_start: false,
+            dataset: None,
         }
+    }
+
+    /// Tags the request with the dataset profile it was drawn from.
+    #[must_use]
+    pub fn with_dataset(mut self, name: &str) -> Self {
+        self.dataset = Some(std::sync::Arc::from(name));
+        self
+    }
+
+    /// The dataset tag, or `"?"` for untagged requests — the conditioning
+    /// key length predictors bucket their statistics by.
+    #[must_use]
+    pub fn dataset_key(&self) -> &str {
+        self.dataset.as_deref().unwrap_or("?")
     }
 
     /// Creates a warm request whose prompt/reasoning KV (`context_tokens`)
@@ -131,6 +150,7 @@ impl RequestSpec {
             reasoning_tokens: 0,
             answering_tokens,
             warm_start: true,
+            dataset: None,
         }
     }
 

@@ -43,7 +43,11 @@ impl Trace {
         let mut ids: Vec<u64> = requests.iter().map(|r| r.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), requests.len(), "trace request ids must be unique");
+        assert_eq!(
+            ids.len(),
+            requests.len(),
+            "trace request ids must be unique"
+        );
         Trace { requests }
     }
 
@@ -65,9 +69,7 @@ impl Trace {
     /// The time of the last arrival (zero for an empty trace).
     #[must_use]
     pub fn last_arrival(&self) -> SimTime {
-        self.requests
-            .last()
-            .map_or(SimTime::ZERO, |r| r.arrival)
+        self.requests.last().map_or(SimTime::ZERO, |r| r.arrival)
     }
 }
 
@@ -139,6 +141,7 @@ impl TraceBuilder {
                 let reasoning = profile.reasoning.sample(&mut length_rng).max(1);
                 let answering = profile.answering.sample(&mut length_rng);
                 RequestSpec::new(RequestId(i as u64), arrival, prompt, reasoning, answering)
+                    .with_dataset(&profile.name)
             })
             .collect();
         Trace::from_requests(requests)

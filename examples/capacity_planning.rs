@@ -9,9 +9,7 @@
 
 use pascal::core::experiments::common::{main_policies, run_cluster};
 use pascal::core::{estimate_capacity_rps, SimConfig};
-use pascal::metrics::{
-    percentile, slo_violation_rate, QoeParams, SLO_QOE_THRESHOLD,
-};
+use pascal::metrics::{percentile, slo_violation_rate, QoeParams, SLO_QOE_THRESHOLD};
 use pascal::sched::SchedPolicy;
 use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
 

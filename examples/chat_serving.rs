@@ -30,8 +30,8 @@ fn main() {
             .iter()
             .filter_map(|r| r.ttft().map(|t| (r.spec.reasoning_tokens, t.as_secs_f64())))
             .collect();
-        let ttft = LatencySummary::from_values(points.iter().map(|(_, t)| *t))
-            .expect("non-empty trace");
+        let ttft =
+            LatencySummary::from_values(points.iter().map(|(_, t)| *t)).expect("non-empty trace");
         let violations =
             slo_violation_rate(&out.records, &QoeParams::paper_eval(), SLO_QOE_THRESHOLD);
         println!(

@@ -49,7 +49,11 @@ fn main() {
             slo_violation_rate(&out.records, &QoeParams::paper_eval(), SLO_QOE_THRESHOLD);
         println!(
             "{:<8} TTFT mean {:>6.1}s p99 {:>6.1}s | TTFAT mean {:>6.3}s | SLO violations {:>5.2}%",
-            out.policy_name, ttft.mean, ttft.p99, mean_ttfat, violations * 100.0
+            out.policy_name,
+            ttft.mean,
+            ttft.p99,
+            mean_ttfat,
+            violations * 100.0
         );
     }
     println!(

@@ -37,7 +37,11 @@ fn main() {
         }
         let at = secs(probe);
         let balance = pacer.buffer_balance(at);
-        let state = if balance >= 0 { "smooth" } else { "STARVED (Fig. 3(iii))" };
+        let state = if balance >= 0 {
+            "smooth"
+        } else {
+            "STARVED (Fig. 3(iii))"
+        };
         println!(
             "{probe:>5.2}   {:>9}  {:>8}  {:>6}   {state}",
             pacer.generated(),

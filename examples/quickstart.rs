@@ -36,14 +36,22 @@ fn main() {
 
     // KV memory for exactly two in-flight requests: each needs
     // ceil((16 prompt + 8 output + 1) / 16) = 2 blocks of 16 tokens.
-    let geometry = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited)
-        .geometry();
+    let geometry =
+        SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited).geometry();
     let two_requests = 4 * geometry.block_bytes();
 
     println!("Fig. 2 walkthrough: A/B/C on one instance, memory for two requests\n");
     for (label, policy, capacity) in [
-        ("(a) oracle (infinite memory)", SchedPolicy::Fcfs, KvCapacityMode::Unlimited),
-        ("(b) FCFS", SchedPolicy::Fcfs, KvCapacityMode::Bytes(two_requests)),
+        (
+            "(a) oracle (infinite memory)",
+            SchedPolicy::Fcfs,
+            KvCapacityMode::Unlimited,
+        ),
+        (
+            "(b) FCFS",
+            SchedPolicy::Fcfs,
+            KvCapacityMode::Bytes(two_requests),
+        ),
         (
             "(c) round-robin, quantum 4",
             SchedPolicy::RoundRobin { quantum: 4 },
@@ -56,8 +64,7 @@ fn main() {
         for record in &out.records {
             let name = ["A", "B", "C"][record.spec.id.0 as usize];
             let first = record.token_times[0];
-            let steps_to_first =
-                (first.saturating_since(record.spec.arrival)).as_secs_f64() / step;
+            let steps_to_first = (first.saturating_since(record.spec.arrival)).as_secs_f64() / step;
             let steps_to_done =
                 (record.completion.saturating_since(record.spec.arrival)).as_secs_f64() / step;
             println!(

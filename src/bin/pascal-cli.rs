@@ -8,13 +8,13 @@
 
 use std::process::ExitCode;
 
-use pascal::core::experiments::common::run_cluster;
 use pascal::core::report::{records_csv, render_table};
-use pascal::core::{estimate_capacity_rps, RateLevel, SimConfig};
+use pascal::core::{estimate_capacity_rps, run_simulation, RateLevel, SimConfig};
 use pascal::metrics::{
-    goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary,
-    QoeParams, SLO_QOE_THRESHOLD,
+    goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary, QoeParams,
+    SLO_QOE_THRESHOLD,
 };
+use pascal::predict::PredictorKind;
 use pascal::sched::{PascalConfig, SchedPolicy};
 use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
 
@@ -28,6 +28,11 @@ USAGE:
 OPTIONS (run):
   --dataset <alpaca|arena|math500|gpqa|lcb|mixed>   workload       [alpaca]
   --policy  <fcfs|rr|pascal|pascal-nomigration|pascal-nonadaptive> [pascal]
+  --predictor <none|oracle|ema|rank>                length predictor [none]
+          oracle reads the trace's hidden lengths; ema learns per-dataset
+          running means; rank orders by predicted remaining work. With
+          pascal, enables speculative demotion + predicted-footprint
+          placement and prints a calibration report.
   --rate    <low|medium|high|REQ_PER_S>             arrival rate   [high]
   --count   <N>                                     requests       [1000]
   --seed    <N>                                     RNG seed       [42]
@@ -68,6 +73,7 @@ fn policy(name: &str) -> Result<SchedPolicy, String> {
 struct RunOpts {
     dataset: String,
     policy: String,
+    predictor: String,
     rate: String,
     count: usize,
     seed: u64,
@@ -80,12 +86,20 @@ impl Default for RunOpts {
         RunOpts {
             dataset: "alpaca".to_owned(),
             policy: "pascal".to_owned(),
+            predictor: "none".to_owned(),
             rate: "high".to_owned(),
             count: 1000,
             seed: 42,
             instances: 8,
             csv: None,
         }
+    }
+}
+
+fn predictor(name: &str) -> Result<Option<PredictorKind>, String> {
+    match name {
+        "none" => Ok(None),
+        other => PredictorKind::parse(other).map(Some),
     }
 }
 
@@ -101,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
         match flag.as_str() {
             "--dataset" => opts.dataset = value()?,
             "--policy" => opts.policy = value()?,
+            "--predictor" => opts.predictor = value()?,
             "--rate" => opts.rate = value()?,
             "--count" => {
                 opts.count = value()?.parse().map_err(|e| format!("--count: {e}"))?;
@@ -140,21 +155,27 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let policy = policy(&opts.policy)?;
     let mut config = SimConfig::evaluation_cluster(policy);
     config.num_instances = opts.instances;
+    config.predictor = predictor(&opts.predictor)?;
     let rate = resolve_rate(&opts.rate, &config, &mix)?;
 
+    // Predictions only steer PASCAL; under the baselines the predictor is
+    // observational (calibration only) and the label stays the plain name.
+    let policy_label = match (config.predictor, policy) {
+        (Some(kind), SchedPolicy::Pascal(_)) => {
+            format!("{}(Predictive-{kind})", policy.name())
+        }
+        _ => policy.name().to_owned(),
+    };
     eprintln!(
-        "simulating {} {} requests at {rate:.2} req/s on {} instances under {} …",
-        opts.count,
-        opts.dataset,
-        opts.instances,
-        policy.name()
+        "simulating {} {} requests at {rate:.2} req/s on {} instances under {policy_label} …",
+        opts.count, opts.dataset, opts.instances,
     );
     let trace = TraceBuilder::new(mix)
         .arrivals(ArrivalProcess::poisson(rate))
         .count(opts.count)
         .seed(opts.seed)
         .build();
-    let out = run_cluster_sized(&trace, config);
+    let out = run_simulation(&trace, &config);
 
     let ttft = LatencySummary::from_values(
         out.records
@@ -187,12 +208,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             format!("{:.1}s", out.makespan.as_secs_f64()),
         ],
     ];
+    if let Some(cal) = out.calibration() {
+        rows.push(vec!["prediction calibration".to_owned(), cal.to_string()]);
+    }
     if let Some(t) = ttft {
         rows.insert(
             0,
             vec![
                 "TTFT mean/p50/p99/max".to_owned(),
-                format!("{:.1} / {:.1} / {:.1} / {:.1} s", t.mean, t.p50, t.p99, t.max),
+                format!(
+                    "{:.1} / {:.1} / {:.1} / {:.1} s",
+                    t.mean, t.p50, t.p99, t.max
+                ),
             ],
         );
     }
@@ -204,17 +231,6 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         eprintln!("wrote per-request CSV to {path}");
     }
     Ok(())
-}
-
-fn run_cluster_sized(
-    trace: &pascal::workload::Trace,
-    config: SimConfig,
-) -> pascal::core::SimOutput {
-    if config.num_instances == 8 {
-        run_cluster(trace, config.policy)
-    } else {
-        pascal::core::run_simulation(trace, &config)
-    }
 }
 
 fn cmd_capacity(args: &[String]) -> Result<(), String> {
@@ -308,6 +324,17 @@ mod tests {
         assert!((num - 3.5).abs() < 1e-12);
         assert!(resolve_rate("-2", &config, &mix).is_err());
         assert!(resolve_rate("fast", &config, &mix).is_err());
+    }
+
+    #[test]
+    fn predictor_flag_resolves() {
+        assert_eq!(predictor("none"), Ok(None));
+        assert_eq!(predictor("oracle"), Ok(Some(PredictorKind::Oracle)));
+        assert_eq!(predictor("ema"), Ok(Some(PredictorKind::ProfileEma)));
+        assert_eq!(predictor("rank"), Ok(Some(PredictorKind::PairwiseRank)));
+        assert!(predictor("psychic").is_err());
+        let opts = parse_opts(&strs(&["--predictor", "oracle"])).expect("valid");
+        assert_eq!(opts.predictor, "oracle");
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | [`workload`] | `pascal-workload` | two-phase requests, dataset profiles, traces |
 //! | [`metrics`] | `pascal-metrics` | TTFT/TTFAT, QoE, tails, histograms |
 //! | [`cluster`] | `pascal-cluster` | KV pools, PCIe/fabric channels, pacer, instances |
-//! | [`sched`] | `pascal-sched` | FCFS, RR, PASCAL (Algorithms 1–2 + ablations) |
+//! | [`predict`] | `pascal-predict` | online length prediction (oracle, EMA, pairwise rank) |
+//! | [`sched`] | `pascal-sched` | FCFS, RR, PASCAL (Algorithms 1–2 + ablations + predictive hooks) |
 //! | [`core`] | `pascal-core` | the serving engine and per-figure experiments |
 //!
 //! # Quickstart
@@ -54,6 +55,7 @@ pub use pascal_cluster as cluster;
 pub use pascal_core as core;
 pub use pascal_metrics as metrics;
 pub use pascal_model as model;
+pub use pascal_predict as predict;
 pub use pascal_sched as sched;
 pub use pascal_sim as sim;
 pub use pascal_workload as workload;

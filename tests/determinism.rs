@@ -3,6 +3,7 @@
 
 use pascal::core::experiments::common::{main_policies, run_cluster};
 use pascal::core::{run_simulation, SimConfig};
+use pascal::predict::PredictorKind;
 use pascal::sched::{PascalConfig, SchedPolicy};
 use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
 
@@ -40,5 +41,27 @@ fn every_policy_is_deterministic() {
         let a = run_cluster(&trace, policy);
         let b = run_cluster(&trace, policy);
         assert_eq!(a.records, b.records, "{} not deterministic", policy.name());
+    }
+}
+
+#[test]
+fn predictive_policies_are_deterministic() {
+    // The online predictors carry learned state; identical (trace, config,
+    // predictor) inputs must still replay byte-identically — records AND
+    // the predicted-vs-actual sample log.
+    let trace = small_trace(31);
+    for kind in PredictorKind::ALL {
+        let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()))
+            .with_predictor(kind);
+        let a = run_simulation(&trace, &config);
+        let b = run_simulation(&trace, &config);
+        assert_eq!(a.records, b.records, "{kind}: records diverged");
+        assert_eq!(a.predictions, b.predictions, "{kind}: predictions diverged");
+        assert_eq!(
+            format!("{:?}", a.records),
+            format!("{:?}", b.records),
+            "{kind}: byte-level divergence"
+        );
+        assert_eq!(a.policy_name, format!("PASCAL(Predictive-{kind})"));
     }
 }

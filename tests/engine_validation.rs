@@ -20,8 +20,7 @@ fn single_request_trace(prompt: u32, reasoning: u32, answering: u32) -> Trace {
 
 #[test]
 fn isolated_request_matches_closed_form_exactly() {
-    for (prompt, reasoning, answering) in [(128, 50, 50), (256, 1, 1), (64, 200, 0), (512, 7, 93)]
-    {
+    for (prompt, reasoning, answering) in [(128, 50, 50), (256, 1, 1), (64, 200, 0), (512, 7, 93)] {
         let trace = single_request_trace(prompt, reasoning, answering);
         let config = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited);
         let out = run_simulation(&trace, &config);

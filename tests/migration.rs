@@ -17,7 +17,10 @@ fn migration_records_are_well_formed() {
     let trace = evaluation_trace(&mix(), RateLevel::Medium, 300, 3);
     let out = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
     let migrations = out.migrations();
-    assert!(!migrations.is_empty(), "PASCAL should migrate at transitions");
+    assert!(
+        !migrations.is_empty(),
+        "PASCAL should migrate at transitions"
+    );
     for m in &migrations {
         assert_ne!(m.from_instance, m.to_instance);
         assert!(m.finished > m.started);
@@ -38,10 +41,7 @@ fn no_migration_variant_never_moves_requests() {
     let trace = evaluation_trace(&mix(), RateLevel::High, 300, 4);
     let out = run_cluster(&trace, pascal_no_migration());
     assert!(out.migrations().is_empty());
-    assert!(out
-        .records
-        .iter()
-        .all(|r| r.instances_visited.len() == 1));
+    assert!(out.records.iter().all(|r| r.instances_visited.len() == 1));
 }
 
 #[test]
