@@ -1,0 +1,64 @@
+//! Regenerates the predictive-migration comparison: reactive Algorithm 2
+//! vs the cost/benefit migration controller (Oracle and EMA predictors) on
+//! the Arena-Hard chat mix at the high arrival rate.
+//!
+//! `PASCAL_BENCH_COUNT` overrides the trace size (the CI smoke step runs a
+//! tiny trace so the experiment wiring cannot rot).
+
+use pascal_bench::{figure_header, trace_count_override};
+use pascal_core::experiments::predictive_migration::{run, PredictiveMigrationParams};
+use pascal_core::report::render_table;
+
+fn main() {
+    figure_header(
+        "Predictive migration",
+        "Algorithm 2 with the KV-transfer cost vs predicted-remaining-service test (high rate)",
+    );
+    let mut params = PredictiveMigrationParams::default();
+    if let Some(count) = trace_count_override() {
+        params.count = count;
+    }
+    let rows = run(params);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let (p50, p99) = row
+                .ttft
+                .as_ref()
+                .map_or((f64::NAN, f64::NAN), |t| (t.p50, t.p99));
+            vec![
+                row.policy.clone(),
+                row.benefit_ratio
+                    .map_or_else(|| "-".to_owned(), |r| format!("{r:.0}")),
+                row.migrations.to_string(),
+                row.vetoed.to_string(),
+                row.landed_in_cpu.to_string(),
+                format!("{:.3}", row.mean_stall_s),
+                format!("{p50:.2}"),
+                format!("{p99:.2}"),
+                format!("{:.1}%", 100.0 * row.slo_violations),
+                row.remaining_error_tokens
+                    .map_or_else(|| "-".to_owned(), |e| format!("{e:.1}")),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "benefit ratio",
+                "migrations",
+                "vetoed",
+                "cpu landings",
+                "mean stall (s)",
+                "TTFT p50 (s)",
+                "p99 (s)",
+                "SLO viol",
+                "|rem err| (tok)",
+            ],
+            &table
+        )
+    );
+}

@@ -2,7 +2,7 @@
 //! PASCAL(Predictive-Oracle/EMA/Rank) on the chat and reasoning-heavy
 //! mixes, with per-predictor calibration reports.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, trace_count_override};
 use pascal_core::experiments::predictive::{run, PredictiveParams};
 use pascal_core::report::render_table;
 
@@ -11,7 +11,11 @@ fn main() {
         "Predictive scheduling",
         "speculative demotion + predicted-footprint placement (high rate)",
     );
-    let rows = run(PredictiveParams::default());
+    let mut params = PredictiveParams::default();
+    if let Some(count) = trace_count_override() {
+        params.count = count;
+    }
+    let rows = run(params);
 
     for dataset in ["Arena-Hard", "Reasoning-Heavy"] {
         println!("--- {dataset} ---");

@@ -24,6 +24,23 @@ pub fn opt_secs(x: Option<f64>) -> String {
     x.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}s"))
 }
 
+/// Trace-size override for smoke runs: the `PASCAL_BENCH_COUNT` environment
+/// variable, when set. The CI smoke step uses it to run the experiment
+/// wiring end-to-end on a tiny trace.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer — a silently
+/// ignored typo would quietly turn the smoke run back into the full sweep.
+#[must_use]
+pub fn trace_count_override() -> Option<usize> {
+    let raw = std::env::var("PASCAL_BENCH_COUNT").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => panic!("PASCAL_BENCH_COUNT must be a positive integer, got '{raw}'"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,57 @@ impl InstanceStats {
     }
 }
 
+/// Cluster-wide aggregate of a monitor sweep — the admission controller's
+/// view of the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Number of instances in the pool.
+    pub instances: usize,
+    /// Instances whose answering requests are all on pace (`t_i` healthy).
+    pub slo_healthy_instances: usize,
+    /// Current KV bytes held across the pool (GPU + CPU).
+    pub kv_bytes: u64,
+    /// Current plus predicted-future KV bytes across the pool — the
+    /// aggregate footprint predictive admission tests against the budget.
+    pub predicted_kv_bytes: u64,
+    /// Free GPU KV blocks across the pool (`None` = unbounded memory).
+    pub free_gpu_blocks: Option<u64>,
+}
+
+impl PoolSnapshot {
+    /// Aggregates per-instance monitor stats into the pool view.
+    #[must_use]
+    pub fn aggregate(stats: &[InstanceStats]) -> Self {
+        let mut snap = PoolSnapshot {
+            instances: stats.len(),
+            slo_healthy_instances: 0,
+            kv_bytes: 0,
+            predicted_kv_bytes: 0,
+            free_gpu_blocks: Some(0),
+        };
+        for s in stats {
+            if s.slo_ok {
+                snap.slo_healthy_instances += 1;
+            }
+            snap.kv_bytes = snap.kv_bytes.saturating_add(s.kv_footprint_bytes);
+            snap.predicted_kv_bytes = snap
+                .predicted_kv_bytes
+                .saturating_add(s.predicted_total_kv_bytes());
+            snap.free_gpu_blocks = match (snap.free_gpu_blocks, s.gpu_free_blocks) {
+                (Some(acc), Some(free)) => Some(acc + free),
+                _ => None,
+            };
+        }
+        snap
+    }
+
+    /// Whether every instance currently meets its answering SLO.
+    #[must_use]
+    pub fn all_slo_healthy(&self) -> bool {
+        self.slo_healthy_instances == self.instances
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +210,32 @@ mod tests {
             ..bounded
         };
         assert!(oracle.fits_blocks(u64::MAX));
+    }
+
+    #[test]
+    fn pool_snapshot_aggregates_and_handles_unbounded() {
+        let s = |slo, kv, pred, free| InstanceStats {
+            instance: 0,
+            slo_ok: slo,
+            kv_footprint_bytes: kv,
+            reasoning_count: 0,
+            fresh_answering_count: 0,
+            gpu_free_blocks: free,
+            predicted_future_kv_bytes: pred,
+        };
+        let snap =
+            PoolSnapshot::aggregate(&[s(true, 100, 50, Some(10)), s(false, 200, 0, Some(5))]);
+        assert_eq!(snap.instances, 2);
+        assert_eq!(snap.slo_healthy_instances, 1);
+        assert!(!snap.all_slo_healthy());
+        assert_eq!(snap.kv_bytes, 300);
+        assert_eq!(snap.predicted_kv_bytes, 350);
+        assert_eq!(snap.free_gpu_blocks, Some(15));
+        // One unbounded instance makes the pool unbounded.
+        let oracle = PoolSnapshot::aggregate(&[s(true, 0, 0, Some(3)), s(true, 0, 0, None)]);
+        assert_eq!(oracle.free_gpu_blocks, None);
+        // Empty pool aggregates to an empty snapshot.
+        assert_eq!(PoolSnapshot::aggregate(&[]).instances, 0);
     }
 
     #[test]

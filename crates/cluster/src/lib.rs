@@ -37,7 +37,7 @@ mod pacer;
 mod state;
 
 pub use channel::{BandwidthChannel, Fabric};
-pub use instance::{Instance, InstanceStats};
+pub use instance::{Instance, InstanceStats, PoolSnapshot};
 pub use kv::KvPool;
 pub use pacer::TokenPacer;
 pub use state::{KvLocation, RequestState};

@@ -11,6 +11,8 @@ use pascal_sched::SchedPolicy;
 use pascal_sim::SimDuration;
 use pascal_workload::DatasetMix;
 
+use crate::engine::{AdmissionMode, PredictiveMigration};
+
 /// How much HBM is available for KV cache on each instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -56,6 +58,12 @@ pub struct SimConfig {
     /// predicted-footprint placement (`None` = the paper's reactive
     /// scheduler).
     pub predictor: Option<PredictorKind>,
+    /// Predictive migration cost/benefit test (`None` = the paper's
+    /// reactive Algorithm 2). Requires a `predictor` to have any effect.
+    pub predictive_migration: Option<PredictiveMigration>,
+    /// Admission-control mode (default [`AdmissionMode::Disabled`]: every
+    /// arrival is admitted, as in the paper).
+    pub admission: AdmissionMode,
 }
 
 impl SimConfig {
@@ -76,6 +84,8 @@ impl SimConfig {
             pcie: LinkSpec::pcie5_x16(),
             target_tpot: SimDuration::from_millis(100),
             predictor: None,
+            predictive_migration: None,
+            admission: AdmissionMode::Disabled,
         }
     }
 
@@ -83,6 +93,21 @@ impl SimConfig {
     #[must_use]
     pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
         self.predictor = Some(predictor);
+        self
+    }
+
+    /// The same deployment with the predictive migration cost/benefit test
+    /// enabled at the given benefit ratio.
+    #[must_use]
+    pub fn with_predictive_migration(mut self, min_benefit_ratio: f64) -> Self {
+        self.predictive_migration = Some(PredictiveMigration { min_benefit_ratio });
+        self
+    }
+
+    /// The same deployment with predictive admission control enabled.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
         self
     }
 

@@ -1,0 +1,148 @@
+//! The admission controller: SLO admission control from predicted lengths.
+//!
+//! The paper's scheduler admits every arrival and lets overload surface as
+//! pacer starvation (unhealthy `t_i`) long after the cluster committed the
+//! memory. Predictive admission moves the decision to arrival time: project
+//! the pool's aggregate KV footprint — current bytes plus the predicted
+//! future growth of every in-flight request plus the incoming request's
+//! predicted final footprint — and reject the arrival when the projection
+//! exceeds the configured fraction of the pool's KV budget. Rejections are
+//! recorded (id, time, projection, budget) so experiments can weigh shed
+//! load against the SLO violations it prevented.
+
+use pascal_cluster::PoolSnapshot;
+use pascal_metrics::{AdmissionCounters, AdmissionRecord};
+use pascal_sim::SimTime;
+use pascal_workload::RequestSpec;
+
+use super::Engine;
+
+/// Admission-control mode of a deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdmissionMode {
+    /// Every arrival is admitted — the paper's behavior.
+    Disabled,
+    /// Reject arrivals whose predicted aggregate KV footprint would push
+    /// the pool past `max_utilization` of its GPU KV byte budget. The
+    /// projection counts CPU-offloaded KV as demand on purpose: offloaded
+    /// requests must reload onto a GPU to finish, so their bytes are
+    /// deferred GPU demand, not relieved pressure.
+    Predictive {
+        /// Fraction of the pool GPU KV budget admission is willing to
+        /// commit; `1.0` rejects once total predicted in-flight KV demand
+        /// exceeds what the GPUs can physically hold.
+        max_utilization: f64,
+    },
+}
+
+impl AdmissionMode {
+    /// The predictive mode at full budget utilization.
+    #[must_use]
+    pub fn predictive() -> Self {
+        AdmissionMode::Predictive {
+            max_utilization: 1.0,
+        }
+    }
+}
+
+/// Engine-side controller state: mode, pool budget and the rejection log.
+pub(super) struct AdmissionController {
+    mode: AdmissionMode,
+    /// Pool-wide KV byte budget (`None` = unbounded memory, never rejects).
+    budget_bytes: Option<u64>,
+    pub(super) counters: AdmissionCounters,
+    pub(super) rejections: Vec<AdmissionRecord>,
+}
+
+impl AdmissionController {
+    pub(super) fn new(mode: AdmissionMode, budget_bytes: Option<u64>) -> Self {
+        if let AdmissionMode::Predictive { max_utilization } = mode {
+            assert!(
+                max_utilization > 0.0 && max_utilization.is_finite(),
+                "admission max_utilization must be positive, got {max_utilization}"
+            );
+        }
+        AdmissionController {
+            mode,
+            budget_bytes,
+            counters: AdmissionCounters::default(),
+            rejections: Vec::new(),
+        }
+    }
+
+    pub(super) fn enabled(&self) -> bool {
+        !matches!(self.mode, AdmissionMode::Disabled)
+    }
+
+    /// Admits without inspecting the pool — the disabled path (and the
+    /// unbounded-memory shortcut).
+    fn admit_unconditionally(&mut self) -> bool {
+        self.counters.admitted += 1;
+        true
+    }
+
+    /// The predictive admission decision; tallies and logs the outcome.
+    fn admit(
+        &mut self,
+        spec: &RequestSpec,
+        pool: &PoolSnapshot,
+        incoming_bytes: u64,
+        now: SimTime,
+    ) -> bool {
+        let AdmissionMode::Predictive { max_utilization } = self.mode else {
+            return self.admit_unconditionally();
+        };
+        let Some(budget) = self.budget_bytes else {
+            // Unbounded (oracle) memory cannot overload.
+            return self.admit_unconditionally();
+        };
+        let projected = pool.predicted_kv_bytes.saturating_add(incoming_bytes);
+        let limit = (budget as f64 * max_utilization) as u64;
+        if projected > limit {
+            self.counters.rejected += 1;
+            self.rejections.push(AdmissionRecord {
+                id: spec.id,
+                at: now,
+                projected_kv_bytes: projected,
+                budget_bytes: limit,
+            });
+            false
+        } else {
+            self.counters.admitted += 1;
+            true
+        }
+    }
+}
+
+impl Engine<'_> {
+    /// Arrival-time admission check against the monitor snapshot the
+    /// arrival handler already collected. `true` admits; `false` drops the
+    /// arrival before any engine state is created (the request never
+    /// occupies a queue, so it cannot deadlock the drain assertion).
+    pub(super) fn admission_check(
+        &mut self,
+        spec: &RequestSpec,
+        stats: &[pascal_cluster::InstanceStats],
+        now: SimTime,
+    ) -> bool {
+        if !self.admission_ctl.enabled() {
+            return self.admission_ctl.admit_unconditionally();
+        }
+        let pool = PoolSnapshot::aggregate(stats);
+        let incoming = self.predicted_final_kv_bytes(spec);
+        self.admission_ctl.admit(spec, &pool, incoming, now)
+    }
+
+    /// The incoming request's predicted final KV footprint: prompt plus the
+    /// predictor's total-output estimate. Without an absolute estimate the
+    /// projection falls back to what is certain at arrival — the prompt.
+    fn predicted_final_kv_bytes(&self, spec: &RequestSpec) -> u64 {
+        let predicted_output = self
+            .predictor
+            .as_ref()
+            .and_then(|p| p.estimate(spec).total_tokens())
+            .map_or(0, |t| t.max(0.0).round() as u64);
+        self.geometry
+            .bytes_for_tokens(u64::from(spec.prompt_tokens) + predicted_output)
+    }
+}

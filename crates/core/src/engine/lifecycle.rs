@@ -1,0 +1,421 @@
+//! The per-request lifecycle state machine.
+//!
+//! Arrival → (admission) → placement → prefill → reasoning → answering →
+//! completion, plus the preemption transitions (offload to CPU, reload to
+//! GPU) and the per-iteration residency planning that drives them. Phase
+//! boundaries hand off to the [migration controller](super::migration);
+//! arrivals consult the [admission controller](super::admission) before any
+//! state is created.
+
+use pascal_cluster::KvLocation;
+use pascal_model::DecodeBatch;
+use pascal_sim::SimTime;
+use pascal_workload::{Phase, RequestId};
+
+use super::{context_kv_bytes, Engine, Event, IterationKind};
+
+impl Engine<'_> {
+    // ----- arrival + token/phase machinery --------------------------------
+
+    pub(super) fn on_arrival(&mut self, idx: usize, now: SimTime) {
+        let spec = self.trace.requests()[idx].clone();
+        // One monitor sweep serves both the admission projection and
+        // placement (nothing mutates between them).
+        let stats = self.collect_stats(now);
+        if !self.admission_check(&spec, &stats, now) {
+            return;
+        }
+        // Log the estimate the scheduler is about to act on (pre-observe:
+        // this request's own lengths are still hidden from the predictor).
+        if let Some(pred) = &self.predictor {
+            let est = pred.estimate(&spec);
+            self.prediction_samples
+                .push(pascal_metrics::PredictionSample {
+                    id: spec.id,
+                    predicted_reasoning_tokens: est.reasoning_tokens,
+                    actual_reasoning_tokens: spec.reasoning_tokens,
+                    predicted_total_tokens: est.total_tokens(),
+                    actual_total_tokens: spec.output_tokens(),
+                });
+        }
+        let target = self.policy.place_new_request(&stats);
+        let mut state = pascal_cluster::RequestState::new(spec, target, self.config.target_tpot);
+        // Speculative demotion (§IV-C made predictive): an incoming
+        // reasoning request whose *predicted* total reasoning length
+        // exceeds the threshold starts life in the low-priority queue
+        // instead of waiting for its generated tokens to cross it.
+        if let (Some(pred), Some(threshold)) =
+            (&self.predictor, self.policy.demotion_threshold_tokens())
+        {
+            if state.phase == Phase::Reasoning && pred.predicts_oversized(&state.spec, threshold) {
+                state.demoted = true;
+            }
+        }
+        let id = state.spec.id;
+        self.instances[target as usize].inst.members.insert(id);
+        self.states.insert(id, state);
+        self.try_schedule(target, now);
+    }
+
+    pub(super) fn on_iteration_done(&mut self, instance: u32, now: SimTime) {
+        let batch = std::mem::take(&mut self.instances[instance as usize].current_batch);
+        let kind = self.instances[instance as usize].current_kind;
+        self.instances[instance as usize].inst.compute_busy = false;
+
+        for id in batch {
+            {
+                let st = self.states.get_mut(&id).expect("batched request exists");
+                st.end_running(now);
+                if kind == IterationKind::Prefill {
+                    st.prefilled = true;
+                }
+            }
+            self.emit_token(id, now);
+        }
+        self.try_schedule(instance, now);
+    }
+
+    pub(super) fn on_offload_done(&mut self, req: RequestId, now: SimTime) {
+        let (instance, blocks) = {
+            let st = self
+                .states
+                .get_mut(&req)
+                .expect("offloading request exists");
+            assert_eq!(st.kv_location, KvLocation::OffloadingToCpu);
+            let blocks = st.held_gpu_blocks;
+            st.held_gpu_blocks = 0;
+            // The CPU copy holds the actual context, without growth headroom.
+            let cpu_blocks = self.geometry.blocks_for_tokens(st.context_tokens());
+            st.held_cpu_blocks = cpu_blocks;
+            st.kv_location = KvLocation::Cpu;
+            (st.instance, blocks)
+        };
+        let inst = &mut self.instances[instance as usize].inst;
+        inst.gpu.free(blocks);
+        let cpu_blocks = self.states[&req].held_cpu_blocks;
+        inst.cpu.alloc(cpu_blocks);
+        self.try_schedule(instance, now);
+    }
+
+    pub(super) fn on_reload_done(&mut self, req: RequestId, now: SimTime) {
+        let instance = {
+            let st = self.states.get_mut(&req).expect("reloading request exists");
+            assert_eq!(st.kv_location, KvLocation::ReloadingToGpu);
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+            st.instance
+        };
+        let cpu_blocks = {
+            let st = self.states.get_mut(&req).expect("reloading request exists");
+            let b = st.held_cpu_blocks;
+            st.held_cpu_blocks = 0;
+            b
+        };
+        self.instances[instance as usize].inst.cpu.free(cpu_blocks);
+        self.try_schedule(instance, now);
+    }
+
+    pub(super) fn emit_token(&mut self, id: RequestId, now: SimTime) {
+        let mut crossed_threshold = None;
+        let (transitioned, done) = {
+            let st = self.states.get_mut(&id).expect("emitting request exists");
+            st.tokens_generated += 1;
+            st.token_times.push(now);
+
+            // Round-robin quantum accounting (§II-C).
+            st.tokens_in_quantum += 1;
+            let quantum = self.policy.quantum();
+            if st.tokens_in_quantum >= quantum {
+                st.quanta_used += 1;
+                st.tokens_in_quantum = 0;
+            }
+
+            // PASCAL's conditional demotion (§IV-C).
+            if let Some(threshold) = self.policy.demotion_threshold_tokens() {
+                // `checked_add`: a u32::MAX threshold means "never demote"
+                // (the ablation configs) and must never signal a crossing.
+                if st.phase == Phase::Reasoning
+                    && Some(st.tokens_generated) == threshold.checked_add(1)
+                {
+                    // The request just proved itself oversized mid-flight —
+                    // the early label the predictor cannot get from the
+                    // (survivorship-biased) completion stream.
+                    crossed_threshold = Some(threshold);
+                }
+                if st.phase == Phase::Reasoning && !st.demoted && st.tokens_generated > threshold {
+                    st.demoted = true;
+                }
+            }
+
+            if st.phase == Phase::Answering {
+                st.pacer.on_token(now);
+            }
+
+            let transitioned = st.phase == Phase::Reasoning
+                && st.tokens_generated == st.spec.reasoning_tokens
+                && st.spec.answering_tokens > 0;
+            (transitioned, st.is_done())
+        };
+
+        if let (Some(threshold), Some(pred)) = (crossed_threshold, &mut self.predictor) {
+            let spec = self.states[&id].spec.clone();
+            pred.observe_threshold_crossing(&spec, threshold);
+        }
+
+        if done {
+            self.complete(id, now);
+            return;
+        }
+        if transitioned {
+            self.on_phase_transition(id, now);
+        }
+    }
+
+    pub(super) fn complete(&mut self, id: RequestId, now: SimTime) {
+        let st = self.states.remove(&id).expect("completing request exists");
+        let instance = st.instance as usize;
+        let gpu_blocks = st.held_gpu_blocks;
+        let cpu_blocks = st.held_cpu_blocks;
+        self.instances[instance].inst.members.remove(&id);
+        if gpu_blocks > 0 {
+            self.instances[instance].inst.gpu.free(gpu_blocks);
+        }
+        if cpu_blocks > 0 {
+            self.instances[instance].inst.cpu.free(cpu_blocks);
+        }
+        // Completion is the online learning signal: the spec carries the
+        // actual lengths, now revealed. Completions arrive in deterministic
+        // event order, so predictor state stays replayable.
+        if let Some(pred) = &mut self.predictor {
+            pred.observe(&st.spec);
+        }
+        self.records.push(st.into_record(now));
+    }
+
+    // ----- the scheduling core --------------------------------------------
+
+    /// Plans residency and, if possible, launches the next iteration.
+    pub(super) fn try_schedule(&mut self, instance: u32, now: SimTime) {
+        if self.instances[instance as usize].inst.compute_busy {
+            return;
+        }
+
+        // 1. Candidates sorted by policy priority.
+        let mut cands: Vec<RequestId> = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .copied()
+            .filter(|id| {
+                let st = &self.states[id];
+                !matches!(
+                    st.kv_location,
+                    KvLocation::Migrating | KvLocation::OffloadingToCpu
+                )
+            })
+            .collect();
+        cands.sort_by_key(|id| self.policy.priority_key(&self.states[id]));
+
+        // 2. Desired prefix under the block budget. Blocks held by dying
+        //    allocations (offloads, outbound migrations) are unavailable.
+        let dying: u64 = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .filter(|id| {
+                matches!(
+                    self.states[*id].kv_location,
+                    KvLocation::OffloadingToCpu | KvLocation::Migrating
+                )
+            })
+            .map(|id| self.states[id].held_gpu_blocks)
+            .sum();
+        let budget = self.instances[instance as usize]
+            .inst
+            .gpu
+            .capacity_blocks()
+            .map(|c| c.saturating_sub(dying));
+
+        let mut desired: Vec<RequestId> = Vec::new();
+        let mut acc: u64 = 0;
+        for &id in &cands {
+            if desired.len() >= self.config.max_batch as usize {
+                break;
+            }
+            let st = &self.states[&id];
+            let need = self
+                .geometry
+                .blocks_for_tokens(st.tokens_needed_next())
+                .max(st.held_gpu_blocks);
+            match budget {
+                None => {
+                    acc += need;
+                    desired.push(id);
+                }
+                Some(b) if acc + need <= b => {
+                    acc += need;
+                    desired.push(id);
+                }
+                Some(_) => break,
+            }
+        }
+        let desired_set: std::collections::HashSet<RequestId> = desired.iter().copied().collect();
+
+        // 3. Preempt GPU residents that fell out of the desired set.
+        let evictees: Vec<RequestId> = self.instances[instance as usize]
+            .inst
+            .members
+            .iter()
+            .copied()
+            .filter(|id| {
+                let st = &self.states[id];
+                st.kv_location == KvLocation::Gpu && !desired_set.contains(id)
+            })
+            .collect();
+        for id in evictees {
+            self.start_offload(id, now);
+        }
+
+        // 4. Admit the desired set: grow residents, start reloads,
+        //    materialize warm requests, and collect prefill candidates.
+        let mut prefill_batch: Vec<RequestId> = Vec::new();
+        let mut prefill_tokens: u64 = 0;
+        let mut decode_batch: Vec<RequestId> = Vec::new();
+
+        for &id in &desired {
+            let (location, needs_prefill, warm, target_blocks, held, prompt) = {
+                let st = &self.states[&id];
+                (
+                    st.kv_location,
+                    st.needs_prefill(),
+                    st.spec.warm_start,
+                    self.geometry.blocks_for_tokens(st.tokens_needed_next()),
+                    st.held_gpu_blocks,
+                    st.spec.prompt_tokens,
+                )
+            };
+            match location {
+                KvLocation::Gpu => {
+                    let runnable = if held >= target_blocks {
+                        true
+                    } else {
+                        let delta = target_blocks - held;
+                        if self.instances[instance as usize].inst.gpu.try_alloc(delta) {
+                            self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
+                                target_blocks;
+                            true
+                        } else {
+                            false // waits for in-flight offloads to free memory
+                        }
+                    };
+                    if runnable {
+                        decode_batch.push(id);
+                    }
+                }
+                KvLocation::Cpu
+                    // Reload: GPU blocks reserved up front, PCIe serialized.
+                    if self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
+                        let bytes = {
+                            let st = self.states.get_mut(&id).expect("desired exists");
+                            st.held_gpu_blocks = target_blocks;
+                            st.kv_location = KvLocation::ReloadingToGpu;
+                            context_kv_bytes(&self.geometry, st)
+                        };
+                        let (_, finish) = self.instances[instance as usize]
+                            .inst
+                            .pcie
+                            .enqueue(now, bytes);
+                        self.queue.schedule(finish, Event::ReloadDone { req: id });
+                    }
+                KvLocation::None if warm
+                    // Fig. 5 setup: the KV already exists logically; it
+                    // materializes without prefill compute once admitted.
+                    && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
+                        let st = self.states.get_mut(&id).expect("desired exists");
+                        st.held_gpu_blocks = target_blocks;
+                        st.kv_location = KvLocation::Gpu;
+                        st.resident_since = Some(now);
+                        st.prefilled = true;
+                        decode_batch.push(id);
+                    }
+                KvLocation::None if needs_prefill => {
+                    // A lone oversized prompt may exceed the budget; always
+                    // admit at least one prefill so it cannot starve.
+                    let within_budget = prefill_batch.is_empty()
+                        || prefill_tokens + u64::from(prompt)
+                            <= u64::from(self.config.prefill_token_budget);
+                    if within_budget
+                        && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks)
+                    {
+                        self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
+                            target_blocks;
+                        prefill_tokens += u64::from(prompt);
+                        prefill_batch.push(id);
+                    }
+                }
+                _ => {} // reloading / none-but-impossible: wait
+            }
+        }
+
+        // 5. Launch: prefill takes priority (vLLM 0.6.1 semantics), else a
+        //    decode step over every runnable resident.
+        if !prefill_batch.is_empty() {
+            let prompts: Vec<u32> = prefill_batch
+                .iter()
+                .map(|id| self.states[id].spec.prompt_tokens)
+                .collect();
+            let duration = self.perf.prefill_time_batch(&prompts);
+            for id in &prefill_batch {
+                let st = self.states.get_mut(id).expect("prefill request exists");
+                st.begin_running(now);
+                // KV becomes resident as the prefill pass runs.
+                st.kv_location = KvLocation::Gpu;
+                st.resident_since = Some(now);
+            }
+            let rt = &mut self.instances[instance as usize];
+            rt.current_batch = prefill_batch;
+            rt.current_kind = IterationKind::Prefill;
+            rt.inst.compute_busy = true;
+            self.queue
+                .schedule(now + duration, Event::IterationDone { instance });
+        } else if !decode_batch.is_empty() {
+            let total_context: u64 = decode_batch
+                .iter()
+                .map(|id| self.states[id].context_tokens())
+                .sum();
+            let duration = self.perf.decode_step_time(DecodeBatch {
+                num_seqs: decode_batch.len() as u32,
+                total_context_tokens: total_context,
+            });
+            for id in &decode_batch {
+                self.stamp_migration_resume(*id, now);
+                self.states
+                    .get_mut(id)
+                    .expect("decode request exists")
+                    .begin_running(now);
+            }
+            let rt = &mut self.instances[instance as usize];
+            rt.current_batch = decode_batch;
+            rt.current_kind = IterationKind::Decode;
+            rt.inst.compute_busy = true;
+            self.queue
+                .schedule(now + duration, Event::IterationDone { instance });
+        }
+    }
+
+    pub(super) fn start_offload(&mut self, id: RequestId, now: SimTime) {
+        let (instance, bytes) = {
+            let st = self.states.get_mut(&id).expect("offload request exists");
+            debug_assert_eq!(st.kv_location, KvLocation::Gpu);
+            st.kv_location = KvLocation::OffloadingToCpu;
+            st.resident_since = None;
+            st.num_preemptions += 1;
+            (st.instance, context_kv_bytes(&self.geometry, st))
+        };
+        let (_, finish) = self.instances[instance as usize]
+            .inst
+            .pcie
+            .enqueue(now, bytes);
+        self.queue.schedule(finish, Event::OffloadDone { req: id });
+    }
+}

@@ -1,0 +1,260 @@
+//! The migration controller: phase-boundary KV-cache migration (§IV-B).
+//!
+//! Owns everything that happens after a request finishes its reasoning
+//! phase: the Algorithm 2 decision (delegated to the policy), the
+//! *predictive cost/benefit test* that weighs the physical KV transfer cost
+//! (from `pascal-model`'s link model) against the predicted remaining
+//! service of the request (from `pascal-predict`), destination block
+//! reservation, the transfer itself, and the landing. Every decision is
+//! tallied in [`MigrationOutcomes`]; launched transfers additionally record
+//! the predicted-vs-actual remaining service at decision time so the cost
+//! model's calibration is measurable after the run.
+
+use std::collections::HashMap;
+
+use pascal_cluster::KvLocation;
+use pascal_metrics::{MigrationOutcomes, MigrationRecord};
+use pascal_sched::{MigrationCost, MigrationDecision};
+use pascal_sim::SimTime;
+use pascal_workload::{Phase, RequestId};
+
+use super::{context_kv_bytes, Engine, Event};
+
+/// Cost/benefit configuration of predictive migration.
+///
+/// When set on `SimConfig` (and a length predictor is active), the
+/// controller vetoes Algorithm 2 migrations whose predicted remaining
+/// service — remaining tokens at the pacing target — is below
+/// `min_benefit_ratio` transfer-times. Unset, migration is exactly the
+/// paper's reactive Algorithm 2. Rank-only predictors produce no absolute
+/// estimates, so under them the test never fires and migration stays
+/// reactive (the CLI rejects that combination outright).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PredictiveMigration {
+    /// How many transfer-times of predicted remaining service a migration
+    /// must buy to be worthwhile. `1.0` is break-even; `0.0` never vetoes.
+    pub min_benefit_ratio: f64,
+}
+
+impl Default for PredictiveMigration {
+    fn default() -> Self {
+        PredictiveMigration {
+            min_benefit_ratio: 1.0,
+        }
+    }
+}
+
+/// Engine-side controller state: reservation ledger plus outcome tally.
+pub(super) struct MigrationController {
+    predictive: Option<PredictiveMigration>,
+    /// GPU blocks pre-reserved on a migration destination, keyed by the
+    /// migrating request.
+    reservations: HashMap<RequestId, u64>,
+    pub(super) outcomes: MigrationOutcomes,
+}
+
+impl MigrationController {
+    pub(super) fn new(predictive: Option<PredictiveMigration>) -> Self {
+        if let Some(p) = predictive {
+            assert!(
+                p.min_benefit_ratio.is_finite() && p.min_benefit_ratio >= 0.0,
+                "migration min_benefit_ratio must be a non-negative finite number, got {}",
+                p.min_benefit_ratio
+            );
+        }
+        MigrationController {
+            predictive,
+            reservations: HashMap::new(),
+            outcomes: MigrationOutcomes::default(),
+        }
+    }
+
+    pub(super) fn predictive(&self) -> Option<PredictiveMigration> {
+        self.predictive
+    }
+}
+
+impl Engine<'_> {
+    /// A request just produced its boundary token: flip it into the
+    /// answering phase and let the controller decide whether its KV moves.
+    pub(super) fn on_phase_transition(&mut self, id: RequestId, now: SimTime) {
+        {
+            let st = self.states.get_mut(&id).expect("transitioning request");
+            st.phase = Phase::Answering;
+            if self.policy.resets_quanta_at_transition() {
+                st.quanta_used = 0;
+                st.tokens_in_quantum = 0;
+            }
+        }
+        let (current, needed_blocks) = {
+            let st = &self.states[&id];
+            (
+                st.instance,
+                self.geometry.blocks_for_tokens(st.tokens_needed_next()),
+            )
+        };
+        // The remaining-service view at decision time: one predictor query
+        // feeds the cost/benefit test and, if the transfer launches, the
+        // calibration fields of the migration record.
+        let predicted_remaining = {
+            let st = &self.states[&id];
+            self.predictor
+                .as_ref()
+                .and_then(|p| p.predicted_remaining_tokens(&st.spec, st.tokens_generated))
+        };
+        let stats = self.collect_stats(now);
+        let cost = self.migration_cost(id, predicted_remaining);
+        self.migration_ctl.outcomes.considered += 1;
+        match self
+            .policy
+            .predictive_migration_decision(current, needed_blocks, &stats, cost)
+        {
+            MigrationDecision::Stay => {}
+            MigrationDecision::VetoedByCost(_) => {
+                self.migration_ctl.outcomes.vetoed_by_cost += 1;
+            }
+            MigrationDecision::MigrateTo(dest) => {
+                self.start_migration(id, dest, predicted_remaining, now);
+            }
+        }
+    }
+
+    /// Cost/benefit inputs for `id`'s migration decision, or `None` when
+    /// the predictive controller is off (or no predictor is configured) —
+    /// which makes the decision exactly the reactive Algorithm 2.
+    fn migration_cost(
+        &self,
+        id: RequestId,
+        predicted_remaining: Option<f64>,
+    ) -> Option<MigrationCost> {
+        let predictive = self.migration_ctl.predictive()?;
+        self.predictor.as_ref()?;
+        let bytes = context_kv_bytes(&self.geometry, &self.states[&id]);
+        Some(MigrationCost {
+            transfer_time: self.config.fabric.transfer_time(bytes),
+            predicted_remaining_service: predicted_remaining
+                .map(|tokens| self.config.target_tpot.mul_f64(tokens)),
+            min_benefit_ratio: predictive.min_benefit_ratio,
+        })
+    }
+
+    fn start_migration(
+        &mut self,
+        id: RequestId,
+        dest: u32,
+        predicted_remaining: Option<f64>,
+        now: SimTime,
+    ) {
+        // Under the adaptive policy the destination's KV blocks are reserved
+        // up front; if that fails the request stays home (the race-free form
+        // of the Fig. 7 override). NonAdaptive migrates blindly and may land
+        // in the destination's CPU pool.
+        let needed = self
+            .geometry
+            .blocks_for_tokens(self.states[&id].tokens_needed_next());
+        if self.instances[dest as usize].inst.gpu.try_alloc(needed) {
+            self.migration_ctl.reservations.insert(id, needed);
+        } else if self.policy.adaptive_migration() {
+            self.migration_ctl.outcomes.aborted_no_reservation += 1;
+            return;
+        }
+        let (from, bytes) = {
+            let st = self.states.get_mut(&id).expect("migrating request");
+            debug_assert_eq!(st.kv_location, KvLocation::Gpu);
+            st.kv_location = KvLocation::Migrating;
+            st.resident_since = None;
+            (st.instance, context_kv_bytes(&self.geometry, st))
+        };
+        let (_, finish) = self
+            .fabric
+            .migrate(now, from as usize, dest as usize, bytes);
+        {
+            let st = self.states.get_mut(&id).expect("migrating request");
+            st.migration = Some(MigrationRecord {
+                from_instance: from,
+                to_instance: dest,
+                started: now,
+                finished: finish,
+                bytes,
+                stall: None,
+                predicted_remaining_tokens: predicted_remaining,
+                actual_remaining_tokens: st.spec.output_tokens() - st.tokens_generated,
+            });
+        }
+        self.migration_ctl.outcomes.launched += 1;
+        self.migration_ctl.outcomes.bytes_moved += bytes;
+        self.queue
+            .schedule(finish, Event::MigrationDone { req: id, to: dest });
+    }
+
+    pub(super) fn on_migration_done(&mut self, req: RequestId, to: u32, now: SimTime) {
+        let (from, gpu_blocks) = {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            assert_eq!(st.kv_location, KvLocation::Migrating);
+            let blocks = st.held_gpu_blocks;
+            st.held_gpu_blocks = 0;
+            (st.instance, blocks)
+        };
+        self.instances[from as usize].inst.gpu.free(gpu_blocks);
+        self.instances[from as usize].inst.members.remove(&req);
+
+        let needed = {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.instance = to;
+            st.instances_visited.push(to);
+            self.geometry.blocks_for_tokens(st.tokens_needed_next())
+        };
+        self.instances[to as usize].inst.members.insert(req);
+
+        if let Some(reserved) = self.migration_ctl.reservations.remove(&req) {
+            // Blocks were reserved when the transfer launched; no tokens were
+            // generated in flight, so the reservation is still exact.
+            debug_assert_eq!(reserved, needed);
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.held_gpu_blocks = reserved;
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+            self.try_schedule(from, now);
+            self.try_schedule(to, now);
+            return;
+        }
+
+        let dest = &mut self.instances[to as usize].inst;
+        if dest.gpu.try_alloc(needed) {
+            let st = self.states.get_mut(&req).expect("migrating request exists");
+            st.held_gpu_blocks = needed;
+            st.kv_location = KvLocation::Gpu;
+            st.resident_since = Some(now);
+        } else {
+            // Destination has no room: the KV lands in its CPU pool and the
+            // request must wait for a reload — the stall the adaptive
+            // migration policy exists to avoid (Fig. 7, Fig. 15).
+            self.migration_ctl.outcomes.landed_in_cpu += 1;
+            let cpu_blocks = {
+                let st = self.states.get_mut(&req).expect("migrating request exists");
+                let b = self.geometry.blocks_for_tokens(st.context_tokens());
+                st.held_cpu_blocks = b;
+                st.kv_location = KvLocation::Cpu;
+                b
+            };
+            dest.cpu.alloc(cpu_blocks);
+        }
+        self.try_schedule(from, now);
+        self.try_schedule(to, now);
+    }
+
+    /// First execution after a migration landed: stamp the stall (landing →
+    /// resume) on the record and the run tally.
+    pub(super) fn stamp_migration_resume(&mut self, id: RequestId, now: SimTime) {
+        let Some(st) = self.states.get_mut(&id) else {
+            return;
+        };
+        if let Some(m) = &mut st.migration {
+            if m.stall.is_none() {
+                let stall = now.saturating_since(m.finished);
+                m.stall = Some(stall);
+                self.migration_ctl.outcomes.total_stall += stall;
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The multi-instance serving engine.
+//!
+//! An iteration-level discrete-event simulation of vLLM-style continuous
+//! batching (§II-B) across a pool of GPU instances, parameterized by a
+//! [`SchedPolicy`]. The engine owns the single mechanism all three
+//! schedulers share:
+//!
+//! 1. every time an instance is idle, sort its requests by the policy's
+//!    priority key and grant GPU KV residency to the longest prefix that
+//!    fits (the *desired set*);
+//! 2. residents outside the desired set are preempted (KV offloaded to CPU
+//!    over PCIe); non-residents inside it are admitted — prefilled,
+//!    reloaded, or (for warm requests) materialized;
+//! 3. run one iteration: a prefill pass over waiting prompts if any are
+//!    admitted, otherwise one decode step for every runnable resident;
+//! 4. at iteration end each decoded request gains one token; quantum
+//!    counters advance, phase transitions fire (triggering Algorithm 2
+//!    migration for PASCAL), completions free memory.
+//!
+//! Instance-level placement (Algorithm 1 / smallest-footprint) happens at
+//! arrival events; KV migrations ride the fabric with ingress/egress
+//! contention (§V-C).
+//!
+//! The engine is assembled from four cohesive components, one per
+//! submodule:
+//!
+//! * [`lifecycle`](self) — the per-request state machine: arrival →
+//!   prefill → reasoning → answering → completion, including the
+//!   offload/reload preemption transitions and per-iteration residency
+//!   planning;
+//! * [`migration`](self) — the [`MigrationController`](migration): phase-
+//!   boundary Algorithm 2 decisions, the predictive cost/benefit veto
+//!   (KV transfer cost vs predicted remaining service), transfer launch
+//!   and landing;
+//! * [`admission`](self) — the [`AdmissionController`](admission):
+//!   predictive SLO admission control that rejects arrivals at predicted
+//!   aggregate KV overload instead of letting the pacers starve;
+//! * [`stats`](self) — the instance-monitor sweep producing the
+//!   [`InstanceStats`] snapshots Algorithms 1 and 2 consume.
+//!
+//! Both controllers default to off, in which case a run is byte-identical
+//! to the paper's reactive scheduler.
+
+use std::collections::HashMap;
+
+use pascal_cluster::{Instance, RequestState};
+use pascal_metrics::{
+    AdmissionCounters, AdmissionRecord, CalibrationReport, MigrationOutcomes, MigrationRecord,
+    PredictionSample, RequestRecord,
+};
+use pascal_model::{KvGeometry, PerfModel};
+use pascal_predict::{LengthPredictor, PredictorKind};
+use pascal_sched::SchedPolicy;
+use pascal_sim::{EventQueue, SimTime};
+use pascal_workload::{RequestId, Trace};
+
+use crate::config::SimConfig;
+
+mod admission;
+mod lifecycle;
+mod migration;
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use admission::AdmissionMode;
+pub use migration::PredictiveMigration;
+
+use admission::AdmissionController;
+use migration::MigrationController;
+
+/// Events driving the engine.
+#[derive(Debug)]
+pub(super) enum Event {
+    /// A request from the trace arrives (index into the trace).
+    Arrival(usize),
+    /// The in-flight iteration on an instance finished.
+    IterationDone { instance: u32 },
+    /// A preemption offload finished; KV now lives in CPU memory.
+    OffloadDone { req: RequestId },
+    /// A reload finished; KV is GPU-resident again.
+    ReloadDone { req: RequestId },
+    /// A phase-boundary migration landed on its destination.
+    MigrationDone { req: RequestId, to: u32 },
+}
+
+/// What kind of iteration an instance is running.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(super) enum IterationKind {
+    Prefill,
+    Decode,
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// One record per completed request, ordered by request id.
+    pub records: Vec<RequestRecord>,
+    /// Peak GPU KV usage per instance, in bytes.
+    pub peak_gpu_kv_bytes: Vec<u64>,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Name of the policy that produced this run.
+    pub policy_name: String,
+    /// One predicted-vs-actual sample per admitted request, ordered by
+    /// request id — empty when no length predictor was configured.
+    pub predictions: Vec<PredictionSample>,
+    /// Decision tally of the migration controller.
+    pub migration_outcomes: MigrationOutcomes,
+    /// Decision tally of the admission controller.
+    pub admission: AdmissionCounters,
+    /// Arrivals rejected by admission control, in arrival order — empty
+    /// unless [`AdmissionMode::Predictive`] was configured.
+    pub rejections: Vec<AdmissionRecord>,
+}
+
+impl SimOutput {
+    /// All phase-boundary migrations performed during the run, in request-id
+    /// order (borrowed from the records — no allocation).
+    pub fn migrations(&self) -> impl Iterator<Item = &MigrationRecord> + '_ {
+        self.records.iter().filter_map(|r| r.migration.as_ref())
+    }
+
+    /// Calibration report of the run's length predictor, if it produced
+    /// absolute estimates.
+    #[must_use]
+    pub fn calibration(&self) -> Option<CalibrationReport> {
+        CalibrationReport::from_samples(&self.predictions)
+    }
+}
+
+/// KV bytes a request's current context occupies — the footprint moved by
+/// offloads, reloads and migrations, and the one the cost model prices.
+/// Free function so call sites holding a `&mut RequestState` can use it.
+pub(super) fn context_kv_bytes(geometry: &KvGeometry, st: &RequestState) -> u64 {
+    geometry.blocks_for_tokens(st.context_tokens()) * geometry.block_bytes()
+}
+
+/// Runs `trace` through the deployment described by `config`.
+///
+/// Deterministic: identical `(trace, config)` inputs produce identical
+/// outputs.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or if any single request's final
+/// KV footprint exceeds one instance's KV capacity (such a request could
+/// never be scheduled).
+#[must_use]
+pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimOutput {
+    Engine::new(trace, config).run()
+}
+
+pub(super) struct Engine<'a> {
+    trace: &'a Trace,
+    config: &'a SimConfig,
+    policy: SchedPolicy,
+    perf: PerfModel,
+    geometry: KvGeometry,
+    queue: EventQueue<Event>,
+    instances: Vec<InstanceRt>,
+    fabric: pascal_cluster::Fabric,
+    states: HashMap<RequestId, RequestState>,
+    migration_ctl: MigrationController,
+    admission_ctl: AdmissionController,
+    records: Vec<RequestRecord>,
+    /// Online length predictor (fresh state per run); fed every completion.
+    predictor: Option<Box<dyn LengthPredictor>>,
+    prediction_samples: Vec<PredictionSample>,
+}
+
+/// Engine-side per-instance runtime extension.
+pub(super) struct InstanceRt {
+    inst: Instance,
+    current_batch: Vec<RequestId>,
+    current_kind: IterationKind,
+}
+
+impl<'a> Engine<'a> {
+    pub(super) fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
+        config.validate();
+        let perf = config.perf_model();
+        let geometry = config.geometry();
+        let capacity = config.kv_capacity_bytes();
+
+        if let Some(cap) = capacity {
+            let cap_blocks = geometry.blocks_in(cap);
+            for r in trace.requests() {
+                let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
+                assert!(
+                    worst <= cap_blocks,
+                    "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
+                     raise capacity or shrink the request",
+                    r.id
+                );
+            }
+        }
+
+        let mut queue = EventQueue::new();
+        for (i, r) in trace.requests().iter().enumerate() {
+            queue.schedule(r.arrival, Event::Arrival(i));
+        }
+
+        let instances = (0..config.num_instances)
+            .map(|i| InstanceRt {
+                inst: Instance::new(i as u32, geometry, capacity, config.pcie),
+                current_batch: Vec::new(),
+                current_kind: IterationKind::Decode,
+            })
+            .collect();
+
+        Engine {
+            trace,
+            config,
+            policy: config.policy,
+            perf,
+            geometry,
+            queue,
+            instances,
+            fabric: pascal_cluster::Fabric::new(config.num_instances, config.fabric),
+            states: HashMap::with_capacity(trace.requests().len()),
+            migration_ctl: MigrationController::new(config.predictive_migration),
+            admission_ctl: AdmissionController::new(
+                config.admission,
+                capacity.map(|c| c * config.num_instances as u64),
+            ),
+            records: Vec::with_capacity(trace.requests().len()),
+            predictor: config.predictor.map(PredictorKind::build),
+            prediction_samples: Vec::new(),
+        }
+    }
+
+    pub(super) fn run(mut self) -> SimOutput {
+        while let Some((now, ev)) = self.queue.pop() {
+            self.dispatch(ev, now);
+        }
+        assert!(
+            self.states.is_empty(),
+            "simulation drained with {} unfinished requests (deadlock)",
+            self.states.len()
+        );
+        let mut records = self.records;
+        records.sort_by_key(|r| r.spec.id);
+        let makespan = records
+            .iter()
+            .map(|r| r.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut predictions = self.prediction_samples;
+        predictions.sort_by_key(|p| p.id);
+        // Only PASCAL consumes predictions (demotion, placement); under
+        // the baselines a predictor is purely observational — calibration
+        // samples are still logged, but the run's behavior is identical to
+        // the plain policy, and the name must say so. Active controllers
+        // tag the name so paired comparisons stay legible.
+        let mut policy_name = match (&self.predictor, &self.policy) {
+            (Some(p), SchedPolicy::Pascal(_)) => {
+                if self.migration_ctl.predictive().is_some() {
+                    format!(
+                        "{}(Predictive-{}, CostAwareMigration)",
+                        self.policy.name(),
+                        p.name()
+                    )
+                } else {
+                    format!("{}(Predictive-{})", self.policy.name(), p.name())
+                }
+            }
+            _ => self.policy.name().to_owned(),
+        };
+        if self.admission_ctl.enabled() {
+            policy_name.push_str("+PredictiveAdmission");
+        }
+        SimOutput {
+            peak_gpu_kv_bytes: self
+                .instances
+                .iter()
+                .map(|i| i.inst.gpu.peak_used_blocks() * self.geometry.block_bytes())
+                .collect(),
+            makespan,
+            policy_name,
+            records,
+            predictions,
+            migration_outcomes: self.migration_ctl.outcomes,
+            admission: self.admission_ctl.counters,
+            rejections: self.admission_ctl.rejections,
+        }
+    }
+
+    /// Routes one event to its handler — shared by [`Engine::run`] and the
+    /// accounting tests that drive the loop manually.
+    pub(super) fn dispatch(&mut self, ev: Event, now: SimTime) {
+        match ev {
+            Event::Arrival(idx) => self.on_arrival(idx, now),
+            Event::IterationDone { instance } => self.on_iteration_done(instance, now),
+            Event::OffloadDone { req } => self.on_offload_done(req, now),
+            Event::ReloadDone { req } => self.on_reload_done(req, now),
+            Event::MigrationDone { req, to } => self.on_migration_done(req, to, now),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The instance-monitor sweep (Fig. 6's instance monitor).
+//!
+//! Assembles one [`InstanceStats`] snapshot per instance: answering SLO
+//! health (`t_i`), KV footprint (`m_i`), queue counts (`r_i`, `a_i`), free
+//! GPU blocks, and — when a consumer needs it — the predicted future KV
+//! growth of the in-flight requests. Placement (Algorithm 1), migration
+//! (Algorithm 2) and the admission controller all read this snapshot.
+
+use pascal_cluster::InstanceStats;
+use pascal_sched::SchedPolicy;
+use pascal_sim::SimTime;
+use pascal_workload::Phase;
+
+use super::Engine;
+
+impl Engine<'_> {
+    /// Monitor snapshot of every instance.
+    pub(super) fn collect_stats(&self, now: SimTime) -> Vec<InstanceStats> {
+        // Predicted future KV growth feeds predictive Algorithm 1 placement
+        // (PASCAL only) and the admission controller's pool projection.
+        // Rank-only predictors estimate nothing and contribute zero —
+        // consumers then degrade gracefully to current footprints. Plain
+        // baselines never read the field, so skip the per-member estimates.
+        let wants_predicted_growth =
+            matches!(self.policy, SchedPolicy::Pascal(_)) || self.admission_ctl.enabled();
+        self.instances
+            .iter()
+            .map(|rt| {
+                let mut slo_ok = true;
+                let mut reasoning = 0u32;
+                let mut fresh_answering = 0u32;
+                for id in &rt.inst.members {
+                    let st = &self.states[id];
+                    match st.phase {
+                        Phase::Reasoning => {
+                            if !st.demoted {
+                                reasoning += 1;
+                            }
+                        }
+                        Phase::Answering => {
+                            if st.quanta_used == 0 {
+                                fresh_answering += 1;
+                            }
+                            if !st.pacer.is_on_pace(now) {
+                                slo_ok = false;
+                            }
+                        }
+                    }
+                }
+                let predicted_future_kv_bytes = if wants_predicted_growth {
+                    self.predictor.as_ref().map_or(0, |pred| {
+                        rt.inst
+                            .members
+                            .iter()
+                            .map(|id| {
+                                let st = &self.states[id];
+                                let Some(remaining) =
+                                    pred.predicted_remaining_tokens(&st.spec, st.tokens_generated)
+                                else {
+                                    return 0;
+                                };
+                                self.geometry.bytes_for_tokens(remaining.round() as u64)
+                            })
+                            .sum()
+                    })
+                } else {
+                    0
+                };
+                InstanceStats {
+                    instance: rt.inst.id,
+                    slo_ok,
+                    kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
+                    reasoning_count: reasoning,
+                    fresh_answering_count: fresh_answering,
+                    gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                    predicted_future_kv_bytes,
+                }
+            })
+            .collect()
+    }
+}

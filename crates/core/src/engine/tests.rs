@@ -1,0 +1,328 @@
+use super::*;
+use crate::config::KvCapacityMode;
+use pascal_sched::PascalConfig;
+use pascal_workload::RequestSpec;
+
+fn secs(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+fn oracle(policy: SchedPolicy) -> SimConfig {
+    SimConfig::characterization(policy, KvCapacityMode::Unlimited)
+}
+
+#[test]
+fn empty_trace_completes_immediately() {
+    let out = run_simulation(&Trace::from_requests(vec![]), &oracle(SchedPolicy::Fcfs));
+    assert!(out.records.is_empty());
+    assert_eq!(out.makespan, SimTime::ZERO);
+}
+
+#[test]
+fn simultaneous_arrivals_all_complete() {
+    let requests: Vec<RequestSpec> = (0..20)
+        .map(|i| RequestSpec::new(RequestId(i), SimTime::ZERO, 64, 30, 10))
+        .collect();
+    let out = run_simulation(
+        &Trace::from_requests(requests),
+        &oracle(SchedPolicy::round_robin_default()),
+    );
+    assert_eq!(out.records.len(), 20);
+    assert_eq!(out.admission.admitted, 20, "disabled mode still tallies");
+    assert_eq!(out.admission.rejected, 0);
+    for r in &out.records {
+        r.assert_consistent();
+    }
+}
+
+#[test]
+fn max_batch_caps_concurrency() {
+    // 30 simultaneous requests with max_batch 8: they still all finish,
+    // just in waves.
+    let requests: Vec<RequestSpec> = (0..30)
+        .map(|i| RequestSpec::new(RequestId(i), SimTime::ZERO, 32, 10, 0))
+        .collect();
+    let mut config = oracle(SchedPolicy::Fcfs);
+    config.max_batch = 8;
+    let out = run_simulation(&Trace::from_requests(requests), &config);
+    assert_eq!(out.records.len(), 30);
+    // With FCFS and batch 8, the last requests cannot start before the
+    // first wave ends: their blocked time must be non-trivial.
+    let last = &out.records[29];
+    assert!(last.blocked.as_secs_f64() > 0.1);
+}
+
+#[test]
+fn prefill_budget_batches_prompts() {
+    // Two prompts of 3000 tokens exceed a 4096 budget together, so they
+    // prefill in separate iterations; a single oversized prompt is still
+    // admitted alone.
+    let requests = vec![
+        RequestSpec::new(RequestId(0), SimTime::ZERO, 3000, 5, 0),
+        RequestSpec::new(RequestId(1), SimTime::ZERO, 3000, 5, 0),
+        RequestSpec::new(RequestId(2), secs(10.0), 8000, 5, 0),
+    ];
+    let mut config = oracle(SchedPolicy::Fcfs);
+    config.prefill_token_budget = 4096;
+    let out = run_simulation(&Trace::from_requests(requests), &config);
+    assert_eq!(out.records.len(), 3);
+    // Request 1's first token comes a full prefill later than request 0's.
+    let gap = out.records[1].token_times[0].saturating_since(out.records[0].token_times[0]);
+    assert!(gap.as_millis_f64() > 50.0, "expected separate prefills");
+}
+
+#[test]
+fn demotion_drops_long_reasoning_to_low_priority() {
+    // One enormous reasoning request and a stream of small ones under
+    // PASCAL with a tiny demotion threshold: the big one must be flagged
+    // demoted (observable through its preemptions once small requests
+    // take priority under memory pressure).
+    let mut requests = vec![RequestSpec::new(RequestId(0), SimTime::ZERO, 64, 2000, 0)];
+    for i in 1..9 {
+        requests.push(RequestSpec::new(
+            RequestId(i),
+            secs(5.0 + 4.0 * i as f64),
+            64,
+            400,
+            0,
+        ));
+    }
+    let geometry = oracle(SchedPolicy::Fcfs).geometry();
+    let policy = SchedPolicy::pascal(PascalConfig {
+        demotion_threshold_tokens: 500,
+        ..PascalConfig::default()
+    });
+    let config = SimConfig::characterization(
+        policy,
+        KvCapacityMode::Bytes(geometry.bytes_for_tokens(2200)),
+    );
+    let out = run_simulation(&Trace::from_requests(requests), &config);
+    let big = &out.records[0];
+    assert!(
+        big.num_preemptions > 0,
+        "demoted giant should lose memory to fresh reasoning requests"
+    );
+    // Without demotion the giant reasoning request keeps strict
+    // priority within its quantum class and is preempted less.
+    let no_demotion = SchedPolicy::pascal(PascalConfig {
+        demotion_threshold_tokens: u32::MAX,
+        ..PascalConfig::default()
+    });
+    let config2 = SimConfig::characterization(
+        no_demotion,
+        KvCapacityMode::Bytes(geometry.bytes_for_tokens(2200)),
+    );
+    let out2 = run_simulation(
+        &Trace::from_requests(
+            out.records
+                .iter()
+                .map(|r| r.spec.clone())
+                .collect::<Vec<_>>(),
+        ),
+        &config2,
+    );
+    assert!(
+        out2.records[0].completion <= big.completion,
+        "demotion should not speed the giant up"
+    );
+}
+
+#[test]
+fn warm_requests_under_pressure_queue_like_cold_ones() {
+    // Warm requests still need GPU memory for their context; with only
+    // room for one at a time they serialize.
+    let geometry = oracle(SchedPolicy::Fcfs).geometry();
+    let requests = vec![
+        RequestSpec::warm(RequestId(0), SimTime::ZERO, 1000, 100),
+        RequestSpec::warm(RequestId(1), SimTime::ZERO, 1000, 100),
+    ];
+    let config = SimConfig::characterization(
+        SchedPolicy::Fcfs,
+        KvCapacityMode::Bytes(geometry.bytes_for_tokens(1300)),
+    );
+    let out = run_simulation(&Trace::from_requests(requests), &config);
+    let a = &out.records[0];
+    let b = &out.records[1];
+    assert!(
+        b.token_times[0] >= a.completion,
+        "B must wait for A's memory"
+    );
+    assert!(b.blocked.as_secs_f64() > 1.0);
+}
+
+#[test]
+#[should_panic(expected = "KV blocks but an instance only has")]
+fn oversized_request_rejected_at_setup() {
+    let geometry = oracle(SchedPolicy::Fcfs).geometry();
+    let requests = vec![RequestSpec::new(RequestId(0), SimTime::ZERO, 64, 5000, 0)];
+    let config = SimConfig::characterization(
+        SchedPolicy::Fcfs,
+        KvCapacityMode::Bytes(geometry.bytes_for_tokens(1000)),
+    );
+    let _ = run_simulation(&Trace::from_requests(requests), &config);
+}
+
+#[test]
+fn pool_accounting_returns_to_zero() {
+    let requests: Vec<RequestSpec> = (0..15)
+        .map(|i| RequestSpec::new(RequestId(i), secs(0.2 * i as f64), 64, 200, 100))
+        .collect();
+    let trace = Trace::from_requests(requests);
+    let geometry = oracle(SchedPolicy::Fcfs).geometry();
+    for policy in [
+        SchedPolicy::Fcfs,
+        SchedPolicy::round_robin_default(),
+        SchedPolicy::pascal(PascalConfig::default()),
+    ] {
+        let config = SimConfig::characterization(
+            policy,
+            KvCapacityMode::Bytes(geometry.bytes_for_tokens(2000)),
+        );
+        let mut engine = Engine::new(&trace, &config);
+        while let Some((now, ev)) = engine.queue.pop() {
+            engine.dispatch(ev, now);
+        }
+        for rt in &engine.instances {
+            assert_eq!(
+                rt.inst.gpu.used_blocks(),
+                0,
+                "{}: GPU blocks leaked",
+                policy.name()
+            );
+            assert_eq!(
+                rt.inst.cpu.used_blocks(),
+                0,
+                "{}: CPU blocks leaked",
+                policy.name()
+            );
+            assert!(
+                rt.inst.members.is_empty(),
+                "{}: members leaked",
+                policy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn migrated_requests_account_memory_on_both_sides() {
+    let requests: Vec<RequestSpec> = (0..40)
+        .map(|i| RequestSpec::new(RequestId(i), secs(0.1 * i as f64), 64, 150, 150))
+        .collect();
+    let trace = Trace::from_requests(requests);
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    config.num_instances = 3;
+    let out = run_simulation(&trace, &config);
+    let migrated = out.records.iter().filter(|r| r.migration.is_some()).count();
+    assert!(migrated > 0, "expected at least one migration");
+    assert_eq!(out.migration_outcomes.launched, migrated as u64);
+    assert!(out.migration_outcomes.considered >= out.migration_outcomes.launched);
+    assert!(out.migration_outcomes.bytes_moved > 0);
+    assert_eq!(out.migration_outcomes.vetoed_by_cost, 0, "reactive run");
+    // Token streams of migrated requests never go backwards in time
+    // across the transfer gap.
+    for r in out.records.iter().filter(|r| r.migration.is_some()) {
+        let m = r.migration.expect("checked");
+        let boundary = r.phase_transition_time().expect("transitioned");
+        assert!(m.started >= boundary);
+        let first_answer = r.first_answer_time().expect("answers");
+        assert!(first_answer >= m.finished, "answer before KV arrived");
+        // The resume stall was stamped and is consistent with the stream.
+        let stall = m.stall.expect("migrated request ran again");
+        assert!(first_answer.saturating_since(m.finished) >= stall);
+    }
+}
+
+// ----- controller behavior ------------------------------------------------
+
+/// Oracle-predicted PASCAL with the cost/benefit controller at `ratio`.
+fn predictive_config(ratio: f64) -> SimConfig {
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    config.num_instances = 3;
+    config.predictor = Some(PredictorKind::Oracle);
+    config.predictive_migration = Some(PredictiveMigration {
+        min_benefit_ratio: ratio,
+    });
+    config
+}
+
+fn migration_trace() -> Trace {
+    Trace::from_requests(
+        (0..40)
+            .map(|i| RequestSpec::new(RequestId(i), secs(0.1 * i as f64), 64, 150, 150))
+            .collect(),
+    )
+}
+
+#[test]
+fn zero_ratio_cost_test_is_reactive() {
+    // ratio 0: the veto can never fire, so the predictive controller must
+    // reproduce the reactive run decision-for-decision.
+    let trace = migration_trace();
+    let mut reactive = predictive_config(0.0);
+    reactive.predictive_migration = None;
+    let a = run_simulation(&trace, &reactive);
+    let b = run_simulation(&trace, &predictive_config(0.0));
+    assert_eq!(a.records, b.records);
+    assert_eq!(b.migration_outcomes.vetoed_by_cost, 0);
+    assert_eq!(a.migration_outcomes.launched, b.migration_outcomes.launched);
+}
+
+#[test]
+fn absurd_ratio_vetoes_every_migration() {
+    // A migration can never buy a million transfer-times of service: every
+    // Algorithm 2 MigrateTo is vetoed and nothing rides the fabric.
+    let out = run_simulation(&migration_trace(), &predictive_config(1e6));
+    assert_eq!(out.migration_outcomes.launched, 0);
+    assert!(out.migration_outcomes.vetoed_by_cost > 0, "vetoes counted");
+    assert_eq!(out.migrations().count(), 0);
+    assert!(out.records.iter().all(|r| r.instances_visited.len() == 1));
+    assert!(out.policy_name.contains("CostAwareMigration"));
+}
+
+#[test]
+fn admission_rejects_at_predicted_overload_and_still_drains() {
+    // Budget fits ~2 requests' final footprints; 12 simultaneous oracle-
+    // predicted arrivals: most must be rejected, the rest complete.
+    let geometry = oracle(SchedPolicy::Fcfs).geometry();
+    let requests: Vec<RequestSpec> = (0..12)
+        .map(|i| RequestSpec::new(RequestId(i), secs(0.01 * i as f64), 64, 200, 100))
+        .collect();
+    let policy = SchedPolicy::pascal(PascalConfig::default());
+    let mut config = SimConfig::characterization(
+        policy,
+        KvCapacityMode::Bytes(geometry.bytes_for_tokens(800)),
+    );
+    config.predictor = Some(PredictorKind::Oracle);
+    config.admission = AdmissionMode::predictive();
+    let out = run_simulation(&Trace::from_requests(requests), &config);
+    assert!(out.admission.rejected > 0, "overload must shed load");
+    assert!(out.admission.admitted > 0, "not everything is shed");
+    assert_eq!(
+        out.admission.admitted as usize + out.admission.rejected as usize,
+        12
+    );
+    assert_eq!(out.records.len(), out.admission.admitted as usize);
+    assert_eq!(out.rejections.len(), out.admission.rejected as usize);
+    for rej in &out.rejections {
+        assert!(rej.projected_kv_bytes > rej.budget_bytes);
+    }
+    // Admitted requests were never starved into SLO trouble by the load
+    // the controller shed.
+    assert!(out.policy_name.ends_with("+PredictiveAdmission"));
+}
+
+#[test]
+fn admission_disabled_and_unbounded_memory_never_reject() {
+    let requests: Vec<RequestSpec> = (0..10)
+        .map(|i| RequestSpec::new(RequestId(i), SimTime::ZERO, 64, 50, 20))
+        .collect();
+    let trace = Trace::from_requests(requests);
+    // Unbounded memory: predictive admission cannot overload.
+    let mut config = oracle(SchedPolicy::pascal(PascalConfig::default()));
+    config.predictor = Some(PredictorKind::Oracle);
+    config.admission = AdmissionMode::predictive();
+    let out = run_simulation(&trace, &config);
+    assert_eq!(out.admission.rejected, 0);
+    assert_eq!(out.records.len(), 10);
+}

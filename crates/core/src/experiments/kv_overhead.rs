@@ -66,9 +66,8 @@ pub fn run(params: KvOverheadParams) -> Vec<KvOverheadRow> {
         .map(|(name, mix)| {
             let trace = evaluation_trace(mix, RateLevel::High, params.count, params.seed);
             let output = run_cluster(&trace, policy);
-            let migrations = output.migrations();
-            let mut latencies: Vec<f64> = migrations
-                .iter()
+            let mut latencies: Vec<f64> = output
+                .migrations()
                 .map(|m| m.latency().as_secs_f64())
                 .collect();
             latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -79,8 +78,8 @@ pub fn run(params: KvOverheadParams) -> Vec<KvOverheadRow> {
                 .collect();
             KvOverheadRow {
                 dataset: (*name).to_owned(),
-                migrations: migrations.len(),
-                migrated_fraction: migrations.len() as f64 / output.records.len() as f64,
+                migrations: latencies.len(),
+                migrated_fraction: latencies.len() as f64 / output.records.len() as f64,
                 mean_transfer_s: if latencies.is_empty() {
                     0.0
                 } else {

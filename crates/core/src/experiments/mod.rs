@@ -19,3 +19,4 @@ pub mod fig15;
 pub mod fig16;
 pub mod kv_overhead;
 pub mod predictive;
+pub mod predictive_migration;

@@ -113,7 +113,7 @@ fn row(dataset: &str, out: &SimOutput) -> PredictiveRow {
         ),
         mean_qoe,
         slo_violations: slo_violation_rate(&out.records, &qoe, SLO_QOE_THRESHOLD),
-        migrations: out.migrations().len(),
+        migrations: out.migrations().count(),
         calibration: out.calibration(),
     }
 }

@@ -1,0 +1,215 @@
+//! Predictive migration — reactive Algorithm 2 vs the cost/benefit test.
+//!
+//! The paper migrates at every phase transition where Algorithm 2 finds a
+//! better-loaded instance, regardless of whether the request has enough
+//! remaining service to amortize the KV transfer. The predictive migration
+//! controller vetoes transfers whose predicted remaining service (remaining
+//! tokens × pacing target, from `pascal-predict`) is below a configurable
+//! multiple of the transfer cost (from `pascal-model`'s link model). This
+//! experiment sweeps that benefit ratio against the reactive baseline on a
+//! shared trace and reports the divergence (vetoed decisions), migration
+//! volume, post-transfer stalls, tail TTFT, SLO violations and the
+//! calibration of the remaining-service predictions recorded at decision
+//! time.
+
+use pascal_metrics::{slo_violation_rate, LatencySummary, QoeParams, SLO_QOE_THRESHOLD};
+use pascal_predict::PredictorKind;
+use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_workload::{DatasetMix, DatasetProfile, Trace};
+
+use crate::config::{RateLevel, SimConfig};
+use crate::engine::{run_simulation, SimOutput};
+use crate::experiments::common::evaluation_trace;
+
+/// One scheduler-variant row of the comparison.
+#[derive(Clone, Debug)]
+pub struct PredictiveMigrationRow {
+    /// Scheduler variant name.
+    pub policy: String,
+    /// The benefit ratio the variant ran with (`None` = reactive).
+    pub benefit_ratio: Option<f64>,
+    /// Migrations launched onto the fabric.
+    pub migrations: u64,
+    /// Algorithm 2 decisions vetoed by the cost/benefit test.
+    pub vetoed: u64,
+    /// Transfers that landed in destination CPU memory.
+    pub landed_in_cpu: u64,
+    /// Mean post-transfer stall in seconds (landing → next execution).
+    pub mean_stall_s: f64,
+    /// TTFT summary (absent if nothing answered).
+    pub ttft: Option<LatencySummary>,
+    /// Fraction of requests below the QoE SLO threshold.
+    pub slo_violations: f64,
+    /// Mean absolute error of the remaining-service prediction at decision
+    /// time, in tokens (`None` without predictions or migrations).
+    pub remaining_error_tokens: Option<f64>,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictiveMigrationParams {
+    /// Requests per trace.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Arrival-rate level (migrations abound at High).
+    pub level: RateLevel,
+    /// The aggressive benefit ratio of the sweep — large enough that some
+    /// short-answer migrations stop paying for themselves.
+    pub aggressive_ratio: f64,
+}
+
+impl Default for PredictiveMigrationParams {
+    fn default() -> Self {
+        PredictiveMigrationParams {
+            count: 2000,
+            seed: 2026,
+            level: RateLevel::High,
+            aggressive_ratio: 1000.0,
+        }
+    }
+}
+
+/// The chat mix whose phase-boundary migrations the paper's §V-C measures.
+#[must_use]
+pub fn migration_mix() -> DatasetMix {
+    DatasetMix::single(DatasetProfile::arena_hard())
+}
+
+/// Runs one variant on the evaluation cluster: reactive PASCAL when
+/// `benefit_ratio` is `None`, otherwise cost/benefit migration at that
+/// ratio with `predictor` supplying remaining-service estimates.
+#[must_use]
+pub fn run_variant(
+    trace: &Trace,
+    predictor: Option<PredictorKind>,
+    benefit_ratio: Option<f64>,
+) -> SimOutput {
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    config.predictor = predictor;
+    if let Some(ratio) = benefit_ratio {
+        config = config.with_predictive_migration(ratio);
+    }
+    run_simulation(trace, &config)
+}
+
+fn row(out: &SimOutput, benefit_ratio: Option<f64>) -> PredictiveMigrationRow {
+    let qoe = QoeParams::paper_eval();
+    let outcomes = out.migration_outcomes;
+    let errors: Vec<f64> = out
+        .migrations()
+        .filter_map(|m| m.remaining_tokens_error())
+        .collect();
+    PredictiveMigrationRow {
+        policy: out.policy_name.clone(),
+        benefit_ratio,
+        migrations: outcomes.launched,
+        vetoed: outcomes.vetoed_by_cost,
+        landed_in_cpu: outcomes.landed_in_cpu,
+        mean_stall_s: if outcomes.launched == 0 {
+            0.0
+        } else {
+            outcomes.total_stall.as_secs_f64() / outcomes.launched as f64
+        },
+        ttft: LatencySummary::from_values(
+            out.records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        ),
+        slo_violations: slo_violation_rate(&out.records, &qoe, SLO_QOE_THRESHOLD),
+        remaining_error_tokens: if errors.is_empty() {
+            None
+        } else {
+            Some(errors.iter().sum::<f64>() / errors.len() as f64)
+        },
+    }
+}
+
+/// Runs the sweep: reactive baseline, an Oracle-informed run with the cost
+/// test at break-even (ratio 1), the aggressive ratio under Oracle and
+/// under the learned EMA predictor. All variants share one trace so the
+/// comparison is paired.
+#[must_use]
+pub fn run(params: PredictiveMigrationParams) -> Vec<PredictiveMigrationRow> {
+    let trace = evaluation_trace(&migration_mix(), params.level, params.count, params.seed);
+    let variants: Vec<(Option<PredictorKind>, Option<f64>)> = vec![
+        (None, None),
+        (Some(PredictorKind::Oracle), Some(1.0)),
+        (Some(PredictorKind::Oracle), Some(params.aggressive_ratio)),
+        (
+            Some(PredictorKind::ProfileEma),
+            Some(params.aggressive_ratio),
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(pred, ratio)| row(&run_variant(&trace, pred, ratio), ratio))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> PredictiveMigrationParams {
+        PredictiveMigrationParams {
+            count: 250,
+            seed: 7,
+            level: RateLevel::High,
+            aggressive_ratio: 1000.0,
+        }
+    }
+
+    #[test]
+    fn sweep_diverges_from_reactive_without_slo_regression() {
+        // One sweep, all assertions — the four-variant simulation is the
+        // expensive part, so every property checks the same rows.
+        let rows = run(small_params());
+        assert_eq!(rows.len(), 4);
+
+        // The acceptance bar: the predictive controller must actually
+        // change decisions (≥ 1 veto) and must not trade them for SLO
+        // violations.
+        let reactive = &rows[0];
+        assert_eq!(reactive.vetoed, 0, "reactive never vetoes");
+        assert!(reactive.migrations > 0, "baseline must migrate");
+        let aggressive = &rows[2];
+        assert!(
+            aggressive.vetoed >= 1,
+            "cost test must diverge from the reactive baseline"
+        );
+        assert!(
+            aggressive.migrations < reactive.migrations,
+            "vetoes must reduce fabric traffic"
+        );
+        assert!(
+            aggressive.slo_violations <= reactive.slo_violations,
+            "SLO regression: predictive {} vs reactive {}",
+            aggressive.slo_violations,
+            reactive.slo_violations
+        );
+        assert_eq!(
+            aggressive.remaining_error_tokens.unwrap_or(0.0),
+            0.0,
+            "oracle remaining-service predictions are exact"
+        );
+
+        // At ratio 1 a migration only needs to outlast one transfer-time
+        // (~tens of ms vs seconds of answering): the cost test should stay
+        // close to the reactive answer.
+        let break_even = &rows[1];
+        assert!(
+            break_even.migrations >= reactive.migrations - reactive.migrations / 4,
+            "break-even cost test should veto at most a small fraction"
+        );
+
+        // The learned predictor rides the same controller.
+        let ema = &rows[3];
+        assert!(ema.policy.contains("EMA"));
+        assert!(ema.policy.contains("CostAwareMigration"));
+        // The EMA's remaining-service error is measurable (nonzero, finite).
+        if let Some(err) = ema.remaining_error_tokens {
+            assert!(err.is_finite());
+        }
+    }
+}

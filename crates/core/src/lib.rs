@@ -8,7 +8,10 @@
 //!   arrival-rate calibration;
 //! * [`run_simulation`] — the iteration-level multi-instance discrete-event
 //!   engine implementing vLLM-style continuous batching, blocking,
-//!   PCIe preemption, phase detection and fabric migration;
+//!   PCIe preemption, phase detection and fabric migration. The engine is
+//!   decomposed into lifecycle / migration / admission / stats modules;
+//!   [`PredictiveMigration`] and [`AdmissionMode`] switch the predictive
+//!   controllers on (both default off, reproducing the paper exactly);
 //! * [`experiments`] — one module per table/figure of the paper's
 //!   evaluation, each returning printable row structs (see `DESIGN.md` §5
 //!   for the experiment index);
@@ -44,4 +47,4 @@ pub mod experiments;
 pub mod report;
 
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
-pub use engine::{run_simulation, SimOutput};
+pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};

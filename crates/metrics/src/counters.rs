@@ -1,0 +1,109 @@
+//! Aggregate controller counters emitted once per simulation run.
+//!
+//! The engine's migration and admission controllers tally every decision
+//! they take; the counters land in `SimOutput` so experiments can compare
+//! reactive and predictive variants without re-deriving outcomes from the
+//! per-request records.
+
+use pascal_sim::{SimDuration, SimTime};
+use pascal_workload::RequestId;
+
+/// Outcome tally of the migration controller over one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MigrationOutcomes {
+    /// Phase transitions at which a migration decision was evaluated.
+    pub considered: u64,
+    /// Transfers actually launched onto the fabric.
+    pub launched: u64,
+    /// Decisions where the policy chose a destination but the predictive
+    /// cost/benefit test vetoed it (predicted remaining service did not
+    /// justify the transfer cost).
+    pub vetoed_by_cost: u64,
+    /// Launches aborted because the adaptive controller could not reserve
+    /// destination KV blocks at launch time.
+    pub aborted_no_reservation: u64,
+    /// Transfers whose KV landed in the destination's CPU pool (guaranteed
+    /// reload stall — the failure mode of Fig. 7 / Fig. 15).
+    pub landed_in_cpu: u64,
+    /// Total KV bytes moved across the fabric.
+    pub bytes_moved: u64,
+    /// Total post-transfer stall time accumulated by migrated requests
+    /// (landing → next execution).
+    pub total_stall: SimDuration,
+}
+
+impl MigrationOutcomes {
+    /// Decisions where the policy's Algorithm 2 answer was overridden by a
+    /// controller (cost veto or failed reservation) — the divergence count
+    /// between reactive and predictive operation.
+    #[must_use]
+    pub fn diverged(&self) -> u64 {
+        self.vetoed_by_cost + self.aborted_no_reservation
+    }
+}
+
+/// Admission-control tally over one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdmissionCounters {
+    /// Arrivals admitted into the cluster.
+    pub admitted: u64,
+    /// Arrivals rejected at predicted overload.
+    pub rejected: u64,
+}
+
+impl AdmissionCounters {
+    /// Fraction of arrivals rejected (zero when nothing arrived).
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.admitted + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / total as f64
+        }
+    }
+}
+
+/// One arrival the admission controller turned away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AdmissionRecord {
+    /// The rejected request.
+    pub id: RequestId,
+    /// When the rejection happened (the arrival time).
+    pub at: SimTime,
+    /// Cluster-wide KV bytes (in-flight current + predicted growth + the
+    /// incoming request's predicted final footprint) at decision time.
+    pub projected_kv_bytes: u64,
+    /// The byte budget the projection was tested against.
+    pub budget_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_rate_handles_empty_and_mixed() {
+        assert_eq!(AdmissionCounters::default().rejection_rate(), 0.0);
+        let c = AdmissionCounters {
+            admitted: 3,
+            rejected: 1,
+        };
+        assert!((c.rejection_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diverged_sums_overrides() {
+        let m = MigrationOutcomes {
+            considered: 10,
+            launched: 5,
+            vetoed_by_cost: 3,
+            aborted_no_reservation: 2,
+            ..MigrationOutcomes::default()
+        };
+        assert_eq!(m.diverged(), 5);
+    }
+}

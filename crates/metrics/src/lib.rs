@@ -17,7 +17,10 @@
 //! * [`Histogram`] — density histograms for the token-distribution figures
 //!   (Fig. 8, Fig. 14);
 //! * [`PredictionSample`] / [`CalibrationReport`] — predicted-vs-actual
-//!   length-prediction error quantiles for the `pascal-predict` subsystem.
+//!   length-prediction error quantiles for the `pascal-predict` subsystem;
+//! * [`MigrationOutcomes`] / [`AdmissionCounters`] / [`AdmissionRecord`] —
+//!   per-run decision tallies of the engine's migration and admission
+//!   controllers.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod calibration;
+mod counters;
 mod histogram;
 mod qoe;
 mod record;
@@ -46,6 +50,7 @@ mod summary;
 mod tail;
 
 pub use calibration::{CalibrationReport, PredictionSample};
+pub use counters::{AdmissionCounters, AdmissionRecord, MigrationOutcomes};
 pub use histogram::Histogram;
 pub use qoe::{answering_qoe, qoe_of_stream, QoeParams};
 pub use record::{MigrationRecord, RequestRecord};

@@ -10,7 +10,7 @@ use pascal_sim::{SimDuration, SimTime};
 use pascal_workload::RequestSpec;
 
 /// One KV-cache migration performed at a phase boundary (§IV-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MigrationRecord {
     /// Source instance index.
@@ -23,6 +23,18 @@ pub struct MigrationRecord {
     pub finished: SimTime,
     /// Bytes moved.
     pub bytes: u64,
+    /// Gap between the KV landing on the destination and the request's next
+    /// execution there — the stall the adaptive/predictive controllers try
+    /// to minimize. `None` if the request never ran again.
+    pub stall: Option<SimDuration>,
+    /// Output tokens the migration controller *predicted* the request still
+    /// had to generate at decision time (`None` without a length predictor,
+    /// or when it could not produce an absolute estimate).
+    pub predicted_remaining_tokens: Option<f64>,
+    /// Output tokens the request actually still had to generate at decision
+    /// time — paired with the prediction, this measures the calibration of
+    /// the migration cost/benefit model.
+    pub actual_remaining_tokens: u32,
 }
 
 impl MigrationRecord {
@@ -30,6 +42,14 @@ impl MigrationRecord {
     #[must_use]
     pub fn latency(&self) -> SimDuration {
         self.finished.saturating_since(self.started)
+    }
+
+    /// Absolute error of the remaining-service prediction at decision time,
+    /// in tokens. `None` when no prediction was recorded.
+    #[must_use]
+    pub fn remaining_tokens_error(&self) -> Option<f64> {
+        self.predicted_remaining_tokens
+            .map(|p| (p - f64::from(self.actual_remaining_tokens)).abs())
     }
 }
 
@@ -282,8 +302,27 @@ mod tests {
             started: secs(1.0),
             finished: secs(1.25),
             bytes: 512 << 20,
+            stall: Some(SimDuration::from_secs_f64(0.05)),
+            predicted_remaining_tokens: Some(110.0),
+            actual_remaining_tokens: 100,
         };
         assert!((m.latency().as_secs_f64() - 0.25).abs() < 1e-9);
+        assert!((m.remaining_tokens_error().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remaining_error_absent_without_prediction() {
+        let m = MigrationRecord {
+            from_instance: 0,
+            to_instance: 1,
+            started: secs(1.0),
+            finished: secs(1.1),
+            bytes: 1,
+            stall: None,
+            predicted_remaining_tokens: None,
+            actual_remaining_tokens: 42,
+        };
+        assert_eq!(m.remaining_tokens_error(), None);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   of waiting for its generated tokens to cross it;
 //! * **predicted-footprint placement** — Algorithm 1 ranks instances by
 //!   current *plus predicted future* KV blocks;
+//! * **remaining-service queries** — the migration controller weighs KV
+//!   transfer cost against [`LengthPredictor::predicted_remaining_tokens`],
+//!   and the admission controller projects aggregate KV demand from it;
 //! * **calibration reporting** — predicted-vs-actual error quantiles in
 //!   `pascal-metrics`.
 //!
@@ -81,6 +84,18 @@ pub trait LengthPredictor: std::fmt::Debug {
         self.estimate(req)
             .reasoning_tokens
             .is_some_and(|r| r > f64::from(threshold_tokens))
+    }
+
+    /// Predicted output tokens an in-flight request still has to generate,
+    /// given that it has produced `generated` tokens so far — the
+    /// remaining-service query the migration and admission controllers ask.
+    /// `None` when the predictor cannot produce an absolute estimate
+    /// (rank-only predictors). Never negative: a request that outlived its
+    /// prediction reports zero remaining work.
+    fn predicted_remaining_tokens(&self, req: &RequestSpec, generated: u32) -> Option<f64> {
+        self.estimate(req)
+            .total_tokens()
+            .map(|total| (total - f64::from(generated)).max(0.0))
     }
 
     /// Feeds back a completed request (its spec carries the actual lengths).

@@ -49,4 +49,4 @@
 
 mod policy;
 
-pub use policy::{MigrationDecision, PascalConfig, PriorityKey, SchedPolicy};
+pub use policy::{MigrationCost, MigrationDecision, PascalConfig, PriorityKey, SchedPolicy};

@@ -22,6 +22,7 @@
 //!   adaptive override for PASCAL; baselines never migrate).
 
 use pascal_cluster::{InstanceStats, RequestState};
+use pascal_sim::SimDuration;
 use pascal_workload::Phase;
 
 /// Sort key of a request for intra-instance scheduling; lower = higher
@@ -103,6 +104,45 @@ pub enum MigrationDecision {
     Stay,
     /// Ship its KV cache to the given instance (§IV-B).
     MigrateTo(u32),
+    /// Algorithm 2 chose the given destination, but the predictive
+    /// cost/benefit test vetoed the transfer: the predicted remaining
+    /// service did not justify the KV transfer cost. Mechanically the
+    /// request stays home; the variant is distinct so controllers can count
+    /// how often prediction diverges from the reactive answer.
+    VetoedByCost(u32),
+}
+
+/// Cost/benefit inputs of a predictive migration decision.
+///
+/// The controller supplies the physical transfer cost (from
+/// `pascal-model`'s link model) and the predicted remaining service of the
+/// request (from `pascal-predict`); the policy weighs one against the other.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationCost {
+    /// Time to push the request's KV cache through the fabric, queueing
+    /// excluded.
+    pub transfer_time: SimDuration,
+    /// Predicted wall-clock service the request still has to receive
+    /// (remaining tokens × pacing target). `None` when no absolute length
+    /// estimate is available — the test then never vetoes.
+    pub predicted_remaining_service: Option<SimDuration>,
+    /// How many transfer-times of predicted remaining service a migration
+    /// must buy to be worthwhile. `1.0` is the break-even rule; larger
+    /// values veto more aggressively; `0.0` disables the test (reactive
+    /// behavior).
+    pub min_benefit_ratio: f64,
+}
+
+impl MigrationCost {
+    /// Whether the predicted remaining service fails to justify the
+    /// transfer — the veto condition.
+    #[must_use]
+    pub fn vetoes(&self) -> bool {
+        match self.predicted_remaining_service {
+            Some(service) => service < self.transfer_time.mul_f64(self.min_benefit_ratio),
+            None => false,
+        }
+    }
 }
 
 impl SchedPolicy {
@@ -311,6 +351,34 @@ impl SchedPolicy {
 
         MigrationDecision::MigrateTo(target.instance)
     }
+
+    /// [`SchedPolicy::migration_decision`] extended with the predictive
+    /// cost/benefit test: when Algorithm 2 picks a destination but `cost`
+    /// says the predicted remaining service is below the transfer cost, the
+    /// decision becomes [`MigrationDecision::VetoedByCost`] instead of
+    /// [`MigrationDecision::MigrateTo`].
+    ///
+    /// With `cost = None` (no predictor configured) this is exactly the
+    /// reactive decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stats` is empty or `current` is not among them.
+    #[must_use]
+    pub fn predictive_migration_decision(
+        &self,
+        current: u32,
+        needed_blocks: u64,
+        stats: &[InstanceStats],
+        cost: Option<MigrationCost>,
+    ) -> MigrationDecision {
+        match self.migration_decision(current, needed_blocks, stats) {
+            MigrationDecision::MigrateTo(dest) if cost.is_some_and(|c| c.vetoes()) => {
+                MigrationDecision::VetoedByCost(dest)
+            }
+            other => other,
+        }
+    }
 }
 
 /// First minimum by key in iteration order — deterministic tie-breaking on
@@ -334,8 +402,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pascal_sim::{SimDuration, SimTime};
+    use pascal_sim::SimTime;
     use pascal_workload::{RequestId, RequestSpec};
+    use proptest::prelude::*;
 
     fn stats(
         instance: u32,
@@ -615,6 +684,104 @@ mod tests {
             p.migration_decision(0, 10, &s),
             MigrationDecision::MigrateTo(2)
         );
+    }
+
+    #[test]
+    fn cost_veto_turns_migrate_into_veto() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(100)),
+            stats(2, true, 0, 0, 0, Some(100)),
+        ];
+        let cheap = MigrationCost {
+            transfer_time: SimDuration::from_millis(40),
+            predicted_remaining_service: Some(SimDuration::from_secs_f64(10.0)),
+            min_benefit_ratio: 1.0,
+        };
+        assert_eq!(
+            p.predictive_migration_decision(0, 10, &s, Some(cheap)),
+            MigrationDecision::MigrateTo(2)
+        );
+        let wasteful = MigrationCost {
+            transfer_time: SimDuration::from_millis(40),
+            predicted_remaining_service: Some(SimDuration::from_millis(10)),
+            min_benefit_ratio: 1.0,
+        };
+        assert_eq!(
+            p.predictive_migration_decision(0, 10, &s, Some(wasteful)),
+            MigrationDecision::VetoedByCost(2)
+        );
+        // No predictor estimate, or no cost inputs at all: reactive answer.
+        let unknown = MigrationCost {
+            predicted_remaining_service: None,
+            ..wasteful
+        };
+        assert_eq!(
+            p.predictive_migration_decision(0, 10, &s, Some(unknown)),
+            MigrationDecision::MigrateTo(2)
+        );
+        assert_eq!(
+            p.predictive_migration_decision(0, 10, &s, None),
+            MigrationDecision::MigrateTo(2)
+        );
+    }
+
+    #[test]
+    fn cost_veto_never_invents_migrations() {
+        // A Stay decision stays a Stay no matter how favorable the cost.
+        let p = SchedPolicy::pascal(PascalConfig {
+            migration_enabled: false,
+            ..PascalConfig::default()
+        });
+        let s = vec![
+            stats(0, true, 0, 5, 0, Some(50)),
+            stats(2, true, 0, 0, 0, Some(100)),
+        ];
+        let cost = MigrationCost {
+            transfer_time: SimDuration::from_millis(1),
+            predicted_remaining_service: Some(SimDuration::from_secs_f64(100.0)),
+            min_benefit_ratio: 1.0,
+        };
+        assert_eq!(
+            p.predictive_migration_decision(0, 10, &s, Some(cost)),
+            MigrationDecision::Stay
+        );
+    }
+
+    proptest! {
+        /// The cost/benefit invariant: whenever the predicted remaining
+        /// service is below the (ratio-scaled) transfer cost, the predictive
+        /// decision never launches a migration — regardless of cluster
+        /// state.
+        #[test]
+        fn prop_underwater_requests_never_migrate(
+            transfer_ms in 1.0f64..500.0,
+            service_fraction in 0.0f64..1.0,
+            ratio in 0.5f64..8.0,
+            reasoning in proptest::collection::vec(0u32..12, 2..6),
+            free in proptest::collection::vec(0u64..200, 2..6),
+        ) {
+            let n = reasoning.len().min(free.len());
+            let s: Vec<InstanceStats> = (0..n)
+                .map(|i| stats(i as u32, true, 0, reasoning[i], 0, Some(free[i])))
+                .collect();
+            let threshold = transfer_ms * ratio;
+            // Strictly below the scaled cost, by construction.
+            let service = SimDuration::from_secs_f64(
+                threshold * service_fraction * 0.999 / 1000.0,
+            );
+            let cost = MigrationCost {
+                transfer_time: SimDuration::from_secs_f64(transfer_ms / 1000.0),
+                predicted_remaining_service: Some(service),
+                min_benefit_ratio: ratio,
+            };
+            let p = SchedPolicy::pascal(PascalConfig::default());
+            let decision = p.predictive_migration_decision(0, 1, &s, Some(cost));
+            prop_assert!(
+                !matches!(decision, MigrationDecision::MigrateTo(_)),
+                "underwater request migrated: {decision:?}"
+            );
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ fn main() {
             ttft.p50,
             ttft.p99,
             violations * 100.0,
-            out.migrations().len()
+            out.migrations().count()
         );
 
         // Tail TTFT of the short-reasoning requests the paper highlights.

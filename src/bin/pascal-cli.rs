@@ -9,7 +9,7 @@
 use std::process::ExitCode;
 
 use pascal::core::report::{records_csv, render_table};
-use pascal::core::{estimate_capacity_rps, run_simulation, RateLevel, SimConfig};
+use pascal::core::{estimate_capacity_rps, run_simulation, AdmissionMode, RateLevel, SimConfig};
 use pascal::metrics::{
     goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary, QoeParams,
     SLO_QOE_THRESHOLD,
@@ -29,16 +29,42 @@ OPTIONS (run):
   --dataset <alpaca|arena|math500|gpqa|lcb|mixed>   workload       [alpaca]
   --policy  <fcfs|rr|pascal|pascal-nomigration|pascal-nonadaptive> [pascal]
   --predictor <none|oracle|ema|rank>                length predictor [none]
-          oracle reads the trace's hidden lengths; ema learns per-dataset
-          running means; rank orders by predicted remaining work. With
-          pascal, enables speculative demotion + predicted-footprint
-          placement and prints a calibration report.
+          valid values: none (reactive, the default), oracle (reads the
+          trace's hidden lengths), ema (learns per-dataset running means),
+          rank (orders by predicted remaining work). With pascal, enables
+          speculative demotion + predicted-footprint placement and prints
+          a calibration report.
+  --admission <none|predictive>                     admission ctrl [none]
+          predictive rejects arrivals whose predicted aggregate KV
+          footprint exceeds the pool budget, instead of waiting for
+          pacer starvation.
+  --migration-benefit <RATIO>                       cost/benefit migration
+          enables the predictive migration controller: veto Algorithm 2
+          migrations whose predicted remaining service is below RATIO
+          transfer-times (needs --predictor).
   --rate    <low|medium|high|REQ_PER_S>             arrival rate   [high]
   --count   <N>                                     requests       [1000]
   --seed    <N>                                     RNG seed       [42]
   --instances <N>                                   cluster size   [8]
   --csv     <PATH>                                  dump per-request CSV
+
+Unknown values for any option exit with status 2.
 ";
+
+/// A CLI failure: bad invocation (exit 2, prints usage) or a runtime
+/// error after a valid invocation (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+// `?` on the parsing/validation helpers classifies as a usage error;
+// runtime failures are wrapped explicitly.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
 
 fn dataset(name: &str) -> Result<DatasetMix, String> {
     Ok(match name {
@@ -74,6 +100,8 @@ struct RunOpts {
     dataset: String,
     policy: String,
     predictor: String,
+    admission: String,
+    migration_benefit: Option<f64>,
     rate: String,
     count: usize,
     seed: u64,
@@ -87,6 +115,8 @@ impl Default for RunOpts {
             dataset: "alpaca".to_owned(),
             policy: "pascal".to_owned(),
             predictor: "none".to_owned(),
+            admission: "none".to_owned(),
+            migration_benefit: None,
             rate: "high".to_owned(),
             count: 1000,
             seed: 42,
@@ -99,7 +129,19 @@ impl Default for RunOpts {
 fn predictor(name: &str) -> Result<Option<PredictorKind>, String> {
     match name {
         "none" => Ok(None),
-        other => PredictorKind::parse(other).map(Some),
+        other => PredictorKind::parse(other)
+            .map(Some)
+            .map_err(|_| format!("unknown predictor '{other}' (valid: none, oracle, ema, rank)")),
+    }
+}
+
+fn admission(name: &str) -> Result<AdmissionMode, String> {
+    match name {
+        "none" => Ok(AdmissionMode::Disabled),
+        "predictive" => Ok(AdmissionMode::predictive()),
+        other => Err(format!(
+            "unknown admission mode '{other}' (valid: none, predictive)"
+        )),
     }
 }
 
@@ -116,6 +158,18 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--dataset" => opts.dataset = value()?,
             "--policy" => opts.policy = value()?,
             "--predictor" => opts.predictor = value()?,
+            "--admission" => opts.admission = value()?,
+            "--migration-benefit" => {
+                let ratio: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--migration-benefit: {e}"))?;
+                if !(ratio.is_finite() && ratio >= 0.0) {
+                    return Err(format!(
+                        "--migration-benefit must be a non-negative number, got {ratio}"
+                    ));
+                }
+                opts.migration_benefit = Some(ratio);
+            }
             "--rate" => opts.rate = value()?,
             "--count" => {
                 opts.count = value()?.parse().map_err(|e| format!("--count: {e}"))?;
@@ -149,13 +203,34 @@ fn resolve_rate(rate: &str, config: &SimConfig, mix: &DatasetMix) -> Result<f64,
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let mix = dataset(&opts.dataset)?;
     let policy = policy(&opts.policy)?;
     let mut config = SimConfig::evaluation_cluster(policy);
     config.num_instances = opts.instances;
     config.predictor = predictor(&opts.predictor)?;
+    config.admission = admission(&opts.admission)?;
+    if let Some(ratio) = opts.migration_benefit {
+        match config.predictor {
+            None => {
+                return Err(CliError::Usage(
+                    "--migration-benefit needs a length predictor (--predictor)".to_owned(),
+                ));
+            }
+            // The rank predictor never produces absolute estimates, so the
+            // cost test could never fire — reject rather than mislabel the
+            // run as cost-aware.
+            Some(PredictorKind::PairwiseRank) => {
+                return Err(CliError::Usage(
+                    "--migration-benefit needs absolute length estimates; \
+                     the rank predictor only orders requests (use oracle or ema)"
+                        .to_owned(),
+                ));
+            }
+            Some(_) => config = config.with_predictive_migration(ratio),
+        }
+    }
     let rate = resolve_rate(&opts.rate, &config, &mix)?;
 
     // Predictions only steer PASCAL; under the baselines the predictor is
@@ -202,12 +277,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 100.0 * slo_violation_rate(&out.records, &qoe, SLO_QOE_THRESHOLD)
             ),
         ],
-        vec!["migrations".to_owned(), out.migrations().len().to_string()],
+        vec![
+            "migrations".to_owned(),
+            out.migrations().count().to_string(),
+        ],
         vec![
             "makespan".to_owned(),
             format!("{:.1}s", out.makespan.as_secs_f64()),
         ],
     ];
+    if opts.migration_benefit.is_some() {
+        rows.push(vec![
+            "migrations vetoed by cost".to_owned(),
+            out.migration_outcomes.vetoed_by_cost.to_string(),
+        ]);
+    }
+    if config.admission != AdmissionMode::Disabled {
+        rows.push(vec![
+            "admission rejections".to_owned(),
+            format!(
+                "{} ({:.2}%)",
+                out.admission.rejected,
+                100.0 * out.admission.rejection_rate()
+            ),
+        ]);
+    }
     if let Some(cal) = out.calibration() {
         rows.push(vec!["prediction calibration".to_owned(), cal.to_string()]);
     }
@@ -227,13 +321,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     if let Some(path) = opts.csv {
         std::fs::write(&path, records_csv(&out.records))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
         eprintln!("wrote per-request CSV to {path}");
     }
     Ok(())
 }
 
-fn cmd_capacity(args: &[String]) -> Result<(), String> {
+fn cmd_capacity(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let mix = dataset(&opts.dataset)?;
     let mut config = SimConfig::evaluation_cluster(SchedPolicy::Fcfs);
@@ -262,12 +356,19 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'")),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        // Bad invocations (unknown flags/values) exit with the
+        // conventional status 2 and reprint the usage.
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        // Runtime failures after a valid invocation exit 1, no usage spam.
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -332,9 +433,39 @@ mod tests {
         assert_eq!(predictor("oracle"), Ok(Some(PredictorKind::Oracle)));
         assert_eq!(predictor("ema"), Ok(Some(PredictorKind::ProfileEma)));
         assert_eq!(predictor("rank"), Ok(Some(PredictorKind::PairwiseRank)));
-        assert!(predictor("psychic").is_err());
+        let err = predictor("psychic").expect_err("unknown predictor");
+        assert!(
+            err.contains("valid: none, oracle, ema, rank"),
+            "error must list the valid values, got: {err}"
+        );
         let opts = parse_opts(&strs(&["--predictor", "oracle"])).expect("valid");
         assert_eq!(opts.predictor, "oracle");
+    }
+
+    #[test]
+    fn usage_lists_predictor_and_admission_values() {
+        for needle in ["none|oracle|ema|rank", "none|predictive", "[none]"] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn admission_flag_resolves() {
+        assert_eq!(admission("none"), Ok(AdmissionMode::Disabled));
+        assert_eq!(admission("predictive"), Ok(AdmissionMode::predictive()));
+        let err = admission("strict").expect_err("unknown mode");
+        assert!(err.contains("valid: none, predictive"), "got: {err}");
+        let opts = parse_opts(&strs(&["--admission", "predictive"])).expect("valid");
+        assert_eq!(opts.admission, "predictive");
+    }
+
+    #[test]
+    fn migration_benefit_flag_parses_and_validates() {
+        let opts = parse_opts(&strs(&["--migration-benefit", "2.5"])).expect("valid");
+        assert_eq!(opts.migration_benefit, Some(2.5));
+        assert!(parse_opts(&strs(&["--migration-benefit", "-1"])).is_err());
+        assert!(parse_opts(&strs(&["--migration-benefit", "inf"])).is_err());
+        assert!(parse_opts(&strs(&["--migration-benefit", "many"])).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! pure function of (seed, config).
 
 use pascal::core::experiments::common::{main_policies, run_cluster};
-use pascal::core::{run_simulation, SimConfig};
+use pascal::core::{run_simulation, AdmissionMode, SimConfig};
 use pascal::predict::PredictorKind;
 use pascal::sched::{PascalConfig, SchedPolicy};
 use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
@@ -42,6 +42,37 @@ fn every_policy_is_deterministic() {
         let b = run_cluster(&trace, policy);
         assert_eq!(a.records, b.records, "{} not deterministic", policy.name());
     }
+}
+
+#[test]
+fn predictive_controllers_are_deterministic() {
+    // The new migration and admission controllers carry decision state
+    // (reservation ledger, tallies, rejection log); identical inputs must
+    // replay byte-identically — including the per-migration outcome fields
+    // (stall, predicted-vs-actual remaining service) and the rejections.
+    let trace = small_trace(41);
+    let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()))
+        .with_predictor(PredictorKind::ProfileEma)
+        .with_predictive_migration(500.0)
+        .with_admission(AdmissionMode::predictive());
+    let a = run_simulation(&trace, &config);
+    let b = run_simulation(&trace, &config);
+    assert_eq!(a.records, b.records, "records diverged");
+    let am: Vec<_> = a.migrations().collect();
+    let bm: Vec<_> = b.migrations().collect();
+    assert_eq!(am, bm, "migration records diverged");
+    assert_eq!(a.migration_outcomes, b.migration_outcomes);
+    assert_eq!(a.admission, b.admission);
+    assert_eq!(a.rejections, b.rejections);
+    assert_eq!(
+        format!("{:?}{:?}", a.migration_outcomes, a.rejections),
+        format!("{:?}{:?}", b.migration_outcomes, b.rejections),
+        "byte-level divergence"
+    );
+    assert_eq!(
+        a.policy_name,
+        "PASCAL(Predictive-EMA, CostAwareMigration)+PredictiveAdmission"
+    );
 }
 
 #[test]

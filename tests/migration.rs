@@ -4,7 +4,8 @@
 use pascal::core::experiments::common::{
     evaluation_trace, pascal_no_migration, pascal_non_adaptive, run_cluster,
 };
-use pascal::core::RateLevel;
+use pascal::core::{run_simulation, RateLevel, SimConfig};
+use pascal::predict::PredictorKind;
 use pascal::sched::{PascalConfig, SchedPolicy};
 use pascal::workload::{DatasetMix, DatasetProfile};
 
@@ -16,7 +17,7 @@ fn mix() -> DatasetMix {
 fn migration_records_are_well_formed() {
     let trace = evaluation_trace(&mix(), RateLevel::Medium, 300, 3);
     let out = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
-    let migrations = out.migrations();
+    let migrations: Vec<_> = out.migrations().collect();
     assert!(
         !migrations.is_empty(),
         "PASCAL should migrate at transitions"
@@ -40,7 +41,7 @@ fn migration_records_are_well_formed() {
 fn no_migration_variant_never_moves_requests() {
     let trace = evaluation_trace(&mix(), RateLevel::High, 300, 4);
     let out = run_cluster(&trace, pascal_no_migration());
-    assert!(out.migrations().is_empty());
+    assert_eq!(out.migrations().count(), 0);
     assert!(out.records.iter().all(|r| r.instances_visited.len() == 1));
 }
 
@@ -49,7 +50,7 @@ fn baselines_never_migrate() {
     let trace = evaluation_trace(&mix(), RateLevel::High, 200, 5);
     for policy in [SchedPolicy::Fcfs, SchedPolicy::round_robin_default()] {
         let out = run_cluster(&trace, policy);
-        assert!(out.migrations().is_empty(), "{} migrated", policy.name());
+        assert_eq!(out.migrations().count(), 0, "{} migrated", policy.name());
     }
 }
 
@@ -61,21 +62,55 @@ fn non_adaptive_migrates_more_than_adaptive() {
     let adaptive = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
     let blind = run_cluster(&trace, pascal_non_adaptive());
     assert!(
-        blind.migrations().len() >= adaptive.migrations().len(),
+        blind.migrations().count() >= adaptive.migrations().count(),
         "NonAdaptive ({}) should migrate at least as much as adaptive ({})",
-        blind.migrations().len(),
-        adaptive.migrations().len()
+        blind.migrations().count(),
+        adaptive.migrations().count()
     );
+}
+
+#[test]
+fn launched_migrations_satisfy_the_cost_benefit_inequality() {
+    // Engine-level complement of the sched property test: with Oracle
+    // remaining-service predictions and an aggressive benefit ratio, every
+    // migration that still rides the fabric must have predicted remaining
+    // service ≥ ratio × transfer cost at decision time — requests below
+    // the line were vetoed, and some must exist at this ratio.
+    let ratio = 1000.0;
+    let trace = evaluation_trace(&mix(), RateLevel::High, 300, 8);
+    let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()))
+        .with_predictor(PredictorKind::Oracle)
+        .with_predictive_migration(ratio);
+    let out = run_simulation(&trace, &config);
+    assert!(
+        out.migration_outcomes.vetoed_by_cost > 0,
+        "ratio {ratio} should put some short-answer migrations underwater"
+    );
+    assert!(out.migration_outcomes.launched > 0);
+    let link = pascal::model::LinkSpec::fabric_100gbps();
+    let tpot_s = config.target_tpot.as_secs_f64();
+    for m in out.migrations() {
+        let predicted = m
+            .predicted_remaining_tokens
+            .expect("oracle always estimates");
+        let service_s = predicted * tpot_s;
+        let threshold_s = ratio * link.transfer_time(m.bytes).as_secs_f64();
+        assert!(
+            service_s >= threshold_s * 0.999,
+            "underwater migration launched: service {service_s:.3}s < {threshold_s:.3}s"
+        );
+        // Oracle predictions at the boundary are exact.
+        assert_eq!(m.remaining_tokens_error(), Some(0.0));
+    }
 }
 
 #[test]
 fn transfer_latency_includes_fabric_queueing() {
     let trace = evaluation_trace(&mix(), RateLevel::High, 600, 7);
     let out = run_cluster(&trace, SchedPolicy::pascal(PascalConfig::default()));
-    let migrations = out.migrations();
     // Every latency at least covers the raw link time for its bytes.
     let link = pascal::model::LinkSpec::fabric_100gbps();
-    for m in &migrations {
+    for m in out.migrations() {
         assert!(
             m.latency() >= link.transfer_time(m.bytes),
             "latency below raw link time"
