@@ -1,7 +1,7 @@
 //! Ablations: PASCAL's conditional-demotion threshold (§IV-C, default 5000
 //! tokens) and hardware sensitivity (§VII-flavoured H100 vs A100 study).
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::ablations::{demotion_sweep, hardware_comparison, SweepParams};
 use pascal_core::report::{pct, render_table};
 
@@ -10,7 +10,10 @@ fn main() {
         "Ablation",
         "demotion threshold sweep (mixed reasoning-heavy trace, high rate)",
     );
-    let rows = demotion_sweep(SweepParams::default());
+    let rows = demotion_sweep(SweepParams {
+        count: smoke_count(SweepParams::default().count),
+        ..SweepParams::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -46,7 +49,10 @@ fn main() {
         "Sensitivity",
         "same trace on H100-96GB vs A100-80GB clusters (PASCAL)",
     );
-    let rows = hardware_comparison(SweepParams::default());
+    let rows = hardware_comparison(SweepParams {
+        count: smoke_count(SweepParams::default().count),
+        ..SweepParams::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

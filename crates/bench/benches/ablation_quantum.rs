@@ -3,7 +3,7 @@
 //! Small quanta preempt more (transfer churn, tail blocking); huge quanta
 //! degenerate towards FCFS-like monopolization inside each queue.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::ablations::{quantum_blocking_profile, quantum_sweep, SweepParams};
 use pascal_core::report::{pct, render_table};
 
@@ -12,7 +12,10 @@ fn main() {
         "Ablation",
         "PASCAL token quantum sweep (Arena-Hard, high rate)",
     );
-    let rows = quantum_sweep(SweepParams::default());
+    let rows = quantum_sweep(SweepParams {
+        count: smoke_count(SweepParams::default().count),
+        ..SweepParams::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -41,7 +44,7 @@ fn main() {
 
     println!("P99 blocking latency vs quantum (mixed reasoning-heavy trace):");
     for (quantum, p99) in quantum_blocking_profile(SweepParams {
-        count: 800,
+        count: smoke_count(800),
         seed: 2026,
     }) {
         println!("  quantum {quantum:>5}: {p99:>7.2}s");

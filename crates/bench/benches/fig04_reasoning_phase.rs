@@ -1,7 +1,7 @@
 //! Regenerates Fig. 4: reasoning-phase latency breakdown (oracle / FCFS /
 //! RR) on a single instance capped at 50% of oracle peak KV memory.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig04::{run, Fig04Params};
 use pascal_core::report::render_table;
 
@@ -10,7 +10,10 @@ fn main() {
         "Figure 4",
         "reasoning-phase latency breakdown under 50% KV memory",
     );
-    let rows = run(Fig04Params::default());
+    let rows = run(Fig04Params {
+        count: smoke_count(Fig04Params::default().count),
+        ..Fig04Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

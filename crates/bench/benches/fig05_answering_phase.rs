@@ -1,7 +1,7 @@
 //! Regenerates Fig. 5: answering-phase latency breakdown and SLO attainment
 //! (oracle / FCFS / RR) for warm requests on a memory-capped instance.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig05::{run, Fig05Params};
 use pascal_core::report::{pct, render_table};
 
@@ -10,7 +10,10 @@ fn main() {
         "Figure 5",
         "answering-phase latency breakdown and SLO attainment",
     );
-    let rows = run(Fig05Params::default());
+    let rows = run(Fig05Params {
+        count: smoke_count(Fig05Params::default().count),
+        ..Fig05Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

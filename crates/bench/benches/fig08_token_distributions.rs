@@ -1,7 +1,7 @@
 //! Regenerates Fig. 8: reasoning/answering token-count distributions of the
 //! chat traces (AlpacaEval2.0, Arena-Hard), with density histograms.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig08::{fig08_profiles, run};
 use pascal_core::report::render_table;
 
@@ -10,7 +10,7 @@ fn main() {
         "Figure 8",
         "token-count distributions of AlpacaEval2.0 and Arena-Hard",
     );
-    let rows = run(&fig08_profiles(), 10_000, 8);
+    let rows = run(&fig08_profiles(), smoke_count(10_000), 8);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

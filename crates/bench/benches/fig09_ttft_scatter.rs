@@ -1,7 +1,7 @@
 //! Regenerates Fig. 9: absolute TTFT across arrival rates and schedulers
 //! (summarized per cell; the paper plots the raw scatter).
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig09::{run, Fig09Params};
 use pascal_core::report::render_table;
 
@@ -10,7 +10,10 @@ fn main() {
         "Figure 9",
         "absolute TTFT vs reasoning length across rates and schedulers",
     );
-    let rows = run(Fig09Params::default());
+    let rows = run(Fig09Params {
+        count: smoke_count(Fig09Params::default().count),
+        ..Fig09Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

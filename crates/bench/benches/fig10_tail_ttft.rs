@@ -1,13 +1,16 @@
 //! Regenerates Fig. 10: tail TTFT by 256-token reasoning bins at the high
 //! arrival rate, with the paper's adaptive percentile rule.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig10::{max_tail_reduction, run, Fig10Params};
 use pascal_core::report::render_table;
 
 fn main() {
     figure_header("Figure 10", "tail TTFT by reasoning-token bin (high rate)");
-    let series = run(Fig10Params::default());
+    let series = run(Fig10Params {
+        count: smoke_count(Fig10Params::default().count),
+        ..Fig10Params::default()
+    });
 
     for dataset in ["AlpacaEval2.0", "Arena-Hard"] {
         println!("--- {dataset} ---");

@@ -1,13 +1,16 @@
 //! Regenerates Fig. 11: answering-phase SLO violation rates (QoE < 0.95)
 //! across arrival rates and schedulers.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig11::{run, Fig11Params};
 use pascal_core::report::{pct, render_table};
 
 fn main() {
     figure_header("Figure 11", "SLO violation rates across arrival rates");
-    let rows = run(Fig11Params::default());
+    let rows = run(Fig11Params {
+        count: smoke_count(Fig11Params::default().count),
+        ..Fig11Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

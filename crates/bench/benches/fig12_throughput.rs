@@ -1,13 +1,16 @@
 //! Regenerates Fig. 12: serving throughput (all generated tokens over the
 //! makespan) across arrival rates and schedulers.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig12::{max_pascal_throughput_gap, run, Fig12Params};
 use pascal_core::report::render_table;
 
 fn main() {
     figure_header("Figure 12", "serving throughput across arrival rates");
-    let rows = run(Fig12Params::default());
+    let rows = run(Fig12Params {
+        count: smoke_count(Fig12Params::default().count),
+        ..Fig12Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,7 +2,7 @@
 //! (PASCAL vs PASCAL(NoMigration)): TTFT, reasoning latency, P99 blocking
 //! latency and SLO violations.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig13::{run, Fig13Params};
 use pascal_core::report::{pct, render_table};
 
@@ -11,7 +11,10 @@ fn main() {
         "Figure 13",
         "PASCAL vs PASCAL(NoMigration): migration at phase boundaries",
     );
-    let rows = run(Fig13Params::default());
+    let rows = run(Fig13Params {
+        count: smoke_count(Fig13Params::default().count),
+        ..Fig13Params::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 14: token-count distributions of the reasoning-heavy
 //! problem-solving benchmarks (MATH-500, GPQA, LiveCodeBench).
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig08::{fig14_profiles, run};
 use pascal_core::report::render_table;
 
@@ -10,7 +10,7 @@ fn main() {
         "Figure 14",
         "token-count distributions of MATH-500, GPQA and LiveCodeBench",
     );
-    let rows = run(&fig14_profiles(), 10_000, 14);
+    let rows = run(&fig14_profiles(), smoke_count(10_000), 14);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,7 +2,7 @@
 //! (PASCAL vs PASCAL(NonAdaptive)): TTFT distributions, SLO violations per
 //! rate, and end-to-end latency at the high rate.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig15::{run, Fig15Params};
 use pascal_core::report::{pct, render_table};
 
@@ -11,7 +11,10 @@ fn main() {
         "Figure 15",
         "PASCAL vs PASCAL(NonAdaptive): adaptive migration",
     );
-    let out = run(Fig15Params::default());
+    let out = run(Fig15Params {
+        count: smoke_count(Fig15Params::default().count),
+        ..Fig15Params::default()
+    });
 
     println!("(a)+(b) TTFT distribution and SLO violations per rate:");
     let table: Vec<Vec<String>> = out

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 16: the reasoning-heavy mixed trace (50% Arena-Hard,
 //! 50% MATH-500/GPQA/LiveCodeBench) at the high arrival rate.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::fig16::{run, Fig16Params};
 use pascal_core::report::{pct, render_table};
 
@@ -10,7 +10,10 @@ fn main() {
         "Figure 16",
         "mixed reasoning-heavy trace: TTFT distribution and tails",
     );
-    let rows = run(Fig16Params::default());
+    let rows = run(Fig16Params {
+        count: smoke_count(Fig16Params::default().count),
+        ..Fig16Params::default()
+    });
 
     println!("(a) TTFT distribution and SLO violations:");
     let table: Vec<Vec<String>> = rows

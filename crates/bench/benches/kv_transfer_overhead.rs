@@ -1,13 +1,16 @@
 //! Regenerates §V-C: KV-cache transfer overhead of phase-boundary
 //! migrations under PASCAL at the high arrival rate.
 
-use pascal_bench::figure_header;
+use pascal_bench::{figure_header, smoke_count};
 use pascal_core::experiments::kv_overhead::{run, KvOverheadParams};
 use pascal_core::report::render_table;
 
 fn main() {
     figure_header("Section V-C", "KV-cache transfer overhead of migrations");
-    let rows = run(KvOverheadParams::default());
+    let rows = run(KvOverheadParams {
+        count: smoke_count(KvOverheadParams::default().count),
+        ..KvOverheadParams::default()
+    });
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

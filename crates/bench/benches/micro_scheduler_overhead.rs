@@ -97,13 +97,14 @@ fn bench_perf_model() {
 }
 
 fn bench_small_simulation() {
+    let count = pascal_bench::smoke_count(100);
     let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
         .arrivals(ArrivalProcess::poisson(8.0))
-        .count(100)
+        .count(count)
         .seed(99)
         .build();
     let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
-    bench_function("simulate_100_requests_pascal", 10, 3, || {
+    bench_function(&format!("simulate_{count}_requests_pascal"), 10, 3, || {
         black_box(run_simulation(black_box(&trace), black_box(&config)))
     });
 }

@@ -41,6 +41,15 @@ pub fn trace_count_override() -> Option<usize> {
     }
 }
 
+/// The trace size a bench should use: the `PASCAL_BENCH_COUNT` override
+/// when set, otherwise the bench's own full-size default. Every bench
+/// target routes its request count through this, so the CI smoke step can
+/// shrink the entire suite uniformly.
+#[must_use]
+pub fn smoke_count(default: usize) -> usize {
+    trace_count_override().unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +58,13 @@ mod tests {
     fn opt_secs_formats() {
         assert_eq!(opt_secs(None), "-");
         assert_eq!(opt_secs(Some(1.25)), "1.25s");
+    }
+
+    #[test]
+    fn smoke_count_falls_back_to_default() {
+        // The test environment does not set PASCAL_BENCH_COUNT.
+        if std::env::var("PASCAL_BENCH_COUNT").is_err() {
+            assert_eq!(smoke_count(1234), 1234);
+        }
     }
 }

@@ -248,15 +248,36 @@ impl RateLevel {
     pub fn rate_rps(self, config: &SimConfig, mix: &DatasetMix) -> f64 {
         self.utilization() * estimate_capacity_rps(config, mix)
     }
+
+    /// The short CLI/JSON key (`low` / `medium` / `high`).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            RateLevel::Low => "low",
+            RateLevel::Medium => "medium",
+            RateLevel::High => "high",
+        }
+    }
+
+    /// Parses a CLI-style key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keys.
+    pub fn parse(s: &str) -> Result<RateLevel, String> {
+        RateLevel::ALL
+            .into_iter()
+            .find(|l| l.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = RateLevel::ALL.iter().map(|l| l.key()).collect();
+                format!("unknown rate level '{s}' (valid: {})", keys.join(", "))
+            })
+    }
 }
 
 impl std::fmt::Display for RateLevel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RateLevel::Low => f.write_str("low"),
-            RateLevel::Medium => f.write_str("medium"),
-            RateLevel::High => f.write_str("high"),
-        }
+        f.write_str(self.key())
     }
 }
 

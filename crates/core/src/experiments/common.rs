@@ -1,38 +1,34 @@
 //! Shared experiment plumbing: trace construction, policy matrices and the
 //! characterization memory-capacity protocol.
+//!
+//! The matrix experiments (Figs. 9–13, 15, 16) are thin grid definitions:
+//! they enumerate [`ScenarioSpec`] cells and hand them to the parallel
+//! [`SweepRunner`], which executes the cells on a worker pool with
+//! identical results at any thread count.
 
-use pascal_sched::{PascalConfig, SchedPolicy};
-use pascal_workload::{ArrivalProcess, DatasetMix, Trace, TraceBuilder};
+use pascal_sched::{PolicyKind, SchedPolicy};
+use pascal_workload::{ArrivalProcess, DatasetMix, MixPreset, Trace, TraceBuilder};
 
 use crate::config::{KvCapacityMode, RateLevel, SimConfig};
 use crate::engine::{run_simulation, SimOutput};
+use crate::sweep::{ScenarioSpec, SweepRunner};
 
 /// The three schedulers of the main evaluation (§V-A).
 #[must_use]
 pub fn main_policies() -> Vec<SchedPolicy> {
-    vec![
-        SchedPolicy::Fcfs,
-        SchedPolicy::round_robin_default(),
-        SchedPolicy::pascal(PascalConfig::default()),
-    ]
+    PolicyKind::MAIN.iter().map(|k| k.build()).collect()
 }
 
 /// PASCAL with migration disabled — Fig. 13's ablation.
 #[must_use]
 pub fn pascal_no_migration() -> SchedPolicy {
-    SchedPolicy::pascal(PascalConfig {
-        migration_enabled: false,
-        ..PascalConfig::default()
-    })
+    PolicyKind::PascalNoMigration.build()
 }
 
 /// PASCAL with the adaptive override disabled — Fig. 15's ablation.
 #[must_use]
 pub fn pascal_non_adaptive() -> SchedPolicy {
-    SchedPolicy::pascal(PascalConfig {
-        adaptive_migration: false,
-        ..PascalConfig::default()
-    })
+    PolicyKind::PascalNonAdaptive.build()
 }
 
 /// Builds an evaluation trace for `mix` at a paper-style rate level on the
@@ -69,32 +65,35 @@ pub struct EvalRun {
     pub output: SimOutput,
 }
 
-/// Runs every `(mix, level, policy)` combination on the evaluation cluster.
-/// The trace for a given `(mix, level)` is shared across policies so the
-/// comparison is paired, as in the paper.
+/// Runs every `(mix, level, policy)` combination on the evaluation
+/// cluster, in parallel on the default [`SweepRunner`] pool. Cells are
+/// returned mix-major (mix → level → policy), and every cell of a given
+/// `(mix, level)` uses the same `seed` so the trace is shared across
+/// policies and the comparison is paired, as in the paper.
 #[must_use]
 pub fn run_matrix(
-    mixes: &[(&str, DatasetMix)],
+    mixes: &[MixPreset],
     levels: &[RateLevel],
-    policies: &[SchedPolicy],
+    policies: &[PolicyKind],
     count: usize,
     seed: u64,
 ) -> Vec<EvalRun> {
-    let mut runs = Vec::new();
-    for (name, mix) in mixes {
-        for &level in levels {
-            let trace = evaluation_trace(mix, level, count, seed);
-            for &policy in policies {
-                runs.push(EvalRun {
-                    dataset: (*name).to_owned(),
-                    level,
-                    policy_name: policy.name().to_owned(),
-                    output: run_cluster(&trace, policy),
-                });
-            }
-        }
-    }
-    runs
+    let specs: Vec<ScenarioSpec> = mixes
+        .iter()
+        .flat_map(|&mix| {
+            levels.iter().flat_map(move |&level| {
+                policies
+                    .iter()
+                    .map(move |&policy| ScenarioSpec::new(mix, level, policy, count, seed))
+            })
+        })
+        .collect();
+    SweepRunner::default().run_map(&specs, |spec, output| EvalRun {
+        dataset: spec.mix.display_name().to_owned(),
+        level: spec.level,
+        policy_name: output.policy_name.clone(),
+        output,
+    })
 }
 
 /// The §III-A characterization protocol: run the single-instance oracle

@@ -5,10 +5,11 @@
 //! points and per-cell summaries (mean/P50/P95/P99/max TTFT seconds).
 
 use pascal_metrics::LatencySummary;
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{main_policies, run_matrix, EvalRun};
+use crate::experiments::common::{run_matrix, EvalRun};
 
 /// Summary of one dataset × rate × policy cell.
 #[derive(Clone, Debug)]
@@ -56,20 +57,10 @@ pub fn scatter(run: &EvalRun) -> Vec<(u32, f64)> {
 /// Runs the full Fig. 9 matrix: 2 datasets × 3 rates × 3 schedulers.
 #[must_use]
 pub fn run(params: Fig09Params) -> Vec<Fig09Row> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-    ];
     run_matrix(
-        &mixes,
+        &[MixPreset::Alpaca, MixPreset::Arena],
         &RateLevel::ALL,
-        &main_policies(),
+        &PolicyKind::MAIN,
         params.count,
         params.seed,
     )

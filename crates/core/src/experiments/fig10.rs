@@ -7,10 +7,11 @@
 //! (AlpacaEval2.0) / 72% (Arena-Hard) versus FCFS.
 
 use pascal_metrics::{tail_by_token_bins, BinTail};
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{main_policies, run_matrix};
+use crate::experiments::common::run_matrix;
 use crate::experiments::fig09::scatter;
 
 /// Tail-TTFT series of one dataset × policy at the high arrival rate.
@@ -48,20 +49,10 @@ impl Default for Fig10Params {
 /// Runs both datasets under the high rate for all three schedulers.
 #[must_use]
 pub fn run(params: Fig10Params) -> Vec<Fig10Series> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-    ];
     run_matrix(
-        &mixes,
+        &[MixPreset::Alpaca, MixPreset::Arena],
         &[RateLevel::High],
-        &main_policies(),
+        &PolicyKind::MAIN,
         params.count,
         params.seed,
     )

@@ -5,10 +5,11 @@
 //! 0.95.
 
 use pascal_metrics::{slo_violation_rate, QoeParams, SLO_QOE_THRESHOLD};
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{main_policies, run_matrix};
+use crate::experiments::common::run_matrix;
 
 /// One bar of Fig. 11.
 #[derive(Clone, Debug)]
@@ -44,21 +45,11 @@ impl Default for Fig11Params {
 /// Runs the 2 × 3 × 3 violation-rate matrix.
 #[must_use]
 pub fn run(params: Fig11Params) -> Vec<Fig11Row> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-    ];
     let qoe = QoeParams::paper_eval();
     run_matrix(
-        &mixes,
+        &[MixPreset::Alpaca, MixPreset::Arena],
         &RateLevel::ALL,
-        &main_policies(),
+        &PolicyKind::MAIN,
         params.count,
         params.seed,
     )

@@ -6,10 +6,11 @@
 //! sacrificing throughput.
 
 use pascal_metrics::throughput_tokens_per_s;
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{main_policies, run_matrix};
+use crate::experiments::common::run_matrix;
 
 /// One bar of Fig. 12.
 #[derive(Clone, Debug)]
@@ -45,20 +46,10 @@ impl Default for Fig12Params {
 /// Runs the 2 × 3 × 3 throughput matrix.
 #[must_use]
 pub fn run(params: Fig12Params) -> Vec<Fig12Row> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-    ];
     run_matrix(
-        &mixes,
+        &[MixPreset::Alpaca, MixPreset::Arena],
         &RateLevel::ALL,
-        &main_policies(),
+        &PolicyKind::MAIN,
         params.count,
         params.seed,
     )

@@ -9,12 +9,12 @@
 use pascal_metrics::{
     percentile, slo_violation_rate, tail_by_token_bins, BinTail, QoeParams, SLO_QOE_THRESHOLD,
 };
-use pascal_sched::SchedPolicy;
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
 use crate::engine::SimOutput;
-use crate::experiments::common::{evaluation_trace, pascal_no_migration, run_cluster};
+use crate::experiments::common::run_matrix;
 
 /// Per-variant metrics at one arrival rate.
 #[derive(Clone, Debug)]
@@ -110,30 +110,16 @@ fn summarize(dataset: &str, policy_name: &str, level: RateLevel, output: &SimOut
 /// and the Fig. 16 mixed trace (see `EXPERIMENTS.md`).
 #[must_use]
 pub fn run(params: Fig13Params) -> Vec<Fig13Row> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena+reasoning-heavy",
-            DatasetMix::arena_with_reasoning_heavy(),
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (name, mix) in &mixes {
-        for level in RateLevel::ALL {
-            let trace = evaluation_trace(mix, level, params.count, params.seed);
-            for policy in [
-                SchedPolicy::pascal(pascal_sched::PascalConfig::default()),
-                pascal_no_migration(),
-            ] {
-                let output = run_cluster(&trace, policy);
-                rows.push(summarize(name, policy.name(), level, &output));
-            }
-        }
-    }
-    rows
+    run_matrix(
+        &[MixPreset::Alpaca, MixPreset::Mixed],
+        &RateLevel::ALL,
+        &[PolicyKind::Pascal, PolicyKind::PascalNoMigration],
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| summarize(&run.dataset, &run.policy_name, run.level, &run.output))
+    .collect()
 }
 
 #[cfg(test)]

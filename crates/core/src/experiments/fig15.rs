@@ -7,11 +7,11 @@
 //! (c, compared across FCFS / RR / NonAdaptive / PASCAL).
 
 use pascal_metrics::{slo_violation_rate, LatencySummary, QoeParams, SLO_QOE_THRESHOLD};
-use pascal_sched::{PascalConfig, SchedPolicy};
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{evaluation_trace, pascal_non_adaptive, run_cluster};
+use crate::experiments::common::run_matrix;
 
 /// SLO violation rates of the two variants at one rate (Fig. 15(b)), plus
 /// their TTFT summaries (Fig. 15(a)).
@@ -63,53 +63,61 @@ impl Default for Fig15Params {
     }
 }
 
-/// Runs the adaptive-migration ablation on AlpacaEval2.0.
+/// Runs the adaptive-migration ablation on AlpacaEval2.0. Both panels are
+/// grids over the sweep runner: the per-rate variant comparison (a)/(b)
+/// and the four-scheduler end-to-end comparison at high rate (c), all on
+/// shared traces per rate so the comparisons stay paired.
 #[must_use]
 pub fn run(params: Fig15Params) -> Fig15Output {
-    let mix = DatasetMix::single(DatasetProfile::alpaca_eval2());
     let qoe = QoeParams::paper_eval();
 
-    let mut by_rate = Vec::new();
-    for level in RateLevel::ALL {
-        let trace = evaluation_trace(&mix, level, params.count, params.seed);
-        for policy in [
-            pascal_non_adaptive(),
-            SchedPolicy::pascal(PascalConfig::default()),
-        ] {
-            let output = run_cluster(&trace, policy);
-            let ttft = LatencySummary::from_values(
-                output
-                    .records
-                    .iter()
-                    .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
-            )
-            .expect("non-empty run");
-            by_rate.push(Fig15RateRow {
-                level,
-                policy: policy.name().to_owned(),
-                ttft,
-                slo_violation: slo_violation_rate(&output.records, &qoe, SLO_QOE_THRESHOLD),
-            });
-        }
-    }
-
-    let trace = evaluation_trace(&mix, RateLevel::High, params.count, params.seed);
-    let e2e = [
-        SchedPolicy::Fcfs,
-        SchedPolicy::round_robin_default(),
-        pascal_non_adaptive(),
-        SchedPolicy::pascal(PascalConfig::default()),
-    ]
+    let by_rate = run_matrix(
+        &[MixPreset::Alpaca],
+        &RateLevel::ALL,
+        &[PolicyKind::PascalNonAdaptive, PolicyKind::Pascal],
+        params.count,
+        params.seed,
+    )
     .into_iter()
-    .map(|policy| {
-        let output = run_cluster(&trace, policy);
-        Fig15E2eRow {
-            policy: policy.name().to_owned(),
-            e2e: LatencySummary::from_values(
-                output.records.iter().map(|r| r.e2e_latency().as_secs_f64()),
-            )
-            .expect("non-empty run"),
+    .map(|run| {
+        let ttft = LatencySummary::from_values(
+            run.output
+                .records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        )
+        .expect("non-empty run");
+        Fig15RateRow {
+            level: run.level,
+            policy: run.policy_name,
+            ttft,
+            slo_violation: slo_violation_rate(&run.output.records, &qoe, SLO_QOE_THRESHOLD),
         }
+    })
+    .collect();
+
+    let e2e = run_matrix(
+        &[MixPreset::Alpaca],
+        &[RateLevel::High],
+        &[
+            PolicyKind::Fcfs,
+            PolicyKind::RoundRobin,
+            PolicyKind::PascalNonAdaptive,
+            PolicyKind::Pascal,
+        ],
+        params.count,
+        params.seed,
+    )
+    .into_iter()
+    .map(|run| Fig15E2eRow {
+        policy: run.policy_name,
+        e2e: LatencySummary::from_values(
+            run.output
+                .records
+                .iter()
+                .map(|r| r.e2e_latency().as_secs_f64()),
+        )
+        .expect("non-empty run"),
     })
     .collect();
 

@@ -10,10 +10,11 @@
 use pascal_metrics::{
     slo_violation_rate, tail_by_token_bins, BinTail, LatencySummary, QoeParams, SLO_QOE_THRESHOLD,
 };
-use pascal_workload::DatasetMix;
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{main_policies, run_matrix};
+use crate::experiments::common::run_matrix;
 use crate::experiments::fig09::scatter;
 
 /// One policy's results on the mixed trace at high rate.
@@ -50,15 +51,11 @@ impl Default for Fig16Params {
 /// Runs the mixed trace under the high arrival rate for all schedulers.
 #[must_use]
 pub fn run(params: Fig16Params) -> Vec<Fig16Row> {
-    let mixes = [(
-        "Arena-Hard + reasoning-heavy",
-        DatasetMix::arena_with_reasoning_heavy(),
-    )];
     let qoe = QoeParams::paper_eval();
     run_matrix(
-        &mixes,
+        &[MixPreset::Mixed],
         &[RateLevel::High],
-        &main_policies(),
+        &PolicyKind::MAIN,
         params.count,
         params.seed,
     )

@@ -6,11 +6,11 @@
 //! rates — negligible against TTFTs of seconds to hundreds of seconds.
 
 use pascal_metrics::percentile;
-use pascal_sched::{PascalConfig, SchedPolicy};
-use pascal_workload::{DatasetMix, DatasetProfile};
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
-use crate::experiments::common::{evaluation_trace, run_cluster};
+use crate::sweep::{ScenarioSpec, SweepRunner};
 
 /// Migration-overhead statistics for one dataset.
 #[derive(Clone, Debug)]
@@ -50,50 +50,46 @@ impl Default for KvOverheadParams {
 /// Measures migration overhead under PASCAL at the high arrival rate.
 #[must_use]
 pub fn run(params: KvOverheadParams) -> Vec<KvOverheadRow> {
-    let mixes = [
-        (
-            "AlpacaEval2.0",
-            DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        ),
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-    ];
-    let policy = SchedPolicy::pascal(PascalConfig::default());
-    mixes
-        .iter()
-        .map(|(name, mix)| {
-            let trace = evaluation_trace(mix, RateLevel::High, params.count, params.seed);
-            let output = run_cluster(&trace, policy);
-            let mut latencies: Vec<f64> = output
-                .migrations()
-                .map(|m| m.latency().as_secs_f64())
-                .collect();
-            latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            let ttfts: Vec<f64> = output
-                .records
-                .iter()
-                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
-                .collect();
-            KvOverheadRow {
-                dataset: (*name).to_owned(),
-                migrations: latencies.len(),
-                migrated_fraction: latencies.len() as f64 / output.records.len() as f64,
-                mean_transfer_s: if latencies.is_empty() {
-                    0.0
-                } else {
-                    latencies.iter().sum::<f64>() / latencies.len() as f64
-                },
-                p99_transfer_s: if latencies.is_empty() {
-                    0.0
-                } else {
-                    percentile(&latencies, 99.0)
-                },
-                mean_ttft_s: ttfts.iter().sum::<f64>() / ttfts.len().max(1) as f64,
-            }
+    let specs: Vec<ScenarioSpec> = [MixPreset::Alpaca, MixPreset::Arena]
+        .into_iter()
+        .map(|mix| {
+            ScenarioSpec::new(
+                mix,
+                RateLevel::High,
+                PolicyKind::Pascal,
+                params.count,
+                params.seed,
+            )
         })
-        .collect()
+        .collect();
+    SweepRunner::default().run_map(&specs, |spec, output| {
+        let mut latencies: Vec<f64> = output
+            .migrations()
+            .map(|m| m.latency().as_secs_f64())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let ttfts: Vec<f64> = output
+            .records
+            .iter()
+            .filter_map(|r| r.ttft().map(|d| d.as_secs_f64()))
+            .collect();
+        KvOverheadRow {
+            dataset: spec.mix.display_name().to_owned(),
+            migrations: latencies.len(),
+            migrated_fraction: latencies.len() as f64 / output.records.len() as f64,
+            mean_transfer_s: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            p99_transfer_s: if latencies.is_empty() {
+                0.0
+            } else {
+                percentile(&latencies, 99.0)
+            },
+            mean_ttft_s: ttfts.iter().sum::<f64>() / ttfts.len().max(1) as f64,
+        }
+    })
 }
 
 #[cfg(test)]

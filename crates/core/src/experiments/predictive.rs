@@ -13,12 +13,12 @@ use pascal_metrics::{
     SLO_QOE_THRESHOLD,
 };
 use pascal_predict::PredictorKind;
-use pascal_sched::{PascalConfig, SchedPolicy};
-use pascal_workload::{DatasetMix, DatasetProfile, Trace};
+use pascal_sched::{PascalConfig, PolicyKind, SchedPolicy};
+use pascal_workload::{DatasetMix, MixPreset, Trace};
 
 use crate::config::{RateLevel, SimConfig};
 use crate::engine::{run_simulation, SimOutput};
-use crate::experiments::common::evaluation_trace;
+use crate::sweep::{ScenarioSpec, SweepRunner};
 
 /// One dataset × scheduler-variant cell.
 #[derive(Clone, Debug)]
@@ -63,15 +63,10 @@ impl Default for PredictiveParams {
 
 /// The reasoning-heavy mixture: MATH-500, GPQA and LiveCodeBench in equal
 /// parts — the workload whose oversized reasoning tails make speculative
-/// demotion bite.
+/// demotion bite. Alias for [`MixPreset::ReasoningHeavy`].
 #[must_use]
 pub fn reasoning_heavy_mix() -> DatasetMix {
-    DatasetMix::new(
-        DatasetProfile::reasoning_heavy_suite()
-            .into_iter()
-            .map(|p| (p, 1.0))
-            .collect(),
-    )
+    MixPreset::ReasoningHeavy.mix()
 }
 
 /// The scheduler variants under comparison: reactive PASCAL plus one
@@ -118,30 +113,34 @@ fn row(dataset: &str, out: &SimOutput) -> PredictiveRow {
     }
 }
 
-/// Runs the full comparison: both mixes, all variants, shared traces so the
-/// comparison is paired.
+/// Runs the full comparison: both mixes, all variants, executed in
+/// parallel on the sweep runner. Every variant of a mix shares the mix's
+/// trace seed so the comparison is paired.
 #[must_use]
 pub fn run(params: PredictiveParams) -> Vec<PredictiveRow> {
-    let mixes = [
-        (
-            "Arena-Hard",
-            DatasetMix::single(DatasetProfile::arena_hard()),
-        ),
-        ("Reasoning-Heavy", reasoning_heavy_mix()),
-    ];
-    let mut rows = Vec::new();
-    for (name, mix) in &mixes {
-        let trace = evaluation_trace(mix, params.level, params.count, params.seed);
-        for predictor in variants() {
-            rows.push(row(name, &run_variant(&trace, predictor)));
-        }
-    }
-    rows
+    let specs: Vec<ScenarioSpec> = [MixPreset::Arena, MixPreset::ReasoningHeavy]
+        .into_iter()
+        .flat_map(|mix| {
+            variants().into_iter().map(move |predictor| {
+                let mut spec = ScenarioSpec::new(
+                    mix,
+                    params.level,
+                    PolicyKind::Pascal,
+                    params.count,
+                    params.seed,
+                );
+                spec.predictor = predictor;
+                spec
+            })
+        })
+        .collect();
+    SweepRunner::default().run_map(&specs, |spec, out| row(spec.mix.display_name(), &out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::common::evaluation_trace;
 
     fn p99(row: &PredictiveRow) -> f64 {
         row.ttft.as_ref().expect("ttft present").p99

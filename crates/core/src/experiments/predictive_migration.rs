@@ -14,12 +14,12 @@
 
 use pascal_metrics::{slo_violation_rate, LatencySummary, QoeParams, SLO_QOE_THRESHOLD};
 use pascal_predict::PredictorKind;
-use pascal_sched::{PascalConfig, SchedPolicy};
-use pascal_workload::{DatasetMix, DatasetProfile, Trace};
+use pascal_sched::{PascalConfig, PolicyKind, SchedPolicy};
+use pascal_workload::{DatasetMix, MixPreset, Trace};
 
 use crate::config::{RateLevel, SimConfig};
 use crate::engine::{run_simulation, SimOutput};
-use crate::experiments::common::evaluation_trace;
+use crate::sweep::{ScenarioSpec, SweepRunner};
 
 /// One scheduler-variant row of the comparison.
 #[derive(Clone, Debug)]
@@ -71,9 +71,10 @@ impl Default for PredictiveMigrationParams {
 }
 
 /// The chat mix whose phase-boundary migrations the paper's §V-C measures.
+/// Alias for [`MixPreset::Arena`].
 #[must_use]
 pub fn migration_mix() -> DatasetMix {
-    DatasetMix::single(DatasetProfile::arena_hard())
+    MixPreset::Arena.mix()
 }
 
 /// Runs one variant on the evaluation cluster: reactive PASCAL when
@@ -127,11 +128,11 @@ fn row(out: &SimOutput, benefit_ratio: Option<f64>) -> PredictiveMigrationRow {
 
 /// Runs the sweep: reactive baseline, an Oracle-informed run with the cost
 /// test at break-even (ratio 1), the aggressive ratio under Oracle and
-/// under the learned EMA predictor. All variants share one trace so the
-/// comparison is paired.
+/// under the learned EMA predictor. All cells carry the same trace seed —
+/// one shared trace — so the comparison is paired, and the cells execute
+/// in parallel on the sweep runner.
 #[must_use]
 pub fn run(params: PredictiveMigrationParams) -> Vec<PredictiveMigrationRow> {
-    let trace = evaluation_trace(&migration_mix(), params.level, params.count, params.seed);
     let variants: Vec<(Option<PredictorKind>, Option<f64>)> = vec![
         (None, None),
         (Some(PredictorKind::Oracle), Some(1.0)),
@@ -141,10 +142,22 @@ pub fn run(params: PredictiveMigrationParams) -> Vec<PredictiveMigrationRow> {
             Some(params.aggressive_ratio),
         ),
     ];
-    variants
+    let specs: Vec<ScenarioSpec> = variants
         .into_iter()
-        .map(|(pred, ratio)| row(&run_variant(&trace, pred, ratio), ratio))
-        .collect()
+        .map(|(predictor, ratio)| {
+            let mut spec = ScenarioSpec::new(
+                MixPreset::Arena,
+                params.level,
+                PolicyKind::Pascal,
+                params.count,
+                params.seed,
+            );
+            spec.predictor = predictor;
+            spec.migration_benefit = ratio;
+            spec
+        })
+        .collect();
+    SweepRunner::default().run_map(&specs, |spec, out| row(&out, spec.migration_benefit))
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! * [`experiments`] — one module per table/figure of the paper's
 //!   evaluation, each returning printable row structs (see `DESIGN.md` §5
 //!   for the experiment index);
+//! * [`sweep`] — the scenario-sweep subsystem: declarative
+//!   [`ScenarioSpec`] cells, [`SweepGrid`] presets, the parallel
+//!   [`SweepRunner`], machine-readable [`SweepReport`]s (JSON + CSV) and
+//!   the CI perf-regression [`sweep::gate`];
 //! * [`report`] — plain-text table rendering shared by the benches.
 //!
 //! # Examples
@@ -45,6 +49,8 @@ mod config;
 mod engine;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
 pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
+pub use sweep::{ScenarioSpec, SweepCell, SweepGrid, SweepReport, SweepRunner};

@@ -1,0 +1,231 @@
+//! The CI perf-regression gate.
+//!
+//! Compares a freshly-run [`SweepReport`] against a committed baseline
+//! with explicit tolerances. Two metrics gate the merge: per-cell **p99
+//! TTFT** (relative tolerance plus an absolute floor, so near-zero
+//! baselines don't trip on noise-scale deltas) and per-cell **SLO
+//! violation rate** (absolute tolerance). Structural drift — cells added,
+//! removed, or re-configured relative to the baseline — also fails, which
+//! forces the baseline to be regenerated in the same PR that changes the
+//! grid. Improvements never fail the gate.
+
+use crate::sweep::SweepReport;
+
+/// Gate tolerances. The defaults assume a deterministic simulator: they
+/// exist to absorb legitimate algorithmic evolution, not run-to-run noise
+/// (there is none), so they are deliberately tight.
+#[derive(Clone, Copy, Debug)]
+pub struct GateTolerances {
+    /// Allowed relative p99-TTFT growth (0.10 = +10%).
+    pub ttft_p99_rel: f64,
+    /// Absolute p99-TTFT slack in seconds, added on top of the relative
+    /// allowance.
+    pub ttft_p99_abs_s: f64,
+    /// Allowed absolute SLO-violation-rate growth (0.02 = +2 points).
+    pub slo_rate_abs: f64,
+}
+
+impl Default for GateTolerances {
+    fn default() -> Self {
+        GateTolerances {
+            ttft_p99_rel: 0.10,
+            ttft_p99_abs_s: 0.5,
+            slo_rate_abs: 0.02,
+        }
+    }
+}
+
+/// One per-cell, per-metric comparison row of the gate's diff table.
+#[derive(Clone, Debug)]
+pub struct GateFinding {
+    /// The cell's matching key.
+    pub label: String,
+    /// Metric name (`ttft_p99_s` or `slo_violation_rate`).
+    pub metric: &'static str,
+    /// Baseline value (`None` when the baseline recorded no value).
+    pub baseline: Option<f64>,
+    /// Current value.
+    pub current: Option<f64>,
+    /// Largest current value the tolerances allow.
+    pub allowed: f64,
+    /// Whether this row fails the gate.
+    pub regression: bool,
+}
+
+/// The gate's verdict: per-metric findings plus structural mismatches.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// One row per compared cell × metric, in baseline order.
+    pub findings: Vec<GateFinding>,
+    /// Cells present on one side only, or re-configured between the two
+    /// reports. Any entry fails the gate.
+    pub structural: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when nothing regressed and the reports are structurally
+    /// identical.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.structural.is_empty() && !self.findings.iter().any(|f| f.regression)
+    }
+
+    /// The failing findings.
+    pub fn regressions(&self) -> impl Iterator<Item = &GateFinding> {
+        self.findings.iter().filter(|f| f.regression)
+    }
+}
+
+/// Compares `current` against `baseline` under `tol`.
+#[must_use]
+pub fn compare(baseline: &SweepReport, current: &SweepReport, tol: &GateTolerances) -> GateReport {
+    let mut report = GateReport::default();
+    for base_cell in &baseline.cells {
+        let label = base_cell.label();
+        let Some(cur_cell) = current.cells.iter().find(|c| c.label() == label) else {
+            report
+                .structural
+                .push(format!("{label}: in baseline but missing from current run"));
+            continue;
+        };
+        if cur_cell.spec != base_cell.spec {
+            report.structural.push(format!(
+                "{label}: cell configuration changed (baseline {:?} vs current {:?}) — \
+                 regenerate the baseline",
+                base_cell.spec, cur_cell.spec
+            ));
+            continue;
+        }
+
+        // p99 TTFT: relative tolerance plus absolute floor.
+        let base_p99 = base_cell.metrics.ttft_p99_s;
+        let cur_p99 = cur_cell.metrics.ttft_p99_s;
+        let allowed_p99 = base_p99.map_or(f64::INFINITY, |b| {
+            b * (1.0 + tol.ttft_p99_rel) + tol.ttft_p99_abs_s
+        });
+        let p99_regressed = match (base_p99, cur_p99) {
+            (Some(_), Some(c)) => c > allowed_p99,
+            // The baseline had answering requests but the current run lost
+            // them entirely — that is a regression, not a free pass.
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        report.findings.push(GateFinding {
+            label: label.clone(),
+            metric: "ttft_p99_s",
+            baseline: base_p99,
+            current: cur_p99,
+            allowed: allowed_p99,
+            regression: p99_regressed,
+        });
+
+        // SLO violation rate: absolute tolerance.
+        let base_slo = base_cell.metrics.slo_violation_rate;
+        let cur_slo = cur_cell.metrics.slo_violation_rate;
+        let allowed_slo = base_slo + tol.slo_rate_abs;
+        report.findings.push(GateFinding {
+            label,
+            metric: "slo_violation_rate",
+            baseline: Some(base_slo),
+            current: Some(cur_slo),
+            allowed: allowed_slo,
+            regression: cur_slo > allowed_slo,
+        });
+    }
+    for cur_cell in &current.cells {
+        let label = cur_cell.label();
+        if !baseline.cells.iter().any(|b| b.label() == label) {
+            report.structural.push(format!(
+                "{label}: in current run but not in baseline — regenerate the baseline"
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{SweepGrid, SweepRunner};
+
+    fn tiny_report() -> SweepReport {
+        let mut grid = SweepGrid::preset("ci").expect("preset exists");
+        grid.count = 30;
+        grid.instances = 2;
+        SweepRunner::default().run_grid(&grid)
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = tiny_report();
+        let gate = compare(&report, &report, &GateTolerances::default());
+        assert!(gate.passed(), "structural: {:?}", gate.structural);
+        assert_eq!(gate.findings.len(), 2 * report.cells.len());
+    }
+
+    #[test]
+    fn perturbed_baseline_beyond_tolerance_fails() {
+        let report = tiny_report();
+        // Pretend the baseline was dramatically better than reality.
+        let mut better = report.clone();
+        for cell in &mut better.cells {
+            cell.metrics.slo_violation_rate = -1.0;
+        }
+        let gate = compare(&better, &report, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.regressions().all(|f| f.metric == "slo_violation_rate"));
+
+        let mut faster = report.clone();
+        for cell in &mut faster.cells {
+            cell.metrics.ttft_p99_s = cell.metrics.ttft_p99_s.map(|_| 0.0);
+        }
+        // Shrink the absolute floor so small TTFTs can trip it.
+        let tight = GateTolerances {
+            ttft_p99_abs_s: 1e-9,
+            ..GateTolerances::default()
+        };
+        let gate = compare(&faster, &report, &tight);
+        assert!(!gate.passed());
+        assert!(gate.regressions().any(|f| f.metric == "ttft_p99_s"));
+    }
+
+    #[test]
+    fn within_tolerance_drift_passes() {
+        let report = tiny_report();
+        let mut slightly_better_baseline = report.clone();
+        for cell in &mut slightly_better_baseline.cells {
+            cell.metrics.slo_violation_rate -= 0.01; // within the 0.02 slack
+            cell.metrics.ttft_p99_s = cell.metrics.ttft_p99_s.map(|v| v * 0.95);
+        }
+        let gate = compare(
+            &slightly_better_baseline,
+            &report,
+            &GateTolerances::default(),
+        );
+        assert!(
+            gate.passed(),
+            "{:?}",
+            gate.regressions().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn structural_drift_fails_both_directions() {
+        let report = tiny_report();
+        let mut missing = report.clone();
+        missing.cells.pop();
+        let gate = compare(&report, &missing, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.structural[0].contains("missing from current"));
+
+        let gate = compare(&missing, &report, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.structural[0].contains("not in baseline"));
+
+        let mut reconfigured = report.clone();
+        reconfigured.cells[0].spec.seed ^= 1;
+        let gate = compare(&report, &reconfigured, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.structural[0].contains("configuration changed"));
+    }
+}

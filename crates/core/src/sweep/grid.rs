@@ -1,0 +1,315 @@
+//! Declarative sweep grids and their named presets.
+
+use pascal_predict::PredictorKind;
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
+
+use crate::config::RateLevel;
+use crate::engine::AdmissionMode;
+use crate::sweep::ScenarioSpec;
+
+/// A declarative cross-product of scenario axes.
+///
+/// [`SweepGrid::expand`] enumerates the product mix-major (mix → level →
+/// policy → predictor → admission → migration benefit), skipping
+/// combinations that are incoherent (the cost test without absolute
+/// estimates) or redundant (a predictor attached to a baseline policy with
+/// every predictive controller off — behaviorally identical to the plain
+/// baseline, so running it would only duplicate a cell).
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    /// Grid name, recorded in the report.
+    pub name: String,
+    /// Workload mixes.
+    pub mixes: Vec<MixPreset>,
+    /// Arrival-rate levels.
+    pub levels: Vec<RateLevel>,
+    /// Scheduler variants.
+    pub policies: Vec<PolicyKind>,
+    /// Length predictors (`None` = reactive).
+    pub predictors: Vec<Option<PredictorKind>>,
+    /// Admission-control modes.
+    pub admissions: Vec<AdmissionMode>,
+    /// Predictive-migration benefit ratios (`None` = reactive).
+    pub migration_benefits: Vec<Option<f64>>,
+    /// Requests per cell trace.
+    pub count: usize,
+    /// Cluster size per cell.
+    pub instances: usize,
+    /// Base seed; per-cell trace seeds are derived from it (see
+    /// [`derive_trace_seed`]).
+    pub base_seed: u64,
+}
+
+impl SweepGrid {
+    /// An empty grid with the evaluation defaults: reactive scheduler
+    /// (no predictor, controllers off), eight instances, seed 2026.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        SweepGrid {
+            name: name.to_owned(),
+            mixes: Vec::new(),
+            levels: Vec::new(),
+            policies: Vec::new(),
+            predictors: vec![None],
+            admissions: vec![AdmissionMode::Disabled],
+            migration_benefits: vec![None],
+            count: 1000,
+            instances: 8,
+            base_seed: 2026,
+        }
+    }
+
+    /// The available preset names, in presentation order.
+    pub const PRESET_NAMES: [&'static str; 4] = ["main", "predictive", "migration", "ci"];
+
+    /// A named grid preset.
+    ///
+    /// * `main` — the paper's main evaluation: chat mixes × all rates ×
+    ///   the three schedulers (18 cells at 2500 requests);
+    /// * `predictive` — reactive PASCAL vs the three predictors on the
+    ///   chat and reasoning-heavy mixes at high rate (8 cells);
+    /// * `migration` — the predictive-migration cost/benefit sweep on
+    ///   Arena-Hard at high rate (5 cells);
+    /// * `ci` — the smoke-sized grid the CI perf-regression gate runs:
+    ///   both chat mixes at high rate under FCFS/RR/PASCAL plus
+    ///   Oracle-predictive PASCAL, 120 requests per cell (8 cells).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid preset names.
+    pub fn preset(name: &str) -> Result<SweepGrid, String> {
+        let mut grid = SweepGrid::new(name);
+        match name {
+            "main" => {
+                grid.mixes = vec![MixPreset::Alpaca, MixPreset::Arena];
+                grid.levels = RateLevel::ALL.to_vec();
+                grid.policies = PolicyKind::MAIN.to_vec();
+                grid.count = 2500;
+            }
+            "predictive" => {
+                grid.mixes = vec![MixPreset::Arena, MixPreset::ReasoningHeavy];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                grid.predictors = vec![
+                    None,
+                    Some(PredictorKind::Oracle),
+                    Some(PredictorKind::ProfileEma),
+                    Some(PredictorKind::PairwiseRank),
+                ];
+                grid.count = 2000;
+            }
+            "migration" => {
+                grid.mixes = vec![MixPreset::Arena];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                grid.predictors = vec![
+                    None,
+                    Some(PredictorKind::Oracle),
+                    Some(PredictorKind::ProfileEma),
+                ];
+                grid.migration_benefits = vec![None, Some(1000.0)];
+                grid.count = 2000;
+            }
+            "ci" => {
+                grid.mixes = vec![MixPreset::Alpaca, MixPreset::Arena];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = PolicyKind::MAIN.to_vec();
+                grid.predictors = vec![None, Some(PredictorKind::Oracle)];
+                grid.count = 120;
+            }
+            other => {
+                return Err(format!(
+                    "unknown grid preset '{other}' (valid: {})",
+                    SweepGrid::PRESET_NAMES.join(", ")
+                ));
+            }
+        }
+        Ok(grid)
+    }
+
+    /// Expands the grid into coherent cells, mix-major, each with its
+    /// derived trace seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty — an empty grid is a bug, not a sweep
+    /// of zero cells.
+    #[must_use]
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        for (axis, len) in [
+            ("mixes", self.mixes.len()),
+            ("levels", self.levels.len()),
+            ("policies", self.policies.len()),
+            ("predictors", self.predictors.len()),
+            ("admissions", self.admissions.len()),
+            ("migration_benefits", self.migration_benefits.len()),
+        ] {
+            assert!(len > 0, "grid '{}' has an empty {axis} axis", self.name);
+        }
+        let mut cells = Vec::new();
+        for &mix in &self.mixes {
+            for &level in &self.levels {
+                let seed =
+                    derive_trace_seed(self.base_seed, mix, level, self.count, self.instances);
+                for &policy in &self.policies {
+                    for &predictor in &self.predictors {
+                        for &admission in &self.admissions {
+                            for &benefit in &self.migration_benefits {
+                                let spec = ScenarioSpec {
+                                    mix,
+                                    level,
+                                    policy,
+                                    predictor,
+                                    admission,
+                                    migration_benefit: benefit,
+                                    count: self.count,
+                                    instances: self.instances,
+                                    seed,
+                                };
+                                if self.keep(&spec) {
+                                    cells.push(spec);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The pruning rule: drop incoherent cells, and cells where a
+    /// predictor changes nothing (baseline policy with every predictive
+    /// consumer off — the run would be byte-identical to the `None` cell).
+    fn keep(&self, spec: &ScenarioSpec) -> bool {
+        if spec.validate().is_err() {
+            return false;
+        }
+        let predictor_consumed = matches!(
+            spec.policy,
+            PolicyKind::Pascal | PolicyKind::PascalNoMigration | PolicyKind::PascalNonAdaptive
+        ) || spec.admission != AdmissionMode::Disabled
+            || spec.migration_benefit.is_some();
+        spec.predictor.is_none() || predictor_consumed
+    }
+}
+
+/// Derives a cell's trace seed from the grid's base seed and the axes that
+/// define the trace (mix, level, count, instances) — and nothing else, so
+/// cells that differ only in policy, predictor or controller settings
+/// share a trace and the comparison stays paired, exactly as the paper's
+/// evaluation shares traces across schedulers.
+///
+/// FNV-1a over the trace-defining fields, finished with a SplitMix64-style
+/// avalanche so adjacent base seeds decorrelate.
+#[must_use]
+pub fn derive_trace_seed(
+    base: u64,
+    mix: MixPreset,
+    level: RateLevel,
+    count: usize,
+    instances: usize,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&base.to_le_bytes());
+    eat(mix.key().as_bytes());
+    eat(level.key().as_bytes());
+    eat(&(count as u64).to_le_bytes());
+    eat(&(instances as u64).to_le_bytes());
+    // SplitMix64 finalizer.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expand_to_expected_cell_counts() {
+        assert_eq!(SweepGrid::preset("main").unwrap().expand().len(), 18);
+        assert_eq!(SweepGrid::preset("predictive").unwrap().expand().len(), 8);
+        // migration: (none,None), (oracle,None), (oracle,1000),
+        // (ema,None), (ema,1000) — the none+1000 cell is pruned.
+        assert_eq!(SweepGrid::preset("migration").unwrap().expand().len(), 5);
+        // ci: per mix — fcfs, rr, pascal, pascal+oracle.
+        assert_eq!(SweepGrid::preset("ci").unwrap().expand().len(), 8);
+        assert!(SweepGrid::preset("everything").is_err());
+    }
+
+    #[test]
+    fn expanded_labels_are_unique() {
+        for name in SweepGrid::PRESET_NAMES {
+            let cells = SweepGrid::preset(name).unwrap().expand();
+            let mut labels: Vec<String> = cells.iter().map(ScenarioSpec::label).collect();
+            labels.sort();
+            labels.dedup();
+            assert_eq!(labels.len(), cells.len(), "duplicate labels in '{name}'");
+        }
+    }
+
+    #[test]
+    fn paired_cells_share_trace_seeds_and_distinct_traces_do_not() {
+        let cells = SweepGrid::preset("ci").unwrap().expand();
+        let alpaca: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter(|c| c.mix == MixPreset::Alpaca)
+            .collect();
+        assert!(alpaca.windows(2).all(|w| w[0].seed == w[1].seed));
+        let arena_seed = cells
+            .iter()
+            .find(|c| c.mix == MixPreset::Arena)
+            .unwrap()
+            .seed;
+        assert_ne!(
+            alpaca[0].seed, arena_seed,
+            "different mixes, different seeds"
+        );
+    }
+
+    #[test]
+    fn derived_seeds_depend_on_every_trace_axis() {
+        let base = derive_trace_seed(1, MixPreset::Arena, RateLevel::High, 100, 8);
+        assert_eq!(
+            base,
+            derive_trace_seed(1, MixPreset::Arena, RateLevel::High, 100, 8)
+        );
+        assert_ne!(
+            base,
+            derive_trace_seed(2, MixPreset::Arena, RateLevel::High, 100, 8)
+        );
+        assert_ne!(
+            base,
+            derive_trace_seed(1, MixPreset::Alpaca, RateLevel::High, 100, 8)
+        );
+        assert_ne!(
+            base,
+            derive_trace_seed(1, MixPreset::Arena, RateLevel::Low, 100, 8)
+        );
+        assert_ne!(
+            base,
+            derive_trace_seed(1, MixPreset::Arena, RateLevel::High, 101, 8)
+        );
+        assert_ne!(
+            base,
+            derive_trace_seed(1, MixPreset::Arena, RateLevel::High, 100, 4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mixes axis")]
+    fn empty_axis_is_a_bug() {
+        let _ = SweepGrid::new("empty").expand();
+    }
+}

@@ -1,0 +1,417 @@
+//! The scenario-sweep subsystem.
+//!
+//! Every evaluation in this repo is some cross-product of *scenario* axes:
+//! scheduling policy × length predictor × controller settings × arrival
+//! rate × workload mix. This module makes that cross-product one call:
+//!
+//! * [`ScenarioSpec`] — one fully-declarative cell: every axis is a
+//!   copyable, parseable key (no config structs), so a cell can be printed,
+//!   serialized to JSON/CSV and compared against a committed baseline;
+//! * [`SweepGrid`] — a declarative grid over the axes with named presets
+//!   (`main`, `predictive`, `migration`, `ci`); [`SweepGrid::expand`] turns
+//!   it into cells, pruning incoherent combinations;
+//! * [`SweepRunner`] — executes cells on a `std::thread` scoped worker
+//!   pool. Each cell derives its trace seed deterministically from the
+//!   grid's base seed (shared across cells that differ only in policy or
+//!   controller settings, so comparisons stay paired as in the paper), and
+//!   cells share no mutable state — a parallel sweep is result-identical
+//!   to a sequential one;
+//! * [`SweepReport`] — machine-readable results (JSON + CSV) with one
+//!   [`SweepCellMetrics`] row per cell, re-parseable via the in-tree JSON
+//!   parser;
+//! * [`gate`] — the CI perf-regression gate: compares a fresh report
+//!   against a committed baseline with explicit tolerances.
+//!
+//! # Examples
+//!
+//! ```
+//! use pascal_core::sweep::{SweepGrid, SweepRunner};
+//!
+//! let mut grid = SweepGrid::preset("ci").unwrap();
+//! grid.count = 40; // shrink for the doctest
+//! let report = SweepRunner::new(2).run_grid(&grid);
+//! assert_eq!(report.cells.len(), grid.expand().len());
+//! assert!(report.to_json().contains("\"grid\": \"ci\""));
+//! ```
+
+use pascal_metrics::{QoeParams, SweepCellMetrics};
+use pascal_predict::PredictorKind;
+use pascal_sched::PolicyKind;
+use pascal_workload::{ArrivalProcess, MixPreset, Trace, TraceBuilder};
+
+use crate::config::{RateLevel, SimConfig};
+use crate::engine::{run_simulation, AdmissionMode, SimOutput};
+
+pub mod gate;
+mod grid;
+mod json;
+mod pool;
+mod report;
+
+pub use grid::SweepGrid;
+pub use json::{json_f64, json_opt_f64, json_str, JsonValue};
+pub use pool::{default_threads, parallel_map};
+pub use report::SweepReport;
+
+/// One declarative sweep cell: everything needed to reproduce one
+/// simulation run, expressed as copyable keys.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Workload mix preset.
+    pub mix: MixPreset,
+    /// Arrival-rate level (utilization fraction of the analytic capacity).
+    pub level: RateLevel,
+    /// Scheduler variant.
+    pub policy: PolicyKind,
+    /// Online length predictor (`None` = the paper's reactive scheduler).
+    pub predictor: Option<PredictorKind>,
+    /// Admission-control mode.
+    pub admission: AdmissionMode,
+    /// Predictive-migration benefit ratio (`None` = reactive Algorithm 2).
+    pub migration_benefit: Option<f64>,
+    /// Requests in the trace.
+    pub count: usize,
+    /// Cluster size.
+    pub instances: usize,
+    /// Trace seed. Grids derive it from their base seed; hand-built specs
+    /// (the refactored experiments) set it directly.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A cell with the evaluation-cluster defaults: eight instances, no
+    /// predictor, controllers off.
+    #[must_use]
+    pub fn new(
+        mix: MixPreset,
+        level: RateLevel,
+        policy: PolicyKind,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        ScenarioSpec {
+            mix,
+            level,
+            policy,
+            predictor: None,
+            admission: AdmissionMode::Disabled,
+            migration_benefit: None,
+            count,
+            instances: 8,
+            seed,
+        }
+    }
+
+    /// The same cell with a length predictor attached.
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// The same cell with the predictive-migration cost test at `ratio`.
+    #[must_use]
+    pub fn with_migration_benefit(mut self, ratio: f64) -> Self {
+        self.migration_benefit = Some(ratio);
+        self
+    }
+
+    /// The same cell with predictive admission control at full utilization.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// A short, unique, stable identifier — the key the JSON report and
+    /// the regression gate match cells by.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{}/{}/{}",
+            self.mix.key(),
+            self.level.key(),
+            self.policy.key()
+        );
+        if let Some(p) = self.predictor {
+            label.push('+');
+            label.push_str(p.key());
+        }
+        if let AdmissionMode::Predictive { max_utilization } = self.admission {
+            label.push_str(&format!("+adm{max_utilization}"));
+        }
+        if let Some(ratio) = self.migration_benefit {
+            label.push_str(&format!("+mb{ratio}"));
+        }
+        if self.instances != 8 {
+            label.push_str(&format!("/i{}", self.instances));
+        }
+        label
+    }
+
+    /// Checks cross-field coherence — the same rules the CLI enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the combination cannot work:
+    /// the migration cost test needs absolute length estimates (Oracle or
+    /// EMA predictor) and a policy that migrates at all.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.count == 0 {
+            return Err("count must be positive".to_owned());
+        }
+        if self.instances == 0 {
+            return Err("instances must be positive".to_owned());
+        }
+        if self.migration_benefit.is_some() {
+            match self.predictor {
+                None => {
+                    return Err(format!(
+                        "{}: migration benefit needs a length predictor",
+                        self.label()
+                    ));
+                }
+                Some(PredictorKind::PairwiseRank) => {
+                    return Err(format!(
+                        "{}: migration benefit needs absolute length estimates \
+                         (rank only orders requests)",
+                        self.label()
+                    ));
+                }
+                Some(_) => {}
+            }
+            if !matches!(
+                self.policy,
+                PolicyKind::Pascal | PolicyKind::PascalNonAdaptive
+            ) {
+                return Err(format!(
+                    "{}: migration benefit requires a migrating policy",
+                    self.label()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The deployment this cell describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`ScenarioSpec::validate`]).
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.validate().expect("coherent scenario spec");
+        let mut config = SimConfig::evaluation_cluster(self.policy.build());
+        config.num_instances = self.instances;
+        config.predictor = self.predictor;
+        config.admission = self.admission;
+        if let Some(ratio) = self.migration_benefit {
+            config = config.with_predictive_migration(ratio);
+        }
+        config
+    }
+
+    /// The concrete arrival rate of this cell, in requests per second.
+    /// Derived from the FCFS reference deployment at this cell's cluster
+    /// size, so cells differing only in policy or controllers share a rate.
+    #[must_use]
+    pub fn rate_rps(&self) -> f64 {
+        let mut reference = SimConfig::evaluation_cluster(pascal_sched::SchedPolicy::Fcfs);
+        reference.num_instances = self.instances;
+        self.level.rate_rps(&reference, &self.mix.mix())
+    }
+
+    /// Builds this cell's trace. Deterministic in the spec alone.
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        TraceBuilder::new(self.mix.mix())
+            .arrivals(ArrivalProcess::poisson(self.rate_rps()))
+            .count(self.count)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Runs the cell: trace synthesis plus the full simulation.
+    #[must_use]
+    pub fn run(&self) -> SimOutput {
+        run_simulation(&self.trace(), &self.config())
+    }
+}
+
+/// One executed cell of a sweep report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCell {
+    /// The cell's declarative description.
+    pub spec: ScenarioSpec,
+    /// The concrete arrival rate the trace was generated at.
+    pub rate_rps: f64,
+    /// The engine's decorated policy name (e.g.
+    /// `PASCAL(Predictive-Oracle)`).
+    pub policy_label: String,
+    /// The aggregate metrics row.
+    pub metrics: SweepCellMetrics,
+}
+
+impl SweepCell {
+    /// Condenses a run into a report cell.
+    #[must_use]
+    pub fn from_output(spec: ScenarioSpec, rate_rps: f64, out: &SimOutput) -> Self {
+        SweepCell {
+            spec,
+            rate_rps,
+            policy_label: out.policy_name.clone(),
+            metrics: SweepCellMetrics::from_run(
+                &out.records,
+                &out.migration_outcomes,
+                &out.admission,
+                out.makespan.as_secs_f64(),
+                &QoeParams::paper_eval(),
+            ),
+        }
+    }
+
+    /// The cell's matching key (see [`ScenarioSpec::label`]).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+}
+
+/// Executes sweep cells on a scoped-thread worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner with a fixed pool width; `0` picks
+    /// [`default_threads`] (available parallelism, capped at 8).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: if threads == 0 {
+                default_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// The pool width this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every spec and maps its output, returning results in spec
+    /// order. The map function sees the spec and the full [`SimOutput`],
+    /// so experiments can extract whatever their rows need; results are
+    /// identical at any pool width.
+    pub fn run_map<T, F>(&self, specs: &[ScenarioSpec], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&ScenarioSpec, SimOutput) -> T + Sync,
+    {
+        parallel_map(specs.len(), self.threads, |i| {
+            let spec = &specs[i];
+            f(spec, spec.run())
+        })
+    }
+
+    /// Runs a grid end-to-end into a machine-readable report.
+    #[must_use]
+    pub fn run_grid(&self, grid: &SweepGrid) -> SweepReport {
+        let specs = grid.expand();
+        let cells = self.run_map(&specs, |spec, out| {
+            SweepCell::from_output(*spec, spec.rate_rps(), &out)
+        });
+        SweepReport {
+            grid: grid.name.clone(),
+            base_seed: grid.base_seed,
+            cells,
+        }
+    }
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let base = ScenarioSpec::new(
+            MixPreset::Arena,
+            RateLevel::High,
+            PolicyKind::Pascal,
+            100,
+            1,
+        );
+        assert_eq!(base.label(), "arena/high/pascal");
+        assert_eq!(
+            base.with_predictor(PredictorKind::Oracle)
+                .with_migration_benefit(1000.0)
+                .label(),
+            "arena/high/pascal+oracle+mb1000"
+        );
+        assert_eq!(
+            base.with_admission(AdmissionMode::predictive()).label(),
+            "arena/high/pascal+adm1"
+        );
+        let mut small = base;
+        small.instances = 2;
+        assert_eq!(small.label(), "arena/high/pascal/i2");
+    }
+
+    #[test]
+    fn incoherent_specs_are_rejected() {
+        let base = ScenarioSpec::new(
+            MixPreset::Arena,
+            RateLevel::High,
+            PolicyKind::Pascal,
+            100,
+            1,
+        );
+        assert!(base.validate().is_ok());
+        assert!(base.with_migration_benefit(2.0).validate().is_err());
+        assert!(base
+            .with_predictor(PredictorKind::PairwiseRank)
+            .with_migration_benefit(2.0)
+            .validate()
+            .is_err());
+        let mut fcfs = base
+            .with_predictor(PredictorKind::Oracle)
+            .with_migration_benefit(2.0);
+        fcfs.policy = PolicyKind::Fcfs;
+        assert!(fcfs.validate().is_err());
+        let mut zero = base;
+        zero.count = 0;
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let specs: Vec<ScenarioSpec> = PolicyKind::MAIN
+            .into_iter()
+            .map(|p| {
+                let mut s = ScenarioSpec::new(MixPreset::Alpaca, RateLevel::Medium, p, 40, 7);
+                s.instances = 2;
+                s
+            })
+            .collect();
+        let one = SweepRunner::new(1).run_map(&specs, |spec, out| {
+            SweepCell::from_output(*spec, spec.rate_rps(), &out)
+        });
+        let four = SweepRunner::new(4).run_map(&specs, |spec, out| {
+            SweepCell::from_output(*spec, spec.rate_rps(), &out)
+        });
+        assert_eq!(one, four);
+        assert_eq!(one.len(), 3);
+        assert!(one.iter().all(|c| c.metrics.requests == 40));
+    }
+}

@@ -1,0 +1,87 @@
+//! A deterministic scoped-thread worker pool.
+//!
+//! [`parallel_map`] evaluates `f(0..n)` on a fixed number of workers and
+//! returns the results in index order. Work is handed out through a single
+//! atomic cursor; each result lands in its own slot, so the output is
+//! independent of which worker ran which index or in what order they
+//! finished — a parallel run is result-identical to a sequential one as
+//! long as `f` itself is a pure function of its index. Built on
+//! `std::thread::scope` only: no registry dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The pool width used when a caller does not pin one: the machine's
+/// available parallelism, capped at 8 so test runs and benches do not
+/// oversubscribe the host they share with the build.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, 8)
+}
+
+/// Maps `f` over `0..n` on `threads` workers, returning results in index
+/// order. `threads` is clamped to `[1, n]`; one thread short-circuits to a
+/// plain sequential loop (no pool, no locks).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` once all workers have stopped.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n.max(1));
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Compute outside the lock — the lock only guards the
+                // (instant) slot store, so workers never serialize on it.
+                let value = f(i);
+                slots.lock().expect("sweep pool poisoned")[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep pool poisoned")
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order_at_any_width() {
+        let expected: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(parallel_map(37, threads, |i| i * i), expected);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item_inputs() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_bounded() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

@@ -1,0 +1,382 @@
+//! Machine-readable sweep results: JSON + CSV emission and JSON re-parsing.
+//!
+//! The JSON writer is deliberately canonical — fixed key order, fixed
+//! indentation, shortest-round-trip floats — so two runs of the same grid
+//! at the same seed produce byte-identical documents regardless of thread
+//! count, and the determinism test can compare them with `==`. The parser
+//! side ([`SweepReport::from_json`]) rebuilds full cells, which is what
+//! lets the CI gate diff a fresh run against a committed baseline.
+
+use pascal_metrics::SweepCellMetrics;
+use pascal_predict::PredictorKind;
+use pascal_sched::PolicyKind;
+use pascal_workload::MixPreset;
+
+use crate::config::RateLevel;
+use crate::engine::AdmissionMode;
+use crate::sweep::json::{json_f64, json_opt_f64, json_str, JsonValue};
+use crate::sweep::{ScenarioSpec, SweepCell};
+
+/// Schema version stamped into every report.
+pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+
+/// The results of one grid sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// Name of the grid that produced the report.
+    pub grid: String,
+    /// The grid's base seed.
+    pub base_seed: u64,
+    /// One executed cell per coherent grid combination, in expansion order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Serializes the report as canonical JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {SWEEP_SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"grid\": {},\n", json_str(&self.grid)));
+        out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(&cell_json(cell));
+            out.push_str(if i + 1 == self.cells.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes the report as CSV, one row per cell.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,mix,level,policy,predictor,admission_utilization,migration_benefit,\
+             count,instances,seed,rate_rps,policy_label,requests,ttft_mean_s,ttft_p50_s,\
+             ttft_p99_s,slo_violation_rate,mean_qoe,throughput_tokens_per_s,goodput_rps,\
+             makespan_s,migrations_considered,migrations_launched,migrations_vetoed,\
+             migrations_landed_in_cpu,admission_admitted,admission_rejected\n",
+        );
+        let opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:?}"));
+        for cell in &self.cells {
+            let s = &cell.spec;
+            let m = &cell.metrics;
+            let admission = match s.admission {
+                AdmissionMode::Disabled => String::new(),
+                AdmissionMode::Predictive { max_utilization } => format!("{max_utilization:?}"),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{}\n",
+                s.label(),
+                s.mix.key(),
+                s.level.key(),
+                s.policy.key(),
+                s.predictor.map(PredictorKind::key).unwrap_or_default(),
+                admission,
+                opt(s.migration_benefit),
+                s.count,
+                s.instances,
+                s.seed,
+                cell.rate_rps,
+                csv_field(&cell.policy_label),
+                m.requests,
+                opt(m.ttft_mean_s),
+                opt(m.ttft_p50_s),
+                opt(m.ttft_p99_s),
+                m.slo_violation_rate,
+                m.mean_qoe,
+                m.throughput_tokens_per_s,
+                m.goodput_rps,
+                m.makespan_s,
+                m.migrations_considered,
+                m.migrations_launched,
+                m.migrations_vetoed,
+                m.migrations_landed_in_cpu,
+                m.admission_admitted,
+                m.admission_rejected,
+            ));
+        }
+        out
+    }
+
+    /// Parses a report back from its JSON serialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: JSON syntax,
+    /// a missing field, or an unknown axis key.
+    pub fn from_json(text: &str) -> Result<SweepReport, String> {
+        let doc = JsonValue::parse(text)?;
+        let schema = field(&doc, "schema")?
+            .as_u64()
+            .ok_or("schema must be an integer")?;
+        if schema != SWEEP_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported sweep schema {schema} (expected {SWEEP_SCHEMA_VERSION})"
+            ));
+        }
+        let grid = field(&doc, "grid")?
+            .as_str()
+            .ok_or("grid must be a string")?
+            .to_owned();
+        let base_seed = field(&doc, "base_seed")?
+            .as_u64()
+            .ok_or("base_seed must be an integer")?;
+        let cells = field(&doc, "cells")?
+            .as_array()
+            .ok_or("cells must be an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| parse_cell(c).map_err(|e| format!("cell {i}: {e}")))
+            .collect::<Result<Vec<SweepCell>, String>>()?;
+        Ok(SweepReport {
+            grid,
+            base_seed,
+            cells,
+        })
+    }
+}
+
+/// RFC-4180 field quoting: values containing a comma, quote or newline are
+/// wrapped in double quotes with inner quotes doubled. The engine's
+/// decorated policy labels contain commas (e.g.
+/// `PASCAL(Predictive-Oracle, CostAwareMigration)`), so the label column
+/// must be quoted or those rows go ragged.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+fn cell_json(cell: &SweepCell) -> String {
+    let s = &cell.spec;
+    let m = &cell.metrics;
+    let predictor = s
+        .predictor
+        .map_or_else(|| "null".to_owned(), |p| json_str(p.key()));
+    let admission = match s.admission {
+        AdmissionMode::Disabled => "null".to_owned(),
+        AdmissionMode::Predictive { max_utilization } => json_f64(max_utilization),
+    };
+    format!(
+        "    {{\n      \"label\": {label},\n      \"mix\": {mix},\n      \"level\": {level},\n      \
+         \"policy\": {policy},\n      \"predictor\": {predictor},\n      \
+         \"admission_utilization\": {admission},\n      \"migration_benefit\": {benefit},\n      \
+         \"count\": {count},\n      \"instances\": {instances},\n      \"seed\": {seed},\n      \
+         \"rate_rps\": {rate},\n      \"policy_label\": {plabel},\n      \"metrics\": {{\n        \
+         \"requests\": {requests},\n        \"ttft_mean_s\": {ttft_mean},\n        \
+         \"ttft_p50_s\": {ttft_p50},\n        \"ttft_p99_s\": {ttft_p99},\n        \
+         \"slo_violation_rate\": {slo},\n        \"mean_qoe\": {qoe},\n        \
+         \"throughput_tokens_per_s\": {tput},\n        \"goodput_rps\": {goodput},\n        \
+         \"makespan_s\": {makespan},\n        \"migrations_considered\": {mig_considered},\n        \
+         \"migrations_launched\": {mig_launched},\n        \"migrations_vetoed\": {mig_vetoed},\n        \
+         \"migrations_landed_in_cpu\": {mig_cpu},\n        \"admission_admitted\": {adm_ok},\n        \
+         \"admission_rejected\": {adm_no}\n      }}\n    }}",
+        label = json_str(&s.label()),
+        mix = json_str(s.mix.key()),
+        level = json_str(s.level.key()),
+        policy = json_str(s.policy.key()),
+        benefit = json_opt_f64(s.migration_benefit),
+        count = s.count,
+        instances = s.instances,
+        seed = s.seed,
+        rate = json_f64(cell.rate_rps),
+        plabel = json_str(&cell.policy_label),
+        requests = m.requests,
+        ttft_mean = json_opt_f64(m.ttft_mean_s),
+        ttft_p50 = json_opt_f64(m.ttft_p50_s),
+        ttft_p99 = json_opt_f64(m.ttft_p99_s),
+        slo = json_f64(m.slo_violation_rate),
+        qoe = json_f64(m.mean_qoe),
+        tput = json_f64(m.throughput_tokens_per_s),
+        goodput = json_f64(m.goodput_rps),
+        makespan = json_f64(m.makespan_s),
+        mig_considered = m.migrations_considered,
+        mig_launched = m.migrations_launched,
+        mig_vetoed = m.migrations_vetoed,
+        mig_cpu = m.migrations_landed_in_cpu,
+        adm_ok = m.admission_admitted,
+        adm_no = m.admission_rejected,
+    )
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    field(obj, key)?
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' must be a number"))
+}
+
+fn int(obj: &JsonValue, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("'{key}' must be a non-negative integer"))
+}
+
+fn opt_num(obj: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    let v = field(obj, key)?;
+    if v.is_null() {
+        Ok(None)
+    } else {
+        v.as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' must be a number or null"))
+    }
+}
+
+fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
+    let mix = MixPreset::parse(field(c, "mix")?.as_str().ok_or("'mix' must be a string")?)?;
+    let level = RateLevel::parse(
+        field(c, "level")?
+            .as_str()
+            .ok_or("'level' must be a string")?,
+    )?;
+    let policy = PolicyKind::parse(
+        field(c, "policy")?
+            .as_str()
+            .ok_or("'policy' must be a string")?,
+    )?;
+    let predictor = {
+        let v = field(c, "predictor")?;
+        if v.is_null() {
+            None
+        } else {
+            Some(PredictorKind::parse(
+                v.as_str().ok_or("'predictor' must be a string or null")?,
+            )?)
+        }
+    };
+    let admission = match opt_num(c, "admission_utilization")? {
+        None => AdmissionMode::Disabled,
+        Some(max_utilization) => AdmissionMode::Predictive { max_utilization },
+    };
+    let spec = ScenarioSpec {
+        mix,
+        level,
+        policy,
+        predictor,
+        admission,
+        migration_benefit: opt_num(c, "migration_benefit")?,
+        count: int(c, "count")? as usize,
+        instances: int(c, "instances")? as usize,
+        seed: int(c, "seed")?,
+    };
+    let metrics_obj = field(c, "metrics")?;
+    let metrics = SweepCellMetrics {
+        requests: int(metrics_obj, "requests")? as usize,
+        ttft_mean_s: opt_num(metrics_obj, "ttft_mean_s")?,
+        ttft_p50_s: opt_num(metrics_obj, "ttft_p50_s")?,
+        ttft_p99_s: opt_num(metrics_obj, "ttft_p99_s")?,
+        slo_violation_rate: num(metrics_obj, "slo_violation_rate")?,
+        mean_qoe: num(metrics_obj, "mean_qoe")?,
+        throughput_tokens_per_s: num(metrics_obj, "throughput_tokens_per_s")?,
+        goodput_rps: num(metrics_obj, "goodput_rps")?,
+        makespan_s: num(metrics_obj, "makespan_s")?,
+        migrations_considered: int(metrics_obj, "migrations_considered")?,
+        migrations_launched: int(metrics_obj, "migrations_launched")?,
+        migrations_vetoed: int(metrics_obj, "migrations_vetoed")?,
+        migrations_landed_in_cpu: int(metrics_obj, "migrations_landed_in_cpu")?,
+        admission_admitted: int(metrics_obj, "admission_admitted")?,
+        admission_rejected: int(metrics_obj, "admission_rejected")?,
+    };
+    Ok(SweepCell {
+        spec,
+        rate_rps: num(c, "rate_rps")?,
+        policy_label: field(c, "policy_label")?
+            .as_str()
+            .ok_or("'policy_label' must be a string")?
+            .to_owned(),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{SweepGrid, SweepRunner};
+
+    fn tiny_report() -> SweepReport {
+        let mut grid = SweepGrid::preset("ci").expect("preset exists");
+        grid.count = 30;
+        grid.instances = 2;
+        SweepRunner::new(2).run_grid(&grid)
+    }
+
+    #[test]
+    fn json_round_trips_bit_for_bit() {
+        let report = tiny_report();
+        let json = report.to_json();
+        let back = SweepReport::from_json(&json).expect("own output parses");
+        assert_eq!(back, report, "parse(to_json(r)) == r");
+        assert_eq!(back.to_json(), json, "re-serialization is byte-identical");
+    }
+
+    /// RFC-4180-aware field count: commas inside quoted fields don't split.
+    fn csv_fields(line: &str) -> usize {
+        let mut fields = 1;
+        let mut in_quotes = false;
+        for c in line.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_and_matching_columns() {
+        let report = tiny_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), report.cells.len() + 1);
+        let cols = csv_fields(lines[0]);
+        for row in &lines[1..] {
+            assert_eq!(csv_fields(row), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_comma_bearing_policy_labels() {
+        // The engine decorates cost-aware cells with a comma in the label
+        // (`PASCAL(Predictive-Oracle, CostAwareMigration)`); the CSV must
+        // quote it or every later column shifts by one.
+        let mut report = tiny_report();
+        report.cells[0].policy_label = "PASCAL(Predictive-Oracle, CostAwareMigration)".to_owned();
+        let csv = report.to_csv();
+        assert!(
+            csv.contains("\"PASCAL(Predictive-Oracle, CostAwareMigration)\""),
+            "comma-bearing label must be quoted"
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        let cols = csv_fields(lines[0]);
+        for row in &lines[1..] {
+            assert_eq!(csv_fields(row), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_and_corruption_are_rejected() {
+        let report = tiny_report();
+        let json = report.to_json();
+        let wrong_schema = json.replacen("\"schema\": 1", "\"schema\": 99", 1);
+        assert!(SweepReport::from_json(&wrong_schema)
+            .expect_err("wrong schema")
+            .contains("schema"));
+        assert!(SweepReport::from_json("{not json").is_err());
+        let bad_policy = json.replacen("\"policy\": \"fcfs\"", "\"policy\": \"sjf\"", 1);
+        assert!(SweepReport::from_json(&bad_policy).is_err());
+    }
+}

@@ -20,7 +20,10 @@
 //!   length-prediction error quantiles for the `pascal-predict` subsystem;
 //! * [`MigrationOutcomes`] / [`AdmissionCounters`] / [`AdmissionRecord`] —
 //!   per-run decision tallies of the engine's migration and admission
-//!   controllers.
+//!   controllers;
+//! * [`SweepCellMetrics`] — the per-cell aggregation row of the scenario
+//!   sweep (TTFT quantiles, SLO rate, controller counters) consumed by the
+//!   sweep reports and the CI perf-regression gate.
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@ mod histogram;
 mod qoe;
 mod record;
 mod summary;
+mod sweep;
 mod tail;
 
 pub use calibration::{CalibrationReport, PredictionSample};
@@ -58,4 +62,5 @@ pub use summary::{
     breakdown_by, cdf_points, goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s,
     LatencySummary, PhaseBreakdown, SLO_QOE_THRESHOLD,
 };
+pub use sweep::SweepCellMetrics;
 pub use tail::{adaptive_tail, percentile, tail_by_token_bins, BinTail, TailStat};

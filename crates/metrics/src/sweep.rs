@@ -1,0 +1,153 @@
+//! Per-cell aggregation rows for scenario sweeps.
+//!
+//! A sweep cell runs one full simulation; [`SweepCellMetrics`] condenses
+//! its output into the fixed set of numbers the sweep reports (JSON/CSV)
+//! and the CI perf-regression gate compare: TTFT quantiles, SLO violation
+//! rate, throughput/goodput, and the migration/admission controller
+//! counters. Keeping the row here (next to [`RequestRecord`]) lets every
+//! consumer — experiments, CLI, gate — agree on one definition of each
+//! number.
+
+use crate::counters::{AdmissionCounters, MigrationOutcomes};
+use crate::qoe::{answering_qoe, QoeParams};
+use crate::record::RequestRecord;
+use crate::summary::{
+    goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary,
+    SLO_QOE_THRESHOLD,
+};
+
+/// The aggregate metrics of one sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepCellMetrics {
+    /// Completed requests in the cell.
+    pub requests: usize,
+    /// Mean TTFT in seconds (`None` when nothing answered).
+    pub ttft_mean_s: Option<f64>,
+    /// Median TTFT in seconds.
+    pub ttft_p50_s: Option<f64>,
+    /// P99 TTFT in seconds — the gate's latency metric.
+    pub ttft_p99_s: Option<f64>,
+    /// Fraction of answering requests with QoE below the SLO threshold —
+    /// the gate's SLO metric.
+    pub slo_violation_rate: f64,
+    /// Mean answering-phase QoE (paper-eval parameters).
+    pub mean_qoe: f64,
+    /// Serving throughput in generated tokens per second.
+    pub throughput_tokens_per_s: f64,
+    /// SLO-satisfying completions per second.
+    pub goodput_rps: f64,
+    /// First arrival → last completion, in seconds.
+    pub makespan_s: f64,
+    /// Migration decisions evaluated at phase boundaries.
+    pub migrations_considered: u64,
+    /// Migrations launched onto the fabric.
+    pub migrations_launched: u64,
+    /// Migrations vetoed by the predictive cost/benefit test.
+    pub migrations_vetoed: u64,
+    /// Migrations whose KV landed in destination CPU memory.
+    pub migrations_landed_in_cpu: u64,
+    /// Arrivals admitted by the admission controller.
+    pub admission_admitted: u64,
+    /// Arrivals rejected at predicted overload.
+    pub admission_rejected: u64,
+}
+
+impl SweepCellMetrics {
+    /// Condenses one run's outputs into a sweep row. `makespan_s` is the
+    /// run's makespan in seconds; QoE-derived numbers use `qoe`.
+    #[must_use]
+    pub fn from_run(
+        records: &[RequestRecord],
+        migration: &MigrationOutcomes,
+        admission: &AdmissionCounters,
+        makespan_s: f64,
+        qoe: &QoeParams,
+    ) -> Self {
+        let ttft = LatencySummary::from_values(
+            records
+                .iter()
+                .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+        );
+        let qoes: Vec<f64> = records
+            .iter()
+            .filter_map(|r| answering_qoe(r, qoe))
+            .collect();
+        let mean_qoe = if qoes.is_empty() {
+            0.0
+        } else {
+            qoes.iter().sum::<f64>() / qoes.len() as f64
+        };
+        SweepCellMetrics {
+            requests: records.len(),
+            ttft_mean_s: ttft.as_ref().map(|t| t.mean),
+            ttft_p50_s: ttft.as_ref().map(|t| t.p50),
+            ttft_p99_s: ttft.as_ref().map(|t| t.p99),
+            slo_violation_rate: slo_violation_rate(records, qoe, SLO_QOE_THRESHOLD),
+            mean_qoe,
+            throughput_tokens_per_s: throughput_tokens_per_s(records),
+            goodput_rps: goodput_requests_per_s(records, qoe, SLO_QOE_THRESHOLD),
+            makespan_s,
+            migrations_considered: migration.considered,
+            migrations_launched: migration.launched,
+            migrations_vetoed: migration.vetoed_by_cost,
+            migrations_landed_in_cpu: migration.landed_in_cpu,
+            admission_admitted: admission.admitted,
+            admission_rejected: admission.rejected,
+        }
+    }
+
+    /// Fraction of arrivals rejected by admission control.
+    #[must_use]
+    pub fn admission_rejection_rate(&self) -> f64 {
+        AdmissionCounters {
+            admitted: self.admission_admitted,
+            rejected: self.admission_rejected,
+        }
+        .rejection_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_produces_zeroed_row() {
+        let row = SweepCellMetrics::from_run(
+            &[],
+            &MigrationOutcomes::default(),
+            &AdmissionCounters::default(),
+            0.0,
+            &QoeParams::paper_eval(),
+        );
+        assert_eq!(row.requests, 0);
+        assert_eq!(row.ttft_p99_s, None);
+        assert_eq!(row.slo_violation_rate, 0.0);
+        assert_eq!(row.admission_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn counters_are_copied_through() {
+        let migration = MigrationOutcomes {
+            considered: 10,
+            launched: 6,
+            vetoed_by_cost: 3,
+            landed_in_cpu: 1,
+            ..MigrationOutcomes::default()
+        };
+        let admission = AdmissionCounters {
+            admitted: 9,
+            rejected: 3,
+        };
+        let row =
+            SweepCellMetrics::from_run(&[], &migration, &admission, 12.5, &QoeParams::paper_eval());
+        assert_eq!(row.migrations_considered, 10);
+        assert_eq!(row.migrations_launched, 6);
+        assert_eq!(row.migrations_vetoed, 3);
+        assert_eq!(row.migrations_landed_in_cpu, 1);
+        assert_eq!(row.admission_admitted, 9);
+        assert_eq!(row.admission_rejected, 3);
+        assert!((row.admission_rejection_rate() - 0.25).abs() < 1e-12);
+        assert!((row.makespan_s - 12.5).abs() < 1e-12);
+    }
+}

@@ -47,6 +47,16 @@ impl PredictorKind {
         }
     }
 
+    /// The short CLI/JSON key accepted by [`PredictorKind::parse`].
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            PredictorKind::Oracle => "oracle",
+            PredictorKind::ProfileEma => "ema",
+            PredictorKind::PairwiseRank => "rank",
+        }
+    }
+
     /// Parses a CLI-style name (`oracle` / `ema` / `rank`).
     ///
     /// # Errors
@@ -84,6 +94,7 @@ mod tests {
                 unreachable!("unexpected name {cli}")
             };
             assert_eq!(PredictorKind::parse(&cli), Ok(kind));
+            assert_eq!(PredictorKind::parse(kind.key()), Ok(kind));
             assert_eq!(kind.build().name(), kind.name());
         }
         assert!(PredictorKind::parse("magic").is_err());

@@ -48,5 +48,7 @@
 #![warn(missing_docs)]
 
 mod policy;
+mod spec;
 
 pub use policy::{MigrationCost, MigrationDecision, PascalConfig, PriorityKey, SchedPolicy};
+pub use spec::PolicyKind;

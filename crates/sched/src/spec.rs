@@ -1,0 +1,131 @@
+//! Declarative policy selection.
+//!
+//! [`PolicyKind`] is the copyable, parseable key the CLI and the scenario
+//! sweep use to name a scheduler before building the concrete
+//! [`SchedPolicy`]. Keeping the key separate from the policy keeps sweep
+//! cells serializable: a JSON row stores `"pascal-nomigration"`, not a
+//! config struct.
+
+use crate::policy::{PascalConfig, SchedPolicy};
+
+/// A named scheduler variant.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_sched::PolicyKind;
+///
+/// let kind = PolicyKind::parse("pascal").unwrap();
+/// assert_eq!(kind.build().name(), "PASCAL");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// vLLM's default first-come-first-served baseline.
+    Fcfs,
+    /// Preemptive round-robin at the paper's 500-token quantum.
+    RoundRobin,
+    /// The full phase-aware scheduler (§IV).
+    Pascal,
+    /// PASCAL with phase-boundary migration disabled (Fig. 13).
+    PascalNoMigration,
+    /// PASCAL with the adaptive override disabled (Fig. 15).
+    PascalNonAdaptive,
+}
+
+impl PolicyKind {
+    /// All variants, in presentation order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Pascal,
+        PolicyKind::PascalNoMigration,
+        PolicyKind::PascalNonAdaptive,
+    ];
+
+    /// The three schedulers of the main evaluation (§V-A).
+    pub const MAIN: [PolicyKind; 3] =
+        [PolicyKind::Fcfs, PolicyKind::RoundRobin, PolicyKind::Pascal];
+
+    /// The short CLI/JSON key.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::RoundRobin => "rr",
+            PolicyKind::Pascal => "pascal",
+            PolicyKind::PascalNoMigration => "pascal-nomigration",
+            PolicyKind::PascalNonAdaptive => "pascal-nonadaptive",
+        }
+    }
+
+    /// Builds the concrete policy this key names.
+    #[must_use]
+    pub fn build(self) -> SchedPolicy {
+        match self {
+            PolicyKind::Fcfs => SchedPolicy::Fcfs,
+            PolicyKind::RoundRobin => SchedPolicy::round_robin_default(),
+            PolicyKind::Pascal => SchedPolicy::pascal(PascalConfig::default()),
+            PolicyKind::PascalNoMigration => SchedPolicy::pascal(PascalConfig {
+                migration_enabled: false,
+                ..PascalConfig::default()
+            }),
+            PolicyKind::PascalNonAdaptive => SchedPolicy::pascal(PascalConfig {
+                adaptive_migration: false,
+                ..PascalConfig::default()
+            }),
+        }
+    }
+
+    /// Parses a CLI-style key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keys.
+    pub fn parse(s: &str) -> Result<PolicyKind, String> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.key()).collect();
+                format!("unknown policy '{s}' (valid: {})", keys.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip_through_parse() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.key()), Ok(kind));
+        }
+        let err = PolicyKind::parse("sjf").expect_err("unknown policy");
+        assert!(
+            err.contains("pascal-nomigration"),
+            "error lists keys: {err}"
+        );
+    }
+
+    #[test]
+    fn built_policies_carry_the_expected_names() {
+        let names: Vec<&str> = PolicyKind::ALL.iter().map(|k| k.build().name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "FCFS",
+                "RR",
+                "PASCAL",
+                "PASCAL(NoMigration)",
+                "PASCAL(NonAdaptive)"
+            ]
+        );
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`DatasetProfile`] / [`DatasetMix`] — AlpacaEval2.0, Arena-Hard
 //!   (Fig. 8), MATH-500, GPQA, LiveCodeBench (Fig. 14) and the Fig. 16
 //!   mixture;
+//! * [`MixPreset`] — the named mix presets shared by the CLI, the
+//!   experiments and the scenario-sweep grids;
 //! * [`ArrivalProcess`] — Poisson (and deterministic) arrivals;
 //! * [`TraceBuilder`] and the Fig. 4 / Fig. 5 characterization workloads.
 //!
@@ -34,11 +36,13 @@
 mod arrivals;
 mod dataset;
 mod dist;
+mod presets;
 mod request;
 mod trace;
 
 pub use arrivals::ArrivalProcess;
 pub use dataset::{DatasetMix, DatasetProfile};
 pub use dist::TokenDist;
+pub use presets::MixPreset;
 pub use request::{Phase, RequestId, RequestSpec};
 pub use trace::{fig04_reasoning_trace, fig05_answering_trace, Trace, TraceBuilder};

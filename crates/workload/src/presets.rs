@@ -1,0 +1,154 @@
+//! Named workload-mix presets.
+//!
+//! Every evaluation surface — the CLI, the experiments and the scenario
+//! sweep grids — selects workloads by the same short names, so a sweep
+//! cell's JSON row, a CLI flag and an experiment table all agree on what
+//! "arena" means. A preset is a copyable key; [`MixPreset::mix`] expands it
+//! to the concrete [`DatasetMix`] on demand.
+
+use crate::dataset::{DatasetMix, DatasetProfile};
+
+/// A named workload mixture.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_workload::MixPreset;
+///
+/// let preset = MixPreset::parse("arena").unwrap();
+/// assert_eq!(preset.display_name(), "Arena-Hard");
+/// assert_eq!(preset.mix().components().len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MixPreset {
+    /// AlpacaEval2.0 — the lighter chat trace (Fig. 8(a)).
+    Alpaca,
+    /// Arena-Hard — the heavier chat trace (Fig. 8(b)).
+    Arena,
+    /// MATH-500 (Fig. 14(a)).
+    Math500,
+    /// GPQA — the 8.48× reasoning-heavy extreme (Fig. 14(b)).
+    Gpqa,
+    /// LiveCodeBench (Fig. 14(c)).
+    Lcb,
+    /// Fig. 16's mixture: 50% Arena-Hard, 50% reasoning-heavy.
+    Mixed,
+    /// MATH-500, GPQA and LiveCodeBench in equal parts — the workload whose
+    /// oversized reasoning tails make speculative demotion bite.
+    ReasoningHeavy,
+}
+
+impl MixPreset {
+    /// All presets, in presentation order.
+    pub const ALL: [MixPreset; 7] = [
+        MixPreset::Alpaca,
+        MixPreset::Arena,
+        MixPreset::Math500,
+        MixPreset::Gpqa,
+        MixPreset::Lcb,
+        MixPreset::Mixed,
+        MixPreset::ReasoningHeavy,
+    ];
+
+    /// The short CLI/JSON key.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            MixPreset::Alpaca => "alpaca",
+            MixPreset::Arena => "arena",
+            MixPreset::Math500 => "math500",
+            MixPreset::Gpqa => "gpqa",
+            MixPreset::Lcb => "lcb",
+            MixPreset::Mixed => "mixed",
+            MixPreset::ReasoningHeavy => "reasoning-heavy",
+        }
+    }
+
+    /// The name the paper's figures use for this workload.
+    #[must_use]
+    pub fn display_name(self) -> &'static str {
+        match self {
+            MixPreset::Alpaca => "AlpacaEval2.0",
+            MixPreset::Arena => "Arena-Hard",
+            MixPreset::Math500 => "MATH-500",
+            MixPreset::Gpqa => "GPQA",
+            MixPreset::Lcb => "LiveCodeBench",
+            MixPreset::Mixed => "Arena-Hard + reasoning-heavy",
+            MixPreset::ReasoningHeavy => "Reasoning-Heavy",
+        }
+    }
+
+    /// Expands the preset to its concrete mixture.
+    #[must_use]
+    pub fn mix(self) -> DatasetMix {
+        match self {
+            MixPreset::Alpaca => DatasetMix::single(DatasetProfile::alpaca_eval2()),
+            MixPreset::Arena => DatasetMix::single(DatasetProfile::arena_hard()),
+            MixPreset::Math500 => DatasetMix::single(DatasetProfile::math500()),
+            MixPreset::Gpqa => DatasetMix::single(DatasetProfile::gpqa()),
+            MixPreset::Lcb => DatasetMix::single(DatasetProfile::live_code_bench()),
+            MixPreset::Mixed => DatasetMix::arena_with_reasoning_heavy(),
+            MixPreset::ReasoningHeavy => DatasetMix::new(
+                DatasetProfile::reasoning_heavy_suite()
+                    .into_iter()
+                    .map(|p| (p, 1.0))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Parses a CLI-style key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keys.
+    pub fn parse(s: &str) -> Result<MixPreset, String> {
+        MixPreset::ALL
+            .into_iter()
+            .find(|p| p.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = MixPreset::ALL.iter().map(|p| p.key()).collect();
+                format!("unknown dataset '{s}' (valid: {})", keys.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for MixPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip_through_parse() {
+        for preset in MixPreset::ALL {
+            assert_eq!(MixPreset::parse(preset.key()), Ok(preset));
+        }
+        let err = MixPreset::parse("nope").expect_err("unknown preset");
+        assert!(err.contains("reasoning-heavy"), "error lists keys: {err}");
+    }
+
+    #[test]
+    fn every_preset_expands_to_a_valid_mix() {
+        for preset in MixPreset::ALL {
+            let mix = preset.mix();
+            assert!(!mix.components().is_empty(), "{preset}");
+            assert!(mix.mean_output_tokens() > 0.0, "{preset}");
+        }
+    }
+
+    #[test]
+    fn reasoning_heavy_is_the_three_suite_profiles() {
+        let mix = MixPreset::ReasoningHeavy.mix();
+        let names: Vec<&str> = mix
+            .components()
+            .iter()
+            .map(|(p, _)| p.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["MATH-500", "GPQA", "LiveCodeBench"]);
+    }
+}

@@ -3,30 +3,37 @@
 //! ```text
 //! pascal-cli run  --dataset arena --policy pascal --rate high --count 1000
 //! pascal-cli run  --dataset alpaca --policy fcfs --rate 12.5 --csv out.csv
+//! pascal-cli sweep --grid ci --threads 4 --out sweep-out
+//! pascal-cli sweep --grid ci --baseline BENCH_BASELINE.json
 //! pascal-cli capacity --dataset mixed
 //! ```
 
 use std::process::ExitCode;
 
 use pascal::core::report::{records_csv, render_table};
-use pascal::core::{estimate_capacity_rps, run_simulation, AdmissionMode, RateLevel, SimConfig};
+use pascal::core::sweep::gate::{compare, GateTolerances};
+use pascal::core::{
+    estimate_capacity_rps, run_simulation, AdmissionMode, RateLevel, SimConfig, SweepGrid,
+    SweepReport, SweepRunner,
+};
 use pascal::metrics::{
     goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary, QoeParams,
     SLO_QOE_THRESHOLD,
 };
 use pascal::predict::PredictorKind;
-use pascal::sched::{PascalConfig, SchedPolicy};
-use pascal::workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+use pascal::sched::{PolicyKind, SchedPolicy};
+use pascal::workload::{ArrivalProcess, DatasetMix, MixPreset, TraceBuilder};
 
 const USAGE: &str = "\
 pascal-cli — PASCAL reasoning-LLM serving simulator
 
 USAGE:
   pascal-cli run [OPTIONS]       simulate a trace and print metrics
+  pascal-cli sweep [OPTIONS]     run a scenario grid on a worker pool
   pascal-cli capacity [OPTIONS]  print the analytic cluster capacity
 
 OPTIONS (run):
-  --dataset <alpaca|arena|math500|gpqa|lcb|mixed>   workload       [alpaca]
+  --dataset <alpaca|arena|math500|gpqa|lcb|mixed|reasoning-heavy>  [alpaca]
   --policy  <fcfs|rr|pascal|pascal-nomigration|pascal-nonadaptive> [pascal]
   --predictor <none|oracle|ema|rank>                length predictor [none]
           valid values: none (reactive, the default), oracle (reads the
@@ -48,6 +55,22 @@ OPTIONS (run):
   --instances <N>                                   cluster size   [8]
   --csv     <PATH>                                  dump per-request CSV
 
+OPTIONS (sweep):
+  --grid    <main|predictive|migration|ci>          grid preset    [ci]
+  --threads <N>                                     worker pool width; 0 =
+          available parallelism (capped at 8). Results are identical at
+          any width.                                               [0]
+  --count   <N>                                     override requests/cell
+  --seed    <N>                                     override base seed
+  --out     <DIR>                                   write sweep.json +
+          sweep.csv into DIR (created if missing)
+  --baseline <PATH>                                 compare against a
+          committed sweep JSON; regressions beyond tolerance exit 1 with
+          a per-cell diff table (the CI perf gate)
+  --ttft-tol <REL>      p99-TTFT relative tolerance               [0.10]
+  --ttft-abs-tol <SEC>  p99-TTFT absolute slack                   [0.5]
+  --slo-tol <ABS>       SLO-violation-rate absolute tolerance     [0.02]
+
 Unknown values for any option exit with status 2.
 ";
 
@@ -67,32 +90,11 @@ impl From<String> for CliError {
 }
 
 fn dataset(name: &str) -> Result<DatasetMix, String> {
-    Ok(match name {
-        "alpaca" => DatasetMix::single(DatasetProfile::alpaca_eval2()),
-        "arena" => DatasetMix::single(DatasetProfile::arena_hard()),
-        "math500" => DatasetMix::single(DatasetProfile::math500()),
-        "gpqa" => DatasetMix::single(DatasetProfile::gpqa()),
-        "lcb" => DatasetMix::single(DatasetProfile::live_code_bench()),
-        "mixed" => DatasetMix::arena_with_reasoning_heavy(),
-        other => return Err(format!("unknown dataset '{other}'")),
-    })
+    MixPreset::parse(name).map(MixPreset::mix)
 }
 
 fn policy(name: &str) -> Result<SchedPolicy, String> {
-    Ok(match name {
-        "fcfs" => SchedPolicy::Fcfs,
-        "rr" => SchedPolicy::round_robin_default(),
-        "pascal" => SchedPolicy::pascal(PascalConfig::default()),
-        "pascal-nomigration" => SchedPolicy::pascal(PascalConfig {
-            migration_enabled: false,
-            ..PascalConfig::default()
-        }),
-        "pascal-nonadaptive" => SchedPolicy::pascal(PascalConfig {
-            adaptive_migration: false,
-            ..PascalConfig::default()
-        }),
-        other => return Err(format!("unknown policy '{other}'")),
-    })
+    PolicyKind::parse(name).map(PolicyKind::build)
 }
 
 /// Parsed `run` options.
@@ -327,6 +329,203 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parsed `sweep` options.
+struct SweepOpts {
+    grid: String,
+    threads: usize,
+    count: Option<usize>,
+    seed: Option<u64>,
+    out: Option<String>,
+    baseline: Option<String>,
+    ttft_tol: f64,
+    ttft_abs_tol: f64,
+    slo_tol: f64,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        let tol = GateTolerances::default();
+        SweepOpts {
+            grid: "ci".to_owned(),
+            threads: 0,
+            count: None,
+            seed: None,
+            out: None,
+            baseline: None,
+            ttft_tol: tol.ttft_p99_rel,
+            ttft_abs_tol: tol.ttft_p99_abs_s,
+            slo_tol: tol.slo_rate_abs,
+        }
+    }
+}
+
+fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
+    let mut opts = SweepOpts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let tolerance = |raw: String, flag: &str| -> Result<f64, String> {
+            let v: f64 = raw.parse().map_err(|e| format!("{flag}: {e}"))?;
+            if v.is_finite() && v >= 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{flag} must be a non-negative number, got {v}"))
+            }
+        };
+        match flag.as_str() {
+            "--grid" => opts.grid = value()?,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--count" => {
+                let count: usize = value()?.parse().map_err(|e| format!("--count: {e}"))?;
+                if count == 0 {
+                    return Err("--count must be positive".to_owned());
+                }
+                opts.count = Some(count);
+            }
+            "--seed" => {
+                opts.seed = Some(value()?.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--out" => opts.out = Some(value()?),
+            "--baseline" => opts.baseline = Some(value()?),
+            "--ttft-tol" => opts.ttft_tol = tolerance(value()?, "--ttft-tol")?,
+            "--ttft-abs-tol" => opts.ttft_abs_tol = tolerance(value()?, "--ttft-abs-tol")?,
+            "--slo-tol" => opts.slo_tol = tolerance(value()?, "--slo-tol")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Formats an optional seconds value for the sweep tables.
+fn opt_secs(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_sweep_opts(args)?;
+    let mut grid = SweepGrid::preset(&opts.grid)?;
+    if let Some(count) = opts.count {
+        grid.count = count;
+    }
+    if let Some(seed) = opts.seed {
+        grid.base_seed = seed;
+    }
+    let runner = SweepRunner::new(opts.threads);
+    let cells = grid.expand().len();
+    eprintln!(
+        "sweeping grid '{}': {cells} cells × {} requests on {} threads …",
+        grid.name,
+        grid.count,
+        runner.threads()
+    );
+    let started = std::time::Instant::now();
+    let report = runner.run_grid(&grid);
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "swept {cells} cells in {elapsed:.2}s ({} threads)",
+        runner.threads()
+    );
+
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|cell| {
+            let m = &cell.metrics;
+            vec![
+                cell.label(),
+                cell.policy_label.clone(),
+                format!("{:.2}", cell.rate_rps),
+                opt_secs(m.ttft_p50_s),
+                opt_secs(m.ttft_p99_s),
+                format!("{:.2}%", 100.0 * m.slo_violation_rate),
+                m.migrations_launched.to_string(),
+                m.migrations_vetoed.to_string(),
+                m.admission_rejected.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cell", "policy", "req/s", "p50 TTFT", "p99 TTFT", "SLO viol", "migr", "vetoed",
+                "rejected",
+            ],
+            &rows
+        )
+    );
+
+    if let Some(dir) = &opts.out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("creating {}: {e}", dir.display())))?;
+        for (name, contents) in [
+            ("sweep.json", report.to_json()),
+            ("sweep.csv", report.to_csv()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)
+                .map_err(|e| CliError::Runtime(format!("writing {}: {e}", path.display())))?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("reading baseline {path}: {e}")))?;
+        let baseline = SweepReport::from_json(&text)
+            .map_err(|e| CliError::Runtime(format!("parsing baseline {path}: {e}")))?;
+        let tolerances = GateTolerances {
+            ttft_p99_rel: opts.ttft_tol,
+            ttft_p99_abs_s: opts.ttft_abs_tol,
+            slo_rate_abs: opts.slo_tol,
+        };
+        let gate = compare(&baseline, &report, &tolerances);
+        let fmt = |x: Option<f64>| x.map_or_else(|| "-".to_owned(), |v| format!("{v:.4}"));
+        let diff_rows: Vec<Vec<String>> = gate
+            .findings
+            .iter()
+            .map(|f| {
+                vec![
+                    f.label.clone(),
+                    f.metric.to_owned(),
+                    fmt(f.baseline),
+                    fmt(f.current),
+                    format!("{:.4}", f.allowed),
+                    if f.regression { "REGRESSED" } else { "ok" }.to_owned(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["cell", "metric", "baseline", "current", "allowed", "verdict"],
+                &diff_rows
+            )
+        );
+        for issue in &gate.structural {
+            eprintln!("structural: {issue}");
+        }
+        if gate.passed() {
+            println!("perf gate PASSED against {path}");
+        } else {
+            let regressions = gate.regressions().count();
+            return Err(CliError::Runtime(format!(
+                "perf gate FAILED against {path}: {regressions} metric regression(s), \
+                 {} structural issue(s)",
+                gate.structural.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_capacity(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let mix = dataset(&opts.dataset)?;
@@ -351,6 +550,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("capacity") => cmd_capacity(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
@@ -466,6 +666,60 @@ mod tests {
         assert!(parse_opts(&strs(&["--migration-benefit", "-1"])).is_err());
         assert!(parse_opts(&strs(&["--migration-benefit", "inf"])).is_err());
         assert!(parse_opts(&strs(&["--migration-benefit", "many"])).is_err());
+    }
+
+    #[test]
+    fn sweep_opts_parse_and_validate() {
+        let opts = parse_sweep_opts(&strs(&[
+            "--grid",
+            "main",
+            "--threads",
+            "4",
+            "--count",
+            "200",
+            "--seed",
+            "9",
+            "--out",
+            "/tmp/sweep-out",
+            "--baseline",
+            "BENCH_BASELINE.json",
+            "--ttft-tol",
+            "0.2",
+            "--slo-tol",
+            "0.05",
+        ]))
+        .expect("valid flags");
+        assert_eq!(opts.grid, "main");
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.count, Some(200));
+        assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.out.as_deref(), Some("/tmp/sweep-out"));
+        assert_eq!(opts.baseline.as_deref(), Some("BENCH_BASELINE.json"));
+        assert!((opts.ttft_tol - 0.2).abs() < 1e-12);
+        assert!((opts.slo_tol - 0.05).abs() < 1e-12);
+
+        assert!(parse_sweep_opts(&strs(&["--count", "0"])).is_err());
+        assert!(parse_sweep_opts(&strs(&["--ttft-tol", "-1"])).is_err());
+        assert!(parse_sweep_opts(&strs(&["--ttft-abs-tol", "inf"])).is_err());
+        assert!(parse_sweep_opts(&strs(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn sweep_defaults_match_gate_defaults() {
+        let opts = parse_sweep_opts(&[]).expect("empty is valid");
+        let tol = GateTolerances::default();
+        assert_eq!(opts.grid, "ci");
+        assert_eq!(opts.threads, 0);
+        assert!((opts.ttft_tol - tol.ttft_p99_rel).abs() < 1e-12);
+        assert!((opts.ttft_abs_tol - tol.ttft_p99_abs_s).abs() < 1e-12);
+        assert!((opts.slo_tol - tol.slo_rate_abs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_lists_sweep_grid_presets() {
+        for needle in ["main|predictive|migration|ci", "--baseline", "--threads"] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Sweep determinism: a parallel sweep is result-identical to a
+//! sequential one — per-cell results, the JSON serialization and the CSV
+//! are all byte-identical at any worker-pool width. This is the property
+//! that lets the CI perf-regression gate compare a 4-thread CI run against
+//! a baseline generated anywhere.
+
+use pascal::core::sweep::gate::{compare, GateTolerances};
+use pascal::core::{SweepGrid, SweepReport, SweepRunner};
+
+/// A small but non-trivial grid: two mixes, three policies plus a
+/// predictive variant, 60-request traces.
+fn test_grid() -> SweepGrid {
+    let mut grid = SweepGrid::preset("ci").expect("ci preset exists");
+    grid.count = 60;
+    grid.instances = 4;
+    grid.base_seed = 7;
+    grid
+}
+
+#[test]
+fn four_thread_sweep_is_byte_identical_to_sequential() {
+    let grid = test_grid();
+    let sequential = SweepRunner::new(1).run_grid(&grid);
+    let parallel = SweepRunner::new(4).run_grid(&grid);
+
+    // Per-cell results are identical, cell by cell…
+    assert_eq!(sequential.cells.len(), parallel.cells.len());
+    for (seq, par) in sequential.cells.iter().zip(&parallel.cells) {
+        assert_eq!(
+            seq,
+            par,
+            "cell {} diverged across thread counts",
+            seq.label()
+        );
+    }
+    // …and so are the machine-readable serializations, byte for byte.
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn sweep_report_survives_a_json_round_trip() {
+    let report = SweepRunner::new(4).run_grid(&test_grid());
+    let parsed = SweepReport::from_json(&report.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn gate_passes_against_a_rerun_and_fails_against_a_perturbed_baseline() {
+    let grid = test_grid();
+    let baseline = SweepRunner::new(2).run_grid(&grid);
+    let current = SweepRunner::new(4).run_grid(&grid);
+    let tol = GateTolerances::default();
+    assert!(
+        compare(&baseline, &current, &tol).passed(),
+        "identical grid + seed must gate clean at any thread count"
+    );
+
+    // A baseline that claims dramatically better SLO rates must fail.
+    let mut perturbed = baseline.clone();
+    for cell in &mut perturbed.cells {
+        cell.metrics.slo_violation_rate -= 1.0;
+    }
+    assert!(!compare(&perturbed, &current, &tol).passed());
+}
