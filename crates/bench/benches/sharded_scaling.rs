@@ -1,0 +1,66 @@
+//! Regenerates the shard-scaling comparison: 1/2/4 scheduling domains at
+//! fixed aggregate capacity (eight instances) × the three cross-shard
+//! routers, on the mixed trace at medium and high load.
+//!
+//! `PASCAL_BENCH_COUNT` overrides the trace size (the CI smoke step runs a
+//! tiny trace so the experiment wiring cannot rot).
+
+use pascal_bench::{figure_header, trace_count_override};
+use pascal_core::experiments::sharded_scaling::{run, ShardedScalingParams};
+use pascal_core::report::render_table;
+
+fn main() {
+    figure_header(
+        "Shard scaling",
+        "cluster-of-shards partitioning at fixed aggregate capacity (router × shard count)",
+    );
+    let mut params = ShardedScalingParams::default();
+    if let Some(count) = trace_count_override() {
+        params.count = count;
+    }
+    let rows = run(params);
+
+    let opt = |x: Option<f64>| x.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let m = &row.metrics;
+            vec![
+                row.level.clone(),
+                row.predictor.clone(),
+                row.shards.to_string(),
+                if row.shards == 1 {
+                    "-".to_owned()
+                } else {
+                    row.router.to_string()
+                },
+                opt(m.ttft_p50_s),
+                opt(m.ttft_p99_s),
+                format!("{:.1}%", 100.0 * m.slo_violation_rate),
+                format!("{:.0}", m.throughput_tokens_per_s),
+                m.migrations_launched.to_string(),
+                m.migrations_cross_shard.to_string(),
+                format!("{}..{}", row.routed_min, row.routed_max),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "rate",
+                "predictor",
+                "shards",
+                "router",
+                "TTFT p50 (s)",
+                "p99 (s)",
+                "SLO viol",
+                "tok/s",
+                "migr",
+                "cross-shard",
+                "routed min..max",
+            ],
+            &table
+        )
+    );
+}

@@ -128,6 +128,9 @@ pub struct PoolSnapshot {
     pub predicted_kv_bytes: u64,
     /// Free GPU KV blocks across the pool (`None` = unbounded memory).
     pub free_gpu_blocks: Option<u64>,
+    /// High-priority reasoning requests across the pool (`Σ r_i`) — the
+    /// load term the cross-shard router ranks scheduling domains by.
+    pub reasoning_count: u32,
 }
 
 impl PoolSnapshot {
@@ -140,11 +143,13 @@ impl PoolSnapshot {
             kv_bytes: 0,
             predicted_kv_bytes: 0,
             free_gpu_blocks: Some(0),
+            reasoning_count: 0,
         };
         for s in stats {
             if s.slo_ok {
                 snap.slo_healthy_instances += 1;
             }
+            snap.reasoning_count += s.reasoning_count;
             snap.kv_bytes = snap.kv_bytes.saturating_add(s.kv_footprint_bytes);
             snap.predicted_kv_bytes = snap
                 .predicted_kv_bytes
@@ -218,7 +223,7 @@ mod tests {
             instance: 0,
             slo_ok: slo,
             kv_footprint_bytes: kv,
-            reasoning_count: 0,
+            reasoning_count: 2,
             fresh_answering_count: 0,
             gpu_free_blocks: free,
             predicted_future_kv_bytes: pred,
@@ -231,6 +236,7 @@ mod tests {
         assert_eq!(snap.kv_bytes, 300);
         assert_eq!(snap.predicted_kv_bytes, 350);
         assert_eq!(snap.free_gpu_blocks, Some(15));
+        assert_eq!(snap.reasoning_count, 4);
         // One unbounded instance makes the pool unbounded.
         let oracle = PoolSnapshot::aggregate(&[s(true, 0, 0, Some(3)), s(true, 0, 0, None)]);
         assert_eq!(oracle.free_gpu_blocks, None);

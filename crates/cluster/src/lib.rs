@@ -13,7 +13,10 @@
 //! * [`RequestState`] / [`KvLocation`] — per-request runtime state with the
 //!   executed / blocked / preempted wall-time decomposition of Fig. 4/5;
 //! * [`Instance`] / [`InstanceStats`] — the unit of execution and the
-//!   monitor snapshot consumed by the instance-level scheduler (Fig. 6).
+//!   monitor snapshot consumed by the instance-level scheduler (Fig. 6);
+//! * [`Topology`] — the two-tier cluster interconnect: full-bandwidth
+//!   migration fabric within a shard (scheduling domain), a slower
+//!   contended interconnect between shards.
 //!
 //! # Examples
 //!
@@ -35,9 +38,11 @@ mod instance;
 mod kv;
 mod pacer;
 mod state;
+mod topology;
 
 pub use channel::{BandwidthChannel, Fabric};
 pub use instance::{Instance, InstanceStats, PoolSnapshot};
 pub use kv::KvPool;
 pub use pacer::TokenPacer;
 pub use state::{KvLocation, RequestState};
+pub use topology::Topology;

@@ -1,0 +1,169 @@
+//! The two-tier cluster topology: intra-shard fabric, inter-shard
+//! interconnect.
+//!
+//! A *shard* is one scheduling domain — a pool of instances under one
+//! scheduler, connected by the full-bandwidth migration [`Fabric`] of
+//! §V-A. Above the shards sits a second, slower tier: the inter-shard
+//! interconnect that cross-shard migrations ride. [`Topology`] owns that
+//! tier's contention state (one full-duplex port per shard, exactly like
+//! the per-instance NICs of the intra-shard fabric) and exposes the link
+//! specs of both tiers, so the migration controller's cost/benefit test
+//! naturally prices a cross-shard move higher than an intra-shard one:
+//! same bytes, lower bandwidth, higher setup latency.
+
+use pascal_model::LinkSpec;
+use pascal_sim::{SimDuration, SimTime};
+
+use crate::channel::Fabric;
+
+/// The cluster's two-tier interconnect description and the inter-shard
+/// tier's contention state.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_cluster::Topology;
+/// use pascal_model::LinkSpec;
+///
+/// let topo = Topology::two_tier(2, LinkSpec::fabric_100gbps(), LinkSpec::interconnect_25gbps());
+/// let bytes = 512 * 1024 * 1024;
+/// // The slower tier makes the identical transfer strictly more expensive.
+/// assert!(topo.cross_transfer_time(bytes) > topo.intra_link().transfer_time(bytes));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Topology {
+    intra: LinkSpec,
+    /// One full-duplex interconnect port per shard; cross-shard transfers
+    /// hold the source shard's egress and the destination shard's ingress.
+    inter: Fabric,
+}
+
+impl Topology {
+    /// A topology of `shards` scheduling domains whose instances migrate
+    /// over `intra` within a shard and over `inter` across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn two_tier(shards: usize, intra: LinkSpec, inter: LinkSpec) -> Self {
+        assert!(shards > 0, "topology needs at least one shard");
+        Topology {
+            intra,
+            inter: Fabric::new(shards, inter),
+        }
+    }
+
+    /// Number of shards connected by the interconnect tier.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.inter.len()
+    }
+
+    /// The intra-shard migration fabric link.
+    #[must_use]
+    pub fn intra_link(&self) -> LinkSpec {
+        self.intra
+    }
+
+    /// The inter-shard interconnect link.
+    #[must_use]
+    pub fn inter_link(&self) -> LinkSpec {
+        self.inter.link()
+    }
+
+    /// Builds one shard's intra-tier fabric over `instances` NICs.
+    #[must_use]
+    pub fn shard_fabric(&self, instances: usize) -> Fabric {
+        Fabric::new(instances, self.intra)
+    }
+
+    /// Queueing-free service time of a cross-shard transfer — the figure
+    /// the migration cost/benefit test prices a candidate move at.
+    #[must_use]
+    pub fn cross_transfer_time(&self, bytes: u64) -> SimDuration {
+        self.inter.link().transfer_time(bytes)
+    }
+
+    /// Schedules a cross-shard KV migration of `bytes` from `from_shard`
+    /// to `to_shard` submitted at `now`, holding the source's interconnect
+    /// egress and the destination's ingress; returns `(start, finish)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_shard == to_shard` or either index is out of range.
+    pub fn cross_migrate(
+        &mut self,
+        now: SimTime,
+        from_shard: usize,
+        to_shard: usize,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
+        self.inter.migrate(now, from_shard, to_shard, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn topo() -> Topology {
+        Topology::two_tier(3, LinkSpec::new(100.0, 0.0), LinkSpec::new(25.0, 0.0))
+    }
+
+    #[test]
+    fn cross_tier_is_slower_than_intra() {
+        let t = Topology::two_tier(
+            2,
+            LinkSpec::fabric_100gbps(),
+            LinkSpec::interconnect_25gbps(),
+        );
+        for bytes in [0, 1 << 20, 1 << 30] {
+            assert!(t.cross_transfer_time(bytes) > t.intra_link().transfer_time(bytes));
+        }
+    }
+
+    #[test]
+    fn interconnect_contends_on_shared_destination() {
+        let mut t = topo();
+        let (s1, f1) = t.cross_migrate(SimTime::ZERO, 0, 2, 25);
+        let (s2, f2) = t.cross_migrate(SimTime::ZERO, 1, 2, 25);
+        assert_eq!((s1, f1), (SimTime::ZERO, secs(1.0)));
+        assert_eq!((s2, f2), (secs(1.0), secs(2.0)), "ingress serializes");
+    }
+
+    #[test]
+    fn disjoint_shard_pairs_transfer_concurrently() {
+        let mut t = Topology::two_tier(4, LinkSpec::new(100.0, 0.0), LinkSpec::new(25.0, 0.0));
+        let (_, f1) = t.cross_migrate(SimTime::ZERO, 0, 1, 25);
+        let (s2, _) = t.cross_migrate(SimTime::ZERO, 2, 3, 25);
+        assert_eq!(f1, secs(1.0));
+        assert_eq!(s2, SimTime::ZERO);
+    }
+
+    #[test]
+    fn shard_fabric_uses_the_intra_link() {
+        let t = topo();
+        let fabric = t.shard_fabric(4);
+        assert_eq!(fabric.len(), 4);
+        assert_eq!(fabric.link(), t.intra_link());
+        assert_eq!(t.num_shards(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must change instance")]
+    fn same_shard_cross_migration_rejected() {
+        let mut t = topo();
+        let _ = t.cross_migrate(SimTime::ZERO, 1, 1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Topology::two_tier(0, LinkSpec::new(1.0, 0.0), LinkSpec::new(1.0, 0.0));
+    }
+}

@@ -7,7 +7,7 @@
 
 use pascal_model::{GpuSpec, KvGeometry, LinkSpec, LlmSpec, PerfModel};
 use pascal_predict::PredictorKind;
-use pascal_sched::SchedPolicy;
+use pascal_sched::{RouterPolicy, SchedPolicy};
 use pascal_sim::SimDuration;
 use pascal_workload::DatasetMix;
 
@@ -36,8 +36,17 @@ pub struct SimConfig {
     pub llm: LlmSpec,
     /// The per-instance GPU.
     pub gpu: GpuSpec,
-    /// Number of serving instances (the paper's cluster has 8).
+    /// Number of serving instances (the paper's cluster has 8), summed
+    /// over every shard: the aggregate capacity stays fixed as the shard
+    /// count varies. Must divide evenly by [`SimConfig::shards`].
     pub num_instances: usize,
+    /// Number of scheduling domains the instances are partitioned into.
+    /// `1` (the default) reproduces the paper's single-pool engine
+    /// byte-for-byte.
+    pub shards: usize,
+    /// Cross-shard routing discipline at the cluster boundary. Irrelevant
+    /// (and never consulted) when `shards` is 1.
+    pub router: RouterPolicy,
     /// Scheduling policy under test.
     pub policy: SchedPolicy,
     /// KV memory regime.
@@ -48,8 +57,12 @@ pub struct SimConfig {
     pub max_batch: u32,
     /// Maximum prompt tokens batched into one prefill iteration.
     pub prefill_token_budget: u32,
-    /// Inter-node migration fabric.
+    /// Intra-shard inter-node migration fabric.
     pub fabric: LinkSpec,
+    /// Inter-shard interconnect — the slower second tier of the cluster
+    /// [`Topology`](pascal_cluster::Topology) that cross-shard migrations
+    /// ride (and are cost-priced at).
+    pub interconnect: LinkSpec,
     /// Host offload link.
     pub pcie: LinkSpec,
     /// Token pacer target (user reading pace, 100 ms in the paper).
@@ -75,12 +88,15 @@ impl SimConfig {
             llm: LlmSpec::deepseek_r1_distill_qwen_32b(),
             gpu: GpuSpec::h100_96gb(),
             num_instances: 1,
+            shards: 1,
+            router: RouterPolicy::RoundRobin,
             policy,
             kv_capacity,
             block_tokens: 16,
             max_batch: 256,
             prefill_token_budget: 8192,
             fabric: LinkSpec::fabric_100gbps(),
+            interconnect: LinkSpec::interconnect_25gbps(),
             pcie: LinkSpec::pcie5_x16(),
             target_tpot: SimDuration::from_millis(100),
             predictor: None,
@@ -108,6 +124,16 @@ impl SimConfig {
     #[must_use]
     pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// The same deployment partitioned into `shards` scheduling domains
+    /// behind `router`. The instance count stays the aggregate; each shard
+    /// gets `num_instances / shards` of it.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize, router: RouterPolicy) -> Self {
+        self.shards = shards;
+        self.router = router;
         self
     }
 
@@ -165,6 +191,13 @@ impl SimConfig {
     /// Panics on zero-sized fields.
     pub fn validate(&self) {
         assert!(self.num_instances > 0, "need at least one instance");
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(
+            self.num_instances % self.shards == 0,
+            "{} instances do not split evenly into {} shards",
+            self.num_instances,
+            self.shards
+        );
         assert!(self.max_batch > 0, "max_batch must be non-zero");
         assert!(self.block_tokens > 0, "block_tokens must be non-zero");
         assert!(
@@ -332,6 +365,36 @@ mod tests {
         let mid = RateLevel::Medium.rate_rps(&c, &mix);
         let hi = RateLevel::High.rate_rps(&c, &mix);
         assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn with_shards_partitions_the_cluster() {
+        let c = SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
+            .with_shards(4, RouterPolicy::Predictive);
+        c.validate();
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.router, RouterPolicy::Predictive);
+        assert_eq!(c.num_instances, 8, "aggregate capacity is unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "do not split evenly")]
+    fn uneven_shard_partition_rejected() {
+        SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
+            .with_shards(3, RouterPolicy::RoundRobin)
+            .validate();
+    }
+
+    #[test]
+    fn rate_level_parse_errors_list_valid_values() {
+        let err = RateLevel::parse("turbo").expect_err("unknown level");
+        assert!(
+            err.contains("valid: low, medium, high"),
+            "error must list the valid values, got: {err}"
+        );
+        for level in RateLevel::ALL {
+            assert_eq!(RateLevel::parse(level.key()), Ok(level));
+        }
     }
 
     #[test]

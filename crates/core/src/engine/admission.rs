@@ -15,7 +15,7 @@ use pascal_metrics::{AdmissionCounters, AdmissionRecord};
 use pascal_sim::SimTime;
 use pascal_workload::RequestSpec;
 
-use super::Engine;
+use super::Shard;
 
 /// Admission-control mode of a deployment.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,7 +46,7 @@ impl AdmissionMode {
 }
 
 /// Engine-side controller state: mode, pool budget and the rejection log.
-pub(super) struct AdmissionController {
+pub(crate) struct AdmissionController {
     mode: AdmissionMode,
     /// Pool-wide KV byte budget (`None` = unbounded memory, never rejects).
     budget_bytes: Option<u64>,
@@ -114,7 +114,7 @@ impl AdmissionController {
     }
 }
 
-impl Engine<'_> {
+impl Shard<'_> {
     /// Arrival-time admission check against the monitor snapshot the
     /// arrival handler already collected. `true` admits; `false` drops the
     /// arrival before any engine state is created (the request never

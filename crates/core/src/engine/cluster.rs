@@ -1,0 +1,440 @@
+//! The cluster engine: N shards under one global clock, a cross-shard
+//! router at the arrival boundary, and the inter-shard migration path.
+//!
+//! Every shard owns its event queue; the cluster repeatedly fires the
+//! globally earliest event. The interleaving is fully deterministic:
+//!
+//! * at equal timestamps, **arrivals fire before shard events** — exactly
+//!   the order the pre-sharding engine produced, where arrival events were
+//!   enqueued first and therefore carried the lowest sequence numbers;
+//! * ties between shards break by **lowest shard id**;
+//! * within a shard, the [`EventQueue`](pascal_sim::EventQueue)'s
+//!   `(time, sequence)` contract applies.
+//!
+//! With `shards == 1` the router degenerates to "shard 0" and the event
+//! sequence — hence every output byte — matches the pre-sharding engine.
+//!
+//! Cross-shard migration: when a phase transition finds its home shard
+//! saturated — every instance SLO-unhealthy, or none able to hold the
+//! request's KV — the shard records an *escape candidate* instead of
+//! acting locally (an intra-shard `MigrateTo` inside a fully unhealthy
+//! shard is kept as the candidate's fallback). The cluster evaluates it
+//! right after the triggering iteration — before the instance relaunches
+//! — by ranking sibling shards ([`cross_shard_escape_target`]), picking a
+//! landing instance with the destination shard's own Algorithm 2 ranking,
+//! pricing the transfer at the two-tier [`Topology`]'s interconnect
+//! (slower, so the predictive cost/benefit veto fires sooner than
+//! intra-shard), and launching the KV over the contended inter-shard
+//! link; every failure path executes the deferred intra-shard fallback.
+
+use pascal_cluster::{KvLocation, PoolSnapshot, Topology};
+use pascal_metrics::MigrationRecord;
+use pascal_sched::{cross_shard_escape_target, MigrationCost, SchedPolicy};
+use pascal_sim::SimTime;
+use pascal_workload::{RequestId, Trace};
+
+use crate::config::SimConfig;
+
+use super::{context_kv_bytes, EscapeCandidate, Event, Shard, SimOutput};
+
+/// The cluster of shards and its global clock.
+pub(crate) struct Engine<'a> {
+    trace: &'a Trace,
+    config: &'a SimConfig,
+    pub(super) shards: Vec<Shard<'a>>,
+    topology: Topology,
+    /// Trace indices in arrival order — `(arrival, index)`-sorted, the
+    /// same total order the pre-sharding event queue popped arrivals in.
+    arrival_order: Vec<usize>,
+    next_arrival: usize,
+    /// Round-robin router state.
+    router_cursor: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
+        config.validate();
+        let geometry = config.geometry();
+        if let Some(cap) = config.kv_capacity_bytes() {
+            let cap_blocks = geometry.blocks_in(cap);
+            for r in trace.requests() {
+                let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
+                assert!(
+                    worst <= cap_blocks,
+                    "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
+                     raise capacity or shrink the request",
+                    r.id
+                );
+            }
+        }
+
+        let per_shard = config.num_instances / config.shards;
+        let shards = (0..config.shards)
+            .map(|s| Shard::new(trace, config, s as u32, per_shard))
+            .collect();
+
+        let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
+        arrival_order.sort_by_key(|&i| (trace.requests()[i].arrival, i));
+
+        Engine {
+            trace,
+            config,
+            shards,
+            topology: Topology::two_tier(config.shards, config.fabric, config.interconnect),
+            arrival_order,
+            next_arrival: 0,
+            router_cursor: 0,
+        }
+    }
+
+    /// Fires the globally earliest pending event (arrivals win ties, then
+    /// lowest shard id). Returns `false` once the cluster has drained.
+    pub(super) fn step(&mut self) -> bool {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let mut shard_ev: Option<(SimTime, usize)> = None;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(t) = shard.queue.peek_time() {
+                if shard_ev.is_none_or(|(best, _)| t < best) {
+                    shard_ev = Some((t, s));
+                }
+            }
+        }
+        match (arrival, shard_ev) {
+            (None, None) => false,
+            (Some(at), shard) if shard.is_none_or(|(t, _)| at <= t) => {
+                self.deliver_arrival(at);
+                true
+            }
+            (_, Some((_, s))) => {
+                let (now, ev) = self.shards[s].queue.pop().expect("peeked event exists");
+                self.dispatch(s, ev, now);
+                true
+            }
+            (Some(_), None) => unreachable!("arrival case handled by the guard above"),
+        }
+    }
+
+    /// Routes the next trace arrival to a shard and delivers it. For
+    /// load-aware routers the monitor sweep of the chosen shard is handed
+    /// to the arrival handler so it is not repeated at the same timestamp;
+    /// load-oblivious routing skips the sweep entirely.
+    fn deliver_arrival(&mut self, now: SimTime) {
+        let idx = self.arrival_order[self.next_arrival];
+        self.next_arrival += 1;
+        if self.shards.len() == 1 {
+            self.shards[0].on_arrival(idx, now, None);
+            return;
+        }
+        if !self.config.router.needs_pool_state() {
+            let shard =
+                pascal_sched::RouterPolicy::rotate(self.shards.len(), &mut self.router_cursor);
+            self.shards[shard].on_arrival(idx, now, None);
+            return;
+        }
+        let mut all_stats: Vec<_> = self.shards.iter().map(|sh| sh.collect_stats(now)).collect();
+        let pools: Vec<PoolSnapshot> = all_stats
+            .iter()
+            .map(|stats| PoolSnapshot::aggregate(stats))
+            .collect();
+        let shard = self.config.router.route(&pools, &mut self.router_cursor);
+        self.shards[shard].on_arrival(idx, now, Some(all_stats.swap_remove(shard)));
+    }
+
+    /// Routes one event to its handler. Iteration completions are split so
+    /// cross-shard escapes are evaluated after tokens (and phase
+    /// transitions) land but before the instance relaunches — the same
+    /// point in the event order where intra-shard migrations launch.
+    fn dispatch(&mut self, s: usize, ev: Event, now: SimTime) {
+        match ev {
+            Event::IterationDone { instance } => {
+                self.shards[s].finish_iteration(instance, now);
+                self.drain_escapes(s, now);
+                self.shards[s].try_schedule(instance, now);
+            }
+            Event::OffloadDone { req } => self.shards[s].on_offload_done(req, now),
+            Event::ReloadDone { req } => self.shards[s].on_reload_done(req, now),
+            Event::MigrationDone { req, to } => self.shards[s].on_migration_done(req, to, now),
+            Event::CrossShardDone {
+                req,
+                to_shard,
+                to_instance,
+            } => self.on_cross_shard_done(s, req, to_shard as usize, to_instance, now),
+        }
+    }
+
+    /// Evaluates the escape candidates shard `s` queued during the
+    /// iteration that just finished.
+    fn drain_escapes(&mut self, s: usize, now: SimTime) {
+        if self.shards.len() == 1 {
+            debug_assert!(self.shards[s].cross_escape_outbox.is_empty());
+            return;
+        }
+        let candidates = std::mem::take(&mut self.shards[s].cross_escape_outbox);
+        for candidate in candidates {
+            self.consider_cross_escape(s, candidate, now);
+        }
+    }
+
+    /// The escape could not (or should not) cross shards: execute the
+    /// intra-shard destination Algorithm 2 had picked at the transition,
+    /// if there was one.
+    fn escape_fallback(&mut self, from: usize, candidate: EscapeCandidate, now: SimTime) {
+        if let Some(dest) = candidate.intra_fallback {
+            self.shards[from].launch_deferred_migration(candidate.req, dest, now);
+        }
+    }
+
+    /// One cross-shard migration decision: sibling-shard ranking, landing
+    /// instance, interconnect-priced cost/benefit veto, reservation,
+    /// launch. Every failure path falls back to the candidate's deferred
+    /// intra-shard move (when it has one).
+    fn consider_cross_escape(&mut self, from: usize, candidate: EscapeCandidate, now: SimTime) {
+        let id = candidate.req;
+        // The escape was queued at the phase transition; the KV must still
+        // be resident and idle (nothing reschedules between the transition
+        // and this drain, but stay defensive — a stale candidate is a
+        // no-op, never a crash).
+        let Some(st) = self.shards[from].states.get(&id) else {
+            return;
+        };
+        if st.running || st.kv_location != KvLocation::Gpu {
+            return;
+        }
+
+        let pools: Vec<PoolSnapshot> = self
+            .shards
+            .iter()
+            .map(|sh| PoolSnapshot::aggregate(&sh.collect_stats(now)))
+            .collect();
+        let Some(dest) = cross_shard_escape_target(&pools, from) else {
+            return self.escape_fallback(from, candidate, now);
+        };
+        self.shards[from]
+            .migration_ctl
+            .outcomes
+            .cross_shard_considered += 1;
+
+        let (needed, bytes, predicted_remaining) = {
+            let sh = &self.shards[from];
+            let st = &sh.states[&id];
+            (
+                sh.geometry.blocks_for_tokens(st.tokens_needed_next()),
+                context_kv_bytes(&sh.geometry, st),
+                sh.predictor
+                    .as_ref()
+                    .and_then(|p| p.predicted_remaining_tokens(&st.spec, st.tokens_generated)),
+            )
+        };
+
+        // Landing instance by the destination shard's own Algorithm 2
+        // ranking (adaptive: must fit right now).
+        let dest_stats = self.shards[dest].collect_stats(now);
+        let policy = self.shards[from].policy;
+        let Some(to_local) = policy.cross_shard_instance(needed, &dest_stats) else {
+            self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
+            return self.escape_fallback(from, candidate, now);
+        };
+
+        // The cost/benefit test at the interconnect's (higher) price. A
+        // veto here only rules out the expensive tier: the deferred
+        // intra-shard move (which passed the cheaper intra-priced test at
+        // the transition) still executes.
+        let cost = self.shards[from]
+            .migration_ctl
+            .predictive()
+            .filter(|_| self.shards[from].predictor.is_some())
+            .map(|p| MigrationCost {
+                transfer_time: self.topology.cross_transfer_time(bytes),
+                predicted_remaining_service: predicted_remaining
+                    .map(|tokens| self.config.target_tpot.mul_f64(tokens)),
+                min_benefit_ratio: p.min_benefit_ratio,
+            });
+        if cost.is_some_and(|c| c.vetoes()) {
+            self.shards[from]
+                .migration_ctl
+                .outcomes
+                .cross_shard_vetoed_by_cost += 1;
+            return self.escape_fallback(from, candidate, now);
+        }
+
+        // Adaptive reservation on the destination (race-free Fig. 7 form,
+        // cross-shard edition), recorded in the destination shard's ledger
+        // so landing consumes it from the shard that holds the blocks.
+        // NonAdaptive launches blindly and may land in the destination's
+        // CPU pool.
+        if self.shards[dest].instances[to_local as usize]
+            .inst
+            .gpu
+            .try_alloc(needed)
+        {
+            self.shards[dest]
+                .migration_ctl
+                .reservations
+                .insert(id, needed);
+        } else if policy.adaptive_migration() {
+            self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
+            return self.escape_fallback(from, candidate, now);
+        }
+
+        let (_, finish) = self.topology.cross_migrate(now, from, dest, bytes);
+        let to_global = self.shards[dest].global_instance(to_local);
+        {
+            let sh = &mut self.shards[from];
+            let st = sh.states.get_mut(&id).expect("escaping request");
+            st.kv_location = KvLocation::Migrating;
+            st.resident_since = None;
+            let from_global = sh.offset + st.instance;
+            st.migration = Some(MigrationRecord {
+                from_instance: from_global,
+                to_instance: to_global,
+                started: now,
+                finished: finish,
+                bytes,
+                stall: None,
+                predicted_remaining_tokens: predicted_remaining,
+                actual_remaining_tokens: st.spec.output_tokens() - st.tokens_generated,
+            });
+            sh.migration_ctl.outcomes.launched += 1;
+            sh.migration_ctl.outcomes.bytes_moved += bytes;
+            sh.migration_ctl.outcomes.cross_shard_launched += 1;
+            sh.migration_ctl.outcomes.cross_shard_bytes_moved += bytes;
+            sh.queue.schedule(
+                finish,
+                Event::CrossShardDone {
+                    req: id,
+                    to_shard: dest as u32,
+                    to_instance: to_local,
+                },
+            );
+        }
+    }
+
+    /// A cross-shard transfer cleared the interconnect: free the source
+    /// side, hand the request state to the destination shard, land the KV.
+    fn on_cross_shard_done(
+        &mut self,
+        from: usize,
+        req: RequestId,
+        to_shard: usize,
+        to_local: u32,
+        now: SimTime,
+    ) {
+        let (mut st, from_local) = {
+            let sh = &mut self.shards[from];
+            let mut st = sh.states.remove(&req).expect("cross-migrating request");
+            assert_eq!(st.kv_location, KvLocation::Migrating);
+            let from_local = st.instance;
+            sh.instances[from_local as usize]
+                .inst
+                .gpu
+                .free(st.held_gpu_blocks);
+            sh.instances[from_local as usize].inst.members.remove(&req);
+            st.held_gpu_blocks = 0;
+            (st, from_local)
+        };
+
+        let sh = &mut self.shards[to_shard];
+        let to_global = sh.global_instance(to_local);
+        st.instance = to_local;
+        st.instances_visited.push(to_global);
+        sh.instances[to_local as usize].inst.members.insert(req);
+        sh.states.insert(req, st);
+        sh.cross_shard_in += 1;
+        // The landing tail — reservation consume / allocate / CPU-pool
+        // fallback — is the same mechanism as an intra-shard migration,
+        // applied on the destination shard (whose ledger holds the
+        // reservation made at launch).
+        sh.land_migration(req, to_local, now);
+        self.shards[from].try_schedule(from_local, now);
+        self.shards[to_shard].try_schedule(to_local, now);
+    }
+
+    pub(crate) fn run(mut self) -> SimOutput {
+        while self.step() {}
+        for sh in &self.shards {
+            assert!(
+                sh.states.is_empty(),
+                "shard {} drained with {} unfinished requests (deadlock)",
+                sh.id,
+                sh.states.len()
+            );
+        }
+        for sh in &self.shards {
+            assert!(
+                sh.migration_ctl.reservations.is_empty(),
+                "shard {} drained with leaked migration reservations",
+                sh.id
+            );
+        }
+
+        // Only PASCAL consumes predictions (demotion, placement); under
+        // the baselines a predictor is purely observational — calibration
+        // samples are still logged, but the run's behavior is identical to
+        // the plain policy, and the name must say so. Active controllers
+        // tag the name so paired comparisons stay legible.
+        let lead = &self.shards[0];
+        let mut policy_name = match (&lead.predictor, &lead.policy) {
+            (Some(p), SchedPolicy::Pascal(_)) => {
+                if lead.migration_ctl.predictive().is_some() {
+                    format!(
+                        "{}(Predictive-{}, CostAwareMigration)",
+                        lead.policy.name(),
+                        p.name()
+                    )
+                } else {
+                    format!("{}(Predictive-{})", lead.policy.name(), p.name())
+                }
+            }
+            _ => lead.policy.name().to_owned(),
+        };
+        if lead.admission_ctl.enabled() {
+            policy_name.push_str("+PredictiveAdmission");
+        }
+
+        let shard_stats: Vec<_> = self.shards.iter().map(Shard::shard_stats).collect();
+        let mut migration_outcomes = pascal_metrics::MigrationOutcomes::default();
+        let mut admission = pascal_metrics::AdmissionCounters::default();
+        for row in &shard_stats {
+            migration_outcomes.absorb(&row.migrations);
+            admission.absorb(&row.admission);
+        }
+
+        let mut records = Vec::new();
+        let mut peak_gpu_kv_bytes = Vec::new();
+        let mut predictions = Vec::new();
+        let mut rejections = Vec::new();
+        for sh in self.shards {
+            records.extend(sh.records);
+            peak_gpu_kv_bytes.extend(
+                sh.instances
+                    .iter()
+                    .map(|i| i.inst.gpu.peak_used_blocks() * sh.geometry.block_bytes()),
+            );
+            predictions.extend(sh.prediction_samples);
+            rejections.extend(sh.admission_ctl.rejections);
+        }
+        records.sort_by_key(|r| r.spec.id);
+        predictions.sort_by_key(|p| p.id);
+        rejections.sort_by_key(|r| (r.at, r.id));
+        let makespan = records
+            .iter()
+            .map(|r| r.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+
+        SimOutput {
+            records,
+            peak_gpu_kv_bytes,
+            makespan,
+            policy_name,
+            predictions,
+            migration_outcomes,
+            admission,
+            rejections,
+            shard_stats,
+        }
+    }
+}

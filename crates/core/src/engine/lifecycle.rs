@@ -12,16 +12,24 @@ use pascal_model::DecodeBatch;
 use pascal_sim::SimTime;
 use pascal_workload::{Phase, RequestId};
 
-use super::{context_kv_bytes, Engine, Event, IterationKind};
+use super::{context_kv_bytes, Event, IterationKind, Shard};
 
-impl Engine<'_> {
+impl Shard<'_> {
     // ----- arrival + token/phase machinery --------------------------------
 
-    pub(super) fn on_arrival(&mut self, idx: usize, now: SimTime) {
+    /// Handles a routed arrival. `stats` is this shard's monitor snapshot
+    /// when the caller (the cluster router) already swept it at `now`;
+    /// `None` collects it here. Either way one sweep serves both the
+    /// admission projection and placement (nothing mutates between them).
+    pub(super) fn on_arrival(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        stats: Option<Vec<pascal_cluster::InstanceStats>>,
+    ) {
         let spec = self.trace.requests()[idx].clone();
-        // One monitor sweep serves both the admission projection and
-        // placement (nothing mutates between them).
-        let stats = self.collect_stats(now);
+        self.routed_arrivals += 1;
+        let stats = stats.unwrap_or_else(|| self.collect_stats(now));
         if !self.admission_check(&spec, &stats, now) {
             return;
         }
@@ -52,12 +60,21 @@ impl Engine<'_> {
             }
         }
         let id = state.spec.id;
+        // Records carry global instance ids; a one-shard cluster has
+        // offset 0 and this is the identity.
+        state.instances_visited[0] = self.global_instance(target);
         self.instances[target as usize].inst.members.insert(id);
         self.states.insert(id, state);
         self.try_schedule(target, now);
     }
 
-    pub(super) fn on_iteration_done(&mut self, instance: u32, now: SimTime) {
+    /// Ends the in-flight iteration on `instance`: closes the batch and
+    /// emits one token per member (firing phase transitions and
+    /// completions). The caller — the cluster dispatcher — follows up with
+    /// [`Shard::try_schedule`] after it has drained any cross-shard
+    /// escapes the transitions queued, so an escaping request cannot be
+    /// relaunched underneath its own migration decision.
+    pub(super) fn finish_iteration(&mut self, instance: u32, now: SimTime) {
         let batch = std::mem::take(&mut self.instances[instance as usize].current_batch);
         let kind = self.instances[instance as usize].current_kind;
         self.instances[instance as usize].inst.compute_busy = false;
@@ -72,7 +89,6 @@ impl Engine<'_> {
             }
             self.emit_token(id, now);
         }
-        self.try_schedule(instance, now);
     }
 
     pub(super) fn on_offload_done(&mut self, req: RequestId, now: SimTime) {

@@ -18,7 +18,7 @@ use pascal_sched::{MigrationCost, MigrationDecision};
 use pascal_sim::SimTime;
 use pascal_workload::{Phase, RequestId};
 
-use super::{context_kv_bytes, Engine, Event};
+use super::{context_kv_bytes, EscapeCandidate, Event, Shard};
 
 /// Cost/benefit configuration of predictive migration.
 ///
@@ -45,11 +45,13 @@ impl Default for PredictiveMigration {
 }
 
 /// Engine-side controller state: reservation ledger plus outcome tally.
-pub(super) struct MigrationController {
+pub(crate) struct MigrationController {
     predictive: Option<PredictiveMigration>,
     /// GPU blocks pre-reserved on a migration destination, keyed by the
-    /// migrating request.
-    reservations: HashMap<RequestId, u64>,
+    /// migrating request. Cross-shard escapes reserve in the *destination*
+    /// shard's ledger, so landing always consumes from the shard that
+    /// holds the blocks.
+    pub(super) reservations: HashMap<RequestId, u64>,
     pub(super) outcomes: MigrationOutcomes,
 }
 
@@ -74,7 +76,7 @@ impl MigrationController {
     }
 }
 
-impl Engine<'_> {
+impl Shard<'_> {
     /// A request just produced its boundary token: flip it into the
     /// answering phase and let the controller decide whether its KV moves.
     pub(super) fn on_phase_transition(&mut self, id: RequestId, now: SimTime) {
@@ -105,18 +107,67 @@ impl Engine<'_> {
         let stats = self.collect_stats(now);
         let cost = self.migration_cost(id, predicted_remaining);
         self.migration_ctl.outcomes.considered += 1;
+        // A saturated shard — every instance SLO-unhealthy (Algorithm 2
+        // runs on its all-unhealthy fallback), or no instance able to hold
+        // this request's KV right now (the memory pressure behind the
+        // Fig. 7 override) — escalates the decision to the cluster: the
+        // request becomes a cross-shard escape candidate, re-evaluated at
+        // shard granularity over the slower interconnect once this
+        // iteration's transitions have all landed. A `MigrateTo` inside a
+        // fully unhealthy shard would only shuffle KV between two
+        // saturated instances, so it defers too — keeping its destination
+        // as the intra-shard fallback in case no sibling shard can take
+        // the request.
+        let can_escape = self.cross_shard_enabled
+            && matches!(
+                self.policy,
+                pascal_sched::SchedPolicy::Pascal(c) if c.migration_enabled
+            );
+        let all_unhealthy = !stats.iter().any(|s| s.slo_ok);
         match self
             .policy
             .predictive_migration_decision(current, needed_blocks, &stats, cost)
         {
-            MigrationDecision::Stay => {}
+            MigrationDecision::Stay => {
+                let saturated =
+                    all_unhealthy || !stats.iter().any(|s| s.fits_blocks(needed_blocks));
+                if can_escape && saturated {
+                    self.cross_escape_outbox.push(EscapeCandidate {
+                        req: id,
+                        intra_fallback: None,
+                    });
+                }
+            }
             MigrationDecision::VetoedByCost(_) => {
+                // The cheaper intra-shard move already failed the cost
+                // test; the pricier interconnect cannot pass it either.
                 self.migration_ctl.outcomes.vetoed_by_cost += 1;
+            }
+            MigrationDecision::MigrateTo(dest) if can_escape && all_unhealthy => {
+                self.cross_escape_outbox.push(EscapeCandidate {
+                    req: id,
+                    intra_fallback: Some(dest),
+                });
             }
             MigrationDecision::MigrateTo(dest) => {
                 self.start_migration(id, dest, predicted_remaining, now);
             }
         }
+    }
+
+    /// Executes a deferred intra-shard migration — the fallback when a
+    /// cross-shard escape found no sibling shard to land on. The decision
+    /// (`dest`) was made at the phase transition; only the launch was
+    /// deferred, so the controller re-derives the predictor's
+    /// remaining-service view and launches as usual.
+    pub(super) fn launch_deferred_migration(&mut self, id: RequestId, dest: u32, now: SimTime) {
+        let predicted_remaining = {
+            let st = &self.states[&id];
+            self.predictor
+                .as_ref()
+                .and_then(|p| p.predicted_remaining_tokens(&st.spec, st.tokens_generated))
+        };
+        self.start_migration(id, dest, predicted_remaining, now);
     }
 
     /// Cost/benefit inputs for `id`'s migration decision, or `None` when
@@ -171,8 +222,8 @@ impl Engine<'_> {
         {
             let st = self.states.get_mut(&id).expect("migrating request");
             st.migration = Some(MigrationRecord {
-                from_instance: from,
-                to_instance: dest,
+                from_instance: self.offset + from,
+                to_instance: self.offset + dest,
                 started: now,
                 finished: finish,
                 bytes,
@@ -198,14 +249,30 @@ impl Engine<'_> {
         self.instances[from as usize].inst.gpu.free(gpu_blocks);
         self.instances[from as usize].inst.members.remove(&req);
 
-        let needed = {
+        {
+            let global = self.global_instance(to);
             let st = self.states.get_mut(&req).expect("migrating request exists");
             st.instance = to;
-            st.instances_visited.push(to);
-            self.geometry.blocks_for_tokens(st.tokens_needed_next())
-        };
+            st.instances_visited.push(global);
+        }
         self.instances[to as usize].inst.members.insert(req);
+        self.land_migration(req, to, now);
+        self.try_schedule(from, now);
+        self.try_schedule(to, now);
+    }
 
+    /// Lands a migrated KV cache on `instance` of this shard — the shared
+    /// tail of intra- and cross-shard transfers. Consumes the reservation
+    /// made at launch time if one exists; otherwise tries to allocate on
+    /// arrival; otherwise the KV falls into the destination's CPU pool and
+    /// the request must wait for a reload — the stall the adaptive
+    /// migration policy exists to avoid (Fig. 7, Fig. 15). The request
+    /// must already be a member of `instance` with its state in this
+    /// shard's map.
+    pub(super) fn land_migration(&mut self, req: RequestId, instance: u32, now: SimTime) {
+        let needed = self
+            .geometry
+            .blocks_for_tokens(self.states[&req].tokens_needed_next());
         if let Some(reserved) = self.migration_ctl.reservations.remove(&req) {
             // Blocks were reserved when the transfer launched; no tokens were
             // generated in flight, so the reservation is still exact.
@@ -214,21 +281,15 @@ impl Engine<'_> {
             st.held_gpu_blocks = reserved;
             st.kv_location = KvLocation::Gpu;
             st.resident_since = Some(now);
-            self.try_schedule(from, now);
-            self.try_schedule(to, now);
             return;
         }
-
-        let dest = &mut self.instances[to as usize].inst;
+        let dest = &mut self.instances[instance as usize].inst;
         if dest.gpu.try_alloc(needed) {
             let st = self.states.get_mut(&req).expect("migrating request exists");
             st.held_gpu_blocks = needed;
             st.kv_location = KvLocation::Gpu;
             st.resident_since = Some(now);
         } else {
-            // Destination has no room: the KV lands in its CPU pool and the
-            // request must wait for a reload — the stall the adaptive
-            // migration policy exists to avoid (Fig. 7, Fig. 15).
             self.migration_ctl.outcomes.landed_in_cpu += 1;
             let cpu_blocks = {
                 let st = self.states.get_mut(&req).expect("migrating request exists");
@@ -239,8 +300,6 @@ impl Engine<'_> {
             };
             dest.cpu.alloc(cpu_blocks);
         }
-        self.try_schedule(from, now);
-        self.try_schedule(to, now);
     }
 
     /// First execution after a migration landed: stamp the stall (landing →

@@ -1,9 +1,10 @@
-//! The multi-instance serving engine.
+//! The sharded multi-instance serving engine.
 //!
 //! An iteration-level discrete-event simulation of vLLM-style continuous
-//! batching (§II-B) across a pool of GPU instances, parameterized by a
-//! [`SchedPolicy`]. The engine owns the single mechanism all three
-//! schedulers share:
+//! batching (§II-B), organized as a **cluster of shards**. A [`Shard`] is
+//! one scheduling domain — an instance pool plus its own event queue,
+//! controllers and predictor state — running the single mechanism all
+//! three schedulers share:
 //!
 //! 1. every time an instance is idle, sort its requests by the policy's
 //!    priority key and grant GPU KV residency to the longest prefix that
@@ -18,11 +19,27 @@
 //!    migration for PASCAL), completions free memory.
 //!
 //! Instance-level placement (Algorithm 1 / smallest-footprint) happens at
-//! arrival events; KV migrations ride the fabric with ingress/egress
-//! contention (§V-C).
+//! arrival events; KV migrations ride the intra-shard fabric with
+//! ingress/egress contention (§V-C).
 //!
-//! The engine is assembled from four cohesive components, one per
-//! submodule:
+//! The cluster-level [`Engine`](cluster) drives N shards under one global
+//! clock: each event carries its shard, the earliest event fires next, and
+//! ties are broken by shard id — so a one-shard cluster replays the exact
+//! event sequence of the pre-sharding engine, byte for byte. Above the
+//! shards sit the cluster-boundary mechanisms:
+//!
+//! * the **router** (`pascal_sched::RouterPolicy`) pins every arrival to a
+//!   shard from per-shard [`PoolSnapshot`](pascal_cluster::PoolSnapshot)s
+//!   before the shard's Algorithm 1 picks an instance;
+//! * the **cross-shard escape**: when a phase transition finds its home
+//!   shard saturated (no SLO-healthy instance, or no instance that can
+//!   hold the KV), Algorithm 2 is lifted to shard granularity and the KV
+//!   may migrate over the two-tier
+//!   [`Topology`](pascal_cluster::Topology)'s slower interconnect — which
+//!   the predictive cost/benefit veto prices accordingly, falling back to
+//!   the deferred intra-shard move when no sibling can take the request.
+//!
+//! The per-shard components live one per submodule:
 //!
 //! * [`lifecycle`](self) — the per-request state machine: arrival →
 //!   prefill → reasoning → answering → completion, including the
@@ -34,19 +51,21 @@
 //!   and landing;
 //! * [`admission`](self) — the [`AdmissionController`](admission):
 //!   predictive SLO admission control that rejects arrivals at predicted
-//!   aggregate KV overload instead of letting the pacers starve;
+//!   shard KV overload instead of letting the pacers starve;
 //! * [`stats`](self) — the instance-monitor sweep producing the
-//!   [`InstanceStats`] snapshots Algorithms 1 and 2 consume.
+//!   [`InstanceStats`] snapshots Algorithms 1 and 2 consume;
+//! * [`cluster`](self) — the global clock, the router, and the
+//!   cross-shard migration path.
 //!
-//! Both controllers default to off, in which case a run is byte-identical
-//! to the paper's reactive scheduler.
+//! Both controllers default to off and `shards` defaults to 1, in which
+//! case a run is byte-identical to the paper's reactive scheduler.
 
 use std::collections::HashMap;
 
 use pascal_cluster::{Instance, RequestState};
 use pascal_metrics::{
     AdmissionCounters, AdmissionRecord, CalibrationReport, MigrationOutcomes, MigrationRecord,
-    PredictionSample, RequestRecord,
+    PredictionSample, RequestRecord, ShardStats,
 };
 use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
@@ -57,6 +76,7 @@ use pascal_workload::{RequestId, Trace};
 use crate::config::SimConfig;
 
 mod admission;
+mod cluster;
 mod lifecycle;
 mod migration;
 mod stats;
@@ -67,21 +87,32 @@ pub use admission::AdmissionMode;
 pub use migration::PredictiveMigration;
 
 use admission::AdmissionController;
+pub(crate) use cluster::Engine;
 use migration::MigrationController;
 
-/// Events driving the engine.
+/// Events driving a shard. Arrivals are not queue events: the cluster
+/// routes them straight off the trace (see [`cluster`]).
+// Every queued event marks a completion, so the shared postfix is the
+// honest name, not noise.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug)]
 pub(super) enum Event {
-    /// A request from the trace arrives (index into the trace).
-    Arrival(usize),
     /// The in-flight iteration on an instance finished.
     IterationDone { instance: u32 },
     /// A preemption offload finished; KV now lives in CPU memory.
     OffloadDone { req: RequestId },
     /// A reload finished; KV is GPU-resident again.
     ReloadDone { req: RequestId },
-    /// A phase-boundary migration landed on its destination.
+    /// An intra-shard phase-boundary migration landed on its destination.
     MigrationDone { req: RequestId, to: u32 },
+    /// A cross-shard migration cleared the interconnect; the cluster hands
+    /// the request from this shard to `to_shard`. (Scheduled on the source
+    /// shard's queue so the source frees its KV exactly at landing time.)
+    CrossShardDone {
+        req: RequestId,
+        to_shard: u32,
+        to_instance: u32,
+    },
 }
 
 /// What kind of iteration an instance is running.
@@ -91,12 +122,23 @@ pub(super) enum IterationKind {
     Decode,
 }
 
+/// A phase transition that escalated to the cluster: its shard was
+/// saturated, so the migration decision defers to the cross-shard path.
+/// `intra_fallback` carries the intra-shard destination Algorithm 2 had
+/// picked (if any) — executed when no sibling shard can take the request.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct EscapeCandidate {
+    pub(super) req: RequestId,
+    pub(super) intra_fallback: Option<u32>,
+}
+
 /// Result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimOutput {
     /// One record per completed request, ordered by request id.
     pub records: Vec<RequestRecord>,
-    /// Peak GPU KV usage per instance, in bytes.
+    /// Peak GPU KV usage per instance, in bytes (shard-major order, so
+    /// index = global instance id).
     pub peak_gpu_kv_bytes: Vec<u64>,
     /// Time of the last completion.
     pub makespan: SimTime,
@@ -105,13 +147,15 @@ pub struct SimOutput {
     /// One predicted-vs-actual sample per admitted request, ordered by
     /// request id — empty when no length predictor was configured.
     pub predictions: Vec<PredictionSample>,
-    /// Decision tally of the migration controller.
+    /// Decision tally of the migration controllers, summed over shards.
     pub migration_outcomes: MigrationOutcomes,
-    /// Decision tally of the admission controller.
+    /// Decision tally of the admission controllers, summed over shards.
     pub admission: AdmissionCounters,
     /// Arrivals rejected by admission control, in arrival order — empty
     /// unless [`AdmissionMode::Predictive`] was configured.
     pub rejections: Vec<AdmissionRecord>,
+    /// One row per scheduling domain (a single row when `shards` is 1).
+    pub shard_stats: Vec<ShardStats>,
 }
 
 impl SimOutput {
@@ -151,150 +195,110 @@ pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimOutput {
     Engine::new(trace, config).run()
 }
 
-pub(super) struct Engine<'a> {
-    trace: &'a Trace,
-    config: &'a SimConfig,
-    policy: SchedPolicy,
-    perf: PerfModel,
-    geometry: KvGeometry,
-    queue: EventQueue<Event>,
-    instances: Vec<InstanceRt>,
-    fabric: pascal_cluster::Fabric,
-    states: HashMap<RequestId, RequestState>,
-    migration_ctl: MigrationController,
-    admission_ctl: AdmissionController,
-    records: Vec<RequestRecord>,
-    /// Online length predictor (fresh state per run); fed every completion.
-    predictor: Option<Box<dyn LengthPredictor>>,
-    prediction_samples: Vec<PredictionSample>,
+/// One scheduling domain: an instance pool with its own event queue,
+/// controllers, and (fresh) predictor state.
+pub(super) struct Shard<'a> {
+    /// Shard index within the cluster.
+    pub(super) id: u32,
+    /// Global id of this shard's first instance; instance indices inside
+    /// the shard are local, records carry `offset + local`.
+    pub(super) offset: u32,
+    /// Whether the cluster has sibling shards to escape to.
+    pub(super) cross_shard_enabled: bool,
+    pub(super) trace: &'a Trace,
+    pub(super) config: &'a SimConfig,
+    pub(super) policy: SchedPolicy,
+    pub(super) perf: PerfModel,
+    pub(super) geometry: KvGeometry,
+    pub(super) queue: EventQueue<Event>,
+    pub(super) instances: Vec<InstanceRt>,
+    pub(super) fabric: pascal_cluster::Fabric,
+    pub(super) states: HashMap<RequestId, RequestState>,
+    pub(super) migration_ctl: MigrationController,
+    pub(super) admission_ctl: AdmissionController,
+    pub(super) records: Vec<RequestRecord>,
+    /// Online length predictor (fresh state per shard per run); fed every
+    /// completion that lands on this shard.
+    pub(super) predictor: Option<Box<dyn LengthPredictor>>,
+    pub(super) prediction_samples: Vec<PredictionSample>,
+    /// Arrivals the router pinned here.
+    pub(super) routed_arrivals: u64,
+    /// Requests that migrated in over the interconnect.
+    pub(super) cross_shard_in: u64,
+    /// Phase transitions that found the shard saturated — drained by the
+    /// cluster right after the triggering iteration, before the instance
+    /// relaunches.
+    pub(super) cross_escape_outbox: Vec<EscapeCandidate>,
 }
 
 /// Engine-side per-instance runtime extension.
 pub(super) struct InstanceRt {
-    inst: Instance,
-    current_batch: Vec<RequestId>,
-    current_kind: IterationKind,
+    pub(super) inst: Instance,
+    pub(super) current_batch: Vec<RequestId>,
+    pub(super) current_kind: IterationKind,
 }
 
-impl<'a> Engine<'a> {
-    pub(super) fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
-        config.validate();
+impl<'a> Shard<'a> {
+    /// Builds shard `id` with `instances` instances (local ids `0..n`,
+    /// global ids `offset..offset + n`).
+    pub(super) fn new(trace: &'a Trace, config: &'a SimConfig, id: u32, instances: usize) -> Self {
         let perf = config.perf_model();
         let geometry = config.geometry();
         let capacity = config.kv_capacity_bytes();
-
-        if let Some(cap) = capacity {
-            let cap_blocks = geometry.blocks_in(cap);
-            for r in trace.requests() {
-                let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
-                assert!(
-                    worst <= cap_blocks,
-                    "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
-                     raise capacity or shrink the request",
-                    r.id
-                );
-            }
-        }
-
-        let mut queue = EventQueue::new();
-        for (i, r) in trace.requests().iter().enumerate() {
-            queue.schedule(r.arrival, Event::Arrival(i));
-        }
-
-        let instances = (0..config.num_instances)
+        let rt = (0..instances)
             .map(|i| InstanceRt {
                 inst: Instance::new(i as u32, geometry, capacity, config.pcie),
                 current_batch: Vec::new(),
                 current_kind: IterationKind::Decode,
             })
             .collect();
-
-        Engine {
+        Shard {
+            id,
+            offset: id * instances as u32,
+            cross_shard_enabled: config.shards > 1,
             trace,
             config,
             policy: config.policy,
             perf,
             geometry,
-            queue,
-            instances,
-            fabric: pascal_cluster::Fabric::new(config.num_instances, config.fabric),
-            states: HashMap::with_capacity(trace.requests().len()),
+            queue: EventQueue::new(),
+            instances: rt,
+            fabric: pascal_cluster::Fabric::new(instances, config.fabric),
+            states: HashMap::new(),
             migration_ctl: MigrationController::new(config.predictive_migration),
             admission_ctl: AdmissionController::new(
                 config.admission,
-                capacity.map(|c| c * config.num_instances as u64),
+                capacity.map(|c| c * instances as u64),
             ),
-            records: Vec::with_capacity(trace.requests().len()),
+            records: Vec::new(),
             predictor: config.predictor.map(PredictorKind::build),
             prediction_samples: Vec::new(),
+            routed_arrivals: 0,
+            cross_shard_in: 0,
+            cross_escape_outbox: Vec::new(),
         }
     }
 
-    pub(super) fn run(mut self) -> SimOutput {
-        while let Some((now, ev)) = self.queue.pop() {
-            self.dispatch(ev, now);
-        }
-        assert!(
-            self.states.is_empty(),
-            "simulation drained with {} unfinished requests (deadlock)",
-            self.states.len()
-        );
-        let mut records = self.records;
-        records.sort_by_key(|r| r.spec.id);
-        let makespan = records
-            .iter()
-            .map(|r| r.completion)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let mut predictions = self.prediction_samples;
-        predictions.sort_by_key(|p| p.id);
-        // Only PASCAL consumes predictions (demotion, placement); under
-        // the baselines a predictor is purely observational — calibration
-        // samples are still logged, but the run's behavior is identical to
-        // the plain policy, and the name must say so. Active controllers
-        // tag the name so paired comparisons stay legible.
-        let mut policy_name = match (&self.predictor, &self.policy) {
-            (Some(p), SchedPolicy::Pascal(_)) => {
-                if self.migration_ctl.predictive().is_some() {
-                    format!(
-                        "{}(Predictive-{}, CostAwareMigration)",
-                        self.policy.name(),
-                        p.name()
-                    )
-                } else {
-                    format!("{}(Predictive-{})", self.policy.name(), p.name())
-                }
-            }
-            _ => self.policy.name().to_owned(),
-        };
-        if self.admission_ctl.enabled() {
-            policy_name.push_str("+PredictiveAdmission");
-        }
-        SimOutput {
+    /// The global id of a local instance index — what records carry.
+    pub(super) fn global_instance(&self, local: u32) -> u32 {
+        self.offset + local
+    }
+
+    /// This shard's row of the run summary.
+    pub(super) fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.id,
+            instances: self.instances.len(),
+            routed_arrivals: self.routed_arrivals,
+            completed: self.records.len() as u64,
             peak_gpu_kv_bytes: self
                 .instances
                 .iter()
                 .map(|i| i.inst.gpu.peak_used_blocks() * self.geometry.block_bytes())
-                .collect(),
-            makespan,
-            policy_name,
-            records,
-            predictions,
-            migration_outcomes: self.migration_ctl.outcomes,
+                .sum(),
+            migrations: self.migration_ctl.outcomes,
             admission: self.admission_ctl.counters,
-            rejections: self.admission_ctl.rejections,
-        }
-    }
-
-    /// Routes one event to its handler — shared by [`Engine::run`] and the
-    /// accounting tests that drive the loop manually.
-    pub(super) fn dispatch(&mut self, ev: Event, now: SimTime) {
-        match ev {
-            Event::Arrival(idx) => self.on_arrival(idx, now),
-            Event::IterationDone { instance } => self.on_iteration_done(instance, now),
-            Event::OffloadDone { req } => self.on_offload_done(req, now),
-            Event::ReloadDone { req } => self.on_reload_done(req, now),
-            Event::MigrationDone { req, to } => self.on_migration_done(req, to, now),
+            cross_shard_in: self.cross_shard_in,
         }
     }
 }

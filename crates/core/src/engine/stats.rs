@@ -11,18 +11,23 @@ use pascal_sched::SchedPolicy;
 use pascal_sim::SimTime;
 use pascal_workload::Phase;
 
-use super::Engine;
+use super::Shard;
 
-impl Engine<'_> {
+impl Shard<'_> {
     /// Monitor snapshot of every instance.
     pub(super) fn collect_stats(&self, now: SimTime) -> Vec<InstanceStats> {
         // Predicted future KV growth feeds predictive Algorithm 1 placement
-        // (PASCAL only) and the admission controller's pool projection.
-        // Rank-only predictors estimate nothing and contribute zero —
-        // consumers then degrade gracefully to current footprints. Plain
-        // baselines never read the field, so skip the per-member estimates.
-        let wants_predicted_growth =
-            matches!(self.policy, SchedPolicy::Pascal(_)) || self.admission_ctl.enabled();
+        // (PASCAL only), the admission controller's pool projection, and —
+        // in a multi-shard cluster — the predictive router's shard
+        // ranking, which reads the field through `PoolSnapshot` even under
+        // baseline policies. Rank-only predictors estimate nothing and
+        // contribute zero — consumers then degrade gracefully to current
+        // footprints. When no consumer reads the field, skip the
+        // per-member estimates.
+        let wants_predicted_growth = matches!(self.policy, SchedPolicy::Pascal(_))
+            || self.admission_ctl.enabled()
+            || (self.config.shards > 1
+                && self.config.router == pascal_sched::RouterPolicy::Predictive);
         self.instances
             .iter()
             .map(|rt| {

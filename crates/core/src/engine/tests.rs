@@ -179,27 +179,27 @@ fn pool_accounting_returns_to_zero() {
             KvCapacityMode::Bytes(geometry.bytes_for_tokens(2000)),
         );
         let mut engine = Engine::new(&trace, &config);
-        while let Some((now, ev)) = engine.queue.pop() {
-            engine.dispatch(ev, now);
-        }
-        for rt in &engine.instances {
-            assert_eq!(
-                rt.inst.gpu.used_blocks(),
-                0,
-                "{}: GPU blocks leaked",
-                policy.name()
-            );
-            assert_eq!(
-                rt.inst.cpu.used_blocks(),
-                0,
-                "{}: CPU blocks leaked",
-                policy.name()
-            );
-            assert!(
-                rt.inst.members.is_empty(),
-                "{}: members leaked",
-                policy.name()
-            );
+        while engine.step() {}
+        for shard in &engine.shards {
+            for rt in &shard.instances {
+                assert_eq!(
+                    rt.inst.gpu.used_blocks(),
+                    0,
+                    "{}: GPU blocks leaked",
+                    policy.name()
+                );
+                assert_eq!(
+                    rt.inst.cpu.used_blocks(),
+                    0,
+                    "{}: CPU blocks leaked",
+                    policy.name()
+                );
+                assert!(
+                    rt.inst.members.is_empty(),
+                    "{}: members leaked",
+                    policy.name()
+                );
+            }
         }
     }
 }
@@ -310,6 +310,229 @@ fn admission_rejects_at_predicted_overload_and_still_drains() {
     // Admitted requests were never starved into SLO trouble by the load
     // the controller shed.
     assert!(out.policy_name.ends_with("+PredictiveAdmission"));
+}
+
+// ----- sharding -----------------------------------------------------------
+
+mod sharding {
+    use super::*;
+    use pascal_sched::{PolicyKind, RouterPolicy};
+    use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+    fn cluster_trace(count: usize, rate: f64, seed: u64) -> Trace {
+        TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+            .arrivals(ArrivalProcess::poisson(rate))
+            .count(count)
+            .seed(seed)
+            .build()
+    }
+
+    /// Strips the volatile parts of a `SimOutput` into a comparable form.
+    fn digest(out: &SimOutput) -> (Vec<RequestRecord>, Vec<u64>, String) {
+        (
+            out.records.clone(),
+            out.peak_gpu_kv_bytes.clone(),
+            out.policy_name.clone(),
+        )
+    }
+
+    #[test]
+    fn one_shard_is_identical_to_the_unsharded_engine() {
+        // `shards: 1` must replay the exact event sequence of the
+        // pre-sharding engine regardless of the router key, for every
+        // policy.
+        let trace = cluster_trace(60, 6.0, 9);
+        for kind in [PolicyKind::Fcfs, PolicyKind::RoundRobin, PolicyKind::Pascal] {
+            let mut base = SimConfig::evaluation_cluster(kind.build());
+            base.num_instances = 4;
+            let reference = run_simulation(&trace, &base);
+            for router in RouterPolicy::ALL {
+                let sharded = base.clone().with_shards(1, router);
+                let out = run_simulation(&trace, &sharded);
+                assert_eq!(digest(&out), digest(&reference), "{kind} via {router}");
+                assert_eq!(out.shard_stats.len(), 1);
+                assert_eq!(out.shard_stats[0].routed_arrivals, 60);
+                assert_eq!(out.migration_outcomes.cross_shard_launched, 0);
+            }
+        }
+    }
+
+    /// The committed fig11-matrix numbers (Alpaca/Arena at the high rate,
+    /// 150 requests, the legacy seed 2026), captured from the pre-sharding
+    /// engine: (dataset, policy, p99 TTFT seconds, migrations, makespan).
+    const FIG11_GOLDEN: [(&str, &str, f64, usize, f64); 6] = [
+        ("AlpacaEval2.0", "FCFS", 61.649172513449955, 0, 91.287896248),
+        ("AlpacaEval2.0", "RR", 61.649172513449955, 0, 91.287896248),
+        (
+            "AlpacaEval2.0",
+            "PASCAL",
+            60.52408480785996,
+            135,
+            95.503700029,
+        ),
+        ("Arena-Hard", "FCFS", 111.79790002912992, 0, 154.091891692),
+        ("Arena-Hard", "RR", 111.79790002912992, 0, 154.091891692),
+        (
+            "Arena-Hard",
+            "PASCAL",
+            110.56104834137992,
+            140,
+            164.137715108,
+        ),
+    ];
+
+    #[test]
+    fn one_shard_reproduces_the_committed_fig11_numbers() {
+        use crate::experiments::common::run_matrix;
+        use pascal_metrics::LatencySummary;
+        use pascal_workload::MixPreset;
+
+        let runs = run_matrix(
+            &[MixPreset::Alpaca, MixPreset::Arena],
+            &[crate::config::RateLevel::High],
+            &PolicyKind::MAIN,
+            150,
+            2026,
+        );
+        assert_eq!(runs.len(), FIG11_GOLDEN.len());
+        for (run, (dataset, policy, p99, migrations, makespan)) in runs.iter().zip(FIG11_GOLDEN) {
+            assert_eq!(run.dataset, dataset);
+            assert_eq!(run.policy_name, policy);
+            let got_p99 = LatencySummary::from_values(
+                run.output
+                    .records
+                    .iter()
+                    .filter_map(|r| r.ttft().map(|d| d.as_secs_f64())),
+            )
+            .expect("answering requests exist")
+            .p99;
+            assert_eq!(got_p99, p99, "{dataset}/{policy}: p99 TTFT drifted");
+            assert_eq!(run.output.migrations().count(), migrations);
+            assert_eq!(run.output.makespan.as_secs_f64(), makespan);
+        }
+    }
+
+    #[test]
+    fn sharded_run_partitions_and_completes_everything() {
+        let trace = cluster_trace(80, 8.0, 3);
+        for router in RouterPolicy::ALL {
+            let config =
+                SimConfig::evaluation_cluster(PolicyKind::Pascal.build()).with_shards(4, router);
+            let out = run_simulation(&trace, &config);
+            assert_eq!(out.records.len(), 80, "{router}");
+            assert_eq!(out.shard_stats.len(), 4);
+            assert_eq!(out.peak_gpu_kv_bytes.len(), 8);
+            assert_eq!(
+                out.shard_stats
+                    .iter()
+                    .map(|s| s.routed_arrivals)
+                    .sum::<u64>(),
+                80
+            );
+            assert!(
+                out.shard_stats.iter().all(|s| s.instances == 2),
+                "fixed aggregate capacity splits evenly"
+            );
+            // Round-robin spreads arrivals exactly evenly.
+            if router == RouterPolicy::RoundRobin {
+                assert!(out.shard_stats.iter().all(|s| s.routed_arrivals == 20));
+            }
+            for r in &out.records {
+                r.assert_consistent();
+            }
+        }
+    }
+
+    /// Two memory-tight shards of two instances each: transitions that
+    /// find their whole shard unable to hold the KV must escalate to the
+    /// cluster and migrate over the interconnect.
+    fn saturated_two_shard_config(router: RouterPolicy) -> SimConfig {
+        let mut config =
+            SimConfig::evaluation_cluster(PolicyKind::Pascal.build()).with_shards(2, router);
+        config.num_instances = 4;
+        config.kv_capacity = KvCapacityMode::FractionOfPhysical(0.2);
+        config
+    }
+
+    #[test]
+    fn cross_shard_escape_fires_under_saturation_and_balances() {
+        let trace = cluster_trace(150, 14.0, 5);
+        let config = saturated_two_shard_config(RouterPolicy::RoundRobin);
+        let out = run_simulation(&trace, &config);
+        assert_eq!(out.records.len(), 150);
+        let m = &out.migration_outcomes;
+        assert!(
+            m.cross_shard_considered > 0,
+            "saturated shards must consider escapes: {m:?}"
+        );
+        assert!(m.cross_shard_launched > 0, "and launch some: {m:?}");
+        assert_eq!(
+            m.cross_shard_launched,
+            out.shard_stats
+                .iter()
+                .map(|s| s.cross_shard_in)
+                .sum::<u64>(),
+            "every launched escape lands somewhere"
+        );
+        assert!(m.cross_shard_bytes_moved > 0);
+        assert!(m.launched >= m.cross_shard_launched);
+        // Escaped requests carry records whose instance ids span shards.
+        let per_shard = out.peak_gpu_kv_bytes.len() as u32 / 2;
+        let crossed = out
+            .records
+            .iter()
+            .filter_map(|r| r.migration.as_ref())
+            .filter(|m| (m.from_instance / per_shard) != (m.to_instance / per_shard))
+            .count() as u64;
+        assert_eq!(crossed, m.cross_shard_launched);
+    }
+
+    #[test]
+    fn cross_shard_escapes_price_the_interconnect_not_the_fabric() {
+        // With an absurd benefit ratio every escape that reaches the cost
+        // test is vetoed at the interconnect price — nothing may ride the
+        // interconnect, and the cross veto counter must account for every
+        // considered escape.
+        let trace = cluster_trace(150, 14.0, 5);
+        let mut config = saturated_two_shard_config(RouterPolicy::RoundRobin);
+        config.predictor = Some(PredictorKind::Oracle);
+        config.predictive_migration = Some(PredictiveMigration {
+            min_benefit_ratio: 1e6,
+        });
+        let out = run_simulation(&trace, &config);
+        let m = &out.migration_outcomes;
+        assert_eq!(m.cross_shard_launched, 0);
+        assert_eq!(m.launched, 0, "intra-shard launches are vetoed too");
+        assert!(
+            m.cross_shard_considered > 0,
+            "escapes still considered: {m:?}"
+        );
+        assert_eq!(
+            m.cross_shard_considered,
+            m.cross_shard_vetoed_by_cost + m.cross_shard_aborted,
+            "every considered escape is vetoed or unplaceable at ratio 1e6: {m:?}"
+        );
+    }
+
+    #[test]
+    fn baselines_never_escape_across_shards() {
+        let trace = cluster_trace(100, 14.0, 5);
+        for kind in [
+            PolicyKind::Fcfs,
+            PolicyKind::RoundRobin,
+            PolicyKind::PascalNoMigration,
+        ] {
+            let config = {
+                let mut c = saturated_two_shard_config(RouterPolicy::LeastLoaded);
+                c.policy = kind.build();
+                c
+            };
+            let out = run_simulation(&trace, &config);
+            assert_eq!(out.records.len(), 100, "{kind}");
+            assert_eq!(out.migration_outcomes.cross_shard_considered, 0, "{kind}");
+            assert_eq!(out.migration_outcomes.cross_shard_launched, 0, "{kind}");
+        }
+    }
 }
 
 #[test]

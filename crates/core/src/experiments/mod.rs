@@ -20,3 +20,4 @@ pub mod fig16;
 pub mod kv_overhead;
 pub mod predictive;
 pub mod predictive_migration;
+pub mod sharded_scaling;

@@ -1,0 +1,118 @@
+//! Shard-scaling study: 1/2/4 scheduling domains at fixed aggregate
+//! capacity.
+//!
+//! The north-star deployment serves one region from several scheduling
+//! domains behind a cluster router. This experiment holds the hardware
+//! constant (eight instances, the §V-A cluster) and sweeps how it is
+//! partitioned — one pool, two shards, four shards — crossed with the
+//! three router disciplines, on the mixed chat+reasoning trace at medium
+//! and high load. Because the trace seed is derived only from the
+//! trace-defining axes, every partitioning serves the *identical* arrival
+//! stream: differences are pure scheduling-domain effects (router skew,
+//! lost work-stealing within a shard, cross-shard escape traffic over the
+//! slower interconnect).
+
+use pascal_metrics::SweepCellMetrics;
+use pascal_sched::RouterPolicy;
+
+use crate::sweep::{SweepCell, SweepGrid, SweepRunner};
+
+/// One row of the shard-scaling comparison.
+#[derive(Clone, Debug)]
+pub struct ShardedScalingRow {
+    /// Arrival-rate level key (`medium` / `high`).
+    pub level: String,
+    /// Length predictor key (`-` = reactive).
+    pub predictor: String,
+    /// Number of scheduling domains.
+    pub shards: usize,
+    /// Router discipline (only meaningful when `shards > 1`).
+    pub router: RouterPolicy,
+    /// The cell's aggregate metrics.
+    pub metrics: SweepCellMetrics,
+    /// Requests per shard routed, min..max — the router's balance.
+    pub routed_min: u64,
+    /// See [`ShardedScalingRow::routed_min`].
+    pub routed_max: u64,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedScalingParams {
+    /// Requests per trace.
+    pub count: usize,
+    /// Base seed (per-cell trace seeds derive from it).
+    pub seed: u64,
+    /// Worker threads (0 = default pool width).
+    pub threads: usize,
+}
+
+impl Default for ShardedScalingParams {
+    fn default() -> Self {
+        ShardedScalingParams {
+            count: 2000,
+            seed: 2026,
+            threads: 0,
+        }
+    }
+}
+
+/// Runs the `sharded` grid and annotates each cell with its router-balance
+/// spread.
+#[must_use]
+pub fn run(params: ShardedScalingParams) -> Vec<ShardedScalingRow> {
+    let mut grid = SweepGrid::preset("sharded").expect("sharded preset exists");
+    grid.count = params.count;
+    grid.base_seed = params.seed;
+    let specs = grid.expand();
+    SweepRunner::new(params.threads).run_map(&specs, |spec, out| {
+        let routed: Vec<u64> = out.shard_stats.iter().map(|s| s.routed_arrivals).collect();
+        let cell = SweepCell::from_output(*spec, spec.rate_rps(), &out);
+        ShardedScalingRow {
+            level: spec.level.key().to_owned(),
+            predictor: spec
+                .predictor
+                .map_or_else(|| "-".to_owned(), |p| p.key().to_owned()),
+            shards: spec.shards,
+            router: spec.router,
+            metrics: cell.metrics,
+            routed_min: routed.iter().copied().min().unwrap_or(0),
+            routed_max: routed.iter().copied().max().unwrap_or(0),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_the_shard_router_cross_product() {
+        let rows = run(ShardedScalingParams {
+            count: 60,
+            seed: 11,
+            threads: 2,
+        });
+        assert_eq!(rows.len(), 28);
+        // Per (level, predictor): one 1-shard anchor plus 2/4 shards × 3
+        // routers.
+        for level in ["medium", "high"] {
+            let of_level: Vec<&ShardedScalingRow> =
+                rows.iter().filter(|r| r.level == level).collect();
+            assert_eq!(of_level.len(), 14);
+            assert_eq!(of_level.iter().filter(|r| r.shards == 1).count(), 2);
+        }
+        for row in &rows {
+            assert_eq!(row.metrics.requests, 60, "everything completes");
+            assert!(row.routed_min <= row.routed_max);
+            if row.shards == 1 {
+                assert_eq!(row.metrics.migrations_cross_shard, 0);
+                assert_eq!(row.routed_min, 60);
+            }
+            // Round-robin spreads the trace evenly across shards.
+            if row.shards > 1 && row.router == RouterPolicy::RoundRobin {
+                assert!(row.routed_max - row.routed_min <= 1);
+            }
+        }
+    }
+}

@@ -8,10 +8,17 @@
 //!   arrival-rate calibration;
 //! * [`run_simulation`] — the iteration-level multi-instance discrete-event
 //!   engine implementing vLLM-style continuous batching, blocking,
-//!   PCIe preemption, phase detection and fabric migration. The engine is
-//!   decomposed into lifecycle / migration / admission / stats modules;
-//!   [`PredictiveMigration`] and [`AdmissionMode`] switch the predictive
-//!   controllers on (both default off, reproducing the paper exactly);
+//!   PCIe preemption, phase detection and fabric migration — organized as
+//!   a cluster of shards: `SimConfig::shards` partitions the instances
+//!   into scheduling domains behind a `pascal_sched::RouterPolicy`, with
+//!   cross-shard escape migration over the two-tier
+//!   `pascal_cluster::Topology` interconnect and per-domain
+//!   `ShardStats` rows in [`SimOutput`]. One shard (the default)
+//!   reproduces the paper's single-pool engine byte-for-byte. Each shard
+//!   is decomposed into lifecycle / migration / admission / stats
+//!   modules; [`PredictiveMigration`] and [`AdmissionMode`] switch the
+//!   predictive controllers on (both default off, reproducing the paper
+//!   exactly);
 //! * [`experiments`] — one module per table/figure of the paper's
 //!   evaluation, each returning printable row structs (see `DESIGN.md` §5
 //!   for the experiment index);

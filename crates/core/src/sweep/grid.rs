@@ -1,7 +1,7 @@
 //! Declarative sweep grids and their named presets.
 
 use pascal_predict::PredictorKind;
-use pascal_sched::PolicyKind;
+use pascal_sched::{PolicyKind, RouterPolicy};
 use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
@@ -34,8 +34,14 @@ pub struct SweepGrid {
     pub migration_benefits: Vec<Option<f64>>,
     /// Requests per cell trace.
     pub count: usize,
-    /// Cluster size per cell.
+    /// Cluster size per cell (aggregate over shards — fixed capacity as
+    /// the shard count varies).
     pub instances: usize,
+    /// Shard counts. Cells with one shard collapse the router axis (the
+    /// router is never consulted), keeping only the first router.
+    pub shard_counts: Vec<usize>,
+    /// Cross-shard routers.
+    pub routers: Vec<RouterPolicy>,
     /// Base seed; per-cell trace seeds are derived from it (see
     /// [`derive_trace_seed`]).
     pub base_seed: u64,
@@ -56,12 +62,15 @@ impl SweepGrid {
             migration_benefits: vec![None],
             count: 1000,
             instances: 8,
+            shard_counts: vec![1],
+            routers: vec![RouterPolicy::RoundRobin],
             base_seed: 2026,
         }
     }
 
     /// The available preset names, in presentation order.
-    pub const PRESET_NAMES: [&'static str; 4] = ["main", "predictive", "migration", "ci"];
+    pub const PRESET_NAMES: [&'static str; 5] =
+        ["main", "predictive", "migration", "ci", "sharded"];
 
     /// A named grid preset.
     ///
@@ -73,7 +82,12 @@ impl SweepGrid {
     ///   Arena-Hard at high rate (5 cells);
     /// * `ci` — the smoke-sized grid the CI perf-regression gate runs:
     ///   both chat mixes at high rate under FCFS/RR/PASCAL plus
-    ///   Oracle-predictive PASCAL, 120 requests per cell (8 cells).
+    ///   Oracle-predictive PASCAL, 120 requests per cell (8 cells);
+    /// * `sharded` — the shard-scaling cross-product: PASCAL (reactive
+    ///   and Oracle-predicted) on the mixed trace at medium/high rate,
+    ///   1/2/4 shards at fixed aggregate capacity × the three routers
+    ///   (28 cells; each one-shard anchor keeps a single router cell
+    ///   since routing is a no-op there).
     ///
     /// # Errors
     ///
@@ -118,6 +132,18 @@ impl SweepGrid {
                 grid.predictors = vec![None, Some(PredictorKind::Oracle)];
                 grid.count = 120;
             }
+            "sharded" => {
+                grid.mixes = vec![MixPreset::Mixed];
+                grid.levels = vec![RateLevel::Medium, RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                grid.shard_counts = vec![1, 2, 4];
+                grid.routers = RouterPolicy::ALL.to_vec();
+                // The Oracle axis makes the predictive router's
+                // distinguishing path — predictor-informed shard ranking —
+                // an actually-gated code path, not a least-loaded alias.
+                grid.predictors = vec![None, Some(PredictorKind::Oracle)];
+                grid.count = 120;
+            }
             other => {
                 return Err(format!(
                     "unknown grid preset '{other}' (valid: {})",
@@ -144,6 +170,8 @@ impl SweepGrid {
             ("predictors", self.predictors.len()),
             ("admissions", self.admissions.len()),
             ("migration_benefits", self.migration_benefits.len()),
+            ("shard_counts", self.shard_counts.len()),
+            ("routers", self.routers.len()),
         ] {
             assert!(len > 0, "grid '{}' has an empty {axis} axis", self.name);
         }
@@ -156,19 +184,25 @@ impl SweepGrid {
                     for &predictor in &self.predictors {
                         for &admission in &self.admissions {
                             for &benefit in &self.migration_benefits {
-                                let spec = ScenarioSpec {
-                                    mix,
-                                    level,
-                                    policy,
-                                    predictor,
-                                    admission,
-                                    migration_benefit: benefit,
-                                    count: self.count,
-                                    instances: self.instances,
-                                    seed,
-                                };
-                                if self.keep(&spec) {
-                                    cells.push(spec);
+                                for &shards in &self.shard_counts {
+                                    for &router in &self.routers {
+                                        let spec = ScenarioSpec {
+                                            mix,
+                                            level,
+                                            policy,
+                                            predictor,
+                                            admission,
+                                            migration_benefit: benefit,
+                                            count: self.count,
+                                            instances: self.instances,
+                                            shards,
+                                            router,
+                                            seed,
+                                        };
+                                        if self.keep(&spec) {
+                                            cells.push(spec);
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -179,11 +213,17 @@ impl SweepGrid {
         cells
     }
 
-    /// The pruning rule: drop incoherent cells, and cells where a
-    /// predictor changes nothing (baseline policy with every predictive
-    /// consumer off — the run would be byte-identical to the `None` cell).
+    /// The pruning rule: drop incoherent cells, cells where a predictor
+    /// changes nothing (baseline policy with every predictive consumer off
+    /// — the run would be byte-identical to the `None` cell), and
+    /// one-shard cells beyond the first router (a single-shard cluster
+    /// never consults the router, so those runs would be byte-identical
+    /// too).
     fn keep(&self, spec: &ScenarioSpec) -> bool {
         if spec.validate().is_err() {
+            return false;
+        }
+        if spec.shards == 1 && spec.router != self.routers[0] {
             return false;
         }
         let predictor_consumed = matches!(
@@ -245,7 +285,28 @@ mod tests {
         assert_eq!(SweepGrid::preset("migration").unwrap().expand().len(), 5);
         // ci: per mix — fcfs, rr, pascal, pascal+oracle.
         assert_eq!(SweepGrid::preset("ci").unwrap().expand().len(), 8);
-        assert!(SweepGrid::preset("everything").is_err());
+        // sharded: per level × predictor — 1 one-shard anchor + {2,4}
+        // shards × 3 routers.
+        assert_eq!(SweepGrid::preset("sharded").unwrap().expand().len(), 28);
+        let err = SweepGrid::preset("everything").expect_err("unknown preset");
+        assert!(err.contains("sharded"), "error lists presets: {err}");
+    }
+
+    #[test]
+    fn one_shard_cells_collapse_the_router_axis() {
+        let cells = SweepGrid::preset("sharded").unwrap().expand();
+        let anchors: Vec<&ScenarioSpec> = cells.iter().filter(|c| c.shards == 1).collect();
+        assert_eq!(anchors.len(), 4, "one anchor per (level, predictor)");
+        assert!(anchors
+            .iter()
+            .all(|c| c.router == pascal_sched::RouterPolicy::RoundRobin));
+        // Shard counts share the (mix, level) trace seed: the comparison
+        // across shard counts is paired.
+        let high: Vec<&ScenarioSpec> = cells
+            .iter()
+            .filter(|c| c.level == RateLevel::High)
+            .collect();
+        assert!(high.windows(2).all(|w| w[0].seed == w[1].seed));
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use pascal_metrics::{QoeParams, SweepCellMetrics};
 use pascal_predict::PredictorKind;
-use pascal_sched::PolicyKind;
+use pascal_sched::{PolicyKind, RouterPolicy};
 use pascal_workload::{ArrivalProcess, MixPreset, Trace, TraceBuilder};
 
 use crate::config::{RateLevel, SimConfig};
@@ -71,8 +71,13 @@ pub struct ScenarioSpec {
     pub migration_benefit: Option<f64>,
     /// Requests in the trace.
     pub count: usize,
-    /// Cluster size.
+    /// Cluster size (aggregate over all shards).
     pub instances: usize,
+    /// Scheduling domains the instances split into (`1` = the paper's
+    /// single-pool engine). Must divide `instances`.
+    pub shards: usize,
+    /// Cross-shard routing discipline (only meaningful when `shards > 1`).
+    pub router: RouterPolicy,
     /// Trace seed. Grids derive it from their base seed; hand-built specs
     /// (the refactored experiments) set it directly.
     pub seed: u64,
@@ -98,8 +103,18 @@ impl ScenarioSpec {
             migration_benefit: None,
             count,
             instances: 8,
+            shards: 1,
+            router: RouterPolicy::RoundRobin,
             seed,
         }
+    }
+
+    /// The same cell partitioned into `shards` domains behind `router`.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize, router: RouterPolicy) -> Self {
+        self.shards = shards;
+        self.router = router;
+        self
     }
 
     /// The same cell with a length predictor attached.
@@ -146,6 +161,9 @@ impl ScenarioSpec {
         if self.instances != 8 {
             label.push_str(&format!("/i{}", self.instances));
         }
+        if self.shards != 1 {
+            label.push_str(&format!("/s{}-{}", self.shards, self.router.key()));
+        }
         label
     }
 
@@ -162,6 +180,17 @@ impl ScenarioSpec {
         }
         if self.instances == 0 {
             return Err("instances must be positive".to_owned());
+        }
+        if self.shards == 0 {
+            return Err("shards must be positive".to_owned());
+        }
+        if self.instances % self.shards != 0 {
+            return Err(format!(
+                "{}: {} instances do not split evenly into {} shards",
+                self.label(),
+                self.instances,
+                self.shards
+            ));
         }
         if self.migration_benefit.is_some() {
             match self.predictor {
@@ -203,6 +232,8 @@ impl ScenarioSpec {
         self.validate().expect("coherent scenario spec");
         let mut config = SimConfig::evaluation_cluster(self.policy.build());
         config.num_instances = self.instances;
+        config.shards = self.shards;
+        config.router = self.router;
         config.predictor = self.predictor;
         config.admission = self.admission;
         if let Some(ratio) = self.migration_benefit {
@@ -321,13 +352,37 @@ impl SweepRunner {
     /// Runs a grid end-to-end into a machine-readable report.
     #[must_use]
     pub fn run_grid(&self, grid: &SweepGrid) -> SweepReport {
-        let specs = grid.expand();
+        self.run_grids(std::slice::from_ref(grid))
+    }
+
+    /// Runs several grids as one report (cells concatenated in grid
+    /// order, name joined with `+`) — how the CI perf gate sweeps the
+    /// `ci` and `sharded` grids against a single committed baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids produce duplicate cell labels (the gate matches
+    /// cells by label, so a merged report must keep them unique) or if
+    /// `grids` is empty.
+    #[must_use]
+    pub fn run_grids(&self, grids: &[SweepGrid]) -> SweepReport {
+        assert!(!grids.is_empty(), "need at least one grid");
+        let specs: Vec<ScenarioSpec> = grids.iter().flat_map(SweepGrid::expand).collect();
+        let mut labels: Vec<String> = specs.iter().map(ScenarioSpec::label).collect();
+        labels.sort();
+        if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
+            panic!("grids produce a duplicate cell label '{}'", dup[0]);
+        }
         let cells = self.run_map(&specs, |spec, out| {
             SweepCell::from_output(*spec, spec.rate_rps(), &out)
         });
         SweepReport {
-            grid: grid.name.clone(),
-            base_seed: grid.base_seed,
+            grid: grids
+                .iter()
+                .map(|g| g.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+"),
+            base_seed: grids[0].base_seed,
             cells,
         }
     }

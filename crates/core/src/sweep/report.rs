@@ -9,7 +9,7 @@
 
 use pascal_metrics::SweepCellMetrics;
 use pascal_predict::PredictorKind;
-use pascal_sched::PolicyKind;
+use pascal_sched::{PolicyKind, RouterPolicy};
 use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
@@ -17,8 +17,9 @@ use crate::engine::AdmissionMode;
 use crate::sweep::json::{json_f64, json_opt_f64, json_str, JsonValue};
 use crate::sweep::{ScenarioSpec, SweepCell};
 
-/// Schema version stamped into every report.
-pub const SWEEP_SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into every report. Version 2 added the
+/// `shards`/`router` axes and the cross-shard migration counters.
+pub const SWEEP_SCHEMA_VERSION: u64 = 2;
 
 /// The results of one grid sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,10 +59,11 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "label,mix,level,policy,predictor,admission_utilization,migration_benefit,\
-             count,instances,seed,rate_rps,policy_label,requests,ttft_mean_s,ttft_p50_s,\
-             ttft_p99_s,slo_violation_rate,mean_qoe,throughput_tokens_per_s,goodput_rps,\
-             makespan_s,migrations_considered,migrations_launched,migrations_vetoed,\
-             migrations_landed_in_cpu,admission_admitted,admission_rejected\n",
+             count,instances,shards,router,seed,rate_rps,policy_label,requests,ttft_mean_s,\
+             ttft_p50_s,ttft_p99_s,slo_violation_rate,mean_qoe,throughput_tokens_per_s,\
+             goodput_rps,makespan_s,migrations_considered,migrations_launched,\
+             migrations_vetoed,migrations_cross_shard,migrations_landed_in_cpu,\
+             admission_admitted,admission_rejected\n",
         );
         let opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:?}"));
         for cell in &self.cells {
@@ -72,7 +74,7 @@ impl SweepReport {
                 AdmissionMode::Predictive { max_utilization } => format!("{max_utilization:?}"),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{}\n",
                 s.label(),
                 s.mix.key(),
                 s.level.key(),
@@ -82,6 +84,8 @@ impl SweepReport {
                 opt(s.migration_benefit),
                 s.count,
                 s.instances,
+                s.shards,
+                s.router.key(),
                 s.seed,
                 cell.rate_rps,
                 csv_field(&cell.policy_label),
@@ -97,6 +101,7 @@ impl SweepReport {
                 m.migrations_considered,
                 m.migrations_launched,
                 m.migrations_vetoed,
+                m.migrations_cross_shard,
                 m.migrations_landed_in_cpu,
                 m.admission_admitted,
                 m.admission_rejected,
@@ -170,7 +175,8 @@ fn cell_json(cell: &SweepCell) -> String {
         "    {{\n      \"label\": {label},\n      \"mix\": {mix},\n      \"level\": {level},\n      \
          \"policy\": {policy},\n      \"predictor\": {predictor},\n      \
          \"admission_utilization\": {admission},\n      \"migration_benefit\": {benefit},\n      \
-         \"count\": {count},\n      \"instances\": {instances},\n      \"seed\": {seed},\n      \
+         \"count\": {count},\n      \"instances\": {instances},\n      \"shards\": {shards},\n      \
+         \"router\": {router},\n      \"seed\": {seed},\n      \
          \"rate_rps\": {rate},\n      \"policy_label\": {plabel},\n      \"metrics\": {{\n        \
          \"requests\": {requests},\n        \"ttft_mean_s\": {ttft_mean},\n        \
          \"ttft_p50_s\": {ttft_p50},\n        \"ttft_p99_s\": {ttft_p99},\n        \
@@ -178,6 +184,7 @@ fn cell_json(cell: &SweepCell) -> String {
          \"throughput_tokens_per_s\": {tput},\n        \"goodput_rps\": {goodput},\n        \
          \"makespan_s\": {makespan},\n        \"migrations_considered\": {mig_considered},\n        \
          \"migrations_launched\": {mig_launched},\n        \"migrations_vetoed\": {mig_vetoed},\n        \
+         \"migrations_cross_shard\": {mig_cross},\n        \
          \"migrations_landed_in_cpu\": {mig_cpu},\n        \"admission_admitted\": {adm_ok},\n        \
          \"admission_rejected\": {adm_no}\n      }}\n    }}",
         label = json_str(&s.label()),
@@ -187,6 +194,8 @@ fn cell_json(cell: &SweepCell) -> String {
         benefit = json_opt_f64(s.migration_benefit),
         count = s.count,
         instances = s.instances,
+        shards = s.shards,
+        router = json_str(s.router.key()),
         seed = s.seed,
         rate = json_f64(cell.rate_rps),
         plabel = json_str(&cell.policy_label),
@@ -202,6 +211,7 @@ fn cell_json(cell: &SweepCell) -> String {
         mig_considered = m.migrations_considered,
         mig_launched = m.migrations_launched,
         mig_vetoed = m.migrations_vetoed,
+        mig_cross = m.migrations_cross_shard,
         mig_cpu = m.migrations_landed_in_cpu,
         adm_ok = m.admission_admitted,
         adm_no = m.admission_rejected,
@@ -270,6 +280,12 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         migration_benefit: opt_num(c, "migration_benefit")?,
         count: int(c, "count")? as usize,
         instances: int(c, "instances")? as usize,
+        shards: int(c, "shards")? as usize,
+        router: RouterPolicy::parse(
+            field(c, "router")?
+                .as_str()
+                .ok_or("'router' must be a string")?,
+        )?,
         seed: int(c, "seed")?,
     };
     let metrics_obj = field(c, "metrics")?;
@@ -286,6 +302,7 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         migrations_considered: int(metrics_obj, "migrations_considered")?,
         migrations_launched: int(metrics_obj, "migrations_launched")?,
         migrations_vetoed: int(metrics_obj, "migrations_vetoed")?,
+        migrations_cross_shard: int(metrics_obj, "migrations_cross_shard")?,
         migrations_landed_in_cpu: int(metrics_obj, "migrations_landed_in_cpu")?,
         admission_admitted: int(metrics_obj, "admission_admitted")?,
         admission_rejected: int(metrics_obj, "admission_rejected")?,
@@ -304,13 +321,112 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{SweepGrid, SweepRunner};
+    use crate::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
+    use proptest::prelude::*;
 
     fn tiny_report() -> SweepReport {
         let mut grid = SweepGrid::preset("ci").expect("preset exists");
         grid.count = 30;
         grid.instances = 2;
         SweepRunner::new(2).run_grid(&grid)
+    }
+
+    /// Builds one report cell from raw entropy: every axis exercised,
+    /// including full-range `u64` seeds and awkward labels. Deterministic
+    /// in its inputs.
+    fn arbitrary_cell(x: u64, f: f64) -> SweepCell {
+        use pascal_workload::MixPreset;
+        let pick = |shift: u32, n: u64| ((x >> shift) % n) as usize;
+        let shards = [1usize, 2, 4][pick(0, 3)];
+        let spec = ScenarioSpec {
+            mix: MixPreset::ALL[pick(2, 7)],
+            level: crate::config::RateLevel::ALL[pick(5, 3)],
+            policy: PolicyKind::ALL[pick(7, 5)],
+            predictor: [
+                None,
+                Some(PredictorKind::Oracle),
+                Some(PredictorKind::ProfileEma),
+                Some(PredictorKind::PairwiseRank),
+            ][pick(10, 4)],
+            admission: if x & (1 << 12) == 0 {
+                crate::engine::AdmissionMode::Disabled
+            } else {
+                crate::engine::AdmissionMode::Predictive {
+                    max_utilization: 0.25 + f.fract(),
+                }
+            },
+            migration_benefit: (x & (1 << 13) != 0).then_some(f * 0.5 + 1.0),
+            count: 1 + pick(14, 5000),
+            instances: shards * (1 + pick(27, 4)),
+            shards,
+            router: RouterPolicy::ALL[pick(30, 3)],
+            // The raw entropy word: seeds must survive the full u64 range.
+            seed: x,
+        };
+        let opt = |bit: u32, v: f64| (x & (1 << bit) != 0).then_some(v);
+        let metrics = SweepCellMetrics {
+            requests: pick(33, 10_000),
+            ttft_mean_s: opt(40, f * 0.5),
+            ttft_p50_s: opt(41, f * 0.25),
+            ttft_p99_s: opt(42, f * 4.0),
+            slo_violation_rate: f.fract(),
+            mean_qoe: (f * 3.0).fract(),
+            throughput_tokens_per_s: f * 17.0,
+            goodput_rps: f * 0.01,
+            makespan_s: f * 100.0,
+            migrations_considered: x % 1000,
+            migrations_launched: x % 500,
+            migrations_vetoed: x % 77,
+            migrations_cross_shard: x % 33,
+            migrations_landed_in_cpu: x % 5,
+            admission_admitted: x % 10_000,
+            admission_rejected: x % 99,
+        };
+        SweepCell {
+            spec,
+            rate_rps: f,
+            policy_label: [
+                "PASCAL".to_owned(),
+                "PASCAL(Predictive-Oracle, CostAwareMigration)".to_owned(),
+                "odd \"label\"\twith\nescapes\\".to_owned(),
+                "RR+PredictiveAdmission".to_owned(),
+            ][pick(50, 4)]
+            .clone(),
+            metrics,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Any SweepReport-shaped value — arbitrary axes, full-range u64
+        /// seeds, escaped labels — serializes, parses and re-serializes
+        /// byte-identically.
+        #[test]
+        fn prop_sweep_json_round_trips_byte_identically(
+            base_seed in any::<u64>(),
+            entropy in collection::vec((any::<u64>(), 0.0f64..1.0e9), 1..7),
+        ) {
+            let report = SweepReport {
+                grid: ["ci", "sharded", "ci+sharded", "grid \"x\"+y"]
+                    [(base_seed % 4) as usize]
+                    .to_owned(),
+                base_seed,
+                cells: entropy.iter().map(|&(x, f)| arbitrary_cell(x, f)).collect(),
+            };
+            let json = report.to_json();
+            let back = match SweepReport::from_json(&json) {
+                Ok(back) => back,
+                Err(e) => return Err(format!("own JSON rejected: {e}")),
+            };
+            prop_assert_eq!(&back, &report);
+            prop_assert_eq!(back.to_json(), json);
+            // The exact-u64 path: seeds survive even beyond f64's 2^53
+            // window.
+            for (cell, &(x, _)) in back.cells.iter().zip(&entropy) {
+                prop_assert_eq!(cell.spec.seed, x);
+            }
+        }
     }
 
     #[test]
@@ -371,7 +487,7 @@ mod tests {
     fn schema_mismatch_and_corruption_are_rejected() {
         let report = tiny_report();
         let json = report.to_json();
-        let wrong_schema = json.replacen("\"schema\": 1", "\"schema\": 99", 1);
+        let wrong_schema = json.replacen("\"schema\": 2", "\"schema\": 99", 1);
         assert!(SweepReport::from_json(&wrong_schema)
             .expect_err("wrong schema")
             .contains("schema"));

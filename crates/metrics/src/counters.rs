@@ -31,6 +31,24 @@ pub struct MigrationOutcomes {
     /// Total post-transfer stall time accumulated by migrated requests
     /// (landing → next execution).
     pub total_stall: SimDuration,
+    /// Cross-shard escapes evaluated: the home shard was saturated (no
+    /// SLO-healthy instance, or none able to hold the request's KV) and a
+    /// healthy sibling shard existed. Zero in any single-shard run.
+    pub cross_shard_considered: u64,
+    /// Escapes vetoed by the predictive cost/benefit test at the
+    /// interconnect's (higher) transfer price.
+    pub cross_shard_vetoed_by_cost: u64,
+    /// Escapes abandoned because no landing instance qualified (or its
+    /// reservation failed) on the chosen sibling shard. Every considered
+    /// escape resolves: `cross_shard_considered == cross_shard_launched +
+    /// cross_shard_vetoed_by_cost + cross_shard_aborted`.
+    pub cross_shard_aborted: u64,
+    /// Cross-shard transfers actually launched onto the interconnect.
+    /// Also counted in [`MigrationOutcomes::launched`].
+    pub cross_shard_launched: u64,
+    /// KV bytes moved over the inter-shard interconnect. Also counted in
+    /// [`MigrationOutcomes::bytes_moved`].
+    pub cross_shard_bytes_moved: u64,
 }
 
 impl MigrationOutcomes {
@@ -40,6 +58,23 @@ impl MigrationOutcomes {
     #[must_use]
     pub fn diverged(&self) -> u64 {
         self.vetoed_by_cost + self.aborted_no_reservation
+    }
+
+    /// Adds another tally into this one — how the cluster aggregates its
+    /// per-shard controller outcomes into the run total.
+    pub fn absorb(&mut self, other: &MigrationOutcomes) {
+        self.considered += other.considered;
+        self.launched += other.launched;
+        self.vetoed_by_cost += other.vetoed_by_cost;
+        self.aborted_no_reservation += other.aborted_no_reservation;
+        self.landed_in_cpu += other.landed_in_cpu;
+        self.bytes_moved += other.bytes_moved;
+        self.total_stall += other.total_stall;
+        self.cross_shard_considered += other.cross_shard_considered;
+        self.cross_shard_vetoed_by_cost += other.cross_shard_vetoed_by_cost;
+        self.cross_shard_aborted += other.cross_shard_aborted;
+        self.cross_shard_launched += other.cross_shard_launched;
+        self.cross_shard_bytes_moved += other.cross_shard_bytes_moved;
     }
 }
 
@@ -64,6 +99,37 @@ impl AdmissionCounters {
             self.rejected as f64 / total as f64
         }
     }
+
+    /// Adds another tally into this one (per-shard → cluster aggregation).
+    pub fn absorb(&mut self, other: &AdmissionCounters) {
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Per-shard row of a sharded run: what one scheduling domain did.
+///
+/// A single-shard run emits exactly one row covering the whole pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Instances in this scheduling domain.
+    pub instances: usize,
+    /// Arrivals the router pinned to this shard.
+    pub routed_arrivals: u64,
+    /// Requests that completed on this shard (after any migrations).
+    pub completed: u64,
+    /// Peak GPU KV bytes summed over the shard's instances.
+    pub peak_gpu_kv_bytes: u64,
+    /// The shard's migration-controller tally; its `cross_shard_*`
+    /// counters cover escapes *out of* this shard.
+    pub migrations: MigrationOutcomes,
+    /// The shard's admission-controller tally.
+    pub admission: AdmissionCounters,
+    /// Requests that migrated into this shard over the interconnect.
+    pub cross_shard_in: u64,
 }
 
 /// One arrival the admission controller turned away.
@@ -105,5 +171,43 @@ mod tests {
             ..MigrationOutcomes::default()
         };
         assert_eq!(m.diverged(), 5);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let one = MigrationOutcomes {
+            considered: 3,
+            launched: 2,
+            vetoed_by_cost: 1,
+            aborted_no_reservation: 1,
+            landed_in_cpu: 1,
+            bytes_moved: 100,
+            total_stall: SimDuration::from_millis(5),
+            cross_shard_considered: 2,
+            cross_shard_vetoed_by_cost: 1,
+            cross_shard_aborted: 1,
+            cross_shard_launched: 1,
+            cross_shard_bytes_moved: 40,
+        };
+        let mut total = one;
+        total.absorb(&one);
+        assert_eq!(total.considered, 6);
+        assert_eq!(total.launched, 4);
+        assert_eq!(total.bytes_moved, 200);
+        assert_eq!(total.total_stall, SimDuration::from_millis(10));
+        assert_eq!(total.cross_shard_considered, 4);
+        assert_eq!(total.cross_shard_aborted, 2);
+        assert_eq!(total.cross_shard_launched, 2);
+        assert_eq!(total.cross_shard_bytes_moved, 80);
+
+        let mut adm = AdmissionCounters {
+            admitted: 4,
+            rejected: 1,
+        };
+        adm.absorb(&AdmissionCounters {
+            admitted: 6,
+            rejected: 2,
+        });
+        assert_eq!((adm.admitted, adm.rejected), (10, 3));
     }
 }

@@ -44,6 +44,9 @@ pub struct SweepCellMetrics {
     pub migrations_launched: u64,
     /// Migrations vetoed by the predictive cost/benefit test.
     pub migrations_vetoed: u64,
+    /// Migrations that crossed shards over the interconnect (also counted
+    /// in `migrations_launched`). Zero in single-shard cells.
+    pub migrations_cross_shard: u64,
     /// Migrations whose KV landed in destination CPU memory.
     pub migrations_landed_in_cpu: u64,
     /// Arrivals admitted by the admission controller.
@@ -90,6 +93,7 @@ impl SweepCellMetrics {
             migrations_considered: migration.considered,
             migrations_launched: migration.launched,
             migrations_vetoed: migration.vetoed_by_cost,
+            migrations_cross_shard: migration.cross_shard_launched,
             migrations_landed_in_cpu: migration.landed_in_cpu,
             admission_admitted: admission.admitted,
             admission_rejected: admission.rejected,
@@ -133,6 +137,7 @@ mod tests {
             launched: 6,
             vetoed_by_cost: 3,
             landed_in_cpu: 1,
+            cross_shard_launched: 2,
             ..MigrationOutcomes::default()
         };
         let admission = AdmissionCounters {
@@ -144,6 +149,7 @@ mod tests {
         assert_eq!(row.migrations_considered, 10);
         assert_eq!(row.migrations_launched, 6);
         assert_eq!(row.migrations_vetoed, 3);
+        assert_eq!(row.migrations_cross_shard, 2);
         assert_eq!(row.migrations_landed_in_cpu, 1);
         assert_eq!(row.admission_admitted, 9);
         assert_eq!(row.admission_rejected, 3);

@@ -65,6 +65,16 @@ impl LinkSpec {
         LinkSpec::new(50.0e9, 10.0e-6)
     }
 
+    /// The inter-shard interconnect: traffic between scheduling domains
+    /// crosses the spine, so it sees a quarter of the intra-shard fabric
+    /// bandwidth and a higher setup cost. This asymmetry is what makes the
+    /// migration cost/benefit test price cross-shard moves above
+    /// intra-shard ones.
+    #[must_use]
+    pub fn interconnect_25gbps() -> Self {
+        LinkSpec::new(25.0e9 / 8.0 * 0.95, 500.0e-6)
+    }
+
     /// Time to push `bytes` through the link, ignoring queueing.
     #[must_use]
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
@@ -98,6 +108,19 @@ mod tests {
             LinkSpec::pcie5_x16().transfer_time(bytes)
                 < LinkSpec::fabric_100gbps().transfer_time(bytes)
         );
+    }
+
+    #[test]
+    fn interconnect_is_slower_than_fabric() {
+        // The inter-shard tier must be strictly more expensive at every
+        // size, or the two-tier topology stops pricing cross-shard moves
+        // higher than intra-shard ones.
+        for bytes in [0u64, 1 << 10, 1 << 30] {
+            assert!(
+                LinkSpec::interconnect_25gbps().transfer_time(bytes)
+                    > LinkSpec::fabric_100gbps().transfer_time(bytes)
+            );
+        }
     }
 
     #[test]

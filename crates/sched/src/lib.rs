@@ -13,6 +13,12 @@
 //!   The Fig. 13 / Fig. 15 ablations are configuration flags on
 //!   [`PascalConfig`].
 //!
+//! Above the per-shard policies sits the cluster boundary:
+//! [`RouterPolicy`] pins every arrival to one scheduling domain (shard)
+//! before the shard's Algorithm 1 runs, and
+//! [`cross_shard_escape_target`] lifts Algorithm 2 to shard granularity
+//! for requests whose home shard has saturated.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,7 +54,9 @@
 #![warn(missing_docs)]
 
 mod policy;
+mod router;
 mod spec;
 
 pub use policy::{MigrationCost, MigrationDecision, PascalConfig, PriorityKey, SchedPolicy};
+pub use router::{cross_shard_escape_target, RouterPolicy};
 pub use spec::PolicyKind;

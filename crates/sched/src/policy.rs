@@ -352,6 +352,41 @@ impl SchedPolicy {
         MigrationDecision::MigrateTo(target.instance)
     }
 
+    /// Landing instance for a request migrating *into* this pool from
+    /// another shard: the Algorithm 2 ranking applied to the destination
+    /// shard's stats, restricted to SLO-healthy instances. Under the
+    /// adaptive policy an instance that cannot hold `needed_blocks` right
+    /// now is skipped (the cross-shard form of the Fig. 7 override);
+    /// NonAdaptive accepts the best-ranked instance blindly and may land
+    /// in CPU memory. `None` when no instance qualifies — the escape is
+    /// then abandoned and the request stays home.
+    #[must_use]
+    pub fn cross_shard_instance(&self, needed_blocks: u64, stats: &[InstanceStats]) -> Option<u32> {
+        let SchedPolicy::Pascal(config) = self else {
+            return None;
+        };
+        if !config.migration_enabled {
+            return None;
+        }
+        let mut pool: Vec<&InstanceStats> = stats.iter().filter(|s| s.slo_ok).collect();
+        if config.adaptive_migration {
+            pool.retain(|s| s.fits_blocks(needed_blocks));
+        }
+        if pool.is_empty() {
+            return None;
+        }
+        Some(
+            min_by_key_stable(pool, |s| {
+                (
+                    u64::from(s.reasoning_count),
+                    u64::from(s.fresh_answering_count),
+                    s.predicted_total_kv_bytes(),
+                )
+            })
+            .instance,
+        )
+    }
+
     /// [`SchedPolicy::migration_decision`] extended with the predictive
     /// cost/benefit test: when Algorithm 2 picks a destination but `cost`
     /// says the predicted remaining service is below the transfer cost, the
@@ -782,6 +817,39 @@ mod tests {
                 "underwater request migrated: {decision:?}"
             );
         }
+    }
+
+    #[test]
+    fn cross_shard_instance_ranks_healthy_and_respects_fit() {
+        let p = SchedPolicy::pascal(PascalConfig::default());
+        let s = vec![
+            stats(0, true, 50, 3, 0, Some(100)),
+            stats(1, false, 0, 0, 0, Some(100)), // unhealthy: excluded
+            stats(2, true, 10, 1, 1, Some(100)),
+        ];
+        assert_eq!(p.cross_shard_instance(10, &s), Some(2));
+        // Adaptive skips instances that cannot hold the KV right now…
+        let full = vec![
+            stats(0, true, 50, 3, 0, Some(100)),
+            stats(2, true, 10, 1, 1, Some(5)),
+        ];
+        assert_eq!(p.cross_shard_instance(10, &full), Some(0));
+        // …and gives up when nothing fits.
+        let all_full = vec![stats(0, true, 0, 0, 0, Some(5))];
+        assert_eq!(p.cross_shard_instance(10, &all_full), None);
+        // NonAdaptive lands blindly on the best-ranked instance.
+        let blind = SchedPolicy::pascal(PascalConfig {
+            adaptive_migration: false,
+            ..PascalConfig::default()
+        });
+        assert_eq!(blind.cross_shard_instance(10, &full), Some(2));
+        // Baselines and NoMigration never accept cross-shard traffic.
+        assert_eq!(SchedPolicy::Fcfs.cross_shard_instance(10, &s), None);
+        let no_mig = SchedPolicy::pascal(PascalConfig {
+            migration_enabled: false,
+            ..PascalConfig::default()
+        });
+        assert_eq!(no_mig.cross_shard_instance(10, &s), None);
     }
 
     #[test]

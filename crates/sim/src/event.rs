@@ -1,9 +1,28 @@
 //! A deterministic future-event list.
 //!
-//! [`EventQueue`] is a priority queue of `(time, payload)` pairs. Events that
-//! share a timestamp pop in insertion order (FIFO), which keeps simulations
-//! reproducible regardless of heap internals. Scheduled events can be
-//! cancelled by the [`EventId`] returned at insertion time.
+//! [`EventQueue`] is a priority queue of `(time, payload)` pairs. Scheduled
+//! events can be cancelled by the [`EventId`] returned at insertion time.
+//!
+//! # Ordering contract
+//!
+//! Every schedule is stamped with a monotonically increasing **sequence
+//! number**, and pops follow the strict total order **`(time, sequence)`
+//! ascending** — never the heap's internal layout. Consequences callers may
+//! rely on:
+//!
+//! * events that share a timestamp pop in insertion order (FIFO), even
+//!   when scheduling interleaves with popping;
+//! * the order is a *total* order: two distinct events never compare equal,
+//!   so a simulation's event trace is a pure function of its schedule
+//!   calls.
+//!
+//! This contract is what the sharded engine's interleaving discipline rests
+//! on: each shard's queue replays identically in isolation, and the
+//! cluster's cross-shard tie-break (arrivals first, then lowest shard id)
+//! composes with `(time, sequence)` into a total order over the whole
+//! cluster — which is why a one-shard cluster is byte-identical to the
+//! pre-sharding engine and an N-shard run is reproducible at any thread
+//! count.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -204,6 +223,30 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn time_sequence_order_holds_when_scheduling_interleaves_with_popping() {
+        // The (time, sequence) contract is not just about batch inserts:
+        // an event scheduled *between* pops at an already-populated
+        // timestamp still sorts after everything previously scheduled
+        // there — its sequence number is larger — and before anything
+        // scheduled later. This is the exact property the engine's
+        // same-timestamp handler chains (offload completes → reload
+        // scheduled at the same instant) rely on.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("first"));
+        // Scheduled mid-drain at the same (current) timestamp: runs after
+        // "second", because its sequence number is higher.
+        q.schedule(t, "third");
+        q.schedule(SimTime::from_nanos(11), "later-time");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("second"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("third"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("later-time"));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use pascal::metrics::{
     SLO_QOE_THRESHOLD,
 };
 use pascal::predict::PredictorKind;
-use pascal::sched::{PolicyKind, SchedPolicy};
+use pascal::sched::{PolicyKind, RouterPolicy, SchedPolicy};
 use pascal::workload::{ArrivalProcess, DatasetMix, MixPreset, TraceBuilder};
 
 const USAGE: &str = "\
@@ -53,10 +53,20 @@ OPTIONS (run):
   --count   <N>                                     requests       [1000]
   --seed    <N>                                     RNG seed       [42]
   --instances <N>                                   cluster size   [8]
+  --shards  <N>                                     scheduling domains [1]
+          partitions the instances into N shards behind a cluster
+          router; 1 reproduces the single-pool engine byte-for-byte.
+          Must divide --instances.
+  --router  <rr|least|predictive>                   cross-shard router [rr]
+          rr rotates arrivals, least picks the smallest current KV
+          footprint, predictive ranks shards by current+predicted
+          footprint (Algorithm 1 lifted to shard granularity).
   --csv     <PATH>                                  dump per-request CSV
 
 OPTIONS (sweep):
-  --grid    <main|predictive|migration|ci>          grid preset    [ci]
+  --grid    <main|predictive|migration|ci|sharded>  grid preset(s) [ci]
+          a comma-separated list (e.g. ci,sharded) runs the grids as
+          one merged report — how the CI perf gate sweeps both.
   --threads <N>                                     worker pool width; 0 =
           available parallelism (capped at 8). Results are identical at
           any width.                                               [0]
@@ -108,6 +118,8 @@ struct RunOpts {
     count: usize,
     seed: u64,
     instances: usize,
+    shards: usize,
+    router: String,
     csv: Option<String>,
 }
 
@@ -123,6 +135,8 @@ impl Default for RunOpts {
             count: 1000,
             seed: 42,
             instances: 8,
+            shards: 1,
+            router: "rr".to_owned(),
             csv: None,
         }
     }
@@ -180,6 +194,14 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--instances" => {
                 opts.instances = value()?.parse().map_err(|e| format!("--instances: {e}"))?;
             }
+            "--shards" => {
+                let shards: usize = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be positive".to_owned());
+                }
+                opts.shards = shards;
+            }
+            "--router" => opts.router = value()?,
             "--csv" => opts.csv = Some(value()?),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -188,20 +210,15 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
 }
 
 fn resolve_rate(rate: &str, config: &SimConfig, mix: &DatasetMix) -> Result<f64, String> {
-    match rate {
-        "low" => Ok(RateLevel::Low.rate_rps(config, mix)),
-        "medium" => Ok(RateLevel::Medium.rate_rps(config, mix)),
-        "high" => Ok(RateLevel::High.rate_rps(config, mix)),
-        other => other
-            .parse::<f64>()
-            .map_err(|_| format!("--rate must be low/medium/high or a number, got '{other}'"))
-            .and_then(|r| {
-                if r > 0.0 {
-                    Ok(r)
-                } else {
-                    Err("--rate must be positive".to_owned())
-                }
-            }),
+    // Symbolic levels go through `RateLevel::parse` so the error lists the
+    // valid values; anything else must be a positive numeric req/s.
+    match RateLevel::parse(rate) {
+        Ok(level) => Ok(level.rate_rps(config, mix)),
+        Err(level_err) => match rate.parse::<f64>() {
+            Ok(r) if r > 0.0 => Ok(r),
+            Ok(_) => Err("--rate must be positive".to_owned()),
+            Err(_) => Err(format!("--rate must be a number, or {level_err}")),
+        },
     }
 }
 
@@ -211,6 +228,14 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let policy = policy(&opts.policy)?;
     let mut config = SimConfig::evaluation_cluster(policy);
     config.num_instances = opts.instances;
+    config.shards = opts.shards;
+    config.router = RouterPolicy::parse(&opts.router)?;
+    if opts.instances % opts.shards != 0 {
+        return Err(CliError::Usage(format!(
+            "--shards {} does not divide --instances {} evenly",
+            opts.shards, opts.instances
+        )));
+    }
     config.predictor = predictor(&opts.predictor)?;
     config.admission = admission(&opts.admission)?;
     if let Some(ratio) = opts.migration_benefit {
@@ -243,10 +268,18 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
         _ => policy.name().to_owned(),
     };
-    eprintln!(
-        "simulating {} {} requests at {rate:.2} req/s on {} instances under {policy_label} …",
-        opts.count, opts.dataset, opts.instances,
-    );
+    if opts.shards > 1 {
+        eprintln!(
+            "simulating {} {} requests at {rate:.2} req/s on {} instances \
+             ({} shards, {} router) under {policy_label} …",
+            opts.count, opts.dataset, opts.instances, opts.shards, opts.router,
+        );
+    } else {
+        eprintln!(
+            "simulating {} {} requests at {rate:.2} req/s on {} instances under {policy_label} …",
+            opts.count, opts.dataset, opts.instances,
+        );
+    }
     let trace = TraceBuilder::new(mix)
         .arrivals(ArrivalProcess::poisson(rate))
         .count(opts.count)
@@ -304,6 +337,17 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             ),
         ]);
     }
+    if opts.shards > 1 {
+        rows.push(vec![
+            "cross-shard migrations".to_owned(),
+            format!(
+                "{} ({} considered, {} vetoed)",
+                out.migration_outcomes.cross_shard_launched,
+                out.migration_outcomes.cross_shard_considered,
+                out.migration_outcomes.cross_shard_vetoed_by_cost
+            ),
+        ]);
+    }
     if let Some(cal) = out.calibration() {
         rows.push(vec!["prediction calibration".to_owned(), cal.to_string()]);
     }
@@ -320,6 +364,41 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         );
     }
     println!("{}", render_table(&["metric", "value"], &rows));
+
+    if opts.shards > 1 {
+        let shard_rows: Vec<Vec<String>> = out
+            .shard_stats
+            .iter()
+            .map(|s| {
+                vec![
+                    s.shard.to_string(),
+                    s.instances.to_string(),
+                    s.routed_arrivals.to_string(),
+                    s.completed.to_string(),
+                    s.migrations.launched.to_string(),
+                    s.migrations.cross_shard_launched.to_string(),
+                    s.cross_shard_in.to_string(),
+                    s.admission.rejected.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "shard",
+                    "inst",
+                    "routed",
+                    "completed",
+                    "migr",
+                    "out",
+                    "in",
+                    "rejected",
+                ],
+                &shard_rows
+            )
+        );
+    }
 
     if let Some(path) = opts.csv {
         std::fs::write(&path, records_csv(&out.records))
@@ -409,23 +488,62 @@ fn opt_secs(x: Option<f64>) -> String {
 
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let opts = parse_sweep_opts(args)?;
-    let mut grid = SweepGrid::preset(&opts.grid)?;
-    if let Some(count) = opts.count {
-        grid.count = count;
+    // `--grid a,b` merges several presets into one report (unique labels
+    // enforced by the runner) — the CI gate sweeps `ci,sharded` this way.
+    let names: Vec<&str> = opts
+        .grid
+        .split(',')
+        .filter(|name| !name.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err(CliError::Usage(
+            "--grid needs at least one preset".to_owned(),
+        ));
     }
-    if let Some(seed) = opts.seed {
-        grid.base_seed = seed;
+    let mut grids = names
+        .into_iter()
+        .map(SweepGrid::preset)
+        .collect::<Result<Vec<SweepGrid>, String>>()?;
+    // Merged reports need globally unique cell labels (the gate matches by
+    // label) — catch collisions (e.g. `--grid ci,ci` or `--grid main,ci`,
+    // whose cells overlap) as a usage error rather than a runner panic.
+    {
+        let mut labels: Vec<String> = grids
+            .iter()
+            .flat_map(SweepGrid::expand)
+            .map(|spec| spec.label())
+            .collect();
+        labels.sort();
+        if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
+            return Err(CliError::Usage(format!(
+                "--grid '{}' produces the cell '{}' more than once — \
+                 merged presets must have disjoint cells",
+                opts.grid, dup[0]
+            )));
+        }
+    }
+    for grid in &mut grids {
+        if let Some(count) = opts.count {
+            grid.count = count;
+        }
+        if let Some(seed) = opts.seed {
+            grid.base_seed = seed;
+        }
     }
     let runner = SweepRunner::new(opts.threads);
-    let cells = grid.expand().len();
+    let cells: usize = grids.iter().map(|g| g.expand().len()).sum();
     eprintln!(
         "sweeping grid '{}': {cells} cells × {} requests on {} threads …",
-        grid.name,
-        grid.count,
+        opts.grid,
+        grids
+            .iter()
+            .map(|g| g.count.to_string())
+            .collect::<Vec<_>>()
+            .join("/"),
         runner.threads()
     );
     let started = std::time::Instant::now();
-    let report = runner.run_grid(&grid);
+    let report = runner.run_grids(&grids);
     let elapsed = started.elapsed().as_secs_f64();
     eprintln!(
         "swept {cells} cells in {elapsed:.2}s ({} threads)",
@@ -446,6 +564,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
                 format!("{:.2}%", 100.0 * m.slo_violation_rate),
                 m.migrations_launched.to_string(),
                 m.migrations_vetoed.to_string(),
+                m.migrations_cross_shard.to_string(),
                 m.admission_rejected.to_string(),
             ]
         })
@@ -455,7 +574,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         render_table(
             &[
                 "cell", "policy", "req/s", "p50 TTFT", "p99 TTFT", "SLO viol", "migr", "vetoed",
-                "rejected",
+                "cross", "rejected",
             ],
             &rows
         )
@@ -624,7 +743,27 @@ mod tests {
         assert!(high > 0.0);
         assert!((num - 3.5).abs() < 1e-12);
         assert!(resolve_rate("-2", &config, &mix).is_err());
-        assert!(resolve_rate("fast", &config, &mix).is_err());
+        let err = resolve_rate("fast", &config, &mix).expect_err("unknown rate");
+        assert!(
+            err.contains("valid: low, medium, high"),
+            "rate error must list the valid levels, got: {err}"
+        );
+    }
+
+    #[test]
+    fn shard_flags_parse_and_validate() {
+        let opts = parse_opts(&strs(&["--shards", "4", "--router", "least"])).expect("valid");
+        assert_eq!(opts.shards, 4);
+        assert_eq!(opts.router, "least");
+        // Usage errors: zero shards, non-numeric shards.
+        assert!(parse_opts(&strs(&["--shards", "0"])).is_err());
+        assert!(parse_opts(&strs(&["--shards", "many"])).is_err());
+        // Unknown routers are rejected with the valid values listed.
+        let err = RouterPolicy::parse("hash").expect_err("unknown router");
+        assert!(err.contains("valid: rr, least, predictive"), "got: {err}");
+        for key in ["rr", "least", "predictive"] {
+            assert!(RouterPolicy::parse(key).is_ok(), "{key}");
+        }
     }
 
     #[test]
@@ -717,7 +856,13 @@ mod tests {
 
     #[test]
     fn usage_lists_sweep_grid_presets() {
-        for needle in ["main|predictive|migration|ci", "--baseline", "--threads"] {
+        for needle in [
+            "main|predictive|migration|ci|sharded",
+            "--baseline",
+            "--threads",
+            "--shards",
+            "rr|least|predictive",
+        ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
         }
     }

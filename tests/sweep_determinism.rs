@@ -39,6 +39,41 @@ fn four_thread_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn sharded_grid_is_byte_identical_at_any_thread_count() {
+    // The shard×router×load cross-product: N shards interleave on one
+    // global clock inside each cell, and cells run across a worker pool —
+    // both layers must stay deterministic for the 4-thread JSON/CSV to
+    // match the sequential run byte for byte.
+    let mut grid = SweepGrid::preset("sharded").expect("sharded preset exists");
+    grid.count = 40;
+    grid.base_seed = 7;
+    let sequential = SweepRunner::new(1).run_grid(&grid);
+    let parallel = SweepRunner::new(4).run_grid(&grid);
+    assert_eq!(
+        sequential.cells.len(),
+        28,
+        "shard×router×load×predictor cells"
+    );
+    for (seq, par) in sequential.cells.iter().zip(&parallel.cells) {
+        assert_eq!(
+            seq,
+            par,
+            "cell {} diverged across thread counts",
+            seq.label()
+        );
+    }
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+    // The multi-shard cells actually sharded (and the anchors did not).
+    for cell in &sequential.cells {
+        assert_eq!(cell.spec.instances % cell.spec.shards, 0);
+        if cell.spec.shards == 1 {
+            assert_eq!(cell.metrics.migrations_cross_shard, 0);
+        }
+    }
+}
+
+#[test]
 fn sweep_report_survives_a_json_round_trip() {
     let report = SweepRunner::new(4).run_grid(&test_grid());
     let parsed = SweepReport::from_json(&report.to_json()).expect("own JSON parses");
