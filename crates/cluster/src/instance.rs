@@ -167,6 +167,35 @@ impl PoolSnapshot {
     pub fn all_slo_healthy(&self) -> bool {
         self.slo_healthy_instances == self.instances
     }
+
+    /// Merges several pool views into one — how a federated deployment
+    /// rolls a region's per-shard snapshots up into the region aggregate
+    /// its cross-region router and escape ranking consume.
+    #[must_use]
+    pub fn merge<'a>(pools: impl IntoIterator<Item = &'a PoolSnapshot>) -> Self {
+        let mut total = PoolSnapshot {
+            instances: 0,
+            slo_healthy_instances: 0,
+            kv_bytes: 0,
+            predicted_kv_bytes: 0,
+            free_gpu_blocks: Some(0),
+            reasoning_count: 0,
+        };
+        for p in pools {
+            total.instances += p.instances;
+            total.slo_healthy_instances += p.slo_healthy_instances;
+            total.kv_bytes = total.kv_bytes.saturating_add(p.kv_bytes);
+            total.predicted_kv_bytes = total
+                .predicted_kv_bytes
+                .saturating_add(p.predicted_kv_bytes);
+            total.free_gpu_blocks = match (total.free_gpu_blocks, p.free_gpu_blocks) {
+                (Some(acc), Some(free)) => Some(acc + free),
+                _ => None,
+            };
+            total.reasoning_count += p.reasoning_count;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +271,33 @@ mod tests {
         assert_eq!(oracle.free_gpu_blocks, None);
         // Empty pool aggregates to an empty snapshot.
         assert_eq!(PoolSnapshot::aggregate(&[]).instances, 0);
+    }
+
+    #[test]
+    fn pool_snapshot_merge_rolls_shards_into_a_region() {
+        let s = |slo, kv, pred, free| InstanceStats {
+            instance: 0,
+            slo_ok: slo,
+            kv_footprint_bytes: kv,
+            reasoning_count: 2,
+            fresh_answering_count: 0,
+            gpu_free_blocks: free,
+            predicted_future_kv_bytes: pred,
+        };
+        let a = PoolSnapshot::aggregate(&[s(true, 100, 50, Some(10))]);
+        let b = PoolSnapshot::aggregate(&[s(false, 200, 0, Some(5)), s(true, 50, 25, Some(1))]);
+        let region = PoolSnapshot::merge([&a, &b]);
+        assert_eq!(region.instances, 3);
+        assert_eq!(region.slo_healthy_instances, 2);
+        assert_eq!(region.kv_bytes, 350);
+        assert_eq!(region.predicted_kv_bytes, 425);
+        assert_eq!(region.free_gpu_blocks, Some(16));
+        assert_eq!(region.reasoning_count, 6);
+        // One unbounded shard makes the region unbounded; empty merge is
+        // the empty snapshot.
+        let oracle = PoolSnapshot::aggregate(&[s(true, 0, 0, None)]);
+        assert_eq!(PoolSnapshot::merge([&a, &oracle]).free_gpu_blocks, None);
+        assert_eq!(PoolSnapshot::merge([]).instances, 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! match the paper's two setups — the single-instance characterization
 //! testbed (§III-A) and the eight-instance evaluation cluster (§V-A).
 
+use pascal_federation::{FederationPolicy, WanLink};
 use pascal_model::{GpuSpec, KvGeometry, LinkSpec, LlmSpec, PerfModel};
 use pascal_predict::PredictorKind;
 use pascal_sched::{RouterPolicy, SchedPolicy};
@@ -37,16 +38,30 @@ pub struct SimConfig {
     /// The per-instance GPU.
     pub gpu: GpuSpec,
     /// Number of serving instances (the paper's cluster has 8), summed
-    /// over every shard: the aggregate capacity stays fixed as the shard
-    /// count varies. Must divide evenly by [`SimConfig::shards`].
+    /// over every shard of every region: the aggregate capacity stays
+    /// fixed as the partitioning varies. Must divide evenly by
+    /// [`SimConfig::regions`] × [`SimConfig::shards`].
     pub num_instances: usize,
-    /// Number of scheduling domains the instances are partitioned into.
-    /// `1` (the default) reproduces the paper's single-pool engine
-    /// byte-for-byte.
+    /// Number of scheduling domains the instances are partitioned into —
+    /// *per region* when [`SimConfig::regions`] is above one. `1` (the
+    /// default) reproduces the paper's single-pool engine byte-for-byte.
     pub shards: usize,
     /// Cross-shard routing discipline at the cluster boundary. Irrelevant
     /// (and never consulted) when `shards` is 1.
     pub router: RouterPolicy,
+    /// Number of geographic regions the cluster federates across. `1` (the
+    /// default) is the PR 4 cluster engine, byte-for-byte; above one, each
+    /// region runs its own cluster-of-shards and arrivals are routed by
+    /// [`SimConfig::fed_router`] from their `origin_region` tags.
+    pub regions: usize,
+    /// Cross-region routing discipline at the federation boundary.
+    /// Irrelevant (and never consulted) when `regions` is 1.
+    pub fed_router: FederationPolicy,
+    /// WAN distance class connecting the regions — the tier cross-region
+    /// migrations and spills ride, priced well above
+    /// [`SimConfig::interconnect`] so the migration cost/benefit veto
+    /// forbids frivolous cross-region moves.
+    pub wan: WanLink,
     /// Scheduling policy under test.
     pub policy: SchedPolicy,
     /// KV memory regime.
@@ -90,6 +105,9 @@ impl SimConfig {
             num_instances: 1,
             shards: 1,
             router: RouterPolicy::RoundRobin,
+            regions: 1,
+            fed_router: FederationPolicy::Static,
+            wan: WanLink::Continental,
             policy,
             kv_capacity,
             block_tokens: 16,
@@ -134,6 +152,17 @@ impl SimConfig {
     pub fn with_shards(mut self, shards: usize, router: RouterPolicy) -> Self {
         self.shards = shards;
         self.router = router;
+        self
+    }
+
+    /// The same deployment federated across `regions` regions behind
+    /// `fed_router`. The instance count stays the aggregate; each region
+    /// gets `num_instances / regions` of it, partitioned into
+    /// [`SimConfig::shards`] scheduling domains per region.
+    #[must_use]
+    pub fn with_regions(mut self, regions: usize, fed_router: FederationPolicy) -> Self {
+        self.regions = regions;
+        self.fed_router = fed_router;
         self
     }
 
@@ -192,10 +221,18 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.num_instances > 0, "need at least one instance");
         assert!(self.shards > 0, "need at least one shard");
+        assert!(self.regions > 0, "need at least one region");
         assert!(
             self.num_instances % self.shards == 0,
             "{} instances do not split evenly into {} shards",
             self.num_instances,
+            self.shards
+        );
+        assert!(
+            self.num_instances % (self.regions * self.shards) == 0,
+            "{} instances do not split evenly into {} regions of {} shards",
+            self.num_instances,
+            self.regions,
             self.shards
         );
         assert!(self.max_batch > 0, "max_batch must be non-zero");
@@ -382,6 +419,29 @@ mod tests {
     fn uneven_shard_partition_rejected() {
         SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
             .with_shards(3, RouterPolicy::RoundRobin)
+            .validate();
+    }
+
+    #[test]
+    fn with_regions_federates_at_fixed_aggregate_capacity() {
+        let c = SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
+            .with_shards(2, RouterPolicy::LeastLoaded)
+            .with_regions(2, FederationPolicy::Predictive);
+        c.validate();
+        assert_eq!(c.regions, 2);
+        assert_eq!(c.fed_router, FederationPolicy::Predictive);
+        assert_eq!(c.wan, WanLink::Continental, "continental WAN by default");
+        assert_eq!(c.num_instances, 8, "aggregate capacity is unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "regions of")]
+    fn uneven_region_partition_rejected() {
+        // 8 instances split into 4 shards fine, but not into 4 regions of
+        // 4 shards each (16 scheduling domains).
+        SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
+            .with_shards(4, RouterPolicy::RoundRobin)
+            .with_regions(4, FederationPolicy::Static)
             .validate();
     }
 

@@ -45,6 +45,22 @@ impl AdmissionMode {
     }
 }
 
+/// Outcome of a (pure) admission probe: admit, or reject with the
+/// projection that failed — kept so a federated deployment can probe its
+/// home region, try to spill, and only *commit* whichever decision stood.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum AdmissionProbe {
+    /// The arrival fits (or admission is off / memory is unbounded).
+    Admit,
+    /// The projection exceeded the budget.
+    Reject {
+        /// Projected aggregate KV bytes at decision time.
+        projected_kv_bytes: u64,
+        /// The byte budget the projection was tested against.
+        budget_bytes: u64,
+    },
+}
+
 /// Engine-side controller state: mode, pool budget and the rejection log.
 pub(crate) struct AdmissionController {
     mode: AdmissionMode,
@@ -74,47 +90,74 @@ impl AdmissionController {
         !matches!(self.mode, AdmissionMode::Disabled)
     }
 
-    /// Admits without inspecting the pool — the disabled path (and the
-    /// unbounded-memory shortcut).
-    fn admit_unconditionally(&mut self) -> bool {
-        self.counters.admitted += 1;
-        true
-    }
-
-    /// The predictive admission decision; tallies and logs the outcome.
-    fn admit(
-        &mut self,
-        spec: &RequestSpec,
-        pool: &PoolSnapshot,
-        incoming_bytes: u64,
-        now: SimTime,
-    ) -> bool {
+    /// The pure admission decision — no counters, no log. Both the
+    /// single-region check and the federation's probe-then-spill path are
+    /// built from this, so they cannot disagree.
+    fn probe(&self, pool: &PoolSnapshot, incoming_bytes: u64) -> AdmissionProbe {
         let AdmissionMode::Predictive { max_utilization } = self.mode else {
-            return self.admit_unconditionally();
+            return AdmissionProbe::Admit;
         };
         let Some(budget) = self.budget_bytes else {
             // Unbounded (oracle) memory cannot overload.
-            return self.admit_unconditionally();
+            return AdmissionProbe::Admit;
         };
         let projected = pool.predicted_kv_bytes.saturating_add(incoming_bytes);
         let limit = (budget as f64 * max_utilization) as u64;
         if projected > limit {
-            self.counters.rejected += 1;
-            self.rejections.push(AdmissionRecord {
-                id: spec.id,
-                at: now,
+            AdmissionProbe::Reject {
                 projected_kv_bytes: projected,
                 budget_bytes: limit,
-            });
-            false
+            }
         } else {
-            self.counters.admitted += 1;
-            true
+            AdmissionProbe::Admit
         }
     }
 }
 
 impl Shard<'_> {
+    /// The pure admission probe against a monitor snapshot: what this
+    /// shard *would* decide, with nothing tallied or logged yet.
+    pub(super) fn admission_probe(
+        &self,
+        spec: &RequestSpec,
+        stats: &[pascal_cluster::InstanceStats],
+    ) -> AdmissionProbe {
+        if !self.admission_ctl.enabled() {
+            return AdmissionProbe::Admit;
+        }
+        let pool = PoolSnapshot::aggregate(stats);
+        let incoming = self.predicted_final_kv_bytes(spec);
+        self.admission_ctl.probe(&pool, incoming)
+    }
+
+    /// Tallies an admission.
+    pub(super) fn admission_commit_admit(&mut self) {
+        self.admission_ctl.counters.admitted += 1;
+    }
+
+    /// Tallies and logs a rejection from the probe that produced it.
+    pub(super) fn admission_commit_reject(
+        &mut self,
+        spec: &RequestSpec,
+        probe: AdmissionProbe,
+        now: SimTime,
+    ) {
+        let AdmissionProbe::Reject {
+            projected_kv_bytes,
+            budget_bytes,
+        } = probe
+        else {
+            unreachable!("committing a rejection requires a rejecting probe");
+        };
+        self.admission_ctl.counters.rejected += 1;
+        self.admission_ctl.rejections.push(AdmissionRecord {
+            id: spec.id,
+            at: now,
+            projected_kv_bytes,
+            budget_bytes,
+        });
+    }
+
     /// Arrival-time admission check against the monitor snapshot the
     /// arrival handler already collected. `true` admits; `false` drops the
     /// arrival before any engine state is created (the request never
@@ -125,12 +168,16 @@ impl Shard<'_> {
         stats: &[pascal_cluster::InstanceStats],
         now: SimTime,
     ) -> bool {
-        if !self.admission_ctl.enabled() {
-            return self.admission_ctl.admit_unconditionally();
+        match self.admission_probe(spec, stats) {
+            AdmissionProbe::Admit => {
+                self.admission_commit_admit();
+                true
+            }
+            probe => {
+                self.admission_commit_reject(spec, probe, now);
+                false
+            }
         }
-        let pool = PoolSnapshot::aggregate(stats);
-        let incoming = self.predicted_final_kv_bytes(spec);
-        self.admission_ctl.admit(spec, &pool, incoming, now)
     }
 
     /// The incoming request's predicted final KV footprint: prompt plus the

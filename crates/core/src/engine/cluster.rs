@@ -26,10 +26,17 @@
 //! (slower, so the predictive cost/benefit veto fires sooner than
 //! intra-shard), and launching the KV over the contended inter-shard
 //! link; every failure path executes the deferred intra-shard fallback.
+//!
+//! The [`Cluster`] is one region's worth of this machinery; the
+//! single-region [`Engine`] drives it straight off the trace, while the
+//! federated engine ([`super::federation`]) owns one `Cluster` per region
+//! and resolves the two things a region cannot: escape candidates with no
+//! in-region target (returned as [`ClusterSignal::Escalate`]) and WAN
+//! transfer completions ([`ClusterSignal::CrossRegionArrived`]).
 
-use pascal_cluster::{KvLocation, PoolSnapshot, Topology};
-use pascal_metrics::MigrationRecord;
-use pascal_sched::{cross_shard_escape_target, MigrationCost, SchedPolicy};
+use pascal_cluster::{InstanceStats, KvLocation, PoolSnapshot, Topology};
+use pascal_metrics::{MigrationRecord, RegionStats};
+use pascal_sched::{cross_shard_escape_target, MigrationCost, RouterPolicy, SchedPolicy};
 use pascal_sim::SimTime;
 use pascal_workload::{RequestId, Trace};
 
@@ -37,100 +44,111 @@ use crate::config::SimConfig;
 
 use super::{context_kv_bytes, EscapeCandidate, Event, Shard, SimOutput};
 
-/// The cluster of shards and its global clock.
-pub(crate) struct Engine<'a> {
-    trace: &'a Trace,
+/// What firing one cluster event left for the caller to resolve. A
+/// non-federated cluster always resolves everything itself and returns
+/// [`ClusterSignal::Handled`].
+pub(super) enum ClusterSignal {
+    /// The event was fully handled inside the cluster.
+    Handled,
+    /// An iteration finished on `(shard, instance)` and these escape
+    /// candidates found no in-region target: the federation must resolve
+    /// them (cross-region escape or intra-shard fallback) and then
+    /// relaunch the instance — the same "before the relaunch" point where
+    /// in-region escapes are evaluated.
+    Escalate {
+        shard: usize,
+        instance: u32,
+        candidates: Vec<EscapeCandidate>,
+        now: SimTime,
+    },
+    /// A cross-region transfer out of `shard` cleared the WAN; the
+    /// federation must free the source side and land the request in the
+    /// destination region.
+    CrossRegionArrived {
+        shard: usize,
+        req: RequestId,
+        to_region: u32,
+        to_shard: u32,
+        to_instance: u32,
+        now: SimTime,
+    },
+}
+
+/// One region's cluster of shards: the shard pool, its two-tier topology,
+/// and the cross-shard router cursor.
+pub(crate) struct Cluster<'a> {
     config: &'a SimConfig,
     pub(super) shards: Vec<Shard<'a>>,
     topology: Topology,
-    /// Trace indices in arrival order — `(arrival, index)`-sorted, the
-    /// same total order the pre-sharding event queue popped arrivals in.
-    arrival_order: Vec<usize>,
-    next_arrival: usize,
     /// Round-robin router state.
     router_cursor: usize,
+    /// Whether a federation drives this cluster: escape candidates with no
+    /// in-region target are escalated instead of falling back immediately.
+    federated: bool,
 }
 
-impl<'a> Engine<'a> {
-    pub(crate) fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
-        config.validate();
-        let geometry = config.geometry();
-        if let Some(cap) = config.kv_capacity_bytes() {
-            let cap_blocks = geometry.blocks_in(cap);
-            for r in trace.requests() {
-                let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
-                assert!(
-                    worst <= cap_blocks,
-                    "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
-                     raise capacity or shrink the request",
-                    r.id
-                );
-            }
-        }
-
-        let per_shard = config.num_instances / config.shards;
-        let shards = (0..config.shards)
-            .map(|s| Shard::new(trace, config, s as u32, per_shard))
-            .collect();
-
-        let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
-        arrival_order.sort_by_key(|&i| (trace.requests()[i].arrival, i));
-
-        Engine {
-            trace,
+impl<'a> Cluster<'a> {
+    /// Builds a cluster of `shards` shards of `per_shard` instances each,
+    /// with global shard ids starting at `first_shard` (0 for a
+    /// single-region run, region-major in a federation).
+    pub(super) fn new(
+        trace: &'a Trace,
+        config: &'a SimConfig,
+        first_shard: u32,
+        shards: usize,
+        per_shard: usize,
+        federated: bool,
+    ) -> Self {
+        Cluster {
             config,
-            shards,
-            topology: Topology::two_tier(config.shards, config.fabric, config.interconnect),
-            arrival_order,
-            next_arrival: 0,
+            shards: (0..shards)
+                .map(|s| Shard::new(trace, config, first_shard + s as u32, per_shard))
+                .collect(),
+            topology: Topology::two_tier(shards, config.fabric, config.interconnect),
             router_cursor: 0,
+            federated,
         }
     }
 
-    /// Fires the globally earliest pending event (arrivals win ties, then
-    /// lowest shard id). Returns `false` once the cluster has drained.
-    pub(super) fn step(&mut self) -> bool {
-        let arrival = self
-            .arrival_order
-            .get(self.next_arrival)
-            .map(|&idx| self.trace.requests()[idx].arrival);
-        let mut shard_ev: Option<(SimTime, usize)> = None;
+    /// The earliest pending shard event as `(time, shard)`, if any — one
+    /// scan serves both the peek (for the arrival-vs-event race) and the
+    /// subsequent [`Cluster::fire_shard`]. Iterating in shard order with a
+    /// strict minimum makes ties resolve to the lowest shard id.
+    pub(super) fn peek_earliest(&mut self) -> Option<(SimTime, usize)> {
+        let mut best: Option<(SimTime, usize)> = None;
         for (s, shard) in self.shards.iter_mut().enumerate() {
             if let Some(t) = shard.queue.peek_time() {
-                if shard_ev.is_none_or(|(best, _)| t < best) {
-                    shard_ev = Some((t, s));
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, s));
                 }
             }
         }
-        match (arrival, shard_ev) {
-            (None, None) => false,
-            (Some(at), shard) if shard.is_none_or(|(t, _)| at <= t) => {
-                self.deliver_arrival(at);
-                true
-            }
-            (_, Some((_, s))) => {
-                let (now, ev) = self.shards[s].queue.pop().expect("peeked event exists");
-                self.dispatch(s, ev, now);
-                true
-            }
-            (Some(_), None) => unreachable!("arrival case handled by the guard above"),
-        }
+        best
     }
 
-    /// Routes the next trace arrival to a shard and delivers it. For
-    /// load-aware routers the monitor sweep of the chosen shard is handed
-    /// to the arrival handler so it is not repeated at the same timestamp;
-    /// load-oblivious routing skips the sweep entirely.
-    fn deliver_arrival(&mut self, now: SimTime) {
-        let idx = self.arrival_order[self.next_arrival];
-        self.next_arrival += 1;
+    /// Pops and dispatches shard `s`'s earliest event — the one
+    /// [`Cluster::peek_earliest`] just reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shard `s` has no pending event.
+    pub(super) fn fire_shard(&mut self, s: usize) -> ClusterSignal {
+        let (now, ev) = self.shards[s].queue.pop().expect("peeked event exists");
+        self.dispatch(s, ev, now)
+    }
+
+    /// Routes a trace arrival to a shard and delivers it — the
+    /// single-region path. For load-aware routers the monitor sweep of the
+    /// chosen shard is handed to the arrival handler so it is not repeated
+    /// at the same timestamp; load-oblivious routing skips the sweep
+    /// entirely.
+    pub(super) fn route_arrival(&mut self, idx: usize, now: SimTime) {
         if self.shards.len() == 1 {
             self.shards[0].on_arrival(idx, now, None);
             return;
         }
         if !self.config.router.needs_pool_state() {
-            let shard =
-                pascal_sched::RouterPolicy::rotate(self.shards.len(), &mut self.router_cursor);
+            let shard = RouterPolicy::rotate(self.shards.len(), &mut self.router_cursor);
             self.shards[shard].on_arrival(idx, now, None);
             return;
         }
@@ -143,46 +161,129 @@ impl<'a> Engine<'a> {
         self.shards[shard].on_arrival(idx, now, Some(all_stats.swap_remove(shard)));
     }
 
+    /// Picks the shard an arrival would be routed to and returns its
+    /// monitor snapshot — the federated path, where the admission decision
+    /// (and possible spill to another region) happens *before* delivery.
+    /// Advances the router cursor exactly like [`Cluster::route_arrival`].
+    pub(super) fn pick_arrival_shard(&mut self, now: SimTime) -> (usize, Vec<InstanceStats>) {
+        if self.shards.len() == 1 {
+            return (0, self.shards[0].collect_stats(now));
+        }
+        if !self.config.router.needs_pool_state() {
+            let shard = RouterPolicy::rotate(self.shards.len(), &mut self.router_cursor);
+            return (shard, self.shards[shard].collect_stats(now));
+        }
+        let mut all_stats: Vec<_> = self.shards.iter().map(|sh| sh.collect_stats(now)).collect();
+        let pools: Vec<PoolSnapshot> = all_stats
+            .iter()
+            .map(|stats| PoolSnapshot::aggregate(stats))
+            .collect();
+        let shard = self.config.router.route(&pools, &mut self.router_cursor);
+        (shard, all_stats.swap_remove(shard))
+    }
+
+    /// One aggregate pool snapshot per shard — the view the cross-shard
+    /// escape ranking (and, merged, the federation router) consumes.
+    pub(super) fn shard_pools(&self, now: SimTime) -> Vec<PoolSnapshot> {
+        self.shards
+            .iter()
+            .map(|sh| PoolSnapshot::aggregate(&sh.collect_stats(now)))
+            .collect()
+    }
+
     /// Routes one event to its handler. Iteration completions are split so
     /// cross-shard escapes are evaluated after tokens (and phase
     /// transitions) land but before the instance relaunches — the same
     /// point in the event order where intra-shard migrations launch.
-    fn dispatch(&mut self, s: usize, ev: Event, now: SimTime) {
+    fn dispatch(&mut self, s: usize, ev: Event, now: SimTime) -> ClusterSignal {
         match ev {
             Event::IterationDone { instance } => {
                 self.shards[s].finish_iteration(instance, now);
-                self.drain_escapes(s, now);
+                let unresolved = self.drain_escapes(s, now);
+                if !unresolved.is_empty() {
+                    debug_assert!(self.federated, "non-federated escapes resolve in-cluster");
+                    return ClusterSignal::Escalate {
+                        shard: s,
+                        instance,
+                        candidates: unresolved,
+                        now,
+                    };
+                }
                 self.shards[s].try_schedule(instance, now);
+                ClusterSignal::Handled
             }
-            Event::OffloadDone { req } => self.shards[s].on_offload_done(req, now),
-            Event::ReloadDone { req } => self.shards[s].on_reload_done(req, now),
-            Event::MigrationDone { req, to } => self.shards[s].on_migration_done(req, to, now),
+            Event::OffloadDone { req } => {
+                self.shards[s].on_offload_done(req, now);
+                ClusterSignal::Handled
+            }
+            Event::ReloadDone { req } => {
+                self.shards[s].on_reload_done(req, now);
+                ClusterSignal::Handled
+            }
+            Event::MigrationDone { req, to } => {
+                self.shards[s].on_migration_done(req, to, now);
+                ClusterSignal::Handled
+            }
             Event::CrossShardDone {
                 req,
                 to_shard,
                 to_instance,
-            } => self.on_cross_shard_done(s, req, to_shard as usize, to_instance, now),
+            } => {
+                self.on_cross_shard_done(s, req, to_shard as usize, to_instance, now);
+                ClusterSignal::Handled
+            }
+            Event::CrossRegionDone {
+                req,
+                to_region,
+                to_shard,
+                to_instance,
+            } => ClusterSignal::CrossRegionArrived {
+                shard: s,
+                req,
+                to_region,
+                to_shard,
+                to_instance,
+                now,
+            },
         }
     }
 
     /// Evaluates the escape candidates shard `s` queued during the
-    /// iteration that just finished.
-    fn drain_escapes(&mut self, s: usize, now: SimTime) {
-        if self.shards.len() == 1 {
+    /// iteration that just finished, returning the ones no sibling shard
+    /// could take (always empty in a non-federated cluster, where they
+    /// fall back immediately).
+    fn drain_escapes(&mut self, s: usize, now: SimTime) -> Vec<EscapeCandidate> {
+        if self.shards.len() == 1 && !self.federated {
             debug_assert!(self.shards[s].cross_escape_outbox.is_empty());
-            return;
+            return Vec::new();
         }
         let candidates = std::mem::take(&mut self.shards[s].cross_escape_outbox);
+        let mut unresolved = Vec::new();
         for candidate in candidates {
-            self.consider_cross_escape(s, candidate, now);
+            if let Some(c) = self.consider_cross_escape(s, candidate, now) {
+                unresolved.push(c);
+            }
         }
+        unresolved
     }
 
     /// The escape could not (or should not) cross shards: execute the
     /// intra-shard destination Algorithm 2 had picked at the transition,
-    /// if there was one.
-    fn escape_fallback(&mut self, from: usize, candidate: EscapeCandidate, now: SimTime) {
+    /// if there was one. `after_veto` attributes the fallback to the
+    /// cost/benefit veto at the pricier tier (vs no-target/abort).
+    pub(super) fn escape_fallback(
+        &mut self,
+        from: usize,
+        candidate: EscapeCandidate,
+        now: SimTime,
+        after_veto: bool,
+    ) {
         if let Some(dest) = candidate.intra_fallback {
+            let outcomes = &mut self.shards[from].migration_ctl.outcomes;
+            outcomes.cross_shard_fallbacks += 1;
+            if after_veto {
+                outcomes.cross_shard_fallbacks_after_veto += 1;
+            }
             self.shards[from].launch_deferred_migration(candidate.req, dest, now);
         }
     }
@@ -190,27 +291,39 @@ impl<'a> Engine<'a> {
     /// One cross-shard migration decision: sibling-shard ranking, landing
     /// instance, interconnect-priced cost/benefit veto, reservation,
     /// launch. Every failure path falls back to the candidate's deferred
-    /// intra-shard move (when it has one).
-    fn consider_cross_escape(&mut self, from: usize, candidate: EscapeCandidate, now: SimTime) {
+    /// intra-shard move (when it has one) — except "no sibling shard can
+    /// take it" under a federation, which returns the candidate for
+    /// cross-region escalation.
+    fn consider_cross_escape(
+        &mut self,
+        from: usize,
+        candidate: EscapeCandidate,
+        now: SimTime,
+    ) -> Option<EscapeCandidate> {
         let id = candidate.req;
         // The escape was queued at the phase transition; the KV must still
         // be resident and idle (nothing reschedules between the transition
         // and this drain, but stay defensive — a stale candidate is a
         // no-op, never a crash).
-        let Some(st) = self.shards[from].states.get(&id) else {
-            return;
-        };
+        let st = self.shards[from].states.get(&id)?;
         if st.running || st.kv_location != KvLocation::Gpu {
-            return;
+            return None;
         }
 
-        let pools: Vec<PoolSnapshot> = self
-            .shards
-            .iter()
-            .map(|sh| PoolSnapshot::aggregate(&sh.collect_stats(now)))
-            .collect();
+        // A region's only shard has no siblings to rank: the candidate
+        // goes straight to the federation.
+        if self.shards.len() == 1 {
+            debug_assert!(self.federated);
+            return Some(candidate);
+        }
+
+        let pools = self.shard_pools(now);
         let Some(dest) = cross_shard_escape_target(&pools, from) else {
-            return self.escape_fallback(from, candidate, now);
+            if self.federated {
+                return Some(candidate);
+            }
+            self.escape_fallback(from, candidate, now, false);
+            return None;
         };
         self.shards[from]
             .migration_ctl
@@ -235,7 +348,8 @@ impl<'a> Engine<'a> {
         let policy = self.shards[from].policy;
         let Some(to_local) = policy.cross_shard_instance(needed, &dest_stats) else {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
-            return self.escape_fallback(from, candidate, now);
+            self.escape_fallback(from, candidate, now, false);
+            return None;
         };
 
         // The cost/benefit test at the interconnect's (higher) price. A
@@ -257,7 +371,8 @@ impl<'a> Engine<'a> {
                 .migration_ctl
                 .outcomes
                 .cross_shard_vetoed_by_cost += 1;
-            return self.escape_fallback(from, candidate, now);
+            self.escape_fallback(from, candidate, now, true);
+            return None;
         }
 
         // Adaptive reservation on the destination (race-free Fig. 7 form,
@@ -276,7 +391,8 @@ impl<'a> Engine<'a> {
                 .insert(id, needed);
         } else if policy.adaptive_migration() {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
-            return self.escape_fallback(from, candidate, now);
+            self.escape_fallback(from, candidate, now, false);
+            return None;
         }
 
         let (_, finish) = self.topology.cross_migrate(now, from, dest, bytes);
@@ -310,6 +426,7 @@ impl<'a> Engine<'a> {
                 },
             );
         }
+        None
     }
 
     /// A cross-shard transfer cleared the interconnect: free the source
@@ -351,90 +468,204 @@ impl<'a> Engine<'a> {
         self.shards[from].try_schedule(from_local, now);
         self.shards[to_shard].try_schedule(to_local, now);
     }
+}
+
+/// Panics unless every single request's worst-case KV footprint fits one
+/// instance — such a request could never be scheduled anywhere.
+pub(super) fn validate_trace_fits(trace: &Trace, config: &SimConfig) {
+    let geometry = config.geometry();
+    if let Some(cap) = config.kv_capacity_bytes() {
+        let cap_blocks = geometry.blocks_in(cap);
+        for r in trace.requests() {
+            let worst = geometry.blocks_for_tokens(r.final_context_tokens() + 1);
+            assert!(
+                worst <= cap_blocks,
+                "{} needs {worst} KV blocks but an instance only has {cap_blocks}; \
+                 raise capacity or shrink the request",
+                r.id
+            );
+        }
+    }
+}
+
+/// Panics if any shard drained with live requests or leaked reservations.
+pub(super) fn assert_drained(shards: &[Shard<'_>]) {
+    for sh in shards {
+        assert!(
+            sh.states.is_empty(),
+            "shard {} drained with {} unfinished requests (deadlock)",
+            sh.id,
+            sh.states.len()
+        );
+    }
+    for sh in shards {
+        assert!(
+            sh.migration_ctl.reservations.is_empty(),
+            "shard {} drained with leaked migration reservations",
+            sh.id
+        );
+    }
+}
+
+/// Collapses the drained shards into a [`SimOutput`] — the shared tail of
+/// the single-region and federated engines. `region_stats` starts empty;
+/// the caller fills it.
+pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
+    // Only PASCAL consumes predictions (demotion, placement); under
+    // the baselines a predictor is purely observational — calibration
+    // samples are still logged, but the run's behavior is identical to
+    // the plain policy, and the name must say so. Active controllers
+    // tag the name so paired comparisons stay legible.
+    let lead = &shards[0];
+    let mut policy_name = match (&lead.predictor, &lead.policy) {
+        (Some(p), SchedPolicy::Pascal(_)) => {
+            if lead.migration_ctl.predictive().is_some() {
+                format!(
+                    "{}(Predictive-{}, CostAwareMigration)",
+                    lead.policy.name(),
+                    p.name()
+                )
+            } else {
+                format!("{}(Predictive-{})", lead.policy.name(), p.name())
+            }
+        }
+        _ => lead.policy.name().to_owned(),
+    };
+    if lead.admission_ctl.enabled() {
+        policy_name.push_str("+PredictiveAdmission");
+    }
+
+    let shard_stats: Vec<_> = shards.iter().map(Shard::shard_stats).collect();
+    let mut migration_outcomes = pascal_metrics::MigrationOutcomes::default();
+    let mut admission = pascal_metrics::AdmissionCounters::default();
+    for row in &shard_stats {
+        migration_outcomes.absorb(&row.migrations);
+        admission.absorb(&row.admission);
+    }
+
+    let mut records = Vec::new();
+    let mut peak_gpu_kv_bytes = Vec::new();
+    let mut predictions = Vec::new();
+    let mut rejections = Vec::new();
+    for sh in shards {
+        records.extend(sh.records);
+        peak_gpu_kv_bytes.extend(
+            sh.instances
+                .iter()
+                .map(|i| i.inst.gpu.peak_used_blocks() * sh.geometry.block_bytes()),
+        );
+        predictions.extend(sh.prediction_samples);
+        rejections.extend(sh.admission_ctl.rejections);
+    }
+    records.sort_by_key(|r| r.spec.id);
+    predictions.sort_by_key(|p| p.id);
+    rejections.sort_by_key(|r| (r.at, r.id));
+    let makespan = records
+        .iter()
+        .map(|r| r.completion)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+
+    SimOutput {
+        records,
+        peak_gpu_kv_bytes,
+        makespan,
+        policy_name,
+        predictions,
+        migration_outcomes,
+        admission,
+        rejections,
+        shard_stats,
+        region_stats: Vec::new(),
+    }
+}
+
+/// The single-region engine: the cluster driven straight off the trace.
+pub(crate) struct Engine<'a> {
+    trace: &'a Trace,
+    config: &'a SimConfig,
+    cluster: Cluster<'a>,
+    /// Trace indices in arrival order — `(arrival, index)`-sorted, the
+    /// same total order the pre-sharding event queue popped arrivals in.
+    arrival_order: Vec<usize>,
+    next_arrival: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(trace: &'a Trace, config: &'a SimConfig) -> Self {
+        config.validate();
+        validate_trace_fits(trace, config);
+
+        let per_shard = config.num_instances / config.shards;
+        let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
+        arrival_order.sort_by_key(|&i| (trace.requests()[i].arrival, i));
+
+        Engine {
+            trace,
+            config,
+            cluster: Cluster::new(trace, config, 0, config.shards, per_shard, false),
+            arrival_order,
+            next_arrival: 0,
+        }
+    }
+
+    /// Test-only view of the shards (the engine unit tests audit pool
+    /// accounting through it).
+    #[cfg(test)]
+    pub(super) fn shards(&self) -> &[Shard<'a>] {
+        &self.cluster.shards
+    }
+
+    /// Fires the globally earliest pending event (arrivals win ties, then
+    /// lowest shard id). Returns `false` once the cluster has drained.
+    pub(super) fn step(&mut self) -> bool {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let shard_ev = self.cluster.peek_earliest();
+        match (arrival, shard_ev) {
+            (None, None) => false,
+            (Some(at), shard) if shard.is_none_or(|(t, _)| at <= t) => {
+                let idx = self.arrival_order[self.next_arrival];
+                self.next_arrival += 1;
+                self.cluster.route_arrival(idx, at);
+                true
+            }
+            (_, Some((_, s))) => {
+                let signal = self.cluster.fire_shard(s);
+                debug_assert!(
+                    matches!(signal, ClusterSignal::Handled),
+                    "single-region clusters resolve every event internally"
+                );
+                true
+            }
+            (Some(_), None) => unreachable!("arrival case handled by the guard above"),
+        }
+    }
 
     pub(crate) fn run(mut self) -> SimOutput {
         while self.step() {}
-        for sh in &self.shards {
-            assert!(
-                sh.states.is_empty(),
-                "shard {} drained with {} unfinished requests (deadlock)",
-                sh.id,
-                sh.states.len()
-            );
-        }
-        for sh in &self.shards {
-            assert!(
-                sh.migration_ctl.reservations.is_empty(),
-                "shard {} drained with leaked migration reservations",
-                sh.id
-            );
-        }
-
-        // Only PASCAL consumes predictions (demotion, placement); under
-        // the baselines a predictor is purely observational — calibration
-        // samples are still logged, but the run's behavior is identical to
-        // the plain policy, and the name must say so. Active controllers
-        // tag the name so paired comparisons stay legible.
-        let lead = &self.shards[0];
-        let mut policy_name = match (&lead.predictor, &lead.policy) {
-            (Some(p), SchedPolicy::Pascal(_)) => {
-                if lead.migration_ctl.predictive().is_some() {
-                    format!(
-                        "{}(Predictive-{}, CostAwareMigration)",
-                        lead.policy.name(),
-                        p.name()
-                    )
-                } else {
-                    format!("{}(Predictive-{})", lead.policy.name(), p.name())
-                }
-            }
-            _ => lead.policy.name().to_owned(),
-        };
-        if lead.admission_ctl.enabled() {
-            policy_name.push_str("+PredictiveAdmission");
-        }
-
-        let shard_stats: Vec<_> = self.shards.iter().map(Shard::shard_stats).collect();
-        let mut migration_outcomes = pascal_metrics::MigrationOutcomes::default();
-        let mut admission = pascal_metrics::AdmissionCounters::default();
-        for row in &shard_stats {
-            migration_outcomes.absorb(&row.migrations);
-            admission.absorb(&row.admission);
-        }
-
-        let mut records = Vec::new();
-        let mut peak_gpu_kv_bytes = Vec::new();
-        let mut predictions = Vec::new();
-        let mut rejections = Vec::new();
-        for sh in self.shards {
-            records.extend(sh.records);
-            peak_gpu_kv_bytes.extend(
-                sh.instances
-                    .iter()
-                    .map(|i| i.inst.gpu.peak_used_blocks() * sh.geometry.block_bytes()),
-            );
-            predictions.extend(sh.prediction_samples);
-            rejections.extend(sh.admission_ctl.rejections);
-        }
-        records.sort_by_key(|r| r.spec.id);
-        predictions.sort_by_key(|p| p.id);
-        rejections.sort_by_key(|r| (r.at, r.id));
-        let makespan = records
-            .iter()
-            .map(|r| r.completion)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-
-        SimOutput {
-            records,
-            peak_gpu_kv_bytes,
-            makespan,
-            policy_name,
-            predictions,
-            migration_outcomes,
-            admission,
-            rejections,
-            shard_stats,
-        }
+        assert_drained(&self.cluster.shards);
+        let config = self.config;
+        let mut out = assemble_output(self.cluster.shards);
+        // The whole cluster is one region at the federation's level of
+        // description: all arrivals originate and are served here.
+        let routed: u64 = out.shard_stats.iter().map(|s| s.routed_arrivals).sum();
+        out.region_stats = vec![RegionStats {
+            region: 0,
+            shards: config.shards,
+            instances: config.num_instances,
+            origin_arrivals: routed,
+            routed_arrivals: routed,
+            nonlocal_arrivals: 0,
+            spill_out: 0,
+            spill_in: 0,
+            completed: out.records.len() as u64,
+            cross_region_out: 0,
+            cross_region_in: 0,
+            admission: out.admission,
+        }];
+        out
     }
 }

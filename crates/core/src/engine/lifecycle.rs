@@ -33,6 +33,20 @@ impl Shard<'_> {
         if !self.admission_check(&spec, &stats, now) {
             return;
         }
+        self.place_arrival(spec, &stats, now);
+    }
+
+    /// Places an *already admitted* arrival: prediction-sample logging,
+    /// Algorithm 1 placement, state creation and the first scheduling
+    /// attempt. The federated path calls this directly after its
+    /// probe-then-spill admission resolved which shard receives the
+    /// request.
+    pub(super) fn place_arrival(
+        &mut self,
+        spec: pascal_workload::RequestSpec,
+        stats: &[pascal_cluster::InstanceStats],
+        now: SimTime,
+    ) {
         // Log the estimate the scheduler is about to act on (pre-observe:
         // this request's own lengths are still hidden from the predictor).
         if let Some(pred) = &self.predictor {
@@ -46,7 +60,7 @@ impl Shard<'_> {
                     actual_total_tokens: spec.output_tokens(),
                 });
         }
-        let target = self.policy.place_new_request(&stats);
+        let target = self.policy.place_new_request(stats);
         let mut state = pascal_cluster::RequestState::new(spec, target, self.config.target_tpot);
         // Speculative demotion (§IV-C made predictive): an incoming
         // reasoning request whose *predicted* total reasoning length

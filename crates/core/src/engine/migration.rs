@@ -118,7 +118,7 @@ impl Shard<'_> {
         // saturated instances, so it defers too — keeping its destination
         // as the intra-shard fallback in case no sibling shard can take
         // the request.
-        let can_escape = self.cross_shard_enabled
+        let can_escape = self.cross_escape_enabled
             && matches!(
                 self.policy,
                 pascal_sched::SchedPolicy::Pascal(c) if c.migration_enabled

@@ -65,7 +65,7 @@ use std::collections::HashMap;
 use pascal_cluster::{Instance, RequestState};
 use pascal_metrics::{
     AdmissionCounters, AdmissionRecord, CalibrationReport, MigrationOutcomes, MigrationRecord,
-    PredictionSample, RequestRecord, ShardStats,
+    PredictionSample, RegionStats, RequestRecord, ShardStats,
 };
 use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
@@ -77,6 +77,7 @@ use crate::config::SimConfig;
 
 mod admission;
 mod cluster;
+mod federation;
 mod lifecycle;
 mod migration;
 mod stats;
@@ -88,6 +89,8 @@ pub use migration::PredictiveMigration;
 
 use admission::AdmissionController;
 pub(crate) use cluster::Engine;
+#[cfg(test)]
+pub(crate) use federation::FederationEngine;
 use migration::MigrationController;
 
 /// Events driving a shard. Arrivals are not queue events: the cluster
@@ -110,6 +113,16 @@ pub(super) enum Event {
     /// shard's queue so the source frees its KV exactly at landing time.)
     CrossShardDone {
         req: RequestId,
+        to_shard: u32,
+        to_instance: u32,
+    },
+    /// A cross-region migration cleared the WAN; the *federation* hands
+    /// the request from this shard to another region's shard. (Scheduled
+    /// on the source shard's queue, like [`Event::CrossShardDone`]; the
+    /// cluster cannot resolve it and returns it to the federation driver.)
+    CrossRegionDone {
+        req: RequestId,
+        to_region: u32,
         to_shard: u32,
         to_instance: u32,
     },
@@ -156,6 +169,8 @@ pub struct SimOutput {
     pub rejections: Vec<AdmissionRecord>,
     /// One row per scheduling domain (a single row when `shards` is 1).
     pub shard_stats: Vec<ShardStats>,
+    /// One row per region (a single row when `regions` is 1).
+    pub region_stats: Vec<RegionStats>,
 }
 
 impl SimOutput {
@@ -192,19 +207,26 @@ pub(super) fn context_kv_bytes(geometry: &KvGeometry, st: &RequestState) -> u64 
 /// never be scheduled).
 #[must_use]
 pub fn run_simulation(trace: &Trace, config: &SimConfig) -> SimOutput {
-    Engine::new(trace, config).run()
+    if config.regions > 1 {
+        federation::FederationEngine::new(trace, config).run()
+    } else {
+        Engine::new(trace, config).run()
+    }
 }
 
 /// One scheduling domain: an instance pool with its own event queue,
 /// controllers, and (fresh) predictor state.
 pub(super) struct Shard<'a> {
-    /// Shard index within the cluster.
+    /// Shard index — global across the federation (region-major), so a
+    /// one-region cluster's shard ids are exactly the PR 4 ids.
     pub(super) id: u32,
     /// Global id of this shard's first instance; instance indices inside
     /// the shard are local, records carry `offset + local`.
     pub(super) offset: u32,
-    /// Whether the cluster has sibling shards to escape to.
-    pub(super) cross_shard_enabled: bool,
+    /// Whether saturated phase transitions may escalate beyond this shard
+    /// — sibling shards in the cluster, or (in a federation) remote
+    /// regions even when the shard is its region's only one.
+    pub(super) cross_escape_enabled: bool,
     pub(super) trace: &'a Trace,
     pub(super) config: &'a SimConfig,
     pub(super) policy: SchedPolicy,
@@ -225,6 +247,8 @@ pub(super) struct Shard<'a> {
     pub(super) routed_arrivals: u64,
     /// Requests that migrated in over the interconnect.
     pub(super) cross_shard_in: u64,
+    /// Requests that migrated in over the WAN (federated runs only).
+    pub(super) cross_region_in: u64,
     /// Phase transitions that found the shard saturated — drained by the
     /// cluster right after the triggering iteration, before the instance
     /// relaunches.
@@ -255,7 +279,7 @@ impl<'a> Shard<'a> {
         Shard {
             id,
             offset: id * instances as u32,
-            cross_shard_enabled: config.shards > 1,
+            cross_escape_enabled: config.shards > 1 || config.regions > 1,
             trace,
             config,
             policy: config.policy,
@@ -275,6 +299,7 @@ impl<'a> Shard<'a> {
             prediction_samples: Vec::new(),
             routed_arrivals: 0,
             cross_shard_in: 0,
+            cross_region_in: 0,
             cross_escape_outbox: Vec::new(),
         }
     }
@@ -299,6 +324,7 @@ impl<'a> Shard<'a> {
             migrations: self.migration_ctl.outcomes,
             admission: self.admission_ctl.counters,
             cross_shard_in: self.cross_shard_in,
+            cross_region_in: self.cross_region_in,
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Federation study: 1/2/4 regions at fixed aggregate capacity, three
+//! region routers, on geo-skewed traffic.
+//!
+//! The north-star deployment serves one planet from several regions behind
+//! a federation router. This experiment holds the hardware constant (eight
+//! instances, the §V-A cluster) and sweeps how it is federated — one
+//! region, two, four — crossed with the three federation routers, on the
+//! reasoning-heavy mix at high load. Origins follow the trace builder's
+//! harmonic skew (region 0 is the hottest, as real geo traffic always is),
+//! so `static` routing genuinely overloads the hot region while
+//! `predictive` — Algorithm 1 lifted to region granularity — routes
+//! around it. Because the trace seed is derived only from trace-defining
+//! axes and origin tags ride a separate RNG stream, every cell serves the
+//! *identical* request bodies: differences are pure federation effects
+//! (routing skew, WAN escape traffic, admission spills).
+
+use pascal_federation::FederationPolicy;
+use pascal_metrics::{RegionStats, SweepCellMetrics};
+
+use crate::sweep::{SweepCell, SweepGrid, SweepRunner};
+
+/// One row of the federation comparison.
+#[derive(Clone, Debug)]
+pub struct FederatedScalingRow {
+    /// Length predictor key (`-` = reactive).
+    pub predictor: String,
+    /// Number of regions.
+    pub regions: usize,
+    /// Federation router (only meaningful when `regions > 1`).
+    pub fed_router: FederationPolicy,
+    /// The cell's aggregate metrics.
+    pub metrics: SweepCellMetrics,
+    /// Arrivals delivered per region, min..max — the router's balance.
+    pub routed_min: u64,
+    /// See [`FederatedScalingRow::routed_min`].
+    pub routed_max: u64,
+    /// Arrivals served outside their origin region (WAN detours).
+    pub nonlocal_arrivals: u64,
+    /// Admission spills absorbed across regions.
+    pub spills: u64,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FederatedScalingParams {
+    /// Requests per trace.
+    pub count: usize,
+    /// Base seed (per-cell trace seeds derive from it).
+    pub seed: u64,
+    /// Worker threads (0 = default pool width).
+    pub threads: usize,
+}
+
+impl Default for FederatedScalingParams {
+    fn default() -> Self {
+        FederatedScalingParams {
+            count: 2000,
+            seed: 2026,
+            threads: 0,
+        }
+    }
+}
+
+/// Runs the `federated` grid and annotates each cell with its
+/// region-balance spread and federation-boundary counters.
+#[must_use]
+pub fn run(params: FederatedScalingParams) -> Vec<FederatedScalingRow> {
+    let mut grid = SweepGrid::preset("federated").expect("federated preset exists");
+    grid.count = params.count;
+    grid.base_seed = params.seed;
+    let specs = grid.expand();
+    SweepRunner::new(params.threads).run_map(&specs, |spec, out| {
+        let routed: Vec<u64> = out
+            .region_stats
+            .iter()
+            .map(|r: &RegionStats| r.routed_arrivals)
+            .collect();
+        let cell = SweepCell::from_output(*spec, spec.rate_rps(), &out);
+        FederatedScalingRow {
+            predictor: spec
+                .predictor
+                .map_or_else(|| "-".to_owned(), |p| p.key().to_owned()),
+            regions: spec.regions,
+            fed_router: spec.fed_router,
+            metrics: cell.metrics,
+            routed_min: routed.iter().copied().min().unwrap_or(0),
+            routed_max: routed.iter().copied().max().unwrap_or(0),
+            nonlocal_arrivals: out.region_stats.iter().map(|r| r.nonlocal_arrivals).sum(),
+            spills: out.region_stats.iter().map(|r| r.spill_in).sum(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_the_region_router_cross_product() {
+        let rows = run(FederatedScalingParams {
+            count: 60,
+            seed: 11,
+            threads: 2,
+        });
+        assert_eq!(rows.len(), 14);
+        for row in &rows {
+            assert_eq!(row.metrics.requests, 60, "everything completes");
+            assert!(row.routed_min <= row.routed_max);
+            if row.regions == 1 {
+                assert_eq!(row.metrics.migrations_cross_region, 0);
+                assert_eq!(row.nonlocal_arrivals, 0);
+                assert_eq!(row.routed_min, 60);
+            }
+            // Static routing never serves off-origin and never detours.
+            if row.regions > 1 && row.fed_router == FederationPolicy::Static {
+                assert_eq!(row.nonlocal_arrivals, 0);
+            }
+        }
+        // The harmonic origin skew shows up as routing imbalance under
+        // static federation: the hot region gets strictly more than the
+        // coldest.
+        let skewed = rows
+            .iter()
+            .find(|r| r.regions == 4 && r.fed_router == FederationPolicy::Static)
+            .expect("static 4-region cell exists");
+        assert!(
+            skewed.routed_max > skewed.routed_min,
+            "static routing must mirror the origin skew: {}..{}",
+            skewed.routed_min,
+            skewed.routed_max
+        );
+    }
+
+    #[test]
+    fn predictive_federation_beats_static_on_the_hot_region() {
+        // The acceptance bar: at equal aggregate capacity, load-aware
+        // federation routing must beat geo-pinned static routing on tail
+        // TTFT or cross-region migration traffic — the hot region's queue
+        // is the whole reason the federation exists.
+        let rows = run(FederatedScalingParams {
+            count: 400,
+            seed: 2026,
+            threads: 0,
+        });
+        let pick = |regions: usize, router: FederationPolicy, predictor: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.regions == regions && r.fed_router == router && r.predictor == predictor
+                })
+                .expect("cell exists")
+        };
+        // Reactive rows: geo-pinning must cost static strictly — either a
+        // worse p99 or more WAN escape traffic than load-aware routing.
+        let static_4 = pick(4, FederationPolicy::Static, "-");
+        let predictive_4 = pick(4, FederationPolicy::Predictive, "-");
+        let s_p99 = static_4.metrics.ttft_p99_s.expect("answers");
+        let p_p99 = predictive_4.metrics.ttft_p99_s.expect("answers");
+        assert!(
+            p_p99 < s_p99
+                || predictive_4.metrics.migrations_cross_region
+                    < static_4.metrics.migrations_cross_region,
+            "predictive must strictly beat static on p99 TTFT ({p_p99:.2}s vs {s_p99:.2}s) \
+             or cross-region traffic ({} vs {})",
+            predictive_4.metrics.migrations_cross_region,
+            static_4.metrics.migrations_cross_region,
+        );
+        // Oracle rows: predicted footprints must not make things worse on
+        // both fronts at once.
+        let static_o = pick(4, FederationPolicy::Static, "oracle");
+        let predictive_o = pick(4, FederationPolicy::Predictive, "oracle");
+        assert!(
+            predictive_o.metrics.ttft_p99_s <= static_o.metrics.ttft_p99_s
+                || predictive_o.metrics.migrations_cross_region
+                    <= static_o.metrics.migrations_cross_region,
+            "oracle-predictive must not lose on both fronts"
+        );
+        // The load-aware router actually moved traffic off the hot region.
+        assert!(predictive_4.nonlocal_arrivals > 0);
+        assert!(
+            predictive_4.routed_max - predictive_4.routed_min
+                < static_4.routed_max - static_4.routed_min,
+            "predictive balances what static skews: {}..{} vs {}..{}",
+            predictive_4.routed_min,
+            predictive_4.routed_max,
+            static_4.routed_min,
+            static_4.routed_max,
+        );
+    }
+}

@@ -153,12 +153,31 @@ mod tests {
             seed: 5,
             level: RateLevel::Medium,
         });
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 10);
         let names: Vec<&str> = rows.iter().map(|r| r.policy.as_str()).collect();
         assert!(names.contains(&"PASCAL"));
         assert!(names.contains(&"PASCAL(Predictive-Oracle)"));
         assert!(names.contains(&"PASCAL(Predictive-EMA)"));
         assert!(names.contains(&"PASCAL(Predictive-Rank)"));
+        assert!(names.contains(&"PASCAL(Predictive-Quantile)"));
+    }
+
+    #[test]
+    fn quantile_calibration_is_comparable_against_ema() {
+        // The ROADMAP item: a quantile predictor whose calibration report
+        // sits next to the EMA's. Both must produce absolute estimates
+        // (unlike rank) so the report exists for both.
+        let trace = evaluation_trace(&reasoning_heavy_mix(), RateLevel::Medium, 200, 9);
+        let quantile = run_variant(&trace, Some(PredictorKind::Quantile));
+        let q_cal = quantile
+            .calibration()
+            .expect("quantile estimates after warmup");
+        let ema = run_variant(&trace, Some(PredictorKind::ProfileEma));
+        let e_cal = ema.calibration().expect("ema estimates after warmup");
+        assert!(q_cal.covered > 0, "quantile covers warmed-up arrivals");
+        assert!(q_cal.mean_abs_error > 0.0, "quantile is not an oracle");
+        // Same trace, same coverage rules — the comparison is paired.
+        assert_eq!(q_cal.samples, e_cal.samples);
     }
 
     #[test]

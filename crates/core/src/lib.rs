@@ -60,4 +60,5 @@ pub mod sweep;
 
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
 pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
+pub use pascal_federation::{FederationPolicy, WanLink};
 pub use sweep::{ScenarioSpec, SweepCell, SweepGrid, SweepReport, SweepRunner};

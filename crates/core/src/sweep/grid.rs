@@ -1,5 +1,6 @@
 //! Declarative sweep grids and their named presets.
 
+use pascal_federation::FederationPolicy;
 use pascal_predict::PredictorKind;
 use pascal_sched::{PolicyKind, RouterPolicy};
 use pascal_workload::MixPreset;
@@ -42,6 +43,11 @@ pub struct SweepGrid {
     pub shard_counts: Vec<usize>,
     /// Cross-shard routers.
     pub routers: Vec<RouterPolicy>,
+    /// Region counts. Cells with one region collapse the federation-router
+    /// axis, keeping only the first federation router.
+    pub region_counts: Vec<usize>,
+    /// Cross-region federation routers.
+    pub fed_routers: Vec<FederationPolicy>,
     /// Base seed; per-cell trace seeds are derived from it (see
     /// [`derive_trace_seed`]).
     pub base_seed: u64,
@@ -64,13 +70,21 @@ impl SweepGrid {
             instances: 8,
             shard_counts: vec![1],
             routers: vec![RouterPolicy::RoundRobin],
+            region_counts: vec![1],
+            fed_routers: vec![FederationPolicy::Static],
             base_seed: 2026,
         }
     }
 
     /// The available preset names, in presentation order.
-    pub const PRESET_NAMES: [&'static str; 5] =
-        ["main", "predictive", "migration", "ci", "sharded"];
+    pub const PRESET_NAMES: [&'static str; 6] = [
+        "main",
+        "predictive",
+        "migration",
+        "ci",
+        "sharded",
+        "federated",
+    ];
 
     /// A named grid preset.
     ///
@@ -87,7 +101,13 @@ impl SweepGrid {
     ///   and Oracle-predicted) on the mixed trace at medium/high rate,
     ///   1/2/4 shards at fixed aggregate capacity × the three routers
     ///   (28 cells; each one-shard anchor keeps a single router cell
-    ///   since routing is a no-op there).
+    ///   since routing is a no-op there);
+    /// * `federated` — the region-scaling cross-product: PASCAL (reactive
+    ///   and Oracle-predicted) on the reasoning-heavy mix at high rate,
+    ///   1/2/4 regions at fixed aggregate capacity × the three federation
+    ///   routers (14 cells; one-region anchors collapse the
+    ///   federation-router axis). Origins follow the harmonic skew, so
+    ///   `static` really does overload the hot region.
     ///
     /// # Errors
     ///
@@ -110,6 +130,7 @@ impl SweepGrid {
                     Some(PredictorKind::Oracle),
                     Some(PredictorKind::ProfileEma),
                     Some(PredictorKind::PairwiseRank),
+                    Some(PredictorKind::Quantile),
                 ];
                 grid.count = 2000;
             }
@@ -144,6 +165,18 @@ impl SweepGrid {
                 grid.predictors = vec![None, Some(PredictorKind::Oracle)];
                 grid.count = 120;
             }
+            "federated" => {
+                grid.mixes = vec![MixPreset::ReasoningHeavy];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                grid.region_counts = vec![1, 2, 4];
+                grid.fed_routers = FederationPolicy::ALL.to_vec();
+                // Oracle makes the predictive federation router's
+                // distinguishing input — predicted per-region footprints —
+                // a real signal rather than a least-loaded alias.
+                grid.predictors = vec![None, Some(PredictorKind::Oracle)];
+                grid.count = 120;
+            }
             other => {
                 return Err(format!(
                     "unknown grid preset '{other}' (valid: {})",
@@ -172,6 +205,8 @@ impl SweepGrid {
             ("migration_benefits", self.migration_benefits.len()),
             ("shard_counts", self.shard_counts.len()),
             ("routers", self.routers.len()),
+            ("region_counts", self.region_counts.len()),
+            ("fed_routers", self.fed_routers.len()),
         ] {
             assert!(len > 0, "grid '{}' has an empty {axis} axis", self.name);
         }
@@ -186,21 +221,27 @@ impl SweepGrid {
                             for &benefit in &self.migration_benefits {
                                 for &shards in &self.shard_counts {
                                     for &router in &self.routers {
-                                        let spec = ScenarioSpec {
-                                            mix,
-                                            level,
-                                            policy,
-                                            predictor,
-                                            admission,
-                                            migration_benefit: benefit,
-                                            count: self.count,
-                                            instances: self.instances,
-                                            shards,
-                                            router,
-                                            seed,
-                                        };
-                                        if self.keep(&spec) {
-                                            cells.push(spec);
+                                        for &regions in &self.region_counts {
+                                            for &fed_router in &self.fed_routers {
+                                                let spec = ScenarioSpec {
+                                                    mix,
+                                                    level,
+                                                    policy,
+                                                    predictor,
+                                                    admission,
+                                                    migration_benefit: benefit,
+                                                    count: self.count,
+                                                    instances: self.instances,
+                                                    shards,
+                                                    router,
+                                                    regions,
+                                                    fed_router,
+                                                    seed,
+                                                };
+                                                if self.keep(&spec) {
+                                                    cells.push(spec);
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -215,15 +256,18 @@ impl SweepGrid {
 
     /// The pruning rule: drop incoherent cells, cells where a predictor
     /// changes nothing (baseline policy with every predictive consumer off
-    /// — the run would be byte-identical to the `None` cell), and
-    /// one-shard cells beyond the first router (a single-shard cluster
-    /// never consults the router, so those runs would be byte-identical
-    /// too).
+    /// — the run would be byte-identical to the `None` cell), one-shard
+    /// cells beyond the first router, and one-region cells beyond the
+    /// first federation router (neither router is ever consulted there, so
+    /// those runs would be byte-identical too).
     fn keep(&self, spec: &ScenarioSpec) -> bool {
         if spec.validate().is_err() {
             return false;
         }
         if spec.shards == 1 && spec.router != self.routers[0] {
+            return false;
+        }
+        if spec.regions == 1 && spec.fed_router != self.fed_routers[0] {
             return false;
         }
         let predictor_consumed = matches!(
@@ -279,7 +323,8 @@ mod tests {
     #[test]
     fn presets_expand_to_expected_cell_counts() {
         assert_eq!(SweepGrid::preset("main").unwrap().expand().len(), 18);
-        assert_eq!(SweepGrid::preset("predictive").unwrap().expand().len(), 8);
+        // predictive: reactive + oracle/ema/rank/quantile, per mix.
+        assert_eq!(SweepGrid::preset("predictive").unwrap().expand().len(), 10);
         // migration: (none,None), (oracle,None), (oracle,1000),
         // (ema,None), (ema,1000) — the none+1000 cell is pruned.
         assert_eq!(SweepGrid::preset("migration").unwrap().expand().len(), 5);
@@ -288,8 +333,24 @@ mod tests {
         // sharded: per level × predictor — 1 one-shard anchor + {2,4}
         // shards × 3 routers.
         assert_eq!(SweepGrid::preset("sharded").unwrap().expand().len(), 28);
+        // federated: per predictor — 1 one-region anchor + {2,4} regions
+        // × 3 federation routers.
+        assert_eq!(SweepGrid::preset("federated").unwrap().expand().len(), 14);
         let err = SweepGrid::preset("everything").expect_err("unknown preset");
-        assert!(err.contains("sharded"), "error lists presets: {err}");
+        assert!(err.contains("federated"), "error lists presets: {err}");
+    }
+
+    #[test]
+    fn one_region_cells_collapse_the_federation_router_axis() {
+        let cells = SweepGrid::preset("federated").unwrap().expand();
+        let anchors: Vec<&ScenarioSpec> = cells.iter().filter(|c| c.regions == 1).collect();
+        assert_eq!(anchors.len(), 2, "one anchor per predictor");
+        assert!(anchors
+            .iter()
+            .all(|c| c.fed_router == pascal_federation::FederationPolicy::Static));
+        // Region counts share the (mix, level) trace seed: the comparison
+        // across region counts and federation routers is paired.
+        assert!(cells.windows(2).all(|w| w[0].seed == w[1].seed));
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(report.to_json().contains("\"grid\": \"ci\""));
 //! ```
 
+use pascal_federation::FederationPolicy;
 use pascal_metrics::{QoeParams, SweepCellMetrics};
 use pascal_predict::PredictorKind;
 use pascal_sched::{PolicyKind, RouterPolicy};
@@ -74,10 +75,16 @@ pub struct ScenarioSpec {
     /// Cluster size (aggregate over all shards).
     pub instances: usize,
     /// Scheduling domains the instances split into (`1` = the paper's
-    /// single-pool engine). Must divide `instances`.
+    /// single-pool engine), per region. Must divide `instances / regions`.
     pub shards: usize,
     /// Cross-shard routing discipline (only meaningful when `shards > 1`).
     pub router: RouterPolicy,
+    /// Geographic regions the cluster federates across (`1` = the PR 4
+    /// cluster engine). Must divide `instances`.
+    pub regions: usize,
+    /// Cross-region routing discipline (only meaningful when
+    /// `regions > 1`).
+    pub fed_router: FederationPolicy,
     /// Trace seed. Grids derive it from their base seed; hand-built specs
     /// (the refactored experiments) set it directly.
     pub seed: u64,
@@ -105,6 +112,8 @@ impl ScenarioSpec {
             instances: 8,
             shards: 1,
             router: RouterPolicy::RoundRobin,
+            regions: 1,
+            fed_router: FederationPolicy::Static,
             seed,
         }
     }
@@ -114,6 +123,15 @@ impl ScenarioSpec {
     pub fn with_shards(mut self, shards: usize, router: RouterPolicy) -> Self {
         self.shards = shards;
         self.router = router;
+        self
+    }
+
+    /// The same cell federated across `regions` regions behind
+    /// `fed_router`.
+    #[must_use]
+    pub fn with_regions(mut self, regions: usize, fed_router: FederationPolicy) -> Self {
+        self.regions = regions;
+        self.fed_router = fed_router;
         self
     }
 
@@ -164,6 +182,9 @@ impl ScenarioSpec {
         if self.shards != 1 {
             label.push_str(&format!("/s{}-{}", self.shards, self.router.key()));
         }
+        if self.regions != 1 {
+            label.push_str(&format!("/r{}-{}", self.regions, self.fed_router.key()));
+        }
         label
     }
 
@@ -184,11 +205,23 @@ impl ScenarioSpec {
         if self.shards == 0 {
             return Err("shards must be positive".to_owned());
         }
+        if self.regions == 0 {
+            return Err("regions must be positive".to_owned());
+        }
         if self.instances % self.shards != 0 {
             return Err(format!(
                 "{}: {} instances do not split evenly into {} shards",
                 self.label(),
                 self.instances,
+                self.shards
+            ));
+        }
+        if self.instances % (self.regions * self.shards) != 0 {
+            return Err(format!(
+                "{}: {} instances do not split evenly into {} regions of {} shards",
+                self.label(),
+                self.instances,
+                self.regions,
                 self.shards
             ));
         }
@@ -234,6 +267,8 @@ impl ScenarioSpec {
         config.num_instances = self.instances;
         config.shards = self.shards;
         config.router = self.router;
+        config.regions = self.regions;
+        config.fed_router = self.fed_router;
         config.predictor = self.predictor;
         config.admission = self.admission;
         if let Some(ratio) = self.migration_benefit {
@@ -252,13 +287,16 @@ impl ScenarioSpec {
         self.level.rate_rps(&reference, &self.mix.mix())
     }
 
-    /// Builds this cell's trace. Deterministic in the spec alone.
+    /// Builds this cell's trace. Deterministic in the spec alone. Origin
+    /// tags come from a separate RNG stream, so cells that differ only in
+    /// region count serve identical request bodies.
     #[must_use]
     pub fn trace(&self) -> Trace {
         TraceBuilder::new(self.mix.mix())
             .arrivals(ArrivalProcess::poisson(self.rate_rps()))
             .count(self.count)
             .seed(self.seed)
+            .regions(self.regions)
             .build()
     }
 

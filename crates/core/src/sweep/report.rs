@@ -7,6 +7,7 @@
 //! side ([`SweepReport::from_json`]) rebuilds full cells, which is what
 //! lets the CI gate diff a fresh run against a committed baseline.
 
+use pascal_federation::FederationPolicy;
 use pascal_metrics::SweepCellMetrics;
 use pascal_predict::PredictorKind;
 use pascal_sched::{PolicyKind, RouterPolicy};
@@ -18,8 +19,10 @@ use crate::sweep::json::{json_f64, json_opt_f64, json_str, JsonValue};
 use crate::sweep::{ScenarioSpec, SweepCell};
 
 /// Schema version stamped into every report. Version 2 added the
-/// `shards`/`router` axes and the cross-shard migration counters.
-pub const SWEEP_SCHEMA_VERSION: u64 = 2;
+/// `shards`/`router` axes and the cross-shard migration counters;
+/// version 3 added the `regions`/`fed_router` axes plus the cross-region
+/// migration and admission-spill counters.
+pub const SWEEP_SCHEMA_VERSION: u64 = 3;
 
 /// The results of one grid sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -59,11 +62,13 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "label,mix,level,policy,predictor,admission_utilization,migration_benefit,\
-             count,instances,shards,router,seed,rate_rps,policy_label,requests,ttft_mean_s,\
+             count,instances,shards,router,regions,fed_router,seed,rate_rps,policy_label,\
+             requests,ttft_mean_s,\
              ttft_p50_s,ttft_p99_s,slo_violation_rate,mean_qoe,throughput_tokens_per_s,\
              goodput_rps,makespan_s,migrations_considered,migrations_launched,\
-             migrations_vetoed,migrations_cross_shard,migrations_landed_in_cpu,\
-             admission_admitted,admission_rejected\n",
+             migrations_vetoed,migrations_cross_shard,migrations_cross_region,\
+             migrations_landed_in_cpu,\
+             admission_admitted,admission_rejected,admission_spilled\n",
         );
         let opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:?}"));
         for cell in &self.cells {
@@ -74,7 +79,7 @@ impl SweepReport {
                 AdmissionMode::Predictive { max_utilization } => format!("{max_utilization:?}"),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{}\n",
                 s.label(),
                 s.mix.key(),
                 s.level.key(),
@@ -86,6 +91,8 @@ impl SweepReport {
                 s.instances,
                 s.shards,
                 s.router.key(),
+                s.regions,
+                s.fed_router.key(),
                 s.seed,
                 cell.rate_rps,
                 csv_field(&cell.policy_label),
@@ -102,9 +109,11 @@ impl SweepReport {
                 m.migrations_launched,
                 m.migrations_vetoed,
                 m.migrations_cross_shard,
+                m.migrations_cross_region,
                 m.migrations_landed_in_cpu,
                 m.admission_admitted,
                 m.admission_rejected,
+                m.admission_spilled,
             ));
         }
         out
@@ -176,7 +185,8 @@ fn cell_json(cell: &SweepCell) -> String {
          \"policy\": {policy},\n      \"predictor\": {predictor},\n      \
          \"admission_utilization\": {admission},\n      \"migration_benefit\": {benefit},\n      \
          \"count\": {count},\n      \"instances\": {instances},\n      \"shards\": {shards},\n      \
-         \"router\": {router},\n      \"seed\": {seed},\n      \
+         \"router\": {router},\n      \"regions\": {regions},\n      \
+         \"fed_router\": {fed_router},\n      \"seed\": {seed},\n      \
          \"rate_rps\": {rate},\n      \"policy_label\": {plabel},\n      \"metrics\": {{\n        \
          \"requests\": {requests},\n        \"ttft_mean_s\": {ttft_mean},\n        \
          \"ttft_p50_s\": {ttft_p50},\n        \"ttft_p99_s\": {ttft_p99},\n        \
@@ -185,8 +195,9 @@ fn cell_json(cell: &SweepCell) -> String {
          \"makespan_s\": {makespan},\n        \"migrations_considered\": {mig_considered},\n        \
          \"migrations_launched\": {mig_launched},\n        \"migrations_vetoed\": {mig_vetoed},\n        \
          \"migrations_cross_shard\": {mig_cross},\n        \
+         \"migrations_cross_region\": {mig_cross_region},\n        \
          \"migrations_landed_in_cpu\": {mig_cpu},\n        \"admission_admitted\": {adm_ok},\n        \
-         \"admission_rejected\": {adm_no}\n      }}\n    }}",
+         \"admission_rejected\": {adm_no},\n        \"admission_spilled\": {adm_spill}\n      }}\n    }}",
         label = json_str(&s.label()),
         mix = json_str(s.mix.key()),
         level = json_str(s.level.key()),
@@ -196,6 +207,8 @@ fn cell_json(cell: &SweepCell) -> String {
         instances = s.instances,
         shards = s.shards,
         router = json_str(s.router.key()),
+        regions = s.regions,
+        fed_router = json_str(s.fed_router.key()),
         seed = s.seed,
         rate = json_f64(cell.rate_rps),
         plabel = json_str(&cell.policy_label),
@@ -212,9 +225,11 @@ fn cell_json(cell: &SweepCell) -> String {
         mig_launched = m.migrations_launched,
         mig_vetoed = m.migrations_vetoed,
         mig_cross = m.migrations_cross_shard,
+        mig_cross_region = m.migrations_cross_region,
         mig_cpu = m.migrations_landed_in_cpu,
         adm_ok = m.admission_admitted,
         adm_no = m.admission_rejected,
+        adm_spill = m.admission_spilled,
     )
 }
 
@@ -286,6 +301,12 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
                 .as_str()
                 .ok_or("'router' must be a string")?,
         )?,
+        regions: int(c, "regions")? as usize,
+        fed_router: FederationPolicy::parse(
+            field(c, "fed_router")?
+                .as_str()
+                .ok_or("'fed_router' must be a string")?,
+        )?,
         seed: int(c, "seed")?,
     };
     let metrics_obj = field(c, "metrics")?;
@@ -303,9 +324,11 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         migrations_launched: int(metrics_obj, "migrations_launched")?,
         migrations_vetoed: int(metrics_obj, "migrations_vetoed")?,
         migrations_cross_shard: int(metrics_obj, "migrations_cross_shard")?,
+        migrations_cross_region: int(metrics_obj, "migrations_cross_region")?,
         migrations_landed_in_cpu: int(metrics_obj, "migrations_landed_in_cpu")?,
         admission_admitted: int(metrics_obj, "admission_admitted")?,
         admission_rejected: int(metrics_obj, "admission_rejected")?,
+        admission_spilled: int(metrics_obj, "admission_spilled")?,
     };
     Ok(SweepCell {
         spec,
@@ -338,6 +361,7 @@ mod tests {
         use pascal_workload::MixPreset;
         let pick = |shift: u32, n: u64| ((x >> shift) % n) as usize;
         let shards = [1usize, 2, 4][pick(0, 3)];
+        let regions = [1usize, 2][pick(32, 2)];
         let spec = ScenarioSpec {
             mix: MixPreset::ALL[pick(2, 7)],
             level: crate::config::RateLevel::ALL[pick(5, 3)],
@@ -347,7 +371,8 @@ mod tests {
                 Some(PredictorKind::Oracle),
                 Some(PredictorKind::ProfileEma),
                 Some(PredictorKind::PairwiseRank),
-            ][pick(10, 4)],
+                Some(PredictorKind::Quantile),
+            ][pick(10, 5)],
             admission: if x & (1 << 12) == 0 {
                 crate::engine::AdmissionMode::Disabled
             } else {
@@ -357,9 +382,11 @@ mod tests {
             },
             migration_benefit: (x & (1 << 13) != 0).then_some(f * 0.5 + 1.0),
             count: 1 + pick(14, 5000),
-            instances: shards * (1 + pick(27, 4)),
+            instances: regions * shards * (1 + pick(27, 4)),
             shards,
             router: RouterPolicy::ALL[pick(30, 3)],
+            regions,
+            fed_router: pascal_federation::FederationPolicy::ALL[pick(34, 3)],
             // The raw entropy word: seeds must survive the full u64 range.
             seed: x,
         };
@@ -378,9 +405,11 @@ mod tests {
             migrations_launched: x % 500,
             migrations_vetoed: x % 77,
             migrations_cross_shard: x % 33,
+            migrations_cross_region: x % 13,
             migrations_landed_in_cpu: x % 5,
             admission_admitted: x % 10_000,
             admission_rejected: x % 99,
+            admission_spilled: x % 17,
         };
         SweepCell {
             spec,
@@ -487,7 +516,7 @@ mod tests {
     fn schema_mismatch_and_corruption_are_rejected() {
         let report = tiny_report();
         let json = report.to_json();
-        let wrong_schema = json.replacen("\"schema\": 2", "\"schema\": 99", 1);
+        let wrong_schema = json.replacen("\"schema\": 3", "\"schema\": 99", 1);
         assert!(SweepReport::from_json(&wrong_schema)
             .expect_err("wrong schema")
             .contains("schema"));

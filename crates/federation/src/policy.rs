@@ -1,0 +1,238 @@
+//! The federation router: region-boundary placement over per-region
+//! aggregate pool snapshots.
+//!
+//! Every arrival carries an `origin_region` tag (where the user is); the
+//! federation router decides *which region serves it* before the region's
+//! own shard router and Algorithm 1 take over. Three disciplines:
+//!
+//! * `static` — always serve at the origin region, whatever its load: the
+//!   geo-pinned baseline every real deployment starts from;
+//! * `nearest` — serve at the origin while it has an SLO-healthy instance,
+//!   else fail over to the nearest healthy region (ring distance, ties to
+//!   the lower region id);
+//! * `predictive` — Algorithm 1 lifted one more level: restrict to regions
+//!   with at least one SLO-healthy instance (fall back to all when none
+//!   qualify), then pick the smallest current-plus-predicted KV footprint,
+//!   ties by ring distance from the origin, then region id.
+
+use pascal_cluster::PoolSnapshot;
+
+/// A named cross-region routing discipline.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_federation::FederationPolicy;
+///
+/// let policy = FederationPolicy::parse("nearest").unwrap();
+/// assert_eq!(policy, FederationPolicy::Nearest);
+/// assert_eq!(policy.key(), "nearest");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FederationPolicy {
+    /// Pin every arrival to its origin region.
+    Static,
+    /// Origin region while healthy, else the nearest healthy region.
+    Nearest,
+    /// Algorithm 1 lifted to region granularity: smallest
+    /// current-plus-predicted KV footprint among healthy regions, ties by
+    /// distance from the origin. Without a length predictor the predicted
+    /// term is zero and this degenerates to health-filtered least-loaded.
+    Predictive,
+}
+
+impl FederationPolicy {
+    /// All disciplines, in presentation order.
+    pub const ALL: [FederationPolicy; 3] = [
+        FederationPolicy::Static,
+        FederationPolicy::Nearest,
+        FederationPolicy::Predictive,
+    ];
+
+    /// The short CLI/JSON key.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            FederationPolicy::Static => "static",
+            FederationPolicy::Nearest => "nearest",
+            FederationPolicy::Predictive => "predictive",
+        }
+    }
+
+    /// Parses a CLI-style key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keys.
+    pub fn parse(s: &str) -> Result<FederationPolicy, String> {
+        FederationPolicy::ALL
+            .into_iter()
+            .find(|p| p.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = FederationPolicy::ALL.iter().map(|p| p.key()).collect();
+                format!(
+                    "unknown federation router '{s}' (valid: {})",
+                    keys.join(", ")
+                )
+            })
+    }
+
+    /// Whether routing reads the per-region aggregates at all. `Static`
+    /// never does — the federation skips the monitor sweep entirely.
+    #[must_use]
+    pub fn needs_pool_state(self) -> bool {
+        !matches!(self, FederationPolicy::Static)
+    }
+
+    /// Picks the serving region for an arrival originating in `origin`.
+    /// `pools` holds one aggregate snapshot per region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty or `origin` is out of range.
+    #[must_use]
+    pub fn route(self, origin: usize, pools: &[PoolSnapshot]) -> usize {
+        assert!(!pools.is_empty(), "routing requires at least one region");
+        assert!(origin < pools.len(), "origin region {origin} out of range");
+        match self {
+            FederationPolicy::Static => origin,
+            FederationPolicy::Nearest => {
+                if pools[origin].slo_healthy_instances > 0 {
+                    return origin;
+                }
+                // Nearest healthy region by ring distance, ties to the
+                // lower id; a fully saturated federation stays home.
+                pools
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.slo_healthy_instances > 0)
+                    .min_by_key(|(r, _)| (ring_distance(origin, *r, pools.len()), *r))
+                    .map_or(origin, |(r, _)| r)
+            }
+            FederationPolicy::Predictive => {
+                let rank = |(r, p): (usize, &PoolSnapshot)| {
+                    (
+                        p.predicted_kv_bytes,
+                        ring_distance(origin, r, pools.len()),
+                        r,
+                    )
+                };
+                let healthy: Vec<(usize, &PoolSnapshot)> = pools
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.slo_healthy_instances > 0)
+                    .collect();
+                let candidates = if healthy.is_empty() {
+                    pools.iter().enumerate().collect()
+                } else {
+                    healthy
+                };
+                candidates
+                    .into_iter()
+                    .min_by_key(|&c| rank(c))
+                    .expect("non-empty candidate set")
+                    .0
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FederationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Hop count between two regions on the federation's ring — the distance
+/// stand-in the `nearest` policy and the predictive tie-break use (a real
+/// deployment would read an RTT matrix; a ring is the simplest non-trivial
+/// geometry that still makes "nearest" mean something).
+#[must_use]
+pub fn ring_distance(a: usize, b: usize, regions: usize) -> usize {
+    assert!(regions > 0, "ring distance needs at least one region");
+    let d = a.abs_diff(b) % regions;
+    d.min(regions - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(healthy: usize, kv: u64, predicted_extra: u64) -> PoolSnapshot {
+        PoolSnapshot {
+            instances: 2,
+            slo_healthy_instances: healthy,
+            kv_bytes: kv,
+            predicted_kv_bytes: kv + predicted_extra,
+            free_gpu_blocks: Some(100),
+            reasoning_count: 0,
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_and_errors_list_valid_values() {
+        for p in FederationPolicy::ALL {
+            assert_eq!(FederationPolicy::parse(p.key()), Ok(p));
+            assert_eq!(p.to_string(), p.key());
+        }
+        let err = FederationPolicy::parse("anycast").expect_err("unknown policy");
+        assert!(
+            err.contains("valid: static, nearest, predictive"),
+            "error must list the valid values, got: {err}"
+        );
+        assert!(!FederationPolicy::Static.needs_pool_state());
+        assert!(FederationPolicy::Nearest.needs_pool_state());
+        assert!(FederationPolicy::Predictive.needs_pool_state());
+    }
+
+    #[test]
+    fn static_always_serves_at_origin() {
+        let pools = vec![pool(0, 900, 0), pool(2, 0, 0)];
+        assert_eq!(FederationPolicy::Static.route(0, &pools), 0);
+        assert_eq!(FederationPolicy::Static.route(1, &pools), 1);
+    }
+
+    #[test]
+    fn nearest_stays_home_while_healthy_and_fails_over_by_distance() {
+        let healthy_home = vec![pool(1, 900, 0), pool(2, 0, 0)];
+        assert_eq!(FederationPolicy::Nearest.route(0, &healthy_home), 0);
+        // Unhealthy home on a 4-ring: regions 1 and 3 are both one hop
+        // away — the tie goes to the lower id; region 2 is farther.
+        let pools = vec![pool(0, 0, 0), pool(1, 0, 0), pool(1, 0, 0), pool(1, 0, 0)];
+        assert_eq!(FederationPolicy::Nearest.route(0, &pools), 1);
+        let only_far = vec![pool(0, 0, 0), pool(0, 0, 0), pool(1, 0, 0), pool(0, 0, 0)];
+        assert_eq!(FederationPolicy::Nearest.route(0, &only_far), 2);
+        // Nothing healthy anywhere: stay home.
+        let saturated = vec![pool(0, 0, 0), pool(0, 0, 0)];
+        assert_eq!(FederationPolicy::Nearest.route(0, &saturated), 0);
+    }
+
+    #[test]
+    fn predictive_ranks_by_footprint_then_distance() {
+        let pools = vec![
+            pool(1, 500, 0),   // home, predicted 500
+            pool(0, 100, 0),   // unhealthy: excluded despite smallest kv
+            pool(1, 300, 0),   // healthy, predicted 300 → winner
+            pool(1, 300, 300), // healthy, predicted 600
+        ];
+        assert_eq!(FederationPolicy::Predictive.route(0, &pools), 2);
+        // Footprint ties break toward the origin's neighborhood: regions 1
+        // and 2 tie at 100, and region 2 is the origin itself (distance 0).
+        let tied = vec![pool(1, 200, 0), pool(1, 100, 0), pool(1, 100, 0)];
+        assert_eq!(FederationPolicy::Predictive.route(2, &tied), 2);
+        // From origin 0 the same tie resolves to the lower id.
+        assert_eq!(FederationPolicy::Predictive.route(0, &tied), 1);
+        // With every region unhealthy, fall back to all regions.
+        let saturated = vec![pool(0, 500, 0), pool(0, 100, 0)];
+        assert_eq!(FederationPolicy::Predictive.route(0, &saturated), 1);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        assert_eq!(ring_distance(0, 3, 4), 1);
+        assert_eq!(ring_distance(0, 2, 4), 2);
+        assert_eq!(ring_distance(1, 1, 4), 0);
+        assert_eq!(ring_distance(0, 0, 1), 0);
+        assert_eq!(ring_distance(5, 0, 3), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The WAN tier: named cross-region links and their contention state.
+//!
+//! Cross-region KV transfers ride links an order of magnitude slower (and
+//! dozens of milliseconds farther) than the intra-region interconnect.
+//! [`WanLink`] names four distance classes; [`WanTopology`] gives every
+//! region one full-duplex WAN port and serializes concurrent transfers on
+//! the shared endpoints — the same contention model as the instance fabric
+//! and the inter-shard interconnect, applied one level up. The migration
+//! cost/benefit veto prices candidate moves at
+//! [`WanTopology::cross_transfer_time`], so the tier's expense is what
+//! keeps cross-region migration an act of last resort.
+
+use pascal_cluster::Fabric;
+use pascal_model::LinkSpec;
+use pascal_sim::{SimDuration, SimTime};
+
+/// A named WAN distance class connecting the federation's regions.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_federation::WanLink;
+///
+/// let wan = WanLink::parse("transoceanic").unwrap();
+/// assert_eq!(wan.key(), "transoceanic");
+/// assert!(WanLink::parse("carrier-pigeon").is_err());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum WanLink {
+    /// Same metro area (<100 km): 25 Gbps effective, 2 ms RTT-class setup.
+    Metro,
+    /// Same geographic region (~1000 km): 10 Gbps, 15 ms.
+    Regional,
+    /// Cross-continent (~4000 km): 5 Gbps, 35 ms — the default.
+    #[default]
+    Continental,
+    /// Across an ocean: 2.5 Gbps, 75 ms.
+    Transoceanic,
+}
+
+impl WanLink {
+    /// All distance classes, nearest first.
+    pub const ALL: [WanLink; 4] = [
+        WanLink::Metro,
+        WanLink::Regional,
+        WanLink::Continental,
+        WanLink::Transoceanic,
+    ];
+
+    /// The short CLI/JSON key.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            WanLink::Metro => "metro",
+            WanLink::Regional => "regional",
+            WanLink::Continental => "continental",
+            WanLink::Transoceanic => "transoceanic",
+        }
+    }
+
+    /// Parses a CLI-style key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid keys.
+    pub fn parse(s: &str) -> Result<WanLink, String> {
+        WanLink::ALL
+            .into_iter()
+            .find(|w| w.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = WanLink::ALL.iter().map(|w| w.key()).collect();
+                format!("unknown WAN link '{s}' (valid: {})", keys.join(", "))
+            })
+    }
+
+    /// The physical link: effective bandwidth at ~95% protocol efficiency,
+    /// setup latency dominated by propagation delay. Every preset is
+    /// strictly more expensive than the inter-shard
+    /// [`LinkSpec::interconnect_25gbps`] at every transfer size — the
+    /// invariant that makes the cost/benefit veto monotone up the
+    /// hierarchy.
+    #[must_use]
+    pub fn link(self) -> LinkSpec {
+        let (gbps, latency_ms) = match self {
+            WanLink::Metro => (25.0, 2.0),
+            WanLink::Regional => (10.0, 15.0),
+            WanLink::Continental => (5.0, 35.0),
+            WanLink::Transoceanic => (2.5, 75.0),
+        };
+        LinkSpec::new(gbps * 1.0e9 / 8.0 * 0.95, latency_ms * 1.0e-3)
+    }
+}
+
+impl std::fmt::Display for WanLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The federation's WAN tier: one full-duplex port per region over a
+/// [`WanLink`], with FIFO serialization on shared endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use pascal_federation::{WanLink, WanTopology};
+/// use pascal_sim::SimTime;
+///
+/// let mut wan = WanTopology::new(3, WanLink::Metro);
+/// let (s1, f1) = wan.cross_migrate(SimTime::ZERO, 0, 2, 1 << 20);
+/// let (s2, _) = wan.cross_migrate(SimTime::ZERO, 1, 2, 1 << 20);
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, f1, "shared ingress serializes");
+/// ```
+#[derive(Clone, Debug)]
+pub struct WanTopology {
+    wan: WanLink,
+    ports: Fabric,
+}
+
+impl WanTopology {
+    /// A WAN tier connecting `regions` regions over `wan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is zero.
+    #[must_use]
+    pub fn new(regions: usize, wan: WanLink) -> Self {
+        assert!(regions > 0, "a federation needs at least one region");
+        WanTopology {
+            wan,
+            ports: Fabric::new(regions, wan.link()),
+        }
+    }
+
+    /// Number of regions on the WAN tier.
+    #[must_use]
+    pub fn num_regions(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The WAN distance class.
+    #[must_use]
+    pub fn wan(&self) -> WanLink {
+        self.wan
+    }
+
+    /// Queueing-free service time of a cross-region transfer — the figure
+    /// the migration cost/benefit veto prices a candidate move at.
+    #[must_use]
+    pub fn cross_transfer_time(&self, bytes: u64) -> SimDuration {
+        self.wan.link().transfer_time(bytes)
+    }
+
+    /// Schedules a cross-region KV migration of `bytes` submitted at `now`,
+    /// holding the source region's WAN egress and the destination's
+    /// ingress; returns `(start, finish)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either index is out of range.
+    pub fn cross_migrate(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        to: usize,
+        bytes: u64,
+    ) -> (SimTime, SimTime) {
+        self.ports.migrate(now, from, to, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip_and_errors_list_valid_values() {
+        for wan in WanLink::ALL {
+            assert_eq!(WanLink::parse(wan.key()), Ok(wan));
+            assert_eq!(wan.to_string(), wan.key());
+        }
+        let err = WanLink::parse("dialup").expect_err("unknown link");
+        assert!(
+            err.contains("valid: metro, regional, continental, transoceanic"),
+            "error must list the valid values, got: {err}"
+        );
+        assert_eq!(WanLink::default(), WanLink::Continental);
+    }
+
+    #[test]
+    fn every_wan_class_is_pricier_than_the_interconnect() {
+        // The hierarchy invariant: fabric < interconnect < every WAN class.
+        // Without it the cost/benefit veto would stop being monotone in
+        // distance and a "cheap" WAN hop could undercut a local move.
+        let interconnect = LinkSpec::interconnect_25gbps();
+        for wan in WanLink::ALL {
+            for bytes in [0u64, 1 << 20, 1 << 30] {
+                assert!(
+                    wan.link().transfer_time(bytes) > interconnect.transfer_time(bytes),
+                    "{wan} must be pricier than the interconnect at {bytes} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wan_classes_are_ordered_by_distance() {
+        let bytes = 256 * 1024 * 1024;
+        let times: Vec<f64> = WanLink::ALL
+            .iter()
+            .map(|w| w.link().transfer_time(bytes).as_secs_f64())
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "transfer times must grow with distance: {times:?}"
+        );
+    }
+
+    #[test]
+    fn topology_contends_on_shared_ports_and_not_on_disjoint_pairs() {
+        let mut wan = WanTopology::new(4, WanLink::Regional);
+        assert_eq!(wan.num_regions(), 4);
+        assert_eq!(wan.wan(), WanLink::Regional);
+        let bytes = 1 << 30;
+        let (_, f1) = wan.cross_migrate(SimTime::ZERO, 0, 1, bytes);
+        let (s2, _) = wan.cross_migrate(SimTime::ZERO, 2, 3, bytes);
+        assert_eq!(s2, SimTime::ZERO, "disjoint region pairs run concurrently");
+        let (s3, _) = wan.cross_migrate(SimTime::ZERO, 0, 2, bytes);
+        assert_eq!(s3, f1, "region 0's egress serializes");
+        assert_eq!(
+            wan.cross_transfer_time(bytes),
+            WanLink::Regional.link().transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn zero_regions_rejected() {
+        let _ = WanTopology::new(0, WanLink::Metro);
+    }
+
+    #[test]
+    #[should_panic(expected = "must change instance")]
+    fn same_region_wan_transfer_rejected() {
+        let mut wan = WanTopology::new(2, WanLink::Metro);
+        let _ = wan.cross_migrate(SimTime::ZERO, 1, 1, 10);
+    }
+}

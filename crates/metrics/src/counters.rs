@@ -49,6 +49,35 @@ pub struct MigrationOutcomes {
     /// KV bytes moved over the inter-shard interconnect. Also counted in
     /// [`MigrationOutcomes::bytes_moved`].
     pub cross_shard_bytes_moved: u64,
+    /// Deferred intra-shard fallback moves executed after a cluster- or
+    /// federation-level escape failed (no target, cost veto, or abort) —
+    /// the escape candidate's original Algorithm 2 destination, launched
+    /// late. Zero in any single-shard single-region run.
+    pub cross_shard_fallbacks: u64,
+    /// The subset of [`MigrationOutcomes::cross_shard_fallbacks`] whose
+    /// escape failed specifically on the cost/benefit veto at the pricier
+    /// tier — the "the expensive tier said no, the cheap approved move
+    /// still happens" path.
+    pub cross_shard_fallbacks_after_veto: u64,
+    /// Cross-region escapes evaluated: the home region was saturated (no
+    /// sibling shard could take the request) and a healthy remote region
+    /// existed. Zero in any single-region run.
+    pub cross_region_considered: u64,
+    /// Cross-region escapes vetoed by the predictive cost/benefit test at
+    /// the WAN's (highest) transfer price.
+    pub cross_region_vetoed_by_cost: u64,
+    /// Cross-region escapes abandoned because no landing shard or instance
+    /// qualified (or its reservation failed) in the chosen remote region.
+    /// Every considered escape resolves: `cross_region_considered ==
+    /// cross_region_launched + cross_region_vetoed_by_cost +
+    /// cross_region_aborted`.
+    pub cross_region_aborted: u64,
+    /// Cross-region transfers actually launched onto the WAN. Also counted
+    /// in [`MigrationOutcomes::launched`].
+    pub cross_region_launched: u64,
+    /// KV bytes moved over the WAN tier. Also counted in
+    /// [`MigrationOutcomes::bytes_moved`].
+    pub cross_region_bytes_moved: u64,
 }
 
 impl MigrationOutcomes {
@@ -75,6 +104,13 @@ impl MigrationOutcomes {
         self.cross_shard_aborted += other.cross_shard_aborted;
         self.cross_shard_launched += other.cross_shard_launched;
         self.cross_shard_bytes_moved += other.cross_shard_bytes_moved;
+        self.cross_shard_fallbacks += other.cross_shard_fallbacks;
+        self.cross_shard_fallbacks_after_veto += other.cross_shard_fallbacks_after_veto;
+        self.cross_region_considered += other.cross_region_considered;
+        self.cross_region_vetoed_by_cost += other.cross_region_vetoed_by_cost;
+        self.cross_region_aborted += other.cross_region_aborted;
+        self.cross_region_launched += other.cross_region_launched;
+        self.cross_region_bytes_moved += other.cross_region_bytes_moved;
     }
 }
 
@@ -86,6 +122,11 @@ pub struct AdmissionCounters {
     pub admitted: u64,
     /// Arrivals rejected at predicted overload.
     pub rejected: u64,
+    /// Arrivals this pool would have rejected that the federation placed
+    /// in a remote region instead (spill-before-reject). Counted at the
+    /// *home* pool; the landing pool counts the same arrival as admitted,
+    /// so `admitted + rejected` still totals the arrivals across pools.
+    pub spilled: u64,
 }
 
 impl AdmissionCounters {
@@ -104,6 +145,7 @@ impl AdmissionCounters {
     pub fn absorb(&mut self, other: &AdmissionCounters) {
         self.admitted += other.admitted;
         self.rejected += other.rejected;
+        self.spilled += other.spilled;
     }
 }
 
@@ -130,6 +172,45 @@ pub struct ShardStats {
     pub admission: AdmissionCounters,
     /// Requests that migrated into this shard over the interconnect.
     pub cross_shard_in: u64,
+    /// Requests that migrated into this shard over the WAN (federated
+    /// runs only; zero in any single-region run).
+    pub cross_region_in: u64,
+}
+
+/// Per-region row of a federated run: what one region (a whole
+/// cluster-of-shards) did at the federation boundary.
+///
+/// A single-region run emits exactly one row covering the whole cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RegionStats {
+    /// Region index.
+    pub region: u32,
+    /// Scheduling domains (shards) inside the region.
+    pub shards: usize,
+    /// Instances inside the region.
+    pub instances: usize,
+    /// Arrivals that *originated* in this region (the user's geography).
+    pub origin_arrivals: u64,
+    /// Arrivals the federation router delivered here (after routing and
+    /// spill), summed over the region's shards.
+    pub routed_arrivals: u64,
+    /// Delivered arrivals whose origin was a different region — the WAN
+    /// detour traffic the `static` policy never produces.
+    pub nonlocal_arrivals: u64,
+    /// Arrivals this region's admission would have rejected that spilled
+    /// to a remote region instead.
+    pub spill_out: u64,
+    /// Spilled arrivals from other regions this region absorbed.
+    pub spill_in: u64,
+    /// Requests that completed in this region (after any migrations).
+    pub completed: u64,
+    /// Cross-region escape migrations launched out of this region.
+    pub cross_region_out: u64,
+    /// Requests that migrated into this region over the WAN.
+    pub cross_region_in: u64,
+    /// The region's admission tally, summed over its shards.
+    pub admission: AdmissionCounters,
 }
 
 /// One arrival the admission controller turned away.
@@ -157,6 +238,7 @@ mod tests {
         let c = AdmissionCounters {
             admitted: 3,
             rejected: 1,
+            spilled: 0,
         };
         assert!((c.rejection_rate() - 0.25).abs() < 1e-12);
     }
@@ -188,6 +270,13 @@ mod tests {
             cross_shard_aborted: 1,
             cross_shard_launched: 1,
             cross_shard_bytes_moved: 40,
+            cross_shard_fallbacks: 1,
+            cross_shard_fallbacks_after_veto: 1,
+            cross_region_considered: 3,
+            cross_region_vetoed_by_cost: 1,
+            cross_region_aborted: 1,
+            cross_region_launched: 1,
+            cross_region_bytes_moved: 25,
         };
         let mut total = one;
         total.absorb(&one);
@@ -199,15 +288,24 @@ mod tests {
         assert_eq!(total.cross_shard_aborted, 2);
         assert_eq!(total.cross_shard_launched, 2);
         assert_eq!(total.cross_shard_bytes_moved, 80);
+        assert_eq!(total.cross_shard_fallbacks, 2);
+        assert_eq!(total.cross_shard_fallbacks_after_veto, 2);
+        assert_eq!(total.cross_region_considered, 6);
+        assert_eq!(total.cross_region_vetoed_by_cost, 2);
+        assert_eq!(total.cross_region_aborted, 2);
+        assert_eq!(total.cross_region_launched, 2);
+        assert_eq!(total.cross_region_bytes_moved, 50);
 
         let mut adm = AdmissionCounters {
             admitted: 4,
             rejected: 1,
+            spilled: 2,
         };
         adm.absorb(&AdmissionCounters {
             admitted: 6,
             rejected: 2,
+            spilled: 1,
         });
-        assert_eq!((adm.admitted, adm.rejected), (10, 3));
+        assert_eq!((adm.admitted, adm.rejected, adm.spilled), (10, 3, 3));
     }
 }

@@ -54,7 +54,9 @@ mod sweep;
 mod tail;
 
 pub use calibration::{CalibrationReport, PredictionSample};
-pub use counters::{AdmissionCounters, AdmissionRecord, MigrationOutcomes, ShardStats};
+pub use counters::{
+    AdmissionCounters, AdmissionRecord, MigrationOutcomes, RegionStats, ShardStats,
+};
 pub use histogram::Histogram;
 pub use qoe::{answering_qoe, qoe_of_stream, QoeParams};
 pub use record::{MigrationRecord, RequestRecord};

@@ -47,12 +47,17 @@ pub struct SweepCellMetrics {
     /// Migrations that crossed shards over the interconnect (also counted
     /// in `migrations_launched`). Zero in single-shard cells.
     pub migrations_cross_shard: u64,
+    /// Migrations that crossed regions over the WAN (also counted in
+    /// `migrations_launched`). Zero in single-region cells.
+    pub migrations_cross_region: u64,
     /// Migrations whose KV landed in destination CPU memory.
     pub migrations_landed_in_cpu: u64,
     /// Arrivals admitted by the admission controller.
     pub admission_admitted: u64,
     /// Arrivals rejected at predicted overload.
     pub admission_rejected: u64,
+    /// Arrivals spilled to a remote region instead of being rejected.
+    pub admission_spilled: u64,
 }
 
 impl SweepCellMetrics {
@@ -94,9 +99,11 @@ impl SweepCellMetrics {
             migrations_launched: migration.launched,
             migrations_vetoed: migration.vetoed_by_cost,
             migrations_cross_shard: migration.cross_shard_launched,
+            migrations_cross_region: migration.cross_region_launched,
             migrations_landed_in_cpu: migration.landed_in_cpu,
             admission_admitted: admission.admitted,
             admission_rejected: admission.rejected,
+            admission_spilled: admission.spilled,
         }
     }
 
@@ -106,6 +113,7 @@ impl SweepCellMetrics {
         AdmissionCounters {
             admitted: self.admission_admitted,
             rejected: self.admission_rejected,
+            spilled: self.admission_spilled,
         }
         .rejection_rate()
     }
@@ -138,11 +146,13 @@ mod tests {
             vetoed_by_cost: 3,
             landed_in_cpu: 1,
             cross_shard_launched: 2,
+            cross_region_launched: 1,
             ..MigrationOutcomes::default()
         };
         let admission = AdmissionCounters {
             admitted: 9,
             rejected: 3,
+            spilled: 2,
         };
         let row =
             SweepCellMetrics::from_run(&[], &migration, &admission, 12.5, &QoeParams::paper_eval());
@@ -150,9 +160,11 @@ mod tests {
         assert_eq!(row.migrations_launched, 6);
         assert_eq!(row.migrations_vetoed, 3);
         assert_eq!(row.migrations_cross_shard, 2);
+        assert_eq!(row.migrations_cross_region, 1);
         assert_eq!(row.migrations_landed_in_cpu, 1);
         assert_eq!(row.admission_admitted, 9);
         assert_eq!(row.admission_rejected, 3);
+        assert_eq!(row.admission_spilled, 2);
         assert!((row.admission_rejection_rate() - 0.25).abs() < 1e-12);
         assert!((row.makespan_s - 12.5).abs() < 1e-12);
     }

@@ -3,6 +3,7 @@
 use crate::ema::ProfileEma;
 use crate::oracle::Oracle;
 use crate::predictor::LengthPredictor;
+use crate::quantile::QuantilePredictor;
 use crate::rank::PairwiseRank;
 
 /// Which length predictor a deployment runs. Lives in `SimConfig`; the
@@ -17,14 +18,18 @@ pub enum PredictorKind {
     ProfileEma,
     /// Pairwise learning-to-rank comparator (no absolute estimates).
     PairwiseRank,
+    /// Per-dataset P² streaming-quantile estimator (median per phase class,
+    /// upper quantile for demotion).
+    Quantile,
 }
 
 impl PredictorKind {
     /// All kinds, in presentation order.
-    pub const ALL: [PredictorKind; 3] = [
+    pub const ALL: [PredictorKind; 4] = [
         PredictorKind::Oracle,
         PredictorKind::ProfileEma,
         PredictorKind::PairwiseRank,
+        PredictorKind::Quantile,
     ];
 
     /// Builds a fresh predictor of this kind.
@@ -34,6 +39,7 @@ impl PredictorKind {
             PredictorKind::Oracle => Box::new(Oracle),
             PredictorKind::ProfileEma => Box::new(ProfileEma::default()),
             PredictorKind::PairwiseRank => Box::new(PairwiseRank::default()),
+            PredictorKind::Quantile => Box::new(QuantilePredictor::default()),
         }
     }
 
@@ -44,6 +50,7 @@ impl PredictorKind {
             PredictorKind::Oracle => "Oracle",
             PredictorKind::ProfileEma => "EMA",
             PredictorKind::PairwiseRank => "Rank",
+            PredictorKind::Quantile => "Quantile",
         }
     }
 
@@ -54,23 +61,22 @@ impl PredictorKind {
             PredictorKind::Oracle => "oracle",
             PredictorKind::ProfileEma => "ema",
             PredictorKind::PairwiseRank => "rank",
+            PredictorKind::Quantile => "quantile",
         }
     }
 
-    /// Parses a CLI-style name (`oracle` / `ema` / `rank`).
+    /// Parses a CLI-style name (`oracle` / `ema` / `rank` / `quantile`).
     ///
     /// # Errors
     ///
     /// Returns the unknown string back as the error.
     pub fn parse(s: &str) -> Result<PredictorKind, String> {
-        match s {
-            "oracle" => Ok(PredictorKind::Oracle),
-            "ema" => Ok(PredictorKind::ProfileEma),
-            "rank" => Ok(PredictorKind::PairwiseRank),
-            other => Err(format!(
-                "unknown predictor '{other}' (expected oracle, ema or rank)"
-            )),
-        }
+        PredictorKind::ALL
+            .into_iter()
+            .find(|k| k.key() == s)
+            .ok_or_else(|| {
+                format!("unknown predictor '{s}' (expected oracle, ema, rank or quantile)")
+            })
     }
 }
 
@@ -88,15 +94,15 @@ mod tests {
     fn names_round_trip_through_parse() {
         for kind in PredictorKind::ALL {
             let cli = kind.name().to_lowercase();
-            let cli = if cli == "ema" || cli == "rank" || cli == "oracle" {
-                cli
-            } else {
-                unreachable!("unexpected name {cli}")
+            let cli = match cli.as_str() {
+                "ema" | "rank" | "oracle" | "quantile" => cli,
+                other => unreachable!("unexpected name {other}"),
             };
             assert_eq!(PredictorKind::parse(&cli), Ok(kind));
             assert_eq!(PredictorKind::parse(kind.key()), Ok(kind));
             assert_eq!(kind.build().name(), kind.name());
         }
-        assert!(PredictorKind::parse("magic").is_err());
+        let err = PredictorKind::parse("magic").expect_err("unknown kind");
+        assert!(err.contains("quantile"), "error lists quantile: {err}");
     }
 }

@@ -8,7 +8,7 @@
 //! from completed requests, which the engine and scheduler consume for
 //! speculative demotion and predicted-KV-footprint placement.
 //!
-//! Three predictors behind one trait:
+//! Four predictors behind one trait:
 //!
 //! * [`Oracle`] — reads the trace's hidden lengths; perfect information,
 //!   the upper bound on what prediction can buy;
@@ -16,7 +16,10 @@
 //!   quantile, updated from every completion;
 //! * [`PairwiseRank`] — a learning-to-rank comparator that only *orders*
 //!   requests by predicted remaining work, never estimating absolute
-//!   lengths.
+//!   lengths;
+//! * [`QuantilePredictor`] — per-dataset P² streaming quantiles: the
+//!   median per phase class as the estimate (robust to the heavy tails
+//!   that skew the EMA's mean), an upper quantile for demotion.
 //!
 //! All predictors are deterministic functions of their observation
 //! sequence, preserving the engine's byte-identical-replay guarantee.
@@ -47,10 +50,12 @@ mod ema;
 mod kind;
 mod oracle;
 mod predictor;
+mod quantile;
 mod rank;
 
 pub use ema::ProfileEma;
 pub use kind::PredictorKind;
 pub use oracle::Oracle;
 pub use predictor::{LengthEstimate, LengthPredictor};
+pub use quantile::{P2Quantile, QuantilePredictor};
 pub use rank::PairwiseRank;

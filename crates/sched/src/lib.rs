@@ -58,5 +58,7 @@ mod router;
 mod spec;
 
 pub use policy::{MigrationCost, MigrationDecision, PascalConfig, PriorityKey, SchedPolicy};
-pub use router::{cross_shard_escape_target, RouterPolicy};
+pub use router::{
+    best_escape_shard, cross_region_escape_target, cross_shard_escape_target, RouterPolicy,
+};
 pub use spec::PolicyKind;

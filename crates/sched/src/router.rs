@@ -143,15 +143,49 @@ impl std::fmt::Display for RouterPolicy {
 /// cannot help.
 #[must_use]
 pub fn cross_shard_escape_target(pools: &[PoolSnapshot], from: usize) -> Option<usize> {
-    let candidates: Vec<(usize, &PoolSnapshot)> = pools
-        .iter()
-        .enumerate()
-        .filter(|(shard, p)| *shard != from && p.slo_healthy_instances > 0)
+    best_escape_pool(pools.iter().enumerate().filter(|(shard, _)| *shard != from))
+}
+
+/// Algorithm 2 lifted one level further, to *region* granularity: the
+/// escape target for a request whose whole home region is saturated (no
+/// sibling shard could take it). Ranks the other regions' aggregate pool
+/// snapshots by the same key the cross-shard ranking uses — fewest
+/// high-priority reasoning requests, ties by predicted KV footprint, then
+/// region id. `None` when no remote region has an SLO-healthy instance:
+/// paying the WAN toll to land in an equally saturated region helps nobody.
+#[must_use]
+pub fn cross_region_escape_target(pools: &[PoolSnapshot], from: usize) -> Option<usize> {
+    best_escape_pool(
+        pools
+            .iter()
+            .enumerate()
+            .filter(|(region, _)| *region != from),
+    )
+}
+
+/// The landing-side half of an escape: the best pool (shard) *within* an
+/// already-chosen destination group — e.g. which shard of the destination
+/// region receives a cross-region escape. Same ranking as the escape
+/// targets, with no exclusion.
+#[must_use]
+pub fn best_escape_shard(pools: &[PoolSnapshot]) -> Option<usize> {
+    best_escape_pool(pools.iter().enumerate())
+}
+
+/// Shared escape ranking: among the SLO-healthy candidates, fewest
+/// high-priority reasoning requests, ties by predicted KV footprint, then
+/// index.
+fn best_escape_pool<'a>(
+    candidates: impl IntoIterator<Item = (usize, &'a PoolSnapshot)>,
+) -> Option<usize> {
+    let healthy: Vec<(usize, &PoolSnapshot)> = candidates
+        .into_iter()
+        .filter(|(_, p)| p.slo_healthy_instances > 0)
         .collect();
-    if candidates.is_empty() {
+    if healthy.is_empty() {
         return None;
     }
-    Some(min_shard_by(candidates, |p| {
+    Some(min_shard_by(healthy, |p| {
         (u64::from(p.reasoning_count), p.predicted_kv_bytes)
     }))
 }
@@ -255,6 +289,32 @@ mod tests {
         // Ties on reasoning count fall through to predicted footprint.
         let tied = vec![pool(0, 0, 0, 9), pool(1, 800, 0, 3), pool(1, 100, 0, 3)];
         assert_eq!(cross_shard_escape_target(&tied, 0), Some(2));
+    }
+
+    #[test]
+    fn region_escape_target_mirrors_the_shard_ranking_one_level_up() {
+        // Region-granularity Algorithm 2: fewest reasoning requests among
+        // healthy remote regions, ties by predicted footprint, then id.
+        let regions = vec![
+            pool(0, 0, 0, 9), // home: saturated
+            pool(4, 900, 0, 5),
+            pool(4, 100, 0, 2),
+            pool(0, 0, 0, 0), // unhealthy remote: excluded
+        ];
+        assert_eq!(cross_region_escape_target(&regions, 0), Some(2));
+        let saturated = vec![pool(0, 0, 0, 1), pool(0, 0, 0, 1)];
+        assert_eq!(cross_region_escape_target(&saturated, 0), None);
+        // The home region never qualifies as its own escape.
+        let only_home = vec![pool(2, 0, 0, 1), pool(0, 0, 0, 1)];
+        assert_eq!(cross_region_escape_target(&only_home, 0), None);
+    }
+
+    #[test]
+    fn best_escape_shard_ranks_without_exclusion() {
+        let pools = vec![pool(1, 500, 0, 4), pool(1, 100, 0, 2), pool(0, 0, 0, 0)];
+        assert_eq!(best_escape_shard(&pools), Some(1));
+        assert_eq!(best_escape_shard(&[pool(0, 0, 0, 0)]), None);
+        assert_eq!(best_escape_shard(&[]), None);
     }
 
     #[test]

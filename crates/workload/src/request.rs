@@ -81,6 +81,11 @@ pub struct RequestSpec {
     /// Length predictors use it as the conditioning key for per-dataset
     /// statistics; it is metadata only and never influences the engine.
     pub dataset: Option<std::sync::Arc<str>>,
+    /// Geographic region the request originated from. Single-region
+    /// deployments leave it at `0`; a federated deployment's region router
+    /// reads it to prefer serving near the user. Indices beyond the
+    /// deployment's region count are clamped by the engine.
+    pub origin_region: u32,
 }
 
 impl RequestSpec {
@@ -110,6 +115,7 @@ impl RequestSpec {
             answering_tokens,
             warm_start: false,
             dataset: None,
+            origin_region: 0,
         }
     }
 
@@ -117,6 +123,13 @@ impl RequestSpec {
     #[must_use]
     pub fn with_dataset(mut self, name: &str) -> Self {
         self.dataset = Some(std::sync::Arc::from(name));
+        self
+    }
+
+    /// Tags the request with the region it originated from.
+    #[must_use]
+    pub fn with_origin_region(mut self, region: u32) -> Self {
+        self.origin_region = region;
         self
     }
 
@@ -151,6 +164,7 @@ impl RequestSpec {
             answering_tokens,
             warm_start: true,
             dataset: None,
+            origin_region: 0,
         }
     }
 
@@ -257,6 +271,15 @@ mod tests {
     #[should_panic(expected = "out of 1..=")]
     fn token_index_validated() {
         let _ = spec(2, 2).phase_of_output_token(5);
+    }
+
+    #[test]
+    fn origin_region_defaults_to_zero_and_tags() {
+        let r = spec(10, 10);
+        assert_eq!(r.origin_region, 0);
+        assert_eq!(r.with_origin_region(3).origin_region, 3);
+        let warm = RequestSpec::warm(RequestId(9), SimTime::ZERO, 64, 8);
+        assert_eq!(warm.origin_region, 0);
     }
 
     #[test]

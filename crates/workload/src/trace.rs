@@ -88,6 +88,7 @@ pub struct TraceBuilder {
     arrivals: ArrivalProcess,
     count: usize,
     seed: u64,
+    region_weights: Vec<f64>,
 }
 
 impl TraceBuilder {
@@ -101,6 +102,7 @@ impl TraceBuilder {
             arrivals: ArrivalProcess::poisson(1.0),
             count: 300,
             seed: 0,
+            region_weights: Vec::new(),
         }
     }
 
@@ -125,6 +127,48 @@ impl TraceBuilder {
         self
     }
 
+    /// Tags every request with an origin region drawn from a *harmonic*
+    /// popularity skew over `regions` regions (region `i` gets weight
+    /// `1/(i+1)`): real geo-distributed traffic is never uniform, and the
+    /// skew is what makes region-aware routing a non-trivial decision.
+    /// Origins come from an RNG stream separate from arrivals and lengths,
+    /// so the request bodies are byte-identical at every region count —
+    /// federated comparisons stay paired. `regions <= 1` clears the tags.
+    #[must_use]
+    pub fn regions(mut self, regions: usize) -> Self {
+        self.region_weights = if regions <= 1 {
+            Vec::new()
+        } else {
+            (0..regions).map(|i| 1.0 / (i as f64 + 1.0)).collect()
+        };
+        self
+    }
+
+    /// Tags origins from an explicit per-region weight vector (one entry
+    /// per region; weights need not be normalized). Overrides
+    /// [`TraceBuilder::regions`]' harmonic default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative, non-finite, or the sum is zero.
+    #[must_use]
+    pub fn region_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "region weights must be non-negative finite numbers"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "region weights must not sum to zero"
+        );
+        self.region_weights = if weights.len() <= 1 {
+            Vec::new()
+        } else {
+            weights
+        };
+        self
+    }
+
     /// Materializes the trace.
     #[must_use]
     pub fn build(&self) -> Trace {
@@ -132,7 +176,7 @@ impl TraceBuilder {
         let mut arrival_rng = root.split(0xA11);
         let mut length_rng = root.split(0x1E9);
         let times = self.arrivals.generate(self.count, &mut arrival_rng);
-        let requests = times
+        let mut requests: Vec<RequestSpec> = times
             .into_iter()
             .enumerate()
             .map(|(i, arrival)| {
@@ -144,6 +188,34 @@ impl TraceBuilder {
                     .with_dataset(&profile.name)
             })
             .collect();
+        // Origin tagging is a second pass over a third RNG stream: the
+        // arrival and length streams above never see it, so the same seed
+        // yields the same request bodies at every region count.
+        if !self.region_weights.is_empty() {
+            let mut origin_rng = root.split(0x0121);
+            let total: f64 = self.region_weights.iter().sum();
+            // Rounding fallback: if `draw` survives every subtraction
+            // (possible when `uniform * total` rounds up to `total`), the
+            // draw belongs to the *last positive-weight* region — never to
+            // an explicitly zero-weight one.
+            let last_positive = self
+                .region_weights
+                .iter()
+                .rposition(|w| *w > 0.0)
+                .expect("weights sum to a positive total") as u32;
+            for req in &mut requests {
+                let mut draw = origin_rng.uniform_f64() * total;
+                let mut origin = last_positive;
+                for (i, w) in self.region_weights.iter().enumerate() {
+                    draw -= w;
+                    if draw < 0.0 {
+                        origin = i as u32;
+                        break;
+                    }
+                }
+                req.origin_region = origin;
+            }
+        }
         Trace::from_requests(requests)
     }
 }
@@ -248,6 +320,53 @@ mod tests {
             assert!(allowed.contains(&r.answering_tokens));
             assert_eq!(r.initial_phase(), Phase::Answering);
         }
+    }
+
+    #[test]
+    fn region_tagging_is_skewed_and_leaves_bodies_identical() {
+        let base = TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+            .count(400)
+            .seed(11);
+        let untagged = base.clone().build();
+        let tagged = base.clone().regions(4).build();
+        // Same bodies (arrivals, lengths) — only the origin tags differ.
+        for (a, b) in untagged.requests().iter().zip(tagged.requests()) {
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.prompt_tokens, b.prompt_tokens);
+            assert_eq!(a.reasoning_tokens, b.reasoning_tokens);
+            assert_eq!(a.answering_tokens, b.answering_tokens);
+            assert_eq!(a.origin_region, 0);
+            assert!(b.origin_region < 4);
+        }
+        // The harmonic skew: region 0 is the hottest, every region nonempty.
+        let count =
+            |t: &Trace, r: u32| t.requests().iter().filter(|q| q.origin_region == r).count();
+        let counts: Vec<usize> = (0..4).map(|r| count(&tagged, r)).collect();
+        assert!(counts.iter().all(|&c| c > 0), "all regions hit: {counts:?}");
+        assert!(
+            counts[0] > counts[3],
+            "region 0 must be hotter than region 3: {counts:?}"
+        );
+        // Deterministic per seed; regions(1) clears the tags again.
+        assert_eq!(tagged, base.clone().regions(4).build());
+        assert_eq!(untagged, base.clone().regions(4).regions(1).build());
+    }
+
+    #[test]
+    fn explicit_region_weights_override_the_harmonic_default() {
+        let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+            .count(300)
+            .seed(3)
+            .region_weights(vec![0.0, 1.0, 0.0])
+            .build();
+        assert!(trace.requests().iter().all(|r| r.origin_region == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not sum to zero")]
+    fn zero_region_weights_rejected() {
+        let _ = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
+            .region_weights(vec![0.0, 0.0]);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use pascal::core::{
     estimate_capacity_rps, run_simulation, AdmissionMode, RateLevel, SimConfig, SweepGrid,
     SweepReport, SweepRunner,
 };
+use pascal::federation::{FederationPolicy, WanLink};
 use pascal::metrics::{
     goodput_requests_per_s, slo_violation_rate, throughput_tokens_per_s, LatencySummary, QoeParams,
     SLO_QOE_THRESHOLD,
@@ -35,10 +36,11 @@ USAGE:
 OPTIONS (run):
   --dataset <alpaca|arena|math500|gpqa|lcb|mixed|reasoning-heavy>  [alpaca]
   --policy  <fcfs|rr|pascal|pascal-nomigration|pascal-nonadaptive> [pascal]
-  --predictor <none|oracle|ema|rank>                length predictor [none]
+  --predictor <none|oracle|ema|rank|quantile>       length predictor [none]
           valid values: none (reactive, the default), oracle (reads the
           trace's hidden lengths), ema (learns per-dataset running means),
-          rank (orders by predicted remaining work). With pascal, enables
+          rank (orders by predicted remaining work), quantile (P² streaming
+          per-phase quantiles, robust to heavy tails). With pascal, enables
           speculative demotion + predicted-footprint placement and prints
           a calibration report.
   --admission <none|predictive>                     admission ctrl [none]
@@ -61,12 +63,26 @@ OPTIONS (run):
           rr rotates arrivals, least picks the smallest current KV
           footprint, predictive ranks shards by current+predicted
           footprint (Algorithm 1 lifted to shard granularity).
+  --regions <N>                                     geographic regions [1]
+          federates the cluster: instances split into N regions (each a
+          cluster of --shards shards) behind a federation router; 1
+          reproduces the cluster engine byte-for-byte. Must divide
+          --instances together with --shards. Arrivals carry geo-skewed
+          origin tags.
+  --fed-router <static|nearest|predictive>          federation router [static]
+          static pins arrivals to their origin region, nearest fails over
+          to the closest healthy region, predictive ranks regions by
+          current+predicted footprint (Algorithm 1 lifted once more).
+  --wan     <metro|regional|continental|transoceanic>  WAN class [continental]
+          the cross-region link tier; always pricier than the inter-shard
+          interconnect, so the migration cost/benefit veto forbids
+          frivolous cross-region moves.
   --csv     <PATH>                                  dump per-request CSV
 
 OPTIONS (sweep):
-  --grid    <main|predictive|migration|ci|sharded>  grid preset(s) [ci]
-          a comma-separated list (e.g. ci,sharded) runs the grids as
-          one merged report — how the CI perf gate sweeps both.
+  --grid    <main|predictive|migration|ci|sharded|federated>  preset(s) [ci]
+          a comma-separated list (e.g. ci,sharded,federated) runs the
+          grids as one merged report — how the CI perf gate sweeps them.
   --threads <N>                                     worker pool width; 0 =
           available parallelism (capped at 8). Results are identical at
           any width.                                               [0]
@@ -120,6 +136,9 @@ struct RunOpts {
     instances: usize,
     shards: usize,
     router: String,
+    regions: usize,
+    fed_router: String,
+    wan: String,
     csv: Option<String>,
 }
 
@@ -137,6 +156,9 @@ impl Default for RunOpts {
             instances: 8,
             shards: 1,
             router: "rr".to_owned(),
+            regions: 1,
+            fed_router: "static".to_owned(),
+            wan: "continental".to_owned(),
             csv: None,
         }
     }
@@ -145,9 +167,9 @@ impl Default for RunOpts {
 fn predictor(name: &str) -> Result<Option<PredictorKind>, String> {
     match name {
         "none" => Ok(None),
-        other => PredictorKind::parse(other)
-            .map(Some)
-            .map_err(|_| format!("unknown predictor '{other}' (valid: none, oracle, ema, rank)")),
+        other => PredictorKind::parse(other).map(Some).map_err(|_| {
+            format!("unknown predictor '{other}' (valid: none, oracle, ema, rank, quantile)")
+        }),
     }
 }
 
@@ -202,6 +224,15 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                 opts.shards = shards;
             }
             "--router" => opts.router = value()?,
+            "--regions" => {
+                let regions: usize = value()?.parse().map_err(|e| format!("--regions: {e}"))?;
+                if regions == 0 {
+                    return Err("--regions must be positive".to_owned());
+                }
+                opts.regions = regions;
+            }
+            "--fed-router" => opts.fed_router = value()?,
+            "--wan" => opts.wan = value()?,
             "--csv" => opts.csv = Some(value()?),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -230,10 +261,19 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     config.num_instances = opts.instances;
     config.shards = opts.shards;
     config.router = RouterPolicy::parse(&opts.router)?;
+    config.regions = opts.regions;
+    config.fed_router = FederationPolicy::parse(&opts.fed_router)?;
+    config.wan = WanLink::parse(&opts.wan)?;
     if opts.instances % opts.shards != 0 {
         return Err(CliError::Usage(format!(
             "--shards {} does not divide --instances {} evenly",
             opts.shards, opts.instances
+        )));
+    }
+    if opts.instances % (opts.regions * opts.shards) != 0 {
+        return Err(CliError::Usage(format!(
+            "--regions {} x --shards {} does not divide --instances {} evenly",
+            opts.regions, opts.shards, opts.instances
         )));
     }
     config.predictor = predictor(&opts.predictor)?;
@@ -268,7 +308,21 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
         _ => policy.name().to_owned(),
     };
-    if opts.shards > 1 {
+    if opts.regions > 1 {
+        eprintln!(
+            "simulating {} {} requests at {rate:.2} req/s on {} instances \
+             ({} regions x {} shards, {} federation over {} WAN, {} router) \
+             under {policy_label} …",
+            opts.count,
+            opts.dataset,
+            opts.instances,
+            opts.regions,
+            opts.shards,
+            opts.fed_router,
+            opts.wan,
+            opts.router,
+        );
+    } else if opts.shards > 1 {
         eprintln!(
             "simulating {} {} requests at {rate:.2} req/s on {} instances \
              ({} shards, {} router) under {policy_label} …",
@@ -284,6 +338,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .arrivals(ArrivalProcess::poisson(rate))
         .count(opts.count)
         .seed(opts.seed)
+        .regions(opts.regions)
         .build();
     let out = run_simulation(&trace, &config);
 
@@ -348,6 +403,21 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             ),
         ]);
     }
+    if opts.regions > 1 {
+        rows.push(vec![
+            "cross-region migrations".to_owned(),
+            format!(
+                "{} ({} considered, {} vetoed)",
+                out.migration_outcomes.cross_region_launched,
+                out.migration_outcomes.cross_region_considered,
+                out.migration_outcomes.cross_region_vetoed_by_cost
+            ),
+        ]);
+        rows.push(vec![
+            "admission spills".to_owned(),
+            out.admission.spilled.to_string(),
+        ]);
+    }
     if let Some(cal) = out.calibration() {
         rows.push(vec!["prediction calibration".to_owned(), cal.to_string()]);
     }
@@ -396,6 +466,45 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
                     "rejected",
                 ],
                 &shard_rows
+            )
+        );
+    }
+
+    if opts.regions > 1 {
+        let region_rows: Vec<Vec<String>> = out
+            .region_stats
+            .iter()
+            .map(|r| {
+                vec![
+                    r.region.to_string(),
+                    r.shards.to_string(),
+                    r.instances.to_string(),
+                    r.origin_arrivals.to_string(),
+                    r.routed_arrivals.to_string(),
+                    r.nonlocal_arrivals.to_string(),
+                    format!("{}/{}", r.spill_in, r.spill_out),
+                    format!("{}/{}", r.cross_region_in, r.cross_region_out),
+                    r.completed.to_string(),
+                    r.admission.rejected.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "region",
+                    "shards",
+                    "inst",
+                    "origin",
+                    "routed",
+                    "nonlocal",
+                    "spill i/o",
+                    "wan i/o",
+                    "completed",
+                    "rejected",
+                ],
+                &region_rows
             )
         );
     }
@@ -772,9 +881,10 @@ mod tests {
         assert_eq!(predictor("oracle"), Ok(Some(PredictorKind::Oracle)));
         assert_eq!(predictor("ema"), Ok(Some(PredictorKind::ProfileEma)));
         assert_eq!(predictor("rank"), Ok(Some(PredictorKind::PairwiseRank)));
+        assert_eq!(predictor("quantile"), Ok(Some(PredictorKind::Quantile)));
         let err = predictor("psychic").expect_err("unknown predictor");
         assert!(
-            err.contains("valid: none, oracle, ema, rank"),
+            err.contains("valid: none, oracle, ema, rank, quantile"),
             "error must list the valid values, got: {err}"
         );
         let opts = parse_opts(&strs(&["--predictor", "oracle"])).expect("valid");
@@ -783,8 +893,41 @@ mod tests {
 
     #[test]
     fn usage_lists_predictor_and_admission_values() {
-        for needle in ["none|oracle|ema|rank", "none|predictive", "[none]"] {
+        for needle in ["none|oracle|ema|rank|quantile", "none|predictive", "[none]"] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn federation_flags_parse_and_validate() {
+        let opts = parse_opts(&strs(&[
+            "--regions",
+            "2",
+            "--fed-router",
+            "nearest",
+            "--wan",
+            "metro",
+        ]))
+        .expect("valid");
+        assert_eq!(opts.regions, 2);
+        assert_eq!(opts.fed_router, "nearest");
+        assert_eq!(opts.wan, "metro");
+        // Usage errors: zero or non-numeric regions.
+        assert!(parse_opts(&strs(&["--regions", "0"])).is_err());
+        assert!(parse_opts(&strs(&["--regions", "everywhere"])).is_err());
+        // Unknown federation routers / WAN classes list the valid values.
+        let err = FederationPolicy::parse("anycast").expect_err("unknown router");
+        assert!(err.contains("valid: static, nearest, predictive"), "{err}");
+        let err = WanLink::parse("dialup").expect_err("unknown wan");
+        assert!(
+            err.contains("valid: metro, regional, continental, transoceanic"),
+            "{err}"
+        );
+        for key in ["static", "nearest", "predictive"] {
+            assert!(FederationPolicy::parse(key).is_ok(), "{key}");
+        }
+        for key in ["metro", "regional", "continental", "transoceanic"] {
+            assert!(WanLink::parse(key).is_ok(), "{key}");
         }
     }
 
@@ -857,11 +1000,14 @@ mod tests {
     #[test]
     fn usage_lists_sweep_grid_presets() {
         for needle in [
-            "main|predictive|migration|ci|sharded",
+            "main|predictive|migration|ci|sharded|federated",
             "--baseline",
             "--threads",
             "--shards",
+            "--regions",
             "rr|least|predictive",
+            "static|nearest|predictive",
+            "metro|regional|continental|transoceanic",
         ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
         }

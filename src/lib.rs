@@ -18,6 +18,7 @@
 //! | [`workload`] | `pascal-workload` | two-phase requests, dataset profiles, traces |
 //! | [`metrics`] | `pascal-metrics` | TTFT/TTFAT, QoE, tails, histograms |
 //! | [`cluster`] | `pascal-cluster` | KV pools, PCIe/fabric channels, pacer, instances |
+//! | [`federation`] | `pascal-federation` | regions, WAN tiers, cross-region routing policies |
 //! | [`predict`] | `pascal-predict` | online length prediction (oracle, EMA, pairwise rank) |
 //! | [`sched`] | `pascal-sched` | FCFS, RR, PASCAL (Algorithms 1–2 + ablations + predictive hooks) |
 //! | [`core`] | `pascal-core` | the serving engine and per-figure experiments |
@@ -53,6 +54,7 @@
 
 pub use pascal_cluster as cluster;
 pub use pascal_core as core;
+pub use pascal_federation as federation;
 pub use pascal_metrics as metrics;
 pub use pascal_model as model;
 pub use pascal_predict as predict;

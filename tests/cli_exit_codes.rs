@@ -1,0 +1,145 @@
+//! CLI argument-error consistency: every flag family's parse failure must
+//! exit with status 2 (the conventional usage-error code) and, for
+//! enumerated flags, list the valid values on stderr — so scripts can tell
+//! a typo (2) from a genuine runtime failure (1) from a regression gate
+//! rejection (also 1, with its own FAILED verdict).
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pascal-cli"))
+        .args(args)
+        .output()
+        .expect("pascal-cli binary runs")
+}
+
+/// Asserts a usage error: exit 2, and stderr mentions every needle.
+fn assert_usage_error(args: &[&str], needles: &[&str]) {
+    let out = cli(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}\nstderr: {stderr}",
+        out.status.code()
+    );
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "{args:?} stderr must mention '{needle}', got:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn help_and_valid_invocations_exit_zero() {
+    assert_eq!(cli(&["--help"]).status.code(), Some(0));
+    assert_eq!(cli(&[]).status.code(), Some(0));
+    let ok = cli(&["capacity", "--dataset", "alpaca"]);
+    assert_eq!(ok.status.code(), Some(0));
+}
+
+#[test]
+fn unknown_commands_and_flags_exit_two() {
+    assert_usage_error(&["simulate"], &["unknown command"]);
+    assert_usage_error(&["run", "--bogus", "1"], &["unknown flag"]);
+    assert_usage_error(&["run", "--dataset"], &["needs a value"]);
+}
+
+#[test]
+fn dataset_policy_and_rate_errors_exit_two_and_list_values() {
+    assert_usage_error(&["run", "--dataset", "nope"], &["nope"]);
+    assert_usage_error(&["run", "--policy", "sjf"], &["sjf"]);
+    assert_usage_error(&["run", "--rate", "fast"], &["valid: low, medium, high"]);
+    assert_usage_error(&["run", "--rate", "-2"], &["must be positive"]);
+    assert_usage_error(&["run", "--count", "many"], &["--count"]);
+    assert_usage_error(&["run", "--seed", "lucky"], &["--seed"]);
+    assert_usage_error(&["run", "--instances", "few"], &["--instances"]);
+}
+
+#[test]
+fn predictor_and_admission_errors_exit_two_and_list_values() {
+    assert_usage_error(
+        &["run", "--predictor", "psychic"],
+        &["valid: none, oracle, ema, rank, quantile"],
+    );
+    assert_usage_error(
+        &["run", "--admission", "strict"],
+        &["valid: none, predictive"],
+    );
+    assert_usage_error(&["run", "--migration-benefit", "-1"], &["non-negative"]);
+    assert_usage_error(
+        &["run", "--migration-benefit", "2", "--predictor", "none"],
+        &["needs a length predictor"],
+    );
+    assert_usage_error(
+        &["run", "--migration-benefit", "2", "--predictor", "rank"],
+        &["absolute length estimates"],
+    );
+}
+
+#[test]
+fn shard_flag_errors_exit_two_and_list_values() {
+    assert_usage_error(&["run", "--shards", "0"], &["must be positive"]);
+    assert_usage_error(&["run", "--shards", "many"], &["--shards"]);
+    assert_usage_error(
+        &["run", "--router", "hash"],
+        &["valid: rr, least, predictive"],
+    );
+    assert_usage_error(
+        &["run", "--shards", "3", "--instances", "8"],
+        &["does not divide"],
+    );
+}
+
+#[test]
+fn federation_flag_errors_exit_two_and_list_values() {
+    assert_usage_error(&["run", "--regions", "0"], &["must be positive"]);
+    assert_usage_error(&["run", "--regions", "everywhere"], &["--regions"]);
+    assert_usage_error(
+        &["run", "--fed-router", "anycast"],
+        &["valid: static, nearest, predictive"],
+    );
+    assert_usage_error(
+        &["run", "--wan", "dialup"],
+        &["valid: metro, regional, continental, transoceanic"],
+    );
+    assert_usage_error(
+        &["run", "--regions", "3", "--instances", "8"],
+        &["does not divide"],
+    );
+}
+
+#[test]
+fn sweep_flag_errors_exit_two_and_list_values() {
+    assert_usage_error(
+        &["sweep", "--grid", "everything"],
+        &["valid: main, predictive, migration, ci, sharded, federated"],
+    );
+    assert_usage_error(&["sweep", "--grid", ""], &["at least one preset"]);
+    assert_usage_error(&["sweep", "--count", "0"], &["must be positive"]);
+    assert_usage_error(&["sweep", "--threads", "all"], &["--threads"]);
+    assert_usage_error(&["sweep", "--ttft-tol", "-1"], &["non-negative"]);
+    assert_usage_error(&["sweep", "--grid", "ci,ci"], &["more than once"]);
+}
+
+#[test]
+fn runtime_failures_exit_one_not_two() {
+    // A structurally valid invocation that fails at runtime (unreadable
+    // baseline) is a runtime error, not a usage error.
+    let out = cli(&[
+        "sweep",
+        "--grid",
+        "ci",
+        "--count",
+        "1",
+        "--baseline",
+        "/nonexistent/baseline.json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

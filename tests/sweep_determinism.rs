@@ -98,3 +98,44 @@ fn gate_passes_against_a_rerun_and_fails_against_a_perturbed_baseline() {
     }
     assert!(!compare(&perturbed, &current, &tol).passed());
 }
+
+#[test]
+fn federated_grid_is_byte_identical_at_any_thread_count() {
+    // The region×fed-router cross-product: N regions interleave on one
+    // global clock inside each cell (arrivals routed by origin tags, WAN
+    // transfers, spills), and cells run across a worker pool — both layers
+    // must stay deterministic for the 4-thread JSON/CSV to match the
+    // sequential run byte for byte.
+    let mut grid = SweepGrid::preset("federated").expect("federated preset exists");
+    grid.count = 40;
+    grid.base_seed = 7;
+    let sequential = SweepRunner::new(1).run_grid(&grid);
+    let parallel = SweepRunner::new(4).run_grid(&grid);
+    assert_eq!(
+        sequential.cells.len(),
+        14,
+        "region×fed-router×predictor cells"
+    );
+    for (seq, par) in sequential.cells.iter().zip(&parallel.cells) {
+        assert_eq!(
+            seq,
+            par,
+            "cell {} diverged across thread counts",
+            seq.label()
+        );
+    }
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+    // The one-region anchors never touch the WAN; multi-region cells keep
+    // the instances divisible.
+    for cell in &sequential.cells {
+        assert_eq!(
+            cell.spec.instances % (cell.spec.regions * cell.spec.shards),
+            0
+        );
+        if cell.spec.regions == 1 {
+            assert_eq!(cell.metrics.migrations_cross_region, 0);
+            assert_eq!(cell.metrics.admission_spilled, 0);
+        }
+    }
+}
