@@ -99,6 +99,17 @@ impl Fabric {
         self.link
     }
 
+    /// When node `i`'s port next goes fully idle — the later of its egress
+    /// and ingress horizons. Purely observational (telemetry gauge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn busy_until(&self, i: usize) -> SimTime {
+        self.egress_busy[i].max(self.ingress_busy[i])
+    }
+
     /// Schedules a KV migration of `bytes` from `from` to `to` submitted at
     /// `now`. The transfer holds the source egress **and** destination
     /// ingress; it starts when both are free.
@@ -176,6 +187,16 @@ mod tests {
         let (_, _) = fabric.migrate(SimTime::ZERO, 0, 1, 100);
         let (s2, _) = fabric.migrate(SimTime::ZERO, 0, 2, 100);
         assert_eq!(s2, secs(1.0), "second egress from node 0 must wait");
+    }
+
+    #[test]
+    fn busy_until_reports_port_horizon() {
+        let mut fabric = Fabric::new(3, LinkSpec::new(100.0, 0.0));
+        assert_eq!(fabric.busy_until(2), SimTime::ZERO);
+        let _ = fabric.migrate(SimTime::ZERO, 0, 2, 100);
+        assert_eq!(fabric.busy_until(0), secs(1.0), "egress horizon");
+        assert_eq!(fabric.busy_until(2), secs(1.0), "ingress horizon");
+        assert_eq!(fabric.busy_until(1), SimTime::ZERO, "uninvolved port idle");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use pascal_model::{GpuSpec, KvGeometry, LinkSpec, LlmSpec, PerfModel};
 use pascal_predict::PredictorKind;
 use pascal_sched::{RouterPolicy, SchedPolicy};
 use pascal_sim::SimDuration;
+use pascal_telemetry::TelemetryConfig;
 use pascal_workload::DatasetMix;
 
 use crate::engine::{AdmissionMode, PredictiveMigration};
@@ -92,6 +93,10 @@ pub struct SimConfig {
     /// Admission-control mode (default [`AdmissionMode::Disabled`]: every
     /// arrival is admitted, as in the paper).
     pub admission: AdmissionMode,
+    /// Observability streams (default: everything off — zero observer
+    /// effect; see `pascal-telemetry`). Never consulted by any scheduling
+    /// decision, so enabling telemetry cannot change a run's outputs.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -120,6 +125,7 @@ impl SimConfig {
             predictor: None,
             predictive_migration: None,
             admission: AdmissionMode::Disabled,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -13,6 +13,7 @@
 use pascal_cluster::PoolSnapshot;
 use pascal_metrics::{AdmissionCounters, AdmissionRecord};
 use pascal_sim::SimTime;
+use pascal_telemetry::TraceEventKind;
 use pascal_workload::RequestSpec;
 
 use super::Shard;
@@ -112,6 +113,18 @@ impl AdmissionController {
             AdmissionProbe::Admit
         }
     }
+
+    /// Signed byte headroom left under the budget at the given pool
+    /// projection — negative once the pool is overcommitted. `None` when
+    /// admission is off or memory is unbounded (nothing to run out of).
+    fn headroom_bytes(&self, pool: &PoolSnapshot) -> Option<i64> {
+        let AdmissionMode::Predictive { max_utilization } = self.mode else {
+            return None;
+        };
+        let budget = self.budget_bytes?;
+        let limit = (budget as f64 * max_utilization) as u64;
+        Some(limit as i64 - pool.predicted_kv_bytes as i64)
+    }
 }
 
 impl Shard<'_> {
@@ -128,6 +141,19 @@ impl Shard<'_> {
         let pool = PoolSnapshot::aggregate(stats);
         let incoming = self.predicted_final_kv_bytes(spec);
         self.admission_ctl.probe(&pool, incoming)
+    }
+
+    /// Admission budget headroom against a monitor snapshot — the series
+    /// sampler's gauge. Purely observational.
+    pub(super) fn admission_headroom(
+        &self,
+        stats: &[pascal_cluster::InstanceStats],
+    ) -> Option<i64> {
+        if !self.admission_ctl.enabled() {
+            return None;
+        }
+        let pool = PoolSnapshot::aggregate(stats);
+        self.admission_ctl.headroom_bytes(&pool)
     }
 
     /// Tallies an admission.
@@ -156,6 +182,15 @@ impl Shard<'_> {
             projected_kv_bytes,
             budget_bytes,
         });
+        self.emit_trace(
+            now,
+            None,
+            Some(spec.id),
+            TraceEventKind::AdmissionRejected {
+                projected_kv_bytes,
+                budget_bytes,
+            },
+        );
     }
 
     /// Arrival-time admission check against the monitor snapshot the

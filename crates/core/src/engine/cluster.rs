@@ -38,6 +38,9 @@ use pascal_cluster::{InstanceStats, KvLocation, PoolSnapshot, Topology};
 use pascal_metrics::{MigrationRecord, RegionStats};
 use pascal_sched::{cross_shard_escape_target, MigrationCost, RouterPolicy, SchedPolicy};
 use pascal_sim::SimTime;
+use pascal_telemetry::{
+    EscapeTier, ProfiledEvent, SeriesRow, SeriesScope, TelemetryHandle, TraceEventKind,
+};
 use pascal_workload::{RequestId, Trace};
 
 use crate::config::SimConfig;
@@ -85,6 +88,9 @@ pub(crate) struct Cluster<'a> {
     /// Whether a federation drives this cluster: escape candidates with no
     /// in-region target are escalated instead of falling back immediately.
     federated: bool,
+    /// Telemetry sink shared with every shard — disabled it is a handful
+    /// of `false` branches, so the hot path is unchanged.
+    telemetry: TelemetryHandle,
 }
 
 impl<'a> Cluster<'a> {
@@ -98,15 +104,25 @@ impl<'a> Cluster<'a> {
         shards: usize,
         per_shard: usize,
         federated: bool,
+        telemetry: TelemetryHandle,
     ) -> Self {
         Cluster {
             config,
             shards: (0..shards)
-                .map(|s| Shard::new(trace, config, first_shard + s as u32, per_shard))
+                .map(|s| {
+                    Shard::new(
+                        trace,
+                        config,
+                        first_shard + s as u32,
+                        per_shard,
+                        telemetry.clone(),
+                    )
+                })
                 .collect(),
             topology: Topology::two_tier(shards, config.fabric, config.interconnect),
             router_cursor: 0,
             federated,
+            telemetry,
         }
     }
 
@@ -127,14 +143,24 @@ impl<'a> Cluster<'a> {
     }
 
     /// Pops and dispatches shard `s`'s earliest event — the one
-    /// [`Cluster::peek_earliest`] just reported.
+    /// [`Cluster::peek_earliest`] just reported. The returned
+    /// [`ProfiledEvent`] tags what class of event fired, so the caller can
+    /// attribute wall-clock time to it when the hot-path profiler is on.
     ///
     /// # Panics
     ///
     /// Panics if shard `s` has no pending event.
-    pub(super) fn fire_shard(&mut self, s: usize) -> ClusterSignal {
+    pub(super) fn fire_shard(&mut self, s: usize) -> (ClusterSignal, ProfiledEvent) {
         let (now, ev) = self.shards[s].queue.pop().expect("peeked event exists");
-        self.dispatch(s, ev, now)
+        let kind = match &ev {
+            Event::IterationDone { .. } => ProfiledEvent::IterationDone,
+            Event::OffloadDone { .. } => ProfiledEvent::OffloadDone,
+            Event::ReloadDone { .. } => ProfiledEvent::ReloadDone,
+            Event::MigrationDone { .. } => ProfiledEvent::MigrationDone,
+            Event::CrossShardDone { .. } => ProfiledEvent::CrossShardDone,
+            Event::CrossRegionDone { .. } => ProfiledEvent::CrossRegionDone,
+        };
+        (self.dispatch(s, ev, now), kind)
     }
 
     /// Routes a trace arrival to a shard and delivers it — the
@@ -284,6 +310,13 @@ impl<'a> Cluster<'a> {
             if after_veto {
                 outcomes.cross_shard_fallbacks_after_veto += 1;
             }
+            let sh = &self.shards[from];
+            sh.emit_trace(
+                now,
+                Some(sh.offset + dest),
+                Some(candidate.req),
+                TraceEventKind::EscapeFallback { after_veto },
+            );
             self.shards[from].launch_deferred_migration(candidate.req, dest, now);
         }
     }
@@ -329,6 +362,18 @@ impl<'a> Cluster<'a> {
             .migration_ctl
             .outcomes
             .cross_shard_considered += 1;
+        let from_global = {
+            let sh = &self.shards[from];
+            sh.offset + sh.states[&id].instance
+        };
+        self.shards[from].emit_trace(
+            now,
+            Some(from_global),
+            Some(id),
+            TraceEventKind::MigrationConsidered {
+                tier: EscapeTier::CrossShard,
+            },
+        );
 
         let (needed, bytes, predicted_remaining) = {
             let sh = &self.shards[from];
@@ -348,6 +393,14 @@ impl<'a> Cluster<'a> {
         let policy = self.shards[from].policy;
         let Some(to_local) = policy.cross_shard_instance(needed, &dest_stats) else {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
+            self.shards[from].emit_trace(
+                now,
+                Some(from_global),
+                Some(id),
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::CrossShard,
+                },
+            );
             self.escape_fallback(from, candidate, now, false);
             return None;
         };
@@ -371,6 +424,14 @@ impl<'a> Cluster<'a> {
                 .migration_ctl
                 .outcomes
                 .cross_shard_vetoed_by_cost += 1;
+            self.shards[from].emit_trace(
+                now,
+                Some(from_global),
+                Some(id),
+                TraceEventKind::MigrationVetoed {
+                    tier: EscapeTier::CrossShard,
+                },
+            );
             self.escape_fallback(from, candidate, now, true);
             return None;
         }
@@ -391,12 +452,31 @@ impl<'a> Cluster<'a> {
                 .insert(id, needed);
         } else if policy.adaptive_migration() {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
+            self.shards[from].emit_trace(
+                now,
+                Some(from_global),
+                Some(id),
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::CrossShard,
+                },
+            );
             self.escape_fallback(from, candidate, now, false);
             return None;
         }
 
         let (_, finish) = self.topology.cross_migrate(now, from, dest, bytes);
         let to_global = self.shards[dest].global_instance(to_local);
+        self.shards[from].emit_trace(
+            now,
+            Some(from_global),
+            Some(id),
+            TraceEventKind::MigrationLaunched {
+                tier: EscapeTier::CrossShard,
+                to_shard: self.shards[dest].id,
+                to_instance: to_global,
+                bytes,
+            },
+        );
         {
             let sh = &mut self.shards[from];
             let st = sh.states.get_mut(&id).expect("escaping request");
@@ -467,6 +547,52 @@ impl<'a> Cluster<'a> {
         sh.land_migration(req, to_local, now);
         self.shards[from].try_schedule(from_local, now);
         self.shards[to_shard].try_schedule(to_local, now);
+    }
+
+    /// Pushes one [`SeriesRow`] per shard plus one region-scope aggregate
+    /// onto the telemetry buffer — the state of the world at `at`, sampled
+    /// between events (the engine state is piecewise-constant, so a sample
+    /// strictly before the next event reflects everything up to `at`).
+    /// `wan_busy_s` is the region's WAN port horizon; `None` outside a
+    /// federation.
+    pub(super) fn sample_series(&self, at: SimTime, wan_busy_s: Option<f64>) {
+        let mut agg = SeriesRow {
+            t: at,
+            scope: SeriesScope::Region,
+            region: self.shards[0].region(),
+            shard: None,
+            queue_depth: 0,
+            active: 0,
+            reasoning: 0,
+            answering: 0,
+            kv_used_bytes: 0,
+            kv_capacity_bytes: 0,
+            admission_headroom_bytes: None,
+            predictor_mean_abs_error: None,
+            wan_busy_s,
+        };
+        let mut err_sum = 0.0;
+        let mut err_n = 0u64;
+        for sh in &self.shards {
+            let row = sh.series_row(at);
+            agg.queue_depth += row.queue_depth;
+            agg.active += row.active;
+            agg.reasoning += row.reasoning;
+            agg.answering += row.answering;
+            agg.kv_used_bytes += row.kv_used_bytes;
+            agg.kv_capacity_bytes += row.kv_capacity_bytes;
+            if let Some(h) = row.admission_headroom_bytes {
+                agg.admission_headroom_bytes = Some(agg.admission_headroom_bytes.unwrap_or(0) + h);
+            }
+            let (abs_err, n) = sh.prediction_abs_error();
+            err_sum += abs_err;
+            err_n += n;
+            self.telemetry.push_series(row);
+        }
+        if err_n > 0 {
+            agg.predictor_mean_abs_error = Some(err_sum / err_n as f64);
+        }
+        self.telemetry.push_series(agg);
     }
 }
 
@@ -539,9 +665,11 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
     let mut migration_outcomes = pascal_metrics::MigrationOutcomes::default();
     let mut admission = pascal_metrics::AdmissionCounters::default();
     for row in &shard_stats {
+        row.migrations.assert_escape_conservation();
         migration_outcomes.absorb(&row.migrations);
         admission.absorb(&row.admission);
     }
+    migration_outcomes.assert_escape_conservation();
 
     let mut records = Vec::new();
     let mut peak_gpu_kv_bytes = Vec::new();
@@ -577,6 +705,7 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
         rejections,
         shard_stats,
         region_stats: Vec::new(),
+        telemetry: None,
     }
 }
 
@@ -589,6 +718,7 @@ pub(crate) struct Engine<'a> {
     /// same total order the pre-sharding event queue popped arrivals in.
     arrival_order: Vec<usize>,
     next_arrival: usize,
+    telemetry: TelemetryHandle,
 }
 
 impl<'a> Engine<'a> {
@@ -599,13 +729,23 @@ impl<'a> Engine<'a> {
         let per_shard = config.num_instances / config.shards;
         let mut arrival_order: Vec<usize> = (0..trace.requests().len()).collect();
         arrival_order.sort_by_key(|&i| (trace.requests()[i].arrival, i));
+        let telemetry = TelemetryHandle::new(&config.telemetry);
 
         Engine {
             trace,
             config,
-            cluster: Cluster::new(trace, config, 0, config.shards, per_shard, false),
+            cluster: Cluster::new(
+                trace,
+                config,
+                0,
+                config.shards,
+                per_shard,
+                false,
+                telemetry.clone(),
+            ),
             arrival_order,
             next_arrival: 0,
+            telemetry,
         }
     }
 
@@ -627,13 +767,17 @@ impl<'a> Engine<'a> {
         match (arrival, shard_ev) {
             (None, None) => false,
             (Some(at), shard) if shard.is_none_or(|(t, _)| at <= t) => {
+                let t0 = self.telemetry.profile_timer();
                 let idx = self.arrival_order[self.next_arrival];
                 self.next_arrival += 1;
                 self.cluster.route_arrival(idx, at);
+                self.telemetry.profile_record(ProfiledEvent::Arrival, t0);
                 true
             }
             (_, Some((_, s))) => {
-                let signal = self.cluster.fire_shard(s);
+                let t0 = self.telemetry.profile_timer();
+                let (signal, kind) = self.cluster.fire_shard(s);
+                self.telemetry.profile_record(kind, t0);
                 debug_assert!(
                     matches!(signal, ClusterSignal::Handled),
                     "single-region clusters resolve every event internally"
@@ -644,11 +788,40 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Timestamp of the globally next pending event (arrival or shard
+    /// event), if any — the horizon the series sampler fills up to.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let shard = self.cluster.peek_earliest().map(|(t, _)| t);
+        match (arrival, shard) {
+            (Some(a), Some(s)) => Some(a.min(s)),
+            (a, s) => a.or(s),
+        }
+    }
+
     pub(crate) fn run(mut self) -> SimOutput {
-        while self.step() {}
+        if let Some(interval) = self.telemetry.series_interval() {
+            // Sample at k·interval, strictly before the next event: the
+            // engine state is piecewise-constant between events, so a row
+            // at time s reflects every event with timestamp <= s.
+            let mut next_sample = SimTime::ZERO + interval;
+            while let Some(horizon) = self.next_event_time() {
+                while next_sample < horizon {
+                    self.cluster.sample_series(next_sample, None);
+                    next_sample += interval;
+                }
+                self.step();
+            }
+        } else {
+            while self.step() {}
+        }
         assert_drained(&self.cluster.shards);
         let config = self.config;
         let mut out = assemble_output(self.cluster.shards);
+        out.telemetry = self.telemetry.finish();
         // The whole cluster is one region at the federation's level of
         // description: all arrivals originate and are served here.
         let routed: u64 = out.shard_stats.iter().map(|s| s.routed_arrivals).sum();

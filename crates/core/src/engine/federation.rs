@@ -34,6 +34,7 @@ use pascal_federation::{spill_order, FederationPolicy, FederationSpec, WanTopolo
 use pascal_metrics::{AdmissionCounters, MigrationRecord, RegionStats};
 use pascal_sched::{best_escape_shard, cross_region_escape_target, MigrationCost};
 use pascal_sim::SimTime;
+use pascal_telemetry::{EscapeTier, ProfiledEvent, TelemetryHandle, TraceEventKind};
 use pascal_workload::{RequestId, Trace};
 
 use crate::config::SimConfig;
@@ -63,6 +64,7 @@ pub(crate) struct FederationEngine<'a> {
     /// engine delivers arrivals in.
     arrival_order: Vec<usize>,
     next_arrival: usize,
+    telemetry: TelemetryHandle,
 }
 
 impl<'a> FederationEngine<'a> {
@@ -78,6 +80,7 @@ impl<'a> FederationEngine<'a> {
             config.num_instances,
             config.wan,
         );
+        let telemetry = TelemetryHandle::new(&config.telemetry);
         let regions = spec
             .regions
             .iter()
@@ -89,6 +92,7 @@ impl<'a> FederationEngine<'a> {
                     region.shards,
                     region.instances_per_shard,
                     true,
+                    telemetry.clone(),
                 ),
                 origin_arrivals: 0,
                 nonlocal_arrivals: 0,
@@ -107,6 +111,7 @@ impl<'a> FederationEngine<'a> {
             wan: WanTopology::new(spec.regions.len(), spec.wan),
             arrival_order,
             next_arrival: 0,
+            telemetry,
         }
     }
 
@@ -129,13 +134,17 @@ impl<'a> FederationEngine<'a> {
         match (arrival, region_ev) {
             (None, None) => false,
             (Some(at), region) if region.is_none_or(|(t, _, _)| at <= t) => {
+                let t0 = self.telemetry.profile_timer();
                 let idx = self.arrival_order[self.next_arrival];
                 self.next_arrival += 1;
                 self.deliver_arrival(idx, at);
+                self.telemetry.profile_record(ProfiledEvent::Arrival, t0);
                 true
             }
             (_, Some((_, r, s))) => {
-                match self.regions[r].cluster.fire_shard(s) {
+                let t0 = self.telemetry.profile_timer();
+                let (signal, kind) = self.regions[r].cluster.fire_shard(s);
+                match signal {
                     ClusterSignal::Handled => {}
                     ClusterSignal::Escalate {
                         shard,
@@ -167,9 +176,32 @@ impl<'a> FederationEngine<'a> {
                         );
                     }
                 }
+                self.telemetry.profile_record(kind, t0);
                 true
             }
             (Some(_), None) => unreachable!("arrival case handled by the guard above"),
+        }
+    }
+
+    /// Timestamp of the globally next pending event (arrival or any
+    /// region's shard event), if any — the horizon the series sampler
+    /// fills up to.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let mut earliest: Option<SimTime> = None;
+        for region in self.regions.iter_mut() {
+            if let Some((t, _)) = region.cluster.peek_earliest() {
+                if earliest.is_none_or(|best| t < best) {
+                    earliest = Some(t);
+                }
+            }
+        }
+        match (arrival, earliest) {
+            (Some(a), Some(e)) => Some(a.min(e)),
+            (a, e) => a.or(e),
         }
     }
 
@@ -232,6 +264,14 @@ impl<'a> FederationEngine<'a> {
                             .admission_ctl
                             .counters
                             .spilled += 1;
+                        self.regions[home].cluster.shards[shard].emit_trace(
+                            now,
+                            None,
+                            Some(spec.id),
+                            TraceEventKind::AdmissionSpilled {
+                                to_region: candidate as u32,
+                            },
+                        );
                         self.deliver_to(candidate, s, spec, &stats, origin, now);
                         return;
                     }
@@ -295,6 +335,15 @@ impl<'a> FederationEngine<'a> {
                 .escape_fallback(from_s, candidate, now, false);
         };
         self.source_outcomes(from_r, from_s).cross_region_considered += 1;
+        self.emit_escape_trace(
+            from_r,
+            from_s,
+            id,
+            now,
+            TraceEventKind::MigrationConsidered {
+                tier: EscapeTier::CrossRegion,
+            },
+        );
 
         let (needed, bytes, predicted_remaining) = {
             let sh = &self.regions[from_r].cluster.shards[from_s];
@@ -314,6 +363,15 @@ impl<'a> FederationEngine<'a> {
         let dest_pools = self.regions[dest_r].cluster.shard_pools(now);
         let Some(dest_s) = best_escape_shard(&dest_pools) else {
             self.source_outcomes(from_r, from_s).cross_region_aborted += 1;
+            self.emit_escape_trace(
+                from_r,
+                from_s,
+                id,
+                now,
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::CrossRegion,
+                },
+            );
             return self.regions[from_r]
                 .cluster
                 .escape_fallback(from_s, candidate, now, false);
@@ -322,6 +380,15 @@ impl<'a> FederationEngine<'a> {
         let policy = self.regions[from_r].cluster.shards[from_s].policy;
         let Some(to_local) = policy.cross_shard_instance(needed, &dest_stats) else {
             self.source_outcomes(from_r, from_s).cross_region_aborted += 1;
+            self.emit_escape_trace(
+                from_r,
+                from_s,
+                id,
+                now,
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::CrossRegion,
+                },
+            );
             return self.regions[from_r]
                 .cluster
                 .escape_fallback(from_s, candidate, now, false);
@@ -346,6 +413,15 @@ impl<'a> FederationEngine<'a> {
         if cost.is_some_and(|c| c.vetoes()) {
             self.source_outcomes(from_r, from_s)
                 .cross_region_vetoed_by_cost += 1;
+            self.emit_escape_trace(
+                from_r,
+                from_s,
+                id,
+                now,
+                TraceEventKind::MigrationVetoed {
+                    tier: EscapeTier::CrossRegion,
+                },
+            );
             return self.regions[from_r]
                 .cluster
                 .escape_fallback(from_s, candidate, now, true);
@@ -364,6 +440,15 @@ impl<'a> FederationEngine<'a> {
                 .insert(id, needed);
         } else if policy.adaptive_migration() {
             self.source_outcomes(from_r, from_s).cross_region_aborted += 1;
+            self.emit_escape_trace(
+                from_r,
+                from_s,
+                id,
+                now,
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::CrossRegion,
+                },
+            );
             return self.regions[from_r]
                 .cluster
                 .escape_fallback(from_s, candidate, now, false);
@@ -371,6 +456,18 @@ impl<'a> FederationEngine<'a> {
 
         let (_, finish) = self.wan.cross_migrate(now, from_r, dest_r, bytes);
         let to_global = self.regions[dest_r].cluster.shards[dest_s].global_instance(to_local);
+        self.emit_escape_trace(
+            from_r,
+            from_s,
+            id,
+            now,
+            TraceEventKind::MigrationLaunched {
+                tier: EscapeTier::CrossRegion,
+                to_shard: self.regions[dest_r].cluster.shards[dest_s].id,
+                to_instance: to_global,
+                bytes,
+            },
+        );
         let sh = &mut self.regions[from_r].cluster.shards[from_s];
         let st = sh.states.get_mut(&id).expect("escaping request");
         st.kv_location = KvLocation::Migrating;
@@ -399,6 +496,21 @@ impl<'a> FederationEngine<'a> {
                 to_instance: to_local,
             },
         );
+    }
+
+    /// Emits a trace event attributed to the escaping request's current
+    /// instance on the source shard (shorthand for the deep path).
+    fn emit_escape_trace(
+        &self,
+        from_r: usize,
+        from_s: usize,
+        id: RequestId,
+        now: SimTime,
+        kind: TraceEventKind,
+    ) {
+        let sh = &self.regions[from_r].cluster.shards[from_s];
+        let instance = sh.states.get(&id).map(|st| sh.offset + st.instance);
+        sh.emit_trace(now, instance, Some(id), kind);
     }
 
     /// The escaping shard's outcome tally (shorthand for the deep path).
@@ -456,7 +568,28 @@ impl<'a> FederationEngine<'a> {
     }
 
     pub(crate) fn run(mut self) -> SimOutput {
-        while self.step() {}
+        if let Some(interval) = self.telemetry.series_interval() {
+            // Same convention as the single-region engine: sample at
+            // k·interval, strictly before the next event, so a row at time
+            // s reflects every event with timestamp <= s.
+            let mut next_sample = SimTime::ZERO + interval;
+            while let Some(horizon) = self.next_event_time() {
+                while next_sample < horizon {
+                    for (r, region) in self.regions.iter().enumerate() {
+                        let wan_backlog = self
+                            .wan
+                            .port_busy_until(r)
+                            .saturating_since(next_sample)
+                            .as_secs_f64();
+                        region.cluster.sample_series(next_sample, Some(wan_backlog));
+                    }
+                    next_sample += interval;
+                }
+                self.step();
+            }
+        } else {
+            while self.step() {}
+        }
 
         let per_region_instances = self.config.num_instances / self.config.regions;
         let region_stats: Vec<RegionStats> = self
@@ -497,6 +630,7 @@ impl<'a> FederationEngine<'a> {
         assert_drained(&shards);
         let mut out = assemble_output(shards);
         out.region_stats = region_stats;
+        out.telemetry = self.telemetry.finish();
         out
     }
 }

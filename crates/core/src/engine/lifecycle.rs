@@ -10,6 +10,7 @@
 use pascal_cluster::KvLocation;
 use pascal_model::DecodeBatch;
 use pascal_sim::SimTime;
+use pascal_telemetry::TraceEventKind;
 use pascal_workload::{Phase, RequestId};
 
 use super::{context_kv_bytes, Event, IterationKind, Shard};
@@ -74,11 +75,22 @@ impl Shard<'_> {
             }
         }
         let id = state.spec.id;
+        let speculatively_demoted = state.demoted;
         // Records carry global instance ids; a one-shard cluster has
         // offset 0 and this is the identity.
         state.instances_visited[0] = self.global_instance(target);
         self.instances[target as usize].inst.members.insert(id);
         self.states.insert(id, state);
+        let at_instance = Some(self.global_instance(target));
+        self.emit_trace(now, at_instance, Some(id), TraceEventKind::Arrival);
+        if speculatively_demoted {
+            self.emit_trace(
+                now,
+                at_instance,
+                Some(id),
+                TraceEventKind::SpeculativeDemotion,
+            );
+        }
         self.try_schedule(target, now);
     }
 
@@ -124,6 +136,12 @@ impl Shard<'_> {
         inst.gpu.free(blocks);
         let cpu_blocks = self.states[&req].held_cpu_blocks;
         inst.cpu.alloc(cpu_blocks);
+        self.emit_trace(
+            now,
+            Some(self.global_instance(instance)),
+            Some(req),
+            TraceEventKind::OffloadDone,
+        );
         self.try_schedule(instance, now);
     }
 
@@ -142,12 +160,19 @@ impl Shard<'_> {
             b
         };
         self.instances[instance as usize].inst.cpu.free(cpu_blocks);
+        self.emit_trace(
+            now,
+            Some(self.global_instance(instance)),
+            Some(req),
+            TraceEventKind::ReloadDone,
+        );
         self.try_schedule(instance, now);
     }
 
     pub(super) fn emit_token(&mut self, id: RequestId, now: SimTime) {
         let mut crossed_threshold = None;
-        let (transitioned, done) = {
+        let mut demoted_now = false;
+        let (transitioned, done, at_instance) = {
             let st = self.states.get_mut(&id).expect("emitting request exists");
             st.tokens_generated += 1;
             st.token_times.push(now);
@@ -174,6 +199,7 @@ impl Shard<'_> {
                 }
                 if st.phase == Phase::Reasoning && !st.demoted && st.tokens_generated > threshold {
                     st.demoted = true;
+                    demoted_now = true;
                 }
             }
 
@@ -184,8 +210,12 @@ impl Shard<'_> {
             let transitioned = st.phase == Phase::Reasoning
                 && st.tokens_generated == st.spec.reasoning_tokens
                 && st.spec.answering_tokens > 0;
-            (transitioned, st.is_done())
+            (transitioned, st.is_done(), st.instance)
         };
+        if demoted_now {
+            let global = self.global_instance(at_instance);
+            self.emit_trace(now, Some(global), Some(id), TraceEventKind::Demoted);
+        }
 
         if let (Some(threshold), Some(pred)) = (crossed_threshold, &mut self.predictor) {
             let spec = self.states[&id].spec.clone();
@@ -197,6 +227,8 @@ impl Shard<'_> {
             return;
         }
         if transitioned {
+            let global = self.global_instance(at_instance);
+            self.emit_trace(now, Some(global), Some(id), TraceEventKind::PhaseTransition);
             self.on_phase_transition(id, now);
         }
     }
@@ -219,6 +251,14 @@ impl Shard<'_> {
         if let Some(pred) = &mut self.predictor {
             pred.observe(&st.spec);
         }
+        self.emit_trace(
+            now,
+            Some(self.global_instance(st.instance)),
+            Some(id),
+            TraceEventKind::Completed {
+                tokens: u64::from(st.tokens_generated),
+            },
+        );
         self.records.push(st.into_record(now));
     }
 
@@ -402,6 +442,10 @@ impl Shard<'_> {
                 st.kv_location = KvLocation::Gpu;
                 st.resident_since = Some(now);
             }
+            let global = self.global_instance(instance);
+            for id in &prefill_batch {
+                self.emit_trace(now, Some(global), Some(*id), TraceEventKind::PrefillStart);
+            }
             let rt = &mut self.instances[instance as usize];
             rt.current_batch = prefill_batch;
             rt.current_kind = IterationKind::Prefill;
@@ -442,6 +486,12 @@ impl Shard<'_> {
             st.num_preemptions += 1;
             (st.instance, context_kv_bytes(&self.geometry, st))
         };
+        self.emit_trace(
+            now,
+            Some(self.global_instance(instance)),
+            Some(id),
+            TraceEventKind::Preempted,
+        );
         let (_, finish) = self.instances[instance as usize]
             .inst
             .pcie

@@ -16,6 +16,7 @@ use pascal_cluster::KvLocation;
 use pascal_metrics::{MigrationOutcomes, MigrationRecord};
 use pascal_sched::{MigrationCost, MigrationDecision};
 use pascal_sim::SimTime;
+use pascal_telemetry::{EscapeTier, TraceEventKind};
 use pascal_workload::{Phase, RequestId};
 
 use super::{context_kv_bytes, EscapeCandidate, Event, Shard};
@@ -107,6 +108,14 @@ impl Shard<'_> {
         let stats = self.collect_stats(now);
         let cost = self.migration_cost(id, predicted_remaining);
         self.migration_ctl.outcomes.considered += 1;
+        self.emit_trace(
+            now,
+            Some(self.global_instance(current)),
+            Some(id),
+            TraceEventKind::MigrationConsidered {
+                tier: EscapeTier::Intra,
+            },
+        );
         // A saturated shard — every instance SLO-unhealthy (Algorithm 2
         // runs on its all-unhealthy fallback), or no instance able to hold
         // this request's KV right now (the memory pressure behind the
@@ -142,6 +151,14 @@ impl Shard<'_> {
                 // The cheaper intra-shard move already failed the cost
                 // test; the pricier interconnect cannot pass it either.
                 self.migration_ctl.outcomes.vetoed_by_cost += 1;
+                self.emit_trace(
+                    now,
+                    Some(self.global_instance(current)),
+                    Some(id),
+                    TraceEventKind::MigrationVetoed {
+                        tier: EscapeTier::Intra,
+                    },
+                );
             }
             MigrationDecision::MigrateTo(dest) if can_escape && all_unhealthy => {
                 self.cross_escape_outbox.push(EscapeCandidate {
@@ -207,6 +224,15 @@ impl Shard<'_> {
             self.migration_ctl.reservations.insert(id, needed);
         } else if self.policy.adaptive_migration() {
             self.migration_ctl.outcomes.aborted_no_reservation += 1;
+            let from = self.states[&id].instance;
+            self.emit_trace(
+                now,
+                Some(self.global_instance(from)),
+                Some(id),
+                TraceEventKind::MigrationAborted {
+                    tier: EscapeTier::Intra,
+                },
+            );
             return;
         }
         let (from, bytes) = {
@@ -234,6 +260,17 @@ impl Shard<'_> {
         }
         self.migration_ctl.outcomes.launched += 1;
         self.migration_ctl.outcomes.bytes_moved += bytes;
+        self.emit_trace(
+            now,
+            Some(self.offset + from),
+            Some(id),
+            TraceEventKind::MigrationLaunched {
+                tier: EscapeTier::Intra,
+                to_shard: self.id,
+                to_instance: self.offset + dest,
+                bytes,
+            },
+        );
         self.queue
             .schedule(finish, Event::MigrationDone { req: id, to: dest });
     }
@@ -273,7 +310,7 @@ impl Shard<'_> {
         let needed = self
             .geometry
             .blocks_for_tokens(self.states[&req].tokens_needed_next());
-        if let Some(reserved) = self.migration_ctl.reservations.remove(&req) {
+        let in_cpu = if let Some(reserved) = self.migration_ctl.reservations.remove(&req) {
             // Blocks were reserved when the transfer launched; no tokens were
             // generated in flight, so the reservation is still exact.
             debug_assert_eq!(reserved, needed);
@@ -281,25 +318,34 @@ impl Shard<'_> {
             st.held_gpu_blocks = reserved;
             st.kv_location = KvLocation::Gpu;
             st.resident_since = Some(now);
-            return;
-        }
-        let dest = &mut self.instances[instance as usize].inst;
-        if dest.gpu.try_alloc(needed) {
-            let st = self.states.get_mut(&req).expect("migrating request exists");
-            st.held_gpu_blocks = needed;
-            st.kv_location = KvLocation::Gpu;
-            st.resident_since = Some(now);
+            false
         } else {
-            self.migration_ctl.outcomes.landed_in_cpu += 1;
-            let cpu_blocks = {
+            let dest = &mut self.instances[instance as usize].inst;
+            if dest.gpu.try_alloc(needed) {
                 let st = self.states.get_mut(&req).expect("migrating request exists");
-                let b = self.geometry.blocks_for_tokens(st.context_tokens());
-                st.held_cpu_blocks = b;
-                st.kv_location = KvLocation::Cpu;
-                b
-            };
-            dest.cpu.alloc(cpu_blocks);
-        }
+                st.held_gpu_blocks = needed;
+                st.kv_location = KvLocation::Gpu;
+                st.resident_since = Some(now);
+                false
+            } else {
+                self.migration_ctl.outcomes.landed_in_cpu += 1;
+                let cpu_blocks = {
+                    let st = self.states.get_mut(&req).expect("migrating request exists");
+                    let b = self.geometry.blocks_for_tokens(st.context_tokens());
+                    st.held_cpu_blocks = b;
+                    st.kv_location = KvLocation::Cpu;
+                    b
+                };
+                dest.cpu.alloc(cpu_blocks);
+                true
+            }
+        };
+        self.emit_trace(
+            now,
+            Some(self.global_instance(instance)),
+            Some(req),
+            TraceEventKind::MigrationLanded { in_cpu },
+        );
     }
 
     /// First execution after a migration landed: stamp the stall (landing →

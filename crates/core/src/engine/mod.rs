@@ -71,6 +71,7 @@ use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
 use pascal_sched::SchedPolicy;
 use pascal_sim::{EventQueue, SimTime};
+use pascal_telemetry::{TelemetryHandle, TelemetryOut, TraceEvent, TraceEventKind};
 use pascal_workload::{RequestId, Trace};
 
 use crate::config::SimConfig;
@@ -171,6 +172,11 @@ pub struct SimOutput {
     pub shard_stats: Vec<ShardStats>,
     /// One row per region (a single row when `regions` is 1).
     pub region_stats: Vec<RegionStats>,
+    /// What the run's telemetry streams collected — `None` unless
+    /// [`SimConfig::telemetry`](crate::SimConfig::telemetry) enabled at
+    /// least one stream. Side data only: nothing else in this struct ever
+    /// depends on it.
+    pub telemetry: Option<TelemetryOut>,
 }
 
 impl SimOutput {
@@ -253,6 +259,9 @@ pub(super) struct Shard<'a> {
     /// cluster right after the triggering iteration, before the instance
     /// relaunches.
     pub(super) cross_escape_outbox: Vec<EscapeCandidate>,
+    /// Telemetry emitter (a clone of the run-wide handle; a single no-op
+    /// branch per call site when disabled).
+    pub(super) telemetry: TelemetryHandle,
 }
 
 /// Engine-side per-instance runtime extension.
@@ -265,7 +274,13 @@ pub(super) struct InstanceRt {
 impl<'a> Shard<'a> {
     /// Builds shard `id` with `instances` instances (local ids `0..n`,
     /// global ids `offset..offset + n`).
-    pub(super) fn new(trace: &'a Trace, config: &'a SimConfig, id: u32, instances: usize) -> Self {
+    pub(super) fn new(
+        trace: &'a Trace,
+        config: &'a SimConfig,
+        id: u32,
+        instances: usize,
+        telemetry: TelemetryHandle,
+    ) -> Self {
         let perf = config.perf_model();
         let geometry = config.geometry();
         let capacity = config.kv_capacity_bytes();
@@ -301,12 +316,38 @@ impl<'a> Shard<'a> {
             cross_shard_in: 0,
             cross_region_in: 0,
             cross_escape_outbox: Vec::new(),
+            telemetry,
         }
     }
 
     /// The global id of a local instance index — what records carry.
     pub(super) fn global_instance(&self, local: u32) -> u32 {
         self.offset + local
+    }
+
+    /// The region this shard belongs to (shard ids are region-major).
+    pub(super) fn region(&self) -> u32 {
+        self.id / self.config.shards as u32
+    }
+
+    /// Emits one trace event stamped with this shard's coordinates. A
+    /// single branch when tracing is off; the event is built lazily.
+    #[inline]
+    pub(super) fn emit_trace(
+        &self,
+        at: SimTime,
+        instance: Option<u32>,
+        request: Option<RequestId>,
+        kind: TraceEventKind,
+    ) {
+        self.telemetry.trace(|| TraceEvent {
+            at,
+            region: self.region(),
+            shard: self.id,
+            instance,
+            request: request.map(|r| r.0),
+            kind,
+        });
     }
 
     /// This shard's row of the run summary.

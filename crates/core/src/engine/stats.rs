@@ -9,6 +9,7 @@
 use pascal_cluster::InstanceStats;
 use pascal_sched::SchedPolicy;
 use pascal_sim::SimTime;
+use pascal_telemetry::{SeriesRow, SeriesScope};
 use pascal_workload::Phase;
 
 use super::Shard;
@@ -82,5 +83,59 @@ impl Shard<'_> {
                 }
             })
             .collect()
+    }
+
+    /// One telemetry gauge sample of this shard at `at` — queue pressure,
+    /// phase mix, KV occupancy, admission headroom and predictor accuracy
+    /// so far. Read-only: sampling must not perturb the simulation.
+    pub(super) fn series_row(&self, at: SimTime) -> SeriesRow {
+        let mut queue_depth = 0u64;
+        let mut reasoning = 0u64;
+        let mut answering = 0u64;
+        for st in self.states.values() {
+            if !st.running {
+                queue_depth += 1;
+            }
+            match st.phase {
+                Phase::Reasoning => reasoning += 1,
+                Phase::Answering => answering += 1,
+            }
+        }
+        let stats = self.collect_stats(at);
+        let (abs_err, err_n) = self.prediction_abs_error();
+        SeriesRow {
+            t: at,
+            scope: SeriesScope::Shard,
+            region: self.region(),
+            shard: Some(self.id),
+            queue_depth,
+            active: self.states.len() as u64,
+            reasoning,
+            answering,
+            kv_used_bytes: stats.iter().map(|s| s.kv_footprint_bytes).sum(),
+            // 0 encodes unbounded (oracle) memory.
+            kv_capacity_bytes: self
+                .config
+                .kv_capacity_bytes()
+                .map_or(0, |c| c * self.instances.len() as u64),
+            admission_headroom_bytes: self.admission_headroom(&stats),
+            predictor_mean_abs_error: (err_n > 0).then(|| abs_err / err_n as f64),
+            wan_busy_s: None,
+        }
+    }
+
+    /// Sum of absolute reasoning-length prediction errors and the number
+    /// of samples behind it — kept split so region rows can aggregate
+    /// across shards without double-averaging.
+    pub(super) fn prediction_abs_error(&self) -> (f64, u64) {
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for s in &self.prediction_samples {
+            if let Some(p) = s.predicted_reasoning_tokens {
+                sum += (p - f64::from(s.actual_reasoning_tokens)).abs();
+                n += 1;
+            }
+        }
+        (sum, n)
     }
 }

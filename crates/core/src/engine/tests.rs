@@ -828,6 +828,49 @@ mod federation {
     }
 
     #[test]
+    fn escape_conservation_holds_at_every_tier_and_scope() {
+        // Both escape tiers active at once: two regions of two memory-tight
+        // shards each. Every per-shard tally and the absorbed run total
+        // must satisfy considered == launched + vetoed + aborted at both
+        // tiers — the relation `assemble_output` debug-asserts on every
+        // run and the trace events reconcile against.
+        use pascal_metrics::MigrationOutcomes;
+        let trace = geo_trace(150, 14.0, 5, 2);
+        let mut config = SimConfig::evaluation_cluster(PolicyKind::Pascal.build())
+            .with_shards(2, RouterPolicy::RoundRobin)
+            .with_regions(2, FederationPolicy::Static);
+        config.num_instances = 8;
+        config.kv_capacity = KvCapacityMode::FractionOfPhysical(0.2);
+        let out = run_simulation(&trace, &config);
+        let check = |m: &MigrationOutcomes, what: &str| {
+            // The debug assertion itself (active here; compiled out of
+            // release binaries) plus hard asserts so release-mode test
+            // runs still verify the relation.
+            m.assert_escape_conservation();
+            assert_eq!(
+                m.cross_shard_considered,
+                m.cross_shard_launched + m.cross_shard_vetoed_by_cost + m.cross_shard_aborted,
+                "{what}: cross-shard escapes must resolve: {m:?}"
+            );
+            assert_eq!(
+                m.cross_region_considered,
+                m.cross_region_launched + m.cross_region_vetoed_by_cost + m.cross_region_aborted,
+                "{what}: cross-region escapes must resolve: {m:?}"
+            );
+        };
+        check(&out.migration_outcomes, "run total");
+        for row in &out.shard_stats {
+            check(&row.migrations, &format!("shard {}", row.shard));
+        }
+        assert!(
+            out.migration_outcomes.cross_shard_considered > 0
+                || out.migration_outcomes.cross_region_considered > 0,
+            "the saturated grid must consider escapes: {:?}",
+            out.migration_outcomes
+        );
+    }
+
+    #[test]
     fn admission_spills_to_a_remote_region_before_rejecting() {
         // A hot region under predictive admission with a tight KV budget:
         // the probe rejects at home, and region-aware admission must place

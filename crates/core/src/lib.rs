@@ -26,7 +26,13 @@
 //!   [`ScenarioSpec`] cells, [`SweepGrid`] presets, the parallel
 //!   [`SweepRunner`], machine-readable [`SweepReport`]s (JSON + CSV) and
 //!   the CI perf-regression [`sweep::gate`];
-//! * [`report`] — plain-text table rendering shared by the benches.
+//! * [`report`] — plain-text table rendering shared by the benches;
+//! * telemetry — opt-in observability re-exported from `pascal-telemetry`:
+//!   [`TelemetryConfig`] on [`SimConfig`] switches on request-lifecycle
+//!   tracing ([`TraceFormat`] JSONL or Chrome trace-event), time-series
+//!   gauge sampling, and a wall-clock hot-path profiler
+//!   ([`ProfileReport`]); with everything off (the default) the engine's
+//!   outputs are byte-identical to an uninstrumented run.
 //!
 //! # Examples
 //!
@@ -61,4 +67,8 @@ pub mod sweep;
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
 pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
 pub use pascal_federation::{FederationPolicy, WanLink};
+pub use pascal_telemetry::{
+    events_to_chrome, events_to_jsonl, series_to_csv, series_to_json, ProfileReport,
+    TelemetryConfig, TelemetryOut, TraceFormat,
+};
 pub use sweep::{ScenarioSpec, SweepCell, SweepGrid, SweepReport, SweepRunner};

@@ -38,6 +38,7 @@ use pascal_federation::FederationPolicy;
 use pascal_metrics::{QoeParams, SweepCellMetrics};
 use pascal_predict::PredictorKind;
 use pascal_sched::{PolicyKind, RouterPolicy};
+use pascal_telemetry::{ProfileReport, TelemetryConfig};
 use pascal_workload::{ArrivalProcess, MixPreset, Trace, TraceBuilder};
 
 use crate::config::{RateLevel, SimConfig};
@@ -305,6 +306,17 @@ impl ScenarioSpec {
     pub fn run(&self) -> SimOutput {
         run_simulation(&self.trace(), &self.config())
     }
+
+    /// Runs the cell with the given telemetry configuration. Telemetry is
+    /// deliberately *not* a [`ScenarioSpec`] axis — it never changes a
+    /// run's deterministic outputs, so it must never change a cell's
+    /// label or serialized form either.
+    #[must_use]
+    pub fn run_with_telemetry(&self, telemetry: TelemetryConfig) -> SimOutput {
+        let mut config = self.config();
+        config.telemetry = telemetry;
+        run_simulation(&self.trace(), &config)
+    }
 }
 
 /// One executed cell of a sweep report.
@@ -350,6 +362,10 @@ impl SweepCell {
 #[derive(Clone, Copy, Debug)]
 pub struct SweepRunner {
     threads: usize,
+    /// Attach the hot-path profiler to every cell. Lives on the runner —
+    /// not on [`ScenarioSpec`] — because profiling is host-dependent and
+    /// must never leak into a cell's identity or serialized report.
+    profile: bool,
 }
 
 impl SweepRunner {
@@ -363,7 +379,18 @@ impl SweepRunner {
             } else {
                 threads
             },
+            profile: false,
         }
+    }
+
+    /// The same runner with per-cell hot-path profiling switched on.
+    /// Profiler output is wall-clock (non-deterministic) and is returned
+    /// out-of-band by [`SweepRunner::run_grids_profiled`]; the
+    /// [`SweepReport`] itself is byte-identical either way.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// The pool width this runner uses.
@@ -404,6 +431,23 @@ impl SweepRunner {
     /// `grids` is empty.
     #[must_use]
     pub fn run_grids(&self, grids: &[SweepGrid]) -> SweepReport {
+        self.run_grids_profiled(grids).0
+    }
+
+    /// [`SweepRunner::run_grids`] plus the out-of-band per-cell profiler
+    /// reports (in cell order; all `None` unless
+    /// [`SweepRunner::with_profile`] switched profiling on). The
+    /// [`SweepReport`] is byte-identical with profiling on or off —
+    /// wall-clock numbers travel only through the second element.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SweepRunner::run_grids`].
+    #[must_use]
+    pub fn run_grids_profiled(
+        &self,
+        grids: &[SweepGrid],
+    ) -> (SweepReport, Vec<Option<ProfileReport>>) {
         assert!(!grids.is_empty(), "need at least one grid");
         let specs: Vec<ScenarioSpec> = grids.iter().flat_map(SweepGrid::expand).collect();
         let mut labels: Vec<String> = specs.iter().map(ScenarioSpec::label).collect();
@@ -411,10 +455,22 @@ impl SweepRunner {
         if let Some(dup) = labels.windows(2).find(|w| w[0] == w[1]) {
             panic!("grids produce a duplicate cell label '{}'", dup[0]);
         }
-        let cells = self.run_map(&specs, |spec, out| {
-            SweepCell::from_output(*spec, spec.rate_rps(), &out)
-        });
-        SweepReport {
+        let telemetry = TelemetryConfig {
+            profile: self.profile,
+            ..TelemetryConfig::default()
+        };
+        let results: Vec<(SweepCell, Option<ProfileReport>)> =
+            parallel_map(specs.len(), self.threads, |i| {
+                let spec = &specs[i];
+                let mut out = spec.run_with_telemetry(telemetry);
+                let profile = out.telemetry.take().and_then(|t| t.profile);
+                (
+                    SweepCell::from_output(*spec, spec.rate_rps(), &out),
+                    profile,
+                )
+            });
+        let (cells, profiles): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let report = SweepReport {
             grid: grids
                 .iter()
                 .map(|g| g.name.as_str())
@@ -422,7 +478,8 @@ impl SweepRunner {
                 .join("+"),
             base_seed: grids[0].base_seed,
             cells,
-        }
+        };
+        (report, profiles)
     }
 }
 

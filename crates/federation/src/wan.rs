@@ -152,6 +152,18 @@ impl WanTopology {
         self.wan.link().transfer_time(bytes)
     }
 
+    /// When `region`'s WAN port next goes fully idle (the later of its
+    /// egress and ingress horizons) — the telemetry gauge behind the
+    /// per-region WAN occupancy series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    #[must_use]
+    pub fn port_busy_until(&self, region: usize) -> SimTime {
+        self.ports.busy_until(region)
+    }
+
     /// Schedules a cross-region KV migration of `bytes` submitted at `now`,
     /// holding the source region's WAN egress and the destination's
     /// ingress; returns `(start, finish)`.

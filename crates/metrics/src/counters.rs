@@ -89,6 +89,29 @@ impl MigrationOutcomes {
         self.vetoed_by_cost + self.aborted_no_reservation
     }
 
+    /// Debug-asserts the documented escape-resolution invariants: every
+    /// considered cross-shard / cross-region escape resolves as exactly one
+    /// of launched, vetoed-by-cost or aborted. The engine checks this on
+    /// every per-shard tally and on the absorbed run total when assembling
+    /// a `SimOutput`; trace events reconcile against the same relation.
+    ///
+    /// (Not part of [`MigrationOutcomes::absorb`]: that must sum arbitrary
+    /// tallies, including synthetic ones that need not balance.)
+    pub fn assert_escape_conservation(&self) {
+        debug_assert_eq!(
+            self.cross_shard_considered,
+            self.cross_shard_launched + self.cross_shard_vetoed_by_cost + self.cross_shard_aborted,
+            "cross-shard escapes must resolve: considered == launched + vetoed + aborted"
+        );
+        debug_assert_eq!(
+            self.cross_region_considered,
+            self.cross_region_launched
+                + self.cross_region_vetoed_by_cost
+                + self.cross_region_aborted,
+            "cross-region escapes must resolve: considered == launched + vetoed + aborted"
+        );
+    }
+
     /// Adds another tally into this one — how the cluster aggregates its
     /// per-shard controller outcomes into the run total.
     pub fn absorb(&mut self, other: &MigrationOutcomes) {
@@ -253,6 +276,34 @@ mod tests {
             ..MigrationOutcomes::default()
         };
         assert_eq!(m.diverged(), 5);
+    }
+
+    #[test]
+    fn escape_conservation_accepts_balanced_tallies() {
+        MigrationOutcomes::default().assert_escape_conservation();
+        let m = MigrationOutcomes {
+            cross_shard_considered: 3,
+            cross_shard_launched: 1,
+            cross_shard_vetoed_by_cost: 1,
+            cross_shard_aborted: 1,
+            cross_region_considered: 2,
+            cross_region_launched: 1,
+            cross_region_vetoed_by_cost: 1,
+            ..MigrationOutcomes::default()
+        };
+        m.assert_escape_conservation();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "cross-shard escapes must resolve")]
+    fn escape_conservation_rejects_unbalanced_tallies() {
+        let m = MigrationOutcomes {
+            cross_shard_considered: 2,
+            cross_shard_launched: 1,
+            ..MigrationOutcomes::default()
+        };
+        m.assert_escape_conservation();
     }
 
     #[test]

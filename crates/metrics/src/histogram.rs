@@ -107,6 +107,29 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`q` clamped to `[0, 1]`), linearly interpolated
+    /// inside the containing bin; zero for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if next as f64 >= target {
+                let within = ((target - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+                return (i as f64 + within) * self.bin_width;
+            }
+            cumulative = next;
+        }
+        self.counts.len() as f64 * self.bin_width
+    }
+
     /// Sample standard deviation (population form).
     #[must_use]
     pub fn std_dev(&self) -> f64 {
@@ -167,7 +190,24 @@ mod tests {
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.density(3), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
         assert!(!h.render_ascii(20, 10).contains('#'));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bins() {
+        let samples: Vec<f64> = (0..100).map(f64::from).collect();
+        let h = Histogram::from_samples(&samples, 1.0);
+        assert!((h.quantile(0.5) - 50.0).abs() <= 1.0, "{}", h.quantile(0.5));
+        assert!((h.quantile(0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // Out-of-range inputs clamp rather than extrapolate.
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        // A single-bin histogram interpolates inside that bin.
+        let one = Histogram::from_samples(&[5.0, 5.1, 5.2], 10.0);
+        let q = one.quantile(0.5);
+        assert!((0.0..=10.0).contains(&q), "{q}");
     }
 
     #[test]

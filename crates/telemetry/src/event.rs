@@ -1,0 +1,206 @@
+//! Typed request-lifecycle trace events.
+//!
+//! One [`TraceEvent`] per lifecycle edge, stamped with the sim time and the
+//! region/shard/instance where it happened. The variants mirror the
+//! engine's controller decisions one-to-one, so a trace can be reconciled
+//! against the end-of-run counters (`MigrationOutcomes`,
+//! `AdmissionCounters`) exactly.
+
+use pascal_sim::SimTime;
+
+/// Which transfer tier a migration decision was priced at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscapeTier {
+    /// An intra-shard move over the local fabric.
+    Intra,
+    /// A cross-shard escape over the inter-shard interconnect.
+    CrossShard,
+    /// A cross-region escape over the WAN.
+    CrossRegion,
+}
+
+impl EscapeTier {
+    /// Stable lowercase key used in serialized traces.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            EscapeTier::Intra => "intra",
+            EscapeTier::CrossShard => "cross_shard",
+            EscapeTier::CrossRegion => "cross_region",
+        }
+    }
+}
+
+/// What happened at one lifecycle edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An arrival was routed and placed on an instance's queue.
+    Arrival,
+    /// Admission control turned an arrival away at predicted overload.
+    AdmissionRejected {
+        /// Projected aggregate KV bytes at decision time.
+        projected_kv_bytes: u64,
+        /// The byte budget the projection was tested against.
+        budget_bytes: u64,
+    },
+    /// The home region's admission would have rejected, but the federation
+    /// placed the arrival in a remote region instead.
+    AdmissionSpilled {
+        /// The absorbing region.
+        to_region: u32,
+    },
+    /// An arrival whose *predicted* reasoning length crossed the demotion
+    /// threshold started directly in the low-priority queue.
+    SpeculativeDemotion,
+    /// A running request generated its threshold-th reasoning token and
+    /// was demoted to the low-priority queue (§IV-C).
+    Demoted,
+    /// The request's prefill began executing.
+    PrefillStart,
+    /// The reasoning → answering phase boundary (first user-visible token).
+    PhaseTransition,
+    /// The request was preempted: its KV offload to host memory started.
+    Preempted,
+    /// The KV offload finished; the request now waits in the CPU pool.
+    OffloadDone,
+    /// The KV reload finished; the request is GPU-resident again.
+    ReloadDone,
+    /// A migration decision was evaluated at the given tier.
+    MigrationConsidered {
+        /// The tier whose transfer price the decision used.
+        tier: EscapeTier,
+    },
+    /// The predictive cost/benefit test vetoed a chosen destination.
+    MigrationVetoed {
+        /// The tier whose transfer price vetoed the move.
+        tier: EscapeTier,
+    },
+    /// A migration was abandoned: no landing instance qualified, or its
+    /// KV reservation failed at launch time.
+    MigrationAborted {
+        /// The tier at which the abort happened.
+        tier: EscapeTier,
+    },
+    /// A transfer was actually launched onto the tier's link.
+    MigrationLaunched {
+        /// The tier carrying the transfer.
+        tier: EscapeTier,
+        /// Destination shard (global id).
+        to_shard: u32,
+        /// Destination instance (global id).
+        to_instance: u32,
+        /// KV bytes moved.
+        bytes: u64,
+    },
+    /// A launched transfer landed at its destination.
+    MigrationLanded {
+        /// True when the KV landed in the destination's CPU pool (a
+        /// guaranteed reload stall).
+        in_cpu: bool,
+    },
+    /// A failed escape's deferred intra-shard fallback move was launched.
+    EscapeFallback {
+        /// True when the escape failed specifically on the cost veto.
+        after_veto: bool,
+    },
+    /// The request generated its final token.
+    Completed {
+        /// Total tokens generated over the request's lifetime.
+        tokens: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable lowercase key naming the event in serialized traces.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            TraceEventKind::Arrival => "arrival",
+            TraceEventKind::AdmissionRejected { .. } => "admission_rejected",
+            TraceEventKind::AdmissionSpilled { .. } => "admission_spilled",
+            TraceEventKind::SpeculativeDemotion => "speculative_demotion",
+            TraceEventKind::Demoted => "demoted",
+            TraceEventKind::PrefillStart => "prefill_start",
+            TraceEventKind::PhaseTransition => "phase_transition",
+            TraceEventKind::Preempted => "preempted",
+            TraceEventKind::OffloadDone => "offload_done",
+            TraceEventKind::ReloadDone => "reload_done",
+            TraceEventKind::MigrationConsidered { .. } => "migration_considered",
+            TraceEventKind::MigrationVetoed { .. } => "migration_vetoed",
+            TraceEventKind::MigrationAborted { .. } => "migration_aborted",
+            TraceEventKind::MigrationLaunched { .. } => "migration_launched",
+            TraceEventKind::MigrationLanded { .. } => "migration_landed",
+            TraceEventKind::EscapeFallback { .. } => "escape_fallback",
+            TraceEventKind::Completed { .. } => "completed",
+        }
+    }
+}
+
+/// One lifecycle edge: when, where, which request, what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the edge.
+    pub at: SimTime,
+    /// Region where it happened.
+    pub region: u32,
+    /// Shard (global id) where it happened.
+    pub shard: u32,
+    /// Instance (global id), when the edge is instance-scoped.
+    pub instance: Option<u32>,
+    /// The request involved, when the edge is request-scoped.
+    pub request: Option<u64>,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let kinds = [
+            TraceEventKind::Arrival,
+            TraceEventKind::AdmissionRejected {
+                projected_kv_bytes: 1,
+                budget_bytes: 2,
+            },
+            TraceEventKind::AdmissionSpilled { to_region: 1 },
+            TraceEventKind::SpeculativeDemotion,
+            TraceEventKind::Demoted,
+            TraceEventKind::PrefillStart,
+            TraceEventKind::PhaseTransition,
+            TraceEventKind::Preempted,
+            TraceEventKind::OffloadDone,
+            TraceEventKind::ReloadDone,
+            TraceEventKind::MigrationConsidered {
+                tier: EscapeTier::Intra,
+            },
+            TraceEventKind::MigrationVetoed {
+                tier: EscapeTier::CrossShard,
+            },
+            TraceEventKind::MigrationAborted {
+                tier: EscapeTier::CrossRegion,
+            },
+            TraceEventKind::MigrationLaunched {
+                tier: EscapeTier::Intra,
+                to_shard: 0,
+                to_instance: 0,
+                bytes: 0,
+            },
+            TraceEventKind::MigrationLanded { in_cpu: false },
+            TraceEventKind::EscapeFallback { after_veto: true },
+            TraceEventKind::Completed { tokens: 10 },
+        ];
+        let mut keys: Vec<&str> = kinds.iter().map(TraceEventKind::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), kinds.len(), "every kind has a distinct key");
+    }
+
+    #[test]
+    fn tier_keys_are_distinct() {
+        assert_ne!(EscapeTier::Intra.key(), EscapeTier::CrossShard.key());
+        assert_ne!(EscapeTier::CrossShard.key(), EscapeTier::CrossRegion.key());
+    }
+}

@@ -1,0 +1,236 @@
+//! The hot-path self-profiler: wall-clock timing of the event loop.
+//!
+//! Everything here measures the *host*, not the simulation: counts per
+//! event class, per-event wall-clock histograms
+//! ([`pascal_metrics::Histogram`] over microseconds) and an overall
+//! events/sec figure. The numbers vary run to run and machine to machine
+//! by design — they are the measurement baseline for engine-speed work
+//! and are excluded from every determinism guarantee and from the CI perf
+//! gate's compared fields.
+
+use std::time::Instant;
+
+use pascal_metrics::Histogram;
+
+/// Histogram bin width for per-event wall-clock samples, in microseconds.
+const BIN_WIDTH_US: f64 = 0.25;
+
+/// The event-loop event classes the profiler distinguishes — one per
+/// variant of the engine's internal event enum, plus trace arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfiledEvent {
+    /// A trace arrival delivered through the router.
+    Arrival,
+    /// A batch iteration completing on an instance.
+    IterationDone,
+    /// A KV offload (preemption) completing.
+    OffloadDone,
+    /// A KV reload completing.
+    ReloadDone,
+    /// An intra-shard migration transfer landing.
+    MigrationDone,
+    /// A cross-shard escape transfer landing.
+    CrossShardDone,
+    /// A cross-region (WAN) escape transfer landing.
+    CrossRegionDone,
+}
+
+impl ProfiledEvent {
+    /// Every class, in report order.
+    pub const ALL: [ProfiledEvent; 7] = [
+        ProfiledEvent::Arrival,
+        ProfiledEvent::IterationDone,
+        ProfiledEvent::OffloadDone,
+        ProfiledEvent::ReloadDone,
+        ProfiledEvent::MigrationDone,
+        ProfiledEvent::CrossShardDone,
+        ProfiledEvent::CrossRegionDone,
+    ];
+
+    /// Stable lowercase name used in report rows.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfiledEvent::Arrival => "arrival",
+            ProfiledEvent::IterationDone => "iteration_done",
+            ProfiledEvent::OffloadDone => "offload_done",
+            ProfiledEvent::ReloadDone => "reload_done",
+            ProfiledEvent::MigrationDone => "migration_done",
+            ProfiledEvent::CrossShardDone => "cross_shard_done",
+            ProfiledEvent::CrossRegionDone => "cross_region_done",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ProfiledEvent::Arrival => 0,
+            ProfiledEvent::IterationDone => 1,
+            ProfiledEvent::OffloadDone => 2,
+            ProfiledEvent::ReloadDone => 3,
+            ProfiledEvent::MigrationDone => 4,
+            ProfiledEvent::CrossShardDone => 5,
+            ProfiledEvent::CrossRegionDone => 6,
+        }
+    }
+}
+
+/// Accumulates wall-clock samples while the event loop runs.
+#[derive(Clone, Debug)]
+pub struct HotPathProfiler {
+    started: Instant,
+    counts: [u64; ProfiledEvent::ALL.len()],
+    timings: Vec<Histogram>,
+}
+
+impl HotPathProfiler {
+    /// Starts the wall clock.
+    #[must_use]
+    pub fn new() -> Self {
+        HotPathProfiler {
+            started: Instant::now(),
+            counts: [0; ProfiledEvent::ALL.len()],
+            timings: vec![Histogram::from_samples(&[], BIN_WIDTH_US); ProfiledEvent::ALL.len()],
+        }
+    }
+
+    /// Records one handled event of class `kind` that took `elapsed_us`
+    /// wall-clock microseconds.
+    pub fn record(&mut self, kind: ProfiledEvent, elapsed_us: f64) {
+        let i = kind.index();
+        self.counts[i] += 1;
+        self.timings[i].add(elapsed_us.max(0.0));
+    }
+
+    /// Stops the wall clock and condenses the samples into a report.
+    #[must_use]
+    pub fn report(self) -> ProfileReport {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let events: u64 = self.counts.iter().sum();
+        let rows = ProfiledEvent::ALL
+            .iter()
+            .map(|&kind| {
+                let h = &self.timings[kind.index()];
+                ProfileRow {
+                    name: kind.name(),
+                    count: self.counts[kind.index()],
+                    mean_us: h.mean(),
+                    p50_us: h.quantile(0.50),
+                    p99_us: h.quantile(0.99),
+                }
+            })
+            .collect();
+        ProfileReport {
+            wall_s,
+            events,
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+            rows,
+        }
+    }
+}
+
+impl Default for HotPathProfiler {
+    fn default() -> Self {
+        HotPathProfiler::new()
+    }
+}
+
+/// One event class's profile line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileRow {
+    /// The event class ([`ProfiledEvent::name`]).
+    pub name: &'static str,
+    /// Events handled.
+    pub count: u64,
+    /// Mean wall-clock handling time, microseconds.
+    pub mean_us: f64,
+    /// Median wall-clock handling time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile wall-clock handling time, microseconds.
+    pub p99_us: f64,
+}
+
+/// The profiler's end-of-run summary. Host-dependent; never part of any
+/// deterministic output.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileReport {
+    /// Wall-clock seconds from engine construction to report time.
+    pub wall_s: f64,
+    /// Total events handled.
+    pub events: u64,
+    /// Events handled per wall-clock second — the headline throughput
+    /// figure the engine-speed work is judged against.
+    pub events_per_sec: f64,
+    /// One row per event class, [`ProfiledEvent::ALL`] order.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileReport {
+    /// Renders the report as indented text lines (for the run footer).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "hot-path profile (wall-clock, host-dependent; excluded from determinism)\n  {} events in {:.3}s = {:.0} events/sec\n",
+            self.events, self.wall_s, self.events_per_sec
+        );
+        for row in &self.rows {
+            if row.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<18} count {:<8} mean {:>8.2}us  p50 {:>8.2}us  p99 {:>8.2}us\n",
+                row.name, row.count, row.mean_us, row.p50_us, row.p99_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_rates_are_consistent() {
+        let mut p = HotPathProfiler::new();
+        for _ in 0..10 {
+            p.record(ProfiledEvent::IterationDone, 2.0);
+        }
+        p.record(ProfiledEvent::Arrival, 1.0);
+        let report = p.report();
+        assert_eq!(report.events, 11);
+        assert!(report.wall_s >= 0.0);
+        let iter_row = report
+            .rows
+            .iter()
+            .find(|r| r.name == "iteration_done")
+            .expect("row exists");
+        assert_eq!(iter_row.count, 10);
+        assert!((iter_row.mean_us - 2.0).abs() < BIN_WIDTH_US);
+        assert!(iter_row.p50_us > 0.0);
+    }
+
+    #[test]
+    fn render_skips_empty_classes() {
+        let mut p = HotPathProfiler::new();
+        p.record(ProfiledEvent::Arrival, 0.5);
+        let text = p.report().render();
+        assert!(text.contains("events/sec"));
+        assert!(text.contains("arrival"));
+        assert!(!text.contains("cross_region_done"));
+    }
+
+    #[test]
+    fn every_class_has_a_distinct_index_and_name() {
+        let mut names: Vec<&str> = ProfiledEvent::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ProfiledEvent::ALL.len());
+        let mut indices: Vec<usize> = ProfiledEvent::ALL.iter().map(|e| e.index()).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..ProfiledEvent::ALL.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,227 @@
+//! Trace serialization: JSONL and Chrome trace-event output.
+//!
+//! Both serializers are pure functions over an event buffer — the engine
+//! never touches files, so a disabled sink costs nothing and a run's
+//! events can be re-serialized in either format after the fact. The
+//! emitted JSON uses the same conventions as the sweep reports (stable key
+//! order, shortest-round-trip floats), so the in-tree recursive-descent
+//! parser reads every line back exactly.
+
+use crate::event::{TraceEvent, TraceEventKind};
+
+/// On-disk trace format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line — grep/jq friendly.
+    #[default]
+    Jsonl,
+    /// A single Chrome trace-event JSON array, loadable in Perfetto or
+    /// `chrome://tracing`.
+    Chrome,
+}
+
+impl TraceFormat {
+    /// Every format, in CLI listing order.
+    pub const ALL: [TraceFormat; 2] = [TraceFormat::Jsonl, TraceFormat::Chrome];
+
+    /// Stable lowercase key (the CLI value).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome",
+        }
+    }
+
+    /// Parses a CLI key.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<TraceFormat> {
+        TraceFormat::ALL.into_iter().find(|f| f.key() == text)
+    }
+}
+
+/// Shortest `f64` representation that round-trips (the sweep-report float
+/// convention, duplicated here because `pascal-core` sits above this crate).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Appends the kind-specific payload fields of `kind` as `,"key":value`
+/// pairs (shared by both serializers; the Chrome `args` object reuses it).
+fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
+    match kind {
+        TraceEventKind::AdmissionRejected {
+            projected_kv_bytes,
+            budget_bytes,
+        } => {
+            out.push_str(&format!(
+                ",\"projected_kv_bytes\":{projected_kv_bytes},\"budget_bytes\":{budget_bytes}"
+            ));
+        }
+        TraceEventKind::AdmissionSpilled { to_region } => {
+            out.push_str(&format!(",\"to_region\":{to_region}"));
+        }
+        TraceEventKind::MigrationConsidered { tier }
+        | TraceEventKind::MigrationVetoed { tier }
+        | TraceEventKind::MigrationAborted { tier } => {
+            out.push_str(&format!(",\"tier\":\"{}\"", tier.key()));
+        }
+        TraceEventKind::MigrationLaunched {
+            tier,
+            to_shard,
+            to_instance,
+            bytes,
+        } => {
+            out.push_str(&format!(
+                ",\"tier\":\"{}\",\"to_shard\":{to_shard},\"to_instance\":{to_instance},\"bytes\":{bytes}",
+                tier.key()
+            ));
+        }
+        TraceEventKind::MigrationLanded { in_cpu } => {
+            out.push_str(&format!(",\"in_cpu\":{in_cpu}"));
+        }
+        TraceEventKind::EscapeFallback { after_veto } => {
+            out.push_str(&format!(",\"after_veto\":{after_veto}"));
+        }
+        TraceEventKind::Completed { tokens } => {
+            out.push_str(&format!(",\"tokens\":{tokens}"));
+        }
+        TraceEventKind::Arrival
+        | TraceEventKind::SpeculativeDemotion
+        | TraceEventKind::Demoted
+        | TraceEventKind::PrefillStart
+        | TraceEventKind::PhaseTransition
+        | TraceEventKind::Preempted
+        | TraceEventKind::OffloadDone
+        | TraceEventKind::ReloadDone => {}
+    }
+}
+
+/// Serializes events as JSONL: one self-contained object per line, sim
+/// time as exact integer nanoseconds (`t_ns`).
+#[must_use]
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&format!(
+            "{{\"t_ns\":{},\"event\":\"{}\",\"region\":{},\"shard\":{}",
+            ev.at.as_nanos(),
+            ev.kind.key(),
+            ev.region,
+            ev.shard
+        ));
+        if let Some(instance) = ev.instance {
+            out.push_str(&format!(",\"instance\":{instance}"));
+        }
+        if let Some(request) = ev.request {
+            out.push_str(&format!(",\"request\":{request}"));
+        }
+        push_kind_fields(&mut out, &ev.kind);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Serializes events as one Chrome trace-event JSON array of instant
+/// events: `ts` in microseconds, `pid` = region, `tid` = shard (global id),
+/// payload under `args`. Load the file in [Perfetto](https://ui.perfetto.dev)
+/// or `chrome://tracing`.
+#[must_use]
+pub fn events_to_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{",
+            ev.kind.key(),
+            fmt_f64(ev.at.as_nanos() as f64 / 1_000.0),
+            ev.region,
+            ev.shard
+        ));
+        let mut args = String::new();
+        if let Some(instance) = ev.instance {
+            args.push_str(&format!(",\"instance\":{instance}"));
+        }
+        if let Some(request) = ev.request {
+            args.push_str(&format!(",\"request\":{request}"));
+        }
+        push_kind_fields(&mut args, &ev.kind);
+        out.push_str(args.strip_prefix(',').unwrap_or(&args));
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EscapeTier;
+    use pascal_sim::SimTime;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: SimTime::from_nanos(1_500),
+                region: 0,
+                shard: 1,
+                instance: Some(2),
+                request: Some(7),
+                kind: TraceEventKind::Arrival,
+            },
+            TraceEvent {
+                at: SimTime::from_nanos(2_500),
+                region: 1,
+                shard: 3,
+                instance: None,
+                request: Some(7),
+                kind: TraceEventKind::MigrationLaunched {
+                    tier: EscapeTier::CrossRegion,
+                    to_shard: 0,
+                    to_instance: 1,
+                    bytes: 4096,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn format_keys_round_trip() {
+        for f in TraceFormat::ALL {
+            assert_eq!(TraceFormat::parse(f.key()), Some(f));
+        }
+        assert_eq!(TraceFormat::parse("bogus"), None);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_integer_nanos() {
+        let text = events_to_jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_ns\":1500,"));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"tier\":\"cross_region\""));
+        assert!(lines[1].contains("\"bytes\":4096"));
+        assert!(!lines[0].contains("\"tier\""), "no payload on plain kinds");
+    }
+
+    #[test]
+    fn chrome_is_one_array_with_microsecond_ts() {
+        let text = events_to_chrome(&sample_events());
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("\n]\n"));
+        assert!(text.contains("\"ts\":1.5,"));
+        assert!(text.contains("\"ts\":2.5,"));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"pid\":1,\"tid\":3"));
+        assert!(text.contains("\"args\":{\"instance\":2,\"request\":7}"));
+    }
+
+    #[test]
+    fn empty_buffers_serialize_cleanly() {
+        assert_eq!(events_to_jsonl(&[]), "");
+        assert_eq!(events_to_chrome(&[]), "[\n\n]\n");
+    }
+}

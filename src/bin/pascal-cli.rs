@@ -13,8 +13,9 @@ use std::process::ExitCode;
 use pascal::core::report::{records_csv, render_table};
 use pascal::core::sweep::gate::{compare, GateTolerances};
 use pascal::core::{
-    estimate_capacity_rps, run_simulation, AdmissionMode, RateLevel, SimConfig, SweepGrid,
-    SweepReport, SweepRunner,
+    estimate_capacity_rps, events_to_chrome, events_to_jsonl, run_simulation, series_to_csv,
+    series_to_json, AdmissionMode, RateLevel, SimConfig, SweepGrid, SweepReport, SweepRunner,
+    TelemetryConfig, TraceFormat,
 };
 use pascal::federation::{FederationPolicy, WanLink};
 use pascal::metrics::{
@@ -23,6 +24,7 @@ use pascal::metrics::{
 };
 use pascal::predict::PredictorKind;
 use pascal::sched::{PolicyKind, RouterPolicy, SchedPolicy};
+use pascal::sim::SimDuration;
 use pascal::workload::{ArrivalProcess, DatasetMix, MixPreset, TraceBuilder};
 
 const USAGE: &str = "\
@@ -78,6 +80,29 @@ OPTIONS (run):
           interconnect, so the migration cost/benefit veto forbids
           frivolous cross-region moves.
   --csv     <PATH>                                  dump per-request CSV
+  --trace-out <PATH>                                dump a request-lifecycle
+          trace (admission decisions, phase transitions, demotions, the
+          full migration decision tree at all three tiers, completions)
+          to PATH, each event tagged with sim time and
+          region/shard/instance ids.
+  --trace-format <jsonl|chrome>                     trace encoding [jsonl]
+          jsonl is one JSON object per line (grep/jq friendly); chrome
+          is a single trace-event JSON array loadable in Perfetto or
+          chrome://tracing.
+  --series-out <PATH>                               sample per-shard and
+          per-region gauges (queue depth, KV utilization, active
+          requests by phase, admission headroom, predictor error, WAN
+          backlog) into PATH — a .json path gets a JSON array, anything
+          else columnar CSV. Needs --series-interval.
+  --series-interval <SECS>                          gauge sampling period
+          in sim seconds (positive). Needs --series-out.
+  --profile                                         print a wall-clock
+          hot-path profile of the event loop to stderr (per-event-type
+          counts, timing quantiles, events/sec). Host-dependent by
+          design; never part of any deterministic output.
+
+All telemetry is off by default, and a run with it off is byte-identical
+to one that never had the flags.
 
 OPTIONS (sweep):
   --grid    <main|predictive|migration|ci|sharded|federated>  preset(s) [ci]
@@ -96,6 +121,9 @@ OPTIONS (sweep):
   --ttft-tol <REL>      p99-TTFT relative tolerance               [0.10]
   --ttft-abs-tol <SEC>  p99-TTFT absolute slack                   [0.5]
   --slo-tol <ABS>       SLO-violation-rate absolute tolerance     [0.02]
+  --profile             profile each cell's event loop and print per-cell
+          events/sec to stderr (host-dependent; sweep.json / sweep.csv
+          and the printed tables are unchanged)
 
 Unknown values for any option exit with status 2.
 ";
@@ -124,6 +152,7 @@ fn policy(name: &str) -> Result<SchedPolicy, String> {
 }
 
 /// Parsed `run` options.
+#[derive(Debug)]
 struct RunOpts {
     dataset: String,
     policy: String,
@@ -140,6 +169,11 @@ struct RunOpts {
     fed_router: String,
     wan: String,
     csv: Option<String>,
+    trace_out: Option<String>,
+    trace_format: TraceFormat,
+    series_out: Option<String>,
+    series_interval: Option<f64>,
+    profile: bool,
 }
 
 impl Default for RunOpts {
@@ -160,6 +194,11 @@ impl Default for RunOpts {
             fed_router: "static".to_owned(),
             wan: "continental".to_owned(),
             csv: None,
+            trace_out: None,
+            trace_format: TraceFormat::Jsonl,
+            series_out: None,
+            series_interval: None,
+            profile: false,
         }
     }
 }
@@ -234,6 +273,27 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--fed-router" => opts.fed_router = value()?,
             "--wan" => opts.wan = value()?,
             "--csv" => opts.csv = Some(value()?),
+            "--trace-out" => opts.trace_out = Some(value()?),
+            "--trace-format" => {
+                let raw = value()?;
+                opts.trace_format = TraceFormat::parse(&raw).ok_or_else(|| {
+                    let keys: Vec<&str> = TraceFormat::ALL.iter().map(|f| f.key()).collect();
+                    format!("unknown trace format '{raw}' (valid: {})", keys.join(", "))
+                })?;
+            }
+            "--series-out" => opts.series_out = Some(value()?),
+            "--series-interval" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--series-interval: {e}"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!(
+                        "--series-interval must be a positive number of sim seconds, got {secs}"
+                    ));
+                }
+                opts.series_interval = Some(secs);
+            }
+            "--profile" => opts.profile = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -298,6 +358,27 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             Some(_) => config = config.with_predictive_migration(ratio),
         }
     }
+    // Telemetry: tracing follows --trace-out, sampling follows the
+    // --series-out/--series-interval pair (each is useless alone, so a
+    // lone half is a usage error rather than silently discarded work).
+    match (&opts.series_out, opts.series_interval) {
+        (Some(_), None) => {
+            return Err(CliError::Usage(
+                "--series-out needs --series-interval".to_owned(),
+            ));
+        }
+        (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--series-interval needs --series-out".to_owned(),
+            ));
+        }
+        _ => {}
+    }
+    config.telemetry = TelemetryConfig {
+        trace: opts.trace_out.is_some(),
+        series_interval: opts.series_interval.map(SimDuration::from_secs_f64),
+        profile: opts.profile,
+    };
     let rate = resolve_rate(&opts.rate, &config, &mix)?;
 
     // Predictions only steer PASCAL; under the baselines the predictor is
@@ -514,6 +595,42 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
         eprintln!("wrote per-request CSV to {path}");
     }
+
+    // Telemetry artifacts. The buffers exist exactly when the matching
+    // flag enabled the stream, so the expects document invariants.
+    if let Some(path) = &opts.trace_out {
+        let telemetry = out.telemetry.as_ref().expect("tracing was enabled");
+        let text = match opts.trace_format {
+            TraceFormat::Jsonl => events_to_jsonl(&telemetry.events),
+            TraceFormat::Chrome => events_to_chrome(&telemetry.events),
+        };
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+        eprintln!(
+            "wrote {} trace events ({}) to {path}",
+            telemetry.events.len(),
+            opts.trace_format.key()
+        );
+    }
+    if let Some(path) = &opts.series_out {
+        let telemetry = out.telemetry.as_ref().expect("series sampling was enabled");
+        let text = if path.ends_with(".json") {
+            series_to_json(&telemetry.series)
+        } else {
+            series_to_csv(&telemetry.series)
+        };
+        std::fs::write(path, text)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+        eprintln!("wrote {} gauge samples to {path}", telemetry.series.len());
+    }
+    if opts.profile {
+        let profile = out
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.profile.as_ref())
+            .expect("profiling was enabled");
+        eprint!("{}", profile.render());
+    }
     Ok(())
 }
 
@@ -528,6 +645,7 @@ struct SweepOpts {
     ttft_tol: f64,
     ttft_abs_tol: f64,
     slo_tol: f64,
+    profile: bool,
 }
 
 impl Default for SweepOpts {
@@ -543,6 +661,7 @@ impl Default for SweepOpts {
             ttft_tol: tol.ttft_p99_rel,
             ttft_abs_tol: tol.ttft_p99_abs_s,
             slo_tol: tol.slo_rate_abs,
+            profile: false,
         }
     }
 }
@@ -584,6 +703,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
             "--ttft-tol" => opts.ttft_tol = tolerance(value()?, "--ttft-tol")?,
             "--ttft-abs-tol" => opts.ttft_abs_tol = tolerance(value()?, "--ttft-abs-tol")?,
             "--slo-tol" => opts.slo_tol = tolerance(value()?, "--slo-tol")?,
+            "--profile" => opts.profile = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -639,7 +759,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             grid.base_seed = seed;
         }
     }
-    let runner = SweepRunner::new(opts.threads);
+    let runner = SweepRunner::new(opts.threads).with_profile(opts.profile);
     let cells: usize = grids.iter().map(|g| g.expand().len()).sum();
     eprintln!(
         "sweeping grid '{}': {cells} cells × {} requests on {} threads …",
@@ -652,12 +772,28 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         runner.threads()
     );
     let started = std::time::Instant::now();
-    let report = runner.run_grids(&grids);
+    let (report, profiles) = runner.run_grids_profiled(&grids);
     let elapsed = started.elapsed().as_secs_f64();
     eprintln!(
         "swept {cells} cells in {elapsed:.2}s ({} threads)",
         runner.threads()
     );
+    if opts.profile {
+        // Per-cell engine speed, to stderr only: the report tables,
+        // sweep.json and sweep.csv stay byte-identical with or without
+        // --profile (the CI perf gate never sees these numbers).
+        eprintln!("per-cell hot-path profile (wall-clock, host-dependent):");
+        for (cell, profile) in report.cells.iter().zip(&profiles) {
+            if let Some(p) = profile {
+                eprintln!(
+                    "  {:<44} {:>9} events  {:>12.0} events/sec",
+                    cell.label(),
+                    p.events,
+                    p.events_per_sec
+                );
+            }
+        }
+    }
 
     let rows: Vec<Vec<String>> = report
         .cells
@@ -1008,6 +1144,69 @@ mod tests {
             "rr|least|predictive",
             "static|nearest|predictive",
             "metro|regional|continental|transoceanic",
+        ] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_validate() {
+        let opts = parse_opts(&strs(&[
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--trace-format",
+            "chrome",
+            "--series-out",
+            "/tmp/s.csv",
+            "--series-interval",
+            "2.5",
+            "--profile",
+        ]))
+        .expect("valid");
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(opts.trace_format, TraceFormat::Chrome);
+        assert_eq!(opts.series_out.as_deref(), Some("/tmp/s.csv"));
+        assert_eq!(opts.series_interval, Some(2.5));
+        assert!(opts.profile);
+
+        // Unknown formats list the valid values; bad intervals are usage
+        // errors whatever flavor of bad they are.
+        let err = parse_opts(&strs(&["--trace-format", "bogus"])).expect_err("unknown format");
+        assert!(err.contains("valid: jsonl, chrome"), "got: {err}");
+        for bad in ["0", "-1", "inf", "nan", "soon"] {
+            assert!(
+                parse_opts(&strs(&["--series-interval", bad])).is_err(),
+                "interval '{bad}' must be rejected"
+            );
+        }
+
+        // Everything defaults to off.
+        let opts = parse_opts(&[]).expect("empty is valid");
+        assert_eq!(opts.trace_out, None);
+        assert_eq!(opts.trace_format, TraceFormat::Jsonl);
+        assert_eq!(opts.series_out, None);
+        assert_eq!(opts.series_interval, None);
+        assert!(!opts.profile);
+    }
+
+    #[test]
+    fn sweep_profile_flag_parses() {
+        assert!(
+            parse_sweep_opts(&strs(&["--profile"]))
+                .expect("valid")
+                .profile
+        );
+        assert!(!parse_sweep_opts(&[]).expect("empty is valid").profile);
+    }
+
+    #[test]
+    fn usage_lists_telemetry_flags() {
+        for needle in [
+            "--trace-out",
+            "jsonl|chrome",
+            "--series-out",
+            "--series-interval",
+            "--profile",
         ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
         }

@@ -21,6 +21,7 @@
 //! | [`federation`] | `pascal-federation` | regions, WAN tiers, cross-region routing policies |
 //! | [`predict`] | `pascal-predict` | online length prediction (oracle, EMA, pairwise rank) |
 //! | [`sched`] | `pascal-sched` | FCFS, RR, PASCAL (Algorithms 1–2 + ablations + predictive hooks) |
+//! | [`telemetry`] | `pascal-telemetry` | lifecycle tracing, time-series gauges, hot-path profiler |
 //! | [`core`] | `pascal-core` | the serving engine and per-figure experiments |
 //!
 //! # Quickstart
@@ -60,4 +61,5 @@ pub use pascal_model as model;
 pub use pascal_predict as predict;
 pub use pascal_sched as sched;
 pub use pascal_sim as sim;
+pub use pascal_telemetry as telemetry;
 pub use pascal_workload as workload;

@@ -111,6 +111,30 @@ fn federation_flag_errors_exit_two_and_list_values() {
 }
 
 #[test]
+fn telemetry_flag_errors_exit_two_and_list_values() {
+    assert_usage_error(
+        &["run", "--trace-format", "bogus"],
+        &["valid: jsonl, chrome"],
+    );
+    assert_usage_error(
+        &["run", "--series-interval", "soon"],
+        &["--series-interval"],
+    );
+    for bad in ["0", "-3", "inf", "nan"] {
+        assert_usage_error(
+            &["run", "--series-interval", bad],
+            &["must be a positive number"],
+        );
+    }
+    // Half of the series pair alone is a usage error, not silent no-op.
+    assert_usage_error(
+        &["run", "--series-out", "/tmp/s.csv"],
+        &["needs --series-interval"],
+    );
+    assert_usage_error(&["run", "--series-interval", "5"], &["needs --series-out"]);
+}
+
+#[test]
 fn sweep_flag_errors_exit_two_and_list_values() {
     assert_usage_error(
         &["sweep", "--grid", "everything"],

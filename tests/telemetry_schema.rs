@@ -1,0 +1,229 @@
+//! Trace and series artifacts are machine-readable: the JSONL trace
+//! re-parses line by line with the in-tree JSON parser, the Chrome trace
+//! is one well-formed trace-event array with plausible monotone
+//! timestamps, and the series outputs keep a fixed column schema. All
+//! artifacts come from the real CLI so the tests cover the full
+//! engine → handle → serializer → file pipeline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use pascal::core::sweep::JsonValue;
+
+/// Every event name a trace may contain (the engine's lifecycle edges).
+const KNOWN_EVENTS: &[&str] = &[
+    "arrival",
+    "admission_rejected",
+    "admission_spilled",
+    "speculative_demotion",
+    "demoted",
+    "prefill_start",
+    "phase_transition",
+    "preempted",
+    "offload_done",
+    "reload_done",
+    "migration_considered",
+    "migration_vetoed",
+    "migration_aborted",
+    "migration_launched",
+    "migration_landed",
+    "escape_fallback",
+    "completed",
+];
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pascal-telemetry-{}-{name}", std::process::id()))
+}
+
+/// Runs a small federated, predictive cell with telemetry — busy enough
+/// to exercise migrations and phase transitions — writing to `trace` and
+/// `series`.
+fn traced_run(trace: &Path, format: &str, series: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pascal-cli"))
+        .args([
+            "run",
+            "--count",
+            "150",
+            "--instances",
+            "4",
+            "--shards",
+            "2",
+            "--regions",
+            "2",
+            "--predictor",
+            "ema",
+            "--admission",
+            "predictive",
+            "--rate",
+            "high",
+            "--trace-out",
+            trace.to_str().expect("utf8 path"),
+            "--trace-format",
+            format,
+            "--series-out",
+            series.to_str().expect("utf8 path"),
+            "--series-interval",
+            "5",
+        ])
+        .output()
+        .expect("pascal-cli binary runs");
+    assert!(
+        out.status.success(),
+        "traced run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn jsonl_trace_reparses_line_by_line() {
+    let trace = tmp("trace.jsonl");
+    let series = tmp("series.csv");
+    traced_run(&trace, "jsonl", &series);
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > 300,
+        "expected a busy trace, got {} lines",
+        lines.len()
+    );
+    let mut last_t = 0u64;
+    let mut saw: Vec<String> = Vec::new();
+    for line in &lines {
+        let v = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("line must be valid JSON ({e}): {line}"));
+        let t = v
+            .get("t_ns")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("t_ns missing: {line}"));
+        assert!(t >= last_t, "trace must be in sim-time order: {line}");
+        last_t = t;
+        let event = v
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| panic!("event missing: {line}"));
+        assert!(
+            KNOWN_EVENTS.contains(&event),
+            "unknown event kind '{event}': {line}"
+        );
+        if !saw.iter().any(|s| s == event) {
+            saw.push(event.to_owned());
+        }
+        for key in ["region", "shard"] {
+            assert!(
+                v.get(key).and_then(JsonValue::as_u64).is_some(),
+                "{key} missing: {line}"
+            );
+        }
+    }
+    // The cell is busy enough that the core lifecycle edges all fire.
+    for expected in ["arrival", "prefill_start", "phase_transition", "completed"] {
+        assert!(
+            saw.iter().any(|s| s == expected),
+            "trace never saw '{expected}'"
+        );
+    }
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&series);
+}
+
+#[test]
+fn chrome_trace_is_one_array_with_monotone_ts() {
+    let trace = tmp("trace.chrome.json");
+    let series = tmp("series.json");
+    traced_run(&trace, "chrome", &series);
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = JsonValue::parse(&text).expect("chrome trace must be one JSON document");
+    let events = doc.as_array().expect("chrome trace must be a JSON array");
+    assert!(
+        events.len() > 300,
+        "expected a busy trace, got {}",
+        events.len()
+    );
+    let mut last_ts = f64::NEG_INFINITY;
+    for ev in events {
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("ts missing: {ev:?}"));
+        assert!(
+            ts >= last_ts,
+            "ts must be non-decreasing, got {ts} after {last_ts}"
+        );
+        assert!(ts >= 0.0 && ts.is_finite(), "implausible ts {ts}");
+        last_ts = ts;
+        assert_eq!(
+            ev.get("ph").and_then(JsonValue::as_str),
+            Some("i"),
+            "lifecycle edges are instant events"
+        );
+        let name = ev.get("name").and_then(JsonValue::as_str).expect("name");
+        assert!(KNOWN_EVENTS.contains(&name), "unknown event '{name}'");
+        for key in ["pid", "tid"] {
+            assert!(ev.get(key).and_then(JsonValue::as_u64).is_some(), "{key}");
+        }
+    }
+
+    // The .json series path is also a single well-formed array with the
+    // full column schema on every row.
+    let text = std::fs::read_to_string(&series).expect("series file written");
+    let doc = JsonValue::parse(&text).expect("series JSON parses");
+    let rows = doc.as_array().expect("series is an array");
+    assert!(!rows.is_empty());
+    let mut last_t = f64::NEG_INFINITY;
+    for row in rows {
+        let t = row.get("t_s").and_then(JsonValue::as_f64).expect("t_s");
+        assert!(t >= last_t, "samples must be in time order");
+        last_t = t;
+        let scope = row.get("scope").and_then(JsonValue::as_str).expect("scope");
+        assert!(matches!(scope, "shard" | "region"), "scope '{scope}'");
+        // Shard rows carry a shard id; region rows aggregate (null).
+        let shard = row.get("shard").expect("shard column present");
+        assert_eq!(scope == "region", shard.is_null(), "scope/shard mismatch");
+        for key in [
+            "queue_depth",
+            "active",
+            "reasoning",
+            "answering",
+            "kv_used_bytes",
+            "kv_capacity_bytes",
+        ] {
+            assert!(
+                row.get(key).and_then(JsonValue::as_u64).is_some(),
+                "{key} missing on {row:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&series);
+}
+
+#[test]
+fn series_csv_keeps_a_fixed_rectangular_schema() {
+    let trace = tmp("trace2.jsonl");
+    let series = tmp("series2.csv");
+    traced_run(&trace, "jsonl", &series);
+
+    let text = std::fs::read_to_string(&series).expect("series file written");
+    let mut lines = text.lines();
+    let header = lines.next().expect("header row");
+    assert_eq!(
+        header,
+        "t_s,scope,region,shard,queue_depth,active,reasoning,answering,\
+         kv_used_bytes,kv_capacity_bytes,admission_headroom_bytes,\
+         predictor_mean_abs_error,wan_busy_s"
+    );
+    let columns = header.split(',').count();
+    let mut rows = 0usize;
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        rows += 1;
+    }
+    // Each tick emits one row per shard plus one aggregate per region:
+    // 2 regions x (2 shards + 1) = 6 rows on this topology.
+    assert!(rows >= 6, "expected several ticks of samples, got {rows}");
+    assert_eq!(rows % 6, 0, "every tick emits 6 rows on this topology");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&series);
+}
