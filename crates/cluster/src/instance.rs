@@ -9,13 +9,11 @@
 //! (reasoning requests in the high-priority queue) and `a_i` (answering
 //! requests still in their first quantum).
 
-use std::collections::BTreeSet;
-
 use pascal_model::{KvGeometry, LinkSpec};
-use pascal_workload::RequestId;
 
 use crate::channel::BandwidthChannel;
 use crate::kv::KvPool;
+use crate::slab::Members;
 
 /// One GPU serving instance.
 #[derive(Clone, Debug)]
@@ -28,8 +26,9 @@ pub struct Instance {
     pub cpu: KvPool,
     /// Host link used by offloads and reloads (FIFO-serialized).
     pub pcie: BandwidthChannel,
-    /// Requests currently assigned to this instance (deterministic order).
-    pub members: BTreeSet<RequestId>,
+    /// Requests currently assigned to this instance (deterministic
+    /// ascending-id order, each carrying its state-slab handle).
+    pub members: Members,
     /// Whether a compute iteration is in flight.
     pub compute_busy: bool,
 }
@@ -54,7 +53,7 @@ impl Instance {
             gpu,
             cpu: KvPool::unbounded(geometry),
             pcie: BandwidthChannel::new(pcie),
-            members: BTreeSet::new(),
+            members: Members::default(),
             compute_busy: false,
         }
     }

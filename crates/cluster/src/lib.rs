@@ -37,6 +37,7 @@ mod channel;
 mod instance;
 mod kv;
 mod pacer;
+mod slab;
 mod state;
 mod topology;
 
@@ -44,5 +45,6 @@ pub use channel::{BandwidthChannel, Fabric};
 pub use instance::{Instance, InstanceStats, PoolSnapshot};
 pub use kv::KvPool;
 pub use pacer::TokenPacer;
+pub use slab::{Members, ReqHandle, RequestSlab};
 pub use state::{KvLocation, RequestState};
 pub use topology::Topology;

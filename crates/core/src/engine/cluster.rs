@@ -34,14 +34,14 @@
 //! in-region target (returned as [`ClusterSignal::Escalate`]) and WAN
 //! transfer completions ([`ClusterSignal::CrossRegionArrived`]).
 
-use pascal_cluster::{InstanceStats, KvLocation, PoolSnapshot, Topology};
+use pascal_cluster::{InstanceStats, KvLocation, PoolSnapshot, ReqHandle, Topology};
 use pascal_metrics::{MigrationRecord, RegionStats};
 use pascal_sched::{cross_shard_escape_target, MigrationCost, RouterPolicy, SchedPolicy};
 use pascal_sim::SimTime;
 use pascal_telemetry::{
     EscapeTier, ProfiledEvent, SeriesRow, SeriesScope, TelemetryHandle, TraceEventKind,
 };
-use pascal_workload::{RequestId, Trace};
+use pascal_workload::Trace;
 
 use crate::config::SimConfig;
 
@@ -69,7 +69,7 @@ pub(super) enum ClusterSignal {
     /// destination region.
     CrossRegionArrived {
         shard: usize,
-        req: RequestId,
+        req: ReqHandle,
         to_region: u32,
         to_shard: u32,
         to_instance: u32,
@@ -317,7 +317,7 @@ impl<'a> Cluster<'a> {
                 Some(candidate.req),
                 TraceEventKind::EscapeFallback { after_veto },
             );
-            self.shards[from].launch_deferred_migration(candidate.req, dest, now);
+            self.shards[from].launch_deferred_migration(candidate.handle, dest, now);
         }
     }
 
@@ -334,12 +334,14 @@ impl<'a> Cluster<'a> {
         now: SimTime,
     ) -> Option<EscapeCandidate> {
         let id = candidate.req;
+        let handle = candidate.handle;
         // The escape was queued at the phase transition; the KV must still
         // be resident and idle (nothing reschedules between the transition
         // and this drain, but stay defensive — a stale candidate is a
-        // no-op, never a crash).
-        let st = self.shards[from].states.get(&id)?;
-        if st.running || st.kv_location != KvLocation::Gpu {
+        // no-op, never a crash). The id check guards against the slab slot
+        // having been reused by a different request.
+        let st = self.shards[from].states.get(handle)?;
+        if st.spec.id != id || st.running || st.kv_location != KvLocation::Gpu {
             return None;
         }
 
@@ -364,7 +366,7 @@ impl<'a> Cluster<'a> {
             .cross_shard_considered += 1;
         let from_global = {
             let sh = &self.shards[from];
-            sh.offset + sh.states[&id].instance
+            sh.offset + sh.states[handle].instance
         };
         self.shards[from].emit_trace(
             now,
@@ -377,7 +379,7 @@ impl<'a> Cluster<'a> {
 
         let (needed, bytes, predicted_remaining) = {
             let sh = &self.shards[from];
-            let st = &sh.states[&id];
+            let st = &sh.states[handle];
             (
                 sh.geometry.blocks_for_tokens(st.tokens_needed_next()),
                 context_kv_bytes(&sh.geometry, st),
@@ -446,10 +448,7 @@ impl<'a> Cluster<'a> {
             .gpu
             .try_alloc(needed)
         {
-            self.shards[dest]
-                .migration_ctl
-                .reservations
-                .insert(id, needed);
+            self.shards[dest].migration_ctl.reserve(id, needed);
         } else if policy.adaptive_migration() {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
             self.shards[from].emit_trace(
@@ -479,10 +478,12 @@ impl<'a> Cluster<'a> {
         );
         {
             let sh = &mut self.shards[from];
-            let st = sh.states.get_mut(&id).expect("escaping request");
+            let st = &mut sh.states[handle];
             st.kv_location = KvLocation::Migrating;
             st.resident_since = None;
-            let from_global = sh.offset + st.instance;
+            let from_local = st.instance;
+            let from_global = sh.offset + from_local;
+            let held = st.held_gpu_blocks;
             st.migration = Some(MigrationRecord {
                 from_instance: from_global,
                 to_instance: to_global,
@@ -493,6 +494,8 @@ impl<'a> Cluster<'a> {
                 predicted_remaining_tokens: predicted_remaining,
                 actual_remaining_tokens: st.spec.output_tokens() - st.tokens_generated,
             });
+            sh.instances[from_local as usize].dying_blocks += held;
+            sh.instances[from_local as usize].sched_dirty = true;
             sh.migration_ctl.outcomes.launched += 1;
             sh.migration_ctl.outcomes.bytes_moved += bytes;
             sh.migration_ctl.outcomes.cross_shard_launched += 1;
@@ -500,7 +503,7 @@ impl<'a> Cluster<'a> {
             sh.queue.schedule(
                 finish,
                 Event::CrossShardDone {
-                    req: id,
+                    req: handle,
                     to_shard: dest as u32,
                     to_instance: to_local,
                 },
@@ -514,37 +517,46 @@ impl<'a> Cluster<'a> {
     fn on_cross_shard_done(
         &mut self,
         from: usize,
-        req: RequestId,
+        req: ReqHandle,
         to_shard: usize,
         to_local: u32,
         now: SimTime,
     ) {
         let (mut st, from_local) = {
             let sh = &mut self.shards[from];
-            let mut st = sh.states.remove(&req).expect("cross-migrating request");
+            let mut st = sh.states.remove(req);
             assert_eq!(st.kv_location, KvLocation::Migrating);
             let from_local = st.instance;
             sh.instances[from_local as usize]
                 .inst
                 .gpu
                 .free(st.held_gpu_blocks);
-            sh.instances[from_local as usize].inst.members.remove(&req);
+            sh.instances[from_local as usize]
+                .inst
+                .members
+                .remove(st.spec.id);
+            sh.instances[from_local as usize].dying_blocks -= st.held_gpu_blocks;
+            sh.instances[from_local as usize].sched_dirty = true;
             st.held_gpu_blocks = 0;
             (st, from_local)
         };
 
         let sh = &mut self.shards[to_shard];
         let to_global = sh.global_instance(to_local);
+        let id = st.spec.id;
         st.instance = to_local;
         st.instances_visited.push(to_global);
-        sh.instances[to_local as usize].inst.members.insert(req);
-        sh.states.insert(req, st);
+        let landed = sh.states.insert(st);
+        sh.instances[to_local as usize]
+            .inst
+            .members
+            .insert(id, landed);
         sh.cross_shard_in += 1;
         // The landing tail — reservation consume / allocate / CPU-pool
         // fallback — is the same mechanism as an intra-shard migration,
         // applied on the destination shard (whose ledger holds the
         // reservation made at launch).
-        sh.land_migration(req, to_local, now);
+        sh.land_migration(landed, to_local, now);
         self.shards[from].try_schedule(from_local, now);
         self.shards[to_shard].try_schedule(to_local, now);
     }

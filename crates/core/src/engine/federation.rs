@@ -29,7 +29,7 @@
 //!   over the contended [`WanTopology`] ports. Every failure path still
 //!   executes the candidate's deferred intra-shard fallback.
 
-use pascal_cluster::{KvLocation, PoolSnapshot};
+use pascal_cluster::{KvLocation, PoolSnapshot, ReqHandle};
 use pascal_federation::{spill_order, FederationPolicy, FederationSpec, WanTopology};
 use pascal_metrics::{AdmissionCounters, MigrationRecord, RegionStats};
 use pascal_sched::{best_escape_shard, cross_region_escape_target, MigrationCost};
@@ -317,13 +317,18 @@ impl<'a> FederationEngine<'a> {
         now: SimTime,
     ) {
         let id = candidate.req;
+        let handle = candidate.handle;
         // Same defensive check as the cross-shard path: a stale candidate
-        // is a no-op, never a crash.
+        // is a no-op, never a crash. The slot may have been reused, so the
+        // handle only counts when it still holds this request's id.
         {
-            let Some(st) = self.regions[from_r].cluster.shards[from_s].states.get(&id) else {
+            let Some(st) = self.regions[from_r].cluster.shards[from_s]
+                .states
+                .get(handle)
+            else {
                 return;
             };
-            if st.running || st.kv_location != KvLocation::Gpu {
+            if st.spec.id != id || st.running || st.kv_location != KvLocation::Gpu {
                 return;
             }
         }
@@ -338,6 +343,7 @@ impl<'a> FederationEngine<'a> {
         self.emit_escape_trace(
             from_r,
             from_s,
+            handle,
             id,
             now,
             TraceEventKind::MigrationConsidered {
@@ -347,7 +353,7 @@ impl<'a> FederationEngine<'a> {
 
         let (needed, bytes, predicted_remaining) = {
             let sh = &self.regions[from_r].cluster.shards[from_s];
-            let st = &sh.states[&id];
+            let st = &sh.states[handle];
             (
                 sh.geometry.blocks_for_tokens(st.tokens_needed_next()),
                 context_kv_bytes(&sh.geometry, st),
@@ -366,6 +372,7 @@ impl<'a> FederationEngine<'a> {
             self.emit_escape_trace(
                 from_r,
                 from_s,
+                handle,
                 id,
                 now,
                 TraceEventKind::MigrationAborted {
@@ -383,6 +390,7 @@ impl<'a> FederationEngine<'a> {
             self.emit_escape_trace(
                 from_r,
                 from_s,
+                handle,
                 id,
                 now,
                 TraceEventKind::MigrationAborted {
@@ -416,6 +424,7 @@ impl<'a> FederationEngine<'a> {
             self.emit_escape_trace(
                 from_r,
                 from_s,
+                handle,
                 id,
                 now,
                 TraceEventKind::MigrationVetoed {
@@ -436,13 +445,13 @@ impl<'a> FederationEngine<'a> {
         {
             self.regions[dest_r].cluster.shards[dest_s]
                 .migration_ctl
-                .reservations
-                .insert(id, needed);
+                .reserve(id, needed);
         } else if policy.adaptive_migration() {
             self.source_outcomes(from_r, from_s).cross_region_aborted += 1;
             self.emit_escape_trace(
                 from_r,
                 from_s,
+                handle,
                 id,
                 now,
                 TraceEventKind::MigrationAborted {
@@ -459,6 +468,7 @@ impl<'a> FederationEngine<'a> {
         self.emit_escape_trace(
             from_r,
             from_s,
+            handle,
             id,
             now,
             TraceEventKind::MigrationLaunched {
@@ -469,10 +479,12 @@ impl<'a> FederationEngine<'a> {
             },
         );
         let sh = &mut self.regions[from_r].cluster.shards[from_s];
-        let st = sh.states.get_mut(&id).expect("escaping request");
+        let st = &mut sh.states[handle];
         st.kv_location = KvLocation::Migrating;
         st.resident_since = None;
-        let from_global = sh.offset + st.instance;
+        let from_local = st.instance;
+        let from_global = sh.offset + from_local;
+        let held = st.held_gpu_blocks;
         st.migration = Some(MigrationRecord {
             from_instance: from_global,
             to_instance: to_global,
@@ -483,6 +495,8 @@ impl<'a> FederationEngine<'a> {
             predicted_remaining_tokens: predicted_remaining,
             actual_remaining_tokens: st.spec.output_tokens() - st.tokens_generated,
         });
+        sh.instances[from_local as usize].dying_blocks += held;
+        sh.instances[from_local as usize].sched_dirty = true;
         sh.migration_ctl.outcomes.launched += 1;
         sh.migration_ctl.outcomes.bytes_moved += bytes;
         sh.migration_ctl.outcomes.cross_region_launched += 1;
@@ -490,7 +504,7 @@ impl<'a> FederationEngine<'a> {
         sh.queue.schedule(
             finish,
             Event::CrossRegionDone {
-                req: id,
+                req: handle,
                 to_region: dest_r as u32,
                 to_shard: dest_s as u32,
                 to_instance: to_local,
@@ -500,16 +514,18 @@ impl<'a> FederationEngine<'a> {
 
     /// Emits a trace event attributed to the escaping request's current
     /// instance on the source shard (shorthand for the deep path).
+    #[allow(clippy::too_many_arguments)]
     fn emit_escape_trace(
         &self,
         from_r: usize,
         from_s: usize,
+        handle: ReqHandle,
         id: RequestId,
         now: SimTime,
         kind: TraceEventKind,
     ) {
         let sh = &self.regions[from_r].cluster.shards[from_s];
-        let instance = sh.states.get(&id).map(|st| sh.offset + st.instance);
+        let instance = sh.states.get(handle).map(|st| sh.offset + st.instance);
         sh.emit_trace(now, instance, Some(id), kind);
     }
 
@@ -531,7 +547,7 @@ impl<'a> FederationEngine<'a> {
         &mut self,
         from_r: usize,
         from_s: usize,
-        req: RequestId,
+        req: ReqHandle,
         to_r: usize,
         to_s: usize,
         to_local: u32,
@@ -539,14 +555,19 @@ impl<'a> FederationEngine<'a> {
     ) {
         let (mut st, from_local) = {
             let sh = &mut self.regions[from_r].cluster.shards[from_s];
-            let mut st = sh.states.remove(&req).expect("cross-region request");
+            let mut st = sh.states.remove(req);
             assert_eq!(st.kv_location, KvLocation::Migrating);
             let from_local = st.instance;
             sh.instances[from_local as usize]
                 .inst
                 .gpu
                 .free(st.held_gpu_blocks);
-            sh.instances[from_local as usize].inst.members.remove(&req);
+            sh.instances[from_local as usize]
+                .inst
+                .members
+                .remove(st.spec.id);
+            sh.instances[from_local as usize].dying_blocks -= st.held_gpu_blocks;
+            sh.instances[from_local as usize].sched_dirty = true;
             st.held_gpu_blocks = 0;
             (st, from_local)
         };
@@ -554,14 +575,18 @@ impl<'a> FederationEngine<'a> {
         {
             let sh = &mut self.regions[to_r].cluster.shards[to_s];
             let to_global = sh.global_instance(to_local);
+            let id = st.spec.id;
             st.instance = to_local;
             st.instances_visited.push(to_global);
-            sh.instances[to_local as usize].inst.members.insert(req);
-            sh.states.insert(req, st);
+            let landed = sh.states.insert(st);
+            sh.instances[to_local as usize]
+                .inst
+                .members
+                .insert(id, landed);
             sh.cross_region_in += 1;
             // Same landing tail as every other migration, on the shard
             // whose ledger holds the reservation made at launch.
-            sh.land_migration(req, to_local, now);
+            sh.land_migration(landed, to_local, now);
             sh.try_schedule(to_local, now);
         }
         self.regions[from_r].cluster.shards[from_s].try_schedule(from_local, now);

@@ -6,12 +6,18 @@
 //! boundaries hand off to the [migration controller](super::migration);
 //! arrivals consult the [admission controller](super::admission) before any
 //! state is created.
+//!
+//! Everything here is the engine's hot path: request state is reached
+//! through slab handles (one array index per touch), and the scheduling
+//! pass assembles its candidate/desired/batch sets in the shard's
+//! [`ScheduleScratch`](super::ScheduleScratch) buffers, so a steady-state
+//! iteration allocates nothing.
 
-use pascal_cluster::KvLocation;
+use pascal_cluster::{KvLocation, ReqHandle};
 use pascal_model::DecodeBatch;
 use pascal_sim::SimTime;
 use pascal_telemetry::TraceEventKind;
-use pascal_workload::{Phase, RequestId};
+use pascal_workload::Phase;
 
 use super::{context_kv_bytes, Event, IterationKind, Shard};
 
@@ -30,11 +36,23 @@ impl Shard<'_> {
     ) {
         let spec = self.trace.requests()[idx].clone();
         self.routed_arrivals += 1;
-        let stats = stats.unwrap_or_else(|| self.collect_stats(now));
-        if !self.admission_check(&spec, &stats, now) {
-            return;
+        match stats {
+            Some(stats) => {
+                if self.admission_check(&spec, &stats, now) {
+                    self.place_arrival(spec, &stats, now);
+                }
+            }
+            None => {
+                // Single-shard fast path: sweep into the scratch buffer
+                // instead of allocating a snapshot per arrival.
+                let mut stats = std::mem::take(&mut self.scratch.stats);
+                self.collect_stats_into(now, &mut stats);
+                if self.admission_check(&spec, &stats, now) {
+                    self.place_arrival(spec, &stats, now);
+                }
+                self.scratch.stats = stats;
+            }
         }
-        self.place_arrival(spec, &stats, now);
     }
 
     /// Places an *already admitted* arrival: prediction-sample logging,
@@ -79,8 +97,12 @@ impl Shard<'_> {
         // Records carry global instance ids; a one-shard cluster has
         // offset 0 and this is the identity.
         state.instances_visited[0] = self.global_instance(target);
-        self.instances[target as usize].inst.members.insert(id);
-        self.states.insert(id, state);
+        let handle = self.states.insert(state);
+        self.instances[target as usize]
+            .inst
+            .members
+            .insert(id, handle);
+        self.instances[target as usize].sched_dirty = true;
         let at_instance = Some(self.global_instance(target));
         self.emit_trace(now, at_instance, Some(id), TraceEventKind::Arrival);
         if speculatively_demoted {
@@ -101,28 +123,22 @@ impl Shard<'_> {
     /// escapes the transitions queued, so an escaping request cannot be
     /// relaunched underneath its own migration decision.
     pub(super) fn finish_iteration(&mut self, instance: u32, now: SimTime) {
-        let batch = std::mem::take(&mut self.instances[instance as usize].current_batch);
         let kind = self.instances[instance as usize].current_kind;
         self.instances[instance as usize].inst.compute_busy = false;
 
-        for id in batch {
-            {
-                let st = self.states.get_mut(&id).expect("batched request exists");
-                st.end_running(now);
-                if kind == IterationKind::Prefill {
-                    st.prefilled = true;
-                }
-            }
-            self.emit_token(id, now);
+        // Drain by index so the batch vector keeps its capacity for the
+        // next launch; nothing inside the loop touches the batch.
+        let batch_len = self.instances[instance as usize].current_batch.len();
+        for i in 0..batch_len {
+            let handle = self.instances[instance as usize].current_batch[i];
+            self.emit_token(handle, kind, now);
         }
+        self.instances[instance as usize].current_batch.clear();
     }
 
-    pub(super) fn on_offload_done(&mut self, req: RequestId, now: SimTime) {
-        let (instance, blocks) = {
-            let st = self
-                .states
-                .get_mut(&req)
-                .expect("offloading request exists");
+    pub(super) fn on_offload_done(&mut self, handle: ReqHandle, now: SimTime) {
+        let (id, instance, blocks, cpu_blocks) = {
+            let st = &mut self.states[handle];
             assert_eq!(st.kv_location, KvLocation::OffloadingToCpu);
             let blocks = st.held_gpu_blocks;
             st.held_gpu_blocks = 0;
@@ -130,50 +146,56 @@ impl Shard<'_> {
             let cpu_blocks = self.geometry.blocks_for_tokens(st.context_tokens());
             st.held_cpu_blocks = cpu_blocks;
             st.kv_location = KvLocation::Cpu;
-            (st.instance, blocks)
+            (st.spec.id, st.instance, blocks, cpu_blocks)
         };
-        let inst = &mut self.instances[instance as usize].inst;
+        let rt = &mut self.instances[instance as usize];
+        rt.dying_blocks -= blocks;
+        rt.sched_dirty = true; // back among the candidates
+        let inst = &mut rt.inst;
         inst.gpu.free(blocks);
-        let cpu_blocks = self.states[&req].held_cpu_blocks;
         inst.cpu.alloc(cpu_blocks);
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
-            Some(req),
+            Some(id),
             TraceEventKind::OffloadDone,
         );
         self.try_schedule(instance, now);
     }
 
-    pub(super) fn on_reload_done(&mut self, req: RequestId, now: SimTime) {
-        let instance = {
-            let st = self.states.get_mut(&req).expect("reloading request exists");
+    pub(super) fn on_reload_done(&mut self, handle: ReqHandle, now: SimTime) {
+        let (id, instance, cpu_blocks) = {
+            let st = &mut self.states[handle];
             assert_eq!(st.kv_location, KvLocation::ReloadingToGpu);
             st.kv_location = KvLocation::Gpu;
             st.resident_since = Some(now);
-            st.instance
-        };
-        let cpu_blocks = {
-            let st = self.states.get_mut(&req).expect("reloading request exists");
-            let b = st.held_cpu_blocks;
+            let cpu_blocks = st.held_cpu_blocks;
             st.held_cpu_blocks = 0;
-            b
+            (st.spec.id, st.instance, cpu_blocks)
         };
         self.instances[instance as usize].inst.cpu.free(cpu_blocks);
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
-            Some(req),
+            Some(id),
             TraceEventKind::ReloadDone,
         );
         self.try_schedule(instance, now);
     }
 
-    pub(super) fn emit_token(&mut self, id: RequestId, now: SimTime) {
+    /// Closes one batch member's iteration and emits its token: running
+    /// bookkeeping, quantum accounting, demotions, phase transitions and
+    /// completion — one slab access for all of it.
+    pub(super) fn emit_token(&mut self, handle: ReqHandle, kind: IterationKind, now: SimTime) {
         let mut crossed_threshold = None;
         let mut demoted_now = false;
-        let (transitioned, done, at_instance) = {
-            let st = self.states.get_mut(&id).expect("emitting request exists");
+        let mut key_changed = false;
+        let (id, transitioned, done, at_instance) = {
+            let st = &mut self.states[handle];
+            st.end_running(now);
+            if kind == IterationKind::Prefill {
+                st.prefilled = true;
+            }
             st.tokens_generated += 1;
             st.token_times.push(now);
 
@@ -183,6 +205,7 @@ impl Shard<'_> {
             if st.tokens_in_quantum >= quantum {
                 st.quanta_used += 1;
                 st.tokens_in_quantum = 0;
+                key_changed = true; // quanta feed the priority key
             }
 
             // PASCAL's conditional demotion (§IV-C).
@@ -210,35 +233,40 @@ impl Shard<'_> {
             let transitioned = st.phase == Phase::Reasoning
                 && st.tokens_generated == st.spec.reasoning_tokens
                 && st.spec.answering_tokens > 0;
-            (transitioned, st.is_done(), st.instance)
+            (st.spec.id, transitioned, st.is_done(), st.instance)
         };
+        if key_changed || demoted_now {
+            self.instances[at_instance as usize].sched_dirty = true;
+        }
         if demoted_now {
             let global = self.global_instance(at_instance);
             self.emit_trace(now, Some(global), Some(id), TraceEventKind::Demoted);
         }
 
         if let (Some(threshold), Some(pred)) = (crossed_threshold, &mut self.predictor) {
-            let spec = self.states[&id].spec.clone();
+            let spec = self.states[handle].spec.clone();
             pred.observe_threshold_crossing(&spec, threshold);
         }
 
         if done {
-            self.complete(id, now);
+            self.complete(handle, now);
             return;
         }
         if transitioned {
             let global = self.global_instance(at_instance);
             self.emit_trace(now, Some(global), Some(id), TraceEventKind::PhaseTransition);
-            self.on_phase_transition(id, now);
+            self.on_phase_transition(handle, now);
         }
     }
 
-    pub(super) fn complete(&mut self, id: RequestId, now: SimTime) {
-        let st = self.states.remove(&id).expect("completing request exists");
+    pub(super) fn complete(&mut self, handle: ReqHandle, now: SimTime) {
+        let st = self.states.remove(handle);
+        let id = st.spec.id;
         let instance = st.instance as usize;
         let gpu_blocks = st.held_gpu_blocks;
         let cpu_blocks = st.held_cpu_blocks;
-        self.instances[instance].inst.members.remove(&id);
+        self.instances[instance].inst.members.remove(id);
+        self.instances[instance].sched_dirty = true;
         if gpu_blocks > 0 {
             self.instances[instance].inst.gpu.free(gpu_blocks);
         }
@@ -269,50 +297,53 @@ impl Shard<'_> {
         if self.instances[instance as usize].inst.compute_busy {
             return;
         }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let policy = self.policy;
 
-        // 1. Candidates sorted by policy priority.
-        let mut cands: Vec<RequestId> = self.instances[instance as usize]
-            .inst
-            .members
-            .iter()
-            .copied()
-            .filter(|id| {
-                let st = &self.states[id];
-                !matches!(
+        // 1. Candidates sorted by policy priority, cached per instance and
+        //    rebuilt only when membership, a key input, or an excluding
+        //    KV-location changed since the last pass (`sched_dirty`).
+        //    Members iterate in ascending id order and the key's final
+        //    component is the id, so the order is total — sort stability
+        //    is irrelevant, and a clean cache replays the exact order a
+        //    rebuild would produce.
+        std::mem::swap(
+            &mut self.instances[instance as usize].cands,
+            &mut scratch.cands,
+        );
+        if self.instances[instance as usize].sched_dirty {
+            scratch.cands.clear();
+            for (_, handle) in self.instances[instance as usize].inst.members.iter() {
+                let st = &self.states[handle];
+                if !matches!(
                     st.kv_location,
                     KvLocation::Migrating | KvLocation::OffloadingToCpu
-                )
-            })
-            .collect();
-        cands.sort_by_key(|id| self.policy.priority_key(&self.states[id]));
+                ) {
+                    scratch.cands.push((policy.priority_key(st), handle));
+                }
+            }
+            scratch.cands.sort_unstable_by_key(|&(key, _)| key);
+            self.instances[instance as usize].sched_dirty = false;
+        }
 
         // 2. Desired prefix under the block budget. Blocks held by dying
-        //    allocations (offloads, outbound migrations) are unavailable.
-        let dying: u64 = self.instances[instance as usize]
-            .inst
-            .members
-            .iter()
-            .filter(|id| {
-                matches!(
-                    self.states[*id].kv_location,
-                    KvLocation::OffloadingToCpu | KvLocation::Migrating
-                )
-            })
-            .map(|id| self.states[id].held_gpu_blocks)
-            .sum();
+        //    allocations (offloads, outbound migrations) are unavailable;
+        //    their total is maintained incrementally at every transfer
+        //    launch and landing.
+        let dying = self.instances[instance as usize].dying_blocks;
         let budget = self.instances[instance as usize]
             .inst
             .gpu
             .capacity_blocks()
             .map(|c| c.saturating_sub(dying));
 
-        let mut desired: Vec<RequestId> = Vec::new();
+        scratch.desired.clear();
         let mut acc: u64 = 0;
-        for &id in &cands {
-            if desired.len() >= self.config.max_batch as usize {
+        for &(_, handle) in &scratch.cands {
+            if scratch.desired.len() >= self.config.max_batch as usize {
                 break;
             }
-            let st = &self.states[&id];
+            let st = &self.states[handle];
             let need = self
                 .geometry
                 .blocks_for_tokens(st.tokens_needed_next())
@@ -320,48 +351,65 @@ impl Shard<'_> {
             match budget {
                 None => {
                     acc += need;
-                    desired.push(id);
+                    scratch.desired.push((handle, need));
                 }
                 Some(b) if acc + need <= b => {
                     acc += need;
-                    desired.push(id);
+                    scratch.desired.push((handle, need));
                 }
                 Some(_) => break,
             }
         }
-        let desired_set: std::collections::HashSet<RequestId> = desired.iter().copied().collect();
 
-        // 3. Preempt GPU residents that fell out of the desired set.
-        let evictees: Vec<RequestId> = self.instances[instance as usize]
-            .inst
-            .members
-            .iter()
-            .copied()
-            .filter(|id| {
-                let st = &self.states[id];
-                st.kv_location == KvLocation::Gpu && !desired_set.contains(id)
-            })
-            .collect();
-        for id in evictees {
-            self.start_offload(id, now);
+        // 3. Preempt GPU residents that fell out of the desired set. When
+        //    every candidate is desired there can be no evictee (members
+        //    outside the candidate set are never GPU-resident), so the
+        //    common uncontended iteration skips the whole sweep.
+        scratch.evictees.clear();
+        if scratch.desired.len() != scratch.cands.len() {
+            if scratch.desired_mark.len() < self.states.slot_capacity() {
+                scratch
+                    .desired_mark
+                    .resize(self.states.slot_capacity(), false);
+            }
+            for &(handle, _) in &scratch.desired {
+                scratch.desired_mark[handle.index()] = true;
+            }
+            for (_, handle) in self.instances[instance as usize].inst.members.iter() {
+                let st = &self.states[handle];
+                if st.kv_location == KvLocation::Gpu && !scratch.desired_mark[handle.index()] {
+                    scratch.evictees.push(handle);
+                }
+            }
+            for &(handle, _) in &scratch.desired {
+                scratch.desired_mark[handle.index()] = false;
+            }
+            for &handle in &scratch.evictees {
+                self.start_offload(handle, now);
+            }
         }
 
         // 4. Admit the desired set: grow residents, start reloads,
         //    materialize warm requests, and collect prefill candidates.
-        let mut prefill_batch: Vec<RequestId> = Vec::new();
+        //    The desired entries carry their block needs from step 2, and
+        //    batch aggregates (decode context, prefill prompt lengths)
+        //    accumulate here so the launch step re-reads nothing.
+        scratch.prefill.clear();
+        scratch.decode.clear();
+        scratch.prompts.clear();
         let mut prefill_tokens: u64 = 0;
-        let mut decode_batch: Vec<RequestId> = Vec::new();
+        let mut decode_context: u64 = 0;
 
-        for &id in &desired {
-            let (location, needs_prefill, warm, target_blocks, held, prompt) = {
-                let st = &self.states[&id];
+        for &(handle, target_blocks) in &scratch.desired {
+            let (location, needs_prefill, warm, held, prompt, context) = {
+                let st = &self.states[handle];
                 (
                     st.kv_location,
                     st.needs_prefill(),
                     st.spec.warm_start,
-                    self.geometry.blocks_for_tokens(st.tokens_needed_next()),
                     st.held_gpu_blocks,
                     st.spec.prompt_tokens,
+                    st.context_tokens(),
                 )
             };
             match location {
@@ -371,22 +419,22 @@ impl Shard<'_> {
                     } else {
                         let delta = target_blocks - held;
                         if self.instances[instance as usize].inst.gpu.try_alloc(delta) {
-                            self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
-                                target_blocks;
+                            self.states[handle].held_gpu_blocks = target_blocks;
                             true
                         } else {
                             false // waits for in-flight offloads to free memory
                         }
                     };
                     if runnable {
-                        decode_batch.push(id);
+                        decode_context += context;
+                        scratch.decode.push(handle);
                     }
                 }
                 KvLocation::Cpu
                     // Reload: GPU blocks reserved up front, PCIe serialized.
                     if self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
                         let bytes = {
-                            let st = self.states.get_mut(&id).expect("desired exists");
+                            let st = &mut self.states[handle];
                             st.held_gpu_blocks = target_blocks;
                             st.kv_location = KvLocation::ReloadingToGpu;
                             context_kv_bytes(&self.geometry, st)
@@ -395,32 +443,34 @@ impl Shard<'_> {
                             .inst
                             .pcie
                             .enqueue(now, bytes);
-                        self.queue.schedule(finish, Event::ReloadDone { req: id });
+                        self.queue
+                            .schedule(finish, Event::ReloadDone { req: handle });
                     }
                 KvLocation::None if warm
                     // Fig. 5 setup: the KV already exists logically; it
                     // materializes without prefill compute once admitted.
                     && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks) => {
-                        let st = self.states.get_mut(&id).expect("desired exists");
+                        let st = &mut self.states[handle];
                         st.held_gpu_blocks = target_blocks;
                         st.kv_location = KvLocation::Gpu;
                         st.resident_since = Some(now);
                         st.prefilled = true;
-                        decode_batch.push(id);
+                        decode_context += context;
+                        scratch.decode.push(handle);
                     }
                 KvLocation::None if needs_prefill => {
                     // A lone oversized prompt may exceed the budget; always
                     // admit at least one prefill so it cannot starve.
-                    let within_budget = prefill_batch.is_empty()
+                    let within_budget = scratch.prefill.is_empty()
                         || prefill_tokens + u64::from(prompt)
                             <= u64::from(self.config.prefill_token_budget);
                     if within_budget
                         && self.instances[instance as usize].inst.gpu.try_alloc(target_blocks)
                     {
-                        self.states.get_mut(&id).expect("desired exists").held_gpu_blocks =
-                            target_blocks;
+                        self.states[handle].held_gpu_blocks = target_blocks;
                         prefill_tokens += u64::from(prompt);
-                        prefill_batch.push(id);
+                        scratch.prompts.push(prompt);
+                        scratch.prefill.push(handle);
                     }
                 }
                 _ => {} // reloading / none-but-impossible: wait
@@ -428,64 +478,68 @@ impl Shard<'_> {
         }
 
         // 5. Launch: prefill takes priority (vLLM 0.6.1 semantics), else a
-        //    decode step over every runnable resident.
-        if !prefill_batch.is_empty() {
-            let prompts: Vec<u32> = prefill_batch
-                .iter()
-                .map(|id| self.states[id].spec.prompt_tokens)
-                .collect();
-            let duration = self.perf.prefill_time_batch(&prompts);
-            for id in &prefill_batch {
-                let st = self.states.get_mut(id).expect("prefill request exists");
+        //    decode step over every runnable resident. The launched batch
+        //    is swapped into the instance (its drained predecessor's
+        //    capacity swaps back into the scratch) — no allocation.
+        if !scratch.prefill.is_empty() {
+            let duration = self.perf.prefill_time_batch(&scratch.prompts);
+            for &handle in &scratch.prefill {
+                let st = &mut self.states[handle];
                 st.begin_running(now);
                 // KV becomes resident as the prefill pass runs.
                 st.kv_location = KvLocation::Gpu;
                 st.resident_since = Some(now);
             }
             let global = self.global_instance(instance);
-            for id in &prefill_batch {
-                self.emit_trace(now, Some(global), Some(*id), TraceEventKind::PrefillStart);
+            for &handle in &scratch.prefill {
+                let id = self.states[handle].spec.id;
+                self.emit_trace(now, Some(global), Some(id), TraceEventKind::PrefillStart);
             }
             let rt = &mut self.instances[instance as usize];
-            rt.current_batch = prefill_batch;
+            std::mem::swap(&mut rt.current_batch, &mut scratch.prefill);
             rt.current_kind = IterationKind::Prefill;
             rt.inst.compute_busy = true;
             self.queue
                 .schedule(now + duration, Event::IterationDone { instance });
-        } else if !decode_batch.is_empty() {
-            let total_context: u64 = decode_batch
-                .iter()
-                .map(|id| self.states[id].context_tokens())
-                .sum();
+        } else if !scratch.decode.is_empty() {
             let duration = self.perf.decode_step_time(DecodeBatch {
-                num_seqs: decode_batch.len() as u32,
-                total_context_tokens: total_context,
+                num_seqs: scratch.decode.len() as u32,
+                total_context_tokens: decode_context,
             });
-            for id in &decode_batch {
-                self.stamp_migration_resume(*id, now);
-                self.states
-                    .get_mut(id)
-                    .expect("decode request exists")
-                    .begin_running(now);
+            for &handle in &scratch.decode {
+                self.stamp_migration_resume(handle, now);
+                self.states[handle].begin_running(now);
             }
             let rt = &mut self.instances[instance as usize];
-            rt.current_batch = decode_batch;
+            std::mem::swap(&mut rt.current_batch, &mut scratch.decode);
             rt.current_kind = IterationKind::Decode;
             rt.inst.compute_busy = true;
             self.queue
                 .schedule(now + duration, Event::IterationDone { instance });
         }
+        std::mem::swap(
+            &mut self.instances[instance as usize].cands,
+            &mut scratch.cands,
+        );
+        self.scratch = scratch;
     }
 
-    pub(super) fn start_offload(&mut self, id: RequestId, now: SimTime) {
-        let (instance, bytes) = {
-            let st = self.states.get_mut(&id).expect("offload request exists");
+    pub(super) fn start_offload(&mut self, handle: ReqHandle, now: SimTime) {
+        let (id, instance, held, bytes) = {
+            let st = &mut self.states[handle];
             debug_assert_eq!(st.kv_location, KvLocation::Gpu);
             st.kv_location = KvLocation::OffloadingToCpu;
             st.resident_since = None;
             st.num_preemptions += 1;
-            (st.instance, context_kv_bytes(&self.geometry, st))
+            (
+                st.spec.id,
+                st.instance,
+                st.held_gpu_blocks,
+                context_kv_bytes(&self.geometry, st),
+            )
         };
+        self.instances[instance as usize].dying_blocks += held;
+        self.instances[instance as usize].sched_dirty = true;
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
@@ -496,6 +550,7 @@ impl Shard<'_> {
             .inst
             .pcie
             .enqueue(now, bytes);
-        self.queue.schedule(finish, Event::OffloadDone { req: id });
+        self.queue
+            .schedule(finish, Event::OffloadDone { req: handle });
     }
 }

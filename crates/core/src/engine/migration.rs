@@ -10,9 +10,7 @@
 //! the predicted-vs-actual remaining service at decision time so the cost
 //! model's calibration is measurable after the run.
 
-use std::collections::HashMap;
-
-use pascal_cluster::KvLocation;
+use pascal_cluster::{KvLocation, ReqHandle};
 use pascal_metrics::{MigrationOutcomes, MigrationRecord};
 use pascal_sched::{MigrationCost, MigrationDecision};
 use pascal_sim::SimTime;
@@ -51,8 +49,10 @@ pub(crate) struct MigrationController {
     /// GPU blocks pre-reserved on a migration destination, keyed by the
     /// migrating request. Cross-shard escapes reserve in the *destination*
     /// shard's ledger, so landing always consumes from the shard that
-    /// holds the blocks.
-    pub(super) reservations: HashMap<RequestId, u64>,
+    /// holds the blocks. A plain vector: at most a handful of transfers
+    /// are ever in flight per shard, and the in-flight request has no
+    /// handle on the destination yet, so the id is the only stable key.
+    pub(super) reservations: Vec<(RequestId, u64)>,
     pub(super) outcomes: MigrationOutcomes,
 }
 
@@ -67,7 +67,7 @@ impl MigrationController {
         }
         MigrationController {
             predictive,
-            reservations: HashMap::new(),
+            reservations: Vec::new(),
             outcomes: MigrationOutcomes::default(),
         }
     }
@@ -75,38 +75,58 @@ impl MigrationController {
     pub(super) fn predictive(&self) -> Option<PredictiveMigration> {
         self.predictive
     }
+
+    /// Records a destination-side block reservation for `id`.
+    pub(super) fn reserve(&mut self, id: RequestId, blocks: u64) {
+        debug_assert!(
+            !self.reservations.iter().any(|&(r, _)| r == id),
+            "{id} reserved twice"
+        );
+        self.reservations.push((id, blocks));
+    }
+
+    /// Consumes `id`'s reservation, returning the reserved block count.
+    pub(super) fn take_reservation(&mut self, id: RequestId) -> Option<u64> {
+        let at = self.reservations.iter().position(|&(r, _)| r == id)?;
+        Some(self.reservations.swap_remove(at).1)
+    }
 }
 
 impl Shard<'_> {
     /// A request just produced its boundary token: flip it into the
     /// answering phase and let the controller decide whether its KV moves.
-    pub(super) fn on_phase_transition(&mut self, id: RequestId, now: SimTime) {
-        {
-            let st = self.states.get_mut(&id).expect("transitioning request");
+    pub(super) fn on_phase_transition(&mut self, handle: ReqHandle, now: SimTime) {
+        let id = {
+            let st = &mut self.states[handle];
             st.phase = Phase::Answering;
             if self.policy.resets_quanta_at_transition() {
                 st.quanta_used = 0;
                 st.tokens_in_quantum = 0;
             }
-        }
+            st.spec.id
+        };
         let (current, needed_blocks) = {
-            let st = &self.states[&id];
+            let st = &self.states[handle];
             (
                 st.instance,
                 self.geometry.blocks_for_tokens(st.tokens_needed_next()),
             )
         };
+        // The phase flip (and, for PASCAL, the quanta reset) changed this
+        // request's priority key.
+        self.instances[current as usize].sched_dirty = true;
         // The remaining-service view at decision time: one predictor query
         // feeds the cost/benefit test and, if the transfer launches, the
         // calibration fields of the migration record.
         let predicted_remaining = {
-            let st = &self.states[&id];
+            let st = &self.states[handle];
             self.predictor
                 .as_ref()
                 .and_then(|p| p.predicted_remaining_tokens(&st.spec, st.tokens_generated))
         };
-        let stats = self.collect_stats(now);
-        let cost = self.migration_cost(id, predicted_remaining);
+        let mut stats = std::mem::take(&mut self.scratch.stats);
+        self.collect_stats_into(now, &mut stats);
+        let cost = self.migration_cost(handle, predicted_remaining);
         self.migration_ctl.outcomes.considered += 1;
         self.emit_trace(
             now,
@@ -143,6 +163,7 @@ impl Shard<'_> {
                 if can_escape && saturated {
                     self.cross_escape_outbox.push(EscapeCandidate {
                         req: id,
+                        handle,
                         intra_fallback: None,
                     });
                 }
@@ -163,13 +184,15 @@ impl Shard<'_> {
             MigrationDecision::MigrateTo(dest) if can_escape && all_unhealthy => {
                 self.cross_escape_outbox.push(EscapeCandidate {
                     req: id,
+                    handle,
                     intra_fallback: Some(dest),
                 });
             }
             MigrationDecision::MigrateTo(dest) => {
-                self.start_migration(id, dest, predicted_remaining, now);
+                self.start_migration(handle, dest, predicted_remaining, now);
             }
         }
+        self.scratch.stats = stats;
     }
 
     /// Executes a deferred intra-shard migration — the fallback when a
@@ -177,27 +200,28 @@ impl Shard<'_> {
     /// (`dest`) was made at the phase transition; only the launch was
     /// deferred, so the controller re-derives the predictor's
     /// remaining-service view and launches as usual.
-    pub(super) fn launch_deferred_migration(&mut self, id: RequestId, dest: u32, now: SimTime) {
+    pub(super) fn launch_deferred_migration(&mut self, handle: ReqHandle, dest: u32, now: SimTime) {
         let predicted_remaining = {
-            let st = &self.states[&id];
+            let st = &self.states[handle];
             self.predictor
                 .as_ref()
                 .and_then(|p| p.predicted_remaining_tokens(&st.spec, st.tokens_generated))
         };
-        self.start_migration(id, dest, predicted_remaining, now);
+        self.start_migration(handle, dest, predicted_remaining, now);
     }
 
-    /// Cost/benefit inputs for `id`'s migration decision, or `None` when
-    /// the predictive controller is off (or no predictor is configured) —
-    /// which makes the decision exactly the reactive Algorithm 2.
+    /// Cost/benefit inputs for `handle`'s migration decision, or `None`
+    /// when the predictive controller is off (or no predictor is
+    /// configured) — which makes the decision exactly the reactive
+    /// Algorithm 2.
     fn migration_cost(
         &self,
-        id: RequestId,
+        handle: ReqHandle,
         predicted_remaining: Option<f64>,
     ) -> Option<MigrationCost> {
         let predictive = self.migration_ctl.predictive()?;
         self.predictor.as_ref()?;
-        let bytes = context_kv_bytes(&self.geometry, &self.states[&id]);
+        let bytes = context_kv_bytes(&self.geometry, &self.states[handle]);
         Some(MigrationCost {
             transfer_time: self.config.fabric.transfer_time(bytes),
             predicted_remaining_service: predicted_remaining
@@ -208,7 +232,7 @@ impl Shard<'_> {
 
     fn start_migration(
         &mut self,
-        id: RequestId,
+        handle: ReqHandle,
         dest: u32,
         predicted_remaining: Option<f64>,
         now: SimTime,
@@ -217,14 +241,15 @@ impl Shard<'_> {
         // up front; if that fails the request stays home (the race-free form
         // of the Fig. 7 override). NonAdaptive migrates blindly and may land
         // in the destination's CPU pool.
+        let id = self.states[handle].spec.id;
         let needed = self
             .geometry
-            .blocks_for_tokens(self.states[&id].tokens_needed_next());
+            .blocks_for_tokens(self.states[handle].tokens_needed_next());
         if self.instances[dest as usize].inst.gpu.try_alloc(needed) {
-            self.migration_ctl.reservations.insert(id, needed);
+            self.migration_ctl.reserve(id, needed);
         } else if self.policy.adaptive_migration() {
             self.migration_ctl.outcomes.aborted_no_reservation += 1;
-            let from = self.states[&id].instance;
+            let from = self.states[handle].instance;
             self.emit_trace(
                 now,
                 Some(self.global_instance(from)),
@@ -235,18 +260,24 @@ impl Shard<'_> {
             );
             return;
         }
-        let (from, bytes) = {
-            let st = self.states.get_mut(&id).expect("migrating request");
+        let (from, held, bytes) = {
+            let st = &mut self.states[handle];
             debug_assert_eq!(st.kv_location, KvLocation::Gpu);
             st.kv_location = KvLocation::Migrating;
             st.resident_since = None;
-            (st.instance, context_kv_bytes(&self.geometry, st))
+            (
+                st.instance,
+                st.held_gpu_blocks,
+                context_kv_bytes(&self.geometry, st),
+            )
         };
+        self.instances[from as usize].dying_blocks += held;
+        self.instances[from as usize].sched_dirty = true;
         let (_, finish) = self
             .fabric
             .migrate(now, from as usize, dest as usize, bytes);
         {
-            let st = self.states.get_mut(&id).expect("migrating request");
+            let st = &mut self.states[handle];
             st.migration = Some(MigrationRecord {
                 from_instance: self.offset + from,
                 to_instance: self.offset + dest,
@@ -271,29 +302,36 @@ impl Shard<'_> {
                 bytes,
             },
         );
-        self.queue
-            .schedule(finish, Event::MigrationDone { req: id, to: dest });
+        self.queue.schedule(
+            finish,
+            Event::MigrationDone {
+                req: handle,
+                to: dest,
+            },
+        );
     }
 
-    pub(super) fn on_migration_done(&mut self, req: RequestId, to: u32, now: SimTime) {
-        let (from, gpu_blocks) = {
-            let st = self.states.get_mut(&req).expect("migrating request exists");
+    pub(super) fn on_migration_done(&mut self, handle: ReqHandle, to: u32, now: SimTime) {
+        let (id, from, gpu_blocks) = {
+            let st = &mut self.states[handle];
             assert_eq!(st.kv_location, KvLocation::Migrating);
             let blocks = st.held_gpu_blocks;
             st.held_gpu_blocks = 0;
-            (st.instance, blocks)
+            (st.spec.id, st.instance, blocks)
         };
         self.instances[from as usize].inst.gpu.free(gpu_blocks);
-        self.instances[from as usize].inst.members.remove(&req);
+        self.instances[from as usize].inst.members.remove(id);
+        self.instances[from as usize].dying_blocks -= gpu_blocks;
+        self.instances[from as usize].sched_dirty = true;
 
         {
             let global = self.global_instance(to);
-            let st = self.states.get_mut(&req).expect("migrating request exists");
+            let st = &mut self.states[handle];
             st.instance = to;
             st.instances_visited.push(global);
         }
-        self.instances[to as usize].inst.members.insert(req);
-        self.land_migration(req, to, now);
+        self.instances[to as usize].inst.members.insert(id, handle);
+        self.land_migration(handle, to, now);
         self.try_schedule(from, now);
         self.try_schedule(to, now);
     }
@@ -305,16 +343,20 @@ impl Shard<'_> {
     /// the request must wait for a reload — the stall the adaptive
     /// migration policy exists to avoid (Fig. 7, Fig. 15). The request
     /// must already be a member of `instance` with its state in this
-    /// shard's map.
-    pub(super) fn land_migration(&mut self, req: RequestId, instance: u32, now: SimTime) {
+    /// shard's slab.
+    pub(super) fn land_migration(&mut self, handle: ReqHandle, instance: u32, now: SimTime) {
+        // The request (re)joins `instance`'s candidate set — membership was
+        // inserted by the caller, and the location leaves `Migrating` here.
+        self.instances[instance as usize].sched_dirty = true;
+        let id = self.states[handle].spec.id;
         let needed = self
             .geometry
-            .blocks_for_tokens(self.states[&req].tokens_needed_next());
-        let in_cpu = if let Some(reserved) = self.migration_ctl.reservations.remove(&req) {
+            .blocks_for_tokens(self.states[handle].tokens_needed_next());
+        let in_cpu = if let Some(reserved) = self.migration_ctl.take_reservation(id) {
             // Blocks were reserved when the transfer launched; no tokens were
             // generated in flight, so the reservation is still exact.
             debug_assert_eq!(reserved, needed);
-            let st = self.states.get_mut(&req).expect("migrating request exists");
+            let st = &mut self.states[handle];
             st.held_gpu_blocks = reserved;
             st.kv_location = KvLocation::Gpu;
             st.resident_since = Some(now);
@@ -322,7 +364,7 @@ impl Shard<'_> {
         } else {
             let dest = &mut self.instances[instance as usize].inst;
             if dest.gpu.try_alloc(needed) {
-                let st = self.states.get_mut(&req).expect("migrating request exists");
+                let st = &mut self.states[handle];
                 st.held_gpu_blocks = needed;
                 st.kv_location = KvLocation::Gpu;
                 st.resident_since = Some(now);
@@ -330,7 +372,7 @@ impl Shard<'_> {
             } else {
                 self.migration_ctl.outcomes.landed_in_cpu += 1;
                 let cpu_blocks = {
-                    let st = self.states.get_mut(&req).expect("migrating request exists");
+                    let st = &mut self.states[handle];
                     let b = self.geometry.blocks_for_tokens(st.context_tokens());
                     st.held_cpu_blocks = b;
                     st.kv_location = KvLocation::Cpu;
@@ -343,15 +385,15 @@ impl Shard<'_> {
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
-            Some(req),
+            Some(id),
             TraceEventKind::MigrationLanded { in_cpu },
         );
     }
 
     /// First execution after a migration landed: stamp the stall (landing →
     /// resume) on the record and the run tally.
-    pub(super) fn stamp_migration_resume(&mut self, id: RequestId, now: SimTime) {
-        let Some(st) = self.states.get_mut(&id) else {
+    pub(super) fn stamp_migration_resume(&mut self, handle: ReqHandle, now: SimTime) {
+        let Some(st) = self.states.get_mut(handle) else {
             return;
         };
         if let Some(m) = &mut st.migration {

@@ -60,16 +60,14 @@
 //! Both controllers default to off and `shards` defaults to 1, in which
 //! case a run is byte-identical to the paper's reactive scheduler.
 
-use std::collections::HashMap;
-
-use pascal_cluster::{Instance, RequestState};
+use pascal_cluster::{Instance, InstanceStats, ReqHandle, RequestSlab, RequestState};
 use pascal_metrics::{
     AdmissionCounters, AdmissionRecord, CalibrationReport, MigrationOutcomes, MigrationRecord,
     PredictionSample, RegionStats, RequestRecord, ShardStats,
 };
 use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
-use pascal_sched::SchedPolicy;
+use pascal_sched::{PriorityKey, SchedPolicy};
 use pascal_sim::{EventQueue, SimTime};
 use pascal_telemetry::{TelemetryHandle, TelemetryOut, TraceEvent, TraceEventKind};
 use pascal_workload::{RequestId, Trace};
@@ -96,6 +94,11 @@ use migration::MigrationController;
 
 /// Events driving a shard. Arrivals are not queue events: the cluster
 /// routes them straight off the trace (see [`cluster`]).
+///
+/// Request-scoped events carry the request's slab handle: every such event
+/// fires while the request still lives on the scheduling shard (transfers
+/// schedule on the *source* queue and the state moves at handling time),
+/// so the handle is valid for the event's whole queue residency.
 // Every queued event marks a completion, so the shared postfix is the
 // honest name, not noise.
 #[allow(clippy::enum_variant_names)]
@@ -104,16 +107,16 @@ pub(super) enum Event {
     /// The in-flight iteration on an instance finished.
     IterationDone { instance: u32 },
     /// A preemption offload finished; KV now lives in CPU memory.
-    OffloadDone { req: RequestId },
+    OffloadDone { req: ReqHandle },
     /// A reload finished; KV is GPU-resident again.
-    ReloadDone { req: RequestId },
+    ReloadDone { req: ReqHandle },
     /// An intra-shard phase-boundary migration landed on its destination.
-    MigrationDone { req: RequestId, to: u32 },
+    MigrationDone { req: ReqHandle, to: u32 },
     /// A cross-shard migration cleared the interconnect; the cluster hands
     /// the request from this shard to `to_shard`. (Scheduled on the source
     /// shard's queue so the source frees its KV exactly at landing time.)
     CrossShardDone {
-        req: RequestId,
+        req: ReqHandle,
         to_shard: u32,
         to_instance: u32,
     },
@@ -122,7 +125,7 @@ pub(super) enum Event {
     /// on the source shard's queue, like [`Event::CrossShardDone`]; the
     /// cluster cannot resolve it and returns it to the federation driver.)
     CrossRegionDone {
-        req: RequestId,
+        req: ReqHandle,
         to_region: u32,
         to_shard: u32,
         to_instance: u32,
@@ -140,9 +143,14 @@ pub(super) enum IterationKind {
 /// saturated, so the migration decision defers to the cross-shard path.
 /// `intra_fallback` carries the intra-shard destination Algorithm 2 had
 /// picked (if any) — executed when no sibling shard can take the request.
+///
+/// Carries both the slab handle (for state access) and the request id: the
+/// escape is evaluated after the triggering iteration, so the defensive
+/// staleness check re-verifies that the handle still names this request.
 #[derive(Clone, Copy, Debug)]
 pub(super) struct EscapeCandidate {
     pub(super) req: RequestId,
+    pub(super) handle: ReqHandle,
     pub(super) intra_fallback: Option<u32>,
 }
 
@@ -241,7 +249,11 @@ pub(super) struct Shard<'a> {
     pub(super) queue: EventQueue<Event>,
     pub(super) instances: Vec<InstanceRt>,
     pub(super) fabric: pascal_cluster::Fabric,
-    pub(super) states: HashMap<RequestId, RequestState>,
+    /// Slab storage of every in-flight request on this shard, indexed by
+    /// the dense handles events and membership lists carry.
+    pub(super) states: RequestSlab,
+    /// Reusable hot-path buffers (see [`ScheduleScratch`]).
+    pub(super) scratch: ScheduleScratch,
     pub(super) migration_ctl: MigrationController,
     pub(super) admission_ctl: AdmissionController,
     pub(super) records: Vec<RequestRecord>,
@@ -267,8 +279,48 @@ pub(super) struct Shard<'a> {
 /// Engine-side per-instance runtime extension.
 pub(super) struct InstanceRt {
     pub(super) inst: Instance,
-    pub(super) current_batch: Vec<RequestId>,
+    pub(super) current_batch: Vec<ReqHandle>,
     pub(super) current_kind: IterationKind,
+    /// Cached candidate list of the last scheduling pass, sorted by
+    /// priority key. Valid while `sched_dirty` is false — the scheduler
+    /// then skips the rebuild *and* the sort, which dominates congested
+    /// iterations. Invalidated by membership changes, priority-key input
+    /// changes (quantum crossings, demotions, phase flips) and KV-location
+    /// changes into or out of the candidate-excluded states.
+    pub(super) cands: Vec<(PriorityKey, ReqHandle)>,
+    /// Whether `cands` must be rebuilt before the next scheduling pass.
+    pub(super) sched_dirty: bool,
+    /// GPU blocks held by members whose KV is on the way out (preemption
+    /// offloads, outbound migrations) — maintained incrementally so the
+    /// scheduler's budget computation skips a full member sweep.
+    pub(super) dying_blocks: u64,
+}
+
+/// Reusable buffers for the per-iteration scheduling pass and the monitor
+/// sweep, so the hot path performs no allocations after warmup. Taken with
+/// `mem::take` for the duration of a pass and put back when it ends —
+/// capacities ping-pong between here and the instances' current batches,
+/// amortizing to zero allocation.
+#[derive(Default)]
+pub(super) struct ScheduleScratch {
+    /// Schedulable candidates with their precomputed priority keys.
+    pub(super) cands: Vec<(PriorityKey, ReqHandle)>,
+    /// The desired-set prefix under the block budget, each entry carrying
+    /// the GPU block need computed during the prefix scan (reused verbatim
+    /// by the admission pass — nothing mutates in between).
+    pub(super) desired: Vec<(ReqHandle, u64)>,
+    /// Desired-set membership marks, indexed by slab slot.
+    pub(super) desired_mark: Vec<bool>,
+    /// GPU residents that fell out of the desired set.
+    pub(super) evictees: Vec<ReqHandle>,
+    /// Prefill batch being assembled.
+    pub(super) prefill: Vec<ReqHandle>,
+    /// Decode batch being assembled.
+    pub(super) decode: Vec<ReqHandle>,
+    /// Prompt lengths of the prefill batch.
+    pub(super) prompts: Vec<u32>,
+    /// Monitor-sweep buffer for in-shard stats consumers.
+    pub(super) stats: Vec<InstanceStats>,
 }
 
 impl<'a> Shard<'a> {
@@ -289,6 +341,9 @@ impl<'a> Shard<'a> {
                 inst: Instance::new(i as u32, geometry, capacity, config.pcie),
                 current_batch: Vec::new(),
                 current_kind: IterationKind::Decode,
+                cands: Vec::new(),
+                sched_dirty: true,
+                dying_blocks: 0,
             })
             .collect();
         Shard {
@@ -303,7 +358,8 @@ impl<'a> Shard<'a> {
             queue: EventQueue::new(),
             instances: rt,
             fabric: pascal_cluster::Fabric::new(instances, config.fabric),
-            states: HashMap::new(),
+            states: RequestSlab::new(),
+            scratch: ScheduleScratch::default(),
             migration_ctl: MigrationController::new(config.predictive_migration),
             admission_ctl: AdmissionController::new(
                 config.admission,

@@ -5,6 +5,11 @@
 //! GPU blocks, and — when a consumer needs it — the predicted future KV
 //! growth of the in-flight requests. Placement (Algorithm 1), migration
 //! (Algorithm 2) and the admission controller all read this snapshot.
+//!
+//! Hot-path consumers (arrival placement, phase transitions) sweep into a
+//! reused buffer via [`Shard::collect_stats_into`]; the allocating
+//! [`Shard::collect_stats`] remains for the cluster-level paths that need
+//! an owned snapshot.
 
 use pascal_cluster::InstanceStats;
 use pascal_sched::SchedPolicy;
@@ -15,8 +20,10 @@ use pascal_workload::Phase;
 use super::Shard;
 
 impl Shard<'_> {
-    /// Monitor snapshot of every instance.
-    pub(super) fn collect_stats(&self, now: SimTime) -> Vec<InstanceStats> {
+    /// Monitor snapshot of every instance, written into `out` (cleared
+    /// first) — the allocation-free form the hot path uses.
+    pub(super) fn collect_stats_into(&self, now: SimTime, out: &mut Vec<InstanceStats>) {
+        out.clear();
         // Predicted future KV growth feeds predictive Algorithm 1 placement
         // (PASCAL only), the admission controller's pool projection, and —
         // in a multi-shard cluster — the predictive router's shard
@@ -29,60 +36,64 @@ impl Shard<'_> {
             || self.admission_ctl.enabled()
             || (self.config.shards > 1
                 && self.config.router == pascal_sched::RouterPolicy::Predictive);
-        self.instances
-            .iter()
-            .map(|rt| {
-                let mut slo_ok = true;
-                let mut reasoning = 0u32;
-                let mut fresh_answering = 0u32;
-                for id in &rt.inst.members {
-                    let st = &self.states[id];
-                    match st.phase {
-                        Phase::Reasoning => {
-                            if !st.demoted {
-                                reasoning += 1;
-                            }
+        out.extend(self.instances.iter().map(|rt| {
+            let mut slo_ok = true;
+            let mut reasoning = 0u32;
+            let mut fresh_answering = 0u32;
+            for (_, handle) in rt.inst.members.iter() {
+                let st = &self.states[handle];
+                match st.phase {
+                    Phase::Reasoning => {
+                        if !st.demoted {
+                            reasoning += 1;
                         }
-                        Phase::Answering => {
-                            if st.quanta_used == 0 {
-                                fresh_answering += 1;
-                            }
-                            if !st.pacer.is_on_pace(now) {
-                                slo_ok = false;
-                            }
+                    }
+                    Phase::Answering => {
+                        if st.quanta_used == 0 {
+                            fresh_answering += 1;
+                        }
+                        if !st.pacer.is_on_pace(now) {
+                            slo_ok = false;
                         }
                     }
                 }
-                let predicted_future_kv_bytes = if wants_predicted_growth {
-                    self.predictor.as_ref().map_or(0, |pred| {
-                        rt.inst
-                            .members
-                            .iter()
-                            .map(|id| {
-                                let st = &self.states[id];
-                                let Some(remaining) =
-                                    pred.predicted_remaining_tokens(&st.spec, st.tokens_generated)
-                                else {
-                                    return 0;
-                                };
-                                self.geometry.bytes_for_tokens(remaining.round() as u64)
-                            })
-                            .sum()
-                    })
-                } else {
-                    0
-                };
-                InstanceStats {
-                    instance: rt.inst.id,
-                    slo_ok,
-                    kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
-                    reasoning_count: reasoning,
-                    fresh_answering_count: fresh_answering,
-                    gpu_free_blocks: rt.inst.gpu.free_blocks(),
-                    predicted_future_kv_bytes,
-                }
-            })
-            .collect()
+            }
+            let predicted_future_kv_bytes = if wants_predicted_growth {
+                self.predictor.as_ref().map_or(0, |pred| {
+                    rt.inst
+                        .members
+                        .iter()
+                        .map(|(_, handle)| {
+                            let st = &self.states[handle];
+                            let Some(remaining) =
+                                pred.predicted_remaining_tokens(&st.spec, st.tokens_generated)
+                            else {
+                                return 0;
+                            };
+                            self.geometry.bytes_for_tokens(remaining.round() as u64)
+                        })
+                        .sum()
+                })
+            } else {
+                0
+            };
+            InstanceStats {
+                instance: rt.inst.id,
+                slo_ok,
+                kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
+                reasoning_count: reasoning,
+                fresh_answering_count: fresh_answering,
+                gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                predicted_future_kv_bytes,
+            }
+        }));
+    }
+
+    /// Monitor snapshot of every instance, as an owned vector.
+    pub(super) fn collect_stats(&self, now: SimTime) -> Vec<InstanceStats> {
+        let mut out = Vec::with_capacity(self.instances.len());
+        self.collect_stats_into(now, &mut out);
+        out
     }
 
     /// One telemetry gauge sample of this shard at `at` — queue pressure,
@@ -92,7 +103,7 @@ impl Shard<'_> {
         let mut queue_depth = 0u64;
         let mut reasoning = 0u64;
         let mut answering = 0u64;
-        for st in self.states.values() {
+        for (_, st) in self.states.iter() {
             if !st.running {
                 queue_depth += 1;
             }

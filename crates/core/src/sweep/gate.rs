@@ -1,13 +1,17 @@
 //! The CI perf-regression gate.
 //!
 //! Compares a freshly-run [`SweepReport`] against a committed baseline
-//! with explicit tolerances. Two metrics gate the merge: per-cell **p99
+//! with explicit tolerances. Three metrics gate the merge: per-cell **p99
 //! TTFT** (relative tolerance plus an absolute floor, so near-zero
-//! baselines don't trip on noise-scale deltas) and per-cell **SLO
-//! violation rate** (absolute tolerance). Structural drift — cells added,
-//! removed, or re-configured relative to the baseline — also fails, which
-//! forces the baseline to be regenerated in the same PR that changes the
-//! grid. Improvements never fail the gate.
+//! baselines don't trip on noise-scale deltas), per-cell **SLO
+//! violation rate** (absolute tolerance), and — when the baseline carries
+//! a schema-4 throughput block — the report-level **engine events/sec**
+//! (relative tolerance, direction inverted: *lower* is the regression).
+//! The throughput figure is wall-clock and host-dependent, so its
+//! tolerance is far looser than the simulation metrics'. Structural
+//! drift — cells added, removed, or re-configured relative to the
+//! baseline — also fails, which forces the baseline to be regenerated in
+//! the same PR that changes the grid. Improvements never fail the gate.
 
 use crate::sweep::SweepReport;
 
@@ -23,6 +27,10 @@ pub struct GateTolerances {
     pub ttft_p99_abs_s: f64,
     /// Allowed absolute SLO-violation-rate growth (0.02 = +2 points).
     pub slo_rate_abs: f64,
+    /// Allowed relative engine-throughput *loss* (0.20 = the current run
+    /// may be up to 20% slower in events/sec than the baseline). Loose by
+    /// design: events/sec is wall-clock and varies with host load.
+    pub throughput_rel: f64,
 }
 
 impl Default for GateTolerances {
@@ -31,6 +39,7 @@ impl Default for GateTolerances {
             ttft_p99_rel: 0.10,
             ttft_p99_abs_s: 0.5,
             slo_rate_abs: 0.02,
+            throughput_rel: 0.20,
         }
     }
 }
@@ -40,13 +49,16 @@ impl Default for GateTolerances {
 pub struct GateFinding {
     /// The cell's matching key.
     pub label: String,
-    /// Metric name (`ttft_p99_s` or `slo_violation_rate`).
+    /// Metric name (`ttft_p99_s`, `slo_violation_rate` or
+    /// `events_per_sec`).
     pub metric: &'static str,
     /// Baseline value (`None` when the baseline recorded no value).
     pub baseline: Option<f64>,
     /// Current value.
     pub current: Option<f64>,
-    /// Largest current value the tolerances allow.
+    /// The tolerance boundary: the largest allowed current value for the
+    /// simulation metrics, the *smallest* for `events_per_sec` (where
+    /// lower is the regression).
     pub allowed: f64,
     /// Whether this row fails the gate.
     pub regression: bool,
@@ -80,6 +92,29 @@ impl GateReport {
 #[must_use]
 pub fn compare(baseline: &SweepReport, current: &SweepReport, tol: &GateTolerances) -> GateReport {
     let mut report = GateReport::default();
+
+    // Engine throughput: gated only when the committed baseline carries a
+    // figure. A profiled baseline demands a profiled current run — silently
+    // skipping the comparison would let the perf gate rot.
+    if let Some(base_tput) = &baseline.throughput {
+        let allowed = base_tput.events_per_sec * (1.0 - tol.throughput_rel);
+        match &current.throughput {
+            Some(cur_tput) => report.findings.push(GateFinding {
+                label: "<report>".to_owned(),
+                metric: "events_per_sec",
+                baseline: Some(base_tput.events_per_sec),
+                current: Some(cur_tput.events_per_sec),
+                allowed,
+                regression: cur_tput.events_per_sec < allowed,
+            }),
+            None => report.structural.push(
+                "baseline commits an events/sec figure but the current run was not \
+                 profiled — re-run the sweep with --profile"
+                    .to_owned(),
+            ),
+        }
+    }
+
     for base_cell in &baseline.cells {
         let label = base_cell.label();
         let Some(cur_cell) = current.cells.iter().find(|c| c.label() == label) else {
@@ -207,6 +242,49 @@ mod tests {
             "{:?}",
             gate.regressions().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn throughput_gate_fails_only_beyond_tolerance_and_demands_profiling() {
+        use crate::sweep::SweepThroughput;
+        let tput = |events_per_sec: f64| SweepThroughput {
+            events: 1_000_000,
+            wall_s: 1_000_000.0 / events_per_sec,
+            events_per_sec,
+        };
+        let mut baseline = tiny_report();
+        baseline.throughput = Some(tput(1_000_000.0));
+
+        // 10% slower: inside the 20% allowance.
+        let mut current = baseline.clone();
+        current.throughput = Some(tput(900_000.0));
+        let gate = compare(&baseline, &current, &GateTolerances::default());
+        assert!(
+            gate.passed(),
+            "{:?}",
+            gate.regressions().collect::<Vec<_>>()
+        );
+
+        // 30% slower: a throughput regression.
+        current.throughput = Some(tput(700_000.0));
+        let gate = compare(&baseline, &current, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.regressions().any(|f| f.metric == "events_per_sec"));
+
+        // Faster never fails.
+        current.throughput = Some(tput(5_000_000.0));
+        assert!(compare(&baseline, &current, &GateTolerances::default()).passed());
+
+        // A profiled baseline demands a profiled current run.
+        current.throughput = None;
+        let gate = compare(&baseline, &current, &GateTolerances::default());
+        assert!(!gate.passed());
+        assert!(gate.structural[0].contains("--profile"));
+
+        // An unprofiled baseline gates nothing on throughput.
+        baseline.throughput = None;
+        current.throughput = Some(tput(1.0));
+        assert!(compare(&baseline, &current, &GateTolerances::default()).passed());
     }
 
     #[test]

@@ -77,13 +77,15 @@ impl SweepGrid {
     }
 
     /// The available preset names, in presentation order.
-    pub const PRESET_NAMES: [&'static str; 6] = [
+    pub const PRESET_NAMES: [&'static str; 8] = [
         "main",
         "predictive",
         "migration",
         "ci",
         "sharded",
         "federated",
+        "stress",
+        "stress-smoke",
     ];
 
     /// A named grid preset.
@@ -108,6 +110,14 @@ impl SweepGrid {
     ///   routers (14 cells; one-region anchors collapse the
     ///   federation-router axis). Origins follow the harmonic skew, so
     ///   `static` really does overload the hot region.
+    /// * `stress` — the engine-capacity cell: ten million mixed-trace
+    ///   requests on a 128-instance cluster split into 64 shards under
+    ///   PASCAL (1 cell). Minutes of wall clock even after the slab +
+    ///   calendar-queue overhaul; run it deliberately, never in CI;
+    /// * `stress-smoke` — the same 64-shard × 128-instance topology with
+    ///   the trace scaled down to 2000 requests (1 cell): the CI-sized
+    ///   proof that the stress configuration schedules, migrates and
+    ///   drains correctly.
     ///
     /// # Errors
     ///
@@ -176,6 +186,15 @@ impl SweepGrid {
                 // a real signal rather than a least-loaded alias.
                 grid.predictors = vec![None, Some(PredictorKind::Oracle)];
                 grid.count = 120;
+            }
+            "stress" | "stress-smoke" => {
+                grid.mixes = vec![MixPreset::Mixed];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                grid.instances = 128;
+                grid.shard_counts = vec![64];
+                grid.routers = vec![RouterPolicy::LeastLoaded];
+                grid.count = if name == "stress" { 10_000_000 } else { 2000 };
             }
             other => {
                 return Err(format!(
@@ -336,6 +355,15 @@ mod tests {
         // federated: per predictor — 1 one-region anchor + {2,4} regions
         // × 3 federation routers.
         assert_eq!(SweepGrid::preset("federated").unwrap().expand().len(), 14);
+        // stress / stress-smoke: one 64-shard capacity cell each; the
+        // smoke variant differs only in trace size.
+        for name in ["stress", "stress-smoke"] {
+            let cells = SweepGrid::preset(name).unwrap().expand();
+            assert_eq!(cells.len(), 1, "{name}");
+            assert_eq!(cells[0].shards, 64);
+            assert_eq!(cells[0].instances, 128);
+        }
+        assert!(SweepGrid::preset("stress").unwrap().expand()[0].count >= 10_000_000);
         let err = SweepGrid::preset("everything").expect_err("unknown preset");
         assert!(err.contains("federated"), "error lists presets: {err}");
     }

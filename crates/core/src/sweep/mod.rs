@@ -53,7 +53,7 @@ mod report;
 pub use grid::SweepGrid;
 pub use json::{json_f64, json_opt_f64, json_str, JsonValue};
 pub use pool::{default_threads, parallel_map};
-pub use report::SweepReport;
+pub use report::{SweepReport, SweepThroughput};
 
 /// One declarative sweep cell: everything needed to reproduce one
 /// simulation run, expressed as copyable keys.
@@ -384,9 +384,11 @@ impl SweepRunner {
     }
 
     /// The same runner with per-cell hot-path profiling switched on.
-    /// Profiler output is wall-clock (non-deterministic) and is returned
-    /// out-of-band by [`SweepRunner::run_grids_profiled`]; the
-    /// [`SweepReport`] itself is byte-identical either way.
+    /// Per-cell profiler output is wall-clock (non-deterministic) and is
+    /// returned out-of-band by [`SweepRunner::run_grids_profiled`]; the
+    /// [`SweepReport`] additionally carries the aggregate
+    /// [`SweepThroughput`] figure (the only host-dependent field a report
+    /// can contain — unprofiled reports stay fully deterministic).
     #[must_use]
     pub fn with_profile(mut self, profile: bool) -> Self {
         self.profile = profile;
@@ -436,9 +438,11 @@ impl SweepRunner {
 
     /// [`SweepRunner::run_grids`] plus the out-of-band per-cell profiler
     /// reports (in cell order; all `None` unless
-    /// [`SweepRunner::with_profile`] switched profiling on). The
-    /// [`SweepReport`] is byte-identical with profiling on or off —
-    /// wall-clock numbers travel only through the second element.
+    /// [`SweepRunner::with_profile`] switched profiling on). Cells and
+    /// every deterministic field are byte-identical with profiling on or
+    /// off; profiling additionally stamps the report-level
+    /// [`SweepThroughput`] aggregate and returns the per-cell wall-clock
+    /// reports through the second element.
     ///
     /// # Panics
     ///
@@ -470,6 +474,25 @@ impl SweepRunner {
                 )
             });
         let (cells, profiles): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        // Aggregate throughput over the per-cell profiler reports: summed
+        // events over summed single-cell wall seconds, so the figure is
+        // thread-count-independent (each cell's clock covers only its own
+        // event loop).
+        let throughput = if self.profile {
+            let (events, wall_s) = profiles
+                .iter()
+                .flatten()
+                .fold((0u64, 0.0f64), |(e, w), p: &ProfileReport| {
+                    (e + p.events, w + p.wall_s)
+                });
+            (wall_s > 0.0).then(|| SweepThroughput {
+                events,
+                wall_s,
+                events_per_sec: events as f64 / wall_s,
+            })
+        } else {
+            None
+        };
         let report = SweepReport {
             grid: grids
                 .iter()
@@ -477,6 +500,7 @@ impl SweepRunner {
                 .collect::<Vec<_>>()
                 .join("+"),
             base_seed: grids[0].base_seed,
+            throughput,
             cells,
         };
         (report, profiles)

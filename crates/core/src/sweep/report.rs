@@ -21,8 +21,27 @@ use crate::sweep::{ScenarioSpec, SweepCell};
 /// Schema version stamped into every report. Version 2 added the
 /// `shards`/`router` axes and the cross-shard migration counters;
 /// version 3 added the `regions`/`fed_router` axes plus the cross-region
-/// migration and admission-spill counters.
-pub const SWEEP_SCHEMA_VERSION: u64 = 3;
+/// migration and admission-spill counters; version 4 added the optional
+/// report-level `throughput` block (aggregate engine events/sec, filled
+/// only by profiled sweeps — `null` otherwise, so unprofiled reports stay
+/// deterministic).
+pub const SWEEP_SCHEMA_VERSION: u64 = 4;
+
+/// Report-level engine throughput, measured by the hot-path profiler
+/// across every cell of a profiled sweep. Host-dependent by nature: it is
+/// excluded from the determinism guarantee, and the CI gate compares it
+/// with a far looser tolerance than the simulation metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepThroughput {
+    /// Engine events handled across all cells.
+    pub events: u64,
+    /// Summed per-cell profiler wall-clock seconds (not the sweep's
+    /// elapsed time — cells may run in parallel).
+    pub wall_s: f64,
+    /// `events / wall_s`: the aggregate single-thread events/sec figure
+    /// the engine-speed work is judged against.
+    pub events_per_sec: f64,
+}
 
 /// The results of one grid sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,6 +50,8 @@ pub struct SweepReport {
     pub grid: String,
     /// The grid's base seed.
     pub base_seed: u64,
+    /// Aggregate engine throughput (`None` unless the sweep was profiled).
+    pub throughput: Option<SweepThroughput>,
     /// One executed cell per coherent grid combination, in expansion order.
     pub cells: Vec<SweepCell>,
 }
@@ -44,6 +65,16 @@ impl SweepReport {
         out.push_str(&format!("  \"schema\": {SWEEP_SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"grid\": {},\n", json_str(&self.grid)));
         out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
+        match &self.throughput {
+            None => out.push_str("  \"throughput\": null,\n"),
+            Some(t) => out.push_str(&format!(
+                "  \"throughput\": {{\n    \"events\": {},\n    \"wall_s\": {},\n    \
+                 \"events_per_sec\": {}\n  }},\n",
+                t.events,
+                json_f64(t.wall_s),
+                json_f64(t.events_per_sec)
+            )),
+        }
         out.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             out.push_str(&cell_json(cell));
@@ -142,6 +173,18 @@ impl SweepReport {
         let base_seed = field(&doc, "base_seed")?
             .as_u64()
             .ok_or("base_seed must be an integer")?;
+        let throughput = {
+            let v = field(&doc, "throughput")?;
+            if v.is_null() {
+                None
+            } else {
+                Some(SweepThroughput {
+                    events: int(v, "events")?,
+                    wall_s: num(v, "wall_s")?,
+                    events_per_sec: num(v, "events_per_sec")?,
+                })
+            }
+        };
         let cells = field(&doc, "cells")?
             .as_array()
             .ok_or("cells must be an array")?
@@ -152,6 +195,7 @@ impl SweepReport {
         Ok(SweepReport {
             grid,
             base_seed,
+            throughput,
             cells,
         })
     }
@@ -441,6 +485,12 @@ mod tests {
                     [(base_seed % 4) as usize]
                     .to_owned(),
                 base_seed,
+                // Exercise both the profiled and unprofiled serializations.
+                throughput: (base_seed % 2 == 0).then_some(SweepThroughput {
+                    events: base_seed >> 3,
+                    wall_s: (base_seed % 1000) as f64 * 0.25 + 0.001,
+                    events_per_sec: (base_seed % 7_000_000) as f64,
+                }),
                 cells: entropy.iter().map(|&(x, f)| arbitrary_cell(x, f)).collect(),
             };
             let json = report.to_json();
@@ -516,7 +566,7 @@ mod tests {
     fn schema_mismatch_and_corruption_are_rejected() {
         let report = tiny_report();
         let json = report.to_json();
-        let wrong_schema = json.replacen("\"schema\": 3", "\"schema\": 99", 1);
+        let wrong_schema = json.replacen("\"schema\": 4", "\"schema\": 99", 1);
         assert!(SweepReport::from_json(&wrong_schema)
             .expect_err("wrong schema")
             .contains("schema"));

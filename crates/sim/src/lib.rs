@@ -46,6 +46,7 @@ mod event;
 mod rng;
 mod time;
 
+pub use event::reference::{HeapEventId, HeapEventQueue};
 pub use event::{EventId, EventQueue};
 pub use rng::{log_normal_mu_for_mean, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -3,10 +3,12 @@
 //! Everything here measures the *host*, not the simulation: counts per
 //! event class, per-event wall-clock histograms
 //! ([`pascal_metrics::Histogram`] over microseconds) and an overall
-//! events/sec figure. The numbers vary run to run and machine to machine
-//! by design — they are the measurement baseline for engine-speed work
-//! and are excluded from every determinism guarantee and from the CI perf
-//! gate's compared fields.
+//! events/sec figure. Counts are exact; the histograms are built from a
+//! 1-in-N sample of events (see the handle) so the profiler itself stays
+//! off the hot path it measures. The numbers vary run to run and machine
+//! to machine by design — they are the measurement baseline for
+//! engine-speed work and are excluded from every determinism guarantee
+//! and from the CI perf gate's compared fields.
 
 use std::time::Instant;
 
@@ -99,6 +101,13 @@ impl HotPathProfiler {
         let i = kind.index();
         self.counts[i] += 1;
         self.timings[i].add(elapsed_us.max(0.0));
+    }
+
+    /// Counts one handled event of class `kind` without a timing sample —
+    /// the handle's 1-in-N timing sampler calls this for the unsampled
+    /// majority, keeping counts (and events/sec) exact.
+    pub fn count_only(&mut self, kind: ProfiledEvent) {
+        self.counts[kind.index()] += 1;
     }
 
     /// Stops the wall clock and condenses the samples into a report.

@@ -105,9 +105,12 @@ All telemetry is off by default, and a run with it off is byte-identical
 to one that never had the flags.
 
 OPTIONS (sweep):
-  --grid    <main|predictive|migration|ci|sharded|federated>  preset(s) [ci]
-          a comma-separated list (e.g. ci,sharded,federated) runs the
-          grids as one merged report — how the CI perf gate sweeps them.
+  --grid    <main|predictive|migration|ci|sharded|federated|stress|stress-smoke>
+          preset(s) [ci]; a comma-separated list (e.g. ci,sharded,federated)
+          runs the grids as one merged report — how the CI perf gate
+          sweeps them. stress is the 10M-request 64-shard capacity cell
+          (minutes of wall clock — run deliberately); stress-smoke is the
+          same topology at CI size.
   --threads <N>                                     worker pool width; 0 =
           available parallelism (capped at 8). Results are identical at
           any width.                                               [0]
@@ -121,9 +124,12 @@ OPTIONS (sweep):
   --ttft-tol <REL>      p99-TTFT relative tolerance               [0.10]
   --ttft-abs-tol <SEC>  p99-TTFT absolute slack                   [0.5]
   --slo-tol <ABS>       SLO-violation-rate absolute tolerance     [0.02]
-  --profile             profile each cell's event loop and print per-cell
-          events/sec to stderr (host-dependent; sweep.json / sweep.csv
-          and the printed tables are unchanged)
+  --tput-tol <REL>      events/sec loss tolerance (gated only when the
+          baseline commits a throughput figure)                   [0.20]
+  --profile             profile each cell's event loop, print per-cell and
+          aggregate events/sec to stderr, and stamp the aggregate into
+          the report's schema-4 throughput block (the only host-dependent
+          field sweep.json can carry; cells stay byte-identical)
 
 Unknown values for any option exit with status 2.
 ";
@@ -645,6 +651,7 @@ struct SweepOpts {
     ttft_tol: f64,
     ttft_abs_tol: f64,
     slo_tol: f64,
+    tput_tol: f64,
     profile: bool,
 }
 
@@ -661,6 +668,7 @@ impl Default for SweepOpts {
             ttft_tol: tol.ttft_p99_rel,
             ttft_abs_tol: tol.ttft_p99_abs_s,
             slo_tol: tol.slo_rate_abs,
+            tput_tol: tol.throughput_rel,
             profile: false,
         }
     }
@@ -703,6 +711,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
             "--ttft-tol" => opts.ttft_tol = tolerance(value()?, "--ttft-tol")?,
             "--ttft-abs-tol" => opts.ttft_abs_tol = tolerance(value()?, "--ttft-abs-tol")?,
             "--slo-tol" => opts.slo_tol = tolerance(value()?, "--slo-tol")?,
+            "--tput-tol" => opts.tput_tol = tolerance(value()?, "--tput-tol")?,
             "--profile" => opts.profile = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -779,9 +788,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         runner.threads()
     );
     if opts.profile {
-        // Per-cell engine speed, to stderr only: the report tables,
-        // sweep.json and sweep.csv stay byte-identical with or without
-        // --profile (the CI perf gate never sees these numbers).
+        // Per-cell engine speed, to stderr only; the aggregate also lands
+        // in the report's schema-4 throughput block (the single
+        // host-dependent field sweep.json can carry — every cell stays
+        // byte-identical with or without --profile).
         eprintln!("per-cell hot-path profile (wall-clock, host-dependent):");
         for (cell, profile) in report.cells.iter().zip(&profiles) {
             if let Some(p) = profile {
@@ -792,6 +802,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
                     p.events_per_sec
                 );
             }
+        }
+        if let Some(t) = &report.throughput {
+            eprintln!(
+                "aggregate: {} events in {:.3}s single-cell wall = {:.0} events/sec",
+                t.events, t.wall_s, t.events_per_sec
+            );
         }
     }
 
@@ -849,6 +865,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             ttft_p99_rel: opts.ttft_tol,
             ttft_p99_abs_s: opts.ttft_abs_tol,
             slo_rate_abs: opts.slo_tol,
+            throughput_rel: opts.tput_tol,
         };
         let gate = compare(&baseline, &report, &tolerances);
         let fmt = |x: Option<f64>| x.map_or_else(|| "-".to_owned(), |v| format!("{v:.4}"));
