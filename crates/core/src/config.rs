@@ -14,6 +14,7 @@ use pascal_telemetry::TelemetryConfig;
 use pascal_workload::DatasetMix;
 
 use crate::engine::{AdmissionMode, PredictiveMigration};
+use crate::fleet::FleetSpec;
 
 /// How much HBM is available for KV cache on each instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -97,6 +98,11 @@ pub struct SimConfig {
     /// effect; see `pascal-telemetry`). Never consulted by any scheduling
     /// decision, so enabling telemetry cannot change a run's outputs.
     pub telemetry: TelemetryConfig,
+    /// Fleet-elasticity schedule: timed join/drain/fail events, standby
+    /// capacity and the reactive autoscaler (see [`crate::fleet`]).
+    /// `None` (the default) keeps the fleet static for the run's lifetime
+    /// and the engine byte-identical to a pre-elasticity build.
+    pub fleet: Option<FleetSpec>,
 }
 
 impl SimConfig {
@@ -126,6 +132,7 @@ impl SimConfig {
             predictive_migration: None,
             admission: AdmissionMode::Disabled,
             telemetry: TelemetryConfig::default(),
+            fleet: None,
         }
     }
 
@@ -247,6 +254,11 @@ impl SimConfig {
             self.prefill_token_budget > 0,
             "prefill budget must be non-zero"
         );
+        if let Some(fleet) = &self.fleet {
+            if let Err(e) = fleet.validate(self.regions, self.shards, self.num_instances) {
+                panic!("{e}");
+            }
+        }
     }
 }
 

@@ -91,6 +91,13 @@ impl AdmissionController {
         !matches!(self.mode, AdmissionMode::Disabled)
     }
 
+    /// Rebinds the pool byte budget — the fleet layer calls this on every
+    /// health transition so admission sheds load against the capacity that
+    /// is actually up, not the nameplate pool size.
+    pub(super) fn set_budget(&mut self, budget_bytes: Option<u64>) {
+        self.budget_bytes = budget_bytes;
+    }
+
     /// The pure admission decision — no counters, no log. Both the
     /// single-region check and the federation's probe-then-spill path are
     /// built from this, so they cannot disagree.

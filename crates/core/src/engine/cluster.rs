@@ -159,6 +159,7 @@ impl<'a> Cluster<'a> {
             Event::MigrationDone { .. } => ProfiledEvent::MigrationDone,
             Event::CrossShardDone { .. } => ProfiledEvent::CrossShardDone,
             Event::CrossRegionDone { .. } => ProfiledEvent::CrossRegionDone,
+            Event::FleetTransition { .. } | Event::AutoscaleTick => ProfiledEvent::Fleet,
         };
         (self.dispatch(s, ev, now), kind)
     }
@@ -271,6 +272,39 @@ impl<'a> Cluster<'a> {
                 to_instance,
                 now,
             },
+            // Fleet transitions mirror IterationDone's escape handling: a
+            // drain queues its residents as cross-shard escape candidates,
+            // which must be resolved (or escalated to the federation)
+            // before the instance relaunches.
+            Event::FleetTransition { instance, to } => {
+                self.shards[s].apply_fleet_transition(instance, to, now);
+                let unresolved = self.drain_escapes(s, now);
+                if !unresolved.is_empty() {
+                    debug_assert!(self.federated, "non-federated escapes resolve in-cluster");
+                    return ClusterSignal::Escalate {
+                        shard: s,
+                        instance,
+                        candidates: unresolved,
+                        now,
+                    };
+                }
+                self.shards[s].try_schedule(instance, now);
+                ClusterSignal::Handled
+            }
+            Event::AutoscaleTick => {
+                let touched = self.shards[s].autoscale_tick(now);
+                let unresolved = self.drain_escapes(s, now);
+                if !unresolved.is_empty() {
+                    debug_assert!(self.federated, "non-federated escapes resolve in-cluster");
+                    return ClusterSignal::Escalate {
+                        shard: s,
+                        instance: touched.unwrap_or(0),
+                        candidates: unresolved,
+                        now,
+                    };
+                }
+                ClusterSignal::Handled
+            }
         }
     }
 
@@ -557,6 +591,14 @@ impl<'a> Cluster<'a> {
         // applied on the destination shard (whose ledger holds the
         // reservation made at launch).
         sh.land_migration(landed, to_local, now);
+        // A destination that fail-stopped while the transfer was in flight
+        // strands the request — after the landing's normal accounting, so
+        // the pool books stay auditable through the outage.
+        if sh.health[to_local as usize] == crate::fleet::HealthState::Down {
+            sh.strand_request(landed, now);
+        }
+        // The source just lost a member; a draining source may now be empty.
+        self.shards[from].check_drain_complete(from_local, now);
         self.shards[from].try_schedule(from_local, now);
         self.shards[to_shard].try_schedule(to_local, now);
     }
@@ -676,10 +718,12 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
     let shard_stats: Vec<_> = shards.iter().map(Shard::shard_stats).collect();
     let mut migration_outcomes = pascal_metrics::MigrationOutcomes::default();
     let mut admission = pascal_metrics::AdmissionCounters::default();
+    let mut fleet = pascal_metrics::FleetOutcomes::default();
     for row in &shard_stats {
         row.migrations.assert_escape_conservation();
         migration_outcomes.absorb(&row.migrations);
         admission.absorb(&row.admission);
+        fleet.absorb(&row.fleet);
     }
     migration_outcomes.assert_escape_conservation();
 
@@ -715,6 +759,7 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
         migration_outcomes,
         admission,
         rejections,
+        fleet,
         shard_stats,
         region_stats: Vec::new(),
         telemetry: None,

@@ -587,8 +587,16 @@ impl<'a> FederationEngine<'a> {
             // Same landing tail as every other migration, on the shard
             // whose ledger holds the reservation made at launch.
             sh.land_migration(landed, to_local, now);
+            // A destination instance that fail-stopped while the WAN
+            // transfer was in flight strands the request after the
+            // landing's normal accounting.
+            if sh.health[to_local as usize] == crate::fleet::HealthState::Down {
+                sh.strand_request(landed, now);
+            }
             sh.try_schedule(to_local, now);
         }
+        // The source just lost a member; a draining source may now be empty.
+        self.regions[from_r].cluster.shards[from_s].check_drain_complete(from_local, now);
         self.regions[from_r].cluster.shards[from_s].try_schedule(from_local, now);
     }
 

@@ -79,6 +79,15 @@ impl Shard<'_> {
                     actual_total_tokens: spec.output_tokens(),
                 });
         }
+        // A fully failed shard (every instance down, so the monitor sweep
+        // is empty) has nowhere to put the request: it strands on arrival.
+        // Only reachable under a fleet schedule — a static fleet always has
+        // instances to report.
+        if stats.is_empty() {
+            self.fleet.stranded += 1;
+            self.emit_trace(now, None, Some(spec.id), TraceEventKind::RequestStranded);
+            return;
+        }
         let target = self.policy.place_new_request(stats);
         let mut state = pascal_cluster::RequestState::new(spec, target, self.config.target_tpot);
         // Speculative demotion (§IV-C made predictive): an incoming
@@ -126,6 +135,18 @@ impl Shard<'_> {
         let kind = self.instances[instance as usize].current_kind;
         self.instances[instance as usize].inst.compute_busy = false;
 
+        // A fail-stop mid-iteration loses the whole batch: no token is
+        // emitted, every member strands. (A *drain* never takes this path —
+        // draining instances finish their residents normally.)
+        if self.health[instance as usize] == crate::fleet::HealthState::Down {
+            let mut batch = std::mem::take(&mut self.instances[instance as usize].current_batch);
+            for handle in batch.drain(..) {
+                self.strand_request(handle, now);
+            }
+            self.instances[instance as usize].current_batch = batch;
+            return;
+        }
+
         // Drain by index so the batch vector keeps its capacity for the
         // next launch; nothing inside the loop touches the batch.
         let batch_len = self.instances[instance as usize].current_batch.len();
@@ -160,6 +181,13 @@ impl Shard<'_> {
             Some(id),
             TraceEventKind::OffloadDone,
         );
+        // The instance fail-stopped while the offload was in flight: the
+        // CPU copy just landed on a dead host. Strand after the normal
+        // accounting so pool conservation holds through the outage.
+        if self.health[instance as usize] == crate::fleet::HealthState::Down {
+            self.strand_request(handle, now);
+            return;
+        }
         self.try_schedule(instance, now);
     }
 
@@ -180,6 +208,12 @@ impl Shard<'_> {
             Some(id),
             TraceEventKind::ReloadDone,
         );
+        // Same as OffloadDone: a reload landing on a fail-stopped instance
+        // strands after its normal accounting.
+        if self.health[instance as usize] == crate::fleet::HealthState::Down {
+            self.strand_request(handle, now);
+            return;
+        }
         self.try_schedule(instance, now);
     }
 
@@ -288,6 +322,9 @@ impl Shard<'_> {
             },
         );
         self.records.push(st.into_record(now));
+        // A draining instance completes its drain when its last member
+        // finishes; a healthy instance pays one comparison here.
+        self.check_drain_complete(instance as u32, now);
     }
 
     // ----- the scheduling core --------------------------------------------
@@ -295,6 +332,12 @@ impl Shard<'_> {
     /// Plans residency and, if possible, launches the next iteration.
     pub(super) fn try_schedule(&mut self, instance: u32, now: SimTime) {
         if self.instances[instance as usize].inst.compute_busy {
+            return;
+        }
+        // A down instance never launches. Draining instances still
+        // schedule: their residents must finish (or migrate) for the drain
+        // to complete — only *new* placement avoids them.
+        if self.health[instance as usize] == crate::fleet::HealthState::Down {
             return;
         }
         let mut scratch = std::mem::take(&mut self.scratch);

@@ -153,6 +153,36 @@ impl Shard<'_> {
                 pascal_sched::SchedPolicy::Pascal(c) if c.migration_enabled
             );
         let all_unhealthy = !stats.iter().any(|s| s.slo_ok);
+        // A *draining* instance is filtered out of the monitor sweep, so
+        // the policy's decision (which expects its own row) cannot run:
+        // the transition becomes a drain escape instead — cross-shard when
+        // the cluster has that path, an intra-shard move (same cost/benefit
+        // veto) otherwise. Down instances never emit tokens, so only
+        // `Draining` reaches this. The `considered` tally above already
+        // counted this decision.
+        if self.health[current as usize] != crate::fleet::HealthState::Healthy {
+            if can_escape {
+                self.cross_escape_outbox.push(EscapeCandidate {
+                    req: id,
+                    handle,
+                    intra_fallback: None,
+                });
+            } else if cost.is_some_and(|c| c.vetoes()) {
+                self.migration_ctl.outcomes.vetoed_by_cost += 1;
+                self.emit_trace(
+                    now,
+                    Some(self.global_instance(current)),
+                    Some(id),
+                    TraceEventKind::MigrationVetoed {
+                        tier: EscapeTier::Intra,
+                    },
+                );
+            } else if let Some(dest) = self.policy.cross_shard_instance(needed_blocks, &stats) {
+                self.start_migration(handle, dest, predicted_remaining, now);
+            }
+            self.scratch.stats = stats;
+            return;
+        }
         match self
             .policy
             .predictive_migration_decision(current, needed_blocks, &stats, cost)
@@ -214,7 +244,7 @@ impl Shard<'_> {
     /// when the predictive controller is off (or no predictor is
     /// configured) — which makes the decision exactly the reactive
     /// Algorithm 2.
-    fn migration_cost(
+    pub(super) fn migration_cost(
         &self,
         handle: ReqHandle,
         predicted_remaining: Option<f64>,
@@ -230,7 +260,7 @@ impl Shard<'_> {
         })
     }
 
-    fn start_migration(
+    pub(super) fn start_migration(
         &mut self,
         handle: ReqHandle,
         dest: u32,
@@ -332,6 +362,13 @@ impl Shard<'_> {
         }
         self.instances[to as usize].inst.members.insert(id, handle);
         self.land_migration(handle, to, now);
+        // A destination that fail-stopped mid-transfer strands the request
+        // after the landing's normal accounting (pool conservation holds);
+        // the source losing a member may complete its drain.
+        if self.health[to as usize] == crate::fleet::HealthState::Down {
+            self.strand_request(handle, now);
+        }
+        self.check_drain_complete(from, now);
         self.try_schedule(from, now);
         self.try_schedule(to, now);
     }

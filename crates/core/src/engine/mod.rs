@@ -62,8 +62,8 @@
 
 use pascal_cluster::{Instance, InstanceStats, ReqHandle, RequestSlab, RequestState};
 use pascal_metrics::{
-    AdmissionCounters, AdmissionRecord, CalibrationReport, MigrationOutcomes, MigrationRecord,
-    PredictionSample, RegionStats, RequestRecord, ShardStats,
+    AdmissionCounters, AdmissionRecord, CalibrationReport, FleetOutcomes, MigrationOutcomes,
+    MigrationRecord, PredictionSample, RegionStats, RequestRecord, ShardStats,
 };
 use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
@@ -73,10 +73,12 @@ use pascal_telemetry::{TelemetryHandle, TelemetryOut, TraceEvent, TraceEventKind
 use pascal_workload::{RequestId, Trace};
 
 use crate::config::SimConfig;
+use crate::fleet::HealthState;
 
 mod admission;
 mod cluster;
 mod federation;
+mod fleet_rt;
 mod lifecycle;
 mod migration;
 mod stats;
@@ -90,6 +92,7 @@ use admission::AdmissionController;
 pub(crate) use cluster::Engine;
 #[cfg(test)]
 pub(crate) use federation::FederationEngine;
+use fleet_rt::AutoscalerRt;
 use migration::MigrationController;
 
 /// Events driving a shard. Arrivals are not queue events: the cluster
@@ -99,8 +102,8 @@ use migration::MigrationController;
 /// fires while the request still lives on the scheduling shard (transfers
 /// schedule on the *source* queue and the state moves at handling time),
 /// so the handle is valid for the event's whole queue residency.
-// Every queued event marks a completion, so the shared postfix is the
-// honest name, not noise.
+// Most queued events mark a completion, so the shared postfix is the
+// honest name, not noise (fleet events are the exception).
 #[allow(clippy::enum_variant_names)]
 #[derive(Debug)]
 pub(super) enum Event {
@@ -130,6 +133,13 @@ pub(super) enum Event {
         to_shard: u32,
         to_instance: u32,
     },
+    /// A scheduled fleet transition fires: the instance joins, starts
+    /// draining, or fail-stops. Resolved from the run's
+    /// [`FleetSpec`](crate::fleet::FleetSpec) at construction (or scheduled
+    /// by the autoscaler), so a fleet-free run never sees one.
+    FleetTransition { instance: u32, to: HealthState },
+    /// The reactive autoscaler re-evaluates predicted utilization.
+    AutoscaleTick,
 }
 
 /// What kind of iteration an instance is running.
@@ -176,6 +186,9 @@ pub struct SimOutput {
     /// Arrivals rejected by admission control, in arrival order — empty
     /// unless [`AdmissionMode::Predictive`] was configured.
     pub rejections: Vec<AdmissionRecord>,
+    /// Fleet elasticity tally, summed over shards — all zeros unless
+    /// [`SimConfig::fleet`](crate::SimConfig) scheduled fleet events.
+    pub fleet: FleetOutcomes,
     /// One row per scheduling domain (a single row when `shards` is 1).
     pub shard_stats: Vec<ShardStats>,
     /// One row per region (a single row when `regions` is 1).
@@ -271,6 +284,15 @@ pub(super) struct Shard<'a> {
     /// cluster right after the triggering iteration, before the instance
     /// relaunches.
     pub(super) cross_escape_outbox: Vec<EscapeCandidate>,
+    /// Per-instance availability. All-`Healthy` (and never written) without
+    /// a fleet spec, so the static-fleet hot path is untouched.
+    pub(super) health: Vec<HealthState>,
+    /// When each in-progress drain started (drain-completion accounting).
+    pub(super) drain_started: Vec<Option<SimTime>>,
+    /// Fleet elasticity tally for this shard.
+    pub(super) fleet: FleetOutcomes,
+    /// Reactive autoscaler state; `None` without an `autoscale` directive.
+    pub(super) autoscaler: Option<AutoscalerRt>,
     /// Telemetry emitter (a clone of the run-wide handle; a single no-op
     /// branch per call site when disabled).
     pub(super) telemetry: TelemetryHandle,
@@ -346,7 +368,7 @@ impl<'a> Shard<'a> {
                 dying_blocks: 0,
             })
             .collect();
-        Shard {
+        let mut shard = Shard {
             id,
             offset: id * instances as u32,
             cross_escape_enabled: config.shards > 1 || config.regions > 1,
@@ -372,8 +394,14 @@ impl<'a> Shard<'a> {
             cross_shard_in: 0,
             cross_region_in: 0,
             cross_escape_outbox: Vec::new(),
+            health: vec![HealthState::Healthy; instances],
+            drain_started: vec![None; instances],
+            fleet: FleetOutcomes::default(),
+            autoscaler: None,
             telemetry,
-        }
+        };
+        shard.init_fleet();
+        shard
     }
 
     /// The global id of a local instance index — what records carry.
@@ -422,6 +450,7 @@ impl<'a> Shard<'a> {
             admission: self.admission_ctl.counters,
             cross_shard_in: self.cross_shard_in,
             cross_region_in: self.cross_region_in,
+            fleet: self.fleet,
         }
     }
 }

@@ -34,59 +34,71 @@ impl Shard<'_> {
         // per-member estimates.
         let wants_predicted_growth = matches!(self.policy, SchedPolicy::Pascal(_))
             || self.admission_ctl.enabled()
+            || self.autoscaler.is_some()
             || (self.config.shards > 1
                 && self.config.router == pascal_sched::RouterPolicy::Predictive);
-        out.extend(self.instances.iter().map(|rt| {
-            let mut slo_ok = true;
-            let mut reasoning = 0u32;
-            let mut fresh_answering = 0u32;
-            for (_, handle) in rt.inst.members.iter() {
-                let st = &self.states[handle];
-                match st.phase {
-                    Phase::Reasoning => {
-                        if !st.demoted {
-                            reasoning += 1;
+        // Only healthy instances report: draining and down instances are
+        // invisible to placement, migration targeting, admission projection
+        // and the router's pool view. A static fleet is all-healthy, so the
+        // filter never removes a row there.
+        let healthy = |i: usize| self.health[i] == crate::fleet::HealthState::Healthy;
+        out.extend(
+            self.instances
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| healthy(i))
+                .map(|(_, rt)| {
+                    let mut slo_ok = true;
+                    let mut reasoning = 0u32;
+                    let mut fresh_answering = 0u32;
+                    for (_, handle) in rt.inst.members.iter() {
+                        let st = &self.states[handle];
+                        match st.phase {
+                            Phase::Reasoning => {
+                                if !st.demoted {
+                                    reasoning += 1;
+                                }
+                            }
+                            Phase::Answering => {
+                                if st.quanta_used == 0 {
+                                    fresh_answering += 1;
+                                }
+                                if !st.pacer.is_on_pace(now) {
+                                    slo_ok = false;
+                                }
+                            }
                         }
                     }
-                    Phase::Answering => {
-                        if st.quanta_used == 0 {
-                            fresh_answering += 1;
-                        }
-                        if !st.pacer.is_on_pace(now) {
-                            slo_ok = false;
-                        }
-                    }
-                }
-            }
-            let predicted_future_kv_bytes = if wants_predicted_growth {
-                self.predictor.as_ref().map_or(0, |pred| {
-                    rt.inst
-                        .members
-                        .iter()
-                        .map(|(_, handle)| {
-                            let st = &self.states[handle];
-                            let Some(remaining) =
-                                pred.predicted_remaining_tokens(&st.spec, st.tokens_generated)
-                            else {
-                                return 0;
-                            };
-                            self.geometry.bytes_for_tokens(remaining.round() as u64)
+                    let predicted_future_kv_bytes = if wants_predicted_growth {
+                        self.predictor.as_ref().map_or(0, |pred| {
+                            rt.inst
+                                .members
+                                .iter()
+                                .map(|(_, handle)| {
+                                    let st = &self.states[handle];
+                                    let Some(remaining) = pred
+                                        .predicted_remaining_tokens(&st.spec, st.tokens_generated)
+                                    else {
+                                        return 0;
+                                    };
+                                    self.geometry.bytes_for_tokens(remaining.round() as u64)
+                                })
+                                .sum()
                         })
-                        .sum()
-                })
-            } else {
-                0
-            };
-            InstanceStats {
-                instance: rt.inst.id,
-                slo_ok,
-                kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
-                reasoning_count: reasoning,
-                fresh_answering_count: fresh_answering,
-                gpu_free_blocks: rt.inst.gpu.free_blocks(),
-                predicted_future_kv_bytes,
-            }
-        }));
+                    } else {
+                        0
+                    };
+                    InstanceStats {
+                        instance: rt.inst.id,
+                        slo_ok,
+                        kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
+                        reasoning_count: reasoning,
+                        fresh_answering_count: fresh_answering,
+                        gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                        predicted_future_kv_bytes,
+                    }
+                }),
+        );
     }
 
     /// Monitor snapshot of every instance, as an owned vector.

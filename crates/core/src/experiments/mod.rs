@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod elasticity;
 pub mod federated_scaling;
 pub mod fig04;
 pub mod fig05;

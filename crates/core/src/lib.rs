@@ -61,11 +61,13 @@
 mod config;
 mod engine;
 pub mod experiments;
+pub mod fleet;
 pub mod report;
 pub mod sweep;
 
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
 pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
+pub use fleet::{FleetPreset, FleetSpec};
 pub use pascal_federation::{FederationPolicy, WanLink};
 pub use pascal_telemetry::{
     events_to_chrome, events_to_jsonl, series_to_csv, series_to_json, ProfileReport,

@@ -7,6 +7,7 @@ use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
 use crate::engine::AdmissionMode;
+use crate::fleet::FleetPreset;
 use crate::sweep::ScenarioSpec;
 
 /// A declarative cross-product of scenario axes.
@@ -48,6 +49,8 @@ pub struct SweepGrid {
     pub region_counts: Vec<usize>,
     /// Cross-region federation routers.
     pub fed_routers: Vec<FederationPolicy>,
+    /// Fleet-event presets (`None` = static fleet).
+    pub fleets: Vec<Option<FleetPreset>>,
     /// Base seed; per-cell trace seeds are derived from it (see
     /// [`derive_trace_seed`]).
     pub base_seed: u64,
@@ -72,18 +75,20 @@ impl SweepGrid {
             routers: vec![RouterPolicy::RoundRobin],
             region_counts: vec![1],
             fed_routers: vec![FederationPolicy::Static],
+            fleets: vec![None],
             base_seed: 2026,
         }
     }
 
     /// The available preset names, in presentation order.
-    pub const PRESET_NAMES: [&'static str; 8] = [
+    pub const PRESET_NAMES: [&'static str; 9] = [
         "main",
         "predictive",
         "migration",
         "ci",
         "sharded",
         "federated",
+        "chaos",
         "stress",
         "stress-smoke",
     ];
@@ -110,6 +115,11 @@ impl SweepGrid {
     ///   routers (14 cells; one-region anchors collapse the
     ///   federation-router axis). Origins follow the harmonic skew, so
     ///   `static` really does overload the hot region.
+    /// * `chaos` — the elasticity-under-failure grid: quantile-predicted
+    ///   PASCAL on the mixed trace at high rate across two regions, static
+    ///   vs predictive federation routing × the three fleet presets
+    ///   (region outage, flash crowd, diurnal) — 6 cells at 120 requests,
+    ///   sized for the CI perf gate like `ci`;
     /// * `stress` — the engine-capacity cell: ten million mixed-trace
     ///   requests on a 128-instance cluster split into 64 shards under
     ///   PASCAL (1 cell). Minutes of wall clock even after the slab +
@@ -187,6 +197,23 @@ impl SweepGrid {
                 grid.predictors = vec![None, Some(PredictorKind::Oracle)];
                 grid.count = 120;
             }
+            "chaos" => {
+                grid.mixes = vec![MixPreset::Mixed];
+                grid.levels = vec![RateLevel::High];
+                grid.policies = vec![PolicyKind::Pascal];
+                // Quantile is the predictor the autoscaler's load forecast
+                // rides; the preset keeps it on every cell so the
+                // comparison across fleet presets is a fleet comparison.
+                grid.predictors = vec![Some(PredictorKind::Quantile)];
+                grid.region_counts = vec![2];
+                grid.fed_routers = vec![FederationPolicy::Static, FederationPolicy::Predictive];
+                grid.fleets = vec![
+                    Some(FleetPreset::Outage),
+                    Some(FleetPreset::FlashCrowd),
+                    Some(FleetPreset::Diurnal),
+                ];
+                grid.count = 120;
+            }
             "stress" | "stress-smoke" => {
                 grid.mixes = vec![MixPreset::Mixed];
                 grid.levels = vec![RateLevel::High];
@@ -226,6 +253,7 @@ impl SweepGrid {
             ("routers", self.routers.len()),
             ("region_counts", self.region_counts.len()),
             ("fed_routers", self.fed_routers.len()),
+            ("fleets", self.fleets.len()),
         ] {
             assert!(len > 0, "grid '{}' has an empty {axis} axis", self.name);
         }
@@ -242,23 +270,26 @@ impl SweepGrid {
                                     for &router in &self.routers {
                                         for &regions in &self.region_counts {
                                             for &fed_router in &self.fed_routers {
-                                                let spec = ScenarioSpec {
-                                                    mix,
-                                                    level,
-                                                    policy,
-                                                    predictor,
-                                                    admission,
-                                                    migration_benefit: benefit,
-                                                    count: self.count,
-                                                    instances: self.instances,
-                                                    shards,
-                                                    router,
-                                                    regions,
-                                                    fed_router,
-                                                    seed,
-                                                };
-                                                if self.keep(&spec) {
-                                                    cells.push(spec);
+                                                for &fleet in &self.fleets {
+                                                    let spec = ScenarioSpec {
+                                                        mix,
+                                                        level,
+                                                        policy,
+                                                        predictor,
+                                                        admission,
+                                                        migration_benefit: benefit,
+                                                        count: self.count,
+                                                        instances: self.instances,
+                                                        shards,
+                                                        router,
+                                                        regions,
+                                                        fed_router,
+                                                        fleet,
+                                                        seed,
+                                                    };
+                                                    if self.keep(&spec) {
+                                                        cells.push(spec);
+                                                    }
                                                 }
                                             }
                                         }
@@ -355,6 +386,10 @@ mod tests {
         // federated: per predictor — 1 one-region anchor + {2,4} regions
         // × 3 federation routers.
         assert_eq!(SweepGrid::preset("federated").unwrap().expand().len(), 14);
+        // chaos: 2 federation routers × 3 fleet presets.
+        let chaos = SweepGrid::preset("chaos").unwrap().expand();
+        assert_eq!(chaos.len(), 6);
+        assert!(chaos.iter().all(|c| c.fleet.is_some() && c.regions == 2));
         // stress / stress-smoke: one 64-shard capacity cell each; the
         // smoke variant differs only in trace size.
         for name in ["stress", "stress-smoke"] {

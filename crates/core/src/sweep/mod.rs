@@ -43,6 +43,7 @@ use pascal_workload::{ArrivalProcess, MixPreset, Trace, TraceBuilder};
 
 use crate::config::{RateLevel, SimConfig};
 use crate::engine::{run_simulation, AdmissionMode, SimOutput};
+use crate::fleet::FleetPreset;
 
 pub mod gate;
 mod grid;
@@ -86,6 +87,10 @@ pub struct ScenarioSpec {
     /// Cross-region routing discipline (only meaningful when
     /// `regions > 1`).
     pub fed_router: FederationPolicy,
+    /// Fleet-event preset (`None` = the static fleet every prior grid
+    /// ran). Resolved against the cell's topology and time horizon; the
+    /// flash-crowd and diurnal presets also reshape the arrival process.
+    pub fleet: Option<FleetPreset>,
     /// Trace seed. Grids derive it from their base seed; hand-built specs
     /// (the refactored experiments) set it directly.
     pub seed: u64,
@@ -115,6 +120,7 @@ impl ScenarioSpec {
             router: RouterPolicy::RoundRobin,
             regions: 1,
             fed_router: FederationPolicy::Static,
+            fleet: None,
             seed,
         }
     }
@@ -157,6 +163,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// The same cell under a fleet-event preset.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: FleetPreset) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
     /// A short, unique, stable identifier — the key the JSON report and
     /// the regression gate match cells by.
     #[must_use]
@@ -185,6 +198,9 @@ impl ScenarioSpec {
         }
         if self.regions != 1 {
             label.push_str(&format!("/r{}-{}", self.regions, self.fed_router.key()));
+        }
+        if let Some(f) = self.fleet {
+            label.push_str(&format!("/f-{}", f.key()));
         }
         label
     }
@@ -275,6 +291,14 @@ impl ScenarioSpec {
         if let Some(ratio) = self.migration_benefit {
             config = config.with_predictive_migration(ratio);
         }
+        if let Some(preset) = self.fleet {
+            // Anchor the schedule to the cell's expected load window: at
+            // `count` requests arriving at `rate_rps`, the arrival horizon
+            // is count/rate seconds — outages and scaler windows land
+            // mid-run rather than after the trace drains.
+            let horizon_s = self.count as f64 / self.rate_rps();
+            config.fleet = Some(preset.spec(horizon_s, self.regions, self.shards, self.instances));
+        }
         config
     }
 
@@ -293,8 +317,19 @@ impl ScenarioSpec {
     /// region count serve identical request bodies.
     #[must_use]
     pub fn trace(&self) -> Trace {
+        let rate = self.rate_rps();
+        // The demand-shape presets reshape the arrival process around the
+        // same long-run rate; the outage preset keeps Poisson arrivals so
+        // the failure is the only thing that changes versus the baseline.
+        let arrivals = match self.fleet {
+            Some(FleetPreset::FlashCrowd) => ArrivalProcess::bursty(rate, 15.0, 45.0),
+            Some(FleetPreset::Diurnal) => {
+                ArrivalProcess::diurnal(rate, 0.6, self.count as f64 / rate)
+            }
+            Some(FleetPreset::Outage) | None => ArrivalProcess::poisson(rate),
+        };
         TraceBuilder::new(self.mix.mix())
-            .arrivals(ArrivalProcess::poisson(self.rate_rps()))
+            .arrivals(arrivals)
             .count(self.count)
             .seed(self.seed)
             .regions(self.regions)
@@ -345,6 +380,7 @@ impl SweepCell {
                 &out.records,
                 &out.migration_outcomes,
                 &out.admission,
+                &out.fleet,
                 out.makespan.as_secs_f64(),
                 &QoeParams::paper_eval(),
             ),

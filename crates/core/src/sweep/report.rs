@@ -101,6 +101,16 @@ impl SweepReport {
              migrations_landed_in_cpu,\
              admission_admitted,admission_rejected,admission_spilled\n",
         );
+        // Fleet columns appear only when some cell actually ran a fleet
+        // preset: fleet-free reports (and the committed golden fixtures)
+        // keep their historical column set byte-for-byte.
+        let with_fleet = self.cells.iter().any(|c| c.spec.fleet.is_some());
+        if with_fleet {
+            out.truncate(out.len() - 1);
+            out.push_str(
+                ",fleet,requests_stranded,drain_completion_s,rebalance_moves,autoscale_actions\n",
+            );
+        }
         let opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:?}"));
         for cell in &self.cells {
             let s = &cell.spec;
@@ -110,7 +120,7 @@ impl SweepReport {
                 AdmissionMode::Predictive { max_utilization } => format!("{max_utilization:?}"),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:?},{},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{},{},{},{},{},{},{}",
                 s.label(),
                 s.mix.key(),
                 s.level.key(),
@@ -146,6 +156,19 @@ impl SweepReport {
                 m.admission_rejected,
                 m.admission_spilled,
             ));
+            if with_fleet {
+                out.push_str(&format!(
+                    ",{},{},{:?},{},{}",
+                    s.fleet
+                        .map(crate::fleet::FleetPreset::key)
+                        .unwrap_or_default(),
+                    m.requests_stranded,
+                    m.drain_completion_s,
+                    m.rebalance_moves,
+                    m.autoscale_actions,
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -224,13 +247,32 @@ fn cell_json(cell: &SweepCell) -> String {
         AdmissionMode::Disabled => "null".to_owned(),
         AdmissionMode::Predictive { max_utilization } => json_f64(max_utilization),
     };
+    // The fleet axis and its metrics are serialized only for cells that
+    // ran one: fleet-free cells keep the historical key set, so committed
+    // golden sweep fixtures stay byte-identical. The parser treats the
+    // missing keys as `None` / zero.
+    let fleet_axis = s.fleet.map_or_else(String::new, |p| {
+        format!("      \"fleet\": {},\n", json_str(p.key()))
+    });
+    let fleet_metrics = if s.fleet.is_some() {
+        format!(
+            ",\n        \"requests_stranded\": {},\n        \"drain_completion_s\": {},\n        \
+             \"rebalance_moves\": {},\n        \"autoscale_actions\": {}",
+            m.requests_stranded,
+            json_f64(m.drain_completion_s),
+            m.rebalance_moves,
+            m.autoscale_actions
+        )
+    } else {
+        String::new()
+    };
     format!(
         "    {{\n      \"label\": {label},\n      \"mix\": {mix},\n      \"level\": {level},\n      \
          \"policy\": {policy},\n      \"predictor\": {predictor},\n      \
          \"admission_utilization\": {admission},\n      \"migration_benefit\": {benefit},\n      \
          \"count\": {count},\n      \"instances\": {instances},\n      \"shards\": {shards},\n      \
          \"router\": {router},\n      \"regions\": {regions},\n      \
-         \"fed_router\": {fed_router},\n      \"seed\": {seed},\n      \
+         \"fed_router\": {fed_router},\n{fleet_axis}      \"seed\": {seed},\n      \
          \"rate_rps\": {rate},\n      \"policy_label\": {plabel},\n      \"metrics\": {{\n        \
          \"requests\": {requests},\n        \"ttft_mean_s\": {ttft_mean},\n        \
          \"ttft_p50_s\": {ttft_p50},\n        \"ttft_p99_s\": {ttft_p99},\n        \
@@ -241,7 +283,7 @@ fn cell_json(cell: &SweepCell) -> String {
          \"migrations_cross_shard\": {mig_cross},\n        \
          \"migrations_cross_region\": {mig_cross_region},\n        \
          \"migrations_landed_in_cpu\": {mig_cpu},\n        \"admission_admitted\": {adm_ok},\n        \
-         \"admission_rejected\": {adm_no},\n        \"admission_spilled\": {adm_spill}\n      }}\n    }}",
+         \"admission_rejected\": {adm_no},\n        \"admission_spilled\": {adm_spill}{fleet_metrics}\n      }}\n    }}",
         label = json_str(&s.label()),
         mix = json_str(s.mix.key()),
         level = json_str(s.level.key()),
@@ -304,6 +346,26 @@ fn opt_num(obj: &JsonValue, key: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// Integer field that fleet-free cells omit entirely: missing means zero.
+fn int_or_zero(obj: &JsonValue, key: &str) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+/// Number field that fleet-free cells omit entirely: missing means zero.
+fn num_or_zero(obj: &JsonValue, key: &str) -> Result<f64, String> {
+    match obj.get(key) {
+        None => Ok(0.0),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("'{key}' must be a number")),
+    }
+}
+
 fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
     let mix = MixPreset::parse(field(c, "mix")?.as_str().ok_or("'mix' must be a string")?)?;
     let level = RateLevel::parse(
@@ -330,6 +392,14 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         None => AdmissionMode::Disabled,
         Some(max_utilization) => AdmissionMode::Predictive { max_utilization },
     };
+    // Cells serialized before the fleet axis existed (and fleet-free cells
+    // since) carry no "fleet" key at all.
+    let fleet = match c.get("fleet") {
+        None => None,
+        Some(v) => Some(crate::fleet::FleetPreset::parse(
+            v.as_str().ok_or("'fleet' must be a string")?,
+        )?),
+    };
     let spec = ScenarioSpec {
         mix,
         level,
@@ -351,6 +421,7 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
                 .as_str()
                 .ok_or("'fed_router' must be a string")?,
         )?,
+        fleet,
         seed: int(c, "seed")?,
     };
     let metrics_obj = field(c, "metrics")?;
@@ -373,6 +444,10 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         admission_admitted: int(metrics_obj, "admission_admitted")?,
         admission_rejected: int(metrics_obj, "admission_rejected")?,
         admission_spilled: int(metrics_obj, "admission_spilled")?,
+        requests_stranded: int_or_zero(metrics_obj, "requests_stranded")?,
+        drain_completion_s: num_or_zero(metrics_obj, "drain_completion_s")?,
+        rebalance_moves: int_or_zero(metrics_obj, "rebalance_moves")?,
+        autoscale_actions: int_or_zero(metrics_obj, "autoscale_actions")?,
     };
     Ok(SweepCell {
         spec,
@@ -406,6 +481,14 @@ mod tests {
         let pick = |shift: u32, n: u64| ((x >> shift) % n) as usize;
         let shards = [1usize, 2, 4][pick(0, 3)];
         let regions = [1usize, 2][pick(32, 2)];
+        // `None` keeps the legacy serialization path (no fleet keys) under
+        // test alongside the three presets.
+        let fleet = [
+            None,
+            Some(crate::fleet::FleetPreset::Outage),
+            Some(crate::fleet::FleetPreset::FlashCrowd),
+            Some(crate::fleet::FleetPreset::Diurnal),
+        ][pick(36, 4)];
         let spec = ScenarioSpec {
             mix: MixPreset::ALL[pick(2, 7)],
             level: crate::config::RateLevel::ALL[pick(5, 3)],
@@ -431,6 +514,7 @@ mod tests {
             router: RouterPolicy::ALL[pick(30, 3)],
             regions,
             fed_router: pascal_federation::FederationPolicy::ALL[pick(34, 3)],
+            fleet,
             // The raw entropy word: seeds must survive the full u64 range.
             seed: x,
         };
@@ -454,6 +538,12 @@ mod tests {
             admission_admitted: x % 10_000,
             admission_rejected: x % 99,
             admission_spilled: x % 17,
+            // Fleet-free cells omit these keys, so round-trip equality
+            // requires them to hold the parser's zero defaults.
+            requests_stranded: if fleet.is_some() { x % 23 } else { 0 },
+            drain_completion_s: if fleet.is_some() { f * 0.125 } else { 0.0 },
+            rebalance_moves: if fleet.is_some() { x % 41 } else { 0 },
+            autoscale_actions: if fleet.is_some() { x % 9 } else { 0 },
         };
         SweepCell {
             spec,

@@ -137,6 +137,70 @@ impl MigrationOutcomes {
     }
 }
 
+/// Fleet-elasticity tally over one run: what the fault-injection layer did
+/// to the fleet and what the engine did in response. All-zero for any run
+/// without a fleet-event schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FleetOutcomes {
+    /// Health transitions applied to instances (joins + drains + fails,
+    /// including per-instance expansions of shard/region events).
+    pub transitions: u64,
+    /// Instances brought (back) up.
+    pub joins: u64,
+    /// Instances taken down abruptly (fail-stop, no drain).
+    pub fails: u64,
+    /// Planned drains initiated.
+    pub drains_started: u64,
+    /// Drains that ran to completion (membership empty → down).
+    pub drains_completed: u64,
+    /// Summed drain durations (initiation → completion) over completed
+    /// drains.
+    pub drain_time: SimDuration,
+    /// Requests lost to an abrupt outage: their instance went down while
+    /// they were resident or running, and no migration could save them.
+    pub stranded: u64,
+    /// Queued (never-prefilled) requests the water-filling rebalancer
+    /// re-placed onto surviving instances after an outage or drain.
+    pub rebalanced: u64,
+    /// Autoscaler scale-up actions (standby instance activations).
+    pub autoscale_up: u64,
+    /// Autoscaler scale-down actions (drains of managed instances).
+    pub autoscale_down: u64,
+}
+
+impl FleetOutcomes {
+    /// Mean drain completion time in seconds (zero when no drain finished).
+    #[must_use]
+    pub fn mean_drain_completion_s(&self) -> f64 {
+        if self.drains_completed == 0 {
+            0.0
+        } else {
+            self.drain_time.as_secs_f64() / self.drains_completed as f64
+        }
+    }
+
+    /// Total autoscaler actions (scale-ups plus scale-downs).
+    #[must_use]
+    pub fn autoscale_actions(&self) -> u64 {
+        self.autoscale_up + self.autoscale_down
+    }
+
+    /// Adds another tally into this one (per-shard → run aggregation).
+    pub fn absorb(&mut self, other: &FleetOutcomes) {
+        self.transitions += other.transitions;
+        self.joins += other.joins;
+        self.fails += other.fails;
+        self.drains_started += other.drains_started;
+        self.drains_completed += other.drains_completed;
+        self.drain_time += other.drain_time;
+        self.stranded += other.stranded;
+        self.rebalanced += other.rebalanced;
+        self.autoscale_up += other.autoscale_up;
+        self.autoscale_down += other.autoscale_down;
+    }
+}
+
 /// Admission-control tally over one run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -198,6 +262,9 @@ pub struct ShardStats {
     /// Requests that migrated into this shard over the WAN (federated
     /// runs only; zero in any single-region run).
     pub cross_region_in: u64,
+    /// The shard's fleet-elasticity tally (all-zero without a fleet-event
+    /// schedule).
+    pub fleet: FleetOutcomes,
 }
 
 /// Per-region row of a federated run: what one region (a whole
@@ -358,5 +425,36 @@ mod tests {
             spilled: 1,
         });
         assert_eq!((adm.admitted, adm.rejected, adm.spilled), (10, 3, 3));
+    }
+
+    #[test]
+    fn fleet_outcomes_absorb_and_derive() {
+        let one = FleetOutcomes {
+            transitions: 4,
+            joins: 1,
+            fails: 2,
+            drains_started: 2,
+            drains_completed: 1,
+            drain_time: SimDuration::from_secs(3),
+            stranded: 5,
+            rebalanced: 7,
+            autoscale_up: 2,
+            autoscale_down: 1,
+        };
+        assert!((one.mean_drain_completion_s() - 3.0).abs() < 1e-12);
+        assert_eq!(one.autoscale_actions(), 3);
+        let mut total = one;
+        total.absorb(&one);
+        assert_eq!(total.transitions, 8);
+        assert_eq!(total.joins, 2);
+        assert_eq!(total.fails, 4);
+        assert_eq!(total.drains_started, 4);
+        assert_eq!(total.drains_completed, 2);
+        assert_eq!(total.drain_time, SimDuration::from_secs(6));
+        assert_eq!(total.stranded, 10);
+        assert_eq!(total.rebalanced, 14);
+        assert_eq!(total.autoscale_actions(), 6);
+        assert!((total.mean_drain_completion_s() - 3.0).abs() < 1e-12);
+        assert_eq!(FleetOutcomes::default().mean_drain_completion_s(), 0.0);
     }
 }

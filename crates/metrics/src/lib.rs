@@ -55,7 +55,7 @@ mod tail;
 
 pub use calibration::{CalibrationReport, PredictionSample};
 pub use counters::{
-    AdmissionCounters, AdmissionRecord, MigrationOutcomes, RegionStats, ShardStats,
+    AdmissionCounters, AdmissionRecord, FleetOutcomes, MigrationOutcomes, RegionStats, ShardStats,
 };
 pub use histogram::Histogram;
 pub use qoe::{answering_qoe, qoe_of_stream, QoeParams};

@@ -8,7 +8,7 @@
 //! consumer — experiments, CLI, gate — agree on one definition of each
 //! number.
 
-use crate::counters::{AdmissionCounters, MigrationOutcomes};
+use crate::counters::{AdmissionCounters, FleetOutcomes, MigrationOutcomes};
 use crate::qoe::{answering_qoe, QoeParams};
 use crate::record::RequestRecord;
 use crate::summary::{
@@ -58,6 +58,14 @@ pub struct SweepCellMetrics {
     pub admission_rejected: u64,
     /// Arrivals spilled to a remote region instead of being rejected.
     pub admission_spilled: u64,
+    /// Requests stranded by fleet outages (zero without a fleet schedule).
+    pub requests_stranded: u64,
+    /// Mean drain completion time in seconds (zero when no drain finished).
+    pub drain_completion_s: f64,
+    /// Queued requests re-placed by the water-filling rebalancer.
+    pub rebalance_moves: u64,
+    /// Autoscaler actions taken (scale-ups plus scale-downs).
+    pub autoscale_actions: u64,
 }
 
 impl SweepCellMetrics {
@@ -68,6 +76,7 @@ impl SweepCellMetrics {
         records: &[RequestRecord],
         migration: &MigrationOutcomes,
         admission: &AdmissionCounters,
+        fleet: &FleetOutcomes,
         makespan_s: f64,
         qoe: &QoeParams,
     ) -> Self {
@@ -104,6 +113,10 @@ impl SweepCellMetrics {
             admission_admitted: admission.admitted,
             admission_rejected: admission.rejected,
             admission_spilled: admission.spilled,
+            requests_stranded: fleet.stranded,
+            drain_completion_s: fleet.mean_drain_completion_s(),
+            rebalance_moves: fleet.rebalanced,
+            autoscale_actions: fleet.autoscale_actions(),
         }
     }
 
@@ -129,6 +142,7 @@ mod tests {
             &[],
             &MigrationOutcomes::default(),
             &AdmissionCounters::default(),
+            &FleetOutcomes::default(),
             0.0,
             &QoeParams::paper_eval(),
         );
@@ -136,6 +150,10 @@ mod tests {
         assert_eq!(row.ttft_p99_s, None);
         assert_eq!(row.slo_violation_rate, 0.0);
         assert_eq!(row.admission_rejection_rate(), 0.0);
+        assert_eq!(row.requests_stranded, 0);
+        assert_eq!(row.drain_completion_s, 0.0);
+        assert_eq!(row.rebalance_moves, 0);
+        assert_eq!(row.autoscale_actions, 0);
     }
 
     #[test]
@@ -154,8 +172,23 @@ mod tests {
             rejected: 3,
             spilled: 2,
         };
-        let row =
-            SweepCellMetrics::from_run(&[], &migration, &admission, 12.5, &QoeParams::paper_eval());
+        let fleet = FleetOutcomes {
+            stranded: 4,
+            drains_completed: 2,
+            drain_time: pascal_sim::SimDuration::from_secs(5),
+            rebalanced: 6,
+            autoscale_up: 1,
+            autoscale_down: 2,
+            ..FleetOutcomes::default()
+        };
+        let row = SweepCellMetrics::from_run(
+            &[],
+            &migration,
+            &admission,
+            &fleet,
+            12.5,
+            &QoeParams::paper_eval(),
+        );
         assert_eq!(row.migrations_considered, 10);
         assert_eq!(row.migrations_launched, 6);
         assert_eq!(row.migrations_vetoed, 3);
@@ -167,5 +200,9 @@ mod tests {
         assert_eq!(row.admission_spilled, 2);
         assert!((row.admission_rejection_rate() - 0.25).abs() < 1e-12);
         assert!((row.makespan_s - 12.5).abs() < 1e-12);
+        assert_eq!(row.requests_stranded, 4);
+        assert!((row.drain_completion_s - 2.5).abs() < 1e-12);
+        assert_eq!(row.rebalance_moves, 6);
+        assert_eq!(row.autoscale_actions, 3);
     }
 }

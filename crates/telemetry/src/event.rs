@@ -108,6 +108,28 @@ pub enum TraceEventKind {
         /// Total tokens generated over the request's lifetime.
         tokens: u64,
     },
+    /// A fleet event took the instance down (failure or unplanned leave).
+    InstanceDown,
+    /// A fleet event put the instance into planned drain: no new work, all
+    /// resident requests migrate out or finish in place.
+    InstanceDraining,
+    /// The instance (re)joined the fleet and accepts work again.
+    InstanceUp,
+    /// A draining instance emptied out and left the fleet.
+    DrainComplete,
+    /// The request was stranded by an outage: its KV was lost and it never
+    /// completes (fail-stop semantics).
+    RequestStranded,
+    /// A queued request was re-placed by the water-filling rebalancer
+    /// after an outage.
+    RequestRebalanced {
+        /// Destination instance (global id).
+        to_instance: u32,
+    },
+    /// The autoscaler scheduled a standby instance to join.
+    AutoscaleUp,
+    /// The autoscaler started draining a managed instance.
+    AutoscaleDown,
 }
 
 impl TraceEventKind {
@@ -132,6 +154,14 @@ impl TraceEventKind {
             TraceEventKind::MigrationLanded { .. } => "migration_landed",
             TraceEventKind::EscapeFallback { .. } => "escape_fallback",
             TraceEventKind::Completed { .. } => "completed",
+            TraceEventKind::InstanceDown => "instance_down",
+            TraceEventKind::InstanceDraining => "instance_draining",
+            TraceEventKind::InstanceUp => "instance_up",
+            TraceEventKind::DrainComplete => "drain_complete",
+            TraceEventKind::RequestStranded => "request_stranded",
+            TraceEventKind::RequestRebalanced { .. } => "request_rebalanced",
+            TraceEventKind::AutoscaleUp => "autoscale_up",
+            TraceEventKind::AutoscaleDown => "autoscale_down",
         }
     }
 }
@@ -191,6 +221,14 @@ mod tests {
             TraceEventKind::MigrationLanded { in_cpu: false },
             TraceEventKind::EscapeFallback { after_veto: true },
             TraceEventKind::Completed { tokens: 10 },
+            TraceEventKind::InstanceDown,
+            TraceEventKind::InstanceDraining,
+            TraceEventKind::InstanceUp,
+            TraceEventKind::DrainComplete,
+            TraceEventKind::RequestStranded,
+            TraceEventKind::RequestRebalanced { to_instance: 3 },
+            TraceEventKind::AutoscaleUp,
+            TraceEventKind::AutoscaleDown,
         ];
         let mut keys: Vec<&str> = kinds.iter().map(TraceEventKind::key).collect();
         keys.sort_unstable();

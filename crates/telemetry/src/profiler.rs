@@ -35,11 +35,13 @@ pub enum ProfiledEvent {
     CrossShardDone,
     /// A cross-region (WAN) escape transfer landing.
     CrossRegionDone,
+    /// A fleet transition (join/drain/fail) or autoscaler tick firing.
+    Fleet,
 }
 
 impl ProfiledEvent {
     /// Every class, in report order.
-    pub const ALL: [ProfiledEvent; 7] = [
+    pub const ALL: [ProfiledEvent; 8] = [
         ProfiledEvent::Arrival,
         ProfiledEvent::IterationDone,
         ProfiledEvent::OffloadDone,
@@ -47,6 +49,7 @@ impl ProfiledEvent {
         ProfiledEvent::MigrationDone,
         ProfiledEvent::CrossShardDone,
         ProfiledEvent::CrossRegionDone,
+        ProfiledEvent::Fleet,
     ];
 
     /// Stable lowercase name used in report rows.
@@ -60,6 +63,7 @@ impl ProfiledEvent {
             ProfiledEvent::MigrationDone => "migration_done",
             ProfiledEvent::CrossShardDone => "cross_shard_done",
             ProfiledEvent::CrossRegionDone => "cross_region_done",
+            ProfiledEvent::Fleet => "fleet",
         }
     }
 
@@ -72,6 +76,7 @@ impl ProfiledEvent {
             ProfiledEvent::MigrationDone => 4,
             ProfiledEvent::CrossShardDone => 5,
             ProfiledEvent::CrossRegionDone => 6,
+            ProfiledEvent::Fleet => 7,
         }
     }
 }

@@ -86,6 +86,9 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
         TraceEventKind::Completed { tokens } => {
             out.push_str(&format!(",\"tokens\":{tokens}"));
         }
+        TraceEventKind::RequestRebalanced { to_instance } => {
+            out.push_str(&format!(",\"to_instance\":{to_instance}"));
+        }
         TraceEventKind::Arrival
         | TraceEventKind::SpeculativeDemotion
         | TraceEventKind::Demoted
@@ -93,7 +96,14 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
         | TraceEventKind::PhaseTransition
         | TraceEventKind::Preempted
         | TraceEventKind::OffloadDone
-        | TraceEventKind::ReloadDone => {}
+        | TraceEventKind::ReloadDone
+        | TraceEventKind::InstanceDown
+        | TraceEventKind::InstanceDraining
+        | TraceEventKind::InstanceUp
+        | TraceEventKind::DrainComplete
+        | TraceEventKind::RequestStranded
+        | TraceEventKind::AutoscaleUp
+        | TraceEventKind::AutoscaleDown => {}
     }
 }
 

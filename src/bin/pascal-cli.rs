@@ -14,8 +14,8 @@ use pascal::core::report::{records_csv, render_table};
 use pascal::core::sweep::gate::{compare, GateTolerances};
 use pascal::core::{
     estimate_capacity_rps, events_to_chrome, events_to_jsonl, run_simulation, series_to_csv,
-    series_to_json, AdmissionMode, RateLevel, SimConfig, SweepGrid, SweepReport, SweepRunner,
-    TelemetryConfig, TraceFormat,
+    series_to_json, AdmissionMode, FleetPreset, FleetSpec, RateLevel, SimConfig, SweepGrid,
+    SweepReport, SweepRunner, TelemetryConfig, TraceFormat,
 };
 use pascal::federation::{FederationPolicy, WanLink};
 use pascal::metrics::{
@@ -79,6 +79,17 @@ OPTIONS (run):
           the cross-region link tier; always pricier than the inter-shard
           interconnect, so the migration cost/benefit veto forbids
           frivolous cross-region moves.
+  --fleet-events <PATH|outage|flash-crowd|diurnal>  fleet elasticity [off]
+          inject timed instance joins, planned drains, failures and
+          whole-shard/whole-region outages, plus standby capacity and
+          the reactive autoscaler. A PATH is parsed as a line-oriented
+          schedule (`<secs> <kind> [id]`; kinds: join, drain, fail,
+          shard-down, shard-up, region-down, region-up); anything else
+          must name one of the presets, scaled to the run's horizon.
+          Draining instances migrate residents away under the usual
+          cost/benefit veto; failed instances strand whatever cannot
+          escape. Off by default, and an empty schedule is
+          byte-identical to a run without the flag.
   --csv     <PATH>                                  dump per-request CSV
   --trace-out <PATH>                                dump a request-lifecycle
           trace (admission decisions, phase transitions, demotions, the
@@ -105,12 +116,14 @@ All telemetry is off by default, and a run with it off is byte-identical
 to one that never had the flags.
 
 OPTIONS (sweep):
-  --grid    <main|predictive|migration|ci|sharded|federated|stress|stress-smoke>
+  --grid    <main|predictive|migration|ci|sharded|federated|chaos|stress|stress-smoke>
           preset(s) [ci]; a comma-separated list (e.g. ci,sharded,federated)
           runs the grids as one merged report — how the CI perf gate
-          sweeps them. stress is the 10M-request 64-shard capacity cell
-          (minutes of wall clock — run deliberately); stress-smoke is the
-          same topology at CI size.
+          sweeps them. chaos crosses static vs predictive federation
+          routing with the three fleet-elasticity presets (outage,
+          flash-crowd, diurnal). stress is the 10M-request 64-shard
+          capacity cell (minutes of wall clock — run deliberately);
+          stress-smoke is the same topology at CI size.
   --threads <N>                                     worker pool width; 0 =
           available parallelism (capped at 8). Results are identical at
           any width.                                               [0]
@@ -174,6 +187,7 @@ struct RunOpts {
     regions: usize,
     fed_router: String,
     wan: String,
+    fleet_events: Option<String>,
     csv: Option<String>,
     trace_out: Option<String>,
     trace_format: TraceFormat,
@@ -199,6 +213,7 @@ impl Default for RunOpts {
             regions: 1,
             fed_router: "static".to_owned(),
             wan: "continental".to_owned(),
+            fleet_events: None,
             csv: None,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
@@ -278,6 +293,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             }
             "--fed-router" => opts.fed_router = value()?,
             "--wan" => opts.wan = value()?,
+            "--fleet-events" => opts.fleet_events = Some(value()?),
             "--csv" => opts.csv = Some(value()?),
             "--trace-out" => opts.trace_out = Some(value()?),
             "--trace-format" => {
@@ -386,6 +402,46 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         profile: opts.profile,
     };
     let rate = resolve_rate(&opts.rate, &config, &mix)?;
+
+    // Fleet elasticity: a path is an explicit event schedule, anything
+    // else must name a preset (resolved against the run's horizon and
+    // topology). Either way every referenced id is validated up front so
+    // a typo exits 2 here instead of panicking mid-simulation.
+    if let Some(src) = &opts.fleet_events {
+        let spec = if std::path::Path::new(src).is_file() {
+            let text = std::fs::read_to_string(src)
+                .map_err(|e| CliError::Runtime(format!("reading {src}: {e}")))?;
+            FleetSpec::parse(&text)
+                .map_err(|e| CliError::Usage(format!("--fleet-events {src}: {e}")))?
+        } else {
+            let preset = FleetPreset::parse(src).map_err(|e| {
+                CliError::Usage(format!(
+                    "--fleet-events '{src}': not a readable file, and {e}"
+                ))
+            })?;
+            preset.spec(
+                opts.count as f64 / rate,
+                opts.regions,
+                opts.shards,
+                opts.instances,
+            )
+        };
+        spec.validate(opts.regions, opts.shards, opts.instances)
+            .map_err(|e| CliError::Usage(format!("--fleet-events: {e}")))?;
+        if !spec.is_empty() {
+            eprintln!(
+                "fleet schedule: {} events, {} standby, autoscaler {}",
+                spec.events.len(),
+                spec.standby.len(),
+                if spec.autoscale.is_some() {
+                    "on"
+                } else {
+                    "off"
+                }
+            );
+        }
+        config.fleet = Some(spec);
+    }
 
     // Predictions only steer PASCAL; under the baselines the predictor is
     // observational (calibration only) and the label stays the plain name.
@@ -503,6 +559,40 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         rows.push(vec![
             "admission spills".to_owned(),
             out.admission.spilled.to_string(),
+        ]);
+    }
+    if config.fleet.as_ref().is_some_and(|f| !f.is_empty()) {
+        rows.push(vec![
+            "fleet transitions".to_owned(),
+            format!(
+                "{} ({} joins, {} fails, {}/{} drains done)",
+                out.fleet.transitions,
+                out.fleet.joins,
+                out.fleet.fails,
+                out.fleet.drains_completed,
+                out.fleet.drains_started
+            ),
+        ]);
+        rows.push(vec![
+            "requests stranded".to_owned(),
+            out.fleet.stranded.to_string(),
+        ]);
+        rows.push(vec![
+            "rebalance moves".to_owned(),
+            out.fleet.rebalanced.to_string(),
+        ]);
+        if out.fleet.drains_completed > 0 {
+            rows.push(vec![
+                "mean drain completion".to_owned(),
+                format!("{:.1}s", out.fleet.mean_drain_completion_s()),
+            ]);
+        }
+        rows.push(vec![
+            "autoscale actions".to_owned(),
+            format!(
+                "{} up / {} down",
+                out.fleet.autoscale_up, out.fleet.autoscale_down
+            ),
         ]);
     }
     if let Some(cal) = out.calibration() {
@@ -1081,6 +1171,19 @@ mod tests {
         }
         for key in ["metro", "regional", "continental", "transoceanic"] {
             assert!(WanLink::parse(key).is_ok(), "{key}");
+        }
+    }
+
+    #[test]
+    fn fleet_events_flag_parses_and_usage_lists_it() {
+        let opts = parse_opts(&strs(&["--fleet-events", "outage"])).expect("valid");
+        assert_eq!(opts.fleet_events.as_deref(), Some("outage"));
+        assert_eq!(parse_opts(&[]).expect("empty").fleet_events, None);
+        // Non-file values must resolve as presets with the list in the error.
+        let err = FleetPreset::parse("meteor").expect_err("unknown preset");
+        assert!(err.contains("valid: outage, flash-crowd, diurnal"), "{err}");
+        for needle in ["--fleet-events", "PATH|outage|flash-crowd|diurnal", "chaos"] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
         }
     }
 

@@ -135,6 +135,51 @@ fn telemetry_flag_errors_exit_two_and_list_values() {
 }
 
 #[test]
+fn fleet_events_errors_exit_two_and_name_the_problem() {
+    // A value that is neither a file nor a preset lists the presets.
+    assert_usage_error(
+        &["run", "--fleet-events", "meteor-strike"],
+        &["valid: outage, flash-crowd, diurnal"],
+    );
+    // A malformed schedule file lists the valid event kinds.
+    let dir = std::env::temp_dir();
+    let bad_kind = dir.join("pascal_cli_bad_kind.fleet");
+    std::fs::write(&bad_kind, "1.0 explode 3\n").expect("write");
+    assert_usage_error(
+        &["run", "--fleet-events", bad_kind.to_str().unwrap()],
+        &[
+            "valid event kinds: join, drain, fail, shard-down, shard-up, \
+             region-down, region-up",
+        ],
+    );
+    // Events referencing ids outside the topology name the bad id.
+    let bad_id = dir.join("pascal_cli_bad_id.fleet");
+    std::fs::write(&bad_id, "1.0 fail 99\n").expect("write");
+    assert_usage_error(
+        &[
+            "run",
+            "--instances",
+            "8",
+            "--fleet-events",
+            bad_id.to_str().unwrap(),
+        ],
+        &["instance 99 does not exist"],
+    );
+    let bad_shard = dir.join("pascal_cli_bad_shard.fleet");
+    std::fs::write(&bad_shard, "1.0 shard-down 5\n").expect("write");
+    assert_usage_error(
+        &[
+            "run",
+            "--shards",
+            "2",
+            "--fleet-events",
+            bad_shard.to_str().unwrap(),
+        ],
+        &["shard 5"],
+    );
+}
+
+#[test]
 fn sweep_flag_errors_exit_two_and_list_values() {
     assert_usage_error(
         &["sweep", "--grid", "everything"],

@@ -76,6 +76,51 @@ fn predictive_controllers_are_deterministic() {
 }
 
 #[test]
+fn chaos_sweep_is_thread_count_invariant() {
+    // Fleet events ride the same calendar queue as everything else, so a
+    // sweep over the chaos grid (outage, flash-crowd and diurnal cells,
+    // with drains, failures, rebalancing and the autoscaler all firing)
+    // must produce the identical report at any worker-pool width.
+    use pascal::core::{SweepGrid, SweepRunner};
+    let mut grid = SweepGrid::preset("chaos").expect("chaos preset exists");
+    grid.count = 60;
+    let serial = SweepRunner::new(1).run_grid(&grid);
+    let parallel = SweepRunner::new(4).run_grid(&grid);
+    assert_eq!(
+        serial, parallel,
+        "chaos sweep diverged across thread counts"
+    );
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "byte-level divergence in the serialized report"
+    );
+    // The fleet actually did something in every cell: either requests
+    // stranded, work rebalanced, or the autoscaler acted.
+    assert!(serial.cells.iter().all(|c| c.spec.fleet.is_some()));
+}
+
+#[test]
+fn empty_fleet_schedule_is_byte_identical_to_static_fleet() {
+    // The zero-cost-when-off invariant, one level up: a fleet spec that
+    // schedules nothing must leave every output byte untouched.
+    let trace = small_trace(17);
+    let config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()));
+    let mut with_empty = config.clone();
+    with_empty.fleet = Some(pascal::core::FleetSpec::default());
+    let a = run_simulation(&trace, &config);
+    let b = run_simulation(&trace, &with_empty);
+    assert_eq!(a.records, b.records, "records diverged");
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.fleet, b.fleet, "fleet counters must both be zero");
+    assert_eq!(
+        format!("{:?}", a.records),
+        format!("{:?}", b.records),
+        "byte-level divergence"
+    );
+}
+
+#[test]
 fn predictive_policies_are_deterministic() {
     // The online predictors carry learned state; identical (trace, config,
     // predictor) inputs must still replay byte-identically — records AND

@@ -159,6 +159,38 @@ fn run_outputs_are_byte_identical_to_fixtures() {
 }
 
 #[test]
+fn empty_fleet_schedule_matches_static_fixtures_byte_for_byte() {
+    // The elasticity layer's zero-cost-when-off contract at the CLI level:
+    // passing `--fleet-events` with a schedule that contains no events must
+    // leave stdout, stderr and the per-request CSV byte-identical to the
+    // committed static-fleet fixtures.
+    let dir = scratch_dir("empty-fleet");
+    let schedule = dir.join("empty.fleet");
+    fs::write(&schedule, "# no events\n").expect("schedule written");
+    let (name, mut args) = run_cases().swap_remove(0);
+    assert_eq!(name, "run_single");
+    args.push("--fleet-events");
+    let schedule = schedule.to_str().expect("utf-8 path").to_owned();
+    args.push(&schedule);
+    let out = Command::new(env!("CARGO_BIN_EXE_pascal-cli"))
+        .args(&args)
+        .current_dir(&dir)
+        .output()
+        .expect("pascal-cli binary runs");
+    assert!(
+        out.status.success(),
+        "empty-fleet run exited {:?}: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_bytes_match("run_single.txt", &out.stdout, "empty fleet schedule");
+    assert_bytes_match("run_single.err", &out.stderr, "empty fleet schedule");
+    let csv = fs::read(dir.join("run_single.csv")).expect("per-request CSV written");
+    assert_bytes_match("run_single.csv", &csv, "empty fleet schedule");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_grid_outputs_are_byte_identical_to_fixtures() {
     // Sweep stdout carries wall-clock timings, so only the written report
     // files are pinned. Without --profile the schema-4 throughput field is
