@@ -9,9 +9,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use pascal_cluster::InstanceStats;
+use pascal_core::bench_support::MonitorSweepFixture;
 use pascal_core::{run_simulation, SimConfig};
 use pascal_model::{DecodeBatch, GpuSpec, LlmSpec, PerfModel};
-use pascal_sched::{PascalConfig, SchedPolicy};
+use pascal_predict::PredictorKind;
+use pascal_sched::{PascalConfig, RouterPolicy, SchedPolicy};
 use pascal_sim::{EventQueue, HeapEventQueue, SimDuration, SimTime};
 use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
 
@@ -208,6 +210,47 @@ fn bench_perf_model() {
     });
 }
 
+/// The incremental stats cache vs the from-scratch member sweep it
+/// replaced, priced on a real 4-shard, 32-instance PASCAL cluster frozen
+/// mid-run (so rows have resident members, live pacer deadlines and
+/// predictor history). Three costs: the all-hit sweep (pure cache-serve),
+/// the advertised steady state (one dirty row per sweep — what a
+/// single-instance event leaves behind), and the full recompute the hot
+/// path paid before the cache existed.
+fn bench_monitor_sweep() {
+    let count = pascal_bench::smoke_count(4_000);
+    let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+        .arrivals(ArrivalProcess::poisson(16.0))
+        .count(count)
+        .seed(42)
+        .build();
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()))
+        .with_shards(4, RouterPolicy::Predictive);
+    config.num_instances = 32;
+    config.predictor = Some(PredictorKind::Quantile);
+    // Freeze a quarter of the way into the event stream: deep enough that
+    // every instance carries members, early enough that nothing drained.
+    let mut fixture = MonitorSweepFixture::new(&trace, &config, count.saturating_mul(8));
+    println!(
+        "monitor sweep fixture: {} resident requests across {} instances",
+        fixture.resident_requests(),
+        fixture.instances()
+    );
+    let mut buf: Vec<InstanceStats> = Vec::new();
+    bench_function("monitor_sweep_cached_32inst", 20, 2_000, || {
+        fixture.sweep_incremental(&mut buf);
+        buf.len()
+    });
+    bench_function("monitor_sweep_one_dirty_32inst", 20, 2_000, || {
+        fixture.sweep_one_dirty(&mut buf);
+        buf.len()
+    });
+    bench_function("monitor_sweep_full_32inst", 20, 2_000, || {
+        fixture.sweep_full(&mut buf);
+        buf.len()
+    });
+}
+
 fn bench_small_simulation() {
     let count = pascal_bench::smoke_count(100);
     let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
@@ -225,6 +268,7 @@ fn main() {
     println!("=== micro_scheduler_overhead — hot-path microbenchmarks ===");
     bench_event_queue();
     bench_queue_ops();
+    bench_monitor_sweep();
     bench_placement();
     bench_perf_model();
     bench_small_simulation();

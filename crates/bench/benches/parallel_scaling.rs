@@ -1,0 +1,99 @@
+//! Intra-run parallel scaling: the stress-preset capacity cell (64 shards,
+//! 128 instances, mixed trace at high load under PASCAL) executed at 1, 2
+//! and 4 intra-run worker threads, reporting wall-clock speedup and
+//! verifying the outputs are identical at every width.
+//!
+//! On a host with at least four cores the bench asserts the 4-thread
+//! speedup reaches 1.8x — the windowed executor's reason to exist. Smaller
+//! hosts print the table and skip the assert (there is nothing to win
+//! without cores), as does any `PASCAL_BENCH_COUNT` below the full-size
+//! floor (tiny traces spend their time in windows too short to amortize a
+//! barrier).
+//!
+//! `PASCAL_BENCH_COUNT` overrides the trace size (the CI smoke step runs a
+//! tiny trace so the wiring cannot rot).
+
+use std::time::Instant;
+
+use pascal_bench::{figure_header, smoke_count};
+use pascal_core::report::render_table;
+use pascal_core::run_simulation;
+use pascal_core::sweep::SweepGrid;
+
+/// Trace sizes below this skip the speedup assert: the run is too short to
+/// amortize window setup, so the ratio is noise, not signal.
+const ASSERT_FLOOR: usize = 20_000;
+
+/// The 4-thread wall-clock speedup the windowed executor must deliver on
+/// the stress cell when the host has the cores for it.
+const MIN_SPEEDUP_AT_4: f64 = 1.8;
+
+fn main() {
+    figure_header(
+        "Intra-run parallel scaling",
+        "stress-preset cell at 1/2/4 intra-run worker threads (byte-identical outputs)",
+    );
+    let grid = SweepGrid::preset("stress").expect("stress preset exists");
+    let mut spec = grid.expand().pop().expect("stress grid has one cell");
+    spec.count = smoke_count(50_000);
+    let trace = spec.trace();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut baseline: Option<(String, f64)> = None;
+    let mut speedup_at_4 = None;
+    for threads in [1usize, 2, 4] {
+        let mut config = spec.config();
+        config.run_threads = threads;
+        let started = Instant::now();
+        let out = run_simulation(&trace, &config);
+        let wall_s = started.elapsed().as_secs_f64();
+        // The full deterministic output, not a summary: any divergence
+        // between thread counts is a correctness bug, caught here byte
+        // by byte.
+        let digest = format!("{out:?}");
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((digest, wall_s));
+                1.0
+            }
+            Some((reference, base_s)) => {
+                assert_eq!(
+                    reference, &digest,
+                    "run_threads={threads} diverged from the sequential output"
+                );
+                base_s / wall_s
+            }
+        };
+        if threads == 4 {
+            speedup_at_4 = Some(speedup);
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{wall_s:.2}"),
+            format!("{:.0}", out.records.len() as f64 / wall_s),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["threads", "wall (s)", "req/s", "speedup"], &rows)
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = speedup_at_4.expect("the 4-thread leg always runs");
+    if cores < 4 {
+        println!("speedup assert skipped: host has {cores} cores (need 4)");
+    } else if spec.count < ASSERT_FLOOR {
+        println!(
+            "speedup assert skipped: {} requests is below the {ASSERT_FLOOR} floor",
+            spec.count
+        );
+    } else {
+        assert!(
+            speedup >= MIN_SPEEDUP_AT_4,
+            "4-thread speedup {speedup:.2}x is below the {MIN_SPEEDUP_AT_4}x floor \
+             on a {cores}-core host"
+        );
+        println!("4-thread speedup {speedup:.2}x (floor {MIN_SPEEDUP_AT_4}x) — ok");
+    }
+}

@@ -111,6 +111,20 @@ impl TokenPacer {
     pub fn is_on_pace(&self, now: SimTime) -> bool {
         self.buffer_balance(now) >= 0
     }
+
+    /// The instant this stream falls behind if no further token arrives:
+    /// `start + generated × TPOT`. For a started stream,
+    /// [`is_on_pace`](TokenPacer::is_on_pace)`(now)` is exactly
+    /// `now < on_pace_until()` — at any `now`, past or future. An
+    /// unstarted stream returns `None`: on pace at every instant. This is
+    /// what lets a cached SLO-health reading carry an exact expiry instead
+    /// of being recomputed per query.
+    #[must_use]
+    pub fn on_pace_until(&self) -> Option<SimTime> {
+        self.stream_start.map(|start| {
+            start + SimDuration::from_nanos(self.generated * self.target_tpot.as_nanos())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +206,28 @@ mod tests {
             fast.on_token(secs(t));
             let at = secs(t + probe);
             prop_assert!(fast.buffer_balance(at) == slow.buffer_balance(at) + 1);
+        }
+
+        /// `on_pace_until` exactly characterizes `is_on_pace` at every
+        /// probe time — the contract the engine's monitor-row cache
+        /// expires against.
+        #[test]
+        fn prop_on_pace_until_matches_is_on_pace(
+            gaps in proptest::collection::vec(0.0f64..0.5, 0..50),
+            probe in 0.0f64..30.0,
+        ) {
+            let mut pacer = pacer_100ms();
+            let mut t = 1.0;
+            for g in &gaps {
+                t += g;
+                pacer.on_token(secs(t));
+            }
+            let at = secs(probe);
+            let expected = match pacer.on_pace_until() {
+                None => true,
+                Some(flip) => at < flip,
+            };
+            prop_assert_eq!(pacer.is_on_pace(at), expected);
         }
     }
 }

@@ -103,6 +103,15 @@ pub struct SimConfig {
     /// `None` (the default) keeps the fleet static for the run's lifetime
     /// and the engine byte-identical to a pre-elasticity build.
     pub fleet: Option<FleetSpec>,
+    /// Worker threads for the windowed parallel executor: `1` (the
+    /// default) runs the exact sequential engine, `0` auto-sizes from the
+    /// host's available parallelism, `N > 1` requests N threads. Always
+    /// capped at the shard count — a one-shard run is sequential no matter
+    /// what. Outputs are byte-identical at every setting: the executor
+    /// advances shards in lockstep windows bounded by the next
+    /// cross-boundary (barrier) event, so this knob only trades wall-clock
+    /// time, never results.
+    pub run_threads: usize,
 }
 
 impl SimConfig {
@@ -133,6 +142,7 @@ impl SimConfig {
             admission: AdmissionMode::Disabled,
             telemetry: TelemetryConfig::default(),
             fleet: None,
+            run_threads: 1,
         }
     }
 
@@ -166,6 +176,29 @@ impl SimConfig {
         self.shards = shards;
         self.router = router;
         self
+    }
+
+    /// The same deployment executed with `run_threads` worker threads (see
+    /// [`SimConfig::run_threads`]; `0` = auto). Byte-identical outputs at
+    /// every value.
+    #[must_use]
+    pub fn with_run_threads(mut self, run_threads: usize) -> Self {
+        self.run_threads = run_threads;
+        self
+    }
+
+    /// Whether phase-transition-capable iterations must be barrier events:
+    /// only when a parallel executor may run (`run_threads != 1`) *and* a
+    /// transition can reach beyond its shard (cross-shard escapes enabled
+    /// and PASCAL migration on). The flag itself never changes outputs —
+    /// barriers only bound the parallel executor's windows — so computing
+    /// it from the *configured* thread count (not the host-resolved one)
+    /// keeps window boundaries machine-independent.
+    #[must_use]
+    pub fn transition_barriers(&self) -> bool {
+        self.run_threads != 1
+            && (self.shards > 1 || self.regions > 1)
+            && matches!(self.policy, SchedPolicy::Pascal(c) if c.migration_enabled)
     }
 
     /// The same deployment federated across `regions` regions behind
@@ -473,6 +506,34 @@ mod tests {
         for level in RateLevel::ALL {
             assert_eq!(RateLevel::parse(level.key()), Ok(level));
         }
+    }
+
+    #[test]
+    fn run_threads_defaults_to_sequential() {
+        let c = SimConfig::characterization(SchedPolicy::Fcfs, KvCapacityMode::Unlimited);
+        assert_eq!(c.run_threads, 1);
+        assert!(!c.transition_barriers());
+        assert_eq!(c.with_run_threads(4).run_threads, 4);
+    }
+
+    #[test]
+    fn transition_barriers_require_parallelism_and_cross_shard_migration() {
+        let pascal = SchedPolicy::pascal(pascal_sched::PascalConfig::default());
+        let sharded =
+            SimConfig::evaluation_cluster(pascal).with_shards(4, RouterPolicy::RoundRobin);
+        // Sequential runs never need barriers on iteration completions.
+        assert!(!sharded.transition_barriers());
+        assert!(sharded.clone().with_run_threads(4).transition_barriers());
+        assert!(sharded.clone().with_run_threads(0).transition_barriers());
+        // One shard, one region: a transition cannot leave its shard.
+        assert!(!SimConfig::evaluation_cluster(pascal)
+            .with_run_threads(4)
+            .transition_barriers());
+        // Non-migrating policies never escape either.
+        assert!(!SimConfig::evaluation_cluster(SchedPolicy::Fcfs)
+            .with_shards(4, RouterPolicy::RoundRobin)
+            .with_run_threads(4)
+            .transition_barriers());
     }
 
     #[test]

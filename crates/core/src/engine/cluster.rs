@@ -483,6 +483,8 @@ impl<'a> Cluster<'a> {
             .try_alloc(needed)
         {
             self.shards[dest].migration_ctl.reserve(id, needed);
+            // The reservation shrank the destination's free-block count.
+            self.shards[dest].mark_stats_dirty(to_local);
         } else if policy.adaptive_migration() {
             self.shards[from].migration_ctl.outcomes.cross_shard_aborted += 1;
             self.shards[from].emit_trace(
@@ -534,7 +536,9 @@ impl<'a> Cluster<'a> {
             sh.migration_ctl.outcomes.bytes_moved += bytes;
             sh.migration_ctl.outcomes.cross_shard_launched += 1;
             sh.migration_ctl.outcomes.cross_shard_bytes_moved += bytes;
-            sh.queue.schedule(
+            // Barrier: landing mutates the *destination* shard, so the
+            // windowed parallel executor must synchronize on it.
+            sh.queue.schedule_barrier(
                 finish,
                 Event::CrossShardDone {
                     req: handle,
@@ -571,6 +575,7 @@ impl<'a> Cluster<'a> {
                 .remove(st.spec.id);
             sh.instances[from_local as usize].dying_blocks -= st.held_gpu_blocks;
             sh.instances[from_local as usize].sched_dirty = true;
+            sh.mark_stats_dirty(from_local);
             st.held_gpu_blocks = 0;
             (st, from_local)
         };
@@ -806,9 +811,8 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Test-only view of the shards (the engine unit tests audit pool
-    /// accounting through it).
-    #[cfg(test)]
+    /// Read-only view of the shards: the engine unit tests audit pool
+    /// accounting through it, and the bench-support fixture sweeps it.
     pub(super) fn shards(&self) -> &[Shard<'a>] {
         &self.cluster.shards
     }
@@ -845,35 +849,21 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Timestamp of the globally next pending event (arrival or shard
-    /// event), if any — the horizon the series sampler fills up to.
-    fn next_event_time(&mut self) -> Option<SimTime> {
-        let arrival = self
-            .arrival_order
-            .get(self.next_arrival)
-            .map(|&idx| self.trace.requests()[idx].arrival);
-        let shard = self.cluster.peek_earliest().map(|(t, _)| t);
-        match (arrival, shard) {
-            (Some(a), Some(s)) => Some(a.min(s)),
-            (a, s) => a.or(s),
-        }
-    }
-
     pub(crate) fn run(mut self) -> SimOutput {
-        if let Some(interval) = self.telemetry.series_interval() {
-            // Sample at k·interval, strictly before the next event: the
-            // engine state is piecewise-constant between events, so a row
-            // at time s reflects every event with timestamp <= s.
-            let mut next_sample = SimTime::ZERO + interval;
-            while let Some(horizon) = self.next_event_time() {
-                while next_sample < horizon {
-                    self.cluster.sample_series(next_sample, None);
-                    next_sample += interval;
-                }
-                self.step();
-            }
+        let interval = self.telemetry.series_interval();
+        let threads =
+            super::parallel::resolve_run_threads(self.config.run_threads, self.config.shards);
+        // Tracing observes the global interleaving of shard-local events,
+        // so traced runs always take the exact sequential path.
+        if threads > 1 && !self.telemetry.trace_enabled() {
+            let lookahead = self
+                .config
+                .transition_barriers()
+                .then(|| super::parallel::min_iteration_duration(&self.cluster.shards[0].perf));
+            let telemetry = self.telemetry.clone();
+            super::parallel::run_windowed(&mut self, threads, interval, lookahead, &telemetry);
         } else {
-            while self.step() {}
+            super::driver::drive(&mut self, interval);
         }
         assert_drained(&self.cluster.shards);
         let config = self.config;
@@ -897,5 +887,59 @@ impl<'a> Engine<'a> {
             admission: out.admission,
         }];
         out
+    }
+}
+
+impl super::driver::EventDriver for Engine<'_> {
+    /// Timestamp of the globally next pending event (arrival or shard
+    /// event), if any.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let shard = self.cluster.peek_earliest().map(|(t, _)| t);
+        match (arrival, shard) {
+            (Some(a), Some(s)) => Some(a.min(s)),
+            (a, s) => a.or(s),
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        Engine::step(self)
+    }
+
+    fn sample(&mut self, at: SimTime) {
+        self.cluster.sample_series(at, None);
+    }
+}
+
+impl super::parallel::WindowedEngine for Engine<'_> {
+    fn next_arrival_time(&self) -> Option<SimTime> {
+        self.arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival)
+    }
+
+    fn earliest_barrier(&mut self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for sh in &mut self.cluster.shards {
+            if let Some(t) = sh.queue.peek_barrier_time() {
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+
+    fn push_shard_ptrs(&mut self, out: &mut Vec<super::parallel::ShardPtr>) {
+        out.clear();
+        out.extend(
+            self.cluster
+                .shards
+                .iter_mut()
+                .map(super::parallel::ShardPtr::new),
+        );
     }
 }

@@ -183,28 +183,6 @@ impl<'a> FederationEngine<'a> {
         }
     }
 
-    /// Timestamp of the globally next pending event (arrival or any
-    /// region's shard event), if any — the horizon the series sampler
-    /// fills up to.
-    fn next_event_time(&mut self) -> Option<SimTime> {
-        let arrival = self
-            .arrival_order
-            .get(self.next_arrival)
-            .map(|&idx| self.trace.requests()[idx].arrival);
-        let mut earliest: Option<SimTime> = None;
-        for region in self.regions.iter_mut() {
-            if let Some((t, _)) = region.cluster.peek_earliest() {
-                if earliest.is_none_or(|best| t < best) {
-                    earliest = Some(t);
-                }
-            }
-        }
-        match (arrival, earliest) {
-            (Some(a), Some(e)) => Some(a.min(e)),
-            (a, e) => a.or(e),
-        }
-    }
-
     /// One aggregate pool snapshot per region — the view the federation
     /// router, the spill ranking and the cross-region escape all consume.
     fn region_pools(&self, now: SimTime) -> Vec<PoolSnapshot> {
@@ -446,6 +424,8 @@ impl<'a> FederationEngine<'a> {
             self.regions[dest_r].cluster.shards[dest_s]
                 .migration_ctl
                 .reserve(id, needed);
+            // The reservation shrank the destination's free-block count.
+            self.regions[dest_r].cluster.shards[dest_s].mark_stats_dirty(to_local);
         } else if policy.adaptive_migration() {
             self.source_outcomes(from_r, from_s).cross_region_aborted += 1;
             self.emit_escape_trace(
@@ -501,7 +481,9 @@ impl<'a> FederationEngine<'a> {
         sh.migration_ctl.outcomes.bytes_moved += bytes;
         sh.migration_ctl.outcomes.cross_region_launched += 1;
         sh.migration_ctl.outcomes.cross_region_bytes_moved += bytes;
-        sh.queue.schedule(
+        // Barrier: landing mutates another region's shard, so the windowed
+        // parallel executor must synchronize on it.
+        sh.queue.schedule_barrier(
             finish,
             Event::CrossRegionDone {
                 req: handle,
@@ -568,6 +550,7 @@ impl<'a> FederationEngine<'a> {
                 .remove(st.spec.id);
             sh.instances[from_local as usize].dying_blocks -= st.held_gpu_blocks;
             sh.instances[from_local as usize].sched_dirty = true;
+            sh.mark_stats_dirty(from_local);
             st.held_gpu_blocks = 0;
             (st, from_local)
         };
@@ -601,27 +584,19 @@ impl<'a> FederationEngine<'a> {
     }
 
     pub(crate) fn run(mut self) -> SimOutput {
-        if let Some(interval) = self.telemetry.series_interval() {
-            // Same convention as the single-region engine: sample at
-            // k·interval, strictly before the next event, so a row at time
-            // s reflects every event with timestamp <= s.
-            let mut next_sample = SimTime::ZERO + interval;
-            while let Some(horizon) = self.next_event_time() {
-                while next_sample < horizon {
-                    for (r, region) in self.regions.iter().enumerate() {
-                        let wan_backlog = self
-                            .wan
-                            .port_busy_until(r)
-                            .saturating_since(next_sample)
-                            .as_secs_f64();
-                        region.cluster.sample_series(next_sample, Some(wan_backlog));
-                    }
-                    next_sample += interval;
-                }
-                self.step();
-            }
+        let interval = self.telemetry.series_interval();
+        let total_shards = self.config.regions * self.config.shards;
+        let threads = super::parallel::resolve_run_threads(self.config.run_threads, total_shards);
+        // Tracing observes the global interleaving of shard-local events,
+        // so traced runs always take the exact sequential path.
+        if threads > 1 && !self.telemetry.trace_enabled() {
+            let lookahead = self.config.transition_barriers().then(|| {
+                super::parallel::min_iteration_duration(&self.regions[0].cluster.shards[0].perf)
+            });
+            let telemetry = self.telemetry.clone();
+            super::parallel::run_windowed(&mut self, threads, interval, lookahead, &telemetry);
         } else {
-            while self.step() {}
+            super::driver::drive(&mut self, interval);
         }
 
         let per_region_instances = self.config.num_instances / self.config.regions;
@@ -665,5 +640,75 @@ impl<'a> FederationEngine<'a> {
         out.region_stats = region_stats;
         out.telemetry = self.telemetry.finish();
         out
+    }
+}
+
+impl super::driver::EventDriver for FederationEngine<'_> {
+    /// Timestamp of the globally next pending event (arrival or any
+    /// region's shard event), if any.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let arrival = self
+            .arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival);
+        let mut earliest: Option<SimTime> = None;
+        for region in self.regions.iter_mut() {
+            if let Some((t, _)) = region.cluster.peek_earliest() {
+                if earliest.is_none_or(|best| t < best) {
+                    earliest = Some(t);
+                }
+            }
+        }
+        match (arrival, earliest) {
+            (Some(a), Some(e)) => Some(a.min(e)),
+            (a, e) => a.or(e),
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        FederationEngine::step(self)
+    }
+
+    fn sample(&mut self, at: SimTime) {
+        for (r, region) in self.regions.iter().enumerate() {
+            let wan_backlog = self
+                .wan
+                .port_busy_until(r)
+                .saturating_since(at)
+                .as_secs_f64();
+            region.cluster.sample_series(at, Some(wan_backlog));
+        }
+    }
+}
+
+impl super::parallel::WindowedEngine for FederationEngine<'_> {
+    fn next_arrival_time(&self) -> Option<SimTime> {
+        self.arrival_order
+            .get(self.next_arrival)
+            .map(|&idx| self.trace.requests()[idx].arrival)
+    }
+
+    fn earliest_barrier(&mut self) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for region in self.regions.iter_mut() {
+            for sh in &mut region.cluster.shards {
+                if let Some(t) = sh.queue.peek_barrier_time() {
+                    if best.is_none_or(|b| t < b) {
+                        best = Some(t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn push_shard_ptrs(&mut self, out: &mut Vec<super::parallel::ShardPtr>) {
+        out.clear();
+        out.extend(
+            self.regions
+                .iter_mut()
+                .flat_map(|region| region.cluster.shards.iter_mut())
+                .map(super::parallel::ShardPtr::new),
+        );
     }
 }

@@ -75,7 +75,10 @@ impl<'a> Shard<'a> {
             self.config.num_instances,
         ) {
             if t.shard == self.id {
-                self.queue.schedule(
+                // Barrier: a transition touches shared placement state
+                // (admission budget, escape outbox), so the windowed
+                // parallel executor must synchronize on it.
+                self.queue.schedule_barrier(
                     t.at,
                     Event::FleetTransition {
                         instance: t.instance,
@@ -106,7 +109,7 @@ impl<'a> Shard<'a> {
                 .max()
                 .unwrap_or(SimTime::ZERO);
             self.queue
-                .schedule(SimTime::ZERO + policy.interval, Event::AutoscaleTick);
+                .schedule_barrier(SimTime::ZERO + policy.interval, Event::AutoscaleTick);
             self.autoscaler = Some(AutoscalerRt {
                 policy,
                 pool: parked.clone(),
@@ -148,6 +151,9 @@ impl<'a> Shard<'a> {
         }
         self.health[i] = to;
         self.fleet.transitions += 1;
+        // Transitions are rare; drop any cached monitor row rather than
+        // reason about its validity across a health boundary.
+        self.mark_stats_dirty(instance);
         let global = Some(self.global_instance(instance));
         match to {
             HealthState::Healthy => {
@@ -360,6 +366,7 @@ impl<'a> Shard<'a> {
                 .members
                 .insert(id, handle);
             self.instances[target as usize].sched_dirty = true;
+            self.mark_stats_dirty(target);
             self.fleet.rebalanced += 1;
             self.emit_trace(
                 now,
@@ -372,6 +379,7 @@ impl<'a> Shard<'a> {
             touched.push(target);
         }
         self.instances[from as usize].sched_dirty = true;
+        self.mark_stats_dirty(from);
         touched.sort_unstable();
         touched.dedup();
         for target in touched {
@@ -389,6 +397,7 @@ impl<'a> Shard<'a> {
         let id = st.spec.id;
         self.instances[i].inst.members.remove(id);
         self.instances[i].sched_dirty = true;
+        self.mark_stats_dirty(st.instance);
         if st.held_gpu_blocks > 0 {
             self.instances[i].inst.gpu.free(st.held_gpu_blocks);
         }
@@ -475,7 +484,7 @@ impl<'a> Shard<'a> {
                         TraceEventKind::AutoscaleUp,
                     );
                     // Capacity arrives only after the provisioning lead.
-                    self.queue.schedule(
+                    self.queue.schedule_barrier(
                         now + policy.lead,
                         Event::FleetTransition {
                             instance: inst,
@@ -510,7 +519,7 @@ impl<'a> Shard<'a> {
         // in flight; stop afterwards so the run terminates.
         if now <= last_arrival || !self.states.is_empty() {
             self.queue
-                .schedule(now + policy.interval, Event::AutoscaleTick);
+                .schedule_barrier(now + policy.interval, Event::AutoscaleTick);
         }
         drained
     }

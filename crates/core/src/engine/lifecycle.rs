@@ -112,6 +112,7 @@ impl Shard<'_> {
             .members
             .insert(id, handle);
         self.instances[target as usize].sched_dirty = true;
+        self.mark_stats_dirty(target);
         let at_instance = Some(self.global_instance(target));
         self.emit_trace(now, at_instance, Some(id), TraceEventKind::Arrival);
         if speculatively_demoted {
@@ -175,6 +176,7 @@ impl Shard<'_> {
         let inst = &mut rt.inst;
         inst.gpu.free(blocks);
         inst.cpu.alloc(cpu_blocks);
+        self.mark_stats_dirty(instance);
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
@@ -202,6 +204,7 @@ impl Shard<'_> {
             (st.spec.id, st.instance, cpu_blocks)
         };
         self.instances[instance as usize].inst.cpu.free(cpu_blocks);
+        self.mark_stats_dirty(instance);
         self.emit_trace(
             now,
             Some(self.global_instance(instance)),
@@ -269,6 +272,10 @@ impl Shard<'_> {
                 && st.spec.answering_tokens > 0;
             (st.spec.id, transitioned, st.is_done(), st.instance)
         };
+        // Every token moves the monitor row: the pacer clock, the
+        // predicted remaining growth, and possibly the quantum/demotion
+        // counts the row reports.
+        self.mark_stats_dirty(at_instance);
         if key_changed || demoted_now {
             self.instances[at_instance as usize].sched_dirty = true;
         }
@@ -280,6 +287,7 @@ impl Shard<'_> {
         if let (Some(threshold), Some(pred)) = (crossed_threshold, &mut self.predictor) {
             let spec = self.states[handle].spec.clone();
             pred.observe_threshold_crossing(&spec, threshold);
+            self.predictor_epoch += 1;
         }
 
         if done {
@@ -307,11 +315,13 @@ impl Shard<'_> {
         if cpu_blocks > 0 {
             self.instances[instance].inst.cpu.free(cpu_blocks);
         }
+        self.mark_stats_dirty(instance as u32);
         // Completion is the online learning signal: the spec carries the
         // actual lengths, now revealed. Completions arrive in deterministic
         // event order, so predictor state stays replayable.
         if let Some(pred) = &mut self.predictor {
             pred.observe(&st.spec);
+            self.predictor_epoch += 1;
         }
         self.emit_trace(
             now,
@@ -340,6 +350,10 @@ impl Shard<'_> {
         if self.health[instance as usize] == crate::fleet::HealthState::Down {
             return;
         }
+        // The pass below may admit, evict, reload or grow residents — all
+        // of which move the instance's pool gauges. One blanket
+        // invalidation beats auditing the five allocation sites it spans.
+        self.mark_stats_dirty(instance);
         let mut scratch = std::mem::take(&mut self.scratch);
         let policy = self.policy;
 
@@ -538,12 +552,13 @@ impl Shard<'_> {
                 let id = self.states[handle].spec.id;
                 self.emit_trace(now, Some(global), Some(id), TraceEventKind::PrefillStart);
             }
+            let barrier = self.transition_barriers && self.batch_may_transition(&scratch.prefill);
             let rt = &mut self.instances[instance as usize];
             std::mem::swap(&mut rt.current_batch, &mut scratch.prefill);
             rt.current_kind = IterationKind::Prefill;
             rt.inst.compute_busy = true;
             self.queue
-                .schedule(now + duration, Event::IterationDone { instance });
+                .schedule_flagged(now + duration, Event::IterationDone { instance }, barrier);
         } else if !scratch.decode.is_empty() {
             let duration = self.perf.decode_step_time(DecodeBatch {
                 num_seqs: scratch.decode.len() as u32,
@@ -553,18 +568,36 @@ impl Shard<'_> {
                 self.stamp_migration_resume(handle, now);
                 self.states[handle].begin_running(now);
             }
+            let barrier = self.transition_barriers && self.batch_may_transition(&scratch.decode);
             let rt = &mut self.instances[instance as usize];
             std::mem::swap(&mut rt.current_batch, &mut scratch.decode);
             rt.current_kind = IterationKind::Decode;
             rt.inst.compute_busy = true;
             self.queue
-                .schedule(now + duration, Event::IterationDone { instance });
+                .schedule_flagged(now + duration, Event::IterationDone { instance }, barrier);
         }
         std::mem::swap(
             &mut self.instances[instance as usize].cands,
             &mut scratch.cands,
         );
         self.scratch = scratch;
+    }
+
+    /// Whether any member of the batch being launched could fire a phase
+    /// transition when this iteration completes — each member gains exactly
+    /// one token, so the question is decidable at launch time (tokens only
+    /// advance at the member's own iteration completions, and the spec
+    /// lengths are immutable). Only consulted when
+    /// [`Shard::transition_barriers`] is set: a transition may then reach
+    /// beyond the shard, so the completion must be a barrier event the
+    /// windowed parallel executor synchronizes on.
+    fn batch_may_transition(&self, batch: &[ReqHandle]) -> bool {
+        batch.iter().any(|&handle| {
+            let st = &self.states[handle];
+            st.phase == Phase::Reasoning
+                && st.tokens_generated + 1 == st.spec.reasoning_tokens
+                && st.spec.answering_tokens > 0
+        })
     }
 
     pub(super) fn start_offload(&mut self, handle: ReqHandle, now: SimTime) {

@@ -113,8 +113,10 @@ impl Shard<'_> {
             )
         };
         // The phase flip (and, for PASCAL, the quanta reset) changed this
-        // request's priority key.
+        // request's priority key — and its monitor row's phase counts,
+        // before the sweep below reads them.
         self.instances[current as usize].sched_dirty = true;
+        self.mark_stats_dirty(current);
         // The remaining-service view at decision time: one predictor query
         // feeds the cost/benefit test and, if the transfer launches, the
         // calibration fields of the migration record.
@@ -277,6 +279,8 @@ impl Shard<'_> {
             .blocks_for_tokens(self.states[handle].tokens_needed_next());
         if self.instances[dest as usize].inst.gpu.try_alloc(needed) {
             self.migration_ctl.reserve(id, needed);
+            // The reservation shrank the destination's free-block count.
+            self.mark_stats_dirty(dest);
         } else if self.policy.adaptive_migration() {
             self.migration_ctl.outcomes.aborted_no_reservation += 1;
             let from = self.states[handle].instance;
@@ -353,6 +357,7 @@ impl Shard<'_> {
         self.instances[from as usize].inst.members.remove(id);
         self.instances[from as usize].dying_blocks -= gpu_blocks;
         self.instances[from as usize].sched_dirty = true;
+        self.mark_stats_dirty(from);
 
         {
             let global = self.global_instance(to);
@@ -384,7 +389,9 @@ impl Shard<'_> {
     pub(super) fn land_migration(&mut self, handle: ReqHandle, instance: u32, now: SimTime) {
         // The request (re)joins `instance`'s candidate set — membership was
         // inserted by the caller, and the location leaves `Migrating` here.
+        // The new member also changes the destination's monitor row.
         self.instances[instance as usize].sched_dirty = true;
+        self.mark_stats_dirty(instance);
         let id = self.states[handle].spec.id;
         let needed = self
             .geometry

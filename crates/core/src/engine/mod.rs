@@ -76,11 +76,15 @@ use crate::config::SimConfig;
 use crate::fleet::HealthState;
 
 mod admission;
+#[doc(hidden)]
+pub mod bench_support;
 mod cluster;
+mod driver;
 mod federation;
 mod fleet_rt;
 mod lifecycle;
 mod migration;
+mod parallel;
 mod stats;
 #[cfg(test)]
 mod tests;
@@ -254,6 +258,12 @@ pub(super) struct Shard<'a> {
     /// — sibling shards in the cluster, or (in a federation) remote
     /// regions even when the shard is its region's only one.
     pub(super) cross_escape_enabled: bool,
+    /// Whether iterations that may fire a phase transition are scheduled
+    /// as *barrier* events ([`SimConfig::transition_barriers`]): true only
+    /// when a parallel executor may run and a transition can escape the
+    /// shard. Never changes outputs — barriers only bound the windowed
+    /// executor's lookahead.
+    pub(super) transition_barriers: bool,
     pub(super) trace: &'a Trace,
     pub(super) config: &'a SimConfig,
     pub(super) policy: SchedPolicy,
@@ -284,6 +294,12 @@ pub(super) struct Shard<'a> {
     /// cluster right after the triggering iteration, before the instance
     /// relaunches.
     pub(super) cross_escape_outbox: Vec<EscapeCandidate>,
+    /// Bumped at every predictor mutation (completion observations,
+    /// threshold crossings). Cached monitor rows embed the epoch their
+    /// predicted-growth fields were computed under, so one predictor
+    /// update invalidates every instance's prediction-dependent row
+    /// without a per-instance sweep.
+    pub(super) predictor_epoch: u64,
     /// Per-instance availability. All-`Healthy` (and never written) without
     /// a fleet spec, so the static-fleet hot path is untouched.
     pub(super) health: Vec<HealthState>,
@@ -316,6 +332,25 @@ pub(super) struct InstanceRt {
     /// offloads, outbound migrations) — maintained incrementally so the
     /// scheduler's budget computation skips a full member sweep.
     pub(super) dying_blocks: u64,
+    /// Incrementally maintained monitor row (`None` = stale). Every
+    /// mutation that can change the row clears the cell through
+    /// [`Shard::mark_stats_dirty`]; the monitor sweep refills it lazily. A
+    /// `Cell` because the refill happens inside the `&self` sweep.
+    pub(super) stats_cache: std::cell::Cell<Option<StatsCacheEntry>>,
+}
+
+/// One cached [`InstanceStats`] row plus the conditions it stays fresh
+/// under: the predictor epoch its predicted-growth field was computed at,
+/// and the earliest instant an answering member's pacer falls off pace
+/// (`None` = no time bound). The row itself is pure instance state except
+/// for `slo_ok`, whose only time dependence is exactly that pacer expiry —
+/// so a cached row is byte-equal to a recomputed one until a mutation
+/// clears it, the predictor learns, or the expiry passes.
+#[derive(Clone, Copy)]
+pub(super) struct StatsCacheEntry {
+    pub(super) stats: InstanceStats,
+    pub(super) epoch: u64,
+    pub(super) valid_until: Option<SimTime>,
 }
 
 /// Reusable buffers for the per-iteration scheduling pass and the monitor
@@ -366,12 +401,14 @@ impl<'a> Shard<'a> {
                 cands: Vec::new(),
                 sched_dirty: true,
                 dying_blocks: 0,
+                stats_cache: std::cell::Cell::new(None),
             })
             .collect();
         let mut shard = Shard {
             id,
             offset: id * instances as u32,
             cross_escape_enabled: config.shards > 1 || config.regions > 1,
+            transition_barriers: config.transition_barriers(),
             trace,
             config,
             policy: config.policy,
@@ -394,6 +431,7 @@ impl<'a> Shard<'a> {
             cross_shard_in: 0,
             cross_region_in: 0,
             cross_escape_outbox: Vec::new(),
+            predictor_epoch: 0,
             health: vec![HealthState::Healthy; instances],
             drain_started: vec![None; instances],
             fleet: FleetOutcomes::default(),
@@ -407,6 +445,17 @@ impl<'a> Shard<'a> {
     /// The global id of a local instance index — what records carry.
     pub(super) fn global_instance(&self, local: u32) -> u32 {
         self.offset + local
+    }
+
+    /// Invalidates `instance`'s cached monitor row. Must be called after
+    /// any mutation that can change the row: membership, pool allocations
+    /// and frees, token emission (pacer, quanta, predicted growth), phase
+    /// flips, demotions, health transitions. Debug builds shadow-compare
+    /// every sweep against a full recompute, so a missed call fails loudly
+    /// across the whole test suite.
+    #[inline]
+    pub(super) fn mark_stats_dirty(&self, instance: u32) {
+        self.instances[instance as usize].stats_cache.set(None);
     }
 
     /// The region this shard belongs to (shard ids are region-major).

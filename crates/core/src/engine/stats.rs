@@ -22,83 +22,162 @@ use super::Shard;
 impl Shard<'_> {
     /// Monitor snapshot of every instance, written into `out` (cleared
     /// first) — the allocation-free form the hot path uses.
+    ///
+    /// Incremental: each instance's row is served from its
+    /// [`StatsCacheEntry`](super::StatsCacheEntry) when still fresh —
+    /// cleared by [`Shard::mark_stats_dirty`] at every mutation, expired
+    /// by predictor updates (epoch) and pacer deadlines (`valid_until`) —
+    /// so a sweep after a single-instance event recomputes one row and
+    /// copies the rest. Debug builds shadow-compare every served row
+    /// against a full recompute.
     pub(super) fn collect_stats_into(&self, now: SimTime, out: &mut Vec<InstanceStats>) {
         out.clear();
-        // Predicted future KV growth feeds predictive Algorithm 1 placement
-        // (PASCAL only), the admission controller's pool projection, and —
-        // in a multi-shard cluster — the predictive router's shard
-        // ranking, which reads the field through `PoolSnapshot` even under
-        // baseline policies. Rank-only predictors estimate nothing and
-        // contribute zero — consumers then degrade gracefully to current
-        // footprints. When no consumer reads the field, skip the
-        // per-member estimates.
-        let wants_predicted_growth = matches!(self.policy, SchedPolicy::Pascal(_))
-            || self.admission_ctl.enabled()
-            || self.autoscaler.is_some()
-            || (self.config.shards > 1
-                && self.config.router == pascal_sched::RouterPolicy::Predictive);
+        let wants_predicted_growth = self.wants_predicted_growth();
         // Only healthy instances report: draining and down instances are
         // invisible to placement, migration targeting, admission projection
         // and the router's pool view. A static fleet is all-healthy, so the
         // filter never removes a row there.
-        let healthy = |i: usize| self.health[i] == crate::fleet::HealthState::Healthy;
-        out.extend(
-            self.instances
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| healthy(i))
-                .map(|(_, rt)| {
-                    let mut slo_ok = true;
-                    let mut reasoning = 0u32;
-                    let mut fresh_answering = 0u32;
-                    for (_, handle) in rt.inst.members.iter() {
-                        let st = &self.states[handle];
-                        match st.phase {
-                            Phase::Reasoning => {
-                                if !st.demoted {
-                                    reasoning += 1;
-                                }
-                            }
-                            Phase::Answering => {
-                                if st.quanta_used == 0 {
-                                    fresh_answering += 1;
-                                }
-                                if !st.pacer.is_on_pace(now) {
-                                    slo_ok = false;
-                                }
-                            }
+        for (i, rt) in self.instances.iter().enumerate() {
+            if self.health[i] != crate::fleet::HealthState::Healthy {
+                continue;
+            }
+            let cached = rt.stats_cache.get().filter(|e| {
+                e.epoch == self.predictor_epoch && e.valid_until.is_none_or(|v| now < v)
+            });
+            let stats = match cached {
+                Some(entry) => entry.stats,
+                None => {
+                    let entry = self.compute_instance_stats(rt, now, wants_predicted_growth);
+                    rt.stats_cache.set(Some(entry));
+                    entry.stats
+                }
+            };
+            #[cfg(debug_assertions)]
+            {
+                let fresh = self.compute_instance_stats(rt, now, wants_predicted_growth);
+                assert_eq!(
+                    stats, fresh.stats,
+                    "stale monitor-row cache on instance {i}: a mutation site \
+                     is missing a mark_stats_dirty call"
+                );
+            }
+            out.push(stats);
+        }
+    }
+
+    /// Whether any consumer reads `predicted_future_kv_bytes` this run:
+    /// predicted growth feeds predictive Algorithm 1 placement (PASCAL
+    /// only), the admission controller's pool projection, the autoscaler's
+    /// demand estimate, and — in a multi-shard cluster — the predictive
+    /// router's shard ranking, which reads the field through
+    /// `PoolSnapshot` even under baseline policies. Rank-only predictors
+    /// estimate nothing and contribute zero — consumers then degrade
+    /// gracefully to current footprints. When no consumer reads the
+    /// field, the sweep skips the per-member estimates.
+    fn wants_predicted_growth(&self) -> bool {
+        matches!(self.policy, SchedPolicy::Pascal(_))
+            || self.admission_ctl.enabled()
+            || self.autoscaler.is_some()
+            || (self.config.shards > 1
+                && self.config.router == pascal_sched::RouterPolicy::Predictive)
+    }
+
+    /// Computes one instance's monitor row from scratch, together with its
+    /// cache-validity bounds — the full member sweep the cache exists to
+    /// avoid. Also the reference implementation the debug shadow-compare
+    /// and the snapshot microbench measure against.
+    pub(super) fn compute_instance_stats(
+        &self,
+        rt: &super::InstanceRt,
+        now: SimTime,
+        wants_predicted_growth: bool,
+    ) -> super::StatsCacheEntry {
+        let mut slo_ok = true;
+        let mut valid_until: Option<SimTime> = None;
+        let mut reasoning = 0u32;
+        let mut fresh_answering = 0u32;
+        for (_, handle) in rt.inst.members.iter() {
+            let st = &self.states[handle];
+            match st.phase {
+                Phase::Reasoning => {
+                    if !st.demoted {
+                        reasoning += 1;
+                    }
+                }
+                Phase::Answering => {
+                    if st.quanta_used == 0 {
+                        fresh_answering += 1;
+                    }
+                    // `on_pace_until` fully characterizes the pacer: on
+                    // pace exactly while `now` is below it (never, for an
+                    // unstarted stream). The earliest member deadline is
+                    // when this row's `slo_ok` would flip with no further
+                    // event — the cache's time bound.
+                    match st.pacer.on_pace_until() {
+                        None => {}
+                        Some(flip) if now < flip => {
+                            valid_until = Some(valid_until.map_or(flip, |v| v.min(flip)));
                         }
+                        Some(_) => slo_ok = false,
                     }
-                    let predicted_future_kv_bytes = if wants_predicted_growth {
-                        self.predictor.as_ref().map_or(0, |pred| {
-                            rt.inst
-                                .members
-                                .iter()
-                                .map(|(_, handle)| {
-                                    let st = &self.states[handle];
-                                    let Some(remaining) = pred
-                                        .predicted_remaining_tokens(&st.spec, st.tokens_generated)
-                                    else {
-                                        return 0;
-                                    };
-                                    self.geometry.bytes_for_tokens(remaining.round() as u64)
-                                })
-                                .sum()
-                        })
-                    } else {
-                        0
-                    };
-                    InstanceStats {
-                        instance: rt.inst.id,
-                        slo_ok,
-                        kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
-                        reasoning_count: reasoning,
-                        fresh_answering_count: fresh_answering,
-                        gpu_free_blocks: rt.inst.gpu.free_blocks(),
-                        predicted_future_kv_bytes,
-                    }
-                }),
-        );
+                }
+            }
+        }
+        // An off-pace row cannot heal with time alone (expected tokens
+        // only grow): it stays valid until a mutation clears the cell.
+        if !slo_ok {
+            valid_until = None;
+        }
+        let predicted_future_kv_bytes = if wants_predicted_growth {
+            self.predictor.as_ref().map_or(0, |pred| {
+                rt.inst
+                    .members
+                    .iter()
+                    .map(|(_, handle)| {
+                        let st = &self.states[handle];
+                        let Some(remaining) =
+                            pred.predicted_remaining_tokens(&st.spec, st.tokens_generated)
+                        else {
+                            return 0;
+                        };
+                        self.geometry.bytes_for_tokens(remaining.round() as u64)
+                    })
+                    .sum()
+            })
+        } else {
+            0
+        };
+        super::StatsCacheEntry {
+            stats: InstanceStats {
+                instance: rt.inst.id,
+                slo_ok,
+                kv_footprint_bytes: rt.inst.kv_footprint_bytes(),
+                reasoning_count: reasoning,
+                fresh_answering_count: fresh_answering,
+                gpu_free_blocks: rt.inst.gpu.free_blocks(),
+                predicted_future_kv_bytes,
+            },
+            epoch: self.predictor_epoch,
+            valid_until,
+        }
+    }
+
+    /// The from-scratch form of [`Shard::collect_stats_into`]: every
+    /// healthy row recomputed from its members, no cache reads or writes.
+    /// Only the bench support calls it — the baseline the incremental
+    /// sweep is priced against.
+    pub(super) fn collect_stats_full_into(&self, now: SimTime, out: &mut Vec<InstanceStats>) {
+        out.clear();
+        let wants_predicted_growth = self.wants_predicted_growth();
+        for (i, rt) in self.instances.iter().enumerate() {
+            if self.health[i] != crate::fleet::HealthState::Healthy {
+                continue;
+            }
+            out.push(
+                self.compute_instance_stats(rt, now, wants_predicted_growth)
+                    .stats,
+            );
+        }
     }
 
     /// Monitor snapshot of every instance, as an owned vector.

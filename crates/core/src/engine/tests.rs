@@ -923,3 +923,134 @@ mod federation {
         }
     }
 }
+
+mod windowed {
+    use super::*;
+    use crate::fleet::FleetPreset;
+    use pascal_federation::FederationPolicy;
+    use pascal_sched::{PolicyKind, RouterPolicy};
+    use pascal_workload::{ArrivalProcess, DatasetMix, DatasetProfile, TraceBuilder};
+
+    fn windowed_trace(count: usize, rate: f64, seed: u64, regions: usize) -> Trace {
+        TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+            .arrivals(ArrivalProcess::poisson(rate))
+            .count(count)
+            .seed(seed)
+            .regions(regions)
+            .build()
+    }
+
+    /// Runs `config` sequentially and at several thread counts (including
+    /// the auto setting, whose resolution is host-dependent) and demands
+    /// the full `SimOutput` — records, counters, stats, everything Debug
+    /// reaches — comes back identical.
+    fn assert_thread_count_invariant(trace: &Trace, config: &SimConfig, label: &str) {
+        let reference = format!(
+            "{:?}",
+            run_simulation(trace, &config.clone().with_run_threads(1))
+        );
+        for threads in [2usize, 3, 4, 0] {
+            let out = format!(
+                "{:?}",
+                run_simulation(trace, &config.clone().with_run_threads(threads))
+            );
+            assert_eq!(out, reference, "{label}: run_threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_cluster_is_thread_count_invariant() {
+        let trace = windowed_trace(100, 10.0, 11, 1);
+        for kind in [PolicyKind::Fcfs, PolicyKind::Pascal] {
+            let config = SimConfig::evaluation_cluster(kind.build())
+                .with_shards(4, RouterPolicy::Predictive);
+            assert_thread_count_invariant(&trace, &config, &format!("{kind}"));
+        }
+    }
+
+    /// Memory-tight shards force cross-shard escapes, so transition
+    /// barriers and the lookahead bound are actually load-bearing here.
+    #[test]
+    fn saturated_cluster_with_escapes_is_thread_count_invariant() {
+        let trace = windowed_trace(150, 14.0, 5, 1);
+        let mut config = SimConfig::evaluation_cluster(PolicyKind::Pascal.build())
+            .with_shards(2, RouterPolicy::RoundRobin);
+        config.num_instances = 4;
+        config.kv_capacity = KvCapacityMode::FractionOfPhysical(0.2);
+        assert!(config.transition_barriers() || config.run_threads == 1);
+        assert_thread_count_invariant(&trace, &config.clone().with_run_threads(2), "saturated");
+    }
+
+    #[test]
+    fn federation_is_thread_count_invariant() {
+        let trace = windowed_trace(120, 12.0, 7, 2);
+        let mut config = SimConfig::evaluation_cluster(PolicyKind::Pascal.build())
+            .with_shards(2, RouterPolicy::Predictive)
+            .with_regions(2, FederationPolicy::Predictive);
+        config.kv_capacity = KvCapacityMode::FractionOfPhysical(0.3);
+        assert_thread_count_invariant(&trace, &config, "federation");
+    }
+
+    /// Fleet chaos on top: outages, drain-and-migrate and the autoscaler
+    /// all schedule barrier events; the windowed run must replay them in
+    /// the exact sequential order.
+    #[test]
+    fn fleet_chaos_is_thread_count_invariant() {
+        let trace = windowed_trace(120, 12.0, 13, 1);
+        let horizon = trace
+            .requests()
+            .last()
+            .map(|r| r.arrival.as_secs_f64())
+            .unwrap_or(0.0);
+        for preset in [FleetPreset::Outage, FleetPreset::FlashCrowd] {
+            let mut config = SimConfig::evaluation_cluster(PolicyKind::Pascal.build())
+                .with_shards(4, RouterPolicy::Predictive);
+            config.fleet = Some(preset.spec(horizon, 1, 4, config.num_instances));
+            assert_thread_count_invariant(&trace, &config, preset.key());
+        }
+    }
+
+    proptest::proptest! {
+        // Each case runs three full simulations, so keep the case count
+        // deliberate rather than the library default.
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+        /// Windowed parallel execution is unobservable in the output: over
+        /// random small traces, topologies, memory pressure and policies,
+        /// every thread count reproduces the sequential `SimOutput` —
+        /// records, counters, stats, everything `Debug` reaches.
+        #[test]
+        fn prop_windowed_execution_matches_sequential(
+            count in 20usize..80,
+            rate in 4.0f64..16.0,
+            seed in 0u64..1_000_000,
+            shards_idx in 0usize..3,
+            regions in 1usize..3,
+            pascal in proptest::any::<bool>(),
+            tight in proptest::any::<bool>(),
+        ) {
+            let shards = [1usize, 2, 4][shards_idx];
+            let trace = windowed_trace(count, rate, seed, regions);
+            let kind = if pascal { PolicyKind::Pascal } else { PolicyKind::Fcfs };
+            let mut config = SimConfig::evaluation_cluster(kind.build())
+                .with_shards(shards, RouterPolicy::Predictive);
+            if regions > 1 {
+                config = config.with_regions(regions, FederationPolicy::Predictive);
+            }
+            if tight {
+                config.kv_capacity = KvCapacityMode::FractionOfPhysical(0.25);
+            }
+            let reference = format!(
+                "{:?}",
+                run_simulation(&trace, &config.clone().with_run_threads(1))
+            );
+            for threads in [2usize, 4] {
+                let out = format!(
+                    "{:?}",
+                    run_simulation(&trace, &config.clone().with_run_threads(threads))
+                );
+                proptest::prop_assert_eq!(&out, &reference);
+            }
+        }
+    }
+}

@@ -23,11 +23,13 @@ use pascal_federation::FederationPolicy;
 use pascal_metrics::{LatencySummary, SweepCellMetrics};
 use pascal_predict::PredictorKind;
 use pascal_sched::PolicyKind;
+use pascal_sim::SimDuration;
 use pascal_workload::MixPreset;
 
 use crate::config::RateLevel;
+use crate::engine::run_simulation;
 use crate::fleet::FleetPreset;
-use crate::sweep::{ScenarioSpec, SweepCell, SweepRunner};
+use crate::sweep::{default_threads, parallel_map, ScenarioSpec, SweepCell, SweepRunner};
 
 /// One row of the outage comparison.
 #[derive(Clone, Debug)]
@@ -119,6 +121,111 @@ pub fn run(params: ElasticityParams) -> Vec<ElasticityRow> {
     })
 }
 
+/// One row of the scale-up lead-time sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeadTimeRow {
+    /// Provisioning lead time: how long a scale-up takes to deliver
+    /// capacity after the autoscaler decides ([`AutoscalePolicy::lead`]
+    /// (crate::fleet::AutoscalePolicy::lead)).
+    pub lead_s: f64,
+    /// The cell's aggregate metrics (over completed requests).
+    pub metrics: SweepCellMetrics,
+    /// Scale-up decisions the autoscaler made.
+    pub autoscale_up: u64,
+    /// Scale-down drains the autoscaler started.
+    pub autoscale_down: u64,
+}
+
+/// Lead-time sweep parameters.
+#[derive(Clone, Debug)]
+pub struct LeadTimeParams {
+    /// Requests per trace (shared across every row — the sweep is paired).
+    pub count: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Worker threads (0 = default pool width).
+    pub threads: usize,
+    /// Lead times to sweep, as fractions of the run's arrival horizon
+    /// (`count / rate`), so the axis scales with any `count` override.
+    pub lead_fractions: Vec<f64>,
+}
+
+impl Default for LeadTimeParams {
+    fn default() -> Self {
+        LeadTimeParams {
+            count: 1500,
+            seed: 2026,
+            threads: 0,
+            lead_fractions: vec![0.0, 0.05, 0.10, 0.20, 0.40],
+        }
+    }
+}
+
+/// Sweeps the autoscaler's provisioning lead time on the flash-crowd
+/// preset: the identical bursty trace against the identical scaler
+/// thresholds, varying only how long a scale-up takes to deliver capacity.
+/// The question the sweep answers is the elasticity follow-up to Fig. 11:
+/// how fast must provisioning be before reactive scaling stops costing
+/// SLO violations during a burst?
+///
+/// # Panics
+///
+/// Panics if `lead_fractions` is empty or contains a negative or
+/// non-finite fraction.
+#[must_use]
+pub fn run_lead_time_sweep(params: &LeadTimeParams) -> Vec<LeadTimeRow> {
+    assert!(
+        !params.lead_fractions.is_empty(),
+        "lead-time sweep needs at least one fraction"
+    );
+    assert!(
+        params
+            .lead_fractions
+            .iter()
+            .all(|f| f.is_finite() && *f >= 0.0),
+        "lead fractions must be non-negative finite numbers"
+    );
+    let spec = ScenarioSpec::new(
+        MixPreset::Mixed,
+        RateLevel::High,
+        PolicyKind::Pascal,
+        params.count,
+        params.seed,
+    )
+    .with_predictor(PredictorKind::Quantile)
+    .with_fleet(FleetPreset::FlashCrowd);
+    let horizon_s = spec.count as f64 / spec.rate_rps();
+    // One trace for every row: the burst is identical, so the lead time is
+    // the only thing that varies between rows.
+    let trace = spec.trace();
+    let leads: Vec<f64> = params
+        .lead_fractions
+        .iter()
+        .map(|f| f * horizon_s)
+        .collect();
+    let threads = if params.threads == 0 {
+        default_threads()
+    } else {
+        params.threads
+    };
+    parallel_map(leads.len(), threads, |i| {
+        let mut config = spec.config();
+        config
+            .fleet
+            .as_mut()
+            .and_then(|f| f.autoscale.as_mut())
+            .expect("the flash-crowd preset always arms the autoscaler")
+            .lead = SimDuration::from_secs_f64(leads[i]);
+        let out = run_simulation(&trace, &config);
+        LeadTimeRow {
+            lead_s: leads[i],
+            autoscale_up: out.fleet.autoscale_up,
+            autoscale_down: out.fleet.autoscale_down,
+            metrics: SweepCell::from_output(spec, spec.rate_rps(), &out).metrics,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +277,63 @@ mod tests {
         assert!(
             pr_p99 < st_p99,
             "predictive must hold a better worst-region p99: {pr_p99:.2}s vs {st_p99:.2}s"
+        );
+    }
+
+    #[test]
+    fn lead_time_sweep_is_deterministic_and_conserves_requests() {
+        let params = LeadTimeParams {
+            count: 300,
+            seed: 7,
+            threads: 2,
+            lead_fractions: vec![0.0, 0.2],
+        };
+        let rows = run_lead_time_sweep(&params);
+        assert_eq!(
+            rows,
+            run_lead_time_sweep(&params),
+            "paired sweep must be deterministic"
+        );
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(
+                row.metrics.requests as u64 + row.metrics.requests_stranded,
+                300,
+                "lead {:.1}s must conserve requests",
+                row.lead_s
+            );
+        }
+    }
+
+    #[test]
+    fn slower_provisioning_pays_a_worse_tail() {
+        // The axis's reason to exist: with the identical burst and
+        // thresholds, capacity that arrives 40% of the horizon late must
+        // pay a worse tail TTFT than capacity that arrives instantly —
+        // the burst queues for the whole provisioning window. (SLO
+        // violation rate is deliberately not asserted monotone: a shorter
+        // lead also quickens scale-down oscillation, which can offset it
+        // at mid-range leads.)
+        let rows = run_lead_time_sweep(&LeadTimeParams::default());
+        assert!(
+            rows.iter().all(|r| r.autoscale_up > 0),
+            "the flash crowd must trigger scale-ups at every lead time"
+        );
+        let instant = rows.first().expect("instant-lead row");
+        let slowest = rows.last().expect("slowest-lead row");
+        assert!(instant.lead_s < slowest.lead_s);
+        let instant_p99 = instant
+            .metrics
+            .ttft_p99_s
+            .expect("instant row completed requests");
+        let slowest_p99 = slowest
+            .metrics
+            .ttft_p99_s
+            .expect("slowest row completed requests");
+        assert!(
+            instant_p99 < slowest_p99,
+            "instant capacity must hold a better p99 TTFT than late capacity: \
+             {instant_p99:.2}s vs {slowest_p99:.2}s"
         );
     }
 }

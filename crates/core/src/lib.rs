@@ -55,7 +55,11 @@
 //! assert!(out.records.iter().all(|r| r.ttft().is_some()));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the windowed parallel executor
+// (`engine::parallel`) carries the crate's one audited `allow(unsafe_code)`
+// for handing disjoint `&mut Shard` borrows to its worker pool. Everything
+// else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
@@ -66,6 +70,8 @@ pub mod report;
 pub mod sweep;
 
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
+#[doc(hidden)]
+pub use engine::bench_support;
 pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
 pub use fleet::{FleetPreset, FleetSpec};
 pub use pascal_federation::{FederationPolicy, WanLink};

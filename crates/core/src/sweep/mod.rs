@@ -402,6 +402,12 @@ pub struct SweepRunner {
     /// not on [`ScenarioSpec`] — because profiling is host-dependent and
     /// must never leak into a cell's identity or serialized report.
     profile: bool,
+    /// Intra-run worker threads for every cell's event loop (see
+    /// [`SimConfig::run_threads`]). Lives on the runner — not on
+    /// [`ScenarioSpec`] — because outputs are byte-identical at any
+    /// thread count, so it must never change a cell's identity, label or
+    /// serialized form.
+    run_threads: usize,
 }
 
 impl SweepRunner {
@@ -416,6 +422,7 @@ impl SweepRunner {
                 threads
             },
             profile: false,
+            run_threads: 1,
         }
     }
 
@@ -431,10 +438,29 @@ impl SweepRunner {
         self
     }
 
+    /// The same runner with `run_threads` intra-run worker threads per
+    /// cell (`0` = auto, `1` = the sequential engine). Cells are
+    /// byte-identical at any value; this only trades cell-level for
+    /// intra-run parallelism — useful when a sweep has fewer cells than
+    /// cores (the stress grid) or a single huge cell dominates.
+    #[must_use]
+    pub fn with_run_threads(mut self, run_threads: usize) -> Self {
+        self.run_threads = run_threads;
+        self
+    }
+
     /// The pool width this runner uses.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Runs one spec under this runner's intra-run thread setting.
+    fn run_spec(&self, spec: &ScenarioSpec, telemetry: TelemetryConfig) -> SimOutput {
+        let mut config = spec.config();
+        config.telemetry = telemetry;
+        config.run_threads = self.run_threads;
+        run_simulation(&spec.trace(), &config)
     }
 
     /// Runs every spec and maps its output, returning results in spec
@@ -448,7 +474,7 @@ impl SweepRunner {
     {
         parallel_map(specs.len(), self.threads, |i| {
             let spec = &specs[i];
-            f(spec, spec.run())
+            f(spec, self.run_spec(spec, TelemetryConfig::default()))
         })
     }
 
@@ -502,7 +528,7 @@ impl SweepRunner {
         let results: Vec<(SweepCell, Option<ProfileReport>)> =
             parallel_map(specs.len(), self.threads, |i| {
                 let spec = &specs[i];
-                let mut out = spec.run_with_telemetry(telemetry);
+                let mut out = self.run_spec(spec, telemetry);
                 let profile = out.telemetry.take().and_then(|t| t.profile);
                 (
                     SweepCell::from_output(*spec, spec.rate_rps(), &out),
@@ -623,5 +649,29 @@ mod tests {
         assert_eq!(one, four);
         assert_eq!(one.len(), 3);
         assert!(one.iter().all(|c| c.metrics.requests == 40));
+    }
+
+    #[test]
+    fn intra_run_threads_never_change_sweep_results() {
+        // A sharded cell so the windowed executor actually engages.
+        let mut spec = ScenarioSpec::new(
+            MixPreset::Alpaca,
+            RateLevel::High,
+            PolicyKind::Pascal,
+            60,
+            11,
+        )
+        .with_shards(2, RouterPolicy::Predictive);
+        spec.instances = 4;
+        let specs = [spec];
+        let sequential = SweepRunner::new(1).run_map(&specs, |spec, out| {
+            SweepCell::from_output(*spec, spec.rate_rps(), &out)
+        });
+        let windowed = SweepRunner::new(1)
+            .with_run_threads(2)
+            .run_map(&specs, |spec, out| {
+                SweepCell::from_output(*spec, spec.rate_rps(), &out)
+            });
+        assert_eq!(sequential, windowed);
     }
 }

@@ -52,6 +52,23 @@
 //! tombstones outnumber live events — so memory tracks the live population,
 //! not the cancellation history.
 
+//! # Barrier events
+//!
+//! A scheduled event may be flagged as a **barrier**
+//! ([`EventQueue::schedule_barrier`]): an event whose handling can reach
+//! beyond its own scheduling domain (in the engine: cross-shard or
+//! cross-region landings, fleet transitions, autoscaler ticks, and batch
+//! completions that may fire a phase transition). Barriers pop exactly
+//! like ordinary events; additionally the queue maintains a secondary
+//! min-heap over them so a windowed parallel executor can ask, in O(1),
+//! for the earliest pending barrier ([`EventQueue::peek_barrier_time`]) —
+//! the lookahead bound below which every pending event is safe to drain
+//! without global coordination. Cancelled barriers are removed lazily
+//! (a dead-set consulted when they surface at the heap top).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
 use crate::time::SimTime;
 
 pub mod reference;
@@ -84,6 +101,9 @@ struct Entry<E> {
     time: SimTime,
     seq: u64,
     slot: u32,
+    /// Whether this event is a barrier (see the module docs): tracked in
+    /// the secondary barrier heap for `peek_barrier_time`.
+    barrier: bool,
     payload: E,
 }
 
@@ -106,6 +126,10 @@ enum SlotState {
 struct Slot {
     generation: u32,
     state: SlotState,
+    /// The occupant's sequence number and barrier flag — needed at
+    /// cancellation time to mark the barrier-heap entry dead.
+    seq: u64,
+    barrier: bool,
 }
 
 /// Initial day width: `2^20` ns ≈ 1 ms.
@@ -150,6 +174,11 @@ pub struct EventQueue<E> {
     tombstones: usize,
     /// Pending (scheduled, not fired, not cancelled) events.
     live: usize,
+    /// Secondary min-heap over pending barrier events, by `(time, seq)`.
+    barriers: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Sequence numbers of cancelled barriers still in `barriers`,
+    /// skimmed lazily when they surface at the heap top.
+    dead_barriers: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
 }
@@ -182,6 +211,8 @@ impl<E> EventQueue<E> {
             free_slots: Vec::new(),
             tombstones: 0,
             live: 0,
+            barriers: BinaryHeap::new(),
+            dead_barriers: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -198,16 +229,20 @@ impl<E> EventQueue<E> {
         1u64 << self.shift
     }
 
-    fn alloc_slot(&mut self) -> (u32, u32) {
+    fn alloc_slot(&mut self, seq: u64, barrier: bool) -> (u32, u32) {
         if let Some(slot) = self.free_slots.pop() {
             let s = &mut self.slots[slot as usize];
             s.state = SlotState::Live;
+            s.seq = seq;
+            s.barrier = barrier;
             (slot, s.generation)
         } else {
             let slot = self.slots.len() as u32;
             self.slots.push(Slot {
                 generation: 0,
                 state: SlotState::Live,
+                seq,
+                barrier,
             });
             (slot, 0)
         }
@@ -235,19 +270,41 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `time` is earlier than [`Self::now`].
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        self.schedule_impl(time, payload, false)
+    }
+
+    /// Schedules `payload` as a **barrier** event (see the module docs):
+    /// identical pop behaviour, but additionally tracked so
+    /// [`Self::peek_barrier_time`] can report the earliest pending barrier
+    /// in O(1).
+    pub fn schedule_barrier(&mut self, time: SimTime, payload: E) -> EventId {
+        self.schedule_impl(time, payload, true)
+    }
+
+    /// Schedules `payload`, flagged as a barrier when `barrier` is true —
+    /// for call sites that decide the classification dynamically.
+    pub fn schedule_flagged(&mut self, time: SimTime, payload: E, barrier: bool) -> EventId {
+        self.schedule_impl(time, payload, barrier)
+    }
+
+    fn schedule_impl(&mut self, time: SimTime, payload: E, barrier: bool) -> EventId {
         assert!(
             time >= self.now,
             "cannot schedule an event at {time:?} before current time {:?}",
             self.now
         );
-        let (slot, generation) = self.alloc_slot();
         let seq = self.next_seq;
         self.next_seq += 1;
+        let (slot, generation) = self.alloc_slot(seq, barrier);
         self.live += 1;
+        if barrier {
+            self.barriers.push(Reverse((time, seq)));
+        }
         let entry = Entry {
             time,
             seq,
             slot,
+            barrier,
             payload,
         };
         let t = time.as_nanos();
@@ -297,6 +354,9 @@ impl<E> EventQueue<E> {
         match self.slots.get_mut(slot) {
             Some(s) if s.generation == id.generation() && s.state == SlotState::Live => {
                 s.state = SlotState::Cancelled;
+                if s.barrier {
+                    self.dead_barriers.insert(s.seq);
+                }
                 self.live -= 1;
                 self.tombstones += 1;
                 if self.tombstones > self.live + COMPACT_SLACK {
@@ -466,6 +526,14 @@ impl<E> EventQueue<E> {
         let entry = self.ready.pop().expect("refill_ready guarantees an entry");
         self.reap_slot(entry.slot);
         self.live -= 1;
+        if entry.barrier {
+            // Pops follow the global (time, seq) order, so a popping
+            // barrier is the minimum pending barrier: it sits at the heap
+            // top once cancelled predecessors are skimmed away.
+            self.skim_dead_barriers();
+            let top = self.barriers.pop();
+            debug_assert_eq!(top, Some(Reverse((entry.time, entry.seq))));
+        }
         debug_assert!(entry.time >= self.now, "event queue went back in time");
         self.now = entry.time;
         Some((entry.time, entry.payload))
@@ -479,6 +547,34 @@ impl<E> EventQueue<E> {
             return None;
         }
         self.ready.last().map(|e| e.time)
+    }
+
+    /// Whether the next pending event (the one [`Self::pop`] would return)
+    /// is a barrier.
+    pub fn peek_is_barrier(&mut self) -> bool {
+        if !self.refill_ready() {
+            return false;
+        }
+        self.ready.last().is_some_and(|e| e.barrier)
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) barrier
+    /// event, if any. O(1) amortized: reads the barrier heap top after
+    /// lazily discarding cancelled entries.
+    pub fn peek_barrier_time(&mut self) -> Option<SimTime> {
+        self.skim_dead_barriers();
+        self.barriers.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// Discards cancelled barriers sitting at the barrier-heap top.
+    fn skim_dead_barriers(&mut self) {
+        while let Some(&Reverse((_, seq))) = self.barriers.peek() {
+            if self.dead_barriers.remove(&seq) {
+                self.barriers.pop();
+            } else {
+                return;
+            }
+        }
     }
 
     /// Number of pending events; cancelled entries are not counted.
@@ -657,6 +753,25 @@ mod tests {
     }
 
     #[test]
+    fn barrier_peek_tracks_schedules_pops_and_cancels() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_barrier_time(), None);
+        q.schedule(SimTime::from_nanos(1), "safe");
+        let b5 = q.schedule_barrier(SimTime::from_nanos(5), "barrier-5");
+        q.schedule_barrier(SimTime::from_nanos(9), "barrier-9");
+        assert_eq!(q.peek_barrier_time(), Some(SimTime::from_nanos(5)));
+        assert!(!q.peek_is_barrier(), "next event is the safe one");
+        // Cancelling the earlier barrier exposes the later one.
+        assert!(q.cancel(b5));
+        assert_eq!(q.peek_barrier_time(), Some(SimTime::from_nanos(9)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("safe"));
+        assert!(q.peek_is_barrier());
+        assert_eq!(q.pop().map(|(_, e)| e), Some("barrier-9"));
+        assert_eq!(q.peek_barrier_time(), None);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
     fn spread_far_beyond_initial_calendar_pops_in_order() {
         // Times spanning tens of seconds force calendar re-sizing (the
         // initial year covers ~16 ms); order must still hold exactly.
@@ -739,8 +854,12 @@ mod tests {
                 match opcode {
                     0..=49 => {
                         let t = cal.now() + crate::time::SimDuration::from_nanos(operand);
-                        let a = cal.schedule(t, n);
-                        let b = heap.schedule(t, n);
+                        // Roughly a third of schedules are barriers, so the
+                        // barrier heap sees interleaved pops, cancels and
+                        // lazy skims too.
+                        let barrier = operand % 3 == 0;
+                        let a = cal.schedule_flagged(t, n, barrier);
+                        let b = heap.schedule_flagged(t, n, barrier);
                         ids.push((a, b));
                     }
                     50..=69 => {
@@ -755,8 +874,10 @@ mod tests {
                     }
                     _ => {
                         prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                        prop_assert_eq!(cal.peek_is_barrier(), heap.peek_is_barrier());
                     }
                 }
+                prop_assert_eq!(cal.peek_barrier_time(), heap.peek_barrier_time());
                 prop_assert_eq!(cal.len(), heap.len());
             }
             // Drain both to the end: full pop orders must coincide.

@@ -3,12 +3,17 @@
 //! Every shard holds a clone of one [`TelemetryHandle`]; all clones share
 //! the same buffers. The zero-observer-effect contract lives here: with a
 //! stream disabled, the corresponding emit call tests one `bool` and
-//! returns — no allocation, no `RefCell` borrow, no closure call — so a
-//! fully disabled handle cannot perturb anything, and an enabled one only
-//! ever *appends to side buffers* that deterministic outputs never read.
+//! returns — no allocation, no lock, no closure call — so a fully
+//! disabled handle cannot perturb anything, and an enabled one only ever
+//! *appends to side buffers* that deterministic outputs never read.
+//!
+//! The shared buffers sit behind an `Arc<Mutex<..>>` so shards carrying
+//! clones can be driven from the windowed parallel executor's worker
+//! threads; the mutex is uncontended on the sequential path, and every
+//! access is still gated behind the per-stream `bool` first.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use pascal_sim::SimDuration;
@@ -54,7 +59,7 @@ pub struct TelemetryHandle {
     /// Rolls over every [`PROFILE_SAMPLE_EVERY`] timer calls; per-clone,
     /// so each shard samples its own stream independently.
     profile_tick: Cell<u32>,
-    inner: Option<Rc<RefCell<TelemetryBuf>>>,
+    inner: Option<Arc<Mutex<TelemetryBuf>>>,
 }
 
 /// Wall-clock timing is sampled 1-in-N: event *counts* stay exact (they
@@ -93,7 +98,7 @@ impl TelemetryHandle {
             profile_on: config.profile,
             series_interval: config.series_interval,
             profile_tick: Cell::new(0),
-            inner: Some(Rc::new(RefCell::new(TelemetryBuf {
+            inner: Some(Arc::new(Mutex::new(TelemetryBuf {
                 events: Vec::new(),
                 series: Vec::new(),
                 profiler: config.profile.then(HotPathProfiler::new),
@@ -113,9 +118,18 @@ impl TelemetryHandle {
     pub fn trace(&self, event: impl FnOnce() -> TraceEvent) {
         if self.trace_on {
             if let Some(inner) = &self.inner {
-                inner.borrow_mut().events.push(event());
+                inner.lock().expect("telemetry lock").events.push(event());
             }
         }
+    }
+
+    /// True iff request-lifecycle tracing is on. The windowed parallel
+    /// executor checks this to fall back to the sequential path: trace
+    /// events are appended in processing order, which only matches the
+    /// committed fixtures when events fire in global `(time, seq)` order.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
     }
 
     /// The configured gauge-sampling interval, if series are on.
@@ -127,7 +141,7 @@ impl TelemetryHandle {
     /// Appends one gauge snapshot row.
     pub fn push_series(&self, row: SeriesRow) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().series.push(row);
+            inner.lock().expect("telemetry lock").series.push(row);
         }
     }
 
@@ -160,11 +174,38 @@ impl TelemetryHandle {
             return;
         }
         if let Some(inner) = &self.inner {
-            if let Some(profiler) = inner.borrow_mut().profiler.as_mut() {
+            if let Some(profiler) = inner.lock().expect("telemetry lock").profiler.as_mut() {
                 match started {
                     Some(t0) => profiler.record(kind, t0.elapsed().as_secs_f64() * 1e6),
                     None => profiler.count_only(kind),
                 }
+            }
+        }
+    }
+
+    /// Counts one completed lockstep window of the parallel executor.
+    #[inline]
+    pub fn profile_window(&self, drained_events: u64) {
+        if !self.profile_on {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(profiler) = inner.lock().expect("telemetry lock").profiler.as_mut() {
+                profiler.count_window(drained_events);
+            }
+        }
+    }
+
+    /// Counts one event handled at a window barrier (sequentially, by the
+    /// coordinator) in the parallel executor.
+    #[inline]
+    pub fn profile_barrier_event(&self) {
+        if !self.profile_on {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(profiler) = inner.lock().expect("telemetry lock").profiler.as_mut() {
+                profiler.count_barrier_event();
             }
         }
     }
@@ -174,7 +215,7 @@ impl TelemetryHandle {
     #[must_use]
     pub fn finish(&self) -> Option<TelemetryOut> {
         let inner = self.inner.as_ref()?;
-        let mut buf = inner.borrow_mut();
+        let mut buf = inner.lock().expect("telemetry lock");
         Some(TelemetryOut {
             events: std::mem::take(&mut buf.events),
             series: std::mem::take(&mut buf.series),

@@ -87,6 +87,9 @@ pub struct HotPathProfiler {
     started: Instant,
     counts: [u64; ProfiledEvent::ALL.len()],
     timings: Vec<Histogram>,
+    windows: u64,
+    window_events: u64,
+    barrier_events: u64,
 }
 
 impl HotPathProfiler {
@@ -97,6 +100,9 @@ impl HotPathProfiler {
             started: Instant::now(),
             counts: [0; ProfiledEvent::ALL.len()],
             timings: vec![Histogram::from_samples(&[], BIN_WIDTH_US); ProfiledEvent::ALL.len()],
+            windows: 0,
+            window_events: 0,
+            barrier_events: 0,
         }
     }
 
@@ -113,6 +119,22 @@ impl HotPathProfiler {
     /// majority, keeping counts (and events/sec) exact.
     pub fn count_only(&mut self, kind: ProfiledEvent) {
         self.counts[kind.index()] += 1;
+    }
+
+    /// Counts one completed lockstep window of the windowed parallel
+    /// executor, and the events its workers drained inside it. Window
+    /// boundaries are derived from simulation state alone, so these
+    /// counters are identical at any thread count.
+    pub fn count_window(&mut self, drained_events: u64) {
+        self.windows += 1;
+        self.window_events += drained_events;
+    }
+
+    /// Counts one event the parallel executor's coordinator handled
+    /// sequentially at a window barrier (arrivals, cross-shard/region
+    /// landings, fleet transitions, autoscaler ticks).
+    pub fn count_barrier_event(&mut self) {
+        self.barrier_events += 1;
     }
 
     /// Stops the wall clock and condenses the samples into a report.
@@ -141,6 +163,9 @@ impl HotPathProfiler {
             } else {
                 0.0
             },
+            windows: self.windows,
+            window_events: self.window_events,
+            barrier_events: self.barrier_events,
             rows,
         }
     }
@@ -178,6 +203,14 @@ pub struct ProfileReport {
     /// Events handled per wall-clock second — the headline throughput
     /// figure the engine-speed work is judged against.
     pub events_per_sec: f64,
+    /// Lockstep windows executed by the parallel executor (0 on the
+    /// sequential path). Deterministic: window boundaries depend only on
+    /// simulation state, never on thread count.
+    pub windows: u64,
+    /// Events drained inside windows by the parallel workers.
+    pub window_events: u64,
+    /// Events the coordinator handled sequentially at window barriers.
+    pub barrier_events: u64,
     /// One row per event class, [`ProfiledEvent::ALL`] order.
     pub rows: Vec<ProfileRow>,
 }
@@ -190,6 +223,15 @@ impl ProfileReport {
             "hot-path profile (wall-clock, host-dependent; excluded from determinism)\n  {} events in {:.3}s = {:.0} events/sec\n",
             self.events, self.wall_s, self.events_per_sec
         );
+        if self.windows > 0 {
+            out.push_str(&format!(
+                "  {} windows: {} events drained in parallel, {} at barriers ({:.1} events/window)\n",
+                self.windows,
+                self.window_events,
+                self.barrier_events,
+                self.window_events as f64 / self.windows as f64,
+            ));
+        }
         for row in &self.rows {
             if row.count == 0 {
                 continue;

@@ -111,6 +111,12 @@ OPTIONS (run):
           hot-path profile of the event loop to stderr (per-event-type
           counts, timing quantiles, events/sec). Host-dependent by
           design; never part of any deterministic output.
+  --run-threads <N>                                 intra-run worker
+          threads for the event loop; 0 = auto (available parallelism,
+          capped at 8 and at the shard count), max 64. Outputs are
+          byte-identical at any value; >1 engages the windowed parallel
+          executor over shards (needs --shards or --regions > 1 to
+          help). Tracing (--trace-out) forces the sequential path.  [1]
 
 All telemetry is off by default, and a run with it off is byte-identical
 to one that never had the flags.
@@ -143,6 +149,10 @@ OPTIONS (sweep):
           aggregate events/sec to stderr, and stamp the aggregate into
           the report's schema-4 throughput block (the only host-dependent
           field sweep.json can carry; cells stay byte-identical)
+  --run-threads <N>     intra-run worker threads per cell's event loop;
+          0 = auto, max 64. Cells stay byte-identical at any value —
+          this trades cell-level for intra-run parallelism (useful when
+          a grid has fewer cells than cores, e.g. stress)          [1]
 
 Unknown values for any option exit with status 2.
 ";
@@ -194,6 +204,7 @@ struct RunOpts {
     series_out: Option<String>,
     series_interval: Option<f64>,
     profile: bool,
+    run_threads: usize,
 }
 
 impl Default for RunOpts {
@@ -220,8 +231,25 @@ impl Default for RunOpts {
             series_out: None,
             series_interval: None,
             profile: false,
+            run_threads: 1,
         }
     }
+}
+
+/// Parses and range-checks a `--run-threads` value: `0` (auto) or an
+/// explicit worker count up to [`MAX_RUN_THREADS`].
+const MAX_RUN_THREADS: usize = 64;
+
+fn run_threads(raw: &str) -> Result<usize, String> {
+    let n: usize = raw
+        .parse()
+        .map_err(|e| format!("--run-threads: {e} (valid: 0 for auto, or 1-{MAX_RUN_THREADS})"))?;
+    if n > MAX_RUN_THREADS {
+        return Err(format!(
+            "--run-threads must be 0 (auto) or 1-{MAX_RUN_THREADS}, got {n}"
+        ));
+    }
+    Ok(n)
 }
 
 fn predictor(name: &str) -> Result<Option<PredictorKind>, String> {
@@ -316,6 +344,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
                 opts.series_interval = Some(secs);
             }
             "--profile" => opts.profile = true,
+            "--run-threads" => opts.run_threads = run_threads(&value()?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -346,6 +375,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     config.regions = opts.regions;
     config.fed_router = FederationPolicy::parse(&opts.fed_router)?;
     config.wan = WanLink::parse(&opts.wan)?;
+    config.run_threads = opts.run_threads;
     if opts.instances % opts.shards != 0 {
         return Err(CliError::Usage(format!(
             "--shards {} does not divide --instances {} evenly",
@@ -743,6 +773,7 @@ struct SweepOpts {
     slo_tol: f64,
     tput_tol: f64,
     profile: bool,
+    run_threads: usize,
 }
 
 impl Default for SweepOpts {
@@ -760,6 +791,7 @@ impl Default for SweepOpts {
             slo_tol: tol.slo_rate_abs,
             tput_tol: tol.throughput_rel,
             profile: false,
+            run_threads: 1,
         }
     }
 }
@@ -803,6 +835,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
             "--slo-tol" => opts.slo_tol = tolerance(value()?, "--slo-tol")?,
             "--tput-tol" => opts.tput_tol = tolerance(value()?, "--tput-tol")?,
             "--profile" => opts.profile = true,
+            "--run-threads" => opts.run_threads = run_threads(&value()?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -858,7 +891,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             grid.base_seed = seed;
         }
     }
-    let runner = SweepRunner::new(opts.threads).with_profile(opts.profile);
+    let runner = SweepRunner::new(opts.threads)
+        .with_profile(opts.profile)
+        .with_run_threads(opts.run_threads);
     let cells: usize = grids.iter().map(|g| g.expand().len()).sum();
     eprintln!(
         "sweeping grid '{}': {cells} cells × {} requests on {} threads …",
@@ -1320,6 +1355,41 @@ mod tests {
     }
 
     #[test]
+    fn run_threads_flag_parses_and_validates() {
+        // Defaults to the sequential engine on both subcommands.
+        assert_eq!(parse_opts(&[]).expect("empty is valid").run_threads, 1);
+        assert_eq!(
+            parse_sweep_opts(&[]).expect("empty is valid").run_threads,
+            1
+        );
+        for (raw, want) in [("0", 0), ("1", 1), ("4", 4), ("64", 64)] {
+            assert_eq!(
+                parse_opts(&strs(&["--run-threads", raw]))
+                    .expect("valid")
+                    .run_threads,
+                want
+            );
+            assert_eq!(
+                parse_sweep_opts(&strs(&["--run-threads", raw]))
+                    .expect("valid")
+                    .run_threads,
+                want
+            );
+        }
+        // Out-of-range and non-numeric values are usage errors that name
+        // the valid range.
+        for bad in ["65", "1000", "-1", "two", "1.5", ""] {
+            let err = parse_opts(&strs(&["--run-threads", bad]))
+                .expect_err("bad thread count must be rejected");
+            assert!(err.contains("64"), "error must state the range: {err}");
+            assert!(
+                parse_sweep_opts(&strs(&["--run-threads", bad])).is_err(),
+                "sweep must reject '{bad}' too"
+            );
+        }
+    }
+
+    #[test]
     fn usage_lists_telemetry_flags() {
         for needle in [
             "--trace-out",
@@ -1327,6 +1397,7 @@ mod tests {
             "--series-out",
             "--series-interval",
             "--profile",
+            "--run-threads",
         ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
         }
