@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use pascal_cluster::InstanceStats;
 use pascal_core::bench_support::MonitorSweepFixture;
-use pascal_core::{run_simulation, SimConfig};
+use pascal_core::{reconstruct, run_simulation, FederationPolicy, SimConfig, TelemetryConfig};
 use pascal_model::{DecodeBatch, GpuSpec, LlmSpec, PerfModel};
 use pascal_predict::PredictorKind;
 use pascal_sched::{PascalConfig, RouterPolicy, SchedPolicy};
@@ -251,6 +251,46 @@ fn bench_monitor_sweep() {
     });
 }
 
+/// Prices the latency-anatomy blame pass: replaying a busy federated
+/// trace into per-request timelines. Reported both per-iteration and as
+/// reconstruction throughput (trace events consumed per second), since
+/// the pass is linear in trace length.
+fn bench_blame_reconstruction() {
+    let count = pascal_bench::smoke_count(2_000);
+    let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::arena_hard()))
+        .arrivals(ArrivalProcess::poisson(16.0))
+        .count(count)
+        .seed(21)
+        .build();
+    let mut config = SimConfig::evaluation_cluster(SchedPolicy::pascal(PascalConfig::default()))
+        .with_shards(2, RouterPolicy::LeastLoaded)
+        .with_regions(2, FederationPolicy::Nearest);
+    config.telemetry = TelemetryConfig {
+        trace: true,
+        ..TelemetryConfig::default()
+    };
+    let out = run_simulation(&trace, &config);
+    let events = out.telemetry.expect("trace enabled").events;
+    println!(
+        "blame fixture: {} trace events from {} requests",
+        events.len(),
+        count
+    );
+    bench_function("blame_reconstruct_trace", 10, 20, || {
+        reconstruct(black_box(&events)).requests.len()
+    });
+    let reps = 50usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(reconstruct(black_box(&events)));
+    }
+    let per_pass = start.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "blame_reconstruct_throughput                 {:>12.0} events/sec",
+        events.len() as f64 / per_pass
+    );
+}
+
 fn bench_small_simulation() {
     let count = pascal_bench::smoke_count(100);
     let trace = TraceBuilder::new(DatasetMix::single(DatasetProfile::alpaca_eval2()))
@@ -271,5 +311,6 @@ fn main() {
     bench_monitor_sweep();
     bench_placement();
     bench_perf_model();
+    bench_blame_reconstruction();
     bench_small_simulation();
 }

@@ -103,6 +103,13 @@ pub struct SimConfig {
     /// `None` (the default) keeps the fleet static for the run's lifetime
     /// and the engine byte-identical to a pre-elasticity build.
     pub fleet: Option<FleetSpec>,
+    /// SLO burn-rate alert rules, evaluated per shard in sim-time (see
+    /// `pascal_telemetry::alert`). Pure observation: the tracker consumes
+    /// completion outcomes and never feeds back into scheduling, so
+    /// `None` (the default) and `Some` runs produce byte-identical
+    /// records, stats and series gauges other than the alert outputs
+    /// themselves.
+    pub alerts: Option<pascal_telemetry::SloAlertSpec>,
     /// Worker threads for the windowed parallel executor: `1` (the
     /// default) runs the exact sequential engine, `0` auto-sizes from the
     /// host's available parallelism, `N > 1` requests N threads. Always
@@ -142,8 +149,16 @@ impl SimConfig {
             admission: AdmissionMode::Disabled,
             telemetry: TelemetryConfig::default(),
             fleet: None,
+            alerts: None,
             run_threads: 1,
         }
+    }
+
+    /// The same deployment with SLO burn-rate alerting attached.
+    #[must_use]
+    pub fn with_alerts(mut self, alerts: pascal_telemetry::SloAlertSpec) -> Self {
+        self.alerts = Some(alerts);
+        self
     }
 
     /// The same deployment with a length predictor attached.

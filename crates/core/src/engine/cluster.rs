@@ -629,9 +629,13 @@ impl<'a> Cluster<'a> {
             admission_headroom_bytes: None,
             predictor_mean_abs_error: None,
             wan_busy_s,
+            slo_burn: None,
         };
         let mut err_sum = 0.0;
         let mut err_n = 0u64;
+        let mut slo_violations = 0u64;
+        let mut slo_total = 0u64;
+        let mut slo_budget = None;
         for sh in &self.shards {
             let row = sh.series_row(at);
             agg.queue_depth += row.queue_depth;
@@ -646,10 +650,28 @@ impl<'a> Cluster<'a> {
             let (abs_err, n) = sh.prediction_abs_error();
             err_sum += abs_err;
             err_n += n;
+            // Region burn aggregates the raw window counts — not the
+            // per-shard rates — so one busy shard cannot be diluted by
+            // averaging against idle siblings' undefined gauges.
+            if let Some(tracker) = &sh.slo_tracker {
+                let (v, t) = tracker.window_counts(at);
+                slo_violations += v;
+                slo_total += t;
+                slo_budget = Some(tracker.spec().budget);
+            }
             self.telemetry.push_series(row);
         }
         if err_n > 0 {
             agg.predictor_mean_abs_error = Some(err_sum / err_n as f64);
+        }
+        if let Some(budget) = slo_budget {
+            if slo_total > 0 {
+                agg.slo_burn = Some(pascal_telemetry::alert::burn_rate(
+                    slo_violations,
+                    slo_total,
+                    budget,
+                ));
+            }
         }
         self.telemetry.push_series(agg);
     }
@@ -736,6 +758,7 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
     let mut peak_gpu_kv_bytes = Vec::new();
     let mut predictions = Vec::new();
     let mut rejections = Vec::new();
+    let mut alerts = Vec::new();
     for sh in shards {
         records.extend(sh.records);
         peak_gpu_kv_bytes.extend(
@@ -745,10 +768,12 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
         );
         predictions.extend(sh.prediction_samples);
         rejections.extend(sh.admission_ctl.rejections);
+        alerts.extend(sh.alerts);
     }
     records.sort_by_key(|r| r.spec.id);
     predictions.sort_by_key(|p| p.id);
     rejections.sort_by_key(|r| (r.at, r.id));
+    alerts.sort_by_key(|a| (a.at, a.shard, a.rule));
     let makespan = records
         .iter()
         .map(|r| r.completion)
@@ -766,6 +791,7 @@ pub(super) fn assemble_output(shards: Vec<Shard<'_>>) -> SimOutput {
         rejections,
         fleet,
         shard_stats,
+        alerts,
         region_stats: Vec::new(),
         telemetry: None,
     }

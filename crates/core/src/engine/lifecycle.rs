@@ -227,7 +227,7 @@ impl Shard<'_> {
         let mut crossed_threshold = None;
         let mut demoted_now = false;
         let mut key_changed = false;
-        let (id, transitioned, done, at_instance) = {
+        let (id, transitioned, done, first_answer, at_instance) = {
             let st = &mut self.states[handle];
             st.end_running(now);
             if kind == IterationKind::Prefill {
@@ -270,7 +270,18 @@ impl Shard<'_> {
             let transitioned = st.phase == Phase::Reasoning
                 && st.tokens_generated == st.spec.reasoning_tokens
                 && st.spec.answering_tokens > 0;
-            (st.spec.id, transitioned, st.is_done(), st.instance)
+            // The token at index `reasoning_tokens` (this is token number
+            // reasoning_tokens + 1) is the first the user reads — the
+            // instant the paper's TTFT clock stops.
+            let first_answer =
+                st.spec.answering_tokens > 0 && st.tokens_generated == st.spec.reasoning_tokens + 1;
+            (
+                st.spec.id,
+                transitioned,
+                st.is_done(),
+                first_answer,
+                st.instance,
+            )
         };
         // Every token moves the monitor row: the pacer clock, the
         // predicted remaining growth, and possibly the quantum/demotion
@@ -290,6 +301,15 @@ impl Shard<'_> {
             self.predictor_epoch += 1;
         }
 
+        if first_answer {
+            let global = self.global_instance(at_instance);
+            self.emit_trace(
+                now,
+                Some(global),
+                Some(id),
+                TraceEventKind::FirstAnswerToken,
+            );
+        }
         if done {
             self.complete(handle, now);
             return;
@@ -331,10 +351,56 @@ impl Shard<'_> {
                 tokens: u64::from(st.tokens_generated),
             },
         );
-        self.records.push(st.into_record(now));
+        let record = st.into_record(now);
+        self.observe_slo(&record, now);
+        self.records.push(record);
         // A draining instance completes its drain when its last member
         // finishes; a healthy instance pays one comparison here.
         self.check_drain_complete(instance as u32, now);
+    }
+
+    /// Feeds one completion to the SLO burn-rate tracker (when alerting is
+    /// configured) and emits/records any rule edges it causes. The same
+    /// population as `slo_violation_rate`: requests without answering
+    /// tokens have no QoE and are excluded. Observation only — nothing the
+    /// scheduler reads is touched.
+    fn observe_slo(&mut self, record: &pascal_metrics::RequestRecord, now: SimTime) {
+        let Some(tracker) = &mut self.slo_tracker else {
+            return;
+        };
+        let Some(qoe) =
+            pascal_metrics::answering_qoe(record, &pascal_metrics::QoeParams::paper_eval())
+        else {
+            return;
+        };
+        let edges = tracker.observe(now, qoe < pascal_metrics::SLO_QOE_THRESHOLD);
+        for edge in edges {
+            if edge.fired {
+                self.alerts.push(pascal_telemetry::SloAlertRecord {
+                    at: now,
+                    region: self.region(),
+                    shard: self.id,
+                    rule: edge.rule,
+                    burn_milli: edge.burn_milli,
+                });
+                self.emit_trace(
+                    now,
+                    None,
+                    None,
+                    TraceEventKind::SloAlertFired {
+                        rule: edge.rule,
+                        burn_milli: edge.burn_milli,
+                    },
+                );
+            } else {
+                self.emit_trace(
+                    now,
+                    None,
+                    None,
+                    TraceEventKind::SloAlertResolved { rule: edge.rule },
+                );
+            }
+        }
     }
 
     // ----- the scheduling core --------------------------------------------
@@ -549,8 +615,18 @@ impl Shard<'_> {
             }
             let global = self.global_instance(instance);
             for &handle in &scratch.prefill {
-                let id = self.states[handle].spec.id;
-                self.emit_trace(now, Some(global), Some(id), TraceEventKind::PrefillStart);
+                let st = &self.states[handle];
+                let id = st.spec.id;
+                // Queue wait as observed at this launch: arrival to first
+                // prefill compute. Saturating because a spilled arrival may
+                // land on its serving region after its origin timestamp.
+                let queued_ns = now.saturating_since(st.spec.arrival).as_nanos();
+                self.emit_trace(
+                    now,
+                    Some(global),
+                    Some(id),
+                    TraceEventKind::PrefillStart { queued_ns },
+                );
             }
             let barrier = self.transition_barriers && self.batch_may_transition(&scratch.prefill);
             let rt = &mut self.instances[instance as usize];

@@ -69,7 +69,9 @@ use pascal_model::{KvGeometry, PerfModel};
 use pascal_predict::{LengthPredictor, PredictorKind};
 use pascal_sched::{PriorityKey, SchedPolicy};
 use pascal_sim::{EventQueue, SimTime};
-use pascal_telemetry::{TelemetryHandle, TelemetryOut, TraceEvent, TraceEventKind};
+use pascal_telemetry::{
+    SloAlertRecord, SloBurnTracker, TelemetryHandle, TelemetryOut, TraceEvent, TraceEventKind,
+};
 use pascal_workload::{RequestId, Trace};
 
 use crate::config::SimConfig;
@@ -195,6 +197,11 @@ pub struct SimOutput {
     pub fleet: FleetOutcomes,
     /// One row per scheduling domain (a single row when `shards` is 1).
     pub shard_stats: Vec<ShardStats>,
+    /// SLO burn-rate alerts fired during the run, ordered by (time, shard,
+    /// rule) — empty unless [`SimConfig::alerts`](crate::SimConfig)
+    /// configured alert rules. Side data only: nothing else in this struct
+    /// ever depends on it.
+    pub alerts: Vec<SloAlertRecord>,
     /// One row per region (a single row when `regions` is 1).
     pub region_stats: Vec<RegionStats>,
     /// What the run's telemetry streams collected — `None` unless
@@ -309,6 +316,11 @@ pub(super) struct Shard<'a> {
     pub(super) fleet: FleetOutcomes,
     /// Reactive autoscaler state; `None` without an `autoscale` directive.
     pub(super) autoscaler: Option<AutoscalerRt>,
+    /// SLO burn-rate tracker; `None` without [`SimConfig::alerts`]. Fed
+    /// every answering completion, never read by any scheduling decision.
+    pub(super) slo_tracker: Option<SloBurnTracker>,
+    /// Rising-edge alerts this shard's tracker fired, in sim-time order.
+    pub(super) alerts: Vec<SloAlertRecord>,
     /// Telemetry emitter (a clone of the run-wide handle; a single no-op
     /// branch per call site when disabled).
     pub(super) telemetry: TelemetryHandle,
@@ -436,6 +448,8 @@ impl<'a> Shard<'a> {
             drain_started: vec![None; instances],
             fleet: FleetOutcomes::default(),
             autoscaler: None,
+            slo_tracker: config.alerts.clone().map(SloBurnTracker::new),
+            alerts: Vec::new(),
             telemetry,
         };
         shard.init_fleet();

@@ -223,6 +223,7 @@ impl Shard<'_> {
             admission_headroom_bytes: self.admission_headroom(&stats),
             predictor_mean_abs_error: (err_n > 0).then(|| abs_err / err_n as f64),
             wan_busy_s: None,
+            slo_burn: self.slo_tracker.as_ref().and_then(|t| t.burn_gauge(at)),
         }
     }
 

@@ -62,6 +62,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod config;
 mod engine;
 pub mod experiments;
@@ -69,6 +70,7 @@ pub mod fleet;
 pub mod report;
 pub mod sweep;
 
+pub use analyze::{anatomy_to_csv, anatomy_to_json, anatomy_waterfall, parse_trace_jsonl};
 pub use config::{estimate_capacity_rps, KvCapacityMode, RateLevel, SimConfig};
 #[doc(hidden)]
 pub use engine::bench_support;
@@ -76,7 +78,7 @@ pub use engine::{run_simulation, AdmissionMode, PredictiveMigration, SimOutput};
 pub use fleet::{FleetPreset, FleetSpec};
 pub use pascal_federation::{FederationPolicy, WanLink};
 pub use pascal_telemetry::{
-    events_to_chrome, events_to_jsonl, series_to_csv, series_to_json, ProfileReport,
-    TelemetryConfig, TelemetryOut, TraceFormat,
+    aggregate, events_to_chrome, events_to_jsonl, reconstruct, series_to_csv, series_to_json,
+    AnatomyReport, BlameProfile, ProfileReport, TelemetryConfig, TelemetryOut, TraceFormat,
 };
 pub use sweep::{ScenarioSpec, SweepCell, SweepGrid, SweepReport, SweepRunner};

@@ -366,6 +366,10 @@ pub struct SweepCell {
     pub policy_label: String,
     /// The aggregate metrics row.
     pub metrics: SweepCellMetrics,
+    /// Latency-anatomy blame profile, filled only by blame-enabled sweeps
+    /// (see [`SweepRunner::with_blame`]). `None` cells serialize without
+    /// any blame keys, so blame-free reports keep their historical form.
+    pub blame: Option<pascal_telemetry::BlameProfile>,
 }
 
 impl SweepCell {
@@ -384,6 +388,7 @@ impl SweepCell {
                 out.makespan.as_secs_f64(),
                 &QoeParams::paper_eval(),
             ),
+            blame: None,
         }
     }
 
@@ -408,6 +413,12 @@ pub struct SweepRunner {
     /// thread count, so it must never change a cell's identity, label or
     /// serialized form.
     run_threads: usize,
+    /// Attach a latency-anatomy blame profile to every cell. Lives on the
+    /// runner — not on [`ScenarioSpec`] — because blame is derived purely
+    /// from the (observer-effect-free) trace stream: a cell's
+    /// deterministic metrics are identical with it on or off, only the
+    /// report gains blame columns.
+    blame: bool,
 }
 
 impl SweepRunner {
@@ -423,6 +434,7 @@ impl SweepRunner {
             },
             profile: false,
             run_threads: 1,
+            blame: false,
         }
     }
 
@@ -446,6 +458,19 @@ impl SweepRunner {
     #[must_use]
     pub fn with_run_threads(mut self, run_threads: usize) -> Self {
         self.run_threads = run_threads;
+        self
+    }
+
+    /// The same runner with per-cell latency-anatomy blame profiles
+    /// switched on: every cell runs with request tracing, the trace is
+    /// reconstructed into an exact additive blame decomposition
+    /// ([`pascal_telemetry::reconstruct`]) and aggregated into the cell's
+    /// [`SweepCell::blame`] profile. Every deterministic metric is
+    /// byte-identical with blame on or off; only the report gains the
+    /// schema-v5 blame keys/columns.
+    #[must_use]
+    pub fn with_blame(mut self, blame: bool) -> Self {
+        self.blame = blame;
         self
     }
 
@@ -523,17 +548,22 @@ impl SweepRunner {
         }
         let telemetry = TelemetryConfig {
             profile: self.profile,
+            trace: self.blame,
             ..TelemetryConfig::default()
         };
         let results: Vec<(SweepCell, Option<ProfileReport>)> =
             parallel_map(specs.len(), self.threads, |i| {
                 let spec = &specs[i];
                 let mut out = self.run_spec(spec, telemetry);
-                let profile = out.telemetry.take().and_then(|t| t.profile);
-                (
-                    SweepCell::from_output(*spec, spec.rate_rps(), &out),
-                    profile,
-                )
+                let tele = out.telemetry.take();
+                let profile = tele.as_ref().and_then(|t| t.profile.clone());
+                let mut cell = SweepCell::from_output(*spec, spec.rate_rps(), &out);
+                if self.blame {
+                    let events = tele.map(|t| t.events).unwrap_or_default();
+                    let anatomy = pascal_telemetry::reconstruct(&events);
+                    cell.blame = Some(pascal_telemetry::aggregate(&anatomy.requests));
+                }
+                (cell, profile)
             });
         let (cells, profiles): (Vec<_>, Vec<_>) = results.into_iter().unzip();
         // Aggregate throughput over the per-cell profiler reports: summed
@@ -649,6 +679,28 @@ mod tests {
         assert_eq!(one, four);
         assert_eq!(one.len(), 3);
         assert!(one.iter().all(|c| c.metrics.requests == 40));
+    }
+
+    #[test]
+    fn blame_sweeps_keep_metrics_identical_and_attach_profiles() {
+        let mut grid = SweepGrid::preset("ci").expect("preset exists");
+        grid.count = 30;
+        grid.instances = 2;
+        let plain = SweepRunner::new(2).run_grid(&grid);
+        let blamed = SweepRunner::new(2).with_blame(true).run_grid(&grid);
+        assert_eq!(plain.cells.len(), blamed.cells.len());
+        for (p, b) in plain.cells.iter().zip(&blamed.cells) {
+            // Zero observer effect: tracing for blame never changes a
+            // cell's deterministic metrics.
+            assert_eq!(p.metrics, b.metrics, "{}", p.label());
+            assert!(p.blame.is_none());
+            let profile = b.blame.as_ref().expect("blame attached");
+            assert_eq!(profile.requests as usize, p.metrics.requests);
+        }
+        // The schema-v5 blame keys survive a JSON round trip.
+        let json = blamed.to_json();
+        let back = crate::sweep::SweepReport::from_json(&json).expect("parses");
+        assert_eq!(back, blamed);
     }
 
     #[test]

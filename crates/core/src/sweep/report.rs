@@ -24,8 +24,10 @@ use crate::sweep::{ScenarioSpec, SweepCell};
 /// migration and admission-spill counters; version 4 added the optional
 /// report-level `throughput` block (aggregate engine events/sec, filled
 /// only by profiled sweeps — `null` otherwise, so unprofiled reports stay
-/// deterministic).
-pub const SWEEP_SCHEMA_VERSION: u64 = 4;
+/// deterministic); version 5 added the optional per-cell `blame` block
+/// (the latency-anatomy profile, emitted only by blame-enabled sweeps —
+/// blame-free cells keep the historical key set).
+pub const SWEEP_SCHEMA_VERSION: u64 = 5;
 
 /// Report-level engine throughput, measured by the hot-path profiler
 /// across every cell of a profiled sweep. Host-dependent by nature: it is
@@ -111,6 +113,17 @@ impl SweepReport {
                 ",fleet,requests_stranded,drain_completion_s,rebalance_moves,autoscale_actions\n",
             );
         }
+        // Blame columns likewise appear only when some cell carries a
+        // profile: blame-free reports keep their historical column set.
+        let with_blame = self.cells.iter().any(|c| c.blame.is_some());
+        if with_blame {
+            out.truncate(out.len() - 1);
+            out.push_str(",blame_requests,blame_mean_e2e_s,blame_p99_e2e_s");
+            for name in pascal_telemetry::BLAME_COMPONENT_NAMES {
+                out.push_str(&format!(",blame_{name}_mean_share"));
+            }
+            out.push('\n');
+        }
         let opt = |x: Option<f64>| x.map_or_else(String::new, |v| format!("{v:?}"));
         for cell in &self.cells {
             let s = &cell.spec;
@@ -167,6 +180,24 @@ impl SweepReport {
                     m.rebalance_moves,
                     m.autoscale_actions,
                 ));
+            }
+            if with_blame {
+                match &cell.blame {
+                    Some(b) => {
+                        out.push_str(&format!(
+                            ",{},{:?},{:?}",
+                            b.requests, b.mean_e2e_s, b.p99_e2e_s
+                        ));
+                        for comp in &b.components {
+                            out.push_str(&format!(",{:?}", comp.mean_share));
+                        }
+                    }
+                    // A blame-less cell in a blame-bearing report keeps
+                    // the row rectangular with empty fields.
+                    None => {
+                        out.push_str(&",".repeat(3 + pascal_telemetry::BLAME_COMPONENT_NAMES.len()))
+                    }
+                }
             }
             out.push('\n');
         }
@@ -266,6 +297,32 @@ fn cell_json(cell: &SweepCell) -> String {
     } else {
         String::new()
     };
+    // The blame block follows the same conditional-key contract as the
+    // fleet axis: only blame-enabled sweeps emit it, so blame-free reports
+    // (including every committed fixture) keep their historical bytes.
+    let blame = cell.blame.as_ref().map_or_else(String::new, |b| {
+        let comps: Vec<String> = pascal_telemetry::BLAME_COMPONENT_NAMES
+            .iter()
+            .zip(b.components.iter())
+            .map(|(name, comp)| {
+                format!(
+                    "          \"{name}\": {{\"mean_share\": {}, \"p99_share\": {}, \
+                     \"total_ns\": {}}}",
+                    json_f64(comp.mean_share),
+                    json_f64(comp.p99_share),
+                    comp.total_ns
+                )
+            })
+            .collect();
+        format!(
+            ",\n      \"blame\": {{\n        \"requests\": {},\n        \"mean_e2e_s\": {},\n        \
+             \"p99_e2e_s\": {},\n        \"components\": {{\n{}\n        }}\n      }}",
+            b.requests,
+            json_f64(b.mean_e2e_s),
+            json_f64(b.p99_e2e_s),
+            comps.join(",\n")
+        )
+    });
     format!(
         "    {{\n      \"label\": {label},\n      \"mix\": {mix},\n      \"level\": {level},\n      \
          \"policy\": {policy},\n      \"predictor\": {predictor},\n      \
@@ -283,7 +340,7 @@ fn cell_json(cell: &SweepCell) -> String {
          \"migrations_cross_shard\": {mig_cross},\n        \
          \"migrations_cross_region\": {mig_cross_region},\n        \
          \"migrations_landed_in_cpu\": {mig_cpu},\n        \"admission_admitted\": {adm_ok},\n        \
-         \"admission_rejected\": {adm_no},\n        \"admission_spilled\": {adm_spill}{fleet_metrics}\n      }}\n    }}",
+         \"admission_rejected\": {adm_no},\n        \"admission_spilled\": {adm_spill}{fleet_metrics}\n      }}{blame}\n    }}",
         label = json_str(&s.label()),
         mix = json_str(s.mix.key()),
         level = json_str(s.level.key()),
@@ -449,6 +506,30 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
         rebalance_moves: int_or_zero(metrics_obj, "rebalance_moves")?,
         autoscale_actions: int_or_zero(metrics_obj, "autoscale_actions")?,
     };
+    // Blame-free cells (every report before schema 5, and unblamed cells
+    // since) carry no "blame" key at all.
+    let blame = match c.get("blame") {
+        None => None,
+        Some(v) => {
+            let mut profile = pascal_telemetry::BlameProfile {
+                requests: int(v, "requests")?,
+                mean_e2e_s: num(v, "mean_e2e_s")?,
+                p99_e2e_s: num(v, "p99_e2e_s")?,
+                components: Default::default(),
+            };
+            let comps = field(v, "components")?;
+            for (name, slot) in pascal_telemetry::BLAME_COMPONENT_NAMES
+                .iter()
+                .zip(profile.components.iter_mut())
+            {
+                let cv = field(comps, name)?;
+                slot.mean_share = num(cv, "mean_share")?;
+                slot.p99_share = num(cv, "p99_share")?;
+                slot.total_ns = int(cv, "total_ns")?;
+            }
+            Some(profile)
+        }
+    };
     Ok(SweepCell {
         spec,
         rate_rps: num(c, "rate_rps")?,
@@ -457,6 +538,7 @@ fn parse_cell(c: &JsonValue) -> Result<SweepCell, String> {
             .ok_or("'policy_label' must be a string")?
             .to_owned(),
         metrics,
+        blame,
     })
 }
 
@@ -545,6 +627,22 @@ mod tests {
             rebalance_moves: if fleet.is_some() { x % 41 } else { 0 },
             autoscale_actions: if fleet.is_some() { x % 9 } else { 0 },
         };
+        // Half the cells carry a blame profile so both serialization paths
+        // round-trip; shares exercise awkward float fractions.
+        let blame = (x & (1 << 44) != 0).then(|| {
+            let mut profile = pascal_telemetry::BlameProfile {
+                requests: x % 4321,
+                mean_e2e_s: f * 0.75,
+                p99_e2e_s: f * 2.5,
+                components: Default::default(),
+            };
+            for (i, comp) in profile.components.iter_mut().enumerate() {
+                comp.mean_share = ((f + i as f64) * 0.37).fract();
+                comp.p99_share = ((f + i as f64) * 0.71).fract();
+                comp.total_ns = x.wrapping_mul(i as u64 + 1) % 1_000_000_007;
+            }
+            profile
+        });
         SweepCell {
             spec,
             rate_rps: f,
@@ -556,6 +654,7 @@ mod tests {
             ][pick(50, 4)]
             .clone(),
             metrics,
+            blame,
         }
     }
 
@@ -656,7 +755,7 @@ mod tests {
     fn schema_mismatch_and_corruption_are_rejected() {
         let report = tiny_report();
         let json = report.to_json();
-        let wrong_schema = json.replacen("\"schema\": 4", "\"schema\": 99", 1);
+        let wrong_schema = json.replacen("\"schema\": 5", "\"schema\": 99", 1);
         assert!(SweepReport::from_json(&wrong_schema)
             .expect_err("wrong schema")
             .contains("schema"));

@@ -1,0 +1,490 @@
+//! In-sim SLO burn-rate alerting.
+//!
+//! An error budget says "at most `budget` of completions may violate the
+//! SLO"; the **burn rate** is how fast a sliding window is spending that
+//! budget: `(violations / completions in window) / budget`. A burn of 1.0
+//! spends the budget exactly at the sustainable pace; an outage drives it
+//! to `1/budget`. Declarative [`SloAlertRule`]s (window × threshold) are
+//! evaluated in sim-time at every completion; rising edges latch and emit
+//! [`SloAlertFired`](crate::TraceEventKind::SloAlertFired) trace events,
+//! falling edges resolve. The tracker is pure bookkeeping over completion
+//! outcomes — it never feeds back into scheduling, so an alerting run is
+//! byte-identical to a quiet one in every existing output.
+//!
+//! The on-disk rule format is line-oriented (`#` comments allowed):
+//!
+//! ```text
+//! budget 0.05          # error budget: ≤5% of completions may violate
+//! min-samples 10       # suppress rules until a window holds this many
+//! rule 5.0 6.0         # fire when the 5 s window burns ≥6× sustainable
+//! rule 20.0 2.0        # and a slow-burn rule over a 20 s window
+//! ```
+
+use std::collections::VecDeque;
+
+use pascal_sim::{SimDuration, SimTime};
+
+/// One declarative burn-rate alert rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloAlertRule {
+    /// Sliding window the burn rate is computed over.
+    pub window: SimDuration,
+    /// Burn-rate threshold: fire at `burn >= threshold`.
+    pub threshold: f64,
+}
+
+/// A full alert specification: error budget plus rules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloAlertSpec {
+    /// Error budget: the tolerated SLO-violation fraction (0 < budget < 1).
+    pub budget: f64,
+    /// Completions a window must hold before its rule may fire — suppresses
+    /// cold-start noise where one early violation reads as a 100% rate.
+    pub min_samples: u32,
+    /// The rules, evaluated independently; trace events carry the index.
+    pub rules: Vec<SloAlertRule>,
+}
+
+impl SloAlertSpec {
+    /// Parses the line-oriented alert-rule format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse(text: &str) -> Result<SloAlertSpec, String> {
+        let mut budget: Option<f64> = None;
+        let mut min_samples: Option<u32> = None;
+        let mut rules = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let n = i + 1;
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields[0] {
+                "budget" => {
+                    if fields.len() != 2 {
+                        return Err(format!("alert rules line {n}: budget takes one fraction"));
+                    }
+                    if budget.is_some() {
+                        return Err(format!("alert rules line {n}: duplicate budget directive"));
+                    }
+                    budget = Some(parse_f64(fields[1], n, "budget")?);
+                }
+                "min-samples" => {
+                    if fields.len() != 2 {
+                        return Err(format!("alert rules line {n}: min-samples takes one count"));
+                    }
+                    if min_samples.is_some() {
+                        return Err(format!(
+                            "alert rules line {n}: duplicate min-samples directive"
+                        ));
+                    }
+                    min_samples = Some(fields[1].parse().map_err(|_| {
+                        format!("alert rules line {n}: bad min-samples '{}'", fields[1])
+                    })?);
+                }
+                "rule" => {
+                    if fields.len() != 3 {
+                        return Err(format!(
+                            "alert rules line {n}: rule takes <window_s> <burn_threshold>"
+                        ));
+                    }
+                    let window = parse_f64(fields[1], n, "window")?;
+                    let threshold = parse_f64(fields[2], n, "threshold")?;
+                    if window <= 0.0 {
+                        return Err(format!("alert rules line {n}: window must be positive"));
+                    }
+                    if threshold <= 0.0 {
+                        return Err(format!("alert rules line {n}: threshold must be positive"));
+                    }
+                    rules.push(SloAlertRule {
+                        window: SimDuration::from_secs_f64(window),
+                        threshold,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "alert rules line {n}: unknown directive '{other}' \
+                         (valid directives: budget, min-samples, rule)"
+                    ));
+                }
+            }
+        }
+        if rules.is_empty() {
+            return Err("alert rules: need at least one rule line".to_owned());
+        }
+        let budget = budget.unwrap_or(0.05);
+        if !(0.0 < budget && budget < 1.0) {
+            return Err(format!(
+                "alert rules: budget must be in (0, 1), got {budget}"
+            ));
+        }
+        Ok(SloAlertSpec {
+            budget,
+            min_samples: min_samples.unwrap_or(10),
+            rules,
+        })
+    }
+
+    /// The widest rule window — how much history the tracker retains.
+    #[must_use]
+    pub fn max_window(&self) -> SimDuration {
+        self.rules
+            .iter()
+            .map(|r| r.window)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+fn parse_f64(s: &str, line: usize, what: &str) -> Result<f64, String> {
+    let v: f64 = s
+        .parse()
+        .map_err(|_| format!("alert rules line {line}: bad {what} '{s}'"))?;
+    if !v.is_finite() {
+        return Err(format!("alert rules line {line}: bad {what} '{s}'"));
+    }
+    Ok(v)
+}
+
+/// Built-in alert presets, resolved against the run's horizon like the
+/// fleet presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloAlertPreset {
+    /// Fast-burn page: a short window (5% of the horizon) burning ≥4×
+    /// sustainable. Catches outages within a fraction of the incident.
+    Paging,
+    /// Slow-burn ticket: a long window (25% of the horizon) burning ≥1.5×.
+    /// Catches sustained degradation a paging window forgives.
+    Ticket,
+}
+
+impl SloAlertPreset {
+    /// Every preset, in CLI listing order.
+    pub const ALL: [SloAlertPreset; 2] = [SloAlertPreset::Paging, SloAlertPreset::Ticket];
+
+    /// Stable lowercase key (the CLI value).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            SloAlertPreset::Paging => "paging",
+            SloAlertPreset::Ticket => "ticket",
+        }
+    }
+
+    /// Parses a CLI key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid presets.
+    pub fn parse(s: &str) -> Result<SloAlertPreset, String> {
+        SloAlertPreset::ALL
+            .into_iter()
+            .find(|p| p.key() == s)
+            .ok_or_else(|| {
+                let keys: Vec<&str> = SloAlertPreset::ALL.iter().map(|p| p.key()).collect();
+                format!("unknown alert preset '{s}' (valid: {})", keys.join(", "))
+            })
+    }
+
+    /// Resolves the preset against a concrete time horizon.
+    #[must_use]
+    pub fn spec(self, horizon_s: f64) -> SloAlertSpec {
+        let window = |frac: f64| SimDuration::from_secs_f64((horizon_s * frac).max(0.5));
+        match self {
+            SloAlertPreset::Paging => SloAlertSpec {
+                budget: 0.05,
+                min_samples: 10,
+                rules: vec![SloAlertRule {
+                    window: window(0.05),
+                    threshold: 4.0,
+                }],
+            },
+            SloAlertPreset::Ticket => SloAlertSpec {
+                budget: 0.05,
+                min_samples: 20,
+                rules: vec![SloAlertRule {
+                    window: window(0.25),
+                    threshold: 1.5,
+                }],
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SloAlertPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One fired alert, as collected into the run output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloAlertRecord {
+    /// When the rule's rising edge fired.
+    pub at: SimTime,
+    /// Region of the tracker that fired.
+    pub region: u32,
+    /// Shard (global id) of the tracker that fired.
+    pub shard: u32,
+    /// Index of the rule in the run's [`SloAlertSpec`].
+    pub rule: u32,
+    /// Burn rate at the edge, in milli-units (1000 = sustainable pace).
+    pub burn_milli: u64,
+}
+
+/// One rule edge produced by [`SloBurnTracker::observe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlertEdge {
+    /// Index of the rule that crossed its threshold.
+    pub rule: u32,
+    /// True on the rising (fire) edge, false on the falling (resolve) edge.
+    pub fired: bool,
+    /// Burn rate at the edge, in milli-units.
+    pub burn_milli: u64,
+}
+
+/// Sliding-window burn-rate evaluator for one scope (a shard).
+///
+/// Fed every completion with its violation verdict; trims samples older
+/// than the widest rule window; latches each rule independently so a
+/// sustained burn fires once, not once per completion.
+#[derive(Clone, Debug)]
+pub struct SloBurnTracker {
+    spec: SloAlertSpec,
+    samples: VecDeque<(SimTime, bool)>,
+    active: Vec<bool>,
+}
+
+impl SloBurnTracker {
+    /// A tracker evaluating `spec`.
+    #[must_use]
+    pub fn new(spec: SloAlertSpec) -> Self {
+        let rules = spec.rules.len();
+        SloBurnTracker {
+            spec,
+            samples: VecDeque::new(),
+            active: vec![false; rules],
+        }
+    }
+
+    /// The spec this tracker evaluates.
+    #[must_use]
+    pub fn spec(&self) -> &SloAlertSpec {
+        &self.spec
+    }
+
+    /// Violations and completions inside `window` ending at `now`.
+    fn window_counts_for(&self, now: SimTime, window: SimDuration) -> (u64, u64) {
+        let mut violations = 0u64;
+        let mut total = 0u64;
+        for &(t, violated) in self.samples.iter().rev() {
+            if now.saturating_since(t) > window {
+                break;
+            }
+            total += 1;
+            if violated {
+                violations += 1;
+            }
+        }
+        (violations, total)
+    }
+
+    /// Violations and completions inside the widest rule window ending at
+    /// `now` — the raw counts region rows aggregate across shards.
+    #[must_use]
+    pub fn window_counts(&self, now: SimTime) -> (u64, u64) {
+        self.window_counts_for(now, self.spec.max_window())
+    }
+
+    /// The current burn rate over the widest rule window (`None` before
+    /// the first completion) — the series-stream gauge.
+    #[must_use]
+    pub fn burn_gauge(&self, now: SimTime) -> Option<f64> {
+        let (violations, total) = self.window_counts(now);
+        (total > 0).then(|| burn_rate(violations, total, self.spec.budget))
+    }
+
+    /// Records one completion (`violated` = QoE below the SLO threshold)
+    /// and returns every rule edge it caused, in rule order.
+    pub fn observe(&mut self, now: SimTime, violated: bool) -> Vec<AlertEdge> {
+        self.samples.push_back((now, violated));
+        let max_window = self.spec.max_window();
+        while let Some(&(t, _)) = self.samples.front() {
+            if now.saturating_since(t) > max_window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, rule) in self.spec.rules.iter().enumerate() {
+            let (violations, total) = self.window_counts_for(now, rule.window);
+            if total < u64::from(self.spec.min_samples) {
+                continue;
+            }
+            let burn = burn_rate(violations, total, self.spec.budget);
+            let over = burn >= rule.threshold;
+            if over != self.active[i] {
+                self.active[i] = over;
+                edges.push(AlertEdge {
+                    rule: i as u32,
+                    fired: over,
+                    burn_milli: to_milli(burn),
+                });
+            }
+        }
+        edges
+    }
+}
+
+/// Burn rate of `violations` out of `total` completions against `budget`.
+#[must_use]
+pub fn burn_rate(violations: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    (violations as f64 / total as f64) / budget
+}
+
+/// Deterministic milli-unit encoding of a burn rate for trace payloads.
+#[must_use]
+pub fn to_milli(burn: f64) -> u64 {
+    (burn * 1000.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn spec_one_rule() -> SloAlertSpec {
+        SloAlertSpec {
+            budget: 0.05,
+            min_samples: 5,
+            rules: vec![SloAlertRule {
+                window: SimDuration::from_secs_f64(10.0),
+                threshold: 4.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn quiet_stream_never_fires() {
+        let mut tracker = SloBurnTracker::new(spec_one_rule());
+        for i in 0..100 {
+            let edges = tracker.observe(secs(i as f64 * 0.1), false);
+            assert!(edges.is_empty(), "quiet completion fired: {edges:?}");
+        }
+        assert_eq!(tracker.burn_gauge(secs(10.0)), Some(0.0));
+    }
+
+    #[test]
+    fn burst_of_violations_fires_once_then_resolves() {
+        let mut tracker = SloBurnTracker::new(spec_one_rule());
+        // Warm up with healthy completions.
+        for i in 0..10 {
+            assert!(tracker.observe(secs(i as f64 * 0.1), false).is_empty());
+        }
+        // An incident: every completion violates. Burn crosses 4× (20% of
+        // the window violating) and must fire exactly once.
+        let mut fired = 0;
+        for i in 0..10 {
+            for e in tracker.observe(secs(1.0 + i as f64 * 0.1), true) {
+                assert!(e.fired);
+                assert!(e.burn_milli >= 4_000, "burn at edge: {}", e.burn_milli);
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "a sustained burn latches");
+        // Recovery: healthy completions push the window rate back down and
+        // the rule resolves exactly once.
+        let mut resolved = 0;
+        for i in 0..200 {
+            for e in tracker.observe(secs(2.0 + i as f64 * 0.1), false) {
+                assert!(!e.fired);
+                resolved += 1;
+            }
+        }
+        assert_eq!(resolved, 1, "the latch resolves once");
+    }
+
+    #[test]
+    fn min_samples_suppresses_cold_start() {
+        let mut tracker = SloBurnTracker::new(spec_one_rule());
+        // Four violations in a row — a 100% rate, but below min_samples.
+        for i in 0..4 {
+            assert!(tracker.observe(secs(i as f64), true).is_empty());
+        }
+        // The fifth reaches min_samples and fires.
+        let edges = tracker.observe(secs(4.0), true);
+        assert_eq!(edges.len(), 1);
+        assert!(edges[0].fired);
+    }
+
+    #[test]
+    fn old_samples_age_out_of_the_window() {
+        let mut tracker = SloBurnTracker::new(spec_one_rule());
+        for i in 0..5 {
+            tracker.observe(secs(i as f64 * 0.1), true);
+        }
+        assert!(tracker.burn_gauge(secs(0.5)).unwrap() > 4.0);
+        // 20 s later the window is empty again.
+        assert_eq!(tracker.window_counts(secs(20.5)), (0, 0));
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_format() {
+        let spec = SloAlertSpec::parse(
+            "# alerting\nbudget 0.05\nmin-samples 10\nrule 5.0 6.0\nrule 20.0 2.0 # slow\n",
+        )
+        .expect("parses");
+        assert_eq!(spec.budget, 0.05);
+        assert_eq!(spec.min_samples, 10);
+        assert_eq!(spec.rules.len(), 2);
+        assert_eq!(spec.rules[1].window, SimDuration::from_secs_f64(20.0));
+        assert_eq!(spec.max_window(), SimDuration::from_secs_f64(20.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines_with_line_numbers() {
+        assert!(SloAlertSpec::parse("rule 5.0")
+            .expect_err("arity")
+            .contains("line 1"));
+        assert!(SloAlertSpec::parse("rule 0 2.0")
+            .expect_err("window")
+            .contains("window must be positive"));
+        assert!(SloAlertSpec::parse("rule 5.0 -1")
+            .expect_err("threshold")
+            .contains("threshold must be positive"));
+        assert!(SloAlertSpec::parse("budget 2.0\nrule 5 2")
+            .expect_err("budget")
+            .contains("(0, 1)"));
+        assert!(SloAlertSpec::parse("explode 1\nrule 5 2")
+            .expect_err("directive")
+            .contains("valid directives: budget, min-samples, rule"));
+        assert!(SloAlertSpec::parse("budget 0.05")
+            .expect_err("no rules")
+            .contains("at least one rule"));
+        assert!(SloAlertSpec::parse("budget .1\nbudget .1\nrule 5 2")
+            .expect_err("dup")
+            .contains("duplicate budget"));
+    }
+
+    #[test]
+    fn preset_keys_round_trip_and_errors_list_valid() {
+        for p in SloAlertPreset::ALL {
+            assert_eq!(SloAlertPreset::parse(p.key()), Ok(p));
+        }
+        let err = SloAlertPreset::parse("klaxon").expect_err("unknown");
+        assert!(err.contains("valid: paging, ticket"), "{err}");
+        let spec = SloAlertPreset::Paging.spec(100.0);
+        assert_eq!(spec.rules.len(), 1);
+        assert_eq!(spec.rules[0].window, SimDuration::from_secs_f64(5.0));
+    }
+}

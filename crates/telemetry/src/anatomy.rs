@@ -1,0 +1,606 @@
+//! Latency anatomy: per-request span reconstruction and blame attribution.
+//!
+//! Replays a run's [`TraceEvent`] stream into one timeline per request and
+//! decomposes its end-to-end latency into an **exact additive blame**
+//! vector: at any instant between arrival and termination the request is
+//! in exactly one of seven states (queued, in service, offloading, parked
+//! in CPU memory, or migrating at one of the three escape tiers), so the
+//! per-component durations partition the measured latency. The same
+//! partition clipped at the first answering token yields the TTFT blame.
+//! Both conservation identities are asserted for every request — a blame
+//! vector that does not sum to the measured latency is a bug, never noise.
+//!
+//! The reconstruction is a pure function over the event slice: no
+//! filesystem, no engine state, deterministic for a deterministic trace.
+
+use std::collections::HashMap;
+
+use pascal_sim::SimTime;
+
+use crate::event::{EscapeTier, TraceEvent, TraceEventKind};
+
+/// Number of blame components (see [`Blame::as_array`]).
+pub const BLAME_COMPONENTS: usize = 7;
+
+/// Stable component names, index-aligned with [`Blame::as_array`].
+pub const BLAME_COMPONENT_NAMES: [&str; BLAME_COMPONENTS] = [
+    "queue",
+    "service",
+    "offload",
+    "parked",
+    "migration_intra",
+    "migration_cross_shard",
+    "migration_cross_region",
+];
+
+/// An exact additive latency decomposition, in integer nanoseconds.
+///
+/// The components partition a request's wall interval, so
+/// [`Blame::total_ns`] equals the measured latency exactly — u64
+/// arithmetic, no float drift.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Blame {
+    /// Waiting for first service: arrival → prefill launch (includes any
+    /// post-outage rebalance waits — the request is still queued).
+    pub queue_ns: u64,
+    /// On a GPU: prefill plus decode plus any on-GPU scheduling slack.
+    pub service_ns: u64,
+    /// Preemption offload in flight (GPU → CPU over PCIe).
+    pub offload_ns: u64,
+    /// Parked in CPU memory waiting for readmission (includes the reload
+    /// transfer — the trace marks its completion, not its launch).
+    pub parked_ns: u64,
+    /// Intra-shard migration transfer in flight.
+    pub migration_intra_ns: u64,
+    /// Cross-shard migration transfer in flight.
+    pub migration_cross_shard_ns: u64,
+    /// Cross-region (WAN) migration transfer in flight.
+    pub migration_cross_region_ns: u64,
+}
+
+impl Blame {
+    /// The components as an array, index-aligned with
+    /// [`BLAME_COMPONENT_NAMES`].
+    #[must_use]
+    pub fn as_array(&self) -> [u64; BLAME_COMPONENTS] {
+        [
+            self.queue_ns,
+            self.service_ns,
+            self.offload_ns,
+            self.parked_ns,
+            self.migration_intra_ns,
+            self.migration_cross_shard_ns,
+            self.migration_cross_region_ns,
+        ]
+    }
+
+    /// Sum of every component — by construction the measured latency.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.as_array().iter().sum()
+    }
+
+    fn add(&mut self, seg: Segment, ns: u64) {
+        match seg {
+            Segment::Queue => self.queue_ns += ns,
+            Segment::Service => self.service_ns += ns,
+            Segment::Offload => self.offload_ns += ns,
+            Segment::Parked => self.parked_ns += ns,
+            Segment::Migration(EscapeTier::Intra) => self.migration_intra_ns += ns,
+            Segment::Migration(EscapeTier::CrossShard) => self.migration_cross_shard_ns += ns,
+            Segment::Migration(EscapeTier::CrossRegion) => self.migration_cross_region_ns += ns,
+        }
+    }
+}
+
+/// How a request's timeline ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnatomyOutcome {
+    /// Generated its final token.
+    Completed,
+    /// Lost to a fail-stop outage.
+    Stranded,
+}
+
+/// One request's reconstructed timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestAnatomy {
+    /// Request id.
+    pub request: u64,
+    /// Region of the arrival event (where the request was first placed).
+    pub region: u32,
+    /// Shard (global id) of the arrival event.
+    pub shard: u32,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// First answering token, when the request answered at all — the
+    /// instant the paper's TTFT clock stops.
+    pub first_answer: Option<SimTime>,
+    /// Termination time (completion or stranding).
+    pub end: SimTime,
+    /// How the timeline ended.
+    pub outcome: AnatomyOutcome,
+    /// End-to-end blame: components sum exactly to `end - arrival`.
+    pub e2e: Blame,
+    /// TTFT blame (the E2E partition clipped at `first_answer`):
+    /// components sum exactly to `first_answer - arrival`.
+    pub ttft: Option<Blame>,
+    /// Preemptions suffered.
+    pub preemptions: u32,
+    /// Migration transfers ridden (any tier).
+    pub migrations: u32,
+    /// Demotions (speculative or threshold-triggered).
+    pub demotions: u32,
+    /// Migration decisions vetoed by the cost/benefit test.
+    pub vetoes: u32,
+    /// Deferred intra-shard fallback moves after a failed escape.
+    pub fallbacks: u32,
+    /// Post-outage rebalancer re-placements while queued.
+    pub rebalances: u32,
+    /// Whether admission spilled the arrival to a remote region.
+    pub spilled: bool,
+}
+
+impl RequestAnatomy {
+    /// Measured end-to-end latency in nanoseconds.
+    #[must_use]
+    pub fn e2e_ns(&self) -> u64 {
+        self.end.as_nanos() - self.arrival.as_nanos()
+    }
+
+    /// Measured TTFT in nanoseconds, when the request answered.
+    #[must_use]
+    pub fn ttft_ns(&self) -> Option<u64> {
+        self.first_answer
+            .map(|fa| fa.as_nanos() - self.arrival.as_nanos())
+    }
+}
+
+/// The full anatomy of one traced run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnatomyReport {
+    /// One timeline per terminated request, ordered by request id.
+    pub requests: Vec<RequestAnatomy>,
+    /// Arrivals turned away by admission control (no timeline: a rejected
+    /// request accrues no servable latency).
+    pub rejected: u64,
+    /// Request-scoped events whose request never terminated in this trace
+    /// (a truncated capture) — their partial timelines are dropped rather
+    /// than reported with broken conservation.
+    pub unterminated: u64,
+}
+
+/// The state a request occupies between two of its trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    Queue,
+    Service,
+    Offload,
+    Parked,
+    Migration(EscapeTier),
+}
+
+/// Per-request accumulator while scanning the event stream.
+struct Builder {
+    region: u32,
+    shard: u32,
+    arrival: SimTime,
+    seg: Segment,
+    seg_start: SimTime,
+    e2e: Blame,
+    first_answer: Option<SimTime>,
+    ttft: Option<Blame>,
+    preemptions: u32,
+    migrations: u32,
+    demotions: u32,
+    vetoes: u32,
+    fallbacks: u32,
+    rebalances: u32,
+    spilled: bool,
+}
+
+impl Builder {
+    fn new(ev: &TraceEvent) -> Self {
+        Builder {
+            region: ev.region,
+            shard: ev.shard,
+            arrival: ev.at,
+            seg: Segment::Queue,
+            seg_start: ev.at,
+            e2e: Blame::default(),
+            first_answer: None,
+            ttft: None,
+            preemptions: 0,
+            migrations: 0,
+            demotions: 0,
+            vetoes: 0,
+            fallbacks: 0,
+            rebalances: 0,
+            spilled: false,
+        }
+    }
+
+    /// Closes the open segment at `at` and opens the next one.
+    fn advance(&mut self, at: SimTime, next: Segment) {
+        let ns = at
+            .as_nanos()
+            .checked_sub(self.seg_start.as_nanos())
+            .expect("trace timestamps are monotone per request");
+        self.e2e.add(self.seg, ns);
+        self.seg = next;
+        self.seg_start = at;
+    }
+
+    fn finish(mut self, request: u64, at: SimTime, outcome: AnatomyOutcome) -> RequestAnatomy {
+        self.advance(at, Segment::Queue);
+        let anatomy = RequestAnatomy {
+            request,
+            region: self.region,
+            shard: self.shard,
+            arrival: self.arrival,
+            first_answer: self.first_answer,
+            end: at,
+            outcome,
+            e2e: self.e2e,
+            ttft: self.ttft,
+            preemptions: self.preemptions,
+            migrations: self.migrations,
+            demotions: self.demotions,
+            vetoes: self.vetoes,
+            fallbacks: self.fallbacks,
+            rebalances: self.rebalances,
+            spilled: self.spilled,
+        };
+        assert_eq!(
+            anatomy.e2e.total_ns(),
+            anatomy.e2e_ns(),
+            "E2E blame conservation broken for request {request}"
+        );
+        if let Some(ttft) = &anatomy.ttft {
+            assert_eq!(
+                Some(ttft.total_ns()),
+                anatomy.ttft_ns(),
+                "TTFT blame conservation broken for request {request}"
+            );
+        }
+        anatomy
+    }
+}
+
+/// Reconstructs every request timeline in `events` (a run's full trace, in
+/// emission order) and returns the blame decompositions.
+///
+/// # Panics
+///
+/// Panics if a reconstructed blame vector fails its conservation identity
+/// — impossible for a well-formed trace, and a loud bug if the trace or
+/// the reconstruction ever regresses.
+#[must_use]
+pub fn reconstruct(events: &[TraceEvent]) -> AnatomyReport {
+    let mut open: HashMap<u64, Builder> = HashMap::new();
+    let mut done: Vec<RequestAnatomy> = Vec::new();
+    let mut rejected = 0u64;
+    for ev in events {
+        let Some(request) = ev.request else {
+            continue; // fleet and alert events are not request-scoped
+        };
+        match &ev.kind {
+            TraceEventKind::Arrival => {
+                open.insert(request, Builder::new(ev));
+            }
+            TraceEventKind::AdmissionRejected { .. } => {
+                rejected += 1;
+                open.remove(&request);
+            }
+            TraceEventKind::AdmissionSpilled { .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.spilled = true;
+                }
+            }
+            TraceEventKind::PrefillStart { .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.advance(ev.at, Segment::Service);
+                }
+            }
+            TraceEventKind::FirstAnswerToken => {
+                if let Some(b) = open.get_mut(&request) {
+                    // TTFT blame = the E2E partition accumulated so far
+                    // plus the open segment clipped at this instant.
+                    let mut ttft = b.e2e;
+                    ttft.add(b.seg, ev.at.as_nanos() - b.seg_start.as_nanos());
+                    b.first_answer = Some(ev.at);
+                    b.ttft = Some(ttft);
+                }
+            }
+            TraceEventKind::Preempted => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.preemptions += 1;
+                    b.advance(ev.at, Segment::Offload);
+                }
+            }
+            TraceEventKind::OffloadDone => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.advance(ev.at, Segment::Parked);
+                }
+            }
+            TraceEventKind::ReloadDone => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.advance(ev.at, Segment::Service);
+                }
+            }
+            TraceEventKind::MigrationLaunched { tier, .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.migrations += 1;
+                    b.advance(ev.at, Segment::Migration(*tier));
+                }
+            }
+            TraceEventKind::MigrationLanded { in_cpu } => {
+                if let Some(b) = open.get_mut(&request) {
+                    let next = if *in_cpu {
+                        Segment::Parked
+                    } else {
+                        Segment::Service
+                    };
+                    b.advance(ev.at, next);
+                }
+            }
+            TraceEventKind::Completed { .. } => {
+                if let Some(b) = open.remove(&request) {
+                    done.push(b.finish(request, ev.at, AnatomyOutcome::Completed));
+                }
+            }
+            TraceEventKind::RequestStranded => {
+                if let Some(b) = open.remove(&request) {
+                    done.push(b.finish(request, ev.at, AnatomyOutcome::Stranded));
+                }
+            }
+            TraceEventKind::SpeculativeDemotion | TraceEventKind::Demoted => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.demotions += 1;
+                }
+            }
+            TraceEventKind::MigrationVetoed { .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.vetoes += 1;
+                }
+            }
+            TraceEventKind::EscapeFallback { .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.fallbacks += 1;
+                }
+            }
+            TraceEventKind::RequestRebalanced { .. } => {
+                if let Some(b) = open.get_mut(&request) {
+                    b.rebalances += 1;
+                }
+            }
+            // Decision markers and fleet/alert events leave the request's
+            // occupancy state unchanged.
+            TraceEventKind::PhaseTransition
+            | TraceEventKind::MigrationConsidered { .. }
+            | TraceEventKind::MigrationAborted { .. }
+            | TraceEventKind::InstanceDown
+            | TraceEventKind::InstanceDraining
+            | TraceEventKind::InstanceUp
+            | TraceEventKind::DrainComplete
+            | TraceEventKind::AutoscaleUp
+            | TraceEventKind::AutoscaleDown
+            | TraceEventKind::SloAlertFired { .. }
+            | TraceEventKind::SloAlertResolved { .. } => {}
+        }
+    }
+    let unterminated = open.len() as u64;
+    done.sort_by_key(|r| r.request);
+    AnatomyReport {
+        requests: done,
+        rejected,
+        unterminated,
+    }
+}
+
+/// Aggregate blame statistics of one component across a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComponentProfile {
+    /// Mean share of E2E latency this component eats (0..=1).
+    pub mean_share: f64,
+    /// p99 (nearest-rank) of the per-request share.
+    pub p99_share: f64,
+    /// Total nanoseconds attributed across all requests.
+    pub total_ns: u64,
+}
+
+/// Per-run blame profile: the aggregation the CLI and sweep report expose.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlameProfile {
+    /// Requests with a blame decomposition (completed or stranded).
+    pub requests: u64,
+    /// One profile per component, index-aligned with
+    /// [`BLAME_COMPONENT_NAMES`].
+    pub components: [ComponentProfile; BLAME_COMPONENTS],
+    /// Mean measured E2E latency, seconds.
+    pub mean_e2e_s: f64,
+    /// p99 (nearest-rank) measured E2E latency, seconds.
+    pub p99_e2e_s: f64,
+}
+
+/// Nearest-rank percentile of a sorted slice (`q` in 0..=1).
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Aggregates per-request decompositions into a [`BlameProfile`].
+/// Zero-latency requests contribute zero share to every component.
+#[must_use]
+pub fn aggregate(requests: &[RequestAnatomy]) -> BlameProfile {
+    let n = requests.len();
+    if n == 0 {
+        return BlameProfile::default();
+    }
+    let mut components = [ComponentProfile::default(); BLAME_COMPONENTS];
+    let mut shares: Vec<Vec<f64>> = (0..BLAME_COMPONENTS)
+        .map(|_| Vec::with_capacity(n))
+        .collect();
+    let mut e2e: Vec<f64> = Vec::with_capacity(n);
+    for r in requests {
+        let total = r.e2e_ns();
+        e2e.push(total as f64 / 1e9);
+        let parts = r.e2e.as_array();
+        for (c, &ns) in parts.iter().enumerate() {
+            let share = if total == 0 {
+                0.0
+            } else {
+                ns as f64 / total as f64
+            };
+            shares[c].push(share);
+            components[c].total_ns += ns;
+        }
+    }
+    for (c, comp) in components.iter_mut().enumerate() {
+        comp.mean_share = shares[c].iter().sum::<f64>() / n as f64;
+        let mut sorted = shares[c].clone();
+        sorted.sort_by(f64::total_cmp);
+        comp.p99_share = percentile_sorted(&sorted, 0.99);
+    }
+    let mut e2e_sorted = e2e.clone();
+    e2e_sorted.sort_by(f64::total_cmp);
+    BlameProfile {
+        requests: n as u64,
+        components,
+        mean_e2e_s: e2e.iter().sum::<f64>() / n as f64,
+        p99_e2e_s: percentile_sorted(&e2e_sorted, 0.99),
+    }
+}
+
+/// The `k` worst requests by measured E2E latency, worst first (ties by
+/// request id so the ranking is deterministic).
+#[must_use]
+pub fn worst_requests(requests: &[RequestAnatomy], k: usize) -> Vec<&RequestAnatomy> {
+    let mut by_latency: Vec<&RequestAnatomy> = requests.iter().collect();
+    by_latency.sort_by(|a, b| b.e2e_ns().cmp(&a.e2e_ns()).then(a.request.cmp(&b.request)));
+    by_latency.truncate(k);
+    by_latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, request: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(t_ns),
+            region: 0,
+            shard: 0,
+            instance: Some(0),
+            request: Some(request),
+            kind,
+        }
+    }
+
+    #[test]
+    fn straight_through_request_splits_queue_and_service() {
+        let events = vec![
+            ev(100, 1, TraceEventKind::Arrival),
+            ev(400, 1, TraceEventKind::PrefillStart { queued_ns: 300 }),
+            ev(700, 1, TraceEventKind::FirstAnswerToken),
+            ev(1_000, 1, TraceEventKind::Completed { tokens: 4 }),
+        ];
+        let report = reconstruct(&events);
+        assert_eq!(report.requests.len(), 1);
+        let r = &report.requests[0];
+        assert_eq!(r.e2e.queue_ns, 300);
+        assert_eq!(r.e2e.service_ns, 600);
+        assert_eq!(r.e2e.total_ns(), 900);
+        assert_eq!(r.e2e_ns(), 900);
+        let ttft = r.ttft.as_ref().expect("answered");
+        assert_eq!(ttft.queue_ns, 300);
+        assert_eq!(ttft.service_ns, 300);
+        assert_eq!(r.ttft_ns(), Some(600));
+        assert_eq!(r.outcome, AnatomyOutcome::Completed);
+    }
+
+    #[test]
+    fn preemption_and_migration_segments_are_attributed() {
+        let events = vec![
+            ev(0, 2, TraceEventKind::Arrival),
+            ev(10, 2, TraceEventKind::PrefillStart { queued_ns: 10 }),
+            ev(30, 2, TraceEventKind::Preempted),
+            ev(40, 2, TraceEventKind::OffloadDone),
+            ev(90, 2, TraceEventKind::ReloadDone),
+            ev(
+                100,
+                2,
+                TraceEventKind::MigrationLaunched {
+                    tier: EscapeTier::CrossShard,
+                    to_shard: 1,
+                    to_instance: 4,
+                    bytes: 1,
+                },
+            ),
+            ev(130, 2, TraceEventKind::MigrationLanded { in_cpu: true }),
+            ev(150, 2, TraceEventKind::ReloadDone),
+            ev(160, 2, TraceEventKind::FirstAnswerToken),
+            ev(200, 2, TraceEventKind::Completed { tokens: 9 }),
+        ];
+        let report = reconstruct(&events);
+        let r = &report.requests[0];
+        assert_eq!(r.e2e.queue_ns, 10);
+        assert_eq!(r.e2e.offload_ns, 10);
+        // CPU-parked twice: 40→90 and the in-CPU landing 130→150.
+        assert_eq!(r.e2e.parked_ns, 70);
+        assert_eq!(r.e2e.migration_cross_shard_ns, 30);
+        assert_eq!(r.e2e.service_ns, 80);
+        assert_eq!(r.e2e.total_ns(), 200);
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.migrations, 1);
+        let ttft = r.ttft.as_ref().expect("answered");
+        assert_eq!(ttft.total_ns(), 160);
+    }
+
+    #[test]
+    fn stranded_and_rejected_requests_are_tallied() {
+        let events = vec![
+            ev(0, 3, TraceEventKind::Arrival),
+            ev(50, 3, TraceEventKind::RequestStranded),
+            ev(10, 4, TraceEventKind::Arrival),
+            ev(
+                10,
+                4,
+                TraceEventKind::AdmissionRejected {
+                    projected_kv_bytes: 9,
+                    budget_bytes: 1,
+                },
+            ),
+            ev(20, 5, TraceEventKind::Arrival),
+        ];
+        let report = reconstruct(&events);
+        assert_eq!(report.requests.len(), 1);
+        assert_eq!(report.requests[0].outcome, AnatomyOutcome::Stranded);
+        assert_eq!(report.requests[0].e2e.queue_ns, 50);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.unterminated, 1);
+    }
+
+    #[test]
+    fn aggregate_profiles_share_out_to_one() {
+        let events = vec![
+            ev(0, 1, TraceEventKind::Arrival),
+            ev(40, 1, TraceEventKind::PrefillStart { queued_ns: 40 }),
+            ev(100, 1, TraceEventKind::Completed { tokens: 1 }),
+            ev(0, 2, TraceEventKind::Arrival),
+            ev(10, 2, TraceEventKind::PrefillStart { queued_ns: 10 }),
+            ev(200, 2, TraceEventKind::Completed { tokens: 1 }),
+        ];
+        let report = reconstruct(&events);
+        let profile = aggregate(&report.requests);
+        assert_eq!(profile.requests, 2);
+        let mean_total: f64 = profile.components.iter().map(|c| c.mean_share).sum();
+        assert!((mean_total - 1.0).abs() < 1e-12, "shares sum to 1");
+        assert!((profile.p99_e2e_s - 2e-7).abs() < 1e-18);
+        let worst = worst_requests(&report.requests, 1);
+        assert_eq!(worst[0].request, 2);
+    }
+}

@@ -56,9 +56,18 @@ pub enum TraceEventKind {
     /// was demoted to the low-priority queue (§IV-C).
     Demoted,
     /// The request's prefill began executing.
-    PrefillStart,
-    /// The reasoning → answering phase boundary (first user-visible token).
+    PrefillStart {
+        /// Nanoseconds the request waited between arrival and this prefill
+        /// launch — queue wait as a first-class field, so analyzers never
+        /// have to re-derive it by joining against the arrival event.
+        queued_ns: u64,
+    },
+    /// The reasoning → answering phase boundary (the boundary token).
     PhaseTransition,
+    /// The request generated its first *answering* token — the instant the
+    /// paper's TTFT clock stops (`RequestRecord::ttft`). Only emitted for
+    /// requests that answer at all.
+    FirstAnswerToken,
     /// The request was preempted: its KV offload to host memory started.
     Preempted,
     /// The KV offload finished; the request now waits in the CPU pool.
@@ -130,6 +139,21 @@ pub enum TraceEventKind {
     AutoscaleUp,
     /// The autoscaler started draining a managed instance.
     AutoscaleDown,
+    /// A sliding-window SLO burn-rate rule crossed its threshold (rising
+    /// edge; the rule stays latched until [`TraceEventKind::SloAlertResolved`]).
+    SloAlertFired {
+        /// Index of the rule in the run's alert spec.
+        rule: u32,
+        /// Burn rate at the firing edge, in milli-units (1000 = budget
+        /// burning exactly at the sustainable rate). Integer so serialized
+        /// traces stay byte-stable.
+        burn_milli: u64,
+    },
+    /// A latched burn-rate rule dropped back below its threshold.
+    SloAlertResolved {
+        /// Index of the rule in the run's alert spec.
+        rule: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -142,8 +166,9 @@ impl TraceEventKind {
             TraceEventKind::AdmissionSpilled { .. } => "admission_spilled",
             TraceEventKind::SpeculativeDemotion => "speculative_demotion",
             TraceEventKind::Demoted => "demoted",
-            TraceEventKind::PrefillStart => "prefill_start",
+            TraceEventKind::PrefillStart { .. } => "prefill_start",
             TraceEventKind::PhaseTransition => "phase_transition",
+            TraceEventKind::FirstAnswerToken => "first_answer_token",
             TraceEventKind::Preempted => "preempted",
             TraceEventKind::OffloadDone => "offload_done",
             TraceEventKind::ReloadDone => "reload_done",
@@ -162,6 +187,8 @@ impl TraceEventKind {
             TraceEventKind::RequestRebalanced { .. } => "request_rebalanced",
             TraceEventKind::AutoscaleUp => "autoscale_up",
             TraceEventKind::AutoscaleDown => "autoscale_down",
+            TraceEventKind::SloAlertFired { .. } => "slo_alert_fired",
+            TraceEventKind::SloAlertResolved { .. } => "slo_alert_resolved",
         }
     }
 }
@@ -198,8 +225,9 @@ mod tests {
             TraceEventKind::AdmissionSpilled { to_region: 1 },
             TraceEventKind::SpeculativeDemotion,
             TraceEventKind::Demoted,
-            TraceEventKind::PrefillStart,
+            TraceEventKind::PrefillStart { queued_ns: 5 },
             TraceEventKind::PhaseTransition,
+            TraceEventKind::FirstAnswerToken,
             TraceEventKind::Preempted,
             TraceEventKind::OffloadDone,
             TraceEventKind::ReloadDone,
@@ -229,6 +257,11 @@ mod tests {
             TraceEventKind::RequestRebalanced { to_instance: 3 },
             TraceEventKind::AutoscaleUp,
             TraceEventKind::AutoscaleDown,
+            TraceEventKind::SloAlertFired {
+                rule: 0,
+                burn_milli: 1500,
+            },
+            TraceEventKind::SloAlertResolved { rule: 0 },
         ];
         let mut keys: Vec<&str> = kinds.iter().map(TraceEventKind::key).collect();
         keys.sort_unstable();

@@ -27,6 +27,15 @@
 //! when a stream is disabled, the corresponding emit call is a single
 //! branch on a `bool` and nothing else.
 //!
+//! On top of the trace stream sit two analysis layers:
+//!
+//! * **Latency anatomy** ([`anatomy`]) — replays a trace into per-request
+//!   span timelines and an exact additive blame decomposition of TTFT and
+//!   E2E latency (components always sum to the measured latency).
+//! * **SLO burn-rate alerting** ([`alert`]) — sliding-window error-budget
+//!   tracking over completion outcomes, with declarative rules evaluated
+//!   in sim-time; fired alerts become trace events and run outputs.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,12 +64,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
+pub mod anatomy;
 mod event;
 mod handle;
 mod profiler;
 mod series;
 mod sink;
 
+pub use alert::{
+    AlertEdge, SloAlertPreset, SloAlertRecord, SloAlertRule, SloAlertSpec, SloBurnTracker,
+};
+pub use anatomy::{
+    aggregate, reconstruct, worst_requests, AnatomyOutcome, AnatomyReport, Blame, BlameProfile,
+    ComponentProfile, RequestAnatomy, BLAME_COMPONENTS, BLAME_COMPONENT_NAMES,
+};
 pub use event::{EscapeTier, TraceEvent, TraceEventKind};
 pub use handle::{TelemetryConfig, TelemetryHandle, TelemetryOut};
 pub use profiler::{HotPathProfiler, ProfileReport, ProfileRow, ProfiledEvent};

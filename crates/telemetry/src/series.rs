@@ -61,11 +61,16 @@ pub struct SeriesRow {
     /// Seconds until the region's WAN port drains its queued transfers
     /// (zero when idle). `None` on shard rows and single-region runs.
     pub wan_busy_s: Option<f64>,
+    /// SLO error-budget burn rate over the alert tracker's widest window
+    /// (1.0 = spending the budget at exactly the sustainable pace). `None`
+    /// without `--alerts`, or before the scope's first completion.
+    pub slo_burn: Option<f64>,
 }
 
 /// The CSV header, in column order.
 const CSV_HEADER: &str = "t_s,scope,region,shard,queue_depth,active,reasoning,answering,\
-kv_used_bytes,kv_capacity_bytes,admission_headroom_bytes,predictor_mean_abs_error,wan_busy_s";
+kv_used_bytes,kv_capacity_bytes,admission_headroom_bytes,predictor_mean_abs_error,wan_busy_s,\
+slo_burn";
 
 /// Shortest `f64` representation that round-trips.
 fn fmt_f64(v: f64) -> String {
@@ -79,7 +84,7 @@ pub fn series_to_csv(rows: &[SeriesRow]) -> String {
     out.push('\n');
     for r in rows {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             fmt_f64(r.t.as_secs_f64()),
             r.scope.key(),
             r.region,
@@ -95,6 +100,7 @@ pub fn series_to_csv(rows: &[SeriesRow]) -> String {
                 .unwrap_or_default(),
             r.predictor_mean_abs_error.map(fmt_f64).unwrap_or_default(),
             r.wan_busy_s.map(fmt_f64).unwrap_or_default(),
+            r.slo_burn.map(fmt_f64).unwrap_or_default(),
         ));
     }
     out
@@ -112,7 +118,8 @@ pub fn series_to_json(rows: &[SeriesRow]) -> String {
         out.push_str(&format!(
             "{{\"t_s\":{},\"scope\":\"{}\",\"region\":{},\"shard\":{},\"queue_depth\":{},\
 \"active\":{},\"reasoning\":{},\"answering\":{},\"kv_used_bytes\":{},\"kv_capacity_bytes\":{},\
-\"admission_headroom_bytes\":{},\"predictor_mean_abs_error\":{},\"wan_busy_s\":{}}}",
+\"admission_headroom_bytes\":{},\"predictor_mean_abs_error\":{},\"wan_busy_s\":{},\
+\"slo_burn\":{}}}",
             fmt_f64(r.t.as_secs_f64()),
             r.scope.key(),
             r.region,
@@ -134,6 +141,7 @@ pub fn series_to_json(rows: &[SeriesRow]) -> String {
             r.wan_busy_s
                 .map(fmt_f64)
                 .unwrap_or_else(|| "null".to_owned()),
+            r.slo_burn.map(fmt_f64).unwrap_or_else(|| "null".to_owned()),
         ));
     }
     out.push_str("\n]\n");
@@ -160,6 +168,7 @@ mod tests {
                 admission_headroom_bytes: Some(-128),
                 predictor_mean_abs_error: Some(12.5),
                 wan_busy_s: None,
+                slo_burn: Some(1.5),
             },
             SeriesRow {
                 t: SimTime::from_secs_f64(1.0),
@@ -175,6 +184,7 @@ mod tests {
                 admission_headroom_bytes: None,
                 predictor_mean_abs_error: None,
                 wan_busy_s: Some(0.25),
+                slo_burn: None,
             },
         ]
     }
@@ -188,7 +198,7 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
         }
-        assert!(lines[1].contains("shard,0,1,3,8,5,2,1024,4096,-128,12.5,"));
+        assert!(lines[1].contains("shard,0,1,3,8,5,2,1024,4096,-128,12.5,,1.5"));
         assert!(lines[2].contains("region,0,,3,8"));
     }
 

@@ -89,11 +89,20 @@ fn push_kind_fields(out: &mut String, kind: &TraceEventKind) {
         TraceEventKind::RequestRebalanced { to_instance } => {
             out.push_str(&format!(",\"to_instance\":{to_instance}"));
         }
+        TraceEventKind::PrefillStart { queued_ns } => {
+            out.push_str(&format!(",\"queued_ns\":{queued_ns}"));
+        }
+        TraceEventKind::SloAlertFired { rule, burn_milli } => {
+            out.push_str(&format!(",\"rule\":{rule},\"burn_milli\":{burn_milli}"));
+        }
+        TraceEventKind::SloAlertResolved { rule } => {
+            out.push_str(&format!(",\"rule\":{rule}"));
+        }
         TraceEventKind::Arrival
         | TraceEventKind::SpeculativeDemotion
         | TraceEventKind::Demoted
-        | TraceEventKind::PrefillStart
         | TraceEventKind::PhaseTransition
+        | TraceEventKind::FirstAnswerToken
         | TraceEventKind::Preempted
         | TraceEventKind::OffloadDone
         | TraceEventKind::ReloadDone

@@ -12,10 +12,12 @@ use std::process::ExitCode;
 
 use pascal::core::report::{records_csv, render_table};
 use pascal::core::sweep::gate::{compare, GateTolerances};
+use pascal::core::sweep::SweepThroughput;
 use pascal::core::{
-    estimate_capacity_rps, events_to_chrome, events_to_jsonl, run_simulation, series_to_csv,
-    series_to_json, AdmissionMode, FleetPreset, FleetSpec, RateLevel, SimConfig, SweepGrid,
-    SweepReport, SweepRunner, TelemetryConfig, TraceFormat,
+    anatomy_to_csv, anatomy_to_json, anatomy_waterfall, estimate_capacity_rps, events_to_chrome,
+    events_to_jsonl, parse_trace_jsonl, run_simulation, series_to_csv, series_to_json,
+    AdmissionMode, FleetPreset, FleetSpec, RateLevel, SimConfig, SweepGrid, SweepReport,
+    SweepRunner, TelemetryConfig, TraceFormat,
 };
 use pascal::federation::{FederationPolicy, WanLink};
 use pascal::metrics::{
@@ -25,6 +27,7 @@ use pascal::metrics::{
 use pascal::predict::PredictorKind;
 use pascal::sched::{PolicyKind, RouterPolicy, SchedPolicy};
 use pascal::sim::SimDuration;
+use pascal::telemetry::{reconstruct, SloAlertPreset, SloAlertSpec};
 use pascal::workload::{ArrivalProcess, DatasetMix, MixPreset, TraceBuilder};
 
 const USAGE: &str = "\
@@ -33,6 +36,7 @@ pascal-cli — PASCAL reasoning-LLM serving simulator
 USAGE:
   pascal-cli run [OPTIONS]       simulate a trace and print metrics
   pascal-cli sweep [OPTIONS]     run a scenario grid on a worker pool
+  pascal-cli analyze [OPTIONS]   latency anatomy of a captured trace
   pascal-cli capacity [OPTIONS]  print the analytic cluster capacity
 
 OPTIONS (run):
@@ -107,6 +111,16 @@ OPTIONS (run):
           else columnar CSV. Needs --series-interval.
   --series-interval <SECS>                          gauge sampling period
           in sim seconds (positive). Needs --series-out.
+  --alerts <PATH|paging|ticket>                     SLO burn-rate alerts [off]
+          evaluate sliding-window error-budget burn rates per shard in
+          sim-time and emit slo_alert_fired/resolved trace events plus a
+          deterministic stderr summary. A PATH is parsed as a
+          line-oriented rule file (`budget <frac>`, `min-samples <n>`,
+          `rule <window_s> <burn_threshold>`; # comments); anything else
+          must name a preset (paging: fast-burn page, ticket: slow-burn
+          ticket), scaled to the run's horizon. Pure observation: the
+          simulation's records and gauges are byte-identical with or
+          without the flag.
   --profile                                         print a wall-clock
           hot-path profile of the event loop to stderr (per-event-type
           counts, timing quantiles, events/sec). Host-dependent by
@@ -153,6 +167,26 @@ OPTIONS (sweep):
           0 = auto, max 64. Cells stay byte-identical at any value —
           this trades cell-level for intra-run parallelism (useful when
           a grid has fewer cells than cores, e.g. stress)          [1]
+  --blame               attach a latency-anatomy blame profile to every
+          cell: each cell runs traced, the trace is reconstructed into an
+          exact additive decomposition of E2E latency (queue, service,
+          offload, parked, migration tiers) and the aggregate lands in
+          the report's schema-5 blame keys/columns. Deterministic; every
+          other cell field is byte-identical with or without it.
+
+OPTIONS (analyze):
+  --trace  <PATH>       a JSONL request-lifecycle trace captured with
+          `run --trace-out` (required). Each request's span timeline is
+          reconstructed and its TTFT/E2E latency decomposed into an
+          exact additive blame profile (segments sum to the measured
+          latency by construction).
+  --format <json|csv|waterfall>                     stdout rendering [json]
+          json is the canonical machine-readable document (aggregate
+          profile + per-request blame), csv is one row per request,
+          waterfall is a human-readable top-K worst-request breakdown.
+  --top    <N>          worst requests in the waterfall rendering     [5]
+  --out    <DIR>        also write anatomy.json, anatomy.csv and
+          waterfall.txt into DIR (created if missing)
 
 Unknown values for any option exit with status 2.
 ";
@@ -198,6 +232,7 @@ struct RunOpts {
     fed_router: String,
     wan: String,
     fleet_events: Option<String>,
+    alerts: Option<String>,
     csv: Option<String>,
     trace_out: Option<String>,
     trace_format: TraceFormat,
@@ -225,6 +260,7 @@ impl Default for RunOpts {
             fed_router: "static".to_owned(),
             wan: "continental".to_owned(),
             fleet_events: None,
+            alerts: None,
             csv: None,
             trace_out: None,
             trace_format: TraceFormat::Jsonl,
@@ -322,6 +358,7 @@ fn parse_opts(args: &[String]) -> Result<RunOpts, String> {
             "--fed-router" => opts.fed_router = value()?,
             "--wan" => opts.wan = value()?,
             "--fleet-events" => opts.fleet_events = Some(value()?),
+            "--alerts" => opts.alerts = Some(value()?),
             "--csv" => opts.csv = Some(value()?),
             "--trace-out" => opts.trace_out = Some(value()?),
             "--trace-format" => {
@@ -471,6 +508,31 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             );
         }
         config.fleet = Some(spec);
+    }
+
+    // SLO burn-rate alerting: a path is an explicit rule file, anything
+    // else must name a preset (scaled to the run's horizon, like the
+    // fleet presets). Observation only — the run's deterministic outputs
+    // never change — so it rides on whatever else the run does.
+    if let Some(src) = &opts.alerts {
+        let spec = if std::path::Path::new(src).is_file() {
+            let text = std::fs::read_to_string(src)
+                .map_err(|e| CliError::Runtime(format!("reading {src}: {e}")))?;
+            SloAlertSpec::parse(&text)
+                .map_err(|e| CliError::Usage(format!("--alerts {src}: {e}")))?
+        } else {
+            let preset = SloAlertPreset::parse(src).map_err(|e| {
+                CliError::Usage(format!("--alerts '{src}': not a readable file, and {e}"))
+            })?;
+            preset.spec(opts.count as f64 / rate)
+        };
+        eprintln!(
+            "slo alerting: {} rule(s), error budget {:.3}, min {} samples",
+            spec.rules.len(),
+            spec.budget,
+            spec.min_samples
+        );
+        config.alerts = Some(spec);
     }
 
     // Predictions only steer PASCAL; under the baselines the predictor is
@@ -757,6 +819,25 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             .expect("profiling was enabled");
         eprint!("{}", profile.render());
     }
+    // Deterministic alert summary (sim-time quantities only, ordered by
+    // (time, shard, rule)) — byte-identical across hosts and thread counts.
+    if opts.alerts.is_some() {
+        if out.alerts.is_empty() {
+            eprintln!("slo alerts: none fired");
+        } else {
+            eprintln!("slo alerts: {} fired", out.alerts.len());
+            for a in &out.alerts {
+                eprintln!(
+                    "  t={:.3}s region {} shard {} rule {} burn {:.2}x budget",
+                    a.at.as_secs_f64(),
+                    a.region,
+                    a.shard,
+                    a.rule,
+                    a.burn_milli as f64 / 1000.0
+                );
+            }
+        }
+    }
     Ok(())
 }
 
@@ -774,6 +855,7 @@ struct SweepOpts {
     tput_tol: f64,
     profile: bool,
     run_threads: usize,
+    blame: bool,
 }
 
 impl Default for SweepOpts {
@@ -792,6 +874,7 @@ impl Default for SweepOpts {
             tput_tol: tol.throughput_rel,
             profile: false,
             run_threads: 1,
+            blame: false,
         }
     }
 }
@@ -836,6 +919,7 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
             "--tput-tol" => opts.tput_tol = tolerance(value()?, "--tput-tol")?,
             "--profile" => opts.profile = true,
             "--run-threads" => opts.run_threads = run_threads(&value()?)?,
+            "--blame" => opts.blame = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -845,6 +929,22 @@ fn parse_sweep_opts(args: &[String]) -> Result<SweepOpts, String> {
 /// Formats an optional seconds value for the sweep tables.
 fn opt_secs(x: Option<f64>) -> String {
     x.map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"))
+}
+
+/// The `sweep --profile` aggregate stderr line: the headline events/sec
+/// figure plus the windowed-executor counters (all zero on sequential
+/// runs). Kept as a function so a test can assert the line stays parseable.
+fn aggregate_profile_line(
+    t: &SweepThroughput,
+    windows: u64,
+    window_events: u64,
+    barrier_events: u64,
+) -> String {
+    format!(
+        "aggregate: {} events in {:.3}s single-cell wall = {:.0} events/sec \
+         ({windows} windows, {window_events} window events, {barrier_events} barrier events)",
+        t.events, t.wall_s, t.events_per_sec
+    )
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
@@ -893,7 +993,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     }
     let runner = SweepRunner::new(opts.threads)
         .with_profile(opts.profile)
-        .with_run_threads(opts.run_threads);
+        .with_run_threads(opts.run_threads)
+        .with_blame(opts.blame);
     let cells: usize = grids.iter().map(|g| g.expand().len()).sum();
     eprintln!(
         "sweeping grid '{}': {cells} cells × {} requests on {} threads …",
@@ -929,9 +1030,17 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             }
         }
         if let Some(t) = &report.throughput {
+            // Summed across cells so the line also reports how much of
+            // the sweep the windowed parallel executor actually drained.
+            let (windows, window_events, barrier_events) = profiles
+                .iter()
+                .flatten()
+                .fold((0u64, 0u64, 0u64), |(w, we, be), p| {
+                    (w + p.windows, we + p.window_events, be + p.barrier_events)
+                });
             eprintln!(
-                "aggregate: {} events in {:.3}s single-cell wall = {:.0} events/sec",
-                t.events, t.wall_s, t.events_per_sec
+                "{}",
+                aggregate_profile_line(t, windows, window_events, barrier_events)
             );
         }
     }
@@ -1032,6 +1141,95 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parsed `analyze` options.
+#[derive(Debug)]
+struct AnalyzeOpts {
+    trace: Option<String>,
+    out: Option<String>,
+    format: String,
+    top: usize,
+}
+
+const ANALYZE_FORMATS: [&str; 3] = ["json", "csv", "waterfall"];
+
+fn parse_analyze_opts(args: &[String]) -> Result<AnalyzeOpts, String> {
+    let mut opts = AnalyzeOpts {
+        trace: None,
+        out: None,
+        format: "json".to_owned(),
+        top: 5,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--trace" => opts.trace = Some(value()?),
+            "--out" => opts.out = Some(value()?),
+            "--format" => {
+                let raw = value()?;
+                if !ANALYZE_FORMATS.contains(&raw.as_str()) {
+                    return Err(format!(
+                        "unknown analyze format '{raw}' (valid: {})",
+                        ANALYZE_FORMATS.join(", ")
+                    ));
+                }
+                opts.format = raw;
+            }
+            "--top" => {
+                opts.top = value()?.parse().map_err(|e| format!("--top: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_analyze_opts(args)?;
+    let path = opts
+        .trace
+        .ok_or_else(|| CliError::Usage("analyze needs --trace <jsonl>".to_owned()))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Runtime(format!("reading {path}: {e}")))?;
+    // A malformed trace is a bad input file, not a bad invocation: exit 1.
+    let events =
+        parse_trace_jsonl(&text).map_err(|e| CliError::Runtime(format!("parsing {path}: {e}")))?;
+    let report = reconstruct(&events);
+    eprintln!(
+        "reconstructed {} events from {path}: {} requests ({} rejected, {} unterminated)",
+        events.len(),
+        report.requests.len(),
+        report.rejected,
+        report.unterminated
+    );
+    match opts.format.as_str() {
+        "json" => print!("{}", anatomy_to_json(&report)),
+        "csv" => print!("{}", anatomy_to_csv(&report)),
+        "waterfall" => print!("{}", anatomy_waterfall(&report, opts.top)),
+        other => unreachable!("format '{other}' was validated at parse time"),
+    }
+    if let Some(dir) = &opts.out {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Runtime(format!("creating {}: {e}", dir.display())))?;
+        for (name, contents) in [
+            ("anatomy.json", anatomy_to_json(&report)),
+            ("anatomy.csv", anatomy_to_csv(&report)),
+            ("waterfall.txt", anatomy_waterfall(&report, opts.top)),
+        ] {
+            let file = dir.join(name);
+            std::fs::write(&file, contents)
+                .map_err(|e| CliError::Runtime(format!("writing {}: {e}", file.display())))?;
+            eprintln!("wrote {}", file.display());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_capacity(args: &[String]) -> Result<(), CliError> {
     let opts = parse_opts(args)?;
     let mix = dataset(&opts.dataset)?;
@@ -1057,6 +1255,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("capacity") => cmd_capacity(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
@@ -1401,6 +1600,78 @@ mod tests {
         ] {
             assert!(USAGE.contains(needle), "usage missing {needle}");
         }
+    }
+
+    #[test]
+    fn analyze_opts_parse_and_validate() {
+        let opts = parse_analyze_opts(&strs(&[
+            "--trace",
+            "/tmp/t.jsonl",
+            "--format",
+            "waterfall",
+            "--top",
+            "3",
+            "--out",
+            "/tmp/anatomy",
+        ]))
+        .expect("valid");
+        assert_eq!(opts.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(opts.format, "waterfall");
+        assert_eq!(opts.top, 3);
+        assert_eq!(opts.out.as_deref(), Some("/tmp/anatomy"));
+        // Defaults: machine-readable JSON, top-5 waterfall, no files.
+        let opts = parse_analyze_opts(&[]).expect("empty parses");
+        assert_eq!(opts.format, "json");
+        assert_eq!(opts.top, 5);
+        assert!(opts.trace.is_none());
+        // Unknown formats list the valid values; bad counts are usage
+        // errors.
+        let err = parse_analyze_opts(&strs(&["--format", "xml"])).expect_err("unknown format");
+        assert!(err.contains("valid: json, csv, waterfall"), "got: {err}");
+        assert!(parse_analyze_opts(&strs(&["--top", "many"])).is_err());
+        assert!(parse_analyze_opts(&strs(&["--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn alerts_flag_parses_and_usage_lists_it() {
+        let opts = parse_opts(&strs(&["--alerts", "paging"])).expect("valid");
+        assert_eq!(opts.alerts.as_deref(), Some("paging"));
+        assert_eq!(parse_opts(&[]).expect("empty").alerts, None);
+        // Non-file values must resolve as presets with the list in the
+        // error (the same file-else-preset contract as --fleet-events).
+        let err = SloAlertPreset::parse("smoke-signal").expect_err("unknown preset");
+        assert!(err.contains("valid: paging, ticket"), "{err}");
+        for needle in ["--alerts", "PATH|paging|ticket", "analyze", "--blame"] {
+            assert!(USAGE.contains(needle), "usage missing {needle}");
+        }
+    }
+
+    #[test]
+    fn sweep_blame_flag_parses() {
+        assert!(parse_sweep_opts(&strs(&["--blame"])).expect("valid").blame);
+        assert!(!parse_sweep_opts(&[]).expect("empty is valid").blame);
+    }
+
+    #[test]
+    fn sweep_aggregate_profile_line_parses() {
+        let t = SweepThroughput {
+            events: 123_456,
+            wall_s: 1.5,
+            events_per_sec: 82_304.0,
+        };
+        let line = aggregate_profile_line(&t, 7, 900, 334);
+        // Every figure must survive a whitespace-and-label round trip —
+        // the CI perf job greps this line out of stderr.
+        let nums: Vec<f64> = line
+            .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .filter(|s| !s.is_empty() && *s != ".")
+            .map(|s| s.parse().expect("numeric"))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![123_456.0, 1.5, 82_304.0, 7.0, 900.0, 334.0],
+            "line: {line}"
+        );
     }
 
     #[test]

@@ -180,6 +180,58 @@ fn fleet_events_errors_exit_two_and_name_the_problem() {
 }
 
 #[test]
+fn alerts_flag_errors_exit_two_and_name_the_problem() {
+    // A value that is neither a file nor a preset lists the presets.
+    assert_usage_error(
+        &["run", "--alerts", "smoke-signal"],
+        &["valid: paging, ticket"],
+    );
+    // A malformed rule file names the offending line.
+    let dir = std::env::temp_dir();
+    let bad_rule = dir.join("pascal_cli_bad_rule.alerts");
+    std::fs::write(&bad_rule, "budget 0.05\nrule ten 4.0\n").expect("write");
+    assert_usage_error(
+        &["run", "--alerts", bad_rule.to_str().unwrap()],
+        &["line 2"],
+    );
+    // A rule-less file is rejected: alerting with nothing to evaluate is a
+    // misconfiguration, not a quiet no-op.
+    let no_rules = dir.join("pascal_cli_no_rules.alerts");
+    std::fs::write(&no_rules, "budget 0.1\n").expect("write");
+    assert_usage_error(&["run", "--alerts", no_rules.to_str().unwrap()], &["rule"]);
+}
+
+#[test]
+fn analyze_flag_errors_exit_codes() {
+    // Enumerated values exit 2 with the valid list; a missing --trace is
+    // a usage error too.
+    assert_usage_error(
+        &["analyze", "--format", "xml"],
+        &["valid: json, csv, waterfall"],
+    );
+    assert_usage_error(&["analyze", "--top", "many"], &["--top"]);
+    assert_usage_error(&["analyze"], &["needs --trace"]);
+    assert_usage_error(&["analyze", "--bogus", "1"], &["unknown flag"]);
+    // A structurally valid invocation over a missing or malformed trace
+    // file is a runtime failure: exit 1, no usage spam.
+    let out = cli(&["analyze", "--trace", "/nonexistent/trace.jsonl"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bad = std::env::temp_dir().join("pascal_cli_bad_trace.jsonl");
+    std::fs::write(&bad, "not json\n").expect("write");
+    let out = cli(&["analyze", "--trace", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "parse errors must name the line"
+    );
+}
+
+#[test]
 fn sweep_flag_errors_exit_two_and_list_values() {
     assert_usage_error(
         &["sweep", "--grid", "everything"],

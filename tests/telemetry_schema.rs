@@ -19,6 +19,7 @@ const KNOWN_EVENTS: &[&str] = &[
     "demoted",
     "prefill_start",
     "phase_transition",
+    "first_answer_token",
     "preempted",
     "offload_done",
     "reload_done",
@@ -29,6 +30,8 @@ const KNOWN_EVENTS: &[&str] = &[
     "migration_landed",
     "escape_fallback",
     "completed",
+    "slo_alert_fired",
+    "slo_alert_resolved",
 ];
 
 fn tmp(name: &str) -> PathBuf {
@@ -115,9 +118,22 @@ fn jsonl_trace_reparses_line_by_line() {
                 "{key} missing: {line}"
             );
         }
+        // Queue wait is an explicit observable on every prefill launch.
+        if event == "prefill_start" {
+            assert!(
+                v.get("queued_ns").and_then(JsonValue::as_u64).is_some(),
+                "prefill_start must carry queued_ns: {line}"
+            );
+        }
     }
     // The cell is busy enough that the core lifecycle edges all fire.
-    for expected in ["arrival", "prefill_start", "phase_transition", "completed"] {
+    for expected in [
+        "arrival",
+        "prefill_start",
+        "phase_transition",
+        "first_answer_token",
+        "completed",
+    ] {
         assert!(
             saw.iter().any(|s| s == expected),
             "trace never saw '{expected}'"
@@ -212,7 +228,7 @@ fn series_csv_keeps_a_fixed_rectangular_schema() {
         header,
         "t_s,scope,region,shard,queue_depth,active,reasoning,answering,\
          kv_used_bytes,kv_capacity_bytes,admission_headroom_bytes,\
-         predictor_mean_abs_error,wan_busy_s"
+         predictor_mean_abs_error,wan_busy_s,slo_burn"
     );
     let columns = header.split(',').count();
     let mut rows = 0usize;
